@@ -1,0 +1,39 @@
+# Developer entry points for the agingmf reproduction.
+
+GO ?= go
+
+.PHONY: all build test race cover bench experiments experiments-quick fmt vet clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./internal/...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate every reconstructed table/figure (writes to stdout; see
+# EXPERIMENTS.md for the archived reference run).
+experiments:
+	$(GO) run ./cmd/experiments
+
+experiments-quick:
+	$(GO) run ./cmd/experiments -quick
+
+fmt:
+	gofmt -w .
+
+vet:
+	$(GO) vet ./...
+
+clean:
+	$(GO) clean ./...

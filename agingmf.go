@@ -1,0 +1,368 @@
+package agingmf
+
+import (
+	"io"
+	"math/rand"
+
+	"agingmf/internal/aging"
+	"agingmf/internal/changepoint"
+	"agingmf/internal/collector"
+	"agingmf/internal/dsp"
+	"agingmf/internal/fractal"
+	"agingmf/internal/gen"
+	"agingmf/internal/holder"
+	"agingmf/internal/memsim"
+	"agingmf/internal/multifractal"
+	"agingmf/internal/rejuv"
+	"agingmf/internal/series"
+	"agingmf/internal/stats"
+	"agingmf/internal/workload"
+)
+
+// Time-series primitives.
+type (
+	// Series is a uniformly sampled time series.
+	Series = series.Series
+	// Window is a view into a series.
+	Window = series.Window
+)
+
+// Series constructors and codecs.
+var (
+	// NewSeries builds a series with explicit timing metadata.
+	NewSeries = series.New
+	// SeriesFromValues wraps raw values with 1-second sampling.
+	SeriesFromValues = series.FromValues
+	// ReadSeriesCSV parses the CSV format written by WriteSeriesCSV.
+	ReadSeriesCSV = series.ReadCSV
+	// WriteSeriesCSV exports one or more series as CSV.
+	WriteSeriesCSV = series.WriteCSV
+)
+
+// The aging monitor — the paper's primary contribution.
+type (
+	// Monitor is the online multifractal aging detector.
+	Monitor = aging.Monitor
+	// MonitorConfig parameterizes the Monitor.
+	MonitorConfig = aging.Config
+	// Jump is a detected Hölder-volatility jump.
+	Jump = aging.Jump
+	// Phase is the monitor's aging assessment.
+	Phase = aging.Phase
+	// AnalysisResult is the offline batch analysis of a trace.
+	AnalysisResult = aging.AnalysisResult
+	// DetectorKind selects the volatility jump detector.
+	DetectorKind = aging.DetectorKind
+)
+
+// Aging phases.
+const (
+	PhaseHealthy       = aging.PhaseHealthy
+	PhaseAgingOnset    = aging.PhaseAgingOnset
+	PhaseCrashImminent = aging.PhaseCrashImminent
+)
+
+// Jump detectors.
+const (
+	DetectShewhart    = aging.DetectShewhart
+	DetectCUSUM       = aging.DetectCUSUM
+	DetectPageHinkley = aging.DetectPageHinkley
+	DetectEWMA        = aging.DetectEWMA
+)
+
+// Monitor constructors.
+var (
+	// NewMonitor creates an online aging monitor.
+	NewMonitor = aging.NewMonitor
+	// DefaultMonitorConfig returns the experiment-standard settings.
+	DefaultMonitorConfig = aging.DefaultConfig
+	// Analyze batch-analyzes a complete counter series.
+	Analyze = aging.Analyze
+	// RestoreMonitor reconstructs a monitor from a Monitor.SaveState
+	// snapshot, resuming exactly where it stopped (agents survive
+	// restarts without re-running the warmup).
+	RestoreMonitor = aging.RestoreMonitor
+)
+
+// Dual-counter monitoring (the paper instruments both free memory and
+// used swap) and the hybrid crash predictor extension.
+type (
+	// DualMonitor runs one Monitor per instrumented counter.
+	DualMonitor = aging.DualMonitor
+	// DualJump attributes a jump to a counter.
+	DualJump = aging.DualJump
+	// CounterKind identifies an instrumented counter.
+	CounterKind = aging.CounterKind
+	// CrashPredictor combines the monitor with trend time-to-exhaustion.
+	CrashPredictor = aging.CrashPredictor
+	// PredictorConfig parameterizes the CrashPredictor.
+	PredictorConfig = aging.PredictorConfig
+	// Prediction is the predictor's current assessment.
+	Prediction = aging.Prediction
+)
+
+// Instrumented counters.
+const (
+	CounterFreeMemory = aging.CounterFreeMemory
+	CounterUsedSwap   = aging.CounterUsedSwap
+)
+
+// Dual-monitor and predictor constructors.
+var (
+	NewDualMonitor         = aging.NewDualMonitor
+	RestoreDualMonitor     = aging.RestoreDualMonitor
+	NewCrashPredictor      = aging.NewCrashPredictor
+	DefaultPredictorConfig = aging.DefaultPredictorConfig
+)
+
+// Prior-work baseline detectors.
+type (
+	// TrendDetector extrapolates resource exhaustion from a fitted trend.
+	TrendDetector = aging.TrendDetector
+	// TrendConfig parameterizes the trend baseline.
+	TrendConfig = aging.TrendConfig
+	// TrendWarning is an exhaustion warning.
+	TrendWarning = aging.TrendWarning
+	// HurstDetector monitors a windowed Hurst exponent.
+	HurstDetector = aging.HurstDetector
+	// HurstConfig parameterizes the Hurst baseline.
+	HurstConfig = aging.HurstConfig
+)
+
+// Baseline constructors.
+var (
+	NewTrendDetector   = aging.NewTrendDetector
+	DefaultTrendConfig = aging.DefaultTrendConfig
+	NewHurstDetector   = aging.NewHurstDetector
+	DefaultHurstConfig = aging.DefaultHurstConfig
+)
+
+// Pointwise Hölder estimation.
+type (
+	// HolderConfig parameterizes the oscillation estimator.
+	HolderConfig = holder.Config
+)
+
+// Hölder estimator functions.
+var (
+	// OscillationTrajectory estimates the pointwise Hölder exponent by
+	// the oscillation method.
+	OscillationTrajectory = holder.Oscillation
+	// WaveletLeaderTrajectory estimates it from db4 wavelet leaders.
+	WaveletLeaderTrajectory = holder.WaveletLeader
+	// DefaultHolderConfig returns the standard radius ladder.
+	DefaultHolderConfig = holder.DefaultConfig
+	// MeanHolderExponent averages a trajectory, skipping non-finite values.
+	MeanHolderExponent = holder.MeanExponent
+	// HistogramSpectrum estimates f(alpha) by the direct histogram method.
+	HistogramSpectrum = holder.HistogramSpectrum
+	// ModalAlpha returns the spectrum's peak location.
+	ModalAlpha = holder.ModalAlpha
+)
+
+// Statistical utilities shared by the analyses.
+type (
+	// LinearFit is a fitted line.
+	LinearFit = stats.LinearFit
+	// MannKendallResult reports the Mann–Kendall trend test.
+	MannKendallResult = stats.MannKendallResult
+	// LjungBoxResult reports the Ljung–Box autocorrelation test.
+	LjungBoxResult = stats.LjungBoxResult
+)
+
+// Statistical functions.
+var (
+	OLS              = stats.OLS
+	TheilSen         = stats.TheilSen
+	MannKendall      = stats.MannKendall
+	Pearson          = stats.Pearson
+	CrossCorrelation = stats.CrossCorrelation
+	LjungBox         = stats.LjungBox
+)
+
+// Global (monofractal) estimators.
+type (
+	// HurstEstimate is a Hurst-exponent estimation result.
+	HurstEstimate = fractal.HurstEstimate
+)
+
+// Hurst estimator functions.
+var (
+	HurstRS           = fractal.HurstRS
+	HurstAggVar       = fractal.HurstAggVar
+	DFA               = fractal.DFA
+	BoxCountDimension = fractal.BoxCountDimension
+	Higuchi           = fractal.Higuchi
+	HurstPeriodogram  = fractal.HurstPeriodogram
+)
+
+// Multifractal analysis.
+type (
+	// MFDFAConfig parameterizes multifractal DFA.
+	MFDFAConfig = multifractal.Config
+	// MFDFAResult holds h(q), tau(q) and the singularity spectrum.
+	MFDFAResult = multifractal.Result
+	// Spectrum is the singularity spectrum f(alpha).
+	Spectrum = multifractal.Spectrum
+)
+
+// Multifractal functions.
+var (
+	MFDFA                 = multifractal.MFDFA
+	DefaultMFDFAConfig    = multifractal.DefaultConfig
+	PartitionFunction     = multifractal.PartitionFunction
+	StructureFunction     = multifractal.StructureFunction
+	ZetaConcavity         = multifractal.ZetaConcavity
+	GeneralizedDimensions = multifractal.GeneralizedDimensions
+	WaveletLeadersMF      = multifractal.WaveletLeaders
+)
+
+// Change detection.
+type (
+	// ChangeDetector is an online change detector.
+	ChangeDetector = changepoint.Detector
+	// ChangeAlarm is a detected change.
+	ChangeAlarm = changepoint.Alarm
+)
+
+// Change detector constructors.
+var (
+	NewShewhart    = changepoint.NewShewhart
+	NewCUSUM       = changepoint.NewCUSUM
+	NewPageHinkley = changepoint.NewPageHinkley
+	NewEWMAChart   = changepoint.NewEWMAChart
+	ScanChanges    = changepoint.Scan
+)
+
+// Signal-processing helpers.
+var (
+	// FFTReal transforms a real signal to its complex spectrum.
+	FFTReal = dsp.FFTReal
+	// PowerSpectrum returns the one-sided periodogram.
+	PowerSpectrum = dsp.PowerSpectrum
+	// WelchPSD returns the variance-reduced Welch spectral estimate.
+	WelchPSD = dsp.WelchPSD
+)
+
+// Synthetic signal generators (estimator validation and workloads).
+var (
+	FBM                   = gen.FBM
+	FGNHosking            = gen.FGNHosking
+	FGNDaviesHarte        = gen.FGNDaviesHarte
+	Weierstrass           = gen.Weierstrass
+	BinomialCascade       = gen.BinomialCascade
+	LognormalCascadeNoise = gen.LognormalCascadeNoise
+	Shuffle               = gen.Shuffle
+	PhaseRandomize        = gen.PhaseRandomize
+)
+
+// Simulated machine substrate.
+type (
+	// Machine is the simulated OS memory subsystem.
+	Machine = memsim.Machine
+	// MachineConfig describes the simulated hardware.
+	MachineConfig = memsim.Config
+	// Counters is a snapshot of the machine's observable state.
+	Counters = memsim.Counters
+	// ProcSpec describes a simulated process's memory behaviour.
+	ProcSpec = memsim.ProcSpec
+	// ProcInfo is a process snapshot.
+	ProcInfo = memsim.ProcInfo
+	// CrashKind classifies machine failures.
+	CrashKind = memsim.CrashKind
+)
+
+// Machine crash kinds.
+const (
+	CrashNone   = memsim.CrashNone
+	CrashOOM    = memsim.CrashOOM
+	CrashThrash = memsim.CrashThrash
+)
+
+// Machine constructors.
+var (
+	NewMachine           = memsim.New
+	DefaultMachineConfig = memsim.DefaultConfig
+)
+
+// Workload generation.
+type (
+	// Driver binds a machine to a load pattern.
+	Driver = workload.Driver
+	// WorkloadConfig parameterizes the load driver.
+	WorkloadConfig = workload.DriverConfig
+	// LoadSource modulates load intensity over time.
+	LoadSource = workload.Source
+)
+
+// Workload constructors.
+var (
+	NewDriver          = workload.NewDriver
+	DefaultWorkload    = workload.DefaultDriverConfig
+	NewOnOffSource     = workload.NewOnOffSource
+	NewAggregateSource = workload.NewAggregateSource
+	NewCascadeSource   = workload.NewCascadeSource
+	NewReplaySource    = workload.NewReplaySource
+	NewDiurnalSource   = workload.NewDiurnalSource
+)
+
+// Counter collection.
+type (
+	// Trace is a recorded monitoring session.
+	Trace = collector.Trace
+	// CollectConfig parameterizes a collection session.
+	CollectConfig = collector.Config
+)
+
+// Fleet collection (batch run-to-crash studies).
+type (
+	// FleetConfig describes a seeded batch of identical runs.
+	FleetConfig = collector.FleetConfig
+	// FleetRun is one completed fleet run.
+	FleetRun = collector.FleetRun
+)
+
+// Collector functions.
+var (
+	Collect        = collector.Collect
+	DefaultCollect = collector.DefaultConfig
+	RunFleet       = collector.RunFleet
+)
+
+// Rejuvenation policies and evaluation.
+type (
+	// RejuvenationPolicy decides when to proactively restart.
+	RejuvenationPolicy = rejuv.Policy
+	// PeriodicPolicy restarts on a fixed schedule.
+	PeriodicPolicy = rejuv.PeriodicPolicy
+	// MonitorPolicy restarts when the aging monitor triggers.
+	MonitorPolicy = rejuv.MonitorPolicy
+	// NoPolicy never restarts proactively.
+	NoPolicy = rejuv.NoPolicy
+	// RejuvenationOutcome summarizes a policy evaluation.
+	RejuvenationOutcome = rejuv.Outcome
+	// RejuvenationEvalConfig parameterizes the evaluation.
+	RejuvenationEvalConfig = rejuv.EvalConfig
+	// HuangModel is the FTCS 1995 analytic availability model.
+	HuangModel = rejuv.HuangModel
+	// CostModel prices policy outcomes.
+	CostModel = rejuv.CostModel
+)
+
+// Rejuvenation functions.
+var (
+	NewPeriodicPolicy       = rejuv.NewPeriodicPolicy
+	NewMonitorPolicy        = rejuv.NewMonitorPolicy
+	EvaluatePolicy          = rejuv.Evaluate
+	DefaultRejuvenEval      = rejuv.DefaultEvalConfig
+	OptimalPeriodicInterval = rejuv.OptimalPeriodicInterval
+	DefaultCostModel        = rejuv.DefaultCostModel
+)
+
+// NewRand returns a deterministic random source for use with the
+// constructors above; every stochastic component in this module takes an
+// explicit *rand.Rand so runs are reproducible.
+func NewRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// WriteTraceCSV exports a collected trace's counters as CSV.
+func WriteTraceCSV(w io.Writer, tr Trace) error { return tr.WriteCSV(w) }

@@ -1,0 +1,136 @@
+package agingmf_test
+
+import (
+	"bytes"
+	"testing"
+
+	"agingmf"
+)
+
+// TestPublicAPIEndToEnd drives the whole pipeline through the facade the
+// way a downstream user would: simulate a machine to crash, collect the
+// counters, analyze them, and compare against a baseline detector.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	mcfg := agingmf.DefaultMachineConfig()
+	mcfg.RAMPages = 16384
+	mcfg.SwapPages = 6144
+	machine, err := agingmf.NewMachine(mcfg, agingmf.NewRand(7))
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	wcfg := agingmf.DefaultWorkload()
+	wcfg.Server.LeakPagesPerTick = 4
+	driver, err := agingmf.NewDriver(machine, wcfg, nil, agingmf.NewRand(8))
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	ccfg := agingmf.DefaultCollect()
+	ccfg.MaxTicks = 30000
+	trace, err := agingmf.Collect(machine, driver, ccfg)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if trace.Crash == agingmf.CrashNone {
+		t.Fatal("machine did not crash under the leaky workload")
+	}
+
+	monCfg := agingmf.DefaultMonitorConfig()
+	monCfg.VolatilityWindow = 128
+	monCfg.DetectorWarmup = 512
+	monCfg.Refractory = 128
+	res, err := agingmf.Analyze(trace.FreeMemory, monCfg)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if res.Holder.Len() == 0 || res.Volatility.Len() == 0 {
+		t.Fatal("analysis produced empty series")
+	}
+
+	// Baseline comparison through the facade.
+	tcfg := agingmf.DefaultTrendConfig()
+	tcfg.Window = 512
+	det, err := agingmf.NewTrendDetector(tcfg)
+	if err != nil {
+		t.Fatalf("NewTrendDetector: %v", err)
+	}
+	warned := false
+	for _, v := range trace.FreeMemory.Values {
+		if _, fired := det.Add(v); fired {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Error("trend baseline never warned on a run-to-crash trace")
+	}
+
+	// CSV round trip through the facade.
+	var buf bytes.Buffer
+	if err := agingmf.WriteTraceCSV(&buf, trace); err != nil {
+		t.Fatalf("WriteTraceCSV: %v", err)
+	}
+	cols, err := agingmf.ReadSeriesCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadSeriesCSV: %v", err)
+	}
+	if len(cols) != 4 || cols[0].Len() != trace.FreeMemory.Len() {
+		t.Errorf("CSV round trip: %d columns, %d samples", len(cols), cols[0].Len())
+	}
+}
+
+func TestPublicAPIOnlineMonitor(t *testing.T) {
+	mon, err := agingmf.NewMonitor(agingmf.DefaultMonitorConfig())
+	if err != nil {
+		t.Fatalf("NewMonitor: %v", err)
+	}
+	if mon.Phase() != agingmf.PhaseHealthy {
+		t.Errorf("initial phase = %v", mon.Phase())
+	}
+	xs, err := agingmf.FBM(4096, 0.6, agingmf.NewRand(1))
+	if err != nil {
+		t.Fatalf("FBM: %v", err)
+	}
+	for _, v := range xs {
+		mon.Add(v)
+	}
+	if mon.SamplesSeen() != len(xs) {
+		t.Errorf("samples seen = %d", mon.SamplesSeen())
+	}
+}
+
+func TestPublicAPIMultifractalToolkit(t *testing.T) {
+	noise, err := agingmf.LognormalCascadeNoise(12, 0.4, agingmf.NewRand(2))
+	if err != nil {
+		t.Fatalf("LognormalCascadeNoise: %v", err)
+	}
+	res, err := agingmf.MFDFA(noise, agingmf.DefaultMFDFAConfig())
+	if err != nil {
+		t.Fatalf("MFDFA: %v", err)
+	}
+	if res.Spectrum.Width() <= 0 {
+		t.Errorf("spectrum width = %v", res.Spectrum.Width())
+	}
+	est, err := agingmf.DFA(noise, 1)
+	if err != nil {
+		t.Fatalf("DFA: %v", err)
+	}
+	if est.H <= 0 || est.H >= 1.5 {
+		t.Errorf("DFA H = %v", est.H)
+	}
+}
+
+func TestPublicAPIRejuvenation(t *testing.T) {
+	model := agingmf.HuangModel{
+		RateDegrade: 0.01, RateFail: 0.02, RateRepair: 0.5,
+		RateRejuv: 0.05, RateRestart: 5,
+	}
+	ss, err := model.Solve()
+	if err != nil {
+		t.Fatalf("HuangModel.Solve: %v", err)
+	}
+	if a := ss.Availability(); a <= 0 || a >= 1 {
+		t.Errorf("availability = %v", a)
+	}
+	if _, err := agingmf.NewPeriodicPolicy(1000); err != nil {
+		t.Errorf("NewPeriodicPolicy: %v", err)
+	}
+}

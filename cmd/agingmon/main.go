@@ -1,0 +1,191 @@
+// Command agingmon attaches the multifractal aging monitor to memory
+// counters online and prints aging events (volatility jumps, phase
+// changes) as they happen.
+//
+// By default it monitors a simulated machine under the stress workload
+// (the live-demo counterpart of the batch experiments). With -stdin it
+// instead reads "free_bytes,swap_bytes" lines from standard input, one
+// per sample — pipe a real system's counters in:
+//
+//	while true; do
+//	  awk '/MemAvailable/{f=$2*1024} /SwapTotal/{t=$2*1024} /SwapFree/{s=$2*1024}
+//	       END{printf "%d,%d\n", f, t-s}' /proc/meminfo
+//	  sleep 1
+//	done | agingmon -stdin
+//
+// Usage:
+//
+//	agingmon [-seed N] [-ram-mib N] [-swap-mib N] [-leak PAGES]
+//	         [-max-ticks N] [-history-limit N] [-stdin]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"agingmf"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "agingmon:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("agingmon", flag.ContinueOnError)
+	var (
+		seed      = fs.Int64("seed", 1, "random seed")
+		ramMiB    = fs.Int("ram-mib", 64, "physical memory in MiB")
+		swapMiB   = fs.Int("swap-mib", 24, "swap space in MiB")
+		leak      = fs.Float64("leak", 3.5, "server leak rate in pages/tick")
+		maxTicks  = fs.Int("max-ticks", 60000, "simulation horizon in ticks")
+		limit     = fs.Int("history-limit", 4096, "monitor history bound (0 = unlimited)")
+		fromStdin = fs.Bool("stdin", false, `read "free_bytes,swap_bytes" samples from stdin instead of simulating`)
+		stateFile = fs.String("state", "", "restore monitor state from this file at start, save on exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mon, err := loadOrNewMonitor(*stateFile, *limit, stdout)
+	if err != nil {
+		return err
+	}
+	if *fromStdin {
+		err = monitorStream(stdin, stdout, mon)
+	} else {
+		err = monitorSimulation(stdout, mon, *seed, *ramMiB, *swapMiB, *leak, *maxTicks)
+	}
+	if err != nil {
+		return err
+	}
+	return saveMonitor(*stateFile, mon)
+}
+
+// loadOrNewMonitor restores the monitor from stateFile if it exists, or
+// builds a fresh one.
+func loadOrNewMonitor(stateFile string, limit int, stdout io.Writer) (*agingmf.DualMonitor, error) {
+	if stateFile != "" {
+		if blob, err := os.ReadFile(stateFile); err == nil {
+			mon, err := agingmf.RestoreDualMonitor(blob)
+			if err != nil {
+				return nil, fmt.Errorf("restore %s: %w", stateFile, err)
+			}
+			fmt.Fprintf(stdout, "restored monitor state: %d samples seen, phase %v\n",
+				mon.SamplesSeen(), mon.Phase())
+			return mon, nil
+		}
+	}
+	monCfg := agingmf.DefaultMonitorConfig()
+	monCfg.HistoryLimit = limit
+	return agingmf.NewDualMonitor(monCfg)
+}
+
+// saveMonitor persists the monitor when a state file is configured.
+func saveMonitor(stateFile string, mon *agingmf.DualMonitor) error {
+	if stateFile == "" {
+		return nil
+	}
+	blob, err := mon.SaveState()
+	if err != nil {
+		return fmt.Errorf("save state: %w", err)
+	}
+	if err := os.WriteFile(stateFile, blob, 0o600); err != nil {
+		return fmt.Errorf("save state: %w", err)
+	}
+	return nil
+}
+
+// monitorStream feeds counter samples from a CSV-ish stream into the
+// monitor, printing events as they fire. Blank lines and lines starting
+// with '#' are skipped.
+func monitorStream(stdin io.Reader, stdout io.Writer, mon *agingmf.DualMonitor) error {
+	scanner := bufio.NewScanner(stdin)
+	lastPhase := agingmf.PhaseHealthy
+	sample := 0
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("sample %d: want \"free,swap\", got %q", sample, line)
+		}
+		free, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+		if err != nil {
+			return fmt.Errorf("sample %d: free: %w", sample, err)
+		}
+		swap, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+		if err != nil {
+			return fmt.Errorf("sample %d: swap: %w", sample, err)
+		}
+		for _, j := range mon.Add(free, swap) {
+			fmt.Fprintf(stdout, "sample %6d  jump on %v (volatility %.4f, score %.2f)\n",
+				sample, j.Counter, j.Jump.Volatility, j.Jump.Score)
+		}
+		if phase := mon.Phase(); phase != lastPhase {
+			fmt.Fprintf(stdout, "sample %6d  phase: %v -> %v\n", sample, lastPhase, phase)
+			lastPhase = phase
+		}
+		sample++
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("read stdin: %w", err)
+	}
+	fmt.Fprintf(stdout, "final phase: %v after %d samples (%d jumps)\n",
+		lastPhase, sample, len(mon.Jumps()))
+	return nil
+}
+
+// monitorSimulation runs the built-in simulated machine under stress.
+func monitorSimulation(stdout io.Writer, mon *agingmf.DualMonitor, seed int64, ramMiB, swapMiB int, leak float64, maxTicks int) error {
+	mcfg := agingmf.DefaultMachineConfig()
+	mcfg.RAMPages = ramMiB << 20 / mcfg.PageSize
+	mcfg.SwapPages = swapMiB << 20 / mcfg.PageSize
+	machine, err := agingmf.NewMachine(mcfg, agingmf.NewRand(seed))
+	if err != nil {
+		return err
+	}
+	wcfg := agingmf.DefaultWorkload()
+	wcfg.Server.LeakPagesPerTick = leak
+	driver, err := agingmf.NewDriver(machine, wcfg, nil, agingmf.NewRand(seed+1))
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "machine: %d MiB RAM, %d MiB swap, leak %.2f pages/tick, seed %d\n",
+		ramMiB, swapMiB, leak, seed)
+	lastPhase := agingmf.PhaseHealthy
+	for tick := 0; tick < maxTicks; tick++ {
+		counters, err := driver.Step()
+		if kind, at := machine.Crashed(); kind != agingmf.CrashNone {
+			fmt.Fprintf(stdout, "tick %6d  CRASH (%v)\n", at, kind)
+			break
+		}
+		if err != nil {
+			return err
+		}
+		for _, j := range mon.Add(counters.FreeMemoryBytes, counters.UsedSwapBytes) {
+			fmt.Fprintf(stdout, "tick %6d  jump on %v (volatility %.4f, score %.2f)\n",
+				tick, j.Counter, j.Jump.Volatility, j.Jump.Score)
+		}
+		phase := mon.Phase()
+		if phase != lastPhase {
+			fmt.Fprintf(stdout, "tick %6d  phase: %v -> %v (free %.1f MiB, swap %.1f MiB)\n",
+				tick, lastPhase, phase,
+				counters.FreeMemoryBytes/(1<<20), counters.UsedSwapBytes/(1<<20))
+			lastPhase = phase
+		}
+	}
+	fmt.Fprintf(stdout, "final phase: %v (%d jumps across both counters)\n",
+		lastPhase, len(mon.Jumps()))
+	return nil
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRunToCrashPrintsEvents(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-seed", "1", "-max-ticks", "20000"}, nil, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"machine:", "CRASH", "final phase:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "jump on") {
+		t.Errorf("no jump events printed:\n%s", out)
+	}
+}
+
+func TestRunShortHorizonNoCrash(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-max-ticks", "100"}, nil, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if strings.Contains(buf.String(), "CRASH") {
+		t.Error("crash within 100 ticks is implausible")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bogus"}, nil, &buf); err == nil {
+		t.Error("unknown flag should fail")
+	}
+	if err := run([]string{"-ram-mib", "0", "-max-ticks", "10"}, nil, &buf); err == nil {
+		t.Error("zero RAM should fail machine validation")
+	}
+}
+
+func TestRunStdinMode(t *testing.T) {
+	// A calm stream then a rough regime: the monitor must report a phase
+	// change and the final summary.
+	var in strings.Builder
+	in.WriteString("# comment line\n\n")
+	level := 1e9
+	for i := 0; i < 3000; i++ {
+		level -= 1e4
+		fmt.Fprintf(&in, "%.0f,0\n", level)
+	}
+	for i := 0; i < 3000; i++ {
+		if (i/32)%2 == 0 {
+			level -= 1e4
+		} else {
+			level -= 1e4
+			fmt.Fprintf(&in, "%.0f,%d\n", level+5e7*float64(i%7), i*1000)
+			continue
+		}
+		fmt.Fprintf(&in, "%.0f,%d\n", level, i*1000)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-stdin"}, strings.NewReader(in.String()), &out); err != nil {
+		t.Fatalf("run -stdin: %v", err)
+	}
+	if !strings.Contains(out.String(), "final phase:") {
+		t.Errorf("missing summary:\n%.200s", out.String())
+	}
+	if !strings.Contains(out.String(), "6000 samples") {
+		t.Errorf("sample count wrong:\n%s", lastLine(out.String()))
+	}
+}
+
+func TestRunStdinMalformed(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-stdin"}, strings.NewReader("1,2,3\n"), &out); err == nil {
+		t.Error("three fields should fail")
+	}
+	if err := run([]string{"-stdin"}, strings.NewReader("abc,1\n"), &out); err == nil {
+		t.Error("non-numeric free should fail")
+	}
+	if err := run([]string{"-stdin"}, strings.NewReader("1,xyz\n"), &out); err == nil {
+		t.Error("non-numeric swap should fail")
+	}
+}
+
+func lastLine(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	return lines[len(lines)-1]
+}
+
+func TestRunStatePersistsAcrossInvocations(t *testing.T) {
+	state := t.TempDir() + "/mon.state"
+	var out1 bytes.Buffer
+	// First session: calm stream only, saved at exit.
+	var in1 strings.Builder
+	level := 1e9
+	for i := 0; i < 2500; i++ {
+		level -= 1e4
+		fmt.Fprintf(&in1, "%.0f,0\n", level)
+	}
+	if err := run([]string{"-stdin", "-state", state}, strings.NewReader(in1.String()), &out1); err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	// Second session: restored state must report the carried-over samples.
+	var out2 bytes.Buffer
+	if err := run([]string{"-stdin", "-state", state}, strings.NewReader("1,0\n2,0\n"), &out2); err != nil {
+		t.Fatalf("second run: %v", err)
+	}
+	if !strings.Contains(out2.String(), "restored monitor state: 2500 samples") {
+		t.Errorf("state not restored:\n%s", out2.String())
+	}
+}

@@ -1,0 +1,80 @@
+// Command experiments regenerates the reconstructed tables and figures of
+// the DSN 2003 evaluation plus the extension experiments (see
+// EXPERIMENTS.md). Without flags it runs all twelve at full scale; -run
+// selects one, -quick shrinks the campaigns for a fast pass, -format
+// switches between text, markdown and csv output.
+//
+// Usage:
+//
+//	experiments [-run E5] [-seed N] [-quick] [-list] [-format text|markdown|csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"agingmf/internal/experiment"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		id     = fs.String("run", "", "run a single experiment (E1..E12)")
+		seed   = fs.Int64("seed", 1, "campaign seed")
+		quick  = fs.Bool("quick", false, "small campaigns for a fast pass")
+		list   = fs.Bool("list", false, "list experiments and exit")
+		format = fs.String("format", "text", "output format: text, markdown or csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range experiment.All() {
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+	cfg := experiment.RunConfig{Seed: *seed, Quick: *quick}
+	todo := experiment.All()
+	if *id != "" {
+		e, err := experiment.ByID(*id)
+		if err != nil {
+			return err
+		}
+		todo = []experiment.Experiment{e}
+	}
+	render := func(rep experiment.Report) error {
+		switch *format {
+		case "text":
+			return rep.Render(stdout)
+		case "markdown":
+			return rep.RenderMarkdown(stdout)
+		case "csv":
+			return rep.WriteTablesCSV(stdout)
+		default:
+			return fmt.Errorf("unknown format %q (want text, markdown or csv)", *format)
+		}
+	}
+	for _, e := range todo {
+		if *format == "text" {
+			fmt.Fprintf(stdout, "\n######## %s — %s ########\n", e.ID, e.Title)
+		}
+		rep, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := render(rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	text := out.String()
+	for _, id := range []string{"E1", "E5", "E9"} {
+		if !strings.Contains(text, id) {
+			t.Errorf("list missing %s:\n%s", id, text)
+		}
+	}
+}
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "E1", "-quick"}, &out); err != nil {
+		t.Fatalf("run -run E1: %v", err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "E1") || !strings.Contains(text, "oscillation") {
+		t.Errorf("E1 output incomplete:\n%.400s", text)
+	}
+	if strings.Contains(text, "E2") {
+		t.Error("-run E1 also ran E2")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-run", "E99"}, &out); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-wat"}, &out); err == nil {
+		t.Error("unknown flag should fail")
+	}
+}

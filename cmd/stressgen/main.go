@@ -1,0 +1,80 @@
+// Command stressgen plays the role of the paper's data-collection rig: it
+// drives a simulated machine to failure under the synthetic stress
+// workload and writes the sampled memory counters as CSV (the input
+// format of mfanalyze).
+//
+// Usage:
+//
+//	stressgen [-seed N] [-ram-mib N] [-swap-mib N] [-leak PAGES]
+//	          [-max-ticks N] [-sample-every N] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"agingmf"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "stressgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("stressgen", flag.ContinueOnError)
+	var (
+		seed     = fs.Int64("seed", 1, "random seed")
+		ramMiB   = fs.Int("ram-mib", 64, "physical memory in MiB")
+		swapMiB  = fs.Int("swap-mib", 24, "swap space in MiB")
+		leak     = fs.Float64("leak", 3.5, "server leak rate in pages/tick")
+		maxTicks = fs.Int("max-ticks", 60000, "simulation horizon in ticks")
+		every    = fs.Int("sample-every", 1, "sample the counters every N ticks")
+		out      = fs.String("out", "", "output CSV file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mcfg := agingmf.DefaultMachineConfig()
+	mcfg.RAMPages = *ramMiB << 20 / mcfg.PageSize
+	mcfg.SwapPages = *swapMiB << 20 / mcfg.PageSize
+	machine, err := agingmf.NewMachine(mcfg, agingmf.NewRand(*seed))
+	if err != nil {
+		return err
+	}
+	wcfg := agingmf.DefaultWorkload()
+	wcfg.Server.LeakPagesPerTick = *leak
+	driver, err := agingmf.NewDriver(machine, wcfg, nil, agingmf.NewRand(*seed+1))
+	if err != nil {
+		return err
+	}
+	trace, err := agingmf.Collect(machine, driver, agingmf.CollectConfig{
+		TicksPerSample: *every,
+		MaxTicks:       *maxTicks,
+		StopOnCrash:    true,
+	})
+	if err != nil {
+		return err
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := agingmf.WriteTraceCSV(w, trace); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "stressgen: %d samples, crash=%v at tick %d\n",
+		trace.Len(), trace.Crash, trace.CrashTick())
+	return nil
+}

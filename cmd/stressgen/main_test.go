@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"agingmf"
+)
+
+func TestRunWritesParsableCSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-seed", "3", "-max-ticks", "500"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	cols, err := agingmf.ReadSeriesCSV(&buf)
+	if err != nil {
+		t.Fatalf("output not parsable: %v", err)
+	}
+	if len(cols) != 4 {
+		t.Fatalf("columns = %d, want 4", len(cols))
+	}
+	wantNames := []string{"free_memory_bytes", "used_swap_bytes", "swap_traffic_pages", "processes"}
+	for i, want := range wantNames {
+		if cols[i].Name != want {
+			t.Errorf("column %d = %q, want %q", i, cols[i].Name, want)
+		}
+	}
+	if cols[0].Len() < 400 {
+		t.Errorf("samples = %d", cols[0].Len())
+	}
+}
+
+func TestRunWritesToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	var buf bytes.Buffer
+	if err := run([]string{"-max-ticks", "200", "-out", path}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read output: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "timestamp,") {
+		t.Errorf("file does not start with CSV header: %.60s", data)
+	}
+	if buf.Len() != 0 {
+		t.Error("stdout written despite -out")
+	}
+}
+
+func TestRunSampleDecimation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-max-ticks", "400", "-sample-every", "10"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	cols, err := agingmf.ReadSeriesCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := cols[0].Len(); n < 35 || n > 45 {
+		t.Errorf("decimated samples = %d, want ~40", n)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-nope"}, &buf); err == nil {
+		t.Error("unknown flag should fail")
+	}
+	if err := run([]string{"-sample-every", "0", "-max-ticks", "10"}, &buf); err == nil {
+		t.Error("zero sampling interval should fail")
+	}
+}

@@ -1,0 +1,92 @@
+package agingmf_test
+
+import (
+	"fmt"
+	"log"
+
+	"agingmf"
+)
+
+// ExampleAnalyze runs the paper's offline analysis on a recorded
+// counter trace from a simulated run-to-crash session.
+func ExampleAnalyze() {
+	machine, err := agingmf.NewMachine(agingmf.MachineConfig{
+		RAMPages: 16384, SwapPages: 6144, PageSize: 4096,
+		TickDuration: 1e9, LowWatermark: 256,
+		ThrashPageRate: 2048, ThrashTicks: 30,
+		FragPerMegaChurn: 120, FragCapFraction: 0.35,
+	}, agingmf.NewRand(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+	wcfg := agingmf.DefaultWorkload()
+	wcfg.Server.LeakPagesPerTick = 4
+	driver, err := agingmf.NewDriver(machine, wcfg, nil, agingmf.NewRand(43))
+	if err != nil {
+		log.Fatal(err)
+	}
+	trace, err := agingmf.Collect(machine, driver, agingmf.CollectConfig{
+		TicksPerSample: 1, MaxTicks: 30000, StopOnCrash: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := agingmf.Analyze(trace.FreeMemory, agingmf.DefaultMonitorConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("crash:", trace.Crash)
+	fmt.Println("jumps detected:", len(res.Jumps) > 0)
+	// Output:
+	// crash: oom
+	// jumps detected: true
+}
+
+// ExampleMonitor shows the online use: one sample at a time, watching the
+// phase.
+func ExampleMonitor() {
+	mon, err := agingmf.NewMonitor(agingmf.DefaultMonitorConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A perfectly smooth counter never alarms.
+	for i := 0; i < 5000; i++ {
+		mon.Add(float64(i))
+	}
+	fmt.Println(mon.Phase())
+	// Output:
+	// healthy
+}
+
+// ExampleHuangModel solves the classic availability model analytically.
+func ExampleHuangModel() {
+	model := agingmf.HuangModel{
+		RateDegrade: 1.0 / 240, // ages after ~10 days (hour units)
+		RateFail:    1.0 / 72,
+		RateRepair:  1.0 / 4,
+		RateRejuv:   1.0 / 24,
+		RateRestart: 12,
+	}
+	ss, err := model.Solve()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("availability: %.4f\n", ss.Availability())
+	// Output:
+	// availability: 0.9959
+}
+
+// ExampleMFDFA measures the multifractality of a cascade signal.
+func ExampleMFDFA() {
+	noise, err := agingmf.LognormalCascadeNoise(13, 0.5, agingmf.NewRand(5))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := agingmf.MFDFA(noise, agingmf.DefaultMFDFAConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("multifractal:", res.Spectrum.Width() > 0.3)
+	// Output:
+	// multifractal: true
+}

@@ -1,0 +1,3 @@
+module agingmf
+
+go 1.22

@@ -1,0 +1,275 @@
+package aging
+
+import (
+	"fmt"
+	"math"
+
+	"agingmf/internal/changepoint"
+	"agingmf/internal/fractal"
+	"agingmf/internal/stats"
+)
+
+// TrendMethod selects the slope estimator of the trend baseline.
+type TrendMethod int
+
+// Supported trend estimators.
+const (
+	// TrendOLS uses ordinary least squares (Garg et al. style).
+	TrendOLS TrendMethod = iota + 1
+	// TrendSen uses the robust Theil–Sen slope (Vaidyanathan & Trivedi
+	// used the closely related seasonal Kendall/Sen methodology).
+	TrendSen
+)
+
+// String implements fmt.Stringer.
+func (m TrendMethod) String() string {
+	switch m {
+	case TrendOLS:
+		return "ols"
+	case TrendSen:
+		return "sen"
+	default:
+		return fmt.Sprintf("trend(%d)", int(m))
+	}
+}
+
+// TrendConfig parameterizes the trend-extrapolation baseline detector.
+type TrendConfig struct {
+	// Method selects the slope estimator.
+	Method TrendMethod
+	// Window is the trailing number of samples fitted.
+	Window int
+	// Stride refits every Stride samples.
+	Stride int
+	// ExhaustionLevel is the resource level whose crossing means failure
+	// (0 for free memory; the capacity for used swap).
+	ExhaustionLevel float64
+	// Rising is true when the resource grows toward exhaustion (used
+	// swap) and false when it shrinks toward it (free memory).
+	Rising bool
+	// WarnHorizon warns when the predicted samples-to-exhaustion drops
+	// below this value.
+	WarnHorizon float64
+}
+
+// DefaultTrendConfig returns the baseline settings used in E8 for a
+// free-memory series.
+func DefaultTrendConfig() TrendConfig {
+	return TrendConfig{
+		Method:          TrendSen,
+		Window:          1024,
+		Stride:          64,
+		ExhaustionLevel: 0,
+		Rising:          false,
+		WarnHorizon:     2048,
+	}
+}
+
+func (c TrendConfig) validate() error {
+	switch {
+	case c.Method != TrendOLS && c.Method != TrendSen:
+		return fmt.Errorf("trend method %d: %w", int(c.Method), ErrBadConfig)
+	case c.Window < 8:
+		return fmt.Errorf("trend window %d: %w", c.Window, ErrBadConfig)
+	case c.Stride < 1:
+		return fmt.Errorf("trend stride %d: %w", c.Stride, ErrBadConfig)
+	case c.WarnHorizon <= 0:
+		return fmt.Errorf("warn horizon %v: %w", c.WarnHorizon, ErrBadConfig)
+	}
+	return nil
+}
+
+// TrendWarning is an exhaustion warning from the trend baseline.
+type TrendWarning struct {
+	// SampleIndex is the raw sample index at which the warning fired.
+	SampleIndex int
+	// RemainingSamples is the predicted distance to exhaustion.
+	RemainingSamples float64
+	// Slope is the fitted slope (resource units per sample).
+	Slope float64
+}
+
+// TrendDetector is the measurement-based prior-work baseline: it fits a
+// line to the trailing window of the resource series and warns when the
+// extrapolated exhaustion time comes within the horizon.
+type TrendDetector struct {
+	cfg      TrendConfig
+	raw      []float64
+	xs       []float64 // reusable abscissa for the fit
+	warnings []TrendWarning
+}
+
+// NewTrendDetector creates the baseline detector.
+func NewTrendDetector(cfg TrendConfig) (*TrendDetector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("new trend detector: %w", err)
+	}
+	xs := make([]float64, cfg.Window)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	return &TrendDetector{cfg: cfg, xs: xs}, nil
+}
+
+// Add consumes one sample and reports a warning when one fires.
+func (d *TrendDetector) Add(x float64) (TrendWarning, bool) {
+	d.raw = append(d.raw, x)
+	n := len(d.raw)
+	if n < d.cfg.Window || (n-d.cfg.Window)%d.cfg.Stride != 0 {
+		return TrendWarning{}, false
+	}
+	window := d.raw[n-d.cfg.Window:]
+	var (
+		fit stats.LinearFit
+		err error
+	)
+	switch d.cfg.Method {
+	case TrendOLS:
+		fit, err = stats.OLS(d.xs, window)
+	case TrendSen:
+		fit, err = stats.TheilSen(d.xs, window)
+	}
+	if err != nil {
+		return TrendWarning{}, false
+	}
+	remaining, ok := d.remaining(fit, window[len(window)-1])
+	if !ok || remaining > d.cfg.WarnHorizon {
+		return TrendWarning{}, false
+	}
+	w := TrendWarning{
+		SampleIndex:      n - 1,
+		RemainingSamples: remaining,
+		Slope:            fit.Slope,
+	}
+	d.warnings = append(d.warnings, w)
+	return w, true
+}
+
+// remaining converts a fit into predicted samples until the exhaustion
+// level is crossed, starting from the current sample.
+func (d *TrendDetector) remaining(fit stats.LinearFit, current float64) (float64, bool) {
+	slope := fit.Slope
+	if d.cfg.Rising {
+		if slope <= 0 || current >= d.cfg.ExhaustionLevel {
+			if current >= d.cfg.ExhaustionLevel {
+				return 0, true
+			}
+			return math.Inf(1), false
+		}
+		return (d.cfg.ExhaustionLevel - current) / slope, true
+	}
+	if slope >= 0 || current <= d.cfg.ExhaustionLevel {
+		if current <= d.cfg.ExhaustionLevel {
+			return 0, true
+		}
+		return math.Inf(1), false
+	}
+	return (d.cfg.ExhaustionLevel - current) / slope, true
+}
+
+// Warnings returns all warnings fired so far (copy).
+func (d *TrendDetector) Warnings() []TrendWarning {
+	return append([]TrendWarning(nil), d.warnings...)
+}
+
+// HurstConfig parameterizes the global-Hurst baseline detector.
+type HurstConfig struct {
+	// Window is the trailing sample count per Hurst estimate.
+	Window int
+	// Stride re-estimates every Stride samples.
+	Stride int
+	// ShewhartK is the alarm limit on the H series, in sigma units.
+	ShewhartK float64
+	// Warmup is the number of H estimates used as baseline.
+	Warmup int
+}
+
+// DefaultHurstConfig returns the settings used in E8.
+func DefaultHurstConfig() HurstConfig {
+	return HurstConfig{Window: 1024, Stride: 128, ShewhartK: 3, Warmup: 8}
+}
+
+func (c HurstConfig) validate() error {
+	switch {
+	case c.Window < 128:
+		return fmt.Errorf("hurst window %d: %w (need >= 128)", c.Window, ErrBadConfig)
+	case c.Stride < 1:
+		return fmt.Errorf("hurst stride %d: %w", c.Stride, ErrBadConfig)
+	case c.ShewhartK <= 0:
+		return fmt.Errorf("hurst shewhart k %v: %w", c.ShewhartK, ErrBadConfig)
+	case c.Warmup < 2:
+		return fmt.Errorf("hurst warmup %d: %w", c.Warmup, ErrBadConfig)
+	}
+	return nil
+}
+
+// HurstAlarm reports an anomalous shift of the windowed Hurst exponent.
+type HurstAlarm struct {
+	// SampleIndex is the raw sample index at which the alarm fired.
+	SampleIndex int
+	// H is the windowed Hurst estimate that triggered the alarm.
+	H float64
+}
+
+// HurstDetector is the monofractal baseline: a DFA Hurst exponent over a
+// sliding window, monitored by a two-sided Shewhart chart. It captures
+// global self-similarity changes but, unlike the Monitor, is blind to the
+// local singularity structure.
+type HurstDetector struct {
+	cfg    HurstConfig
+	raw    []float64
+	chart  *changepoint.Shewhart
+	alarms []HurstAlarm
+	hs     []float64
+}
+
+// NewHurstDetector creates the baseline detector.
+func NewHurstDetector(cfg HurstConfig) (*HurstDetector, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("new hurst detector: %w", err)
+	}
+	chart, err := changepoint.NewShewhart(cfg.ShewhartK, cfg.Warmup, true)
+	if err != nil {
+		return nil, fmt.Errorf("new hurst detector: %w", err)
+	}
+	return &HurstDetector{cfg: cfg, chart: chart}, nil
+}
+
+// Add consumes one raw sample and reports an alarm when one fires.
+func (d *HurstDetector) Add(x float64) (HurstAlarm, bool) {
+	d.raw = append(d.raw, x)
+	n := len(d.raw)
+	if n < d.cfg.Window+1 || (n-d.cfg.Window)%d.cfg.Stride != 0 {
+		return HurstAlarm{}, false
+	}
+	window := d.raw[n-d.cfg.Window-1:]
+	// DFA on increments of the resource series.
+	inc := make([]float64, len(window)-1)
+	for i := range inc {
+		inc[i] = window[i+1] - window[i]
+	}
+	est, err := fractal.DFA(inc, 1)
+	if err != nil {
+		return HurstAlarm{}, false
+	}
+	d.hs = append(d.hs, est.H)
+	alarm, fired := d.chart.Step(est.H)
+	if !fired {
+		return HurstAlarm{}, false
+	}
+	d.chart.Reset()
+	a := HurstAlarm{SampleIndex: n - 1, H: est.H}
+	d.alarms = append(d.alarms, a)
+	_ = alarm
+	return a, true
+}
+
+// Alarms returns all alarms fired so far (copy).
+func (d *HurstDetector) Alarms() []HurstAlarm {
+	return append([]HurstAlarm(nil), d.alarms...)
+}
+
+// Estimates returns the windowed Hurst estimates computed so far (copy).
+func (d *HurstDetector) Estimates() []float64 {
+	return append([]float64(nil), d.hs...)
+}

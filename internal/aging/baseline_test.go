@@ -1,0 +1,229 @@
+package aging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"agingmf/internal/gen"
+)
+
+func TestTrendConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*TrendConfig)
+		ok     bool
+	}{
+		{name: "default", mutate: func(*TrendConfig) {}, ok: true},
+		{name: "bad method", mutate: func(c *TrendConfig) { c.Method = TrendMethod(9) }, ok: false},
+		{name: "tiny window", mutate: func(c *TrendConfig) { c.Window = 4 }, ok: false},
+		{name: "zero stride", mutate: func(c *TrendConfig) { c.Stride = 0 }, ok: false},
+		{name: "zero horizon", mutate: func(c *TrendConfig) { c.WarnHorizon = 0 }, ok: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultTrendConfig()
+			tt.mutate(&cfg)
+			_, err := NewTrendDetector(cfg)
+			if (err == nil) != tt.ok {
+				t.Errorf("err=%v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestTrendDetectorWarnsOnDecline(t *testing.T) {
+	// Free memory declining linearly from 10000 at 1 unit/sample with
+	// noise: exhaustion at sample 10000. With horizon 2000 the warning
+	// should fire around sample 8000.
+	cfg := TrendConfig{
+		Method: TrendOLS, Window: 512, Stride: 32,
+		ExhaustionLevel: 0, Rising: false, WarnHorizon: 2000,
+	}
+	det, err := NewTrendDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var first *TrendWarning
+	for i := 0; i < 9500; i++ {
+		x := 10000 - float64(i) + 40*rng.NormFloat64()
+		if w, fired := det.Add(x); fired && first == nil {
+			wc := w
+			first = &wc
+		}
+	}
+	if first == nil {
+		t.Fatal("no warning on a clean linear decline")
+	}
+	if first.SampleIndex < 7300 || first.SampleIndex > 8700 {
+		t.Errorf("first warning at %d, want ~8000", first.SampleIndex)
+	}
+	if math.Abs(first.Slope-(-1)) > 0.1 {
+		t.Errorf("slope = %v, want ~-1", first.Slope)
+	}
+	if first.RemainingSamples > 2000 || first.RemainingSamples < 1000 {
+		t.Errorf("remaining = %v", first.RemainingSamples)
+	}
+}
+
+func TestTrendDetectorRisingResource(t *testing.T) {
+	// Used swap rising toward capacity 5000 at 2 units/sample.
+	cfg := TrendConfig{
+		Method: TrendSen, Window: 256, Stride: 16,
+		ExhaustionLevel: 5000, Rising: true, WarnHorizon: 500,
+	}
+	det, err := NewTrendDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var first *TrendWarning
+	for i := 0; i < 2500; i++ {
+		x := 2*float64(i) + 20*rng.NormFloat64()
+		if w, fired := det.Add(x); fired && first == nil {
+			wc := w
+			first = &wc
+		}
+	}
+	if first == nil {
+		t.Fatal("no warning on rising swap")
+	}
+	// Exhaustion at sample 2500; horizon 500 -> warn around 2000.
+	if first.SampleIndex < 1700 || first.SampleIndex > 2300 {
+		t.Errorf("first warning at %d, want ~2000", first.SampleIndex)
+	}
+	if len(det.Warnings()) == 0 {
+		t.Error("warnings not recorded")
+	}
+}
+
+func TestTrendDetectorQuietOnFlatSignal(t *testing.T) {
+	cfg := DefaultTrendConfig()
+	cfg.Window = 256
+	det, err := NewTrendDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		if _, fired := det.Add(1e6 + 100*rng.NormFloat64()); fired {
+			t.Fatal("warning on a flat resource")
+		}
+	}
+}
+
+func TestTrendDetectorWrongDirectionSlope(t *testing.T) {
+	// Free memory INCREASING must never warn with Rising=false.
+	cfg := DefaultTrendConfig()
+	cfg.Window = 128
+	cfg.Stride = 8
+	det, err := NewTrendDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		if _, fired := det.Add(float64(i)); fired {
+			t.Fatal("warning on recovering resource")
+		}
+	}
+}
+
+func TestHurstConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*HurstConfig)
+		ok     bool
+	}{
+		{name: "default", mutate: func(*HurstConfig) {}, ok: true},
+		{name: "tiny window", mutate: func(c *HurstConfig) { c.Window = 64 }, ok: false},
+		{name: "zero stride", mutate: func(c *HurstConfig) { c.Stride = 0 }, ok: false},
+		{name: "zero k", mutate: func(c *HurstConfig) { c.ShewhartK = 0 }, ok: false},
+		{name: "warmup 1", mutate: func(c *HurstConfig) { c.Warmup = 1 }, ok: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultHurstConfig()
+			tt.mutate(&cfg)
+			_, err := NewHurstDetector(cfg)
+			if (err == nil) != tt.ok {
+				t.Errorf("err=%v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestHurstDetectorDetectsPersistenceShift(t *testing.T) {
+	// fBm built from H=0.5 increments, then from H=0.9 increments: the
+	// windowed DFA exponent of the increments jumps from 0.5 to 0.9.
+	rngA := rand.New(rand.NewSource(4))
+	rngB := rand.New(rand.NewSource(5))
+	incA, err := gen.FGNDaviesHarte(8192, 0.5, rngA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incB, err := gen.FGNDaviesHarte(8192, 0.9, rngB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	level := 0.0
+	var xs []float64
+	for _, d := range incA {
+		level += d
+		xs = append(xs, level)
+	}
+	changeAt := len(xs)
+	for _, d := range incB {
+		level += d
+		xs = append(xs, level)
+	}
+	cfg := DefaultHurstConfig()
+	det, err := NewHurstDetector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *HurstAlarm
+	for _, v := range xs {
+		if a, fired := det.Add(v); fired && first == nil {
+			ac := a
+			first = &ac
+		}
+	}
+	if first == nil {
+		t.Fatal("no alarm on a 0.5 -> 0.9 Hurst shift")
+	}
+	if first.SampleIndex < changeAt-cfg.Window {
+		t.Errorf("alarm at %d precedes the change at %d", first.SampleIndex, changeAt)
+	}
+	if first.SampleIndex > changeAt+4*cfg.Window {
+		t.Errorf("alarm at %d: delay too large", first.SampleIndex)
+	}
+	if len(det.Estimates()) == 0 {
+		t.Error("no Hurst estimates recorded")
+	}
+	if len(det.Alarms()) == 0 {
+		t.Error("alarms not recorded")
+	}
+}
+
+func TestHurstDetectorQuietOnHomogeneousSignal(t *testing.T) {
+	inc, err := gen.FGNDaviesHarte(16384, 0.6, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	level := 0.0
+	det, err := NewHurstDetector(DefaultHurstConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := 0
+	for _, d := range inc {
+		level += d
+		if _, fired := det.Add(level); fired {
+			alarms++
+		}
+	}
+	if alarms > 1 {
+		t.Errorf("%d alarms on homogeneous fBm", alarms)
+	}
+}

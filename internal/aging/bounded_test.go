@@ -1,0 +1,78 @@
+package aging
+
+import (
+	"testing"
+)
+
+func TestBoundedMonitorMatchesUnboundedExactly(t *testing.T) {
+	xs := regimeChangeSignal(t, 20000, 77)
+	unbounded, err := NewMonitor(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgB := DefaultConfig()
+	cfgB.HistoryLimit = 512
+	bounded, err := NewMonitor(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range xs {
+		ju, fu := unbounded.Add(v)
+		jb, fb := bounded.Add(v)
+		if fu != fb {
+			t.Fatalf("alarm divergence at sample %d: unbounded=%v bounded=%v", unbounded.SamplesSeen(), fu, fb)
+		}
+		if fu && (ju.SampleIndex != jb.SampleIndex || ju.Volatility != jb.Volatility) {
+			t.Fatalf("jump payload divergence: %+v vs %+v", ju, jb)
+		}
+	}
+	if unbounded.Phase() != bounded.Phase() {
+		t.Fatalf("phase divergence: %v vs %v", unbounded.Phase(), bounded.Phase())
+	}
+	if len(unbounded.Jumps()) != len(bounded.Jumps()) {
+		t.Fatalf("jump count divergence: %d vs %d", len(unbounded.Jumps()), len(bounded.Jumps()))
+	}
+}
+
+func TestBoundedMonitorMemoryStaysBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HistoryLimit = 300
+	mon, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := regimeChangeSignal(t, 30000, 78)
+	for _, v := range xs {
+		mon.Add(v)
+	}
+	// Retained histories must be within a small constant factor of the
+	// limit (the trim uses 2x hysteresis to amortize the copies).
+	rawCap := 2 * max(cfg.HistoryLimit, 2*cfg.MaxRadius+1)
+	if len(mon.raw) > rawCap {
+		t.Errorf("raw retained %d > %d", len(mon.raw), rawCap)
+	}
+	alphaCap := 2 * max(cfg.HistoryLimit, cfg.VolatilityWindow+1)
+	if len(mon.alphas) > alphaCap {
+		t.Errorf("alphas retained %d > %d", len(mon.alphas), alphaCap)
+	}
+	if len(mon.vols) > 2*cfg.HistoryLimit {
+		t.Errorf("vols retained %d > %d", len(mon.vols), 2*cfg.HistoryLimit)
+	}
+	for _, tr := range mon.trackers {
+		if len(tr.osc) > 2*cfg.MaxRadius+2 {
+			t.Errorf("tracker r=%d retained %d oscillations", tr.r, len(tr.osc))
+		}
+	}
+	// Counters keep the global view.
+	if mon.SamplesSeen() != len(xs) {
+		t.Errorf("SamplesSeen = %d, want %d", mon.SamplesSeen(), len(xs))
+	}
+}
+
+func TestBoundedMonitorValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HistoryLimit = -1
+	if _, err := NewMonitor(cfg); err == nil {
+		t.Error("negative history limit should fail")
+	}
+}

@@ -1,0 +1,64 @@
+package aging
+
+import (
+	"testing"
+)
+
+func TestDualMonitorSaveRestoreContinuesExactly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VolatilityWindow = 128
+	cfg.DetectorWarmup = 512
+	cfg.Refractory = 128
+	free := regimeChangeSignal(t, 14000, 61)
+	swap := regimeChangeSignal(t, 14000, 62)
+
+	reference, err := NewDualMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range free {
+		reference.Add(free[i], swap[i])
+	}
+
+	first, err := NewDualMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := 5000
+	for i := 0; i < split; i++ {
+		first.Add(free[i], swap[i])
+	}
+	blob, err := first.SaveState()
+	if err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	second, err := RestoreDualMonitor(blob)
+	if err != nil {
+		t.Fatalf("RestoreDualMonitor: %v", err)
+	}
+	if second.SamplesSeen() != split {
+		t.Fatalf("restored SamplesSeen = %d", second.SamplesSeen())
+	}
+	for i := split; i < len(free); i++ {
+		second.Add(free[i], swap[i])
+	}
+	refJumps := reference.Jumps()
+	gotJumps := second.Jumps()
+	if len(refJumps) != len(gotJumps) {
+		t.Fatalf("jump count: %d vs %d", len(refJumps), len(gotJumps))
+	}
+	for i := range refJumps {
+		if refJumps[i] != gotJumps[i] {
+			t.Fatalf("jump %d: %+v vs %+v", i, refJumps[i], gotJumps[i])
+		}
+	}
+	if reference.Phase() != second.Phase() {
+		t.Fatalf("phase: %v vs %v", reference.Phase(), second.Phase())
+	}
+}
+
+func TestRestoreDualMonitorGarbage(t *testing.T) {
+	if _, err := RestoreDualMonitor([]byte("nope")); err == nil {
+		t.Error("garbage should fail")
+	}
+}

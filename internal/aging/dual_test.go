@@ -1,0 +1,83 @@
+package aging
+
+import (
+	"testing"
+)
+
+func TestCounterKindString(t *testing.T) {
+	if CounterFreeMemory.String() != "free-memory" || CounterUsedSwap.String() != "used-swap" {
+		t.Error("counter kind strings wrong")
+	}
+	if CounterKind(0).String() == "" {
+		t.Error("unknown counter kind string empty")
+	}
+}
+
+func TestDualMonitorPhaseIsMaxOfCounters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.VolatilityWindow = 64
+	cfg.DetectorWarmup = 128
+	dm, err := NewDualMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Phase() != PhaseHealthy {
+		t.Errorf("initial phase = %v", dm.Phase())
+	}
+	// Free memory: flat ramp (never jumps). Used swap: flat zero then a
+	// regularity change (constant -> noisy), which must alarm via the
+	// constant-baseline path of the Shewhart chart.
+	rng := regimeChangeSignal(t, 6000, 99)
+	level := 0.0
+	var jumps []DualJump
+	for i := 0; i < 6000; i++ {
+		level += 1
+		swap := 0.0
+		if i >= 3000 {
+			swap = rng[i] // bursty late regime on the swap counter
+		}
+		jumps = append(jumps, dm.Add(level, swap)...)
+	}
+	if len(jumps) == 0 {
+		t.Fatal("dual monitor detected nothing")
+	}
+	for _, j := range jumps {
+		if j.Counter != CounterUsedSwap {
+			t.Errorf("jump attributed to %v, want used-swap", j.Counter)
+		}
+	}
+	if dm.Phase() == PhaseHealthy {
+		t.Error("phase still healthy after jumps")
+	}
+	if got := len(dm.Jumps()); got != len(jumps) {
+		t.Errorf("Jumps() has %d entries, want %d", got, len(jumps))
+	}
+	if dm.SamplesSeen() != 6000 {
+		t.Errorf("samples seen = %d", dm.SamplesSeen())
+	}
+	if dm.FreeMonitor().Phase() != PhaseHealthy {
+		t.Errorf("free monitor phase = %v, want healthy", dm.FreeMonitor().Phase())
+	}
+	if dm.SwapMonitor().Phase() == PhaseHealthy {
+		t.Error("swap monitor phase still healthy")
+	}
+}
+
+func TestDualMonitorBadConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MinRadius = 0
+	if _, err := NewDualMonitor(cfg); err == nil {
+		t.Error("bad config should fail")
+	}
+}
+
+func TestDualMonitorConfigEcho(t *testing.T) {
+	cfg := DefaultConfig()
+	dm, err := NewDualMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm.Config().VolatilityWindow != cfg.VolatilityWindow {
+		t.Error("config not echoed")
+	}
+}

@@ -1,0 +1,71 @@
+package aging
+
+// idxVal is one deque entry of the sliding-extrema tracker.
+type idxVal struct {
+	idx int
+	v   float64
+}
+
+// slidingExtrema incrementally tracks max-min over centered windows of
+// one radius of the raw sample stream, using monotonic deques: amortized
+// O(1) per sample instead of rescanning the window. The oscillation for
+// center c becomes available once sample c+r has been consumed. Entries
+// are self-contained (index + value), so the tracker needs no access to
+// the raw history and supports bounded-memory operation via trim.
+type slidingExtrema struct {
+	r, w int
+	maxD []idxVal // values decreasing
+	minD []idxVal // values increasing
+	osc  []float64
+	// oscBase is the center index of osc[0].
+	oscBase int
+}
+
+func newSlidingExtrema(r int) *slidingExtrema {
+	return &slidingExtrema{r: r, w: 2*r + 1, oscBase: r}
+}
+
+// push consumes sample (idx, x); idx must increase by one per call. It
+// records the oscillation of the newly completed window, if any.
+func (s *slidingExtrema) push(idx int, x float64) {
+	for len(s.maxD) > 0 && s.maxD[len(s.maxD)-1].v <= x {
+		s.maxD = s.maxD[:len(s.maxD)-1]
+	}
+	s.maxD = append(s.maxD, idxVal{idx: idx, v: x})
+	for len(s.minD) > 0 && s.minD[len(s.minD)-1].v >= x {
+		s.minD = s.minD[:len(s.minD)-1]
+	}
+	s.minD = append(s.minD, idxVal{idx: idx, v: x})
+	// Evict entries that fell out of the window ending at idx.
+	lo := idx - s.w + 1
+	for s.maxD[0].idx < lo {
+		s.maxD = s.maxD[1:]
+	}
+	for s.minD[0].idx < lo {
+		s.minD = s.minD[1:]
+	}
+	if idx >= s.w-1 {
+		// Window [idx-w+1, idx] is complete; center idx-r.
+		s.osc = append(s.osc, s.maxD[0].v-s.minD[0].v)
+	}
+}
+
+// at returns the oscillation for center t (t >= r, t+r consumed, and t
+// not trimmed away).
+func (s *slidingExtrema) at(t int) float64 {
+	return s.osc[t-s.oscBase]
+}
+
+// trim discards oscillations for centers below minCenter, bounding the
+// tracker's memory.
+func (s *slidingExtrema) trim(minCenter int) {
+	drop := minCenter - s.oscBase
+	if drop <= 0 {
+		return
+	}
+	if drop > len(s.osc) {
+		drop = len(s.osc)
+	}
+	s.osc = append(s.osc[:0], s.osc[drop:]...)
+	s.oscBase += drop
+}

@@ -1,0 +1,73 @@
+package aging
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSlidingExtremaMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	raw := make([]float64, 0, 500)
+	tr := newSlidingExtrema(7)
+	for i := 0; i < 500; i++ {
+		raw = append(raw, rng.NormFloat64())
+		tr.push(i, raw[i])
+	}
+	for c := 7; c+7 < 500; c++ {
+		lo, hi := raw[c-7], raw[c-7]
+		for k := c - 7; k <= c+7; k++ {
+			if raw[k] < lo {
+				lo = raw[k]
+			}
+			if raw[k] > hi {
+				hi = raw[k]
+			}
+		}
+		if got := tr.at(c); got != hi-lo {
+			t.Fatalf("osc at %d = %v, naive %v", c, got, hi-lo)
+		}
+	}
+}
+
+func TestPointAlphaMatchesScanReference(t *testing.T) {
+	// The incremental tracker must reproduce the direct-scan alpha exactly
+	// over the valid evaluation range.
+	cfg := DefaultConfig()
+	mon, err := NewMonitor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	level := 0.0
+	n := 3000
+	for i := 0; i < n; i++ {
+		// Mixed smooth/rough input exercises both branches.
+		if (i/100)%2 == 0 {
+			level += 0.01
+		} else {
+			level += rng.NormFloat64()
+		}
+		mon.Add(level)
+	}
+	for t0 := cfg.MaxRadius; t0 < n-cfg.MaxRadius; t0 += 13 {
+		fast := mon.pointAlpha(t0)
+		slow := mon.pointAlphaScan(t0)
+		if fast != slow {
+			t.Fatalf("alpha mismatch at %d: incremental %v, scan %v", t0, fast, slow)
+		}
+	}
+}
+
+func TestSlidingExtremaConstantInput(t *testing.T) {
+	raw := make([]float64, 100)
+	tr := newSlidingExtrema(3)
+	for i := range raw {
+		raw[i] = 5
+		tr.push(i, raw[i])
+	}
+	for c := 3; c+3 < 100; c++ {
+		if got := tr.at(c); got != 0 {
+			t.Fatalf("constant oscillation at %d = %v", c, got)
+		}
+	}
+}

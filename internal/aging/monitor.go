@@ -1,0 +1,566 @@
+// Package aging implements the paper's primary contribution: online
+// detection of software aging from the multifractal structure of memory
+// resource time series. The Monitor consumes one counter sample at a time
+// (available memory or used swap), maintains the local Hölder exponent
+// trajectory of the stream, tracks the moving-window volatility (second
+// moment) of that trajectory, and raises jump alarms when the volatility
+// shifts abruptly. Following the paper's observation, the first jump marks
+// the onset of aging and a subsequent jump signals that failure is
+// imminent.
+//
+// The package also provides the prior-work baselines the method is
+// compared against in experiment E8: parametric trend extrapolation of
+// resource exhaustion (Garg et al.; Vaidyanathan & Trivedi) and a global
+// Hurst-exponent detector.
+package aging
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"agingmf/internal/changepoint"
+	"agingmf/internal/series"
+	"agingmf/internal/stats"
+)
+
+// Errors returned by the package.
+var (
+	// ErrBadConfig reports invalid monitor parameters.
+	ErrBadConfig = errors.New("aging: bad configuration")
+	// ErrNotReady means not enough samples have been consumed yet.
+	ErrNotReady = errors.New("aging: not enough samples yet")
+)
+
+// Phase is the monitor's assessment of the system's aging state.
+type Phase int
+
+// Aging phases, in order.
+const (
+	// PhaseHealthy means no volatility jump observed yet.
+	PhaseHealthy Phase = iota + 1
+	// PhaseAgingOnset means one jump was observed: aging has set in.
+	PhaseAgingOnset
+	// PhaseCrashImminent means a second (or later) jump was observed.
+	PhaseCrashImminent
+)
+
+// String implements fmt.Stringer.
+func (p Phase) String() string {
+	switch p {
+	case PhaseHealthy:
+		return "healthy"
+	case PhaseAgingOnset:
+		return "aging-onset"
+	case PhaseCrashImminent:
+		return "crash-imminent"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// DetectorKind selects the jump detector applied to the volatility series.
+type DetectorKind int
+
+// Supported detectors.
+const (
+	// DetectShewhart uses a self-calibrating Shewhart chart.
+	DetectShewhart DetectorKind = iota + 1
+	// DetectCUSUM uses a one-sided CUSUM.
+	DetectCUSUM
+	// DetectPageHinkley uses the Page–Hinkley test.
+	DetectPageHinkley
+	// DetectEWMA uses an EWMA control chart (sensitive to small
+	// sustained shifts, between Shewhart and CUSUM).
+	DetectEWMA
+)
+
+// String implements fmt.Stringer.
+func (k DetectorKind) String() string {
+	switch k {
+	case DetectShewhart:
+		return "shewhart"
+	case DetectCUSUM:
+		return "cusum"
+	case DetectPageHinkley:
+		return "page-hinkley"
+	case DetectEWMA:
+		return "ewma"
+	default:
+		return fmt.Sprintf("detector(%d)", int(k))
+	}
+}
+
+// Config parameterizes the Monitor.
+type Config struct {
+	// MinRadius and MaxRadius define the dyadic window ladder of the
+	// pointwise Hölder estimator.
+	MinRadius int
+	MaxRadius int
+	// VolatilityWindow is the moving window (in Hölder samples) whose
+	// standard deviation is tracked for jumps.
+	VolatilityWindow int
+	// Detector selects the jump detector.
+	Detector DetectorKind
+	// ShewhartK is the control limit (sigma units) for DetectShewhart.
+	ShewhartK float64
+	// DetectorWarmup is the baseline-estimation length of the detector,
+	// in volatility samples.
+	DetectorWarmup int
+	// CUSUMDrift and CUSUMThreshold configure DetectCUSUM. The volatility
+	// stream is standardized against the warmup baseline first, so these
+	// are in baseline-sigma units.
+	CUSUMDrift     float64
+	CUSUMThreshold float64
+	// PHDelta and PHLambda configure DetectPageHinkley (also in
+	// baseline-sigma units of the standardized volatility stream).
+	PHDelta  float64
+	PHLambda float64
+	// EWMALambda and EWMAK configure DetectEWMA (smoothing factor and
+	// control limit in EWMA-sigma units; the chart self-calibrates).
+	EWMALambda float64
+	EWMAK      float64
+	// Refractory suppresses further jump alarms for this many volatility
+	// samples after each alarm, so one physical change is not double
+	// counted.
+	Refractory int
+	// HistoryLimit, when positive, bounds the monitor's memory: only the
+	// most recent HistoryLimit entries of the raw/Hölder/volatility
+	// histories are retained (never less than the pipeline itself needs).
+	// Detection behaviour is unchanged; only the replayable history
+	// shrinks. Zero keeps everything (offline analysis).
+	HistoryLimit int
+}
+
+// DefaultConfig returns the monitor settings used throughout the
+// experiments (Shewhart chart at 4 sigma over a 256-sample volatility
+// window of an oscillation Hölder trajectory with radii 2..32).
+func DefaultConfig() Config {
+	// The volatility stream is a moving statistic, hence strongly
+	// autocorrelated: the detector baseline must span several independent
+	// windows (warmup >> window) or its variance is underestimated and
+	// false alarms follow.
+	return Config{
+		MinRadius:        2,
+		MaxRadius:        32,
+		VolatilityWindow: 256,
+		Detector:         DetectShewhart,
+		ShewhartK:        4,
+		DetectorWarmup:   1024,
+		CUSUMDrift:       0.5,
+		CUSUMThreshold:   100,
+		PHDelta:          0.5,
+		PHLambda:         250,
+		EWMALambda:       0.05,
+		EWMAK:            10,
+		Refractory:       256,
+	}
+}
+
+func (c Config) validate() error {
+	switch {
+	case c.MinRadius < 1:
+		return fmt.Errorf("min radius %d: %w", c.MinRadius, ErrBadConfig)
+	case c.MaxRadius <= c.MinRadius:
+		return fmt.Errorf("max radius %d <= min radius %d: %w", c.MaxRadius, c.MinRadius, ErrBadConfig)
+	case c.VolatilityWindow < 8:
+		return fmt.Errorf("volatility window %d: %w (need >= 8)", c.VolatilityWindow, ErrBadConfig)
+	case c.DetectorWarmup < 2:
+		return fmt.Errorf("detector warmup %d: %w", c.DetectorWarmup, ErrBadConfig)
+	case c.Refractory < 0:
+		return fmt.Errorf("refractory %d: %w", c.Refractory, ErrBadConfig)
+	case c.HistoryLimit < 0:
+		return fmt.Errorf("history limit %d: %w", c.HistoryLimit, ErrBadConfig)
+	}
+	switch c.Detector {
+	case DetectShewhart:
+		if c.ShewhartK <= 0 {
+			return fmt.Errorf("shewhart k %v: %w", c.ShewhartK, ErrBadConfig)
+		}
+	case DetectCUSUM:
+		if c.CUSUMDrift < 0 || c.CUSUMThreshold <= 0 {
+			return fmt.Errorf("cusum %v/%v: %w", c.CUSUMDrift, c.CUSUMThreshold, ErrBadConfig)
+		}
+	case DetectPageHinkley:
+		if c.PHDelta < 0 || c.PHLambda <= 0 {
+			return fmt.Errorf("page-hinkley %v/%v: %w", c.PHDelta, c.PHLambda, ErrBadConfig)
+		}
+	case DetectEWMA:
+		if c.EWMALambda <= 0 || c.EWMALambda > 1 || c.EWMAK <= 0 {
+			return fmt.Errorf("ewma %v/%v: %w", c.EWMALambda, c.EWMAK, ErrBadConfig)
+		}
+	default:
+		return fmt.Errorf("detector %d: %w", int(c.Detector), ErrBadConfig)
+	}
+	return nil
+}
+
+func (c Config) newDetector() (changepoint.Detector, error) {
+	switch c.Detector {
+	case DetectShewhart:
+		return changepoint.NewShewhart(c.ShewhartK, c.DetectorWarmup, false)
+	case DetectCUSUM:
+		// Warmup 1: the monitor standardizes the stream itself, so the
+		// in-control mean is 0 by construction.
+		return changepoint.NewCUSUM(c.CUSUMDrift, c.CUSUMThreshold, 1)
+	case DetectPageHinkley:
+		return changepoint.NewPageHinkley(c.PHDelta, c.PHLambda)
+	case DetectEWMA:
+		return changepoint.NewEWMAChart(c.EWMALambda, c.EWMAK, c.DetectorWarmup, false)
+	default:
+		return nil, fmt.Errorf("detector %d: %w", int(c.Detector), ErrBadConfig)
+	}
+}
+
+// standardizes reports whether the monitor must z-score the volatility
+// stream before the detector sees it (CUSUM and Page–Hinkley thresholds
+// are defined in baseline-sigma units; the Shewhart chart self-calibrates).
+func (c Config) standardizes() bool {
+	return c.Detector == DetectCUSUM || c.Detector == DetectPageHinkley
+}
+
+// Jump is a detected volatility jump.
+type Jump struct {
+	// SampleIndex is the index of the raw counter sample at which the
+	// alarm fired (accounting for the estimator's look-back lag).
+	SampleIndex int
+	// VolIndex is the index within the volatility series.
+	VolIndex int
+	// Volatility is the moving-std value that triggered the alarm.
+	Volatility float64
+	// Score is the detector statistic at the alarm.
+	Score float64
+}
+
+// Monitor is the online aging detector. Feed it one counter sample at a
+// time with Add; inspect Phase, Jumps and the derived series at any time.
+// Not safe for concurrent use.
+type Monitor struct {
+	cfg      Config
+	detector changepoint.Detector
+
+	seen       int       // total samples consumed (indices are absolute)
+	alphasSeen int       // total Hölder estimates produced
+	volsSeen   int       // total volatility values produced
+	raw        []float64 // counter samples (tail only in bounded mode)
+	alphas     []float64 // Hölder trajectory (lagging MaxRadius behind raw)
+	vols       []float64 // moving std of alphas
+
+	volSum, volSumSq float64 // running sums over the volatility window
+
+	// Warmup standardization state for CUSUM/Page–Hinkley.
+	calN             int
+	calSum, calSqSum float64
+	calMean, calStd  float64
+	calibrated       bool
+
+	jumps      []Jump
+	refractory int
+
+	logR     []float64 // cached log radii ladder
+	rs       []int     // cached radii
+	trackers []*slidingExtrema
+}
+
+// NewMonitor creates a Monitor with the given configuration.
+func NewMonitor(cfg Config) (*Monitor, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("new monitor: %w", err)
+	}
+	det, err := cfg.newDetector()
+	if err != nil {
+		return nil, fmt.Errorf("new monitor: %w", err)
+	}
+	m := &Monitor{cfg: cfg, detector: det}
+	for r := cfg.MinRadius; r <= cfg.MaxRadius; r *= 2 {
+		m.rs = append(m.rs, r)
+		m.logR = append(m.logR, math.Log(float64(r)))
+		m.trackers = append(m.trackers, newSlidingExtrema(r))
+	}
+	if len(m.rs) < 3 {
+		return nil, fmt.Errorf("new monitor: radius ladder %v too short: %w", m.rs, ErrBadConfig)
+	}
+	return m, nil
+}
+
+// Config returns the monitor configuration.
+func (m *Monitor) Config() Config { return m.cfg }
+
+// SamplesSeen returns how many raw samples have been consumed.
+func (m *Monitor) SamplesSeen() int { return m.seen }
+
+// Lag returns the structural delay, in raw samples, between a sample
+// arriving and the earliest alarm it can contribute to: the Hölder
+// estimator needs MaxRadius of future context.
+func (m *Monitor) Lag() int { return m.cfg.MaxRadius }
+
+// Add consumes one counter sample. It returns a Jump and true when this
+// sample completes evidence of a volatility jump.
+func (m *Monitor) Add(x float64) (Jump, bool) {
+	m.raw = append(m.raw, x)
+	idx := m.seen
+	m.seen++
+	for _, tr := range m.trackers {
+		tr.push(idx, x)
+	}
+	defer m.trimHistory()
+	// The centered Hölder estimate at index t requires samples up to
+	// t+MaxRadius, so when sample n-1 arrives we can evaluate t = n-1-R.
+	t := m.seen - 1 - m.cfg.MaxRadius
+	if t < m.cfg.MaxRadius {
+		return Jump{}, false
+	}
+	alpha := m.pointAlpha(t)
+	m.alphas = append(m.alphas, alpha)
+	m.alphasSeen++
+	// Update the moving volatility window. The retained alphas tail is
+	// always at least VolatilityWindow+1 long (see trimHistory), so the
+	// end-relative access below is valid in bounded mode too.
+	w := m.cfg.VolatilityWindow
+	m.volSum += alpha
+	m.volSumSq += alpha * alpha
+	if m.alphasSeen > w {
+		old := m.alphas[len(m.alphas)-w-1]
+		m.volSum -= old
+		m.volSumSq -= old * old
+	}
+	if m.alphasSeen < w {
+		return Jump{}, false
+	}
+	fw := float64(w)
+	mean := m.volSum / fw
+	v := m.volSumSq/fw - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	vol := math.Sqrt(v)
+	m.vols = append(m.vols, vol)
+	m.volsSeen++
+	stat := vol
+	if m.cfg.standardizes() {
+		var ok bool
+		if stat, ok = m.standardize(vol); !ok {
+			return Jump{}, false // still calibrating the baseline
+		}
+	}
+	if m.refractory > 0 {
+		m.refractory--
+		// Keep the detector's baseline in sync without alarming.
+		_, _ = m.detector.Step(stat)
+		return Jump{}, false
+	}
+	alarm, fired := m.detector.Step(stat)
+	if !fired {
+		return Jump{}, false
+	}
+	j := Jump{
+		SampleIndex: m.seen - 1,
+		VolIndex:    m.volsSeen - 1,
+		Volatility:  vol,
+		Score:       alarm.Score,
+	}
+	m.jumps = append(m.jumps, j)
+	m.refractory = m.cfg.Refractory
+	m.detector.Reset()
+	// Recalibrate the standardization baseline for the post-jump regime.
+	m.calN, m.calSum, m.calSqSum = 0, 0, 0
+	m.calibrated = false
+	return j, true
+}
+
+// standardize z-scores a volatility value against the warmup baseline.
+// It returns ok=false while the baseline is still being estimated.
+func (m *Monitor) standardize(vol float64) (float64, bool) {
+	if !m.calibrated {
+		m.calN++
+		m.calSum += vol
+		m.calSqSum += vol * vol
+		if m.calN < m.cfg.DetectorWarmup {
+			return 0, false
+		}
+		m.calMean = m.calSum / float64(m.calN)
+		v := m.calSqSum/float64(m.calN) - m.calMean*m.calMean
+		if v < 0 {
+			v = 0
+		}
+		m.calStd = math.Sqrt(v)
+		if m.calStd == 0 {
+			m.calStd = 1e-12
+		}
+		m.calibrated = true
+		return 0, false
+	}
+	return (vol - m.calMean) / m.calStd, true
+}
+
+// pointAlpha computes the oscillation Hölder exponent at raw index t from
+// the incrementally maintained window extrema. Valid for t in
+// [MaxRadius, n-1-MaxRadius], which is exactly where Add evaluates it.
+func (m *Monitor) pointAlpha(t int) float64 {
+	logO := make([]float64, 0, len(m.rs))
+	logR := make([]float64, 0, len(m.rs))
+	for i, tr := range m.trackers {
+		osc := tr.at(t)
+		if osc <= 0 {
+			return 1 // locally constant: maximally smooth
+		}
+		logO = append(logO, math.Log(osc))
+		logR = append(logR, m.logR[i])
+	}
+	return fitAlpha(logR, logO)
+}
+
+// pointAlphaScan is the direct-scan reference implementation of
+// pointAlpha, kept for the equivalence tests that guard the incremental
+// tracker.
+func (m *Monitor) pointAlphaScan(t int) float64 {
+	logO := make([]float64, 0, len(m.rs))
+	logR := make([]float64, 0, len(m.rs))
+	for i, r := range m.rs {
+		lo, hi := t-r, t+r
+		if lo < 0 {
+			lo = 0
+		}
+		if hi >= len(m.raw) {
+			hi = len(m.raw) - 1
+		}
+		minV, maxV := math.Inf(1), math.Inf(-1)
+		for k := lo; k <= hi; k++ {
+			v := m.raw[k]
+			if v < minV {
+				minV = v
+			}
+			if v > maxV {
+				maxV = v
+			}
+		}
+		osc := maxV - minV
+		if osc <= 0 {
+			return 1
+		}
+		logO = append(logO, math.Log(osc))
+		logR = append(logR, m.logR[i])
+	}
+	return fitAlpha(logR, logO)
+}
+
+// fitAlpha converts the log-log points into a clamped Hölder estimate.
+func fitAlpha(logR, logO []float64) float64 {
+	fit, err := stats.OLS(logR, logO)
+	if err != nil {
+		return 1
+	}
+	a := fit.Slope
+	if math.IsNaN(a) {
+		return 1
+	}
+	if a < 0 {
+		return 0
+	}
+	if a > 2 {
+		return 2
+	}
+	return a
+}
+
+// Phase returns the monitor's current aging assessment.
+func (m *Monitor) Phase() Phase {
+	switch {
+	case len(m.jumps) == 0:
+		return PhaseHealthy
+	case len(m.jumps) == 1:
+		return PhaseAgingOnset
+	default:
+		return PhaseCrashImminent
+	}
+}
+
+// Jumps returns all detected volatility jumps (copy).
+func (m *Monitor) Jumps() []Jump {
+	return append([]Jump(nil), m.jumps...)
+}
+
+// HolderValues returns the Hölder trajectory computed so far (copy). In
+// bounded mode (HistoryLimit > 0) only the retained tail is returned.
+func (m *Monitor) HolderValues() []float64 {
+	return append([]float64(nil), m.alphas...)
+}
+
+// VolatilityValues returns the moving-std series computed so far (copy).
+// In bounded mode (HistoryLimit > 0) only the retained tail is returned.
+func (m *Monitor) VolatilityValues() []float64 {
+	return append([]float64(nil), m.vols...)
+}
+
+// trimHistory enforces the configured memory bound after each sample.
+// Internal floors guarantee the pipeline keeps everything it still needs:
+// the volatility recursion reads alphas up to VolatilityWindow back, and
+// the trackers' pending oscillations span at most MaxRadius centers.
+func (m *Monitor) trimHistory() {
+	limit := m.cfg.HistoryLimit
+	if limit == 0 {
+		return
+	}
+	if keep := max(limit, 2*m.cfg.MaxRadius+1); len(m.raw) > 2*keep {
+		m.raw = append(m.raw[:0], m.raw[len(m.raw)-keep:]...)
+	}
+	if keep := max(limit, m.cfg.VolatilityWindow+1); len(m.alphas) > 2*keep {
+		m.alphas = append(m.alphas[:0], m.alphas[len(m.alphas)-keep:]...)
+	}
+	if len(m.vols) > 2*limit {
+		m.vols = append(m.vols[:0], m.vols[len(m.vols)-limit:]...)
+	}
+	// Oscillations for centers below the next evaluation point are never
+	// read again.
+	if next := m.seen - m.cfg.MaxRadius; next > 0 {
+		for _, tr := range m.trackers {
+			tr.trim(next)
+		}
+	}
+}
+
+// AnalysisResult is the offline batch analysis of a complete trace.
+type AnalysisResult struct {
+	// Holder is the pointwise Hölder trajectory.
+	Holder series.Series
+	// Volatility is the moving standard deviation of Holder.
+	Volatility series.Series
+	// Jumps are the detected volatility jumps.
+	Jumps []Jump
+	// FinalPhase is the phase after consuming the whole trace.
+	FinalPhase Phase
+}
+
+// Analyze runs the monitor over a complete counter series and returns the
+// derived series with timing metadata aligned to the input.
+func Analyze(s series.Series, cfg Config) (AnalysisResult, error) {
+	mon, err := NewMonitor(cfg)
+	if err != nil {
+		return AnalysisResult{}, fmt.Errorf("analyze %q: %w", s.Name, err)
+	}
+	if s.Len() < 2*cfg.MaxRadius+cfg.VolatilityWindow+cfg.DetectorWarmup {
+		return AnalysisResult{}, fmt.Errorf("analyze %q: %d samples: %w", s.Name, s.Len(), ErrNotReady)
+	}
+	for _, v := range s.Values {
+		mon.Add(v)
+	}
+	res := AnalysisResult{
+		Jumps:      mon.Jumps(),
+		FinalPhase: mon.Phase(),
+	}
+	res.Holder = series.Series{
+		Name:   s.Name + ".holder",
+		Start:  s.TimeAt(cfg.MaxRadius),
+		Step:   s.Step,
+		Values: mon.HolderValues(),
+	}
+	// The first volatility value summarizes alphas [0, w-1], i.e. raw
+	// samples up to MaxRadius + w - 1.
+	res.Volatility = series.Series{
+		Name:   s.Name + ".holdervol",
+		Start:  s.TimeAt(cfg.MaxRadius + cfg.VolatilityWindow - 1),
+		Step:   s.Step,
+		Values: mon.VolatilityValues(),
+	}
+	return res, nil
+}

@@ -1,0 +1,176 @@
+package aging
+
+import (
+	"bytes"
+	"encoding"
+	"encoding/gob"
+	"fmt"
+)
+
+// Monitor state persistence: a long-running agent can SaveState before a
+// restart and resume with RestoreMonitor without losing its warmup,
+// baselines or jump history. The snapshot is self-describing (it embeds
+// the configuration).
+
+// monitorState is the exported gob mirror of Monitor.
+type monitorState struct {
+	Config        Config
+	DetectorState []byte
+
+	Seen       int
+	AlphasSeen int
+	VolsSeen   int
+	Raw        []float64
+	Alphas     []float64
+	Vols       []float64
+
+	VolSum   float64
+	VolSumSq float64
+
+	CalN       int
+	CalSum     float64
+	CalSqSum   float64
+	CalMean    float64
+	CalStd     float64
+	Calibrated bool
+
+	Jumps      []Jump
+	Refractory int
+
+	Trackers []trackerState
+}
+
+// trackerState is the exported gob mirror of slidingExtrema.
+type trackerState struct {
+	R       int
+	MaxIdx  []int
+	MaxVal  []float64
+	MinIdx  []int
+	MinVal  []float64
+	Osc     []float64
+	OscBase int
+}
+
+// gobEncode serializes any exported-field value.
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("aging: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// gobDecode is the inverse of gobEncode.
+func gobDecode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("aging: decode: %w", err)
+	}
+	return nil
+}
+
+// SaveState serializes the monitor, including the jump detector's
+// internal state.
+func (m *Monitor) SaveState() ([]byte, error) {
+	marshaler, ok := m.detector.(encoding.BinaryMarshaler)
+	if !ok {
+		return nil, fmt.Errorf("save state: detector %T is not serializable", m.detector)
+	}
+	detState, err := marshaler.MarshalBinary()
+	if err != nil {
+		return nil, fmt.Errorf("save state: %w", err)
+	}
+	st := monitorState{
+		Config:        m.cfg,
+		DetectorState: detState,
+		Seen:          m.seen,
+		AlphasSeen:    m.alphasSeen,
+		VolsSeen:      m.volsSeen,
+		Raw:           m.raw,
+		Alphas:        m.alphas,
+		Vols:          m.vols,
+		VolSum:        m.volSum,
+		VolSumSq:      m.volSumSq,
+		CalN:          m.calN,
+		CalSum:        m.calSum,
+		CalSqSum:      m.calSqSum,
+		CalMean:       m.calMean,
+		CalStd:        m.calStd,
+		Calibrated:    m.calibrated,
+		Jumps:         m.jumps,
+		Refractory:    m.refractory,
+	}
+	for _, tr := range m.trackers {
+		ts := trackerState{R: tr.r, Osc: tr.osc, OscBase: tr.oscBase}
+		for _, e := range tr.maxD {
+			ts.MaxIdx = append(ts.MaxIdx, e.idx)
+			ts.MaxVal = append(ts.MaxVal, e.v)
+		}
+		for _, e := range tr.minD {
+			ts.MinIdx = append(ts.MinIdx, e.idx)
+			ts.MinVal = append(ts.MinVal, e.v)
+		}
+		st.Trackers = append(st.Trackers, ts)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("save state: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreMonitor reconstructs a monitor from a SaveState snapshot. The
+// restored monitor continues exactly where the saved one stopped.
+func RestoreMonitor(data []byte) (*Monitor, error) {
+	var st monitorState
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("restore monitor: decode: %w", err)
+	}
+	m, err := NewMonitor(st.Config)
+	if err != nil {
+		return nil, fmt.Errorf("restore monitor: %w", err)
+	}
+	unmarshaler, ok := m.detector.(encoding.BinaryUnmarshaler)
+	if !ok {
+		return nil, fmt.Errorf("restore monitor: detector %T is not serializable", m.detector)
+	}
+	if err := unmarshaler.UnmarshalBinary(st.DetectorState); err != nil {
+		return nil, fmt.Errorf("restore monitor: %w", err)
+	}
+	m.seen = st.Seen
+	m.alphasSeen = st.AlphasSeen
+	m.volsSeen = st.VolsSeen
+	m.raw = st.Raw
+	m.alphas = st.Alphas
+	m.vols = st.Vols
+	m.volSum = st.VolSum
+	m.volSumSq = st.VolSumSq
+	m.calN = st.CalN
+	m.calSum = st.CalSum
+	m.calSqSum = st.CalSqSum
+	m.calMean = st.CalMean
+	m.calStd = st.CalStd
+	m.calibrated = st.Calibrated
+	m.jumps = st.Jumps
+	m.refractory = st.Refractory
+	if len(st.Trackers) != len(m.trackers) {
+		return nil, fmt.Errorf("restore monitor: %d trackers in snapshot, config needs %d",
+			len(st.Trackers), len(m.trackers))
+	}
+	for i, ts := range st.Trackers {
+		tr := m.trackers[i]
+		if tr.r != ts.R {
+			return nil, fmt.Errorf("restore monitor: tracker %d radius %d != %d", i, ts.R, tr.r)
+		}
+		tr.osc = ts.Osc
+		tr.oscBase = ts.OscBase
+		tr.maxD = tr.maxD[:0]
+		for j := range ts.MaxIdx {
+			tr.maxD = append(tr.maxD, idxVal{idx: ts.MaxIdx[j], v: ts.MaxVal[j]})
+		}
+		tr.minD = tr.minD[:0]
+		for j := range ts.MinIdx {
+			tr.minD = append(tr.minD, idxVal{idx: ts.MinIdx[j], v: ts.MinVal[j]})
+		}
+	}
+	return m, nil
+}

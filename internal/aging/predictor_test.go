@@ -1,0 +1,154 @@
+package aging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// agingScenario synthesizes a (free, swap) counter pair: a calm declining
+// phase, then a rough paging phase where swap climbs toward capacity.
+func agingScenario(seed int64, n int, swapCap float64) (free, swap []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	free = make([]float64, n)
+	swap = make([]float64, n)
+	level := 1e6
+	onset := n / 2
+	for i := 0; i < n; i++ {
+		if i < onset {
+			level -= 50 // calm linear leak
+			free[i] = level + 10*rng.NormFloat64()
+			swap[i] = 0
+		} else {
+			// Paging regime: bursty free memory, swap filling.
+			if (i/32)%2 == 0 {
+				free[i] = level + 2e4*rng.NormFloat64()
+			} else {
+				level -= 60
+				free[i] = level
+			}
+			swap[i] = swapCap * float64(i-onset) / float64(n-onset) * 0.9
+		}
+	}
+	return free, swap
+}
+
+func TestPredictorConfigValidation(t *testing.T) {
+	good := DefaultPredictorConfig(1e6)
+	if _, err := NewCrashPredictor(good); err != nil {
+		t.Fatalf("good config: %v", err)
+	}
+	bad := good
+	bad.TrendWindow = 4
+	if _, err := NewCrashPredictor(bad); err == nil {
+		t.Error("tiny trend window should fail")
+	}
+	bad = good
+	bad.SwapCapacityBytes = -1
+	if _, err := NewCrashPredictor(bad); err == nil {
+		t.Error("negative swap capacity should fail")
+	}
+	bad = good
+	bad.MinPhase = PhaseHealthy
+	if _, err := NewCrashPredictor(bad); err == nil {
+		t.Error("healthy min phase should fail")
+	}
+	bad = good
+	bad.Monitor.MinRadius = 0
+	if _, err := NewCrashPredictor(bad); err == nil {
+		t.Error("bad monitor config should fail")
+	}
+}
+
+func TestPredictorSilentWhileHealthy(t *testing.T) {
+	cfg := DefaultPredictorConfig(1e6)
+	cfg.Monitor.VolatilityWindow = 128
+	cfg.Monitor.DetectorWarmup = 512
+	p, err := NewCrashPredictor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clean linear decline, no regime change: trend-only detectors would
+	// already extrapolate doom here; the hybrid stays silent.
+	rng := rand.New(rand.NewSource(1))
+	level := 1e6
+	for i := 0; i < 4000; i++ {
+		level -= 100
+		p.Add(level+5*rng.NormFloat64(), 0)
+	}
+	if p.Phase() != PhaseHealthy {
+		t.Fatalf("phase = %v on a clean decline", p.Phase())
+	}
+	if _, ok := p.Predict(); ok {
+		t.Error("prediction issued while healthy")
+	}
+}
+
+func TestPredictorIssuesFiniteRemainingAfterOnset(t *testing.T) {
+	const swapCap = 1e6
+	cfg := DefaultPredictorConfig(swapCap)
+	cfg.Monitor.VolatilityWindow = 128
+	cfg.Monitor.DetectorWarmup = 512
+	cfg.Monitor.Refractory = 128
+	p, err := NewCrashPredictor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, swap := agingScenario(2, 12000, swapCap)
+	for i := range free {
+		p.Add(free[i], swap[i])
+	}
+	if p.Phase() == PhaseHealthy {
+		t.Fatal("monitor missed the aging onset")
+	}
+	pred, ok := p.Predict()
+	if !ok {
+		t.Fatal("no prediction after onset")
+	}
+	if math.IsInf(pred.RemainingTicks, 1) {
+		t.Fatal("remaining is +Inf despite swap filling")
+	}
+	if pred.RemainingTicks < 0 {
+		t.Fatalf("negative remaining %v", pred.RemainingTicks)
+	}
+	// Swap heads to capacity at ~1.11x the trace length; remaining should
+	// be on the order of the run length, not wildly off.
+	if pred.RemainingTicks > 50000 {
+		t.Errorf("remaining = %v, implausibly far", pred.RemainingTicks)
+	}
+	if pred.Source != CounterUsedSwap && pred.Source != CounterFreeMemory {
+		t.Errorf("source = %v", pred.Source)
+	}
+	if pred.Phase == PhaseHealthy {
+		t.Error("prediction carries healthy phase")
+	}
+}
+
+func TestPredictorExhaustedResourceGivesZeroRemaining(t *testing.T) {
+	cfg := DefaultPredictorConfig(1000)
+	cfg.Monitor.VolatilityWindow = 128
+	cfg.Monitor.DetectorWarmup = 512
+	cfg.TrendWindow = 64
+	p, err := NewCrashPredictor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	free, _ := agingScenario(3, 12000, 1000)
+	for i := range free {
+		swap := 0.0
+		if i > 6000 {
+			swap = 1000 // already at capacity
+		}
+		p.Add(free[i], swap)
+	}
+	pred, ok := p.Predict()
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if pred.RemainingTicks != 0 {
+		t.Errorf("remaining = %v, want 0 for exhausted swap", pred.RemainingTicks)
+	}
+	if pred.Source != CounterUsedSwap {
+		t.Errorf("source = %v, want used-swap", pred.Source)
+	}
+}

@@ -1,0 +1,246 @@
+// Package changepoint provides online jump/change detectors used to make
+// the paper's "volatility jump" notion operational: Shewhart control
+// charts, one-sided CUSUM, and the Page–Hinkley test. Each detector
+// consumes one observation at a time and reports alarms; a convenience
+// Scan runs a detector over a whole series.
+//
+// All detectors implement the Detector interface and are intentionally
+// small state machines so the aging monitor can compose them.
+package changepoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadConfig reports invalid detector parameters.
+var ErrBadConfig = errors.New("changepoint: bad configuration")
+
+// Alarm describes a detected change.
+type Alarm struct {
+	// Index is the sample index (as counted by Step calls) at which the
+	// alarm fired.
+	Index int
+	// Value is the observation that triggered the alarm.
+	Value float64
+	// Score is the detector statistic at the alarm (chart distance,
+	// cumulative sum, ...), useful for ranking alarm severity.
+	Score float64
+}
+
+// Detector is an online change detector.
+type Detector interface {
+	// Step feeds one observation; it returns the alarm and true when the
+	// detector fires at this observation.
+	Step(x float64) (Alarm, bool)
+	// Reset returns the detector to its initial state (used after a
+	// confirmed change point to hunt for the next one).
+	Reset()
+}
+
+// Scan runs the detector over xs from the beginning, resetting after every
+// alarm, and returns all alarms in order.
+func Scan(d Detector, xs []float64) []Alarm {
+	var alarms []Alarm
+	for _, x := range xs {
+		if a, fired := d.Step(x); fired {
+			alarms = append(alarms, a)
+			d.Reset()
+		}
+	}
+	return alarms
+}
+
+// Shewhart is a control chart with a self-calibrating baseline: the first
+// Warmup samples after (re)start estimate the in-control mean and standard
+// deviation; afterwards any observation deviating more than K sigmas from
+// the baseline mean raises an alarm.
+type Shewhart struct {
+	// K is the control limit in baseline standard deviations.
+	K float64
+	// Warmup is the number of samples used to estimate the baseline.
+	Warmup int
+	// TwoSided also alarms on downward excursions when true.
+	TwoSided bool
+
+	n     int
+	index int
+	sum   float64
+	sumSq float64
+	mean  float64
+	std   float64
+	ready bool
+}
+
+// NewShewhart returns a Shewhart chart with limit k-sigma and the given
+// warmup length.
+func NewShewhart(k float64, warmup int, twoSided bool) (*Shewhart, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("shewhart k=%v: %w", k, ErrBadConfig)
+	}
+	if warmup < 2 {
+		return nil, fmt.Errorf("shewhart warmup=%d: %w (need >= 2)", warmup, ErrBadConfig)
+	}
+	return &Shewhart{K: k, Warmup: warmup, TwoSided: twoSided}, nil
+}
+
+// Step implements Detector.
+func (s *Shewhart) Step(x float64) (Alarm, bool) {
+	idx := s.index
+	s.index++
+	if !s.ready {
+		s.n++
+		s.sum += x
+		s.sumSq += x * x
+		if s.n >= s.Warmup {
+			s.mean = s.sum / float64(s.n)
+			v := s.sumSq/float64(s.n) - s.mean*s.mean
+			if v < 0 {
+				v = 0
+			}
+			s.std = math.Sqrt(v)
+			s.ready = true
+		}
+		return Alarm{}, false
+	}
+	if s.std == 0 {
+		// Degenerate constant baseline: any deviation is a change.
+		if x != s.mean && (s.TwoSided || x > s.mean) {
+			return Alarm{Index: idx, Value: x, Score: math.Inf(1)}, true
+		}
+		return Alarm{}, false
+	}
+	z := (x - s.mean) / s.std
+	if z > s.K || (s.TwoSided && z < -s.K) {
+		return Alarm{Index: idx, Value: x, Score: math.Abs(z)}, true
+	}
+	return Alarm{}, false
+}
+
+// Reset implements Detector. The sample index keeps counting across
+// resets so alarm indices stay global.
+func (s *Shewhart) Reset() {
+	s.n, s.sum, s.sumSq = 0, 0, 0
+	s.mean, s.std = 0, 0
+	s.ready = false
+}
+
+// CUSUM is a one-sided (upward) cumulative-sum detector for a shift in the
+// mean: g <- max(0, g + (x - mean - Drift)); alarm when g > Threshold.
+// The baseline mean is estimated from the first Warmup samples.
+type CUSUM struct {
+	// Drift is the allowed slack per step (often half the shift of
+	// interest, in raw units).
+	Drift float64
+	// Threshold is the alarm level for the cumulative statistic.
+	Threshold float64
+	// Warmup is the number of samples used to estimate the baseline mean.
+	Warmup int
+
+	index int
+	n     int
+	sum   float64
+	mean  float64
+	g     float64
+	ready bool
+}
+
+// NewCUSUM returns a one-sided CUSUM detector.
+func NewCUSUM(drift, threshold float64, warmup int) (*CUSUM, error) {
+	if drift < 0 {
+		return nil, fmt.Errorf("cusum drift=%v: %w", drift, ErrBadConfig)
+	}
+	if threshold <= 0 {
+		return nil, fmt.Errorf("cusum threshold=%v: %w", threshold, ErrBadConfig)
+	}
+	if warmup < 1 {
+		return nil, fmt.Errorf("cusum warmup=%d: %w", warmup, ErrBadConfig)
+	}
+	return &CUSUM{Drift: drift, Threshold: threshold, Warmup: warmup}, nil
+}
+
+// Step implements Detector.
+func (c *CUSUM) Step(x float64) (Alarm, bool) {
+	idx := c.index
+	c.index++
+	if !c.ready {
+		c.n++
+		c.sum += x
+		if c.n >= c.Warmup {
+			c.mean = c.sum / float64(c.n)
+			c.ready = true
+		}
+		return Alarm{}, false
+	}
+	c.g += x - c.mean - c.Drift
+	if c.g < 0 {
+		c.g = 0
+	}
+	if c.g > c.Threshold {
+		return Alarm{Index: idx, Value: x, Score: c.g}, true
+	}
+	return Alarm{}, false
+}
+
+// Reset implements Detector.
+func (c *CUSUM) Reset() {
+	c.n, c.sum, c.mean, c.g = 0, 0, 0, 0
+	c.ready = false
+}
+
+// PageHinkley detects an increase in the mean of a signal. It tracks the
+// running mean incrementally, accumulates m_t = sum of (x - mean_t -
+// Delta), and alarms when m_t - min(m) exceeds Lambda.
+type PageHinkley struct {
+	// Delta is the magnitude tolerance per observation.
+	Delta float64
+	// Lambda is the alarm threshold.
+	Lambda float64
+
+	index int
+	n     int
+	mean  float64
+	m     float64
+	minM  float64
+}
+
+// NewPageHinkley returns a Page–Hinkley detector.
+func NewPageHinkley(delta, lambda float64) (*PageHinkley, error) {
+	if delta < 0 {
+		return nil, fmt.Errorf("page-hinkley delta=%v: %w", delta, ErrBadConfig)
+	}
+	if lambda <= 0 {
+		return nil, fmt.Errorf("page-hinkley lambda=%v: %w", lambda, ErrBadConfig)
+	}
+	return &PageHinkley{Delta: delta, Lambda: lambda}, nil
+}
+
+// Step implements Detector.
+func (p *PageHinkley) Step(x float64) (Alarm, bool) {
+	idx := p.index
+	p.index++
+	p.n++
+	p.mean += (x - p.mean) / float64(p.n)
+	p.m += x - p.mean - p.Delta
+	if p.m < p.minM {
+		p.minM = p.m
+	}
+	score := p.m - p.minM
+	if score > p.Lambda {
+		return Alarm{Index: idx, Value: x, Score: score}, true
+	}
+	return Alarm{}, false
+}
+
+// Reset implements Detector.
+func (p *PageHinkley) Reset() {
+	p.n, p.mean, p.m, p.minM = 0, 0, 0, 0
+}
+
+// Compile-time interface checks.
+var (
+	_ Detector = (*Shewhart)(nil)
+	_ Detector = (*CUSUM)(nil)
+	_ Detector = (*PageHinkley)(nil)
+)

@@ -1,0 +1,256 @@
+package changepoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// stepSignal builds n0 baseline samples N(mu0, sd) followed by n1 samples
+// N(mu1, sd).
+func stepSignal(rng *rand.Rand, n0, n1 int, mu0, mu1, sd float64) []float64 {
+	out := make([]float64, 0, n0+n1)
+	for i := 0; i < n0; i++ {
+		out = append(out, mu0+sd*rng.NormFloat64())
+	}
+	for i := 0; i < n1; i++ {
+		out = append(out, mu1+sd*rng.NormFloat64())
+	}
+	return out
+}
+
+func TestShewhartDetectsUpwardJump(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := stepSignal(rng, 200, 100, 0, 5, 1)
+	det, err := NewShewhart(3, 50, false)
+	if err != nil {
+		t.Fatalf("NewShewhart: %v", err)
+	}
+	alarms := Scan(det, xs)
+	if len(alarms) == 0 {
+		t.Fatal("no alarm on a 5-sigma jump")
+	}
+	first := alarms[0]
+	if first.Index < 200 {
+		t.Errorf("false alarm at %d before the jump", first.Index)
+	}
+	if first.Index > 205 {
+		t.Errorf("detection delay too large: alarm at %d, jump at 200", first.Index)
+	}
+	if first.Score < 3 {
+		t.Errorf("alarm score %v below limit", first.Score)
+	}
+}
+
+func TestShewhartTwoSided(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := stepSignal(rng, 200, 50, 10, 0, 1)
+	oneSided, err := NewShewhart(4, 50, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarms := Scan(oneSided, xs); len(alarms) != 0 {
+		t.Errorf("one-sided chart fired on a downward jump: %+v", alarms)
+	}
+	twoSided, err := NewShewhart(4, 50, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := Scan(twoSided, xs)
+	if len(alarms) == 0 || alarms[0].Index < 200 {
+		t.Errorf("two-sided chart missed the downward jump: %+v", alarms)
+	}
+}
+
+func TestShewhartFalseAlarmRateBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	det, err := NewShewhart(4, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := Scan(det, xs)
+	// P(Z > 4) ~ 3e-5; even with repeated restarts a handful at most.
+	if len(alarms) > 3 {
+		t.Errorf("%d false alarms on white noise at 4 sigma", len(alarms))
+	}
+}
+
+func TestShewhartConstantBaseline(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = 5
+	}
+	xs = append(xs, 5.1)
+	det, err := NewShewhart(3, 50, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := Scan(det, xs)
+	if len(alarms) != 1 || alarms[0].Index != 100 {
+		t.Errorf("constant baseline deviation not flagged: %+v", alarms)
+	}
+	if !math.IsInf(alarms[0].Score, 1) {
+		t.Errorf("score = %v, want +Inf for zero-variance baseline", alarms[0].Score)
+	}
+}
+
+func TestShewhartParamValidation(t *testing.T) {
+	if _, err := NewShewhart(0, 10, false); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := NewShewhart(3, 1, false); err == nil {
+		t.Error("warmup=1 should fail")
+	}
+}
+
+func TestCUSUMDetectsSlowDrift(t *testing.T) {
+	// A drift too small for a Shewhart chart accumulates in the CUSUM.
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 600)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		if i >= 300 {
+			xs[i] += 0.8 // sub-sigma shift
+		}
+	}
+	det, err := NewCUSUM(0.3, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := Scan(det, xs)
+	if len(alarms) == 0 {
+		t.Fatal("CUSUM missed a 0.8-sigma sustained shift")
+	}
+	if alarms[0].Index < 300 {
+		t.Errorf("false alarm at %d", alarms[0].Index)
+	}
+	if alarms[0].Index > 360 {
+		t.Errorf("detection delay %d too long", alarms[0].Index-300)
+	}
+}
+
+func TestCUSUMQuietOnNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	det, err := NewCUSUM(0.5, 15, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarms := Scan(det, xs); len(alarms) != 0 {
+		t.Errorf("CUSUM false alarms on white noise: %+v", alarms)
+	}
+}
+
+func TestCUSUMValidation(t *testing.T) {
+	if _, err := NewCUSUM(-1, 5, 10); err == nil {
+		t.Error("negative drift should fail")
+	}
+	if _, err := NewCUSUM(0.5, 0, 10); err == nil {
+		t.Error("zero threshold should fail")
+	}
+	if _, err := NewCUSUM(0.5, 5, 0); err == nil {
+		t.Error("zero warmup should fail")
+	}
+}
+
+func TestPageHinkleyDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	xs := stepSignal(rng, 400, 200, 0, 2, 1)
+	det, err := NewPageHinkley(0.2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := Scan(det, xs)
+	if len(alarms) == 0 {
+		t.Fatal("Page-Hinkley missed a 2-sigma shift")
+	}
+	if alarms[0].Index < 400 {
+		t.Errorf("false alarm at %d", alarms[0].Index)
+	}
+	if alarms[0].Index > 450 {
+		t.Errorf("detection delay %d too long", alarms[0].Index-400)
+	}
+}
+
+func TestPageHinkleyQuietOnNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 3000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	det, err := NewPageHinkley(0.3, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarms := Scan(det, xs); len(alarms) != 0 {
+		t.Errorf("Page-Hinkley false alarms: %+v", alarms)
+	}
+}
+
+func TestPageHinkleyValidation(t *testing.T) {
+	if _, err := NewPageHinkley(-0.1, 10); err == nil {
+		t.Error("negative delta should fail")
+	}
+	if _, err := NewPageHinkley(0.1, 0); err == nil {
+		t.Error("zero lambda should fail")
+	}
+}
+
+func TestScanResetsAndKeepsGlobalIndices(t *testing.T) {
+	// Two jumps: after the first alarm the detector resets and must find
+	// the second one with a correct global index.
+	rng := rand.New(rand.NewSource(8))
+	xs := make([]float64, 0, 900)
+	xs = append(xs, stepSignal(rng, 300, 100, 0, 6, 1)...)
+	// Back near the new level; then jump again.
+	xs = append(xs, stepSignal(rng, 300, 200, 6, 12, 1)...)
+	det, err := NewShewhart(4, 60, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := Scan(det, xs)
+	if len(alarms) < 2 {
+		t.Fatalf("expected at least 2 alarms, got %+v", alarms)
+	}
+	if !(alarms[0].Index >= 300 && alarms[0].Index < 420) {
+		t.Errorf("first alarm at %d", alarms[0].Index)
+	}
+	second := alarms[len(alarms)-1]
+	if second.Index < 700 {
+		t.Errorf("second jump alarm at %d, want >= 700", second.Index)
+	}
+}
+
+func TestDetectorsResetClearsState(t *testing.T) {
+	det, err := NewCUSUM(0.1, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Prime toward an alarm.
+	det.Step(0)
+	det.Step(0)
+	det.Step(5)
+	det.Reset()
+	// After reset, warmup restarts; identical priming must not alarm earlier.
+	if _, fired := det.Step(0); fired {
+		t.Error("alarm immediately after reset")
+	}
+	ph, err := NewPageHinkley(0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		ph.Step(float64(i))
+	}
+	ph.Reset()
+	if _, fired := ph.Step(0); fired {
+		t.Error("Page-Hinkley alarm immediately after reset")
+	}
+}

@@ -1,0 +1,108 @@
+package changepoint
+
+import (
+	"fmt"
+	"math"
+)
+
+// EWMAChart is an exponentially weighted moving-average control chart
+// (Roberts 1959): z_t = lambda*x_t + (1-lambda)*z_{t-1} is compared
+// against control limits mean ± K*sigma_z, where sigma_z is the
+// steady-state EWMA standard deviation derived from the warmup baseline.
+// Compared with a Shewhart chart it trades detection speed on large
+// shifts for sensitivity to small sustained shifts, sitting between
+// Shewhart and CUSUM.
+type EWMAChart struct {
+	// Lambda is the smoothing factor in (0, 1].
+	Lambda float64
+	// K is the control limit in EWMA standard deviations.
+	K float64
+	// Warmup is the number of samples used to estimate the baseline.
+	Warmup int
+	// TwoSided also alarms on downward shifts when true.
+	TwoSided bool
+
+	index int
+	n     int
+	z     float64
+	// Warmup statistics of the EWMA statistic itself (second half of the
+	// warmup, after z has settled). Measuring sigma on z directly — rather
+	// than converting the raw variance via the iid steady-state formula —
+	// keeps the limits honest on autocorrelated inputs.
+	zSum   float64
+	zSumSq float64
+	zCount int
+	mean   float64
+	sigma  float64
+	ready  bool
+}
+
+// NewEWMAChart validates the parameters and returns a chart.
+func NewEWMAChart(lambda, k float64, warmup int, twoSided bool) (*EWMAChart, error) {
+	if lambda <= 0 || lambda > 1 {
+		return nil, fmt.Errorf("ewma chart lambda=%v: %w (need 0<lambda<=1)", lambda, ErrBadConfig)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("ewma chart k=%v: %w", k, ErrBadConfig)
+	}
+	if warmup < 2 {
+		return nil, fmt.Errorf("ewma chart warmup=%d: %w (need >= 2)", warmup, ErrBadConfig)
+	}
+	return &EWMAChart{Lambda: lambda, K: k, Warmup: warmup, TwoSided: twoSided}, nil
+}
+
+// Step implements Detector.
+func (e *EWMAChart) Step(x float64) (Alarm, bool) {
+	idx := e.index
+	e.index++
+	if !e.ready {
+		if e.n == 0 {
+			e.z = x
+		} else {
+			e.z = e.Lambda*x + (1-e.Lambda)*e.z
+		}
+		e.n++
+		if e.n > e.Warmup/2 {
+			e.zSum += e.z
+			e.zSumSq += e.z * e.z
+			e.zCount++
+		}
+		if e.n >= e.Warmup {
+			e.mean = e.zSum / float64(e.zCount)
+			v := e.zSumSq/float64(e.zCount) - e.mean*e.mean
+			if v < 0 {
+				v = 0
+			}
+			e.sigma = math.Sqrt(v)
+			e.ready = true
+		}
+		return Alarm{}, false
+	}
+	e.z = e.Lambda*x + (1-e.Lambda)*e.z
+	if e.sigma == 0 {
+		// Degenerate constant baseline: any real deviation is a change.
+		// The tolerance absorbs floating-point noise of the EWMA update
+		// itself (lambda*m + (1-lambda)*m need not equal m exactly).
+		tol := 1e-9 * math.Max(1, math.Abs(e.mean))
+		dev := e.z - e.mean
+		if math.Abs(dev) > tol && (e.TwoSided || dev > 0) {
+			return Alarm{Index: idx, Value: x, Score: math.Inf(1)}, true
+		}
+		return Alarm{}, false
+	}
+	score := (e.z - e.mean) / e.sigma
+	if score > e.K || (e.TwoSided && score < -e.K) {
+		return Alarm{Index: idx, Value: x, Score: math.Abs(score)}, true
+	}
+	return Alarm{}, false
+}
+
+// Reset implements Detector (indices keep counting globally).
+func (e *EWMAChart) Reset() {
+	e.n, e.zCount = 0, 0
+	e.zSum, e.zSumSq = 0, 0
+	e.mean, e.sigma, e.z = 0, 0, 0
+	e.ready = false
+}
+
+var _ Detector = (*EWMAChart)(nil)

@@ -1,0 +1,123 @@
+package changepoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEWMAChartDetectsSmallSustainedShift(t *testing.T) {
+	// A 1-sigma shift: hard for a 4-sigma Shewhart chart, easy for EWMA.
+	rng := rand.New(rand.NewSource(1))
+	xs := stepSignal(rng, 500, 300, 0, 1, 1)
+	// The warmup must span many EWMA time constants (1/lambda) so the
+	// statistic's own spread is estimated reliably.
+	ewma, err := NewEWMAChart(0.1, 3.5, 400, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := Scan(ewma, xs)
+	if len(alarms) == 0 {
+		t.Fatal("EWMA chart missed a 1-sigma sustained shift")
+	}
+	if alarms[0].Index < 500 {
+		t.Errorf("false alarm at %d before the shift", alarms[0].Index)
+	}
+	if alarms[0].Index > 600 {
+		t.Errorf("detection delay %d too long", alarms[0].Index-500)
+	}
+	shew, err := NewShewhart(4, 400, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shewAlarms := Scan(shew, xs)
+	if len(shewAlarms) > 0 && shewAlarms[0].Index <= alarms[0].Index {
+		t.Logf("note: Shewhart also caught it at %d (possible on lucky noise)", shewAlarms[0].Index)
+	}
+}
+
+func TestEWMAChartQuietOnNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	ewma, err := NewEWMAChart(0.1, 4, 300, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarms := Scan(ewma, xs); len(alarms) > 1 {
+		t.Errorf("%d false alarms on white noise", len(alarms))
+	}
+}
+
+func TestEWMAChartTwoSided(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := stepSignal(rng, 400, 200, 10, 8, 1)
+	oneSided, err := NewEWMAChart(0.15, 3.5, 200, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarms := Scan(oneSided, xs); len(alarms) != 0 {
+		t.Errorf("one-sided chart fired on a downward shift: %+v", alarms[0])
+	}
+	twoSided, err := NewEWMAChart(0.15, 3.5, 200, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := Scan(twoSided, xs)
+	if len(alarms) == 0 || alarms[0].Index < 400 {
+		t.Errorf("two-sided chart missed the downward shift: %+v", alarms)
+	}
+}
+
+func TestEWMAChartConstantBaseline(t *testing.T) {
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = 7
+	}
+	xs = append(xs, 7.5)
+	ewma, err := NewEWMAChart(0.2, 3, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alarms := Scan(ewma, xs)
+	if len(alarms) != 1 || alarms[0].Index != 300 {
+		t.Errorf("constant-baseline deviation not flagged: %+v", alarms)
+	}
+	if !math.IsInf(alarms[0].Score, 1) {
+		t.Errorf("score = %v, want +Inf", alarms[0].Score)
+	}
+}
+
+func TestEWMAChartValidation(t *testing.T) {
+	cases := []struct {
+		lambda, k float64
+		warmup    int
+	}{
+		{lambda: 0, k: 3, warmup: 10},
+		{lambda: 1.5, k: 3, warmup: 10},
+		{lambda: 0.1, k: 0, warmup: 10},
+		{lambda: 0.1, k: 3, warmup: 1},
+	}
+	for _, c := range cases {
+		if _, err := NewEWMAChart(c.lambda, c.k, c.warmup, false); err == nil {
+			t.Errorf("NewEWMAChart(%v, %v, %d) should fail", c.lambda, c.k, c.warmup)
+		}
+	}
+}
+
+func TestEWMAChartResetRestartsBaseline(t *testing.T) {
+	ewma, err := NewEWMAChart(0.2, 3, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		ewma.Step(float64(i * 100))
+	}
+	ewma.Reset()
+	// After reset the chart re-enters warmup: no alarm possible.
+	if _, fired := ewma.Step(1e9); fired {
+		t.Error("alarm during post-reset warmup")
+	}
+}

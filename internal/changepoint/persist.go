@@ -1,0 +1,160 @@
+package changepoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+)
+
+// The detectors implement encoding.BinaryMarshaler/Unmarshaler so a
+// monitoring agent can snapshot its state across restarts without
+// re-running the warmup. Gob needs exported fields, so each detector
+// serializes through an exported mirror struct.
+
+type shewhartState struct {
+	K        float64
+	Warmup   int
+	TwoSided bool
+	N        int
+	Index    int
+	Sum      float64
+	SumSq    float64
+	Mean     float64
+	Std      float64
+	Ready    bool
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s *Shewhart) MarshalBinary() ([]byte, error) {
+	return gobEncode(shewhartState{
+		K: s.K, Warmup: s.Warmup, TwoSided: s.TwoSided,
+		N: s.n, Index: s.index, Sum: s.sum, SumSq: s.sumSq,
+		Mean: s.mean, Std: s.std, Ready: s.ready,
+	})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (s *Shewhart) UnmarshalBinary(data []byte) error {
+	var st shewhartState
+	if err := gobDecode(data, &st); err != nil {
+		return fmt.Errorf("shewhart: %w", err)
+	}
+	s.K, s.Warmup, s.TwoSided = st.K, st.Warmup, st.TwoSided
+	s.n, s.index, s.sum, s.sumSq = st.N, st.Index, st.Sum, st.SumSq
+	s.mean, s.std, s.ready = st.Mean, st.Std, st.Ready
+	return nil
+}
+
+type cusumState struct {
+	Drift     float64
+	Threshold float64
+	Warmup    int
+	Index     int
+	N         int
+	Sum       float64
+	Mean      float64
+	G         float64
+	Ready     bool
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c *CUSUM) MarshalBinary() ([]byte, error) {
+	return gobEncode(cusumState{
+		Drift: c.Drift, Threshold: c.Threshold, Warmup: c.Warmup,
+		Index: c.index, N: c.n, Sum: c.sum, Mean: c.mean, G: c.g, Ready: c.ready,
+	})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *CUSUM) UnmarshalBinary(data []byte) error {
+	var st cusumState
+	if err := gobDecode(data, &st); err != nil {
+		return fmt.Errorf("cusum: %w", err)
+	}
+	c.Drift, c.Threshold, c.Warmup = st.Drift, st.Threshold, st.Warmup
+	c.index, c.n, c.sum, c.mean, c.g, c.ready = st.Index, st.N, st.Sum, st.Mean, st.G, st.Ready
+	return nil
+}
+
+type pageHinkleyState struct {
+	Delta  float64
+	Lambda float64
+	Index  int
+	N      int
+	Mean   float64
+	M      float64
+	MinM   float64
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (p *PageHinkley) MarshalBinary() ([]byte, error) {
+	return gobEncode(pageHinkleyState{
+		Delta: p.Delta, Lambda: p.Lambda,
+		Index: p.index, N: p.n, Mean: p.mean, M: p.m, MinM: p.minM,
+	})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (p *PageHinkley) UnmarshalBinary(data []byte) error {
+	var st pageHinkleyState
+	if err := gobDecode(data, &st); err != nil {
+		return fmt.Errorf("page-hinkley: %w", err)
+	}
+	p.Delta, p.Lambda = st.Delta, st.Lambda
+	p.index, p.n, p.mean, p.m, p.minM = st.Index, st.N, st.Mean, st.M, st.MinM
+	return nil
+}
+
+type ewmaState struct {
+	Lambda   float64
+	K        float64
+	Warmup   int
+	TwoSided bool
+	Index    int
+	N        int
+	Z        float64
+	ZSum     float64
+	ZSumSq   float64
+	ZCount   int
+	Mean     float64
+	Sigma    float64
+	Ready    bool
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (e *EWMAChart) MarshalBinary() ([]byte, error) {
+	return gobEncode(ewmaState{
+		Lambda: e.Lambda, K: e.K, Warmup: e.Warmup, TwoSided: e.TwoSided,
+		Index: e.index, N: e.n, Z: e.z,
+		ZSum: e.zSum, ZSumSq: e.zSumSq, ZCount: e.zCount,
+		Mean: e.mean, Sigma: e.sigma, Ready: e.ready,
+	})
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (e *EWMAChart) UnmarshalBinary(data []byte) error {
+	var st ewmaState
+	if err := gobDecode(data, &st); err != nil {
+		return fmt.Errorf("ewma chart: %w", err)
+	}
+	e.Lambda, e.K, e.Warmup, e.TwoSided = st.Lambda, st.K, st.Warmup, st.TwoSided
+	e.index, e.n, e.z = st.Index, st.N, st.Z
+	e.zSum, e.zSumSq, e.zCount = st.ZSum, st.ZSumSq, st.ZCount
+	e.mean, e.sigma, e.ready = st.Mean, st.Sigma, st.Ready
+	return nil
+}
+
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("changepoint: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func gobDecode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("changepoint: decode: %w", err)
+	}
+	return nil
+}

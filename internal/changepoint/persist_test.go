@@ -1,0 +1,111 @@
+package changepoint
+
+import (
+	"encoding"
+	"math/rand"
+	"testing"
+)
+
+// roundTrip saves a detector, restores into a fresh instance, and checks
+// both produce identical alarms on the remaining stream.
+func roundTrip(t *testing.T, name string, make func() Detector, xs []float64, split int) {
+	t.Helper()
+	reference := make()
+	interrupted := make()
+	for _, x := range xs[:split] {
+		reference.Step(x)
+		interrupted.Step(x)
+	}
+	blob, err := interrupted.(encoding.BinaryMarshaler).MarshalBinary()
+	if err != nil {
+		t.Fatalf("%s: marshal: %v", name, err)
+	}
+	restored := make()
+	if err := restored.(encoding.BinaryUnmarshaler).UnmarshalBinary(blob); err != nil {
+		t.Fatalf("%s: unmarshal: %v", name, err)
+	}
+	for i, x := range xs[split:] {
+		aRef, fRef := reference.Step(x)
+		aGot, fGot := restored.Step(x)
+		if fRef != fGot || aRef != aGot {
+			t.Fatalf("%s: divergence at %d: (%+v,%v) vs (%+v,%v)", name, split+i, aRef, fRef, aGot, fGot)
+		}
+	}
+}
+
+func TestDetectorSaveRestoreRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs := stepSignal(rng, 600, 400, 0, 3, 1)
+	cases := []struct {
+		name string
+		make func() Detector
+	}{
+		{name: "shewhart", make: func() Detector {
+			d, err := NewShewhart(4, 100, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
+		{name: "cusum", make: func() Detector {
+			d, err := NewCUSUM(0.3, 10, 100)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
+		{name: "page-hinkley", make: func() Detector {
+			d, err := NewPageHinkley(0.2, 25)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
+		{name: "ewma", make: func() Detector {
+			d, err := NewEWMAChart(0.1, 4, 200, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Split both mid-warmup and mid-operation.
+			for _, split := range []int{50, 550} {
+				roundTrip(t, tc.name, tc.make, xs, split)
+			}
+		})
+	}
+}
+
+func TestDetectorUnmarshalGarbage(t *testing.T) {
+	s, err := NewShewhart(3, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.UnmarshalBinary([]byte("junk")); err == nil {
+		t.Error("shewhart should reject garbage")
+	}
+	c, err := NewCUSUM(0.1, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.UnmarshalBinary([]byte("junk")); err == nil {
+		t.Error("cusum should reject garbage")
+	}
+	p, err := NewPageHinkley(0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.UnmarshalBinary([]byte("junk")); err == nil {
+		t.Error("page-hinkley should reject garbage")
+	}
+	e, err := NewEWMAChart(0.1, 3, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.UnmarshalBinary([]byte("junk")); err == nil {
+		t.Error("ewma should reject garbage")
+	}
+}

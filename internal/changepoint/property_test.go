@@ -1,0 +1,86 @@
+package changepoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDetectorsNeverAlarmDuringWarmupQuick(t *testing.T) {
+	// Whatever the input, baseline-estimating detectors must stay silent
+	// until their warmup completes — alarming on an unestimated baseline
+	// would be meaningless.
+	rng := rand.New(rand.NewSource(77))
+	f := func(seed int64, scale float64) bool {
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || math.Abs(scale) > 1e12 {
+			return true
+		}
+		local := rand.New(rand.NewSource(seed))
+		const warmup = 50
+		shew, err := NewShewhart(3, warmup, true)
+		if err != nil {
+			return false
+		}
+		cus, err := NewCUSUM(0.1, 1, warmup)
+		if err != nil {
+			return false
+		}
+		ewma, err := NewEWMAChart(0.2, 3, warmup, true)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < warmup; i++ {
+			x := scale * local.NormFloat64()
+			if _, fired := shew.Step(x); fired {
+				return false
+			}
+			if _, fired := cus.Step(x); fired {
+				return false
+			}
+			if _, fired := ewma.Step(x); fired {
+				return false
+			}
+		}
+		_ = rng
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlarmIndicesStrictlyIncreasingQuick(t *testing.T) {
+	// Scan must report alarms in strictly increasing global index order
+	// for any input stream.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 2000)
+		level := 0.0
+		for i := range xs {
+			if rng.Intn(200) == 0 {
+				level += 20 * rng.NormFloat64() // occasional level shifts
+			}
+			xs[i] = level + rng.NormFloat64()
+		}
+		det, err := NewShewhart(3, 50, true)
+		if err != nil {
+			return false
+		}
+		alarms := Scan(det, xs)
+		for i := 1; i < len(alarms); i++ {
+			if alarms[i].Index <= alarms[i-1].Index {
+				return false
+			}
+		}
+		for _, a := range alarms {
+			if a.Index < 0 || a.Index >= len(xs) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package collector is the data-collection agent of the reproduction: it
+// samples the simulated machine's performance counters at a fixed interval
+// while the workload runs, and records complete run-to-failure traces —
+// the role played by the authors' Windows counter-logging tool in the DSN
+// 2003 study.
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"agingmf/internal/memsim"
+	"agingmf/internal/series"
+	"agingmf/internal/workload"
+)
+
+// ErrBadConfig reports invalid collector parameters.
+var ErrBadConfig = errors.New("collector: bad configuration")
+
+// Trace is a recorded monitoring session.
+type Trace struct {
+	// FreeMemory is the available-memory counter in bytes.
+	FreeMemory series.Series
+	// UsedSwap is the used-swap counter in bytes.
+	UsedSwap series.Series
+	// SwapTraffic is the per-interval swap traffic in pages.
+	SwapTraffic series.Series
+	// Processes is the live process count.
+	Processes series.Series
+	// Crash describes how the run ended.
+	Crash memsim.CrashKind
+	// CrashIndex is the sample index at which the machine was observed
+	// crashed (-1 when the run ended without a crash).
+	CrashIndex int
+	// TicksPerSample is the sampling decimation relative to machine ticks.
+	TicksPerSample int
+}
+
+// Len returns the number of samples recorded.
+func (tr Trace) Len() int { return tr.FreeMemory.Len() }
+
+// CrashTick converts CrashIndex to machine ticks (-1 when no crash).
+func (tr Trace) CrashTick() int {
+	if tr.CrashIndex < 0 {
+		return -1
+	}
+	return tr.CrashIndex * tr.TicksPerSample
+}
+
+// WriteCSV exports all counter columns of the trace.
+func (tr Trace) WriteCSV(w io.Writer) error {
+	if err := series.WriteCSV(w, tr.FreeMemory, tr.UsedSwap, tr.SwapTraffic, tr.Processes); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	return nil
+}
+
+// Config parameterizes a collection session.
+type Config struct {
+	// TicksPerSample decimates sampling: one sample every this many
+	// machine ticks (>= 1).
+	TicksPerSample int
+	// MaxTicks bounds the session length in machine ticks.
+	MaxTicks int
+	// StopOnCrash ends the session at the first machine crash.
+	StopOnCrash bool
+	// Start is the wall-clock time assigned to the first sample.
+	Start time.Time
+}
+
+// DefaultConfig samples every tick for at most 86400 simulated seconds
+// (one day) and stops on crash — a paper-style run-to-failure session.
+func DefaultConfig() Config {
+	return Config{TicksPerSample: 1, MaxTicks: 86400, StopOnCrash: true}
+}
+
+func (c Config) validate() error {
+	if c.TicksPerSample < 1 {
+		return fmt.Errorf("ticks per sample %d: %w", c.TicksPerSample, ErrBadConfig)
+	}
+	if c.MaxTicks < 1 {
+		return fmt.Errorf("max ticks %d: %w", c.MaxTicks, ErrBadConfig)
+	}
+	return nil
+}
+
+// Collect drives the workload until crash (or MaxTicks) while sampling the
+// machine counters. The driver must be bound to the machine it steps.
+func Collect(m *memsim.Machine, d *workload.Driver, cfg Config) (Trace, error) {
+	if m == nil || d == nil {
+		return Trace{}, fmt.Errorf("collect: nil machine or driver: %w", ErrBadConfig)
+	}
+	if err := cfg.validate(); err != nil {
+		return Trace{}, fmt.Errorf("collect: %w", err)
+	}
+	step := m.Config().TickDuration * time.Duration(cfg.TicksPerSample)
+	tr := Trace{
+		CrashIndex:     -1,
+		TicksPerSample: cfg.TicksPerSample,
+	}
+	var free, swap, traffic, procs []float64
+	record := func(c memsim.Counters) {
+		free = append(free, c.FreeMemoryBytes)
+		swap = append(swap, c.UsedSwapBytes)
+		traffic = append(traffic, float64(c.SwapTrafficPages))
+		procs = append(procs, float64(c.Processes))
+	}
+	for tick := 0; tick < cfg.MaxTicks; tick++ {
+		counters, err := d.Step()
+		sample := tick%cfg.TicksPerSample == 0
+		if sample {
+			record(counters)
+		}
+		kind, _ := m.Crashed()
+		if err != nil || kind != memsim.CrashNone {
+			if !sample {
+				record(counters) // always capture the terminal state
+			}
+			tr.Crash = kind
+			tr.CrashIndex = len(free) - 1
+			if cfg.StopOnCrash {
+				break
+			}
+			m.Reboot()
+			if err := d.OnReboot(); err != nil {
+				return Trace{}, fmt.Errorf("collect: reboot: %w", err)
+			}
+		}
+	}
+	mk := func(name string, vals []float64) series.Series {
+		return series.Series{Name: name, Start: cfg.Start, Step: step, Values: vals}
+	}
+	tr.FreeMemory = mk("free_memory_bytes", free)
+	tr.UsedSwap = mk("used_swap_bytes", swap)
+	tr.SwapTraffic = mk("swap_traffic_pages", traffic)
+	tr.Processes = mk("processes", procs)
+	return tr, nil
+}

@@ -1,0 +1,202 @@
+package collector
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"agingmf/internal/memsim"
+	"agingmf/internal/series"
+	"agingmf/internal/workload"
+)
+
+func newRig(t *testing.T, seed int64) (*memsim.Machine, *workload.Driver) {
+	t.Helper()
+	mcfg := memsim.DefaultConfig()
+	mcfg.RAMPages = 8192
+	mcfg.SwapPages = 8192
+	mcfg.LowWatermark = 256
+	m, err := memsim.New(mcfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("memsim.New: %v", err)
+	}
+	wcfg := workload.DefaultDriverConfig()
+	wcfg.Server.LeakPagesPerTick = 6 // fast aging keeps tests quick
+	d, err := workload.NewDriver(m, wcfg, nil, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	return m, d
+}
+
+func TestCollectRunToCrash(t *testing.T) {
+	m, d := newRig(t, 1)
+	cfg := DefaultConfig()
+	cfg.Start = time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	tr, err := Collect(m, d, cfg)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if tr.Crash == memsim.CrashNone {
+		t.Fatal("run did not end in a crash")
+	}
+	if tr.CrashIndex != tr.Len()-1 {
+		t.Errorf("crash index %d, want last sample %d", tr.CrashIndex, tr.Len()-1)
+	}
+	if tr.Len() < 100 {
+		t.Fatalf("only %d samples", tr.Len())
+	}
+	// All four counter series share the same length and timing.
+	for _, s := range []series.Series{tr.UsedSwap, tr.SwapTraffic, tr.Processes} {
+		if s.Len() != tr.FreeMemory.Len() {
+			t.Errorf("series %q length %d != %d", s.Name, s.Len(), tr.FreeMemory.Len())
+		}
+		if !s.Start.Equal(cfg.Start) || s.Step != time.Second {
+			t.Errorf("series %q timing %v/%v", s.Name, s.Start, s.Step)
+		}
+	}
+	// Free memory trends down, swap trends up over the run.
+	firstQuarter := tr.FreeMemory.Head(tr.Len() / 4).Mean()
+	lastQuarter := tr.FreeMemory.Tail(tr.Len() / 4).Mean()
+	if lastQuarter >= firstQuarter {
+		t.Errorf("free memory did not decline: %v -> %v", firstQuarter, lastQuarter)
+	}
+	if tr.UsedSwap.Tail(10).Mean() <= tr.UsedSwap.Head(10).Mean() {
+		t.Error("used swap did not grow")
+	}
+	if got := tr.CrashTick(); got != tr.CrashIndex {
+		t.Errorf("CrashTick = %d with 1 tick/sample, want %d", got, tr.CrashIndex)
+	}
+}
+
+func TestCollectDecimation(t *testing.T) {
+	m, d := newRig(t, 2)
+	cfg := Config{TicksPerSample: 10, MaxTicks: 500, StopOnCrash: true}
+	tr, err := Collect(m, d, cfg)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if tr.Crash != memsim.CrashNone && tr.CrashIndex >= 0 {
+		// Crash possible but unlikely in 500 ticks with this leak rate.
+		t.Logf("early crash at index %d", tr.CrashIndex)
+	}
+	if tr.Len() > 51 || tr.Len() < 45 {
+		t.Errorf("decimated samples = %d, want ~50", tr.Len())
+	}
+	if tr.FreeMemory.Step != 10*time.Second {
+		t.Errorf("step = %v, want 10s", tr.FreeMemory.Step)
+	}
+	if tr.TicksPerSample != 10 {
+		t.Errorf("TicksPerSample = %d", tr.TicksPerSample)
+	}
+}
+
+func TestCollectWithoutCrashWithinHorizon(t *testing.T) {
+	m, d := newRig(t, 3)
+	cfg := Config{TicksPerSample: 1, MaxTicks: 50, StopOnCrash: true}
+	tr, err := Collect(m, d, cfg)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if tr.Crash != memsim.CrashNone {
+		t.Skip("machine crashed unusually fast; horizon test not applicable")
+	}
+	if tr.CrashIndex != -1 {
+		t.Errorf("CrashIndex = %d, want -1", tr.CrashIndex)
+	}
+	if tr.CrashTick() != -1 {
+		t.Errorf("CrashTick = %d, want -1", tr.CrashTick())
+	}
+	if tr.Len() != 50 {
+		t.Errorf("samples = %d, want 50", tr.Len())
+	}
+}
+
+func TestCollectContinuesThroughRebootWhenConfigured(t *testing.T) {
+	m, d := newRig(t, 4)
+	cfg := Config{TicksPerSample: 1, MaxTicks: 30000, StopOnCrash: false}
+	tr, err := Collect(m, d, cfg)
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if m.Reboots() == 0 {
+		t.Skip("no crash within horizon; cannot exercise reboot path")
+	}
+	// The trace must span the full horizon despite crashes.
+	if tr.Len() != 30000 {
+		t.Errorf("samples = %d, want 30000", tr.Len())
+	}
+	// After a reboot free memory must jump back up: max free late in the
+	// trace should approach the fresh-boot level.
+	fresh := tr.FreeMemory.Values[0]
+	lateMax := tr.FreeMemory.Tail(tr.Len() / 2).Max()
+	if lateMax < 0.8*fresh {
+		t.Errorf("no recovery visible after reboot: late max %v vs fresh %v", lateMax, fresh)
+	}
+}
+
+func TestCollectValidation(t *testing.T) {
+	m, d := newRig(t, 5)
+	if _, err := Collect(nil, d, DefaultConfig()); err == nil {
+		t.Error("nil machine should fail")
+	}
+	if _, err := Collect(m, nil, DefaultConfig()); err == nil {
+		t.Error("nil driver should fail")
+	}
+	if _, err := Collect(m, d, Config{TicksPerSample: 0, MaxTicks: 10}); err == nil {
+		t.Error("zero ticks per sample should fail")
+	}
+	if _, err := Collect(m, d, Config{TicksPerSample: 1, MaxTicks: 0}); err == nil {
+		t.Error("zero max ticks should fail")
+	}
+}
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	m, d := newRig(t, 6)
+	tr, err := Collect(m, d, Config{TicksPerSample: 1, MaxTicks: 100, StopOnCrash: true,
+		Start: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	back, err := series.ReadCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(back) != 4 {
+		t.Fatalf("got %d columns, want 4", len(back))
+	}
+	if back[0].Name != "free_memory_bytes" || back[1].Name != "used_swap_bytes" {
+		t.Errorf("column names: %q, %q", back[0].Name, back[1].Name)
+	}
+	for i := range back[0].Values {
+		if back[0].Values[i] != tr.FreeMemory.Values[i] {
+			t.Fatalf("value mismatch at %d", i)
+		}
+	}
+}
+
+func TestCollectDeterminism(t *testing.T) {
+	run := func() Trace {
+		m, d := newRig(t, 7)
+		tr, err := Collect(m, d, Config{TicksPerSample: 1, MaxTicks: 2000, StopOnCrash: true})
+		if err != nil {
+			t.Fatalf("Collect: %v", err)
+		}
+		return tr
+	}
+	a, b := run(), run()
+	if a.Len() != b.Len() || a.Crash != b.Crash || a.CrashIndex != b.CrashIndex {
+		t.Fatalf("runs diverge: %d/%v/%d vs %d/%v/%d",
+			a.Len(), a.Crash, a.CrashIndex, b.Len(), b.Crash, b.CrashIndex)
+	}
+	for i := range a.FreeMemory.Values {
+		if a.FreeMemory.Values[i] != b.FreeMemory.Values[i] {
+			t.Fatalf("free memory diverges at %d", i)
+		}
+	}
+}

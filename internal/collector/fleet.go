@@ -1,0 +1,101 @@
+package collector
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"agingmf/internal/memsim"
+	"agingmf/internal/workload"
+)
+
+// FleetConfig describes a batch of identical run-to-crash collections
+// differing only by seed — the public counterpart of the experiment
+// campaign, for users running their own measurement studies.
+type FleetConfig struct {
+	// Machine is the hardware configuration of every run.
+	Machine memsim.Config
+	// Workload is the load configuration of every run.
+	Workload workload.DriverConfig
+	// Collect is the per-run collection configuration.
+	Collect Config
+	// Seeds lists the run seeds; one trace is produced per seed.
+	Seeds []int64
+	// Workers bounds concurrency (0 selects 4).
+	Workers int
+}
+
+// FleetRun is one completed run of a fleet.
+type FleetRun struct {
+	// Seed is the run's seed.
+	Seed int64
+	// Trace is the recorded counter trace.
+	Trace Trace
+}
+
+// RunFleet executes every seeded run concurrently (bounded by Workers)
+// and returns the traces in seed order. The first error aborts the whole
+// fleet.
+func RunFleet(cfg FleetConfig) ([]FleetRun, error) {
+	if len(cfg.Seeds) == 0 {
+		return nil, fmt.Errorf("fleet: no seeds: %w", ErrBadConfig)
+	}
+	if err := cfg.Machine.Validate(); err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = 4
+	}
+	if workers > len(cfg.Seeds) {
+		workers = len(cfg.Seeds)
+	}
+	runs := make([]FleetRun, len(cfg.Seeds))
+	errs := make([]error, len(cfg.Seeds))
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				runs[i], errs[i] = runFleetOne(cfg, cfg.Seeds[i])
+			}
+		}()
+	}
+	for i := range cfg.Seeds {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return runs, nil
+}
+
+// runFleetOne executes a single seeded collection.
+func runFleetOne(cfg FleetConfig, seed int64) (FleetRun, error) {
+	m, err := memsim.New(cfg.Machine, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return FleetRun{}, fmt.Errorf("fleet seed %d: %w", seed, err)
+	}
+	// The workload config holds a *ProcSpec for the server; copy it so
+	// concurrent runs cannot share mutable state.
+	wcfg := cfg.Workload
+	if wcfg.Server != nil {
+		server := *wcfg.Server
+		wcfg.Server = &server
+	}
+	d, err := workload.NewDriver(m, wcfg, nil, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		return FleetRun{}, fmt.Errorf("fleet seed %d: %w", seed, err)
+	}
+	tr, err := Collect(m, d, cfg.Collect)
+	if err != nil {
+		return FleetRun{}, fmt.Errorf("fleet seed %d: %w", seed, err)
+	}
+	return FleetRun{Seed: seed, Trace: tr}, nil
+}

@@ -1,0 +1,198 @@
+// Package dsp provides the signal-processing kernels used by the fractal
+// and multifractal estimators: a fast Fourier transform for arbitrary
+// lengths (radix-2 with a Bluestein fallback), FFT-based convolution, and
+// discrete wavelet transforms (Haar and Daubechies-4) used for
+// wavelet-leader Hölder estimation.
+package dsp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrEmpty is returned when a transform is applied to an empty signal.
+var ErrEmpty = errors.New("dsp: empty input")
+
+// FFT returns the discrete Fourier transform of x. The input is not
+// modified. Any length is accepted: powers of two use the in-place
+// radix-2 algorithm, other lengths use Bluestein's chirp-z trick.
+func FFT(x []complex128) ([]complex128, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("fft: %w", ErrEmpty)
+	}
+	out := append([]complex128(nil), x...)
+	if isPow2(len(out)) {
+		fftPow2(out, false)
+		return out, nil
+	}
+	return bluestein(out, false)
+}
+
+// IFFT returns the inverse discrete Fourier transform of x, normalized by
+// 1/N so that IFFT(FFT(x)) == x.
+func IFFT(x []complex128) ([]complex128, error) {
+	if len(x) == 0 {
+		return nil, fmt.Errorf("ifft: %w", ErrEmpty)
+	}
+	out := append([]complex128(nil), x...)
+	if isPow2(len(out)) {
+		fftPow2(out, true)
+	} else {
+		var err error
+		out, err = bluestein(out, true)
+		if err != nil {
+			return nil, err
+		}
+	}
+	n := complex(float64(len(out)), 0)
+	for i := range out {
+		out[i] /= n
+	}
+	return out, nil
+}
+
+// FFTReal transforms a real signal, returning the full complex spectrum.
+func FFTReal(x []float64) ([]complex128, error) {
+	cx := make([]complex128, len(x))
+	for i, v := range x {
+		cx[i] = complex(v, 0)
+	}
+	return FFT(cx)
+}
+
+// PowerSpectrum returns |X_k|^2 for the first N/2+1 frequencies of a real
+// signal, the one-sided periodogram.
+func PowerSpectrum(x []float64) ([]float64, error) {
+	spec, err := FFTReal(x)
+	if err != nil {
+		return nil, err
+	}
+	half := len(spec)/2 + 1
+	out := make([]float64, half)
+	for i := 0; i < half; i++ {
+		m := cmplx.Abs(spec[i])
+		out[i] = m * m
+	}
+	return out, nil
+}
+
+// Convolve returns the linear convolution of a and b (length
+// len(a)+len(b)-1) computed via FFT.
+func Convolve(a, b []float64) ([]float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return nil, fmt.Errorf("convolve: %w", ErrEmpty)
+	}
+	n := len(a) + len(b) - 1
+	size := nextPow2(n)
+	fa := make([]complex128, size)
+	fb := make([]complex128, size)
+	for i, v := range a {
+		fa[i] = complex(v, 0)
+	}
+	for i, v := range b {
+		fb[i] = complex(v, 0)
+	}
+	fftPow2(fa, false)
+	fftPow2(fb, false)
+	for i := range fa {
+		fa[i] *= fb[i]
+	}
+	fftPow2(fa, true)
+	out := make([]float64, n)
+	scale := 1 / float64(size)
+	for i := range out {
+		out[i] = real(fa[i]) * scale
+	}
+	return out, nil
+}
+
+// fftPow2 computes an in-place radix-2 Cooley-Tukey FFT. inverse selects
+// the conjugate transform (no normalization applied).
+func fftPow2(x []complex128, inverse bool) {
+	n := len(x)
+	if n <= 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j ^= bit
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := sign * 2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			half := length / 2
+			for k := 0; k < half; k++ {
+				u := x[start+k]
+				v := x[start+k+half] * w
+				x[start+k] = u + v
+				x[start+k+half] = u - v
+				w *= wl
+			}
+		}
+	}
+}
+
+// bluestein computes the DFT of arbitrary length via the chirp-z transform
+// expressed as a convolution of power-of-two length.
+func bluestein(x []complex128, inverse bool) ([]complex128, error) {
+	n := len(x)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	// Chirp factors w_k = exp(sign*i*pi*k^2/n).
+	chirp := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		// k*k may overflow for astronomically long inputs; mod 2n keeps
+		// the phase exact because exp is 2*pi periodic.
+		kk := (int64(k) * int64(k)) % int64(2*n)
+		chirp[k] = cmplx.Rect(1, sign*math.Pi*float64(kk)/float64(n))
+	}
+	size := nextPow2(2*n - 1)
+	a := make([]complex128, size)
+	b := make([]complex128, size)
+	for k := 0; k < n; k++ {
+		a[k] = x[k] * chirp[k]
+		b[k] = cmplx.Conj(chirp[k])
+	}
+	for k := 1; k < n; k++ {
+		b[size-k] = cmplx.Conj(chirp[k])
+	}
+	fftPow2(a, false)
+	fftPow2(b, false)
+	for i := range a {
+		a[i] *= b[i]
+	}
+	fftPow2(a, true)
+	out := make([]complex128, n)
+	scale := complex(1/float64(size), 0)
+	for k := 0; k < n; k++ {
+		out[k] = a[k] * scale * chirp[k]
+	}
+	return out, nil
+}
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

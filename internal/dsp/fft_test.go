@@ -1,0 +1,248 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func complexAlmostEqual(a, b complex128, tol float64) bool {
+	return cmplx.Abs(a-b) <= tol
+}
+
+func TestFFTKnownValues(t *testing.T) {
+	// DFT of [1,0,0,0] is all ones.
+	x := []complex128{1, 0, 0, 0}
+	got, err := FFT(x)
+	if err != nil {
+		t.Fatalf("FFT: %v", err)
+	}
+	for i, v := range got {
+		if !complexAlmostEqual(v, 1, 1e-12) {
+			t.Errorf("FFT(delta)[%d] = %v, want 1", i, v)
+		}
+	}
+	// DFT of constant signal concentrates at bin 0.
+	c := []complex128{2, 2, 2, 2}
+	got, err = FFT(c)
+	if err != nil {
+		t.Fatalf("FFT: %v", err)
+	}
+	if !complexAlmostEqual(got[0], 8, 1e-12) {
+		t.Errorf("FFT(const)[0] = %v, want 8", got[0])
+	}
+	for i := 1; i < 4; i++ {
+		if !complexAlmostEqual(got[i], 0, 1e-12) {
+			t.Errorf("FFT(const)[%d] = %v, want 0", i, got[i])
+		}
+	}
+}
+
+func TestFFTSinusoidPeaksAtFrequency(t *testing.T) {
+	const n, freq = 256, 7
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * freq * float64(i) / n)
+	}
+	spec, err := PowerSpectrum(x)
+	if err != nil {
+		t.Fatalf("PowerSpectrum: %v", err)
+	}
+	peak := 0
+	for i, p := range spec {
+		if p > spec[peak] {
+			peak = i
+		}
+	}
+	if peak != freq {
+		t.Errorf("power spectrum peak at %d, want %d", peak, freq)
+	}
+}
+
+func TestFFTInverseRoundTripPow2(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 8, 64, 1024} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		spec, err := FFT(x)
+		if err != nil {
+			t.Fatalf("FFT(n=%d): %v", n, err)
+		}
+		back, err := IFFT(spec)
+		if err != nil {
+			t.Fatalf("IFFT(n=%d): %v", n, err)
+		}
+		for i := range x {
+			if !complexAlmostEqual(back[i], x[i], 1e-9) {
+				t.Fatalf("n=%d round trip[%d] = %v, want %v", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestFFTInverseRoundTripArbitraryLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{3, 5, 12, 100, 257, 1000} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		spec, err := FFT(x)
+		if err != nil {
+			t.Fatalf("FFT(n=%d): %v", n, err)
+		}
+		back, err := IFFT(spec)
+		if err != nil {
+			t.Fatalf("IFFT(n=%d): %v", n, err)
+		}
+		for i := range x {
+			if !complexAlmostEqual(back[i], x[i], 1e-8) {
+				t.Fatalf("n=%d round trip[%d] = %v, want %v", n, i, back[i], x[i])
+			}
+		}
+	}
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{4, 7, 16, 30} {
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+		}
+		fast, err := FFT(x)
+		if err != nil {
+			t.Fatalf("FFT: %v", err)
+		}
+		for k := 0; k < n; k++ {
+			var want complex128
+			for j := 0; j < n; j++ {
+				ang := -2 * math.Pi * float64(k) * float64(j) / float64(n)
+				want += x[j] * cmplx.Rect(1, ang)
+			}
+			if !complexAlmostEqual(fast[k], want, 1e-8) {
+				t.Fatalf("n=%d FFT[%d] = %v, naive = %v", n, k, fast[k], want)
+			}
+		}
+	}
+}
+
+func TestParsevalQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	f := func(seedDelta uint8) bool {
+		n := 8 + int(seedDelta)%120
+		x := make([]complex128, n)
+		timeEnergy := 0.0
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+			timeEnergy += real(x[i]) * real(x[i])
+		}
+		spec, err := FFT(x)
+		if err != nil {
+			return false
+		}
+		freqEnergy := 0.0
+		for _, v := range spec {
+			m := cmplx.Abs(v)
+			freqEnergy += m * m
+		}
+		freqEnergy /= float64(n)
+		return math.Abs(timeEnergy-freqEnergy) < 1e-6*(1+timeEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFFTErrors(t *testing.T) {
+	if _, err := FFT(nil); err == nil {
+		t.Error("FFT(nil) should fail")
+	}
+	if _, err := IFFT(nil); err == nil {
+		t.Error("IFFT(nil) should fail")
+	}
+	if _, err := Convolve(nil, []float64{1}); err == nil {
+		t.Error("Convolve with empty input should fail")
+	}
+}
+
+func TestConvolveKnown(t *testing.T) {
+	got, err := Convolve([]float64{1, 2, 3}, []float64{0, 1, 0.5})
+	if err != nil {
+		t.Fatalf("Convolve: %v", err)
+	}
+	want := []float64{0, 1, 2.5, 4, 1.5}
+	if len(got) != len(want) {
+		t.Fatalf("Convolve length = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Errorf("Convolve[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConvolveMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	a := make([]float64, 37)
+	b := make([]float64, 13)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	fast, err := Convolve(a, b)
+	if err != nil {
+		t.Fatalf("Convolve: %v", err)
+	}
+	for k := 0; k < len(a)+len(b)-1; k++ {
+		want := 0.0
+		for i := 0; i < len(a); i++ {
+			if j := k - i; j >= 0 && j < len(b) {
+				want += a[i] * b[j]
+			}
+		}
+		if math.Abs(fast[k]-want) > 1e-8 {
+			t.Fatalf("Convolve[%d] = %v, naive = %v", k, fast[k], want)
+		}
+	}
+}
+
+func TestFFTLinearityQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	f := func(alpha float64) bool {
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) || math.Abs(alpha) > 1e6 {
+			return true
+		}
+		n := 32
+		x := make([]complex128, n)
+		y := make([]complex128, n)
+		sum := make([]complex128, n)
+		ca := complex(alpha, 0)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), 0)
+			y[i] = complex(rng.NormFloat64(), 0)
+			sum[i] = x[i] + ca*y[i]
+		}
+		fx, err1 := FFT(x)
+		fy, err2 := FFT(y)
+		fsum, err3 := FFT(sum)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		for i := range fsum {
+			if !complexAlmostEqual(fsum[i], fx[i]+ca*fy[i], 1e-6*(1+math.Abs(alpha))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,205 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Wavelet identifies a discrete wavelet family supported by this package.
+type Wavelet int
+
+// Supported wavelet families.
+const (
+	// Haar is the 2-tap Haar wavelet.
+	Haar Wavelet = iota + 1
+	// Daubechies4 is the 4-tap Daubechies wavelet (two vanishing moments),
+	// the standard choice for Hölder-regularity estimation of signals with
+	// linear trends.
+	Daubechies4
+)
+
+// String implements fmt.Stringer.
+func (w Wavelet) String() string {
+	switch w {
+	case Haar:
+		return "haar"
+	case Daubechies4:
+		return "db4"
+	default:
+		return fmt.Sprintf("wavelet(%d)", int(w))
+	}
+}
+
+// filters returns the scaling (low-pass) and wavelet (high-pass)
+// decomposition filters.
+func (w Wavelet) filters() (lo, hi []float64, err error) {
+	switch w {
+	case Haar:
+		s := math.Sqrt2 / 2
+		lo = []float64{s, s}
+	case Daubechies4:
+		r3 := math.Sqrt(3)
+		d := 4 * math.Sqrt2
+		lo = []float64{(1 + r3) / d, (3 + r3) / d, (3 - r3) / d, (1 - r3) / d}
+	default:
+		return nil, nil, fmt.Errorf("wavelet %d: unsupported family", int(w))
+	}
+	hi = make([]float64, len(lo))
+	for i := range lo {
+		// Quadrature mirror: g[k] = (-1)^k h[L-1-k].
+		hi[i] = lo[len(lo)-1-i]
+		if i%2 == 1 {
+			hi[i] = -hi[i]
+		}
+	}
+	return lo, hi, nil
+}
+
+// DWTLevel holds the detail coefficients of one dyadic scale.
+type DWTLevel struct {
+	// Scale is the dyadic level (1 is the finest).
+	Scale int
+	// Detail holds the wavelet (high-pass) coefficients at this scale.
+	Detail []float64
+}
+
+// DWT is a multi-level discrete wavelet decomposition.
+type DWT struct {
+	// Wavelet is the family used for the decomposition.
+	Wavelet Wavelet
+	// Levels holds detail coefficients, finest scale first.
+	Levels []DWTLevel
+	// Approx holds the remaining approximation (low-pass) coefficients.
+	Approx []float64
+}
+
+// Decompose performs a maxLevels-deep discrete wavelet transform with
+// periodic boundary handling. maxLevels <= 0 selects the deepest
+// decomposition the signal length allows. The signal length must be at
+// least the filter length.
+func Decompose(x []float64, w Wavelet, maxLevels int) (DWT, error) {
+	lo, hi, err := w.filters()
+	if err != nil {
+		return DWT{}, err
+	}
+	if len(x) < len(lo) {
+		return DWT{}, fmt.Errorf("dwt %s: signal length %d shorter than filter %d", w, len(x), len(lo))
+	}
+	limit := 0
+	for n := len(x); n >= len(lo) && n >= 2; n /= 2 {
+		limit++
+	}
+	if maxLevels <= 0 || maxLevels > limit {
+		maxLevels = limit
+	}
+	out := DWT{Wavelet: w}
+	approx := append([]float64(nil), x...)
+	for level := 1; level <= maxLevels; level++ {
+		n := len(approx)
+		half := n / 2
+		nextApprox := make([]float64, half)
+		detail := make([]float64, half)
+		for k := 0; k < half; k++ {
+			var a, d float64
+			for j := 0; j < len(lo); j++ {
+				idx := (2*k + j) % n
+				a += lo[j] * approx[idx]
+				d += hi[j] * approx[idx]
+			}
+			nextApprox[k] = a
+			detail[k] = d
+		}
+		out.Levels = append(out.Levels, DWTLevel{Scale: level, Detail: detail})
+		approx = nextApprox
+		if len(approx) < len(lo) || len(approx) < 2 {
+			break
+		}
+	}
+	out.Approx = approx
+	return out, nil
+}
+
+// Energy returns the sum of squared detail coefficients per level, finest
+// scale first. For stationary self-similar signals the log2 of the energy
+// grows linearly in the scale with slope related to the Hurst exponent.
+func (d DWT) Energy() []float64 {
+	out := make([]float64, len(d.Levels))
+	for i, lv := range d.Levels {
+		sum := 0.0
+		for _, c := range lv.Detail {
+			sum += c * c
+		}
+		out[i] = sum
+	}
+	return out
+}
+
+// Leaders computes the wavelet leaders at each scale: for position k at
+// scale j, the leader is the maximum absolute detail coefficient over the
+// dyadic neighbourhood {k-1, k, k+1} at scale j and all finer scales whose
+// support intersects it. Leaders are the standard robust statistic for
+// pointwise Hölder estimation.
+func (d DWT) Leaders() []DWTLevel {
+	out := make([]DWTLevel, len(d.Levels))
+	// cumMax[j][k] is the max |coefficient| over the dyadic subtree rooted
+	// at position k of scale j (all finer scales underneath).
+	cumMax := make([][]float64, len(d.Levels))
+	for j, lv := range d.Levels {
+		cm := make([]float64, len(lv.Detail))
+		for k, c := range lv.Detail {
+			m := math.Abs(c)
+			if j > 0 {
+				prev := cumMax[j-1]
+				for _, child := range []int{2 * k, 2*k + 1} {
+					if child < len(prev) && prev[child] > m {
+						m = prev[child]
+					}
+				}
+			}
+			cm[k] = m
+		}
+		cumMax[j] = cm
+		leaders := make([]float64, len(lv.Detail))
+		for k := range leaders {
+			m := cm[k]
+			if k > 0 && cm[k-1] > m {
+				m = cm[k-1]
+			}
+			if k+1 < len(cm) && cm[k+1] > m {
+				m = cm[k+1]
+			}
+			leaders[k] = m
+		}
+		out[j] = DWTLevel{Scale: lv.Scale, Detail: leaders}
+	}
+	return out
+}
+
+// Reconstruct inverts a decomposition produced by Decompose, returning the
+// original signal (up to floating-point error). Only exact dyadic
+// decompositions (every level halving evenly) reconstruct perfectly; this
+// holds for power-of-two input lengths.
+func (d DWT) Reconstruct() ([]float64, error) {
+	lo, hi, err := d.Wavelet.filters()
+	if err != nil {
+		return nil, err
+	}
+	approx := append([]float64(nil), d.Approx...)
+	for level := len(d.Levels) - 1; level >= 0; level-- {
+		detail := d.Levels[level].Detail
+		if len(detail) != len(approx) {
+			return nil, fmt.Errorf("reconstruct %s level %d: approx %d and detail %d mismatch",
+				d.Wavelet, level+1, len(approx), len(detail))
+		}
+		n := 2 * len(approx)
+		next := make([]float64, n)
+		for k := 0; k < len(approx); k++ {
+			for j := 0; j < len(lo); j++ {
+				idx := (2*k + j) % n
+				next[idx] += lo[j]*approx[k] + hi[j]*detail[k]
+			}
+		}
+		approx = next
+	}
+	return approx, nil
+}

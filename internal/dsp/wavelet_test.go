@@ -1,0 +1,238 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWaveletString(t *testing.T) {
+	if Haar.String() != "haar" || Daubechies4.String() != "db4" {
+		t.Errorf("String() = %q, %q", Haar.String(), Daubechies4.String())
+	}
+	if Wavelet(99).String() == "" {
+		t.Error("unknown wavelet String() empty")
+	}
+}
+
+func TestFiltersOrthonormality(t *testing.T) {
+	for _, w := range []Wavelet{Haar, Daubechies4} {
+		t.Run(w.String(), func(t *testing.T) {
+			lo, hi, err := w.filters()
+			if err != nil {
+				t.Fatalf("filters: %v", err)
+			}
+			sumSqLo, sumSqHi, dot, sumLo, sumHi := 0.0, 0.0, 0.0, 0.0, 0.0
+			for i := range lo {
+				sumSqLo += lo[i] * lo[i]
+				sumSqHi += hi[i] * hi[i]
+				dot += lo[i] * hi[i]
+				sumLo += lo[i]
+				sumHi += hi[i]
+			}
+			if math.Abs(sumSqLo-1) > 1e-12 || math.Abs(sumSqHi-1) > 1e-12 {
+				t.Errorf("filter norms = %v, %v; want 1", sumSqLo, sumSqHi)
+			}
+			if math.Abs(dot) > 1e-12 {
+				t.Errorf("lo·hi = %v, want 0", dot)
+			}
+			if math.Abs(sumLo-math.Sqrt2) > 1e-12 {
+				t.Errorf("sum(lo) = %v, want sqrt(2)", sumLo)
+			}
+			if math.Abs(sumHi) > 1e-12 {
+				t.Errorf("sum(hi) = %v, want 0 (vanishing moment)", sumHi)
+			}
+		})
+	}
+	if _, _, err := Wavelet(99).filters(); err == nil {
+		t.Error("unknown wavelet should fail")
+	}
+}
+
+func TestDb4KillsLinearSignals(t *testing.T) {
+	// Daubechies-4 has two vanishing moments: detail coefficients of a
+	// linear ramp vanish away from the periodic wrap-around.
+	n := 128
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = 3 + 0.5*float64(i)
+	}
+	d, err := Decompose(x, Daubechies4, 1)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	detail := d.Levels[0].Detail
+	// Skip the last two coefficients affected by periodic boundary.
+	for k := 0; k < len(detail)-2; k++ {
+		if math.Abs(detail[k]) > 1e-9 {
+			t.Fatalf("db4 detail[%d] = %v on linear ramp, want ~0", k, detail[k])
+		}
+	}
+}
+
+func TestHaarKnownDecomposition(t *testing.T) {
+	x := []float64{4, 2, 5, 5}
+	d, err := Decompose(x, Haar, 1)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	s := math.Sqrt2 / 2
+	wantApprox := []float64{s * 6, s * 10}
+	wantDetail := []float64{s * 2, 0}
+	for i := range wantApprox {
+		if math.Abs(d.Approx[i]-wantApprox[i]) > 1e-12 {
+			t.Errorf("approx[%d] = %v, want %v", i, d.Approx[i], wantApprox[i])
+		}
+		if math.Abs(d.Levels[0].Detail[i]-wantDetail[i]) > 1e-12 {
+			t.Errorf("detail[%d] = %v, want %v", i, d.Levels[0].Detail[i], wantDetail[i])
+		}
+	}
+}
+
+func TestDecomposeReconstructRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, w := range []Wavelet{Haar, Daubechies4} {
+		for _, n := range []int{8, 64, 256} {
+			x := make([]float64, n)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			d, err := Decompose(x, w, 0)
+			if err != nil {
+				t.Fatalf("%s n=%d Decompose: %v", w, n, err)
+			}
+			back, err := d.Reconstruct()
+			if err != nil {
+				t.Fatalf("%s n=%d Reconstruct: %v", w, n, err)
+			}
+			if len(back) != n {
+				t.Fatalf("%s n=%d reconstruct length = %d", w, n, len(back))
+			}
+			for i := range x {
+				if math.Abs(back[i]-x[i]) > 1e-9 {
+					t.Fatalf("%s n=%d reconstruct[%d] = %v, want %v", w, n, i, back[i], x[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDecomposeEnergyConservation(t *testing.T) {
+	// Orthonormal transform preserves total energy.
+	rng := rand.New(rand.NewSource(8))
+	x := make([]float64, 512)
+	inEnergy := 0.0
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		inEnergy += x[i] * x[i]
+	}
+	d, err := Decompose(x, Daubechies4, 0)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	outEnergy := 0.0
+	for _, e := range d.Energy() {
+		outEnergy += e
+	}
+	for _, a := range d.Approx {
+		outEnergy += a * a
+	}
+	if math.Abs(inEnergy-outEnergy) > 1e-8*inEnergy {
+		t.Errorf("energy in=%v out=%v", inEnergy, outEnergy)
+	}
+}
+
+func TestDecomposeLevelsAndErrors(t *testing.T) {
+	x := make([]float64, 64)
+	d, err := Decompose(x, Haar, 3)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	if len(d.Levels) != 3 {
+		t.Errorf("levels = %d, want 3", len(d.Levels))
+	}
+	wantLens := []int{32, 16, 8}
+	for i, lv := range d.Levels {
+		if len(lv.Detail) != wantLens[i] {
+			t.Errorf("level %d detail length = %d, want %d", i+1, len(lv.Detail), wantLens[i])
+		}
+		if lv.Scale != i+1 {
+			t.Errorf("level %d scale = %d", i, lv.Scale)
+		}
+	}
+	if _, err := Decompose([]float64{1}, Daubechies4, 1); err == nil {
+		t.Error("signal shorter than filter should fail")
+	}
+	if _, err := Decompose(x, Wavelet(42), 1); err == nil {
+		t.Error("unknown wavelet should fail")
+	}
+}
+
+func TestLeadersDominateCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	d, err := Decompose(x, Daubechies4, 4)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	leaders := d.Leaders()
+	if len(leaders) != len(d.Levels) {
+		t.Fatalf("leaders levels = %d, want %d", len(leaders), len(d.Levels))
+	}
+	for j, lv := range d.Levels {
+		for k, c := range lv.Detail {
+			if leaders[j].Detail[k] < math.Abs(c)-1e-15 {
+				t.Fatalf("leader[%d][%d] = %v < |coef| %v", j, k, leaders[j].Detail[k], math.Abs(c))
+			}
+			if leaders[j].Detail[k] < 0 {
+				t.Fatalf("negative leader at [%d][%d]", j, k)
+			}
+		}
+	}
+	// A leader at scale 2 position k must dominate children 2k, 2k+1 at scale 1.
+	for k, l := range leaders[1].Detail {
+		for _, child := range []int{2 * k, 2*k + 1} {
+			if child < len(d.Levels[0].Detail) {
+				if l < math.Abs(d.Levels[0].Detail[child])-1e-15 {
+					t.Fatalf("leader scale2[%d]=%v < child coef %v", k, l, d.Levels[0].Detail[child])
+				}
+			}
+		}
+	}
+}
+
+func TestLeadersIsolatedSpikePropagates(t *testing.T) {
+	x := make([]float64, 128)
+	x[64] = 100
+	d, err := Decompose(x, Haar, 4)
+	if err != nil {
+		t.Fatalf("Decompose: %v", err)
+	}
+	leaders := d.Leaders()
+	// The spike energy must be visible in the leaders at every scale.
+	for j := range leaders {
+		max := 0.0
+		for _, l := range leaders[j].Detail {
+			if l > max {
+				max = l
+			}
+		}
+		if max < 1 {
+			t.Errorf("scale %d leader max = %v, spike lost", j+1, max)
+		}
+	}
+}
+
+func TestReconstructMismatchedLevels(t *testing.T) {
+	d := DWT{
+		Wavelet: Haar,
+		Levels:  []DWTLevel{{Scale: 1, Detail: []float64{1, 2, 3}}},
+		Approx:  []float64{1, 2},
+	}
+	if _, err := d.Reconstruct(); err == nil {
+		t.Error("mismatched level lengths should fail")
+	}
+}

@@ -1,0 +1,61 @@
+package dsp
+
+import (
+	"fmt"
+	"math"
+)
+
+// WelchPSD estimates the one-sided power spectral density of x by Welch's
+// method: the signal is split into 50%-overlapping Hann-windowed segments
+// of length segLen (a power of two), and the per-segment periodograms are
+// averaged. Averaging trades frequency resolution for a large variance
+// reduction relative to the raw periodogram, which matters for the
+// low-frequency slope fits behind spectral Hurst estimation.
+//
+// The output has segLen/2+1 bins; bin k corresponds to frequency
+// k/segLen cycles per sample.
+func WelchPSD(x []float64, segLen int) ([]float64, error) {
+	n := len(x)
+	if segLen < 8 || !isPow2(segLen) {
+		return nil, fmt.Errorf("welch psd: segment length %d: need a power of two >= 8", segLen)
+	}
+	if n < segLen {
+		return nil, fmt.Errorf("welch psd: %d samples with segment %d: %w", n, segLen, ErrEmpty)
+	}
+	// Hann window and its power normalization.
+	window := make([]float64, segLen)
+	windowPower := 0.0
+	for i := range window {
+		window[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(segLen-1)))
+		windowPower += window[i] * window[i]
+	}
+	hop := segLen / 2
+	half := segLen/2 + 1
+	psd := make([]float64, half)
+	segments := 0
+	buf := make([]complex128, segLen)
+	for start := 0; start+segLen <= n; start += hop {
+		// Demean the segment to suppress DC leakage.
+		mean := 0.0
+		for i := 0; i < segLen; i++ {
+			mean += x[start+i]
+		}
+		mean /= float64(segLen)
+		for i := 0; i < segLen; i++ {
+			buf[i] = complex((x[start+i]-mean)*window[i], 0)
+		}
+		fftPow2(buf, false)
+		for k := 0; k < half; k++ {
+			re, im := real(buf[k]), imag(buf[k])
+			psd[k] += (re*re + im*im) / windowPower
+		}
+		segments++
+	}
+	if segments == 0 {
+		return nil, fmt.Errorf("welch psd: no full segments")
+	}
+	for k := range psd {
+		psd[k] /= float64(segments)
+	}
+	return psd, nil
+}

@@ -1,0 +1,78 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestWelchPSDSinusoidPeak(t *testing.T) {
+	const n, segLen = 4096, 256
+	// Frequency 16/256 cycles/sample -> bin 16 of the segment spectrum.
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 16 * float64(i) / segLen)
+	}
+	psd, err := WelchPSD(x, segLen)
+	if err != nil {
+		t.Fatalf("WelchPSD: %v", err)
+	}
+	if len(psd) != segLen/2+1 {
+		t.Fatalf("bins = %d, want %d", len(psd), segLen/2+1)
+	}
+	peak := 0
+	for k, p := range psd {
+		if p > psd[peak] {
+			peak = k
+		}
+	}
+	if peak != 16 {
+		t.Errorf("peak at bin %d, want 16", peak)
+	}
+}
+
+func TestWelchPSDVarianceReduction(t *testing.T) {
+	// On white noise, the Welch estimate fluctuates much less across bins
+	// than the raw periodogram.
+	rng := rand.New(rand.NewSource(1))
+	x := make([]float64, 1<<14)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	welch, err := WelchPSD(x, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := PowerSpectrum(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv := func(ps []float64) float64 {
+		// Skip DC and Nyquist.
+		vals := ps[1 : len(ps)-1]
+		mean, sq := 0.0, 0.0
+		for _, v := range vals {
+			mean += v
+		}
+		mean /= float64(len(vals))
+		for _, v := range vals {
+			sq += (v - mean) * (v - mean)
+		}
+		return math.Sqrt(sq/float64(len(vals))) / mean
+	}
+	if cv(welch) >= cv(raw)/2 {
+		t.Errorf("welch cv %v not clearly below periodogram cv %v", cv(welch), cv(raw))
+	}
+}
+
+func TestWelchPSDErrors(t *testing.T) {
+	if _, err := WelchPSD(make([]float64, 100), 7); err == nil {
+		t.Error("non power-of-two segment should fail")
+	}
+	if _, err := WelchPSD(make([]float64, 100), 4); err == nil {
+		t.Error("tiny segment should fail")
+	}
+	if _, err := WelchPSD(make([]float64, 100), 256); err == nil {
+		t.Error("signal shorter than segment should fail")
+	}
+}

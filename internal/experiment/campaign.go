@@ -1,0 +1,210 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"agingmf/internal/collector"
+	"agingmf/internal/memsim"
+	"agingmf/internal/workload"
+)
+
+// MachineClass is a named hardware configuration, standing in for the two
+// workstation classes of the original study.
+type MachineClass struct {
+	// Name labels the class in tables ("nt4-like", "w2k-like").
+	Name string
+	// Mem is the machine configuration.
+	Mem memsim.Config
+	// Load is the workload configuration.
+	Load workload.DriverConfig
+}
+
+// classes returns the two machine classes of the campaign. Sizes are
+// scaled down from real hardware so a run-to-crash takes thousands (not
+// millions) of ticks; the analysis only depends on the counter dynamics,
+// not on absolute sizes.
+func classes() []MachineClass {
+	// Swap is kept small relative to RAM so the machine spends most of its
+	// life in the calm in-RAM regime and only enters the paging regime
+	// toward the end — the aging-onset shape the paper observes (a long
+	// healthy phase, then increasingly erratic counters until failure).
+	nt4 := memsim.DefaultConfig()
+	nt4.RAMPages = 16384 // 64 MiB
+	nt4.SwapPages = 6144 // 24 MiB
+	nt4.LowWatermark = 256
+
+	w2k := memsim.DefaultConfig()
+	w2k.RAMPages = 24576 // 96 MiB
+	w2k.SwapPages = 9216
+	w2k.LowWatermark = 512
+
+	ntLoad := workload.DefaultDriverConfig()
+	ntLoad.Server.LeakPagesPerTick = 3.5
+
+	w2kLoad := workload.DefaultDriverConfig()
+	w2kLoad.Server.LeakPagesPerTick = 5
+	w2kLoad.ClientRate = 0.5
+
+	return []MachineClass{
+		{Name: "nt4-like", Mem: nt4, Load: ntLoad},
+		{Name: "w2k-like", Mem: w2k, Load: w2kLoad},
+	}
+}
+
+// RunResult is one run-to-crash trace with its provenance.
+type RunResult struct {
+	// Class is the machine class name.
+	Class string
+	// Seed is the run's random seed.
+	Seed int64
+	// Trace is the recorded counter trace.
+	Trace collector.Trace
+}
+
+// campaignSize returns runs-per-class for the configuration.
+func campaignSize(cfg RunConfig) int {
+	if cfg.Quick {
+		return 2
+	}
+	return 6
+}
+
+// maxTicks bounds each run.
+func maxTicks(cfg RunConfig) int {
+	if cfg.Quick {
+		return 20000
+	}
+	return 60000
+}
+
+// makeSource builds the heavy-tailed + multifractal load modulation used
+// by every campaign run (and by E9's policy evaluation).
+func makeSource(seed int64) (workload.Source, error) {
+	srcRng := rand.New(rand.NewSource(seed))
+	agg, err := workload.NewAggregateSource(16, 1.4, 120, 120, srcRng)
+	if err != nil {
+		return nil, fmt.Errorf("make source: %w", err)
+	}
+	casc, err := workload.NewCascadeSource(13, 0.35, srcRng)
+	if err != nil {
+		return nil, fmt.Errorf("make source: %w", err)
+	}
+	return workload.ProductSource{
+		casc,
+		sourceWithFloor{agg, 0.25},
+	}, nil
+}
+
+// runOne executes a single run-to-crash collection.
+func runOne(class MachineClass, seed int64, horizon int) (RunResult, error) {
+	m, err := memsim.New(class.Mem, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return RunResult{}, fmt.Errorf("campaign %s/%d: %w", class.Name, seed, err)
+	}
+	src, err := makeSource(seed + 1)
+	if err != nil {
+		return RunResult{}, fmt.Errorf("campaign %s/%d: %w", class.Name, seed, err)
+	}
+	d, err := workload.NewDriver(m, class.Load, src, rand.New(rand.NewSource(seed+2)))
+	if err != nil {
+		return RunResult{}, fmt.Errorf("campaign %s/%d: %w", class.Name, seed, err)
+	}
+	tr, err := collector.Collect(m, d, collector.Config{
+		TicksPerSample: 1,
+		MaxTicks:       horizon,
+		StopOnCrash:    true,
+	})
+	if err != nil {
+		return RunResult{}, fmt.Errorf("campaign %s/%d: %w", class.Name, seed, err)
+	}
+	return RunResult{Class: class.Name, Seed: seed, Trace: tr}, nil
+}
+
+// sourceWithFloor keeps an intensity source away from zero so the machine
+// never fully idles (OFF periods throttle rather than stop the load).
+type sourceWithFloor struct {
+	src   workload.Source
+	floor float64
+}
+
+// Intensity implements workload.Source.
+func (s sourceWithFloor) Intensity(tick int) float64 {
+	return s.floor + (1-s.floor)*s.src.Intensity(tick)
+}
+
+// campaignCache memoizes campaigns per RunConfig: experiments E2-E8 all
+// analyze the same traces, so the simulation cost is paid once. Cached
+// results are shared; treat traces as read-only.
+var campaignCache = struct {
+	mu sync.Mutex
+	m  map[RunConfig][]RunResult
+}{m: make(map[RunConfig][]RunResult)}
+
+// Campaign runs runsPerClass seeded run-to-crash collections per machine
+// class, in parallel with bounded workers, and returns them ordered by
+// class then seed. Results are memoized per RunConfig and must be treated
+// as read-only.
+func Campaign(cfg RunConfig) ([]RunResult, error) {
+	campaignCache.mu.Lock()
+	if cached, ok := campaignCache.m[cfg]; ok {
+		campaignCache.mu.Unlock()
+		return cached, nil
+	}
+	campaignCache.mu.Unlock()
+	results, err := runCampaign(cfg)
+	if err != nil {
+		return nil, err
+	}
+	campaignCache.mu.Lock()
+	campaignCache.m[cfg] = results
+	campaignCache.mu.Unlock()
+	return results, nil
+}
+
+func runCampaign(cfg RunConfig) ([]RunResult, error) {
+	cls := classes()
+	n := campaignSize(cfg)
+	horizon := maxTicks(cfg)
+	type job struct {
+		class MachineClass
+		seed  int64
+		idx   int
+	}
+	jobs := make([]job, 0, len(cls)*n)
+	for ci, class := range cls {
+		for r := 0; r < n; r++ {
+			jobs = append(jobs, job{
+				class: class,
+				seed:  cfg.Seed + int64(ci*1000+r*17),
+				idx:   len(jobs),
+			})
+		}
+	}
+	results := make([]RunResult, len(jobs))
+	errs := make([]error, len(jobs))
+	const workers = 4
+	var wg sync.WaitGroup
+	ch := make(chan job)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				results[j.idx], errs[j.idx] = runOne(j.class, j.seed, horizon)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

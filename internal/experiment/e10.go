@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"agingmf/internal/aging"
+	"agingmf/internal/series"
+	"agingmf/internal/stats"
+)
+
+// RunE10 is an extension experiment (not in the original paper): a
+// sensitivity ablation of the monitor's two main design choices — the
+// volatility jump detector and the volatility window length — evaluated
+// by detection rate and median lead on the same campaign traces as E5.
+// It substantiates the DESIGN.md §5 claim that the headline result is not
+// an artifact of one parameter setting.
+func RunE10(cfg RunConfig) (Report, error) {
+	runs, err := Campaign(cfg)
+	if err != nil {
+		return Report{}, fmt.Errorf("e10: %w", err)
+	}
+	detectors := []aging.DetectorKind{
+		aging.DetectShewhart, aging.DetectCUSUM, aging.DetectPageHinkley, aging.DetectEWMA,
+	}
+	windows := []int{128, 256}
+	tbl := Table{
+		Title:  "monitor sensitivity: detector x volatility window (dual-counter)",
+		Header: []string{"detector", "window", "detection rate", "median lead", "mean jumps/run"},
+	}
+	metrics := map[string]float64{"runs": float64(len(runs))}
+	bestRate := 0.0
+	for _, det := range detectors {
+		for _, w := range windows {
+			monCfg := monitorConfig(cfg.Quick)
+			monCfg.Detector = det
+			monCfg.VolatilityWindow = w
+			if monCfg.Refractory < w {
+				monCfg.Refractory = w
+			}
+			detected, crashes := 0, 0
+			totalJumps := 0
+			var leads []float64
+			for _, r := range runs {
+				jumps, err := mergedJumpsWith(r, monCfg)
+				if err != nil {
+					return Report{}, fmt.Errorf("e10 %v/%d: %w", det, w, err)
+				}
+				totalJumps += len(jumps)
+				crashTick := r.Trace.CrashTick()
+				if crashTick < 0 {
+					continue
+				}
+				crashes++
+				last := -1
+				for _, j := range jumps {
+					if j <= crashTick {
+						last = j
+					}
+				}
+				if last >= 0 {
+					detected++
+					leads = append(leads, float64(crashTick-last))
+				}
+			}
+			rate := 0.0
+			if crashes > 0 {
+				rate = float64(detected) / float64(crashes)
+			}
+			if rate > bestRate {
+				bestRate = rate
+			}
+			medLead := math.NaN()
+			if len(leads) > 0 {
+				medLead, err = stats.Median(leads)
+				if err != nil {
+					return Report{}, fmt.Errorf("e10: %w", err)
+				}
+			}
+			leadStr := "-"
+			if !math.IsNaN(medLead) {
+				leadStr = fmtF(medLead)
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				det.String(), fmtI(w), fmtF(rate), leadStr,
+				fmtF(float64(totalJumps) / float64(len(runs))),
+			})
+			metrics[fmt.Sprintf("%s_w%d_detection_rate", det, w)] = rate
+		}
+	}
+	metrics["best_detection_rate"] = bestRate
+	return Report{
+		ID:      "E10",
+		Tables:  []Table{tbl},
+		Metrics: metrics,
+		Notes: []string{
+			"extension experiment (ablation): not part of the original paper's artifact list",
+		},
+	}, nil
+}
+
+// mergedJumpsWith analyzes both counters with an explicit monitor
+// configuration and merges the jump sample indices.
+func mergedJumpsWith(r RunResult, monCfg aging.Config) ([]int, error) {
+	var ticks []int
+	for _, s := range []series.Series{r.Trace.FreeMemory, r.Trace.UsedSwap} {
+		res, err := aging.Analyze(s, monCfg)
+		if err != nil {
+			return nil, fmt.Errorf("analyze %q: %w", s.Name, err)
+		}
+		for _, j := range res.Jumps {
+			ticks = append(ticks, j.SampleIndex)
+		}
+	}
+	sort.Ints(ticks)
+	return ticks, nil
+}

@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"agingmf/internal/gen"
+	"agingmf/internal/multifractal"
+	"agingmf/internal/stats"
+)
+
+// RunE7 reconstructs the multifractality-evidence figure: generalized
+// Hurst exponents h(q) of the raw free-memory increments versus a shuffled
+// surrogate. Genuine (temporal) multifractality collapses under
+// shuffling: the surrogate's h(q) spread shrinks toward a flat profile
+// around 0.5.
+func RunE7(cfg RunConfig) (Report, error) {
+	runs, err := Campaign(cfg)
+	if err != nil {
+		return Report{}, fmt.Errorf("e7: %w", err)
+	}
+	mfCfg := mfdfaConfig(cfg.Quick)
+	tbl := Table{
+		Title: "h(q) spread: raw vs shuffled surrogate (free-memory increments)",
+		Header: []string{
+			"class", "seed", "raw h(2)", "raw spread", "shuffled h(2)", "shuffled spread", "collapse",
+		},
+	}
+	var rawSpreads, surSpreads []float64
+	collapsed := 0
+	analyzed := 0
+	for _, r := range runs {
+		inc, err := incrementsOf(r.Trace.FreeMemory)
+		if err != nil {
+			return Report{}, fmt.Errorf("e7: %w", err)
+		}
+		raw, err := multifractal.MFDFA(inc, mfCfg)
+		if err != nil {
+			tbl.Rows = append(tbl.Rows, []string{r.Class, fmtI(int(r.Seed)), "-", "-", "-", "-", "-"})
+			continue
+		}
+		rng := rand.New(rand.NewSource(r.Seed + 7777))
+		sur, err := multifractal.MFDFA(gen.Shuffle(inc, rng), mfCfg)
+		if err != nil {
+			tbl.Rows = append(tbl.Rows, []string{r.Class, fmtI(int(r.Seed)), "-", "-", "-", "-", "-"})
+			continue
+		}
+		analyzed++
+		rawSpread := raw.HqRange()
+		surSpread := sur.HqRange()
+		rawSpreads = append(rawSpreads, rawSpread)
+		surSpreads = append(surSpreads, surSpread)
+		didCollapse := surSpread < rawSpread
+		if didCollapse {
+			collapsed++
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			r.Class, fmtI(int(r.Seed)),
+			fmtF(hqOf(raw, 2)), fmtF(rawSpread),
+			fmtF(hqOf(sur, 2)), fmtF(surSpread),
+			fmt.Sprintf("%t", didCollapse),
+		})
+	}
+	metrics := map[string]float64{
+		"runs":     float64(len(runs)),
+		"analyzed": float64(analyzed),
+	}
+	if analyzed > 0 {
+		metrics["collapse_fraction"] = float64(collapsed) / float64(analyzed)
+		metrics["mean_raw_spread"] = stats.Mean(rawSpreads)
+		metrics["mean_shuffled_spread"] = stats.Mean(surSpreads)
+	}
+	return Report{
+		ID:      "E7",
+		Tables:  []Table{tbl},
+		Metrics: metrics,
+		Notes: []string{
+			"paper claim reconstructed: memory counters are genuinely multifractal — destroying temporal order collapses the h(q) spread",
+		},
+	}, nil
+}
+
+// hqOf returns h(q) at a specific moment order (NaN-safe lookup).
+func hqOf(res multifractal.Result, q float64) float64 {
+	for i, qq := range res.Qs {
+		if qq == q {
+			return res.Hq[i]
+		}
+	}
+	return 0
+}

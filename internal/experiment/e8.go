@@ -1,0 +1,163 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"agingmf/internal/aging"
+	"agingmf/internal/stats"
+)
+
+// detectorOutcome is one detector's performance on one run.
+type detectorOutcome struct {
+	warned     bool    // fired at all
+	early      bool    // first warning in the first quarter of life
+	leadTicks  float64 // crash tick minus last warning before crash
+	detectedOK bool    // warned at or before the crash
+}
+
+// RunE8 reconstructs the comparison against prior measurement-based aging
+// work: the multifractal volatility monitor versus OLS/Sen trend
+// extrapolation (Garg et al.; Vaidyanathan & Trivedi) and a windowed-Hurst
+// detector, all consuming the same free-memory traces.
+func RunE8(cfg RunConfig) (Report, error) {
+	runs, err := Campaign(cfg)
+	if err != nil {
+		return Report{}, fmt.Errorf("e8: %w", err)
+	}
+	detectorNames := []string{"multifractal", "trend-ols", "trend-sen", "hurst"}
+	outcomes := make(map[string][]detectorOutcome, len(detectorNames))
+
+	for _, r := range runs {
+		crashTick := r.Trace.CrashTick()
+		values := r.Trace.FreeMemory.Values
+
+		// Multifractal monitor (dual-counter, as instrumented in the paper).
+		warnTicks, err := dualJumps(r, cfg.Quick)
+		if err != nil {
+			return Report{}, fmt.Errorf("e8: %w", err)
+		}
+		outcomes["multifractal"] = append(outcomes["multifractal"],
+			scoreDetector(warnTicks, crashTick, len(values)))
+
+		// Trend baselines.
+		for _, method := range []aging.TrendMethod{aging.TrendOLS, aging.TrendSen} {
+			tcfg := aging.DefaultTrendConfig()
+			tcfg.Method = method
+			if cfg.Quick {
+				tcfg.Window = 512
+			}
+			// Warn when predicted exhaustion is within a tenth of the
+			// maximum horizon — comparable anticipation to the monitor.
+			tcfg.WarnHorizon = float64(len(values)) / 10
+			det, err := aging.NewTrendDetector(tcfg)
+			if err != nil {
+				return Report{}, fmt.Errorf("e8: %w", err)
+			}
+			warnTicks = warnTicks[:0]
+			for _, v := range values {
+				if w, fired := det.Add(v); fired {
+					warnTicks = append(warnTicks, w.SampleIndex)
+				}
+			}
+			name := "trend-" + method.String()
+			outcomes[name] = append(outcomes[name], scoreDetector(warnTicks, crashTick, len(values)))
+		}
+
+		// Hurst baseline.
+		hcfg := aging.DefaultHurstConfig()
+		if cfg.Quick {
+			hcfg.Window = 512
+		}
+		hdet, err := aging.NewHurstDetector(hcfg)
+		if err != nil {
+			return Report{}, fmt.Errorf("e8: %w", err)
+		}
+		warnTicks = warnTicks[:0]
+		for _, v := range values {
+			if a, fired := hdet.Add(v); fired {
+				warnTicks = append(warnTicks, a.SampleIndex)
+			}
+		}
+		outcomes["hurst"] = append(outcomes["hurst"], scoreDetector(warnTicks, crashTick, len(values)))
+	}
+
+	tbl := Table{
+		Title: "detector comparison on identical free-memory traces",
+		Header: []string{
+			"detector", "runs", "detection rate", "median lead (ticks)", "early-alarm rate",
+		},
+	}
+	metrics := map[string]float64{"runs": float64(len(runs))}
+	for _, name := range detectorNames {
+		outs := outcomes[name]
+		detected, early := 0, 0
+		var leads []float64
+		for _, o := range outs {
+			if o.detectedOK {
+				detected++
+				leads = append(leads, o.leadTicks)
+			}
+			if o.early {
+				early++
+			}
+		}
+		rate := float64(detected) / float64(len(outs))
+		earlyRate := float64(early) / float64(len(outs))
+		medLead := math.NaN()
+		if len(leads) > 0 {
+			medLead, err = stats.Median(leads)
+			if err != nil {
+				return Report{}, fmt.Errorf("e8: %w", err)
+			}
+		}
+		leadStr := "-"
+		if !math.IsNaN(medLead) {
+			leadStr = fmtF(medLead)
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			name, fmtI(len(outs)), fmtF(rate), leadStr, fmtF(earlyRate),
+		})
+		metrics[name+"_detection_rate"] = rate
+		metrics[name+"_early_alarm_rate"] = earlyRate
+		if !math.IsNaN(medLead) {
+			metrics[name+"_median_lead"] = medLead
+		}
+	}
+	return Report{
+		ID:      "E8",
+		Tables:  []Table{tbl},
+		Metrics: metrics,
+		Notes: []string{
+			"detection = at least one warning at or before the crash; early alarm = first warning inside the first quarter of the run (premature)",
+			"the multifractal monitor is non-parametric: unlike the trend baselines it needs no exhaustion level or direction",
+		},
+	}, nil
+}
+
+// scoreDetector converts a warning-tick list into a detectorOutcome.
+func scoreDetector(warnTicks []int, crashTick, runLen int) detectorOutcome {
+	var o detectorOutcome
+	if len(warnTicks) == 0 {
+		return o
+	}
+	o.warned = true
+	if warnTicks[0] < runLen/4 {
+		o.early = true
+	}
+	if crashTick < 0 {
+		return o
+	}
+	// Last warning at or before the crash.
+	last := -1
+	for _, w := range warnTicks {
+		if w <= crashTick {
+			last = w
+		}
+	}
+	if last >= 0 {
+		o.detectedOK = true
+		o.leadTicks = float64(crashTick - last)
+	}
+	return o
+}

@@ -1,0 +1,142 @@
+// Package experiment defines the reproduction's evaluation programme: one
+// registered experiment per reconstructed table/figure of the DSN 2003
+// paper (see DESIGN.md §4 and EXPERIMENTS.md). Each experiment runs the
+// full pipeline — simulate machines to failure under the stress workload,
+// analyze the recorded counters, and render the table the paper reports —
+// and returns machine-readable metrics that the tests and benchmarks
+// assert on.
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"text/tabwriter"
+)
+
+// ErrUnknownExperiment is returned when an id is not registered.
+var ErrUnknownExperiment = errors.New("experiment: unknown experiment")
+
+// RunConfig controls the scale and determinism of an experiment run.
+type RunConfig struct {
+	// Seed derives every random stream of the run.
+	Seed int64
+	// Quick shrinks campaign sizes for tests and benchmarks.
+	Quick bool
+}
+
+// Table is a rendered result table.
+type Table struct {
+	// Title names the table/figure being reconstructed.
+	Title string
+	// Header holds the column names.
+	Header []string
+	// Rows holds the formatted cells.
+	Rows [][]string
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	// ID is the experiment id ("E1"...).
+	ID string
+	// Tables holds all rendered tables/figure summaries.
+	Tables []Table
+	// Metrics exposes scalar outcomes for tests and EXPERIMENTS.md.
+	Metrics map[string]float64
+	// Notes records caveats and reconstruction commentary.
+	Notes []string
+}
+
+// Metric fetches a metric by name.
+func (r Report) Metric(name string) (float64, bool) {
+	v, ok := r.Metrics[name]
+	return v, ok
+}
+
+// Render writes the report as aligned text.
+func (r Report) Render(w io.Writer) error {
+	for _, tbl := range r.Tables {
+		if _, err := fmt.Fprintf(w, "\n== %s: %s ==\n", r.ID, tbl.Title); err != nil {
+			return fmt.Errorf("render %s: %w", r.ID, err)
+		}
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		if _, err := fmt.Fprintln(tw, strings.Join(tbl.Header, "\t")); err != nil {
+			return fmt.Errorf("render %s: %w", r.ID, err)
+		}
+		for _, row := range tbl.Rows {
+			if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")); err != nil {
+				return fmt.Errorf("render %s: %w", r.ID, err)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return fmt.Errorf("render %s: %w", r.ID, err)
+		}
+	}
+	if len(r.Metrics) > 0 {
+		if _, err := fmt.Fprintf(w, "\n-- %s metrics --\n", r.ID); err != nil {
+			return fmt.Errorf("render %s: %w", r.ID, err)
+		}
+		names := make([]string, 0, len(r.Metrics))
+		for name := range r.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if _, err := fmt.Fprintf(w, "%-40s %.6g\n", name, r.Metrics[name]); err != nil {
+				return fmt.Errorf("render %s: %w", r.ID, err)
+			}
+		}
+	}
+	for _, note := range r.Notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", note); err != nil {
+			return fmt.Errorf("render %s: %w", r.ID, err)
+		}
+	}
+	return nil
+}
+
+// Experiment is one reconstructed evaluation artifact.
+type Experiment struct {
+	// ID is the experiment id ("E1"...).
+	ID string
+	// Title describes what the experiment reconstructs.
+	Title string
+	// Run executes the experiment.
+	Run func(cfg RunConfig) (Report, error)
+}
+
+// All returns every registered experiment in order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "E1", Title: "Hölder estimator validation on signals with known regularity", Run: RunE1},
+		{ID: "E2", Title: "Run-to-crash memory counter trajectories", Run: RunE2},
+		{ID: "E3", Title: "Hölder exponent trajectories of memory counters", Run: RunE3},
+		{ID: "E4", Title: "Hölder volatility with jump and crash markers", Run: RunE4},
+		{ID: "E5", Title: "Per-run jump/crash chronology and lead times", Run: RunE5},
+		{ID: "E6", Title: "Multifractal spectrum widening across system life", Run: RunE6},
+		{ID: "E7", Title: "Multifractality evidence: h(q) vs shuffled surrogate", Run: RunE7},
+		{ID: "E8", Title: "Detector comparison against prior-work baselines", Run: RunE8},
+		{ID: "E9", Title: "Rejuvenation policy pay-off", Run: RunE9},
+		{ID: "E10", Title: "Sensitivity ablation: detector and window choices (extension)", Run: RunE10},
+		{ID: "E11", Title: "Fault-injection detection latency (extension)", Run: RunE11},
+		{ID: "E12", Title: "Workload self-similarity validation (extension)", Run: RunE12},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+}
+
+// fmtF formats a float for table cells.
+func fmtF(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// fmtI formats an int for table cells.
+func fmtI(v int) string { return fmt.Sprintf("%d", v) }

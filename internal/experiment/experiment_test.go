@@ -1,0 +1,307 @@
+package experiment
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickCfg is the standard test-scale configuration. The campaign behind
+// it is memoized, so the simulation cost is paid once per test binary.
+var quickCfg = RunConfig{Seed: 1, Quick: true}
+
+func mustMetric(t *testing.T, rep Report, name string) float64 {
+	t.Helper()
+	v, ok := rep.Metric(name)
+	if !ok {
+		t.Fatalf("%s: metric %q missing (have %v)", rep.ID, name, rep.Metrics)
+	}
+	return v
+}
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("registered experiments = %d, want 12", len(all))
+	}
+	for i, e := range all {
+		if e.ID == "" || e.Title == "" || e.Run == nil {
+			t.Errorf("experiment %d incomplete: %+v", i, e)
+		}
+	}
+	e, err := ByID("e5")
+	if err != nil || e.ID != "E5" {
+		t.Errorf("ByID(e5) = %+v, %v", e, err)
+	}
+	if _, err := ByID("E42"); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestCampaignShapeAndDeterminism(t *testing.T) {
+	runs, err := Campaign(quickCfg)
+	if err != nil {
+		t.Fatalf("Campaign: %v", err)
+	}
+	if len(runs) != 4 { // 2 classes x 2 quick runs
+		t.Fatalf("runs = %d, want 4", len(runs))
+	}
+	classSeen := make(map[string]int)
+	for _, r := range runs {
+		classSeen[r.Class]++
+		if r.Trace.Len() < 500 {
+			t.Errorf("%s/%d: only %d samples", r.Class, r.Seed, r.Trace.Len())
+		}
+	}
+	if classSeen["nt4-like"] != 2 || classSeen["w2k-like"] != 2 {
+		t.Errorf("class distribution %v", classSeen)
+	}
+	// Memoization must return the identical slice.
+	again, err := Campaign(quickCfg)
+	if err != nil {
+		t.Fatalf("Campaign again: %v", err)
+	}
+	if &again[0] != &runs[0] {
+		t.Error("campaign not memoized")
+	}
+	// A different seed gives different traces.
+	other, err := Campaign(RunConfig{Seed: 2, Quick: true})
+	if err != nil {
+		t.Fatalf("Campaign seed 2: %v", err)
+	}
+	if other[0].Trace.Len() == runs[0].Trace.Len() &&
+		other[0].Trace.CrashTick() == runs[0].Trace.CrashTick() {
+		t.Log("warning: different seeds produced identical crash ticks (possible but unlikely)")
+	}
+}
+
+func TestE1EstimatorsValidated(t *testing.T) {
+	rep, err := RunE1(quickCfg)
+	if err != nil {
+		t.Fatalf("E1: %v", err)
+	}
+	if got := mustMetric(t, rep, "worst_oscillation_abs_error"); got > 0.25 {
+		t.Errorf("worst oscillation error = %v", got)
+	}
+	if got := mustMetric(t, rep, "worst_dfa_abs_error"); got > 0.15 {
+		t.Errorf("worst DFA error = %v", got)
+	}
+	if got := mustMetric(t, rep, "misordered_pairs"); got != 0 {
+		t.Errorf("misordered pairs = %v", got)
+	}
+	if len(rep.Tables) != 2 || len(rep.Tables[0].Rows) != 6 {
+		t.Errorf("table shape wrong: %+v", rep.Tables)
+	}
+}
+
+func TestE2EveryRunCrashesWithDecline(t *testing.T) {
+	rep, err := RunE2(quickCfg)
+	if err != nil {
+		t.Fatalf("E2: %v", err)
+	}
+	if got := mustMetric(t, rep, "crash_rate"); got != 1 {
+		t.Errorf("crash rate = %v, want 1", got)
+	}
+	if got := mustMetric(t, rep, "decline_ratio"); got > 0.6 {
+		t.Errorf("decline ratio = %v, want well below 1", got)
+	}
+}
+
+func TestE3HolderVariabilityMeasured(t *testing.T) {
+	rep, err := RunE3(quickCfg)
+	if err != nil {
+		t.Fatalf("E3: %v", err)
+	}
+	// The trajectory must exist for every run and variability must be
+	// non-degenerate.
+	if got := mustMetric(t, rep, "runs"); got != 4 {
+		t.Errorf("runs = %v", got)
+	}
+	if got := mustMetric(t, rep, "median_late_early_std_ratio"); got <= 0 {
+		t.Errorf("median std ratio = %v", got)
+	}
+}
+
+func TestE4JumpsDetectedOnMostRuns(t *testing.T) {
+	rep, err := RunE4(quickCfg)
+	if err != nil {
+		t.Fatalf("E4: %v", err)
+	}
+	if got := mustMetric(t, rep, "jump_rate"); got < 0.75 {
+		t.Errorf("jump rate = %v, want >= 0.75", got)
+	}
+}
+
+func TestE5JumpsPrecedeCrashes(t *testing.T) {
+	rep, err := RunE5(quickCfg)
+	if err != nil {
+		t.Fatalf("E5: %v", err)
+	}
+	if got := mustMetric(t, rep, "detection_rate"); got < 0.75 {
+		t.Errorf("detection rate = %v, want >= 0.75 (paper: jumps precede all crashes)", got)
+	}
+	if got := mustMetric(t, rep, "median_lead_ticks"); got <= 0 {
+		t.Errorf("median lead = %v, want positive", got)
+	}
+}
+
+func TestE5SecondSeed(t *testing.T) {
+	// The headline claim must not be a property of one lucky seed.
+	rep, err := RunE5(RunConfig{Seed: 1234, Quick: true})
+	if err != nil {
+		t.Fatalf("E5 seed 1234: %v", err)
+	}
+	if got := mustMetric(t, rep, "detection_rate"); got < 0.75 {
+		t.Errorf("seed-1234 detection rate = %v", got)
+	}
+}
+
+func TestE6SpectrumWidensInMostRuns(t *testing.T) {
+	rep, err := RunE6(quickCfg)
+	if err != nil {
+		t.Fatalf("E6: %v", err)
+	}
+	if got := mustMetric(t, rep, "widened_fraction"); got < 0.5 {
+		t.Errorf("widened fraction = %v, want majority", got)
+	}
+}
+
+func TestE7ShufflingCollapsesSpread(t *testing.T) {
+	rep, err := RunE7(quickCfg)
+	if err != nil {
+		t.Fatalf("E7: %v", err)
+	}
+	if got := mustMetric(t, rep, "collapse_fraction"); got < 0.75 {
+		t.Errorf("collapse fraction = %v", got)
+	}
+	raw := mustMetric(t, rep, "mean_raw_spread")
+	sur := mustMetric(t, rep, "mean_shuffled_spread")
+	if sur >= raw {
+		t.Errorf("shuffled spread %v >= raw spread %v", sur, raw)
+	}
+}
+
+func TestE8MultifractalCompetitive(t *testing.T) {
+	rep, err := RunE8(quickCfg)
+	if err != nil {
+		t.Fatalf("E8: %v", err)
+	}
+	mf := mustMetric(t, rep, "multifractal_detection_rate")
+	hurst := mustMetric(t, rep, "hurst_detection_rate")
+	if mf < 0.75 {
+		t.Errorf("multifractal detection rate = %v", mf)
+	}
+	if mf < hurst {
+		t.Errorf("multifractal (%v) worse than Hurst baseline (%v)", mf, hurst)
+	}
+	if got := mustMetric(t, rep, "multifractal_early_alarm_rate"); got > 0.5 {
+		t.Errorf("early alarm rate = %v", got)
+	}
+}
+
+func TestE9ProactivePoliciesBeatReactive(t *testing.T) {
+	rep, err := RunE9(quickCfg)
+	if err != nil {
+		t.Fatalf("E9: %v", err)
+	}
+	none := mustMetric(t, rep, "none_availability")
+	periodic := mustMetric(t, rep, "periodic_availability")
+	monitor := mustMetric(t, rep, "monitor_availability")
+	if periodic <= none {
+		t.Errorf("periodic availability %v <= none %v", periodic, none)
+	}
+	if monitor <= none {
+		t.Errorf("monitor availability %v <= none %v", monitor, none)
+	}
+	if mustMetric(t, rep, "monitor_crashes") >= mustMetric(t, rep, "none_crashes") {
+		t.Error("monitor policy did not reduce crashes")
+	}
+	if got := mustMetric(t, rep, "huang_model_gain"); got <= 0 {
+		t.Errorf("huang model gain = %v, want positive", got)
+	}
+}
+
+func TestE10AblationRobustAcrossSettings(t *testing.T) {
+	rep, err := RunE10(quickCfg)
+	if err != nil {
+		t.Fatalf("E10: %v", err)
+	}
+	if got := mustMetric(t, rep, "best_detection_rate"); got < 0.75 {
+		t.Errorf("best detection rate = %v", got)
+	}
+	// The headline result must not hinge on a single configuration: a
+	// majority of the eight combos should reach at least 0.5.
+	good := 0
+	for name, v := range rep.Metrics {
+		if name == "best_detection_rate" || name == "runs" {
+			continue
+		}
+		if v >= 0.5 {
+			good++
+		}
+	}
+	if good < 5 {
+		t.Errorf("only %d/8 configurations reach detection rate 0.5", good)
+	}
+	if len(rep.Tables[0].Rows) != 8 {
+		t.Errorf("ablation rows = %d, want 8", len(rep.Tables[0].Rows))
+	}
+}
+
+func TestE11FaultInjectionDetected(t *testing.T) {
+	rep, err := RunE11(quickCfg)
+	if err != nil {
+		t.Fatalf("E11: %v", err)
+	}
+	if got := mustMetric(t, rep, "detection_rate"); got < 0.5 {
+		t.Errorf("fault detection rate = %v", got)
+	}
+	if got := mustMetric(t, rep, "median_latency_ticks"); got <= 0 || got > 20000 {
+		t.Errorf("median latency = %v", got)
+	}
+}
+
+func TestE12WorkloadSelfSimilarity(t *testing.T) {
+	rep, err := RunE12(quickCfg)
+	if err != nil {
+		t.Fatalf("E12: %v", err)
+	}
+	// Taqqu's theorem: aggregate ON/OFF intensity must land near the
+	// theoretical H; quick mode uses short series, so the band is loose.
+	if got := mustMetric(t, rep, "worst_aggvar_vs_taqqu_theory"); got > 0.25 {
+		t.Errorf("worst aggvar vs theory = %v", got)
+	}
+	// Heavier tails give larger H.
+	h12 := mustMetric(t, rep, "aggvar_h_alpha1.2")
+	h18 := mustMetric(t, rep, "aggvar_h_alpha1.8")
+	if h12 <= h18 {
+		t.Errorf("H(alpha=1.2)=%v not above H(alpha=1.8)=%v", h12, h18)
+	}
+	// The composite load must be more multifractal than its shuffle.
+	if mustMetric(t, rep, "load_hq_spread") <= mustMetric(t, rep, "surrogate_hq_spread") {
+		t.Error("composite load spread not above surrogate")
+	}
+}
+
+func TestReportRender(t *testing.T) {
+	rep := Report{
+		ID: "EX",
+		Tables: []Table{{
+			Title:  "demo",
+			Header: []string{"a", "b"},
+			Rows:   [][]string{{"1", "2"}},
+		}},
+		Metrics: map[string]float64{"m": 1.5},
+		Notes:   []string{"a note"},
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EX: demo", "a", "b", "m", "1.5", "a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}

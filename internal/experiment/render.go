@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RenderMarkdown writes the report as GitHub-flavoured markdown, for
+// pasting experiment results into EXPERIMENTS.md or pull requests.
+func (r Report) RenderMarkdown(w io.Writer) error {
+	for _, tbl := range r.Tables {
+		if _, err := fmt.Fprintf(w, "\n### %s: %s\n\n", r.ID, tbl.Title); err != nil {
+			return fmt.Errorf("render markdown %s: %w", r.ID, err)
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(tbl.Header, " | ")); err != nil {
+			return fmt.Errorf("render markdown %s: %w", r.ID, err)
+		}
+		sep := make([]string, len(tbl.Header))
+		for i := range sep {
+			sep[i] = "---"
+		}
+		if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | ")); err != nil {
+			return fmt.Errorf("render markdown %s: %w", r.ID, err)
+		}
+		for _, row := range tbl.Rows {
+			if _, err := fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | ")); err != nil {
+				return fmt.Errorf("render markdown %s: %w", r.ID, err)
+			}
+		}
+	}
+	if len(r.Metrics) > 0 {
+		if _, err := fmt.Fprintf(w, "\n**%s metrics**\n\n", r.ID); err != nil {
+			return fmt.Errorf("render markdown %s: %w", r.ID, err)
+		}
+		names := make([]string, 0, len(r.Metrics))
+		for name := range r.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if _, err := fmt.Fprintf(w, "- `%s` = %.6g\n", name, r.Metrics[name]); err != nil {
+				return fmt.Errorf("render markdown %s: %w", r.ID, err)
+			}
+		}
+	}
+	for _, note := range r.Notes {
+		if _, err := fmt.Fprintf(w, "\n> %s\n", note); err != nil {
+			return fmt.Errorf("render markdown %s: %w", r.ID, err)
+		}
+	}
+	return nil
+}
+
+// WriteTablesCSV writes every table of the report as CSV blocks separated
+// by blank lines (one header row per table, prefixed with a comment line
+// naming the table) — a machine-readable export for plotting tools.
+func (r Report) WriteTablesCSV(w io.Writer) error {
+	for ti, tbl := range r.Tables {
+		if ti > 0 {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return fmt.Errorf("csv %s: %w", r.ID, err)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# %s: %s\n", r.ID, tbl.Title); err != nil {
+			return fmt.Errorf("csv %s: %w", r.ID, err)
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(csvEscapeAll(tbl.Header), ",")); err != nil {
+			return fmt.Errorf("csv %s: %w", r.ID, err)
+		}
+		for _, row := range tbl.Rows {
+			if _, err := fmt.Fprintln(w, strings.Join(csvEscapeAll(row), ",")); err != nil {
+				return fmt.Errorf("csv %s: %w", r.ID, err)
+			}
+		}
+	}
+	return nil
+}
+
+// csvEscapeAll quotes cells containing separators or quotes.
+func csvEscapeAll(cells []string) []string {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		if strings.ContainsAny(c, ",\"\n") {
+			c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		out[i] = c
+	}
+	return out
+}

@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func demoReport() Report {
+	return Report{
+		ID: "EX",
+		Tables: []Table{
+			{
+				Title:  "first",
+				Header: []string{"a", "b"},
+				Rows:   [][]string{{"1", "2"}, {"3", "with, comma"}},
+			},
+			{
+				Title:  "second",
+				Header: []string{"c"},
+				Rows:   [][]string{{`quote " inside`}},
+			},
+		},
+		Metrics: map[string]float64{"zeta": 0.25, "alpha": 1},
+		Notes:   []string{"a caveat"},
+	}
+}
+
+func TestRenderMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoReport().RenderMarkdown(&buf); err != nil {
+		t.Fatalf("RenderMarkdown: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"### EX: first",
+		"| a | b |",
+		"| --- | --- |",
+		"| 1 | 2 |",
+		"### EX: second",
+		"- `alpha` = 1",
+		"- `zeta` = 0.25",
+		"> a caveat",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+	// Metrics sorted alphabetically.
+	if strings.Index(out, "`alpha`") > strings.Index(out, "`zeta`") {
+		t.Error("metrics not sorted")
+	}
+}
+
+func TestWriteTablesCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoReport().WriteTablesCSV(&buf); err != nil {
+		t.Fatalf("WriteTablesCSV: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "# EX: first") || !strings.Contains(out, "a,b") {
+		t.Errorf("csv header missing:\n%s", out)
+	}
+	if !strings.Contains(out, `"with, comma"`) {
+		t.Errorf("comma cell not quoted:\n%s", out)
+	}
+	if !strings.Contains(out, `"quote "" inside"`) {
+		t.Errorf("quote cell not escaped:\n%s", out)
+	}
+}
+
+// failWriter errors after N bytes, exercising the render error paths.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.left <= 0 {
+		return 0, errWriteFailed
+	}
+	n := len(p)
+	if n > w.left {
+		n = w.left
+	}
+	w.left -= n
+	if n < len(p) {
+		return n, errWriteFailed
+	}
+	return n, nil
+}
+
+var errWriteFailed = errors.New("write failed")
+
+func TestRendersPropagateWriteErrors(t *testing.T) {
+	rep := demoReport()
+	renderers := []struct {
+		name string
+		fn   func(w *failWriter) error
+	}{
+		{name: "Render", fn: func(w *failWriter) error { return rep.Render(w) }},
+		{name: "RenderMarkdown", fn: func(w *failWriter) error { return rep.RenderMarkdown(w) }},
+		{name: "WriteTablesCSV", fn: func(w *failWriter) error { return rep.WriteTablesCSV(w) }},
+	}
+	for _, r := range renderers {
+		// Measure the full output, then fail the write at every fraction of
+		// it so headers, rows, metrics and notes all hit the error branch.
+		var buf bytes.Buffer
+		if err := r.fn(&failWriter{left: 1 << 20}); err != nil {
+			// A huge budget must succeed; re-render into a buffer to size it.
+			t.Fatalf("%s with huge budget failed: %v", r.name, err)
+		}
+		switch r.name {
+		case "Render":
+			_ = rep.Render(&buf)
+		case "RenderMarkdown":
+			_ = rep.RenderMarkdown(&buf)
+		case "WriteTablesCSV":
+			_ = rep.WriteTablesCSV(&buf)
+		}
+		total := buf.Len()
+		for _, frac := range []int{0, 1, 2, 4} {
+			budget := 0
+			if frac > 0 {
+				budget = total / frac
+			}
+			if budget >= total {
+				continue
+			}
+			if err := r.fn(&failWriter{left: budget}); err == nil {
+				t.Errorf("%s with %d/%d-byte budget should fail", r.name, budget, total)
+			}
+		}
+	}
+}

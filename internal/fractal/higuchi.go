@@ -1,0 +1,106 @@
+package fractal
+
+import (
+	"fmt"
+	"math"
+
+	"agingmf/internal/dsp"
+	"agingmf/internal/stats"
+)
+
+// Higuchi estimates the fractal dimension of a time-series graph by
+// Higuchi's method: the mean curve length L(k) over lag-k subsampled
+// paths scales like k^{-D}. For fBm graphs D = 2 - H, so Higuchi provides
+// an independent cross-check of the Hurst estimators. kmax bounds the
+// largest lag (0 selects n/8).
+func Higuchi(xs []float64, kmax int) (HurstEstimate, error) {
+	n := len(xs)
+	if n < minSamples {
+		return HurstEstimate{}, fmt.Errorf("higuchi n=%d: %w", n, ErrTooShort)
+	}
+	if kmax <= 0 {
+		kmax = n / 8
+	}
+	if kmax < 4 {
+		return HurstEstimate{}, fmt.Errorf("higuchi kmax=%d: %w", kmax, ErrTooShort)
+	}
+	var points []ScalePoint
+	for _, k := range logScales(2, kmax, 12) {
+		total := 0.0
+		counted := 0
+		for m := 0; m < k; m++ {
+			// Curve length of the subsampled path x[m], x[m+k], ...
+			terms := (n - 1 - m) / k
+			if terms < 1 {
+				continue
+			}
+			length := 0.0
+			for i := 1; i <= terms; i++ {
+				length += math.Abs(xs[m+i*k] - xs[m+(i-1)*k])
+			}
+			// Higuchi normalization.
+			length = length * float64(n-1) / (float64(terms) * float64(k))
+			total += length / float64(k)
+			counted++
+		}
+		if counted > 0 {
+			points = append(points, ScalePoint{Scale: k, Value: total / float64(counted)})
+		}
+	}
+	est, err := fitLogLog(points)
+	if err != nil {
+		return HurstEstimate{}, err
+	}
+	// L(k) ~ k^{-D}: the regression slope is -D.
+	est.H = -est.H
+	return est, nil
+}
+
+// HurstPeriodogram estimates the Hurst exponent of a stationary
+// long-memory noise from the low-frequency slope of its periodogram
+// (Geweke–Porter-Hudak style): S(f) ~ f^{1-2H}, so the log-log regression
+// of power on frequency over the lowest frequencies has slope 1-2H. The
+// lowest n^0.8 frequencies (excluding DC) are used.
+func HurstPeriodogram(xs []float64) (HurstEstimate, error) {
+	n := len(xs)
+	if n < minSamples {
+		return HurstEstimate{}, fmt.Errorf("hurst periodogram n=%d: %w", n, ErrTooShort)
+	}
+	demeaned := make([]float64, n)
+	m := stats.Mean(xs)
+	for i, v := range xs {
+		demeaned[i] = v - m
+	}
+	spec, err := dsp.PowerSpectrum(demeaned)
+	if err != nil {
+		return HurstEstimate{}, fmt.Errorf("hurst periodogram: %w", err)
+	}
+	// Low-frequency band: indices 1..m with m = n^0.8 capped at half.
+	band := int(math.Pow(float64(n), 0.8))
+	if band >= len(spec) {
+		band = len(spec) - 1
+	}
+	if band < 8 {
+		return HurstEstimate{}, fmt.Errorf("hurst periodogram: band %d: %w", band, ErrTooShort)
+	}
+	var lx, ly []float64
+	points := make([]ScalePoint, 0, band)
+	for k := 1; k <= band; k++ {
+		if spec[k] <= 0 {
+			continue
+		}
+		f := float64(k) / float64(n)
+		lx = append(lx, math.Log(f))
+		ly = append(ly, math.Log(spec[k]))
+		points = append(points, ScalePoint{Scale: k, Value: spec[k]})
+	}
+	if len(lx) < 8 {
+		return HurstEstimate{}, fmt.Errorf("hurst periodogram: %d usable frequencies: %w", len(lx), ErrTooShort)
+	}
+	fit, err := stats.OLS(lx, ly)
+	if err != nil {
+		return HurstEstimate{}, fmt.Errorf("hurst periodogram: %w", err)
+	}
+	// slope = 1 - 2H.
+	return HurstEstimate{H: (1 - fit.Slope) / 2, R2: fit.R2, Points: points}, nil
+}

@@ -1,0 +1,85 @@
+package fractal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"agingmf/internal/gen"
+)
+
+func TestHiguchiDimensionOfFBMGraphs(t *testing.T) {
+	// Higuchi dimension of an fBm graph is 2-H.
+	for _, h := range []float64{0.3, 0.5, 0.8} {
+		xs, err := gen.FBM(1<<14, h, rand.New(rand.NewSource(int64(100*h))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := Higuchi(xs, 0)
+		if err != nil {
+			t.Fatalf("Higuchi(H=%v): %v", h, err)
+		}
+		want := 2 - h
+		if math.Abs(est.H-want) > 0.15 {
+			t.Errorf("Higuchi D for H=%v: %v, want ~%v", h, est.H, want)
+		}
+		if est.R2 < 0.9 {
+			t.Errorf("Higuchi R2 = %v", est.R2)
+		}
+	}
+}
+
+func TestHiguchiSmoothLineIsDimensionOne(t *testing.T) {
+	xs := make([]float64, 2048)
+	for i := range xs {
+		xs[i] = 3 * float64(i)
+	}
+	est, err := Higuchi(xs, 0)
+	if err != nil {
+		t.Fatalf("Higuchi: %v", err)
+	}
+	if math.Abs(est.H-1) > 0.1 {
+		t.Errorf("line dimension = %v, want ~1", est.H)
+	}
+}
+
+func TestHiguchiErrors(t *testing.T) {
+	if _, err := Higuchi(make([]float64, 16), 0); err == nil {
+		t.Error("short input should fail")
+	}
+	if _, err := Higuchi(make([]float64, 128), 2); err == nil {
+		t.Error("kmax too small should fail")
+	}
+}
+
+func TestHurstPeriodogramOnFGN(t *testing.T) {
+	var got []float64
+	for _, h := range []float64{0.3, 0.5, 0.8} {
+		xs, err := gen.FGNDaviesHarte(1<<14, h, rand.New(rand.NewSource(int64(17*h*100))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := HurstPeriodogram(xs)
+		if err != nil {
+			t.Fatalf("HurstPeriodogram(H=%v): %v", h, err)
+		}
+		if math.Abs(est.H-h) > 0.15 {
+			t.Errorf("periodogram H=%v estimate %v", h, est.H)
+		}
+		got = append(got, est.H)
+	}
+	if !(got[0] < got[1] && got[1] < got[2]) {
+		t.Errorf("periodogram estimates not ordered: %v", got)
+	}
+}
+
+func TestHurstPeriodogramErrors(t *testing.T) {
+	if _, err := HurstPeriodogram(make([]float64, 16)); err == nil {
+		t.Error("short input should fail")
+	}
+	// Constant input has zero power at every frequency: must error, not
+	// fabricate an exponent.
+	if _, err := HurstPeriodogram(make([]float64, 4096)); err == nil {
+		t.Error("constant input should fail")
+	}
+}

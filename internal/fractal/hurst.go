@@ -1,0 +1,350 @@
+// Package fractal implements global (monofractal) scaling estimators:
+// rescaled-range (R/S) analysis, aggregated-variance analysis, detrended
+// fluctuation analysis (DFA) and box-counting dimension. These provide the
+// Hurst-exponent baseline detector that the multifractal method of the DSN
+// 2003 paper is compared against, and the DFA machinery underlying MF-DFA.
+package fractal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"agingmf/internal/stats"
+)
+
+// ErrTooShort is returned when a series is too short for scaling analysis.
+var ErrTooShort = errors.New("fractal: series too short")
+
+// minSamples is the smallest series length accepted by the Hurst
+// estimators: fewer points cannot populate enough scales for a meaningful
+// log-log regression.
+const minSamples = 64
+
+// ScalePoint is one (scale, statistic) pair of a scaling analysis.
+type ScalePoint struct {
+	// Scale is the window/block/box size in samples.
+	Scale int
+	// Value is the scaling statistic at this scale (R/S, F(n), ...).
+	Value float64
+}
+
+// HurstEstimate is the result of a Hurst-exponent estimation.
+type HurstEstimate struct {
+	// H is the estimated Hurst exponent.
+	H float64
+	// R2 is the goodness of the log-log regression.
+	R2 float64
+	// Points holds the per-scale statistics behind the fit.
+	Points []ScalePoint
+}
+
+// logScales returns a roughly geometric ladder of scales in [lo, hi].
+func logScales(lo, hi, count int) []int {
+	if count < 2 {
+		count = 2
+	}
+	out := make([]int, 0, count)
+	ratio := math.Pow(float64(hi)/float64(lo), 1/float64(count-1))
+	prev := 0
+	for i := 0; i < count; i++ {
+		s := int(math.Round(float64(lo) * math.Pow(ratio, float64(i))))
+		if s <= prev {
+			s = prev + 1
+		}
+		if s > hi {
+			break
+		}
+		out = append(out, s)
+		prev = s
+	}
+	return out
+}
+
+// fitLogLog regresses log(value) on log(scale) and packages the result.
+func fitLogLog(points []ScalePoint) (HurstEstimate, error) {
+	var lx, ly []float64
+	for _, p := range points {
+		if p.Value > 0 {
+			lx = append(lx, math.Log(float64(p.Scale)))
+			ly = append(ly, math.Log(p.Value))
+		}
+	}
+	if len(lx) < 3 {
+		return HurstEstimate{}, fmt.Errorf("fractal: only %d usable scales: %w", len(lx), ErrTooShort)
+	}
+	fit, err := stats.OLS(lx, ly)
+	if err != nil {
+		return HurstEstimate{}, fmt.Errorf("fractal: log-log fit: %w", err)
+	}
+	return HurstEstimate{H: fit.Slope, R2: fit.R2, Points: points}, nil
+}
+
+// HurstRS estimates the Hurst exponent of the (increment) series xs by
+// rescaled-range analysis. xs is interpreted as a noise-like series (e.g.
+// fGn); the returned H is the slope of log(R/S) versus log(n).
+func HurstRS(xs []float64) (HurstEstimate, error) {
+	n := len(xs)
+	if n < minSamples {
+		return HurstEstimate{}, fmt.Errorf("hurst r/s n=%d: %w", n, ErrTooShort)
+	}
+	scales := logScales(8, n/2, 12)
+	points := make([]ScalePoint, 0, len(scales))
+	for _, w := range scales {
+		blocks := n / w
+		if blocks == 0 {
+			continue
+		}
+		sumRS, used := 0.0, 0
+		for b := 0; b < blocks; b++ {
+			seg := xs[b*w : (b+1)*w]
+			m := stats.Mean(seg)
+			// Cumulative deviation from the block mean.
+			cum, minC, maxC := 0.0, math.Inf(1), math.Inf(-1)
+			for _, v := range seg {
+				cum += v - m
+				if cum < minC {
+					minC = cum
+				}
+				if cum > maxC {
+					maxC = cum
+				}
+			}
+			s := stats.Std(seg)
+			if s == 0 {
+				continue
+			}
+			sumRS += (maxC - minC) / s
+			used++
+		}
+		if used > 0 {
+			points = append(points, ScalePoint{Scale: w, Value: sumRS / float64(used)})
+		}
+	}
+	return fitLogLog(points)
+}
+
+// HurstAggVar estimates H via the aggregated-variance method: the variance
+// of block means of a long-range-dependent noise scales like m^{2H-2}.
+func HurstAggVar(xs []float64) (HurstEstimate, error) {
+	n := len(xs)
+	if n < minSamples {
+		return HurstEstimate{}, fmt.Errorf("hurst aggvar n=%d: %w", n, ErrTooShort)
+	}
+	scales := logScales(2, n/8, 12)
+	points := make([]ScalePoint, 0, len(scales))
+	for _, m := range scales {
+		nb := n / m
+		if nb < 4 {
+			continue
+		}
+		agg := make([]float64, nb)
+		for b := 0; b < nb; b++ {
+			sum := 0.0
+			for i := b * m; i < (b+1)*m; i++ {
+				sum += xs[i]
+			}
+			agg[b] = sum / float64(m)
+		}
+		points = append(points, ScalePoint{Scale: m, Value: stats.Variance(agg)})
+	}
+	est, err := fitLogLog(points)
+	if err != nil {
+		return HurstEstimate{}, err
+	}
+	// slope = 2H - 2.
+	est.H = 1 + est.H/2
+	return est, nil
+}
+
+// DFA performs detrended fluctuation analysis of order ord (1 = linear
+// detrending) on the noise-like series xs and returns the scaling exponent
+// alpha (alpha = H for stationary fGn-like input; alpha = H+1 for
+// fBm-like input).
+func DFA(xs []float64, ord int) (HurstEstimate, error) {
+	n := len(xs)
+	if n < minSamples {
+		return HurstEstimate{}, fmt.Errorf("dfa n=%d: %w", n, ErrTooShort)
+	}
+	if ord < 1 || ord > 3 {
+		return HurstEstimate{}, fmt.Errorf("dfa order %d: supported orders are 1..3", ord)
+	}
+	// Profile: cumulative sum of the demeaned series.
+	m := stats.Mean(xs)
+	profile := make([]float64, n)
+	sum := 0.0
+	for i, v := range xs {
+		sum += v - m
+		profile[i] = sum
+	}
+	minScale := 4 * (ord + 1)
+	scales := logScales(minScale, n/4, 14)
+	points := make([]ScalePoint, 0, len(scales))
+	for _, s := range scales {
+		nb := n / s
+		if nb < 2 {
+			continue
+		}
+		total, count := 0.0, 0
+		for b := 0; b < nb; b++ {
+			seg := profile[b*s : (b+1)*s]
+			rss, ok := detrendRSS(seg, ord)
+			if !ok {
+				continue
+			}
+			total += rss / float64(s)
+			count++
+		}
+		if count > 0 {
+			points = append(points, ScalePoint{Scale: s, Value: math.Sqrt(total / float64(count))})
+		}
+	}
+	return fitLogLog(points)
+}
+
+// detrendRSS fits a polynomial of order ord to seg (indexed 0..len-1) by
+// least squares and returns the residual sum of squares.
+func detrendRSS(seg []float64, ord int) (float64, bool) {
+	n := len(seg)
+	if n <= ord {
+		return 0, false
+	}
+	// Build the normal equations for the Vandermonde system.
+	dim := ord + 1
+	ata := make([][]float64, dim)
+	atb := make([]float64, dim)
+	for i := range ata {
+		ata[i] = make([]float64, dim)
+	}
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n-1) // normalized for conditioning
+		pow := make([]float64, dim)
+		p := 1.0
+		for d := 0; d < dim; d++ {
+			pow[d] = p
+			p *= x
+		}
+		for r := 0; r < dim; r++ {
+			for c := 0; c < dim; c++ {
+				ata[r][c] += pow[r] * pow[c]
+			}
+			atb[r] += pow[r] * seg[i]
+		}
+	}
+	coef, ok := solveGauss(ata, atb)
+	if !ok {
+		return 0, false
+	}
+	rss := 0.0
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n-1)
+		fit, p := 0.0, 1.0
+		for d := 0; d < dim; d++ {
+			fit += coef[d] * p
+			p *= x
+		}
+		r := seg[i] - fit
+		rss += r * r
+	}
+	return rss, true
+}
+
+// solveGauss solves the small dense linear system a*x = b in place with
+// partial pivoting. It returns ok=false for singular systems.
+func solveGauss(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-14 {
+			return nil, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, true
+}
+
+// BoxCountDimension estimates the box-counting dimension of the graph of
+// the series (t, x(t)) rescaled to the unit square. For the graph of a
+// function the dimension lies in [1, 2]; rougher graphs score higher
+// (D = 2 - H for fBm graphs).
+func BoxCountDimension(xs []float64) (HurstEstimate, error) {
+	n := len(xs)
+	if n < minSamples {
+		return HurstEstimate{}, fmt.Errorf("box count n=%d: %w", n, ErrTooShort)
+	}
+	lo, hi := xs[0], xs[0]
+	for _, v := range xs {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		// A constant graph is a line: dimension exactly 1.
+		return HurstEstimate{H: 1, R2: 1}, nil
+	}
+	var points []ScalePoint
+	for boxes := 4; boxes <= n/4; boxes *= 2 {
+		eps := 1.0 / float64(boxes)
+		occupied := make(map[[2]int]struct{})
+		for i, v := range xs {
+			bx := int(float64(i) / float64(n) / eps)
+			by := int((v - lo) / span / eps)
+			if bx >= boxes {
+				bx = boxes - 1
+			}
+			if by >= boxes {
+				by = boxes - 1
+			}
+			// Cover the segment to the next sample as well so the graph is
+			// connected vertically.
+			occupied[[2]int{bx, by}] = struct{}{}
+			if i+1 < n {
+				ny := int((xs[i+1] - lo) / span / eps)
+				if ny >= boxes {
+					ny = boxes - 1
+				}
+				loY, hiY := by, ny
+				if loY > hiY {
+					loY, hiY = hiY, loY
+				}
+				for y := loY; y <= hiY; y++ {
+					occupied[[2]int{bx, y}] = struct{}{}
+				}
+			}
+		}
+		points = append(points, ScalePoint{Scale: boxes, Value: float64(len(occupied))})
+	}
+	est, err := fitLogLog(points)
+	if err != nil {
+		return HurstEstimate{}, err
+	}
+	// N(eps) ~ eps^-D with eps = 1/boxes, so slope vs boxes is +D.
+	return est, nil
+}

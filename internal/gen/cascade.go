@@ -1,0 +1,128 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// BinomialCascade generates a deterministic-length multiplicative binomial
+// cascade measure of 2^levels cells. At every dyadic refinement the mass of
+// a cell splits into fractions (m, 1-m) assigned to the left/right halves
+// in random order. The result is the canonical multifractal measure: its
+// singularity spectrum is the Legendre transform of
+//
+//	tau(q) = -log2(m^q + (1-m)^q).
+//
+// m must lie in (0, 0.5]; m = 0.5 degenerates to the uniform (monofractal)
+// measure. Total mass is preserved exactly at every level.
+func BinomialCascade(levels int, m float64, rng *rand.Rand) ([]float64, error) {
+	if levels < 0 || levels > 30 {
+		return nil, fmt.Errorf("binomial cascade levels=%d: %w (need 0..30)", levels, ErrBadParameter)
+	}
+	if m <= 0 || m > 0.5 {
+		return nil, fmt.Errorf("binomial cascade m=%v: %w (need 0<m<=0.5)", m, ErrBadParameter)
+	}
+	mass := []float64{1}
+	for l := 0; l < levels; l++ {
+		next := make([]float64, 2*len(mass))
+		for i, v := range mass {
+			left := m
+			if rng.Intn(2) == 0 {
+				left = 1 - m
+			}
+			next[2*i] = v * left
+			next[2*i+1] = v * (1 - left)
+		}
+		mass = next
+	}
+	return mass, nil
+}
+
+// BinomialCascadeTau returns the theoretical scaling exponent tau(q) of the
+// binomial cascade with multiplier m.
+func BinomialCascadeTau(m, q float64) float64 {
+	return -math.Log2(math.Pow(m, q) + math.Pow(1-m, q))
+}
+
+// BinomialCascadeSpectrum returns the theoretical singularity-spectrum
+// endpoints [alphaMin, alphaMax] of the binomial cascade with multiplier m:
+// the Hölder exponents of the strongest and weakest singularities.
+func BinomialCascadeSpectrum(m float64) (alphaMin, alphaMax float64) {
+	a1 := -math.Log2(1 - m)
+	a2 := -math.Log2(m)
+	if a1 > a2 {
+		a1, a2 = a2, a1
+	}
+	return a1, a2
+}
+
+// Weierstrass evaluates n samples over [0,1) of the Weierstrass function
+//
+//	W(t) = sum_{k=0}^{kmax} gamma^(-k*h) * sin(gamma^k * t + phase_k)
+//
+// which is continuous, nowhere differentiable, and has uniform pointwise
+// Hölder exponent h everywhere. gamma > 1 controls lacunarity; random
+// phases (from rng) decorrelate successive harmonics. kmax is chosen so
+// the finest harmonic resolves at the sampling grid.
+func Weierstrass(n int, h, gamma float64, rng *rand.Rand) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("weierstrass n=%d: %w", n, ErrBadParameter)
+	}
+	if h <= 0 || h >= 1 {
+		return nil, fmt.Errorf("weierstrass h=%v: %w (need 0<h<1)", h, ErrBadParameter)
+	}
+	if gamma <= 1 {
+		return nil, fmt.Errorf("weierstrass gamma=%v: %w (need gamma>1)", gamma, ErrBadParameter)
+	}
+	// Harmonics above the Nyquist scale of the grid contribute only
+	// aliasing; stop once gamma^k exceeds ~n.
+	kmax := int(math.Ceil(math.Log(float64(n)) / math.Log(gamma)))
+	phases := make([]float64, kmax+1)
+	for k := range phases {
+		phases[k] = 2 * math.Pi * rng.Float64()
+	}
+	out := make([]float64, n)
+	for i := range out {
+		t := 2 * math.Pi * float64(i) / float64(n)
+		sum := 0.0
+		for k := 0; k <= kmax; k++ {
+			gk := math.Pow(gamma, float64(k))
+			sum += math.Pow(gk, -h) * math.Sin(gk*t+phases[k])
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// LognormalCascadeNoise multiplies unit-variance Gaussian noise by a
+// log-normal multiplicative cascade envelope, producing a signal whose
+// increments are multifractal (a crude but standard model of bursty
+// workload intensity). levels sets the cascade depth (output length
+// 2^levels); sigma controls the multiplier spread and hence the
+// multifractality strength (sigma=0 degenerates to plain Gaussian noise).
+func LognormalCascadeNoise(levels int, sigma float64, rng *rand.Rand) ([]float64, error) {
+	if levels < 0 || levels > 30 {
+		return nil, fmt.Errorf("lognormal cascade levels=%d: %w (need 0..30)", levels, ErrBadParameter)
+	}
+	if sigma < 0 {
+		return nil, fmt.Errorf("lognormal cascade sigma=%v: %w", sigma, ErrBadParameter)
+	}
+	env := []float64{1}
+	for l := 0; l < levels; l++ {
+		next := make([]float64, 2*len(env))
+		for i, v := range env {
+			// Mean-one log-normal multipliers keep expected mass constant.
+			wl := math.Exp(sigma*rng.NormFloat64() - sigma*sigma/2)
+			wr := math.Exp(sigma*rng.NormFloat64() - sigma*sigma/2)
+			next[2*i] = v * wl
+			next[2*i+1] = v * wr
+		}
+		env = next
+	}
+	out := make([]float64, len(env))
+	for i := range out {
+		out[i] = env[i] * rng.NormFloat64()
+	}
+	return out, nil
+}

@@ -1,0 +1,166 @@
+// Package gen generates synthetic signals with known fractal and
+// multifractal properties. They serve two purposes in this repository:
+// validating the Hölder/Hurst estimators against ground truth (experiment
+// E1) and injecting genuinely self-similar load fluctuations into the
+// workload generator so the simulated memory counters carry the structure
+// the DSN 2003 paper measures on real machines.
+package gen
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"agingmf/internal/dsp"
+)
+
+// ErrBadParameter is returned for out-of-range generator parameters.
+var ErrBadParameter = errors.New("gen: bad parameter")
+
+// validHurst reports whether h is a usable Hurst exponent.
+func validHurst(h float64) bool { return h > 0 && h < 1 }
+
+// fgnAutocov returns the autocovariance of fractional Gaussian noise with
+// Hurst exponent h at lag k (unit variance).
+func fgnAutocov(h float64, k int) float64 {
+	fk := math.Abs(float64(k))
+	h2 := 2 * h
+	return 0.5 * (math.Pow(fk+1, h2) - 2*math.Pow(fk, h2) + math.Pow(math.Abs(fk-1), h2))
+}
+
+// FGNHosking generates n samples of unit-variance fractional Gaussian noise
+// with Hurst exponent h using Hosking's exact recursive method (O(n^2)
+// time, O(n) space). Deterministic given rng.
+func FGNHosking(n int, h float64, rng *rand.Rand) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fgn hosking n=%d: %w", n, ErrBadParameter)
+	}
+	if !validHurst(h) {
+		return nil, fmt.Errorf("fgn hosking H=%v: %w (need 0<H<1)", h, ErrBadParameter)
+	}
+	out := make([]float64, n)
+	phi := make([]float64, n)
+	prevPhi := make([]float64, n)
+	v := 1.0
+	out[0] = rng.NormFloat64()
+	for i := 1; i < n; i++ {
+		// Durbin-Levinson recursion for the partial autocorrelations.
+		phi[i-1] = fgnAutocov(h, i)
+		for j := 0; j < i-1; j++ {
+			phi[i-1] -= prevPhi[j] * fgnAutocov(h, i-1-j)
+		}
+		phi[i-1] /= v
+		for j := 0; j < i-1; j++ {
+			phi[j] = prevPhi[j] - phi[i-1]*prevPhi[i-2-j]
+		}
+		v *= 1 - phi[i-1]*phi[i-1]
+		mean := 0.0
+		for j := 0; j < i; j++ {
+			mean += phi[j] * out[i-1-j]
+		}
+		out[i] = mean + math.Sqrt(v)*rng.NormFloat64()
+		copy(prevPhi, phi[:i])
+	}
+	return out, nil
+}
+
+// FGNDaviesHarte generates n samples of unit-variance fractional Gaussian
+// noise with Hurst exponent h by circulant embedding (Davies–Harte),
+// running in O(n log n). n must be positive; internally the circulant is
+// padded to a power of two.
+func FGNDaviesHarte(n int, h float64, rng *rand.Rand) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fgn davies-harte n=%d: %w", n, ErrBadParameter)
+	}
+	if !validHurst(h) {
+		return nil, fmt.Errorf("fgn davies-harte H=%v: %w (need 0<H<1)", h, ErrBadParameter)
+	}
+	// Embed the covariance into a circulant of size 2m, m >= n a power of 2.
+	m := 1
+	for m < n {
+		m <<= 1
+	}
+	size := 2 * m
+	// First row of the circulant covariance.
+	row := make([]complex128, size)
+	for k := 0; k <= m; k++ {
+		row[k] = complex(fgnAutocov(h, k), 0)
+	}
+	for k := m + 1; k < size; k++ {
+		row[k] = row[size-k]
+	}
+	eig, err := dsp.FFT(row)
+	if err != nil {
+		return nil, fmt.Errorf("fgn davies-harte: eigenvalues: %w", err)
+	}
+	// Eigenvalues must be (numerically) non-negative for the embedding to
+	// be valid; clamp tiny negatives caused by rounding.
+	lam := make([]float64, size)
+	for i, e := range eig {
+		l := real(e)
+		if l < 0 {
+			if l < -1e-7 {
+				return nil, fmt.Errorf("fgn davies-harte H=%v: negative circulant eigenvalue %v", h, l)
+			}
+			l = 0
+		}
+		lam[i] = l
+	}
+	// Synthesize complex Gaussian spectrum with the proper symmetry.
+	w := make([]complex128, size)
+	w[0] = complex(math.Sqrt(lam[0])*rng.NormFloat64(), 0)
+	w[m] = complex(math.Sqrt(lam[m])*rng.NormFloat64(), 0)
+	for k := 1; k < m; k++ {
+		a := rng.NormFloat64()
+		b := rng.NormFloat64()
+		scale := math.Sqrt(lam[k] / 2)
+		w[k] = complex(scale*a, scale*b)
+		w[size-k] = complex(scale*a, -scale*b)
+	}
+	spec, err := dsp.FFT(w)
+	if err != nil {
+		return nil, fmt.Errorf("fgn davies-harte: synthesis: %w", err)
+	}
+	out := make([]float64, n)
+	norm := 1 / math.Sqrt(float64(size))
+	for i := 0; i < n; i++ {
+		out[i] = real(spec[i]) * norm
+	}
+	return out, nil
+}
+
+// FBM generates n samples of fractional Brownian motion with Hurst
+// exponent h (the cumulative sum of fractional Gaussian noise), starting
+// at zero. Uses Davies–Harte synthesis.
+func FBM(n int, h float64, rng *rand.Rand) ([]float64, error) {
+	noise, err := FGNDaviesHarte(n, h, rng)
+	if err != nil {
+		return nil, fmt.Errorf("fbm: %w", err)
+	}
+	out := make([]float64, n)
+	sum := 0.0
+	for i, v := range noise {
+		sum += v
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// RandomWalk generates a standard Gaussian random walk (H = 0.5 fBm up to
+// scaling) with the given step standard deviation.
+func RandomWalk(n int, stepStd float64, rng *rand.Rand) ([]float64, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("random walk n=%d: %w", n, ErrBadParameter)
+	}
+	if stepStd < 0 {
+		return nil, fmt.Errorf("random walk stepStd=%v: %w", stepStd, ErrBadParameter)
+	}
+	out := make([]float64, n)
+	sum := 0.0
+	for i := range out {
+		sum += stepStd * rng.NormFloat64()
+		out[i] = sum
+	}
+	return out, nil
+}

@@ -1,0 +1,446 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"agingmf/internal/stats"
+)
+
+func TestFGNAutocovariance(t *testing.T) {
+	// Lag-0 autocovariance is 1 for all H; H=0.5 is white noise.
+	for _, h := range []float64{0.2, 0.5, 0.8} {
+		if got := fgnAutocov(h, 0); math.Abs(got-1) > 1e-12 {
+			t.Errorf("fgnAutocov(H=%v, 0) = %v, want 1", h, got)
+		}
+	}
+	if got := fgnAutocov(0.5, 1); math.Abs(got) > 1e-12 {
+		t.Errorf("fgnAutocov(H=0.5, 1) = %v, want 0", got)
+	}
+	if got := fgnAutocov(0.8, 1); got <= 0 {
+		t.Errorf("fgnAutocov(H=0.8, 1) = %v, want > 0 (persistence)", got)
+	}
+	if got := fgnAutocov(0.2, 1); got >= 0 {
+		t.Errorf("fgnAutocov(H=0.2, 1) = %v, want < 0 (anti-persistence)", got)
+	}
+}
+
+func TestFGNGeneratorsBasicStats(t *testing.T) {
+	type generator struct {
+		name string
+		fn   func(int, float64, *rand.Rand) ([]float64, error)
+		n    int
+	}
+	gens := []generator{
+		{name: "hosking", fn: FGNHosking, n: 2000},
+		{name: "davies-harte", fn: FGNDaviesHarte, n: 8192},
+	}
+	for _, g := range gens {
+		for _, h := range []float64{0.3, 0.5, 0.7} {
+			rng := rand.New(rand.NewSource(42))
+			xs, err := g.fn(g.n, h, rng)
+			if err != nil {
+				t.Fatalf("%s H=%v: %v", g.name, h, err)
+			}
+			if len(xs) != g.n {
+				t.Fatalf("%s H=%v: length %d", g.name, h, len(xs))
+			}
+			m := stats.Mean(xs)
+			v := stats.Variance(xs)
+			if math.Abs(m) > 0.15 {
+				t.Errorf("%s H=%v: mean %v, want ~0", g.name, h, m)
+			}
+			if math.Abs(v-1) > 0.3 {
+				t.Errorf("%s H=%v: variance %v, want ~1", g.name, h, v)
+			}
+		}
+	}
+}
+
+func TestFGNLag1CorrelationSign(t *testing.T) {
+	// Persistence (H>0.5) gives positive lag-1 autocorrelation; H<0.5 negative.
+	rng := rand.New(rand.NewSource(7))
+	for _, tt := range []struct {
+		h        float64
+		positive bool
+	}{
+		{h: 0.8, positive: true},
+		{h: 0.2, positive: false},
+	} {
+		xs, err := FGNDaviesHarte(16384, tt.h, rng)
+		if err != nil {
+			t.Fatalf("FGN H=%v: %v", tt.h, err)
+		}
+		acf, err := stats.Autocorrelation(xs, 1)
+		if err != nil {
+			t.Fatalf("acf: %v", err)
+		}
+		if (acf[1] > 0) != tt.positive {
+			t.Errorf("H=%v lag-1 ACF = %v, want positive=%v", tt.h, acf[1], tt.positive)
+		}
+		// Compare against the theoretical value.
+		want := fgnAutocov(tt.h, 1)
+		if math.Abs(acf[1]-want) > 0.05 {
+			t.Errorf("H=%v lag-1 ACF = %v, theory %v", tt.h, acf[1], want)
+		}
+	}
+}
+
+func TestFGNVarianceScalingLaw(t *testing.T) {
+	// Var of the aggregated fGn series at block m scales like m^(2H-2).
+	rng := rand.New(rand.NewSource(99))
+	h := 0.8
+	xs, err := FGNDaviesHarte(1<<16, h, rng)
+	if err != nil {
+		t.Fatalf("FGN: %v", err)
+	}
+	var logM, logV []float64
+	for _, m := range []int{1, 4, 16, 64} {
+		nb := len(xs) / m
+		agg := make([]float64, nb)
+		for b := 0; b < nb; b++ {
+			sum := 0.0
+			for i := b * m; i < (b+1)*m; i++ {
+				sum += xs[i]
+			}
+			agg[b] = sum / float64(m)
+		}
+		logM = append(logM, math.Log(float64(m)))
+		logV = append(logV, math.Log(stats.Variance(agg)))
+	}
+	fit, err := stats.OLS(logM, logV)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	wantSlope := 2*h - 2
+	if math.Abs(fit.Slope-wantSlope) > 0.25 {
+		t.Errorf("aggregated-variance slope = %v, want ~%v", fit.Slope, wantSlope)
+	}
+}
+
+func TestFGNErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, h := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := FGNHosking(10, h, rng); err == nil {
+			t.Errorf("FGNHosking(H=%v) should fail", h)
+		}
+		if _, err := FGNDaviesHarte(10, h, rng); err == nil {
+			t.Errorf("FGNDaviesHarte(H=%v) should fail", h)
+		}
+	}
+	if _, err := FGNHosking(0, 0.5, rng); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := FGNDaviesHarte(-1, 0.5, rng); err == nil {
+		t.Error("n<0 should fail")
+	}
+	if _, err := FBM(0, 0.5, rng); err == nil {
+		t.Error("FBM n=0 should fail")
+	}
+}
+
+func TestFBMStartsNearZeroAndDiffuses(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs, err := FBM(4096, 0.5, rng)
+	if err != nil {
+		t.Fatalf("FBM: %v", err)
+	}
+	// fBm variance grows like t^{2H}: late samples spread far beyond early.
+	if math.Abs(xs[0]) > 5 {
+		t.Errorf("fBm[0] = %v, want near 0", xs[0])
+	}
+	early := math.Abs(xs[10])
+	lateMax := 0.0
+	for _, v := range xs[2048:] {
+		if a := math.Abs(v); a > lateMax {
+			lateMax = a
+		}
+	}
+	if lateMax <= early {
+		t.Errorf("fBm did not diffuse: early %v, late max %v", early, lateMax)
+	}
+}
+
+func TestRandomWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	xs, err := RandomWalk(1000, 2, rng)
+	if err != nil {
+		t.Fatalf("RandomWalk: %v", err)
+	}
+	if len(xs) != 1000 {
+		t.Fatalf("length %d", len(xs))
+	}
+	// Steps should have std ~2.
+	steps := make([]float64, len(xs)-1)
+	for i := range steps {
+		steps[i] = xs[i+1] - xs[i]
+	}
+	if s := stats.Std(steps); math.Abs(s-2) > 0.3 {
+		t.Errorf("step std = %v, want ~2", s)
+	}
+	if _, err := RandomWalk(0, 1, rng); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := RandomWalk(10, -1, rng); err == nil {
+		t.Error("negative std should fail")
+	}
+}
+
+func TestBinomialCascadeMassConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, levels := range []int{0, 1, 5, 10} {
+		mass, err := BinomialCascade(levels, 0.3, rng)
+		if err != nil {
+			t.Fatalf("cascade levels=%d: %v", levels, err)
+		}
+		if len(mass) != 1<<levels {
+			t.Fatalf("levels=%d: %d cells, want %d", levels, len(mass), 1<<levels)
+		}
+		total := 0.0
+		for _, v := range mass {
+			if v < 0 {
+				t.Fatalf("negative mass %v", v)
+			}
+			total += v
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Errorf("levels=%d: total mass %v, want 1", levels, total)
+		}
+	}
+}
+
+func TestBinomialCascadeExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	levels := 12
+	m := 0.25
+	mass, err := BinomialCascade(levels, m, rng)
+	if err != nil {
+		t.Fatalf("cascade: %v", err)
+	}
+	sorted := append([]float64(nil), mass...)
+	sort.Float64s(sorted)
+	// Smallest cell mass is m^levels, largest is (1-m)^levels.
+	wantMin := math.Pow(m, float64(levels))
+	wantMax := math.Pow(1-m, float64(levels))
+	if sorted[0] < wantMin-1e-15 {
+		t.Errorf("min mass %v below theoretical %v", sorted[0], wantMin)
+	}
+	if sorted[len(sorted)-1] > wantMax+1e-15 {
+		t.Errorf("max mass %v above theoretical %v", sorted[len(sorted)-1], wantMax)
+	}
+	aMin, aMax := BinomialCascadeSpectrum(m)
+	if aMin >= aMax {
+		t.Errorf("spectrum endpoints %v >= %v", aMin, aMax)
+	}
+	// alphaMin = -log2(1-m) = 0.415..., alphaMax = -log2(m) = 2.
+	if math.Abs(aMax-2) > 1e-12 {
+		t.Errorf("alphaMax = %v, want 2", aMax)
+	}
+}
+
+func TestBinomialCascadeTau(t *testing.T) {
+	// tau(0) = -1 and tau(1) = 0 for any conservative cascade.
+	for _, m := range []float64{0.2, 0.35, 0.5} {
+		if got := BinomialCascadeTau(m, 0); math.Abs(got-(-1)) > 1e-12 {
+			t.Errorf("tau(0) = %v, want -1", got)
+		}
+		if got := BinomialCascadeTau(m, 1); math.Abs(got) > 1e-12 {
+			t.Errorf("tau(1) = %v, want 0", got)
+		}
+	}
+	// Uniform cascade is monofractal: tau is linear, tau(2) = 1.
+	if got := BinomialCascadeTau(0.5, 2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("uniform tau(2) = %v, want 1", got)
+	}
+}
+
+func TestBinomialCascadeErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	if _, err := BinomialCascade(-1, 0.3, rng); err == nil {
+		t.Error("negative levels should fail")
+	}
+	if _, err := BinomialCascade(31, 0.3, rng); err == nil {
+		t.Error("huge levels should fail")
+	}
+	for _, m := range []float64{0, -0.1, 0.6, 1} {
+		if _, err := BinomialCascade(3, m, rng); err == nil {
+			t.Errorf("m=%v should fail", m)
+		}
+	}
+}
+
+func TestWeierstrassBoundedAndRough(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	xs, err := Weierstrass(4096, 0.5, 1.7, rng)
+	if err != nil {
+		t.Fatalf("Weierstrass: %v", err)
+	}
+	// Bounded by the geometric sum of amplitudes.
+	bound := 0.0
+	for k := 0; k < 64; k++ {
+		bound += math.Pow(1.7, -0.5*float64(k))
+	}
+	for i, v := range xs {
+		if math.Abs(v) > bound {
+			t.Fatalf("W[%d] = %v exceeds bound %v", i, v, bound)
+		}
+	}
+	// Roughness: smaller h means relatively larger high-frequency content.
+	rough, err := Weierstrass(4096, 0.3, 1.7, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatalf("Weierstrass: %v", err)
+	}
+	hf := func(ys []float64) float64 {
+		sum := 0.0
+		for i := 1; i < len(ys); i++ {
+			d := ys[i] - ys[i-1]
+			sum += d * d
+		}
+		return sum / stats.Variance(ys)
+	}
+	if hf(rough) <= hf(xs) {
+		t.Errorf("h=0.3 relative increment energy %v <= h=0.5 %v", hf(rough), hf(xs))
+	}
+}
+
+func TestWeierstrassErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	if _, err := Weierstrass(0, 0.5, 2, rng); err == nil {
+		t.Error("n=0 should fail")
+	}
+	for _, h := range []float64{0, 1} {
+		if _, err := Weierstrass(10, h, 2, rng); err == nil {
+			t.Errorf("h=%v should fail", h)
+		}
+	}
+	if _, err := Weierstrass(10, 0.5, 1, rng); err == nil {
+		t.Error("gamma=1 should fail")
+	}
+}
+
+func TestLognormalCascadeNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	xs, err := LognormalCascadeNoise(10, 0.4, rng)
+	if err != nil {
+		t.Fatalf("LognormalCascadeNoise: %v", err)
+	}
+	if len(xs) != 1024 {
+		t.Fatalf("length %d, want 1024", len(xs))
+	}
+	// sigma=0 degenerates to plain N(0,1) noise.
+	plain, err := LognormalCascadeNoise(10, 0, rand.New(rand.NewSource(31)))
+	if err != nil {
+		t.Fatalf("sigma=0: %v", err)
+	}
+	if k := stats.Kurtosis(plain); math.Abs(k) > 0.8 {
+		t.Errorf("sigma=0 kurtosis = %v, want ~0", k)
+	}
+	// Cascade-modulated noise is heavy-tailed: higher kurtosis.
+	if stats.Kurtosis(xs) <= stats.Kurtosis(plain) {
+		t.Errorf("cascade kurtosis %v <= plain %v", stats.Kurtosis(xs), stats.Kurtosis(plain))
+	}
+	if _, err := LognormalCascadeNoise(-1, 0.4, rng); err == nil {
+		t.Error("negative levels should fail")
+	}
+	if _, err := LognormalCascadeNoise(5, -1, rng); err == nil {
+		t.Error("negative sigma should fail")
+	}
+}
+
+func TestShufflePreservesMarginal(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	sh := Shuffle(xs, rng)
+	if len(sh) != len(xs) {
+		t.Fatalf("length %d", len(sh))
+	}
+	a := append([]float64(nil), xs...)
+	b := append([]float64(nil), sh...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("marginal changed: %v vs %v", a, b)
+		}
+	}
+	// Original must be untouched.
+	if xs[0] != 1 || xs[7] != 8 {
+		t.Error("Shuffle mutated its input")
+	}
+}
+
+func TestPhaseRandomizePreservesSpectrum(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	xs := make([]float64, 256)
+	for i := range xs {
+		xs[i] = math.Sin(2*math.Pi*5*float64(i)/256) + 0.5*rng.NormFloat64()
+	}
+	sur, err := PhaseRandomize(xs, rng)
+	if err != nil {
+		t.Fatalf("PhaseRandomize: %v", err)
+	}
+	if len(sur) != len(xs) {
+		t.Fatalf("length %d", len(sur))
+	}
+	// Energy must be preserved (Parseval + magnitude preservation).
+	var eIn, eOut float64
+	for i := range xs {
+		eIn += xs[i] * xs[i]
+		eOut += sur[i] * sur[i]
+	}
+	if math.Abs(eIn-eOut) > 1e-6*eIn {
+		t.Errorf("energy in=%v out=%v", eIn, eOut)
+	}
+	// The surrogate must differ from the original (phases randomized).
+	same := true
+	for i := range xs {
+		if math.Abs(xs[i]-sur[i]) > 1e-9 {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("surrogate identical to original")
+	}
+	if _, err := PhaseRandomize([]float64{1}, rng); err == nil {
+		t.Error("n<2 should fail")
+	}
+}
+
+func TestPhaseRandomizeOddLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	xs := make([]float64, 255)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	sur, err := PhaseRandomize(xs, rng)
+	if err != nil {
+		t.Fatalf("PhaseRandomize odd: %v", err)
+	}
+	var eIn, eOut float64
+	for i := range xs {
+		eIn += xs[i] * xs[i]
+		eOut += sur[i] * sur[i]
+	}
+	if math.Abs(eIn-eOut) > 1e-6*eIn {
+		t.Errorf("odd-length energy in=%v out=%v", eIn, eOut)
+	}
+}
+
+func TestGeneratorsDeterministicGivenSeed(t *testing.T) {
+	a, err := FGNDaviesHarte(128, 0.7, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FGNDaviesHarte(128, 0.7, rand.New(rand.NewSource(77)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("FGNDaviesHarte not deterministic for fixed seed")
+		}
+	}
+}

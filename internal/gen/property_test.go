@@ -1,0 +1,103 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialCascadeConservationQuick(t *testing.T) {
+	// Mass conservation must hold for every multiplier and depth.
+	f := func(rawM float64, rawLevels uint8) bool {
+		m := 0.05 + math.Abs(math.Mod(rawM, 0.45)) // m in (0.05, 0.5)
+		if math.IsNaN(m) {
+			return true
+		}
+		levels := int(rawLevels % 13)
+		mass, err := BinomialCascade(levels, m, rand.New(rand.NewSource(int64(rawLevels))))
+		if err != nil {
+			return false
+		}
+		if len(mass) != 1<<levels {
+			return false
+		}
+		total := 0.0
+		minWant := math.Pow(m, float64(levels))
+		maxWant := math.Pow(1-m, float64(levels))
+		for _, v := range mass {
+			if v < minWant-1e-12 || v > maxWant+1e-12 {
+				return false
+			}
+			total += v
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffleIsPermutationQuick(t *testing.T) {
+	f := func(seed int64, raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		sh := Shuffle(raw, rand.New(rand.NewSource(seed)))
+		if len(sh) != len(raw) {
+			return false
+		}
+		// Multiset equality via sums of several transforms is fragile
+		// with NaN; compare sorted copies elementwise using bit patterns.
+		a := append([]float64(nil), raw...)
+		b := append([]float64(nil), sh...)
+		sortBits(a)
+		sortBits(b)
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sortBits sorts floats by their IEEE bit pattern (total order, NaN-safe).
+func sortBits(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && math.Float64bits(xs[j]) < math.Float64bits(xs[j-1]); j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+func TestFGNUnitVarianceAcrossHQuick(t *testing.T) {
+	// Davies-Harte output is (asymptotically) unit variance for every H.
+	f := func(rawH float64) bool {
+		h := 0.15 + math.Abs(math.Mod(rawH, 0.7))
+		if math.IsNaN(h) {
+			return true
+		}
+		xs, err := FGNDaviesHarte(4096, h, rand.New(rand.NewSource(int64(h*1e6))))
+		if err != nil {
+			return false
+		}
+		sum, sumSq := 0.0, 0.0
+		for _, v := range xs {
+			sum += v
+			sumSq += v * v
+		}
+		n := float64(len(xs))
+		mean := sum / n
+		variance := sumSq/n - mean*mean
+		// Long-memory sample variance is noisy; a generous band still
+		// catches normalization bugs (factor-of-2 errors etc).
+		return variance > 0.5 && variance < 1.7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

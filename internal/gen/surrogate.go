@@ -1,0 +1,62 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"agingmf/internal/dsp"
+)
+
+// Shuffle returns a random permutation of xs. Shuffling destroys all
+// temporal correlations (and therefore all multifractality of temporal
+// origin) while preserving the marginal distribution exactly — the
+// standard surrogate for experiment E7.
+func Shuffle(xs []float64, rng *rand.Rand) []float64 {
+	out := append([]float64(nil), xs...)
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// PhaseRandomize returns a surrogate with the same power spectrum (hence
+// the same linear correlations) as xs but randomized Fourier phases,
+// destroying nonlinear structure. This isolates multifractality caused by
+// the shape of the distribution and nonlinear correlations.
+func PhaseRandomize(xs []float64, rng *rand.Rand) ([]float64, error) {
+	n := len(xs)
+	if n < 2 {
+		return nil, fmt.Errorf("phase randomize n=%d: %w", n, ErrBadParameter)
+	}
+	spec, err := dsp.FFTReal(xs)
+	if err != nil {
+		return nil, fmt.Errorf("phase randomize: %w", err)
+	}
+	out := make([]complex128, n)
+	out[0] = spec[0]
+	half := n / 2
+	for k := 1; k < half; k++ {
+		phase := 2 * math.Pi * rng.Float64()
+		mag := cmplx.Abs(spec[k])
+		out[k] = cmplx.Rect(mag, phase)
+		out[n-k] = cmplx.Conj(out[k])
+	}
+	if n%2 == 0 {
+		// Nyquist bin must stay real to keep the signal real.
+		out[half] = complex(cmplx.Abs(spec[half]), 0)
+	} else {
+		phase := 2 * math.Pi * rng.Float64()
+		mag := cmplx.Abs(spec[half])
+		out[half] = cmplx.Rect(mag, phase)
+		out[n-half] = cmplx.Conj(out[half])
+	}
+	back, err := dsp.IFFT(out)
+	if err != nil {
+		return nil, fmt.Errorf("phase randomize: inverse: %w", err)
+	}
+	res := make([]float64, n)
+	for i := range res {
+		res[i] = real(back[i])
+	}
+	return res, nil
+}

@@ -1,0 +1,281 @@
+// Package holder estimates the local (pointwise) Hölder exponent of a time
+// series — the core analytic primitive of the DSN 2003 paper. A signal x
+// has Hölder exponent alpha at t when its oscillation in a window of radius
+// r around t scales like r^alpha: small alpha means locally rough/bursty,
+// alpha near 1 means locally smooth.
+//
+// Two estimators are provided:
+//
+//   - Oscillation method: regress log(oscillation) against log(radius) over
+//     a dyadic ladder of window radii around each point. Simple, local and
+//     robust; this matches the construction used in the software-aging
+//     literature.
+//   - Wavelet-leader method: regress log2 of the wavelet leaders above a
+//     point against the dyadic scale. Better behaved for signals with
+//     superimposed smooth trends (the db4 wavelet kills linear drift).
+package holder
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"agingmf/internal/dsp"
+	"agingmf/internal/series"
+	"agingmf/internal/stats"
+)
+
+// Errors returned by the estimators.
+var (
+	// ErrTooShort means the series cannot support the requested radii.
+	ErrTooShort = errors.New("holder: series too short")
+	// ErrBadConfig means an invalid estimator configuration.
+	ErrBadConfig = errors.New("holder: bad configuration")
+)
+
+// Config parameterizes the oscillation estimator.
+type Config struct {
+	// MinRadius is the smallest window radius in samples (>= 1).
+	MinRadius int
+	// MaxRadius is the largest window radius in samples; it must exceed
+	// MinRadius and fit inside the series.
+	MaxRadius int
+	// Stride evaluates the exponent every Stride samples (1 = every point).
+	Stride int
+}
+
+// DefaultConfig returns the estimator configuration used throughout the
+// experiments: dyadic radii 2..32, evaluated at every sample.
+func DefaultConfig() Config {
+	return Config{MinRadius: 2, MaxRadius: 32, Stride: 1}
+}
+
+func (c Config) validate(n int) error {
+	if c.MinRadius < 1 {
+		return fmt.Errorf("min radius %d: %w", c.MinRadius, ErrBadConfig)
+	}
+	if c.MaxRadius <= c.MinRadius {
+		return fmt.Errorf("max radius %d <= min radius %d: %w", c.MaxRadius, c.MinRadius, ErrBadConfig)
+	}
+	if c.Stride < 1 {
+		return fmt.Errorf("stride %d: %w", c.Stride, ErrBadConfig)
+	}
+	if n < 2*c.MaxRadius+1 {
+		return fmt.Errorf("series of %d samples with max radius %d: %w", n, c.MaxRadius, ErrTooShort)
+	}
+	return nil
+}
+
+// radii returns the dyadic ladder of radii for the configuration.
+func (c Config) radii() []int {
+	var out []int
+	for r := c.MinRadius; r <= c.MaxRadius; r *= 2 {
+		out = append(out, r)
+	}
+	if len(out) < 3 {
+		// Ensure at least three points for the regression by inserting
+		// intermediate radii.
+		out = out[:0]
+		step := float64(c.MaxRadius-c.MinRadius) / 2
+		for i := 0; i < 3; i++ {
+			out = append(out, c.MinRadius+int(math.Round(step*float64(i))))
+		}
+	}
+	return out
+}
+
+// Oscillation estimates the Hölder trajectory of s with the oscillation
+// method. The output series is aligned with the input (same Start/Step,
+// shifted by MaxRadius at both ends) and holds one exponent per evaluated
+// point. Runs in O(n * #radii) using sliding min/max deques.
+func Oscillation(s series.Series, cfg Config) (series.Series, error) {
+	n := s.Len()
+	if err := cfg.validate(n); err != nil {
+		return series.Series{}, fmt.Errorf("oscillation %q: %w", s.Name, err)
+	}
+	radii := cfg.radii()
+	// Precompute oscillation (max-min over centered window of radius r)
+	// for every point and every radius.
+	osc := make([][]float64, len(radii))
+	for ri, r := range radii {
+		osc[ri] = slidingOscillation(s.Values, r)
+	}
+	logR := make([]float64, len(radii))
+	for i, r := range radii {
+		logR[i] = math.Log(float64(r))
+	}
+	lo, hi := cfg.MaxRadius, n-cfg.MaxRadius
+	out := series.Series{
+		Name:   s.Name + ".holder",
+		Start:  s.TimeAt(lo),
+		Step:   s.Step * time.Duration(cfg.Stride),
+		Values: make([]float64, 0, (hi-lo+cfg.Stride-1)/cfg.Stride),
+	}
+	logO := make([]float64, len(radii))
+	for t := lo; t < hi; t += cfg.Stride {
+		alpha := pointAlpha(osc, logR, logO, t)
+		out.Values = append(out.Values, alpha)
+	}
+	return out, nil
+}
+
+// pointAlpha regresses log oscillation on log radius at index t.
+func pointAlpha(osc [][]float64, logR, logO []float64, t int) float64 {
+	usable := 0
+	for ri := range osc {
+		o := osc[ri][t]
+		if o > 0 {
+			logO[usable] = math.Log(o)
+			usable++
+		} else {
+			// Zero oscillation at some radius: locally constant. Treat the
+			// point as maximally smooth.
+			return 1
+		}
+	}
+	fit, err := stats.OLS(logR[:usable], logO[:usable])
+	if err != nil {
+		return 1
+	}
+	return clampAlpha(fit.Slope)
+}
+
+// clampAlpha restricts raw regression slopes to the meaningful Hölder
+// range [0, 2]; estimates outside it are artefacts of degenerate windows.
+func clampAlpha(a float64) float64 {
+	if math.IsNaN(a) {
+		return 1
+	}
+	if a < 0 {
+		return 0
+	}
+	if a > 2 {
+		return 2
+	}
+	return a
+}
+
+// slidingOscillation returns, for every index t, max-min of xs over the
+// centered window [t-r, t+r] clamped to the series bounds. O(n) via
+// monotonic deques.
+func slidingOscillation(xs []float64, r int) []float64 {
+	n := len(xs)
+	out := make([]float64, n)
+	w := 2*r + 1
+	if w > n {
+		w = n
+	}
+	maxs := slidingWindowExtreme(xs, w, true)
+	mins := slidingWindowExtreme(xs, w, false)
+	// maxs[i] covers window starting at i: [i, i+w-1]. For centered window
+	// at t the start is t-r clamped into range.
+	for t := 0; t < n; t++ {
+		start := t - r
+		if start < 0 {
+			start = 0
+		}
+		if start > n-w {
+			start = n - w
+		}
+		out[t] = maxs[start] - mins[start]
+	}
+	return out
+}
+
+// slidingWindowExtreme returns the max (or min) over every window of
+// length w, indexed by window start.
+func slidingWindowExtreme(xs []float64, w int, wantMax bool) []float64 {
+	n := len(xs)
+	out := make([]float64, n-w+1)
+	deque := make([]int, 0, w) // indices, extreme at front
+	better := func(a, b float64) bool {
+		if wantMax {
+			return a >= b
+		}
+		return a <= b
+	}
+	for i := 0; i < n; i++ {
+		for len(deque) > 0 && better(xs[i], xs[deque[len(deque)-1]]) {
+			deque = deque[:len(deque)-1]
+		}
+		deque = append(deque, i)
+		if deque[0] <= i-w {
+			deque = deque[1:]
+		}
+		if i >= w-1 {
+			out[i-w+1] = xs[deque[0]]
+		}
+	}
+	return out
+}
+
+// WaveletLeader estimates the Hölder trajectory using wavelet leaders of a
+// db4 decomposition across levels..1 dyadic scales. The exponent at sample
+// t is the slope of log2(leader) versus scale above t. levels <= 0 selects
+// 5 scales (or as many as the length allows).
+func WaveletLeader(s series.Series, levels int) (series.Series, error) {
+	n := s.Len()
+	if levels <= 0 {
+		levels = 5
+	}
+	if n < 1<<uint(levels) || n < 16 {
+		return series.Series{}, fmt.Errorf("wavelet leader %q: n=%d levels=%d: %w", s.Name, n, levels, ErrTooShort)
+	}
+	d, err := dsp.Decompose(s.Values, dsp.Daubechies4, levels)
+	if err != nil {
+		return series.Series{}, fmt.Errorf("wavelet leader %q: %w", s.Name, err)
+	}
+	leaders := d.Leaders()
+	out := s.Clone()
+	out.Name = s.Name + ".holder.wl"
+	js := make([]float64, len(leaders))
+	for j := range js {
+		js[j] = float64(j + 1)
+	}
+	logL := make([]float64, len(leaders))
+	for t := 0; t < n; t++ {
+		usable := 0
+		for j, lv := range leaders {
+			pos := t >> uint(j+1)
+			if pos >= len(lv.Detail) {
+				break
+			}
+			l := lv.Detail[pos]
+			if l <= 0 {
+				break
+			}
+			logL[usable] = math.Log2(l)
+			usable++
+		}
+		if usable < 3 {
+			out.Values[t] = 1
+			continue
+		}
+		fit, err := stats.OLS(js[:usable], logL[:usable])
+		if err != nil {
+			out.Values[t] = 1
+			continue
+		}
+		// |d_{j}| ~ 2^{j(alpha+1/2)} for leaders of an alpha-Hölder point
+		// (L1-normalized DWT uses alpha+1/2 with our orthonormal filters).
+		out.Values[t] = clampAlpha(fit.Slope - 0.5)
+	}
+	return out, nil
+}
+
+// Mean of a trajectory restricted to the finite entries; convenience used
+// by the experiments.
+func MeanExponent(traj series.Series) float64 {
+	sum, cnt := 0.0, 0
+	for _, v := range traj.Values {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			sum += v
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return math.NaN()
+	}
+	return sum / float64(cnt)
+}

@@ -1,0 +1,260 @@
+package holder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"agingmf/internal/gen"
+	"agingmf/internal/series"
+	"agingmf/internal/stats"
+)
+
+func fbmSeries(t *testing.T, n int, h float64, seed int64) series.Series {
+	t.Helper()
+	xs, err := gen.FBM(n, h, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("FBM: %v", err)
+	}
+	return series.FromValues("fbm", xs)
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  Config
+		n    int
+		ok   bool
+	}{
+		{name: "default", cfg: DefaultConfig(), n: 1000, ok: true},
+		{name: "min radius 0", cfg: Config{MinRadius: 0, MaxRadius: 8, Stride: 1}, n: 1000, ok: false},
+		{name: "max below min", cfg: Config{MinRadius: 8, MaxRadius: 4, Stride: 1}, n: 1000, ok: false},
+		{name: "stride 0", cfg: Config{MinRadius: 2, MaxRadius: 8, Stride: 0}, n: 1000, ok: false},
+		{name: "too short", cfg: DefaultConfig(), n: 40, ok: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.validate(tt.n)
+			if (err == nil) != tt.ok {
+				t.Errorf("validate(n=%d) err=%v, want ok=%v", tt.n, err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestRadiiLadder(t *testing.T) {
+	cfg := Config{MinRadius: 2, MaxRadius: 32, Stride: 1}
+	radii := cfg.radii()
+	want := []int{2, 4, 8, 16, 32}
+	if len(radii) != len(want) {
+		t.Fatalf("radii = %v, want %v", radii, want)
+	}
+	for i := range want {
+		if radii[i] != want[i] {
+			t.Fatalf("radii = %v, want %v", radii, want)
+		}
+	}
+	// Narrow band still yields >= 3 points for the regression.
+	narrow := Config{MinRadius: 3, MaxRadius: 5, Stride: 1}
+	if got := narrow.radii(); len(got) < 3 {
+		t.Errorf("narrow radii = %v, want at least 3 entries", got)
+	}
+}
+
+func TestSlidingOscillationMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	for _, r := range []int{1, 3, 10} {
+		fast := slidingOscillation(xs, r)
+		for tIdx := 0; tIdx < len(xs); tIdx++ {
+			// The implementation clamps the window to keep full width near
+			// the boundaries; replicate that here.
+			w := 2*r + 1
+			if w > len(xs) {
+				w = len(xs)
+			}
+			start := tIdx - r
+			if start < 0 {
+				start = 0
+			}
+			if start > len(xs)-w {
+				start = len(xs) - w
+			}
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for i := start; i < start+w; i++ {
+				if xs[i] < lo {
+					lo = xs[i]
+				}
+				if xs[i] > hi {
+					hi = xs[i]
+				}
+			}
+			if math.Abs(fast[tIdx]-(hi-lo)) > 1e-12 {
+				t.Fatalf("r=%d t=%d: fast %v naive %v", r, tIdx, fast[tIdx], hi-lo)
+			}
+		}
+	}
+}
+
+func TestOscillationRecoversFBMExponent(t *testing.T) {
+	// Mean Hölder exponent of fBm is its Hurst index. The oscillation
+	// method on finite windows is biased but must land in a band around H
+	// and preserve ordering.
+	// Larger radii reduce the discretization bias of max-min oscillation
+	// on rough paths (small windows under-sample the true oscillation).
+	cfg := Config{MinRadius: 8, MaxRadius: 256, Stride: 4}
+	var got []float64
+	for _, h := range []float64{0.3, 0.5, 0.7} {
+		s := fbmSeries(t, 1<<14, h, int64(100*h))
+		traj, err := Oscillation(s, cfg)
+		if err != nil {
+			t.Fatalf("Oscillation(H=%v): %v", h, err)
+		}
+		mean := MeanExponent(traj)
+		if math.Abs(mean-h) > 0.15 {
+			t.Errorf("mean exponent for H=%v is %v", h, mean)
+		}
+		got = append(got, mean)
+	}
+	if !(got[0] < got[1] && got[1] < got[2]) {
+		t.Errorf("oscillation estimates not ordered: %v", got)
+	}
+}
+
+func TestOscillationOnSmoothSignal(t *testing.T) {
+	// A slowly varying smooth sinusoid must score near the smooth end
+	// (alpha ~ 1), far above a rough fBm.
+	n := 4096
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = math.Sin(2 * math.Pi * float64(i) / float64(n))
+	}
+	traj, err := Oscillation(series.FromValues("sine", vals), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Oscillation: %v", err)
+	}
+	if m := MeanExponent(traj); m < 0.85 {
+		t.Errorf("smooth signal mean exponent = %v, want ~1", m)
+	}
+}
+
+func TestOscillationConstantSignal(t *testing.T) {
+	vals := make([]float64, 512)
+	traj, err := Oscillation(series.FromValues("const", vals), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Oscillation: %v", err)
+	}
+	for i, v := range traj.Values {
+		if v != 1 {
+			t.Fatalf("constant signal alpha[%d] = %v, want 1 (maximally smooth)", i, v)
+		}
+	}
+}
+
+func TestOscillationAlignmentAndStride(t *testing.T) {
+	s := fbmSeries(t, 2048, 0.5, 9)
+	cfg := Config{MinRadius: 2, MaxRadius: 16, Stride: 4}
+	traj, err := Oscillation(s, cfg)
+	if err != nil {
+		t.Fatalf("Oscillation: %v", err)
+	}
+	wantLen := (2048 - 2*16 + 3) / 4
+	if traj.Len() != wantLen {
+		t.Errorf("trajectory length = %d, want %d", traj.Len(), wantLen)
+	}
+	if !traj.Start.Equal(s.TimeAt(16)) {
+		t.Errorf("trajectory start = %v, want %v", traj.Start, s.TimeAt(16))
+	}
+	if traj.Step != s.Step*4 {
+		t.Errorf("trajectory step = %v, want %v", traj.Step, s.Step*4)
+	}
+}
+
+func TestOscillationDetectsLocalRoughnessChange(t *testing.T) {
+	// First half smooth (integrated noise), second half rough (white
+	// noise): the mean exponent must drop in the second half.
+	rng := rand.New(rand.NewSource(10))
+	n := 8192
+	vals := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n/2; i++ {
+		sum += rng.NormFloat64()
+		vals[i] = sum
+	}
+	for i := n / 2; i < n; i++ {
+		vals[i] = sum + 30*rng.NormFloat64()
+	}
+	traj, err := Oscillation(series.FromValues("mix", vals), DefaultConfig())
+	if err != nil {
+		t.Fatalf("Oscillation: %v", err)
+	}
+	half := traj.Len() / 2
+	smoothMean := stats.Mean(traj.Values[:half])
+	roughMean := stats.Mean(traj.Values[half:])
+	if smoothMean-roughMean < 0.2 {
+		t.Errorf("no roughness contrast: smooth %v rough %v", smoothMean, roughMean)
+	}
+}
+
+func TestOscillationErrors(t *testing.T) {
+	s := series.FromValues("x", make([]float64, 10))
+	if _, err := Oscillation(s, DefaultConfig()); err == nil {
+		t.Error("short series should fail")
+	}
+}
+
+func TestWaveletLeaderOrdersRoughness(t *testing.T) {
+	var got []float64
+	for _, h := range []float64{0.3, 0.7} {
+		s := fbmSeries(t, 1<<13, h, int64(1000*h))
+		traj, err := WaveletLeader(s, 5)
+		if err != nil {
+			t.Fatalf("WaveletLeader(H=%v): %v", h, err)
+		}
+		if traj.Len() != s.Len() {
+			t.Fatalf("trajectory length %d != input %d", traj.Len(), s.Len())
+		}
+		got = append(got, MeanExponent(traj))
+	}
+	if got[0] >= got[1] {
+		t.Errorf("wavelet-leader estimates not ordered: H=0.3 -> %v, H=0.7 -> %v", got[0], got[1])
+	}
+}
+
+func TestWaveletLeaderErrors(t *testing.T) {
+	s := series.FromValues("x", make([]float64, 8))
+	if _, err := WaveletLeader(s, 5); err == nil {
+		t.Error("short series should fail")
+	}
+}
+
+func TestClampAlpha(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want float64
+	}{
+		{in: -0.5, want: 0},
+		{in: 0.5, want: 0.5},
+		{in: 2.5, want: 2},
+		{in: math.NaN(), want: 1},
+	}
+	for _, tt := range tests {
+		if got := clampAlpha(tt.in); got != tt.want {
+			t.Errorf("clampAlpha(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestMeanExponentSkipsNonFinite(t *testing.T) {
+	traj := series.FromValues("a", []float64{0.5, math.NaN(), 1.5, math.Inf(1)})
+	if got := MeanExponent(traj); got != 1 {
+		t.Errorf("MeanExponent = %v, want 1", got)
+	}
+	empty := series.FromValues("e", nil)
+	if !math.IsNaN(MeanExponent(empty)) {
+		t.Error("MeanExponent of empty series should be NaN")
+	}
+}

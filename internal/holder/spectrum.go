@@ -1,0 +1,85 @@
+package holder
+
+import (
+	"fmt"
+	"math"
+
+	"agingmf/internal/multifractal"
+	"agingmf/internal/series"
+	"agingmf/internal/stats"
+)
+
+// HistogramSpectrum estimates the singularity spectrum f(alpha) by the
+// direct (large-deviation/histogram) method: estimate the pointwise
+// Hölder exponent everywhere at resolution ~cfg.MaxRadius, histogram the
+// exponents, and convert bin counts to dimensions via
+//
+//	N(alpha) ~ (n/r)^{f(alpha)}  =>  f(alpha) = log N(alpha) / log(n/r).
+//
+// This is the conceptual route of the DSN 2003 framework (count how often
+// each local singularity strength occurs) and complements the
+// moment-based MF-DFA estimate: the histogram method sees the most
+// frequent singularities directly, while moments emphasize the extremes.
+// The result is normalized so the spectrum peak equals 1 (the support
+// dimension of a 1-D signal).
+func HistogramSpectrum(s series.Series, cfg Config, bins int) (multifractal.Spectrum, error) {
+	if bins < 3 {
+		return multifractal.Spectrum{}, fmt.Errorf("histogram spectrum %q: %d bins: %w", s.Name, bins, ErrBadConfig)
+	}
+	traj, err := Oscillation(s, cfg)
+	if err != nil {
+		return multifractal.Spectrum{}, fmt.Errorf("histogram spectrum %q: %w", s.Name, err)
+	}
+	alphas := make([]float64, 0, traj.Len())
+	for _, a := range traj.Values {
+		if !math.IsNaN(a) && !math.IsInf(a, 0) {
+			alphas = append(alphas, a)
+		}
+	}
+	if len(alphas) < bins {
+		return multifractal.Spectrum{}, fmt.Errorf("histogram spectrum %q: %d usable exponents: %w", s.Name, len(alphas), ErrTooShort)
+	}
+	hist, err := stats.NewHistogram(alphas, bins)
+	if err != nil {
+		return multifractal.Spectrum{}, fmt.Errorf("histogram spectrum %q: %w", s.Name, err)
+	}
+	scale := float64(s.Len()) / float64(cfg.MaxRadius)
+	if scale <= 1 {
+		return multifractal.Spectrum{}, fmt.Errorf("histogram spectrum %q: degenerate scale %v", s.Name, scale)
+	}
+	logScale := math.Log(scale)
+	var sp multifractal.Spectrum
+	maxF := math.Inf(-1)
+	for i, count := range hist.Counts {
+		if count == 0 {
+			continue
+		}
+		f := math.Log(float64(count)) / logScale
+		sp.Alpha = append(sp.Alpha, hist.BinCenter(i))
+		sp.F = append(sp.F, f)
+		if f > maxF {
+			maxF = f
+		}
+	}
+	// Normalize the peak to the support dimension 1.
+	shift := 1 - maxF
+	for i := range sp.F {
+		sp.F[i] += shift
+	}
+	return sp, nil
+}
+
+// ModalAlpha returns the alpha at which the spectrum attains its maximum
+// — the regularity of the "typical" point of the signal.
+func ModalAlpha(sp multifractal.Spectrum) (float64, error) {
+	if len(sp.Alpha) == 0 {
+		return 0, fmt.Errorf("modal alpha: empty spectrum")
+	}
+	best := 0
+	for i, f := range sp.F {
+		if f > sp.F[best] {
+			best = i
+		}
+	}
+	return sp.Alpha[best], nil
+}

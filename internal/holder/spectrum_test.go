@@ -1,0 +1,89 @@
+package holder
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"agingmf/internal/gen"
+	"agingmf/internal/multifractal"
+	"agingmf/internal/series"
+)
+
+func TestHistogramSpectrumMonofractalNarrow(t *testing.T) {
+	xs, err := gen.FBM(1<<14, 0.6, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{MinRadius: 8, MaxRadius: 128, Stride: 2}
+	sp, err := HistogramSpectrum(series.FromValues("fbm", xs), cfg, 24)
+	if err != nil {
+		t.Fatalf("HistogramSpectrum: %v", err)
+	}
+	mode, err := ModalAlpha(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mode-0.6) > 0.2 {
+		t.Errorf("modal alpha = %v, want ~0.6", mode)
+	}
+	// Peak must be normalized to 1.
+	peak := math.Inf(-1)
+	for _, f := range sp.F {
+		if f > peak {
+			peak = f
+		}
+	}
+	if math.Abs(peak-1) > 1e-12 {
+		t.Errorf("peak = %v, want 1", peak)
+	}
+}
+
+func TestHistogramSpectrumCascadeWiderThanFBM(t *testing.T) {
+	cfg := Config{MinRadius: 8, MaxRadius: 128, Stride: 2}
+	// Monofractal reference.
+	mono, err := gen.FBM(1<<14, 0.5, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spMono, err := HistogramSpectrum(series.FromValues("fbm", mono), cfg, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Integrated binomial cascade: genuinely multifractal path.
+	mass, err := gen.BinomialCascade(14, 0.3, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := make([]float64, len(mass))
+	sum := 0.0
+	for i, v := range mass {
+		sum += v
+		path[i] = sum
+	}
+	spMulti, err := HistogramSpectrum(series.FromValues("cascade", path), cfg, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Effective width: alpha range weighted by spectrum support above
+	// f > 0.5 (robust to outlier bins).
+	width := func(sp interface{ Width() float64 }) float64 { return sp.Width() }
+	if width(spMulti) <= width(spMono) {
+		t.Errorf("cascade width %v <= fBm width %v", spMulti.Width(), spMono.Width())
+	}
+}
+
+func TestHistogramSpectrumErrors(t *testing.T) {
+	cfg := DefaultConfig()
+	s := series.FromValues("x", make([]float64, 2000))
+	if _, err := HistogramSpectrum(s, cfg, 2); err == nil {
+		t.Error("too few bins should fail")
+	}
+	short := series.FromValues("y", make([]float64, 10))
+	if _, err := HistogramSpectrum(short, cfg, 8); err == nil {
+		t.Error("short series should fail")
+	}
+	if _, err := ModalAlpha(multifractal.Spectrum{}); err == nil {
+		t.Error("empty spectrum should fail")
+	}
+}

@@ -1,0 +1,68 @@
+package memsim
+
+import "fmt"
+
+// InjectLeakBurst makes the process immediately allocate-and-leak the
+// given number of pages — a Mandelbug-style sudden leak used by the
+// failure-injection tests and ablation studies. The machine crashes (OOM)
+// if the burst cannot be satisfied, exactly like organic allocations.
+func (m *Machine) InjectLeakBurst(pid, pages int) error {
+	if m.crash != CrashNone {
+		return fmt.Errorf("inject leak burst: %w", ErrCrashed)
+	}
+	if pages <= 0 {
+		return fmt.Errorf("inject leak burst of %d pages: %w", pages, ErrBadConfig)
+	}
+	p, ok := m.procs[pid]
+	if !ok {
+		return fmt.Errorf("inject leak burst into %d: %w", pid, ErrNoSuchProcess)
+	}
+	if !m.allocate(p, pages) {
+		m.declareCrash(CrashOOM)
+		return fmt.Errorf("inject leak burst of %d pages: %w", pages, ErrCrashed)
+	}
+	p.leaked += pages
+	return nil
+}
+
+// InjectFragmentation converts up to the given number of free pages into
+// permanently fragmented pages (until reboot), modelling an allocator
+// pathology. It returns the number of pages actually fragmented, which is
+// bounded by the currently free pages and by the configured
+// fragmentation cap.
+func (m *Machine) InjectFragmentation(pages int) (int, error) {
+	if m.crash != CrashNone {
+		return 0, fmt.Errorf("inject fragmentation: %w", ErrCrashed)
+	}
+	if pages <= 0 {
+		return 0, fmt.Errorf("inject fragmentation of %d pages: %w", pages, ErrBadConfig)
+	}
+	capPages := int(m.cfg.FragCapFraction * float64(m.cfg.RAMPages))
+	if room := capPages - m.frag; pages > room {
+		pages = room
+	}
+	if pages > m.freeRAM {
+		pages = m.freeRAM
+	}
+	if pages <= 0 {
+		return 0, nil
+	}
+	m.frag += pages
+	m.freeRAM -= pages
+	return pages, nil
+}
+
+// SetLeakRate changes a live process's leak rate — used to model aging
+// that accelerates mid-life (an extension scenario in the aging
+// literature's fault classification).
+func (m *Machine) SetLeakRate(pid int, pagesPerTick float64) error {
+	if pagesPerTick < 0 {
+		return fmt.Errorf("set leak rate %v: %w", pagesPerTick, ErrBadConfig)
+	}
+	p, ok := m.procs[pid]
+	if !ok {
+		return fmt.Errorf("set leak rate on %d: %w", pid, ErrNoSuchProcess)
+	}
+	p.spec.LeakPagesPerTick = pagesPerTick
+	return nil
+}

@@ -1,0 +1,141 @@
+package memsim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestInjectLeakBurst(t *testing.T) {
+	m := newTestMachine(t, nil, 50)
+	pid, err := m.Spawn(ProcSpec{Name: "victim", BaseWorkingSet: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeBefore := m.Counters().FreeMemoryBytes
+	if err := m.InjectLeakBurst(pid, 2000); err != nil {
+		t.Fatalf("InjectLeakBurst: %v", err)
+	}
+	info, err := m.Process(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Leaked != 2000 {
+		t.Errorf("leaked = %d, want 2000", info.Leaked)
+	}
+	if m.Counters().FreeMemoryBytes >= freeBefore {
+		t.Error("free memory did not drop after the burst")
+	}
+	if err := m.Invariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+	// Killing the process must not reclaim the burst.
+	fragBefore := m.Counters().FragmentedPages
+	if err := m.Kill(pid); err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters().FragmentedPages <= fragBefore {
+		t.Error("burst pages reclaimed by kill; a leak must persist")
+	}
+}
+
+func TestInjectLeakBurstErrors(t *testing.T) {
+	m := newTestMachine(t, nil, 51)
+	pid, err := m.Spawn(ProcSpec{Name: "p", BaseWorkingSet: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectLeakBurst(pid, 0); err == nil {
+		t.Error("zero pages should fail")
+	}
+	if err := m.InjectLeakBurst(999, 10); !errors.Is(err, ErrNoSuchProcess) {
+		t.Errorf("bogus pid error = %v", err)
+	}
+	// A burst beyond RAM+swap crashes the machine.
+	total := m.Config().RAMPages + m.Config().SwapPages
+	if err := m.InjectLeakBurst(pid, total*2); !errors.Is(err, ErrCrashed) {
+		t.Errorf("oversized burst error = %v, want ErrCrashed", err)
+	}
+	if kind, _ := m.Crashed(); kind != CrashOOM {
+		t.Errorf("crash kind = %v", kind)
+	}
+	if err := m.InjectLeakBurst(pid, 10); !errors.Is(err, ErrCrashed) {
+		t.Error("injection into crashed machine should fail")
+	}
+}
+
+func TestInjectFragmentation(t *testing.T) {
+	m := newTestMachine(t, nil, 52)
+	got, err := m.InjectFragmentation(1000)
+	if err != nil {
+		t.Fatalf("InjectFragmentation: %v", err)
+	}
+	if got != 1000 {
+		t.Errorf("fragmented %d, want 1000", got)
+	}
+	if m.Counters().FragmentedPages != 1000 {
+		t.Errorf("counter = %d", m.Counters().FragmentedPages)
+	}
+	if err := m.Invariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+	// The cap bounds total injected fragmentation.
+	capPages := int(m.Config().FragCapFraction * float64(m.Config().RAMPages))
+	got2, err := m.InjectFragmentation(capPages * 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Counters().FragmentedPages > capPages {
+		t.Errorf("fragmentation %d above cap %d", m.Counters().FragmentedPages, capPages)
+	}
+	if got2 >= capPages*2 {
+		t.Errorf("returned %d, cap not applied", got2)
+	}
+	if _, err := m.InjectFragmentation(0); err == nil {
+		t.Error("zero pages should fail")
+	}
+	// Reboot clears injected fragmentation.
+	m.Reboot()
+	if m.Counters().FragmentedPages != 0 {
+		t.Error("fragmentation survived reboot")
+	}
+}
+
+func TestSetLeakRateAcceleratesAging(t *testing.T) {
+	m := newTestMachine(t, func(c *Config) {
+		c.RAMPages = 4096
+		c.SwapPages = 2048
+		c.LowWatermark = 64
+	}, 53)
+	pid, err := m.Spawn(ProcSpec{Name: "app", BaseWorkingSet: 128, LeakPagesPerTick: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := m.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	info, _ := m.Process(pid)
+	if info.Leaked != 0 {
+		t.Fatalf("leaked %d before acceleration", info.Leaked)
+	}
+	if err := m.SetLeakRate(pid, 50); err != nil {
+		t.Fatalf("SetLeakRate: %v", err)
+	}
+	crashed := false
+	for i := 0; i < 2000; i++ {
+		if _, err := m.Step(); err != nil {
+			crashed = true
+			break
+		}
+	}
+	if !crashed {
+		t.Error("accelerated leak did not crash the machine")
+	}
+	if err := m.SetLeakRate(pid, -1); err == nil {
+		t.Error("negative rate should fail")
+	}
+	if err := m.SetLeakRate(424242, 1); !errors.Is(err, ErrNoSuchProcess) {
+		t.Errorf("bogus pid error = %v", err)
+	}
+}

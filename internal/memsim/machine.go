@@ -1,0 +1,617 @@
+// Package memsim simulates the memory subsystem of an operating system at
+// page granularity, standing in for the instrumented Windows NT/2000
+// workstations of the DSN 2003 study (see DESIGN.md, substitution record).
+//
+// The simulated machine owns physical RAM pages, a swap device and a page
+// cache, and hosts processes that allocate, free, leak and touch memory.
+// Each Tick advances one simulated second: processes run their allocation
+// churn, the kernel reclaims cache and swaps out pages under pressure, and
+// fragmentation slowly eats usable RAM — the canonical software-aging
+// effects. The machine crashes (OOM or thrash) when resources are
+// exhausted, giving the run-to-failure traces the aging analysis consumes.
+//
+// The two counters the paper monitors are exposed directly:
+// FreeMemoryBytes and UsedSwapBytes.
+package memsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Common errors.
+var (
+	// ErrCrashed is returned by operations on a crashed machine.
+	ErrCrashed = errors.New("memsim: machine has crashed")
+	// ErrNoSuchProcess is returned when a pid does not exist.
+	ErrNoSuchProcess = errors.New("memsim: no such process")
+	// ErrBadConfig reports an invalid machine configuration.
+	ErrBadConfig = errors.New("memsim: bad configuration")
+)
+
+// CrashKind classifies a machine failure.
+type CrashKind int
+
+// Crash kinds.
+const (
+	// CrashNone means the machine is healthy.
+	CrashNone CrashKind = iota
+	// CrashOOM means RAM and swap were exhausted.
+	CrashOOM
+	// CrashThrash means sustained paging starved the system (hang).
+	CrashThrash
+)
+
+// String implements fmt.Stringer.
+func (k CrashKind) String() string {
+	switch k {
+	case CrashNone:
+		return "none"
+	case CrashOOM:
+		return "oom"
+	case CrashThrash:
+		return "thrash"
+	default:
+		return fmt.Sprintf("crash(%d)", int(k))
+	}
+}
+
+// Config describes the simulated hardware and kernel parameters.
+type Config struct {
+	// RAMPages is the number of physical memory pages.
+	RAMPages int
+	// SwapPages is the swap device capacity in pages.
+	SwapPages int
+	// PageSize is the page size in bytes (counters are reported in bytes).
+	PageSize int
+	// TickDuration is the simulated wall-clock length of one tick.
+	TickDuration time.Duration
+	// LowWatermark is the free-page level (in pages) below which the
+	// kernel starts reclaiming cache and swapping.
+	LowWatermark int
+	// ThrashPageRate is the per-tick swap traffic (pages) that counts as
+	// thrashing when sustained.
+	ThrashPageRate int
+	// ThrashTicks is how many consecutive thrashing ticks hang the machine.
+	ThrashTicks int
+	// FragPerMegaChurn is how many RAM pages become unusable per million
+	// pages of allocation churn — the fragmentation aging channel.
+	FragPerMegaChurn float64
+	// FragCapFraction caps fragmentation at this fraction of RAM.
+	FragCapFraction float64
+}
+
+// DefaultConfig models a small workstation: 128 MiB RAM, 256 MiB swap,
+// 4 KiB pages, 1-second ticks — on the scale of the paper's 2003-era
+// machines so run-to-crash campaigns stay fast.
+func DefaultConfig() Config {
+	return Config{
+		RAMPages:         32768, // 128 MiB
+		SwapPages:        65536, // 256 MiB
+		PageSize:         4096,
+		TickDuration:     time.Second,
+		LowWatermark:     1024,
+		ThrashPageRate:   2048,
+		ThrashTicks:      30,
+		FragPerMegaChurn: 120,
+		FragCapFraction:  0.35,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.RAMPages <= 0:
+		return fmt.Errorf("ram pages %d: %w", c.RAMPages, ErrBadConfig)
+	case c.SwapPages < 0:
+		return fmt.Errorf("swap pages %d: %w", c.SwapPages, ErrBadConfig)
+	case c.PageSize <= 0:
+		return fmt.Errorf("page size %d: %w", c.PageSize, ErrBadConfig)
+	case c.TickDuration <= 0:
+		return fmt.Errorf("tick duration %v: %w", c.TickDuration, ErrBadConfig)
+	case c.LowWatermark < 0 || c.LowWatermark >= c.RAMPages:
+		return fmt.Errorf("low watermark %d: %w", c.LowWatermark, ErrBadConfig)
+	case c.ThrashPageRate <= 0:
+		return fmt.Errorf("thrash page rate %d: %w", c.ThrashPageRate, ErrBadConfig)
+	case c.ThrashTicks <= 0:
+		return fmt.Errorf("thrash ticks %d: %w", c.ThrashTicks, ErrBadConfig)
+	case c.FragPerMegaChurn < 0:
+		return fmt.Errorf("frag per mega churn %v: %w", c.FragPerMegaChurn, ErrBadConfig)
+	case c.FragCapFraction < 0 || c.FragCapFraction >= 1:
+		return fmt.Errorf("frag cap fraction %v: %w", c.FragCapFraction, ErrBadConfig)
+	}
+	return nil
+}
+
+// Counters is a point-in-time snapshot of the machine's observable state —
+// the "performance counters" the collector samples.
+type Counters struct {
+	// Tick is the simulation time in ticks.
+	Tick int
+	// FreeMemoryBytes is the unallocated, unfragmented physical memory.
+	FreeMemoryBytes float64
+	// UsedSwapBytes is the occupied swap space.
+	UsedSwapBytes float64
+	// CachePages is the current page-cache size in pages.
+	CachePages int
+	// FragmentedPages is RAM lost to fragmentation.
+	FragmentedPages int
+	// SwapTrafficPages is the swap in+out traffic during the last tick.
+	SwapTrafficPages int
+	// Processes is the number of live processes.
+	Processes int
+}
+
+// Machine is a simulated host. It is not safe for concurrent use; drive it
+// from a single goroutine (the campaign runner parallelizes across
+// machines, not within one).
+type Machine struct {
+	cfg Config
+	rng *rand.Rand
+
+	tick      int
+	nextPID   int
+	procs     map[int]*process
+	order     []int // pids in spawn order for deterministic iteration
+	freeRAM   int
+	cache     int
+	frag      int
+	fragAccum float64 // fractional fragmentation accumulator
+	usedSwap  int
+	churn     int64 // cumulative allocation churn in pages
+
+	swapTraffic  int // pages swapped during the current tick
+	thrashStreak int
+
+	crash     CrashKind
+	crashTick int
+	reboots   int
+}
+
+// New creates a machine with the given configuration and deterministic
+// random source.
+func New(cfg Config, rng *rand.Rand) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("memsim new: %w", err)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("memsim new: nil rng: %w", ErrBadConfig)
+	}
+	return &Machine{
+		cfg:     cfg,
+		rng:     rng,
+		nextPID: 1,
+		procs:   make(map[int]*process),
+		freeRAM: cfg.RAMPages,
+	}, nil
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Tick returns the current simulation time in ticks.
+func (m *Machine) TickCount() int { return m.tick }
+
+// Uptime returns simulated time since boot (or the last reboot).
+func (m *Machine) Uptime() time.Duration {
+	return time.Duration(m.tick) * m.cfg.TickDuration
+}
+
+// Crashed returns the crash kind (CrashNone while healthy) and the tick at
+// which the crash occurred.
+func (m *Machine) Crashed() (CrashKind, int) { return m.crash, m.crashTick }
+
+// Reboots returns how many times the machine has been rejuvenated.
+func (m *Machine) Reboots() int { return m.reboots }
+
+// Counters returns the current observable state.
+func (m *Machine) Counters() Counters {
+	return Counters{
+		Tick:             m.tick,
+		FreeMemoryBytes:  float64(m.freeRAM) * float64(m.cfg.PageSize),
+		UsedSwapBytes:    float64(m.usedSwap) * float64(m.cfg.PageSize),
+		CachePages:       m.cache,
+		FragmentedPages:  m.frag,
+		SwapTrafficPages: m.swapTraffic,
+		Processes:        len(m.procs),
+	}
+}
+
+// Reboot rejuvenates the machine: all processes are killed, RAM, swap,
+// cache and fragmentation are cleared, and the crash state (if any) is
+// reset. The tick counter continues monotonically so one timeline spans
+// rejuvenation cycles.
+func (m *Machine) Reboot() {
+	m.procs = make(map[int]*process)
+	m.order = nil
+	m.freeRAM = m.cfg.RAMPages
+	m.cache = 0
+	m.frag = 0
+	m.fragAccum = 0
+	m.usedSwap = 0
+	m.swapTraffic = 0
+	m.thrashStreak = 0
+	m.crash = CrashNone
+	m.crashTick = 0
+	m.reboots++
+}
+
+// Spawn adds a process to the machine and returns its pid. The base
+// working set is allocated immediately; failure to fit it crashes the
+// machine just like any other allocation failure.
+func (m *Machine) Spawn(spec ProcSpec) (int, error) {
+	if m.crash != CrashNone {
+		return 0, fmt.Errorf("spawn: %w", ErrCrashed)
+	}
+	if err := spec.validate(); err != nil {
+		return 0, fmt.Errorf("spawn: %w", err)
+	}
+	pid := m.nextPID
+	m.nextPID++
+	p := &process{pid: pid, spec: spec}
+	m.procs[pid] = p
+	m.order = append(m.order, pid)
+	if !m.allocate(p, spec.BaseWorkingSet) {
+		m.declareCrash(CrashOOM)
+		return pid, fmt.Errorf("spawn pid %d: working set does not fit: %w", pid, ErrCrashed)
+	}
+	return pid, nil
+}
+
+// Kill terminates a process and releases all its pages (resident pages to
+// the free list, swapped pages back to the swap free pool). Leaked pages
+// are NOT released — that is what makes a leak a leak: the kernel cannot
+// tell them apart from live memory until reboot.
+func (m *Machine) Kill(pid int) error {
+	p, ok := m.procs[pid]
+	if !ok {
+		return fmt.Errorf("kill %d: %w", pid, ErrNoSuchProcess)
+	}
+	// Attribute the leak first to resident pages, then to swapped ones; the
+	// rest of the footprint is releasable.
+	leakR := min(p.leaked, p.resident)
+	leakS := min(p.leaked-leakR, p.swapped)
+	m.freeRAM += p.resident - leakR
+	m.usedSwap -= p.swapped - leakS
+	// Orphaned leaked resident pages become permanent loss until reboot;
+	// account them as fragmentation so RAM bookkeeping stays exact.
+	// Leaked swapped pages simply stay occupied in swap.
+	m.frag += leakR
+	delete(m.procs, pid)
+	for i, id := range m.order {
+		if id == pid {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Pids returns live process ids in spawn order (copy).
+func (m *Machine) Pids() []int {
+	return append([]int(nil), m.order...)
+}
+
+// Process returns an informational snapshot of a process.
+func (m *Machine) Process(pid int) (ProcInfo, error) {
+	p, ok := m.procs[pid]
+	if !ok {
+		return ProcInfo{}, fmt.Errorf("process %d: %w", pid, ErrNoSuchProcess)
+	}
+	return ProcInfo{
+		PID:      pid,
+		Resident: p.resident,
+		Swapped:  p.swapped,
+		Leaked:   p.leaked,
+		Age:      p.age,
+	}, nil
+}
+
+// AddCachePressure grows the page cache by up to pages (bounded by free
+// RAM above the low watermark); the kernel will shrink it again under
+// memory pressure. Models file I/O performed by the workload.
+func (m *Machine) AddCachePressure(pages int) {
+	if m.crash != CrashNone || pages <= 0 {
+		return
+	}
+	headroom := m.freeRAM - m.cfg.LowWatermark
+	if headroom <= 0 {
+		return
+	}
+	if pages > headroom {
+		pages = headroom
+	}
+	m.cache += pages
+	m.freeRAM -= pages
+}
+
+// Step advances the machine by one tick: every live process performs its
+// churn/leak behaviour, then kernel housekeeping (fragmentation accrual,
+// thrash detection) runs. It returns the post-tick counters. Stepping a
+// crashed machine returns ErrCrashed.
+func (m *Machine) Step() (Counters, error) {
+	if m.crash != CrashNone {
+		return m.Counters(), fmt.Errorf("step: %w", ErrCrashed)
+	}
+	m.tick++
+	m.swapTraffic = 0
+	for _, pid := range append([]int(nil), m.order...) {
+		p, ok := m.procs[pid]
+		if !ok {
+			continue
+		}
+		m.runProcess(p)
+		if m.crash != CrashNone {
+			return m.Counters(), nil
+		}
+	}
+	m.accrueFragmentation()
+	m.detectThrash()
+	return m.Counters(), nil
+}
+
+// runProcess executes one tick of a process's memory behaviour.
+func (m *Machine) runProcess(p *process) {
+	p.age++
+	spec := p.spec
+	// ON/OFF bursting: flip state with the configured probabilities.
+	if p.bursting {
+		if m.rng.Float64() < spec.BurstOffProb {
+			p.bursting = false
+		}
+	} else if m.rng.Float64() < spec.BurstOnProb {
+		p.bursting = true
+	}
+	intensity := 1.0
+	if p.bursting {
+		intensity = spec.BurstMultiplier
+	}
+	// Churn: allocate then free roughly the same volume, jittered. The
+	// imbalance plus leak drives growth.
+	churn := int(float64(spec.ChurnPages) * intensity)
+	if churn > 0 {
+		alloc := churn + m.rng.Intn(churn+1) - churn/2 // churn +/- 50%
+		if alloc < 0 {
+			alloc = 0
+		}
+		if !m.allocate(p, alloc) {
+			m.declareCrash(CrashOOM)
+			return
+		}
+		free := alloc
+		if free > p.unleakedPages() {
+			free = p.unleakedPages()
+		}
+		m.release(p, free)
+		m.churn += int64(alloc)
+	}
+	// Demand paging: an active process keeps touching its whole working
+	// set, so swapped-out pages stream back in at a rate proportional to
+	// its activity. When the combined working sets exceed RAM this is what
+	// produces sustained swap traffic (thrashing).
+	if p.swapped > 0 && spec.ChurnPages > 0 {
+		pageIn := min(p.swapped, max(int(float64(spec.ChurnPages)*intensity)/2, 1))
+		if !m.allocate(p, pageIn) {
+			m.declareCrash(CrashOOM)
+			return
+		}
+		p.swapped -= pageIn
+		m.usedSwap -= pageIn
+		m.swapTraffic += pageIn
+	}
+	// Leak: pages allocated and never freed.
+	leak := spec.leakThisTick(m.rng, intensity)
+	if leak > 0 {
+		if !m.allocate(p, leak) {
+			m.declareCrash(CrashOOM)
+			return
+		}
+		p.leaked += leak
+	}
+}
+
+// unleakedPages is the number of pages the process could legitimately free.
+func (p *process) unleakedPages() int {
+	total := p.resident + p.swapped
+	if total < p.leaked {
+		return 0
+	}
+	return total - p.leaked
+}
+
+// allocate gives the process n resident pages, reclaiming cache and
+// swapping other pages out as needed. Returns false when RAM+swap are
+// exhausted.
+func (m *Machine) allocate(p *process, n int) bool {
+	if n <= 0 {
+		return true
+	}
+	for m.freeRAM < n+m.cfg.LowWatermark {
+		if !m.reclaimOnePass(n) {
+			// Could not free anything more: accept dipping below the
+			// watermark; hard failure only when truly out of pages.
+			break
+		}
+	}
+	if m.freeRAM >= n {
+		m.freeRAM -= n
+		p.resident += n
+		return true
+	}
+	// Last resort: satisfy the remainder by swapping out this allocation
+	// directly (demand paging straight to swap).
+	deficit := n - m.freeRAM
+	if m.usedSwap+deficit > m.cfg.SwapPages {
+		return false
+	}
+	p.resident += m.freeRAM
+	m.freeRAM = 0
+	m.usedSwap += deficit
+	m.swapTraffic += deficit
+	p.swapped += deficit
+	return true
+}
+
+// release returns n resident/swapped pages of the process to the system,
+// preferring resident pages.
+func (m *Machine) release(p *process, n int) {
+	if n <= 0 {
+		return
+	}
+	fromRAM := min(n, p.resident)
+	p.resident -= fromRAM
+	m.freeRAM += fromRAM
+	rest := n - fromRAM
+	fromSwap := min(rest, p.swapped)
+	p.swapped -= fromSwap
+	m.usedSwap -= fromSwap
+}
+
+// reclaimOnePass tries to free pages: first shrink the page cache, then
+// swap out pages from the processes with the largest resident sets.
+// Returns true if it freed at least one page.
+func (m *Machine) reclaimOnePass(want int) bool {
+	freed := 0
+	// Cache shrink is cheap: drop up to half the cache per pass.
+	if m.cache > 0 {
+		drop := max(m.cache/2, 1)
+		if drop > m.cache {
+			drop = m.cache
+		}
+		m.cache -= drop
+		m.freeRAM += drop
+		freed += drop
+	}
+	if m.freeRAM >= want+m.cfg.LowWatermark {
+		return freed > 0
+	}
+	// Swap out from the biggest resident process.
+	var victim *process
+	for _, pid := range m.order {
+		p := m.procs[pid]
+		if p != nil && p.resident > 0 && (victim == nil || p.resident > victim.resident) {
+			victim = p
+		}
+	}
+	if victim == nil {
+		return freed > 0
+	}
+	out := max(victim.resident/4, 1)
+	room := m.cfg.SwapPages - m.usedSwap
+	if out > room {
+		out = room
+	}
+	if out <= 0 {
+		return freed > 0
+	}
+	victim.resident -= out
+	victim.swapped += out
+	m.freeRAM += out
+	m.usedSwap += out
+	m.swapTraffic += out
+	return true
+}
+
+// accrueFragmentation converts cumulative churn into permanently lost RAM
+// pages, capped at FragCapFraction of RAM.
+func (m *Machine) accrueFragmentation() {
+	if m.cfg.FragPerMegaChurn == 0 {
+		return
+	}
+	cap64 := int(m.cfg.FragCapFraction * float64(m.cfg.RAMPages))
+	if m.frag >= cap64 {
+		return
+	}
+	m.fragAccum += m.cfg.FragPerMegaChurn * float64(m.tickChurn()) / 1e6
+	grow := int(m.fragAccum)
+	if grow == 0 {
+		return
+	}
+	m.fragAccum -= float64(grow)
+	if m.frag+grow > cap64 {
+		grow = cap64 - m.frag
+	}
+	if grow > m.freeRAM {
+		grow = m.freeRAM
+	}
+	m.frag += grow
+	m.freeRAM -= grow
+}
+
+// tickChurn estimates churn attributable to the current tick.
+func (m *Machine) tickChurn() int64 {
+	var sum int64
+	for _, pid := range m.order {
+		if p := m.procs[pid]; p != nil {
+			sum += int64(p.spec.ChurnPages)
+		}
+	}
+	return sum
+}
+
+// detectThrash hangs the machine after sustained heavy paging.
+func (m *Machine) detectThrash() {
+	if m.swapTraffic >= m.cfg.ThrashPageRate {
+		m.thrashStreak++
+	} else {
+		m.thrashStreak = 0
+	}
+	if m.thrashStreak >= m.cfg.ThrashTicks {
+		m.declareCrash(CrashThrash)
+	}
+}
+
+func (m *Machine) declareCrash(kind CrashKind) {
+	if m.crash == CrashNone {
+		m.crash = kind
+		m.crashTick = m.tick
+	}
+}
+
+// checkInvariants verifies internal accounting; exported for tests via
+// Invariants().
+func (m *Machine) checkInvariants() error {
+	resident := 0
+	swapped := 0
+	for _, p := range m.procs {
+		if p.resident < 0 || p.swapped < 0 || p.leaked < 0 {
+			return fmt.Errorf("pid %d: negative accounting %+v", p.pid, *p)
+		}
+		resident += p.resident
+		swapped += p.swapped
+	}
+	if got := resident + m.freeRAM + m.cache + m.frag; got != m.cfg.RAMPages {
+		return fmt.Errorf("ram accounting: resident %d + free %d + cache %d + frag %d = %d, want %d",
+			resident, m.freeRAM, m.cache, m.frag, got, m.cfg.RAMPages)
+	}
+	if swapped > m.usedSwap {
+		return fmt.Errorf("swap accounting: process swapped %d > used %d", swapped, m.usedSwap)
+	}
+	if m.usedSwap < 0 || m.usedSwap > m.cfg.SwapPages {
+		return fmt.Errorf("used swap %d outside [0, %d]", m.usedSwap, m.cfg.SwapPages)
+	}
+	if m.freeRAM < 0 {
+		return fmt.Errorf("negative free ram %d", m.freeRAM)
+	}
+	return nil
+}
+
+// Invariants returns an error when the machine's internal page accounting
+// is inconsistent. Intended for tests and fault-injection harnesses.
+func (m *Machine) Invariants() error { return m.checkInvariants() }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

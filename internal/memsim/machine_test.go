@@ -1,0 +1,486 @@
+package memsim
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func newTestMachine(t *testing.T, mutate func(*Config), seed int64) *Machine {
+	t.Helper()
+	cfg := DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := New(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{name: "default", mutate: nil, ok: true},
+		{name: "no ram", mutate: func(c *Config) { c.RAMPages = 0 }, ok: false},
+		{name: "negative swap", mutate: func(c *Config) { c.SwapPages = -1 }, ok: false},
+		{name: "zero page size", mutate: func(c *Config) { c.PageSize = 0 }, ok: false},
+		{name: "zero tick", mutate: func(c *Config) { c.TickDuration = 0 }, ok: false},
+		{name: "watermark over ram", mutate: func(c *Config) { c.LowWatermark = c.RAMPages }, ok: false},
+		{name: "zero thrash rate", mutate: func(c *Config) { c.ThrashPageRate = 0 }, ok: false},
+		{name: "zero thrash ticks", mutate: func(c *Config) { c.ThrashTicks = 0 }, ok: false},
+		{name: "negative frag", mutate: func(c *Config) { c.FragPerMegaChurn = -1 }, ok: false},
+		{name: "frag cap 1", mutate: func(c *Config) { c.FragCapFraction = 1 }, ok: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			if tt.mutate != nil {
+				tt.mutate(&cfg)
+			}
+			err := cfg.Validate()
+			if (err == nil) != tt.ok {
+				t.Errorf("Validate() = %v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+	if _, err := New(DefaultConfig(), nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+func TestFreshMachineCounters(t *testing.T) {
+	m := newTestMachine(t, nil, 1)
+	c := m.Counters()
+	wantFree := float64(DefaultConfig().RAMPages) * float64(DefaultConfig().PageSize)
+	if c.FreeMemoryBytes != wantFree {
+		t.Errorf("free = %v, want %v", c.FreeMemoryBytes, wantFree)
+	}
+	if c.UsedSwapBytes != 0 || c.Processes != 0 || c.Tick != 0 {
+		t.Errorf("fresh counters = %+v", c)
+	}
+	if err := m.Invariants(); err != nil {
+		t.Errorf("fresh invariants: %v", err)
+	}
+}
+
+func TestSpawnAllocatesWorkingSet(t *testing.T) {
+	m := newTestMachine(t, nil, 2)
+	pid, err := m.Spawn(ProcSpec{Name: "app", BaseWorkingSet: 1000})
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	info, err := m.Process(pid)
+	if err != nil {
+		t.Fatalf("Process: %v", err)
+	}
+	if info.Resident != 1000 {
+		t.Errorf("resident = %d, want 1000", info.Resident)
+	}
+	c := m.Counters()
+	wantFree := float64(DefaultConfig().RAMPages-1000) * float64(DefaultConfig().PageSize)
+	if c.FreeMemoryBytes != wantFree {
+		t.Errorf("free = %v, want %v", c.FreeMemoryBytes, wantFree)
+	}
+	if err := m.Invariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+func TestSpawnBadSpec(t *testing.T) {
+	m := newTestMachine(t, nil, 3)
+	badSpecs := []ProcSpec{
+		{BaseWorkingSet: -1},
+		{ChurnPages: -1},
+		{LeakPagesPerTick: -0.1},
+		{BurstOnProb: 2},
+		{BurstOffProb: -0.5},
+		{BurstOnProb: 0.1, BurstMultiplier: 0.5},
+	}
+	for i, spec := range badSpecs {
+		if _, err := m.Spawn(spec); err == nil {
+			t.Errorf("spec %d should fail: %+v", i, spec)
+		}
+	}
+}
+
+func TestKillReleasesMemory(t *testing.T) {
+	m := newTestMachine(t, nil, 4)
+	pid, err := m.Spawn(ProcSpec{Name: "app", BaseWorkingSet: 5000})
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	before := m.Counters().FreeMemoryBytes
+	if err := m.Kill(pid); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	after := m.Counters().FreeMemoryBytes
+	if after <= before {
+		t.Errorf("free did not grow after kill: %v -> %v", before, after)
+	}
+	if err := m.Kill(pid); !errors.Is(err, ErrNoSuchProcess) {
+		t.Errorf("double kill error = %v, want ErrNoSuchProcess", err)
+	}
+	if err := m.Invariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+func TestKillLeakyProcessLeavesOrphanPages(t *testing.T) {
+	m := newTestMachine(t, nil, 5)
+	pid, err := m.Spawn(ProcSpec{Name: "leaky", BaseWorkingSet: 100, LeakPagesPerTick: 50})
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := m.Step(); err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+	}
+	info, err := m.Process(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Leaked == 0 {
+		t.Fatal("process did not leak")
+	}
+	fragBefore := m.Counters().FragmentedPages
+	if err := m.Kill(pid); err != nil {
+		t.Fatalf("Kill: %v", err)
+	}
+	fragAfter := m.Counters().FragmentedPages
+	if fragAfter <= fragBefore {
+		t.Errorf("orphaned leak not retained: frag %d -> %d", fragBefore, fragAfter)
+	}
+	if err := m.Invariants(); err != nil {
+		t.Errorf("invariants after leaky kill: %v", err)
+	}
+	// Reboot clears the orphans.
+	m.Reboot()
+	if got := m.Counters().FragmentedPages; got != 0 {
+		t.Errorf("frag after reboot = %d, want 0", got)
+	}
+}
+
+func TestLeakDrivesCrash(t *testing.T) {
+	m := newTestMachine(t, func(c *Config) {
+		c.RAMPages = 4096
+		c.SwapPages = 4096
+		c.LowWatermark = 128
+	}, 6)
+	if _, err := m.Spawn(ProcSpec{Name: "leaky", BaseWorkingSet: 256, LeakPagesPerTick: 40, ChurnPages: 64}); err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	crashed := false
+	for i := 0; i < 5000; i++ {
+		if _, err := m.Step(); err != nil {
+			crashed = true
+			break
+		}
+		if kind, _ := m.Crashed(); kind != CrashNone {
+			crashed = true
+			break
+		}
+		if err := m.Invariants(); err != nil {
+			t.Fatalf("invariants at tick %d: %v", i, err)
+		}
+	}
+	if !crashed {
+		t.Fatal("leaky machine did not crash within 5000 ticks")
+	}
+	kind, tick := m.Crashed()
+	if kind == CrashNone || tick == 0 {
+		t.Errorf("crash = %v at %d", kind, tick)
+	}
+	// A crashed machine refuses work.
+	if _, err := m.Step(); !errors.Is(err, ErrCrashed) {
+		t.Errorf("Step on crashed machine = %v, want ErrCrashed", err)
+	}
+	if _, err := m.Spawn(ProcSpec{}); !errors.Is(err, ErrCrashed) {
+		t.Errorf("Spawn on crashed machine = %v, want ErrCrashed", err)
+	}
+}
+
+func TestSwapFillsBeforeCrash(t *testing.T) {
+	m := newTestMachine(t, func(c *Config) {
+		c.RAMPages = 2048
+		c.SwapPages = 8192
+		c.LowWatermark = 64
+	}, 7)
+	if _, err := m.Spawn(ProcSpec{Name: "leaky", BaseWorkingSet: 128, LeakPagesPerTick: 30}); err != nil {
+		t.Fatal(err)
+	}
+	sawSwapUse := false
+	for i := 0; i < 10000; i++ {
+		c, err := m.Step()
+		if err != nil {
+			break
+		}
+		if c.UsedSwapBytes > 0 {
+			sawSwapUse = true
+		}
+	}
+	kind, _ := m.Crashed()
+	if kind != CrashOOM {
+		t.Fatalf("crash kind = %v, want oom", kind)
+	}
+	if !sawSwapUse {
+		t.Error("machine crashed without ever using swap")
+	}
+	// At OOM, swap must be (nearly) full.
+	c := m.Counters()
+	swapBytes := float64(m.Config().SwapPages) * float64(m.Config().PageSize)
+	if c.UsedSwapBytes < 0.9*swapBytes {
+		t.Errorf("used swap at OOM = %v of %v", c.UsedSwapBytes, swapBytes)
+	}
+}
+
+func TestRebootRestoresHealth(t *testing.T) {
+	m := newTestMachine(t, func(c *Config) {
+		c.RAMPages = 1024
+		c.SwapPages = 1024
+		c.LowWatermark = 32
+	}, 8)
+	if _, err := m.Spawn(ProcSpec{Name: "leaky", BaseWorkingSet: 64, LeakPagesPerTick: 20}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := m.Step(); err != nil {
+			break
+		}
+	}
+	if kind, _ := m.Crashed(); kind == CrashNone {
+		t.Fatal("machine did not crash")
+	}
+	tickAtCrash := m.TickCount()
+	m.Reboot()
+	if kind, _ := m.Crashed(); kind != CrashNone {
+		t.Errorf("crash state after reboot = %v", kind)
+	}
+	if m.Reboots() != 1 {
+		t.Errorf("reboots = %d, want 1", m.Reboots())
+	}
+	if m.TickCount() != tickAtCrash {
+		t.Errorf("tick counter reset by reboot: %d != %d", m.TickCount(), tickAtCrash)
+	}
+	c := m.Counters()
+	if c.Processes != 0 || c.UsedSwapBytes != 0 || c.FragmentedPages != 0 {
+		t.Errorf("post-reboot counters = %+v", c)
+	}
+	// Machine must work again.
+	if _, err := m.Spawn(ProcSpec{Name: "fresh", BaseWorkingSet: 10}); err != nil {
+		t.Errorf("Spawn after reboot: %v", err)
+	}
+	if _, err := m.Step(); err != nil {
+		t.Errorf("Step after reboot: %v", err)
+	}
+}
+
+func TestCachePressureAndReclaim(t *testing.T) {
+	m := newTestMachine(t, func(c *Config) {
+		c.RAMPages = 4096
+		c.SwapPages = 8192
+		c.LowWatermark = 256
+	}, 9)
+	m.AddCachePressure(2000)
+	if got := m.Counters().CachePages; got != 2000 {
+		t.Fatalf("cache = %d, want 2000", got)
+	}
+	// Cache cannot eat into the low watermark.
+	m.AddCachePressure(100000)
+	c := m.Counters()
+	if c.CachePages+int(c.FreeMemoryBytes)/m.Config().PageSize != 4096 {
+		t.Errorf("cache %d + free %v inconsistent", c.CachePages, c.FreeMemoryBytes)
+	}
+	if int(c.FreeMemoryBytes)/m.Config().PageSize < 256 {
+		t.Errorf("cache pressure violated the low watermark: %+v", c)
+	}
+	// A big allocation forces cache reclaim rather than failure.
+	pid, err := m.Spawn(ProcSpec{Name: "big", BaseWorkingSet: 3000})
+	if err != nil {
+		t.Fatalf("Spawn: %v", err)
+	}
+	info, _ := m.Process(pid)
+	if info.Resident+info.Swapped != 3000 {
+		t.Errorf("big process footprint = %d", info.Footprint())
+	}
+	if m.Counters().CachePages >= 2000 {
+		t.Error("cache was not reclaimed under pressure")
+	}
+	if err := m.Invariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+func TestThrashCrash(t *testing.T) {
+	// Tight RAM, huge swap, heavy churn from two processes larger than
+	// RAM: constant swapping with little leak -> thrash hang.
+	m := newTestMachine(t, func(c *Config) {
+		c.RAMPages = 1024
+		c.SwapPages = 1 << 20
+		c.LowWatermark = 64
+		c.ThrashPageRate = 256
+		c.ThrashTicks = 10
+		c.FragPerMegaChurn = 0
+	}, 10)
+	for i := 0; i < 2; i++ {
+		if _, err := m.Spawn(ProcSpec{Name: "hog", BaseWorkingSet: 900, ChurnPages: 600}); err != nil {
+			t.Fatalf("Spawn hog %d: %v", i, err)
+		}
+	}
+	var kind CrashKind
+	for i := 0; i < 3000; i++ {
+		if _, err := m.Step(); err != nil {
+			break
+		}
+		if kind, _ = m.Crashed(); kind != CrashNone {
+			break
+		}
+	}
+	if kind != CrashThrash {
+		t.Fatalf("crash kind = %v, want thrash", kind)
+	}
+}
+
+func TestFragmentationGrowsWithChurnAndIsCapped(t *testing.T) {
+	m := newTestMachine(t, func(c *Config) {
+		c.RAMPages = 8192
+		c.SwapPages = 1 << 18
+		c.LowWatermark = 128
+		c.FragPerMegaChurn = 5e4
+		c.FragCapFraction = 0.25
+	}, 11)
+	if _, err := m.Spawn(ProcSpec{Name: "churner", BaseWorkingSet: 512, ChurnPages: 256}); err != nil {
+		t.Fatal(err)
+	}
+	var lastFrag int
+	for i := 0; i < 2000; i++ {
+		c, err := m.Step()
+		if err != nil {
+			t.Fatalf("Step: %v", err)
+		}
+		if c.FragmentedPages < lastFrag {
+			t.Fatalf("fragmentation decreased %d -> %d", lastFrag, c.FragmentedPages)
+		}
+		lastFrag = c.FragmentedPages
+	}
+	if lastFrag == 0 {
+		t.Fatal("no fragmentation accrued")
+	}
+	capPages := int(0.25 * 8192)
+	if lastFrag > capPages {
+		t.Errorf("fragmentation %d above cap %d", lastFrag, capPages)
+	}
+	if err := m.Invariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+func TestStepDeterminismForFixedSeed(t *testing.T) {
+	run := func() []float64 {
+		m := newTestMachine(t, nil, 42)
+		if _, err := m.Spawn(ProcSpec{
+			Name: "app", BaseWorkingSet: 512, ChurnPages: 128,
+			LeakPagesPerTick: 2.5, BurstOnProb: 0.05, BurstOffProb: 0.2, BurstMultiplier: 4,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		var out []float64
+		for i := 0; i < 300; i++ {
+			c, err := m.Step()
+			if err != nil {
+				t.Fatalf("Step: %v", err)
+			}
+			out = append(out, c.FreeMemoryBytes, c.UsedSwapBytes)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInvariantsHoldDuringLongMixedRun(t *testing.T) {
+	m := newTestMachine(t, func(c *Config) {
+		c.RAMPages = 8192
+		c.SwapPages = 16384
+		c.LowWatermark = 256
+	}, 12)
+	specs := []ProcSpec{
+		{Name: "leaky", BaseWorkingSet: 256, ChurnPages: 64, LeakPagesPerTick: 1.5},
+		{Name: "bursty", BaseWorkingSet: 128, ChurnPages: 200, BurstOnProb: 0.1, BurstOffProb: 0.3, BurstMultiplier: 5},
+		{Name: "steady", BaseWorkingSet: 512, ChurnPages: 32},
+	}
+	var pids []int
+	for _, s := range specs {
+		pid, err := m.Spawn(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pids = append(pids, pid)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 2000; i++ {
+		if _, err := m.Step(); err != nil {
+			break // crash ends the run; invariants checked below
+		}
+		if err := m.Invariants(); err != nil {
+			t.Fatalf("tick %d: %v", i, err)
+		}
+		m.AddCachePressure(rng.Intn(50))
+		// Occasionally kill and respawn the bursty process (process churn).
+		if i%500 == 499 {
+			if err := m.Kill(pids[1]); err == nil {
+				pid, err := m.Spawn(specs[1])
+				if err != nil {
+					break
+				}
+				pids[1] = pid
+			}
+		}
+	}
+	if err := m.Invariants(); err != nil {
+		t.Fatalf("final invariants: %v", err)
+	}
+}
+
+func TestUptimeAndCrashKindString(t *testing.T) {
+	m := newTestMachine(t, nil, 13)
+	if _, err := m.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Uptime() != time.Second {
+		t.Errorf("uptime = %v, want 1s", m.Uptime())
+	}
+	if CrashNone.String() != "none" || CrashOOM.String() != "oom" || CrashThrash.String() != "thrash" {
+		t.Error("CrashKind strings wrong")
+	}
+	if CrashKind(9).String() == "" {
+		t.Error("unknown CrashKind string empty")
+	}
+}
+
+func TestPidsSnapshot(t *testing.T) {
+	m := newTestMachine(t, nil, 14)
+	p1, _ := m.Spawn(ProcSpec{Name: "a", BaseWorkingSet: 1})
+	p2, _ := m.Spawn(ProcSpec{Name: "b", BaseWorkingSet: 1})
+	pids := m.Pids()
+	if len(pids) != 2 || pids[0] != p1 || pids[1] != p2 {
+		t.Errorf("Pids = %v", pids)
+	}
+	pids[0] = 999 // mutating the copy must not affect the machine
+	if m.Pids()[0] != p1 {
+		t.Error("Pids returned internal slice")
+	}
+	if _, err := m.Process(12345); !errors.Is(err, ErrNoSuchProcess) {
+		t.Errorf("Process(bogus) = %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+package memsim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ProcSpec describes the memory behaviour of a simulated process.
+type ProcSpec struct {
+	// Name labels the process in reports.
+	Name string
+	// BaseWorkingSet is allocated at spawn time (pages).
+	BaseWorkingSet int
+	// ChurnPages is the typical per-tick allocate/free volume (pages).
+	ChurnPages int
+	// LeakPagesPerTick is the expected number of pages leaked per tick
+	// (fractional rates accumulate probabilistically).
+	LeakPagesPerTick float64
+	// BurstOnProb is the per-tick probability of entering a burst.
+	BurstOnProb float64
+	// BurstOffProb is the per-tick probability of leaving a burst.
+	BurstOffProb float64
+	// BurstMultiplier scales churn and leak while bursting (>= 1).
+	BurstMultiplier float64
+}
+
+func (s ProcSpec) validate() error {
+	switch {
+	case s.BaseWorkingSet < 0:
+		return fmt.Errorf("base working set %d: %w", s.BaseWorkingSet, ErrBadConfig)
+	case s.ChurnPages < 0:
+		return fmt.Errorf("churn pages %d: %w", s.ChurnPages, ErrBadConfig)
+	case s.LeakPagesPerTick < 0:
+		return fmt.Errorf("leak rate %v: %w", s.LeakPagesPerTick, ErrBadConfig)
+	case s.BurstOnProb < 0 || s.BurstOnProb > 1:
+		return fmt.Errorf("burst on prob %v: %w", s.BurstOnProb, ErrBadConfig)
+	case s.BurstOffProb < 0 || s.BurstOffProb > 1:
+		return fmt.Errorf("burst off prob %v: %w", s.BurstOffProb, ErrBadConfig)
+	case s.BurstMultiplier < 0:
+		return fmt.Errorf("burst multiplier %v: %w", s.BurstMultiplier, ErrBadConfig)
+	case s.BurstOnProb > 0 && s.BurstMultiplier < 1:
+		return fmt.Errorf("burst multiplier %v with bursting enabled: %w (need >= 1)", s.BurstMultiplier, ErrBadConfig)
+	}
+	return nil
+}
+
+// leakThisTick converts the fractional leak rate into an integer page
+// count for one tick, scaled by the burst intensity.
+func (s ProcSpec) leakThisTick(rng *rand.Rand, intensity float64) int {
+	rate := s.LeakPagesPerTick * intensity
+	whole := int(rate)
+	frac := rate - float64(whole)
+	if frac > 0 && rng.Float64() < frac {
+		whole++
+	}
+	return whole
+}
+
+// process is the machine-internal process state.
+type process struct {
+	pid      int
+	spec     ProcSpec
+	resident int // pages in RAM
+	swapped  int // pages on the swap device
+	leaked   int // pages leaked (subset of resident+swapped)
+	age      int // ticks since spawn
+	bursting bool
+}
+
+// ProcInfo is an external snapshot of a process.
+type ProcInfo struct {
+	// PID is the process id.
+	PID int
+	// Resident is the pages currently in RAM.
+	Resident int
+	// Swapped is the pages currently on the swap device.
+	Swapped int
+	// Leaked is the cumulative leaked pages.
+	Leaked int
+	// Age is ticks since spawn.
+	Age int
+}
+
+// Footprint returns the process's total memory footprint in pages.
+func (p ProcInfo) Footprint() int { return p.Resident + p.Swapped }

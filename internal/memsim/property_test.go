@@ -1,0 +1,82 @@
+package memsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestRandomOperationSequencesKeepInvariants drives machines through
+// random interleavings of every public operation and checks the page
+// accounting after each step — the property that makes every other
+// result in this repository trustworthy.
+func TestRandomOperationSequencesKeepInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := DefaultConfig()
+		cfg.RAMPages = 2048 + rng.Intn(8192)
+		cfg.SwapPages = rng.Intn(8192)
+		cfg.LowWatermark = rng.Intn(cfg.RAMPages / 8)
+		m, err := New(cfg, rng)
+		if err != nil {
+			t.Logf("seed %d: config rejected: %v", seed, err)
+			return false
+		}
+		var pids []int
+		for op := 0; op < 300; op++ {
+			if kind, _ := m.Crashed(); kind != CrashNone {
+				break
+			}
+			switch rng.Intn(10) {
+			case 0, 1: // spawn
+				spec := ProcSpec{
+					Name:             "p",
+					BaseWorkingSet:   rng.Intn(512),
+					ChurnPages:       rng.Intn(128),
+					LeakPagesPerTick: rng.Float64() * 4,
+				}
+				if rng.Intn(3) == 0 {
+					spec.BurstOnProb = rng.Float64() * 0.2
+					spec.BurstOffProb = rng.Float64()
+					spec.BurstMultiplier = 1 + rng.Float64()*5
+				}
+				if pid, err := m.Spawn(spec); err == nil {
+					pids = append(pids, pid)
+				}
+			case 2: // kill
+				if len(pids) > 0 {
+					idx := rng.Intn(len(pids))
+					_ = m.Kill(pids[idx])
+					pids = append(pids[:idx], pids[idx+1:]...)
+				}
+			case 3: // cache pressure
+				m.AddCachePressure(rng.Intn(256))
+			case 4: // leak burst
+				if len(pids) > 0 {
+					_ = m.InjectLeakBurst(pids[rng.Intn(len(pids))], 1+rng.Intn(256))
+				}
+			case 5: // fragmentation
+				_, _ = m.InjectFragmentation(1 + rng.Intn(128))
+			case 6: // leak-rate change
+				if len(pids) > 0 {
+					_ = m.SetLeakRate(pids[rng.Intn(len(pids))], rng.Float64()*8)
+				}
+			case 7: // reboot occasionally
+				if rng.Intn(20) == 0 {
+					m.Reboot()
+					pids = nil
+				}
+			default: // step
+				_, _ = m.Step()
+			}
+			if err := m.Invariants(); err != nil {
+				t.Logf("seed %d op %d: %v", seed, op, err)
+				return false
+			}
+		}
+		return m.Invariants() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

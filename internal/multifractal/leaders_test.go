@@ -1,0 +1,103 @@
+package multifractal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"agingmf/internal/gen"
+)
+
+func TestWaveletLeadersMonofractalFBM(t *testing.T) {
+	// For fBm, h(q) is flat at H across q, including negative q (the
+	// regime MF-DFA struggles with).
+	qs := []float64{-4, -2, -1, 1, 2, 4}
+	for _, h := range []float64{0.4, 0.7} {
+		xs, err := gen.FBM(1<<14, h, rand.New(rand.NewSource(int64(100*h))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := WaveletLeaders(xs, qs, 0)
+		if err != nil {
+			t.Fatalf("WaveletLeaders(H=%v): %v", h, err)
+		}
+		for i, q := range qs {
+			if math.Abs(res.Hq[i]-h) > 0.2 {
+				t.Errorf("H=%v: h(%v) = %v", h, q, res.Hq[i])
+			}
+		}
+		// Spread across q must be small for a monofractal.
+		spread := res.Hq[0] - res.Hq[len(res.Hq)-1]
+		if math.Abs(spread) > 0.3 {
+			t.Errorf("H=%v: monofractal leader spread = %v", h, spread)
+		}
+	}
+}
+
+func TestWaveletLeadersCascadeIsMultifractal(t *testing.T) {
+	// Integrated binomial cascade: wide spectrum, h(q) strongly
+	// decreasing, and tau(q) close to the analytic cascade exponents.
+	m := 0.3
+	mass, err := gen.BinomialCascade(14, m, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := make([]float64, len(mass))
+	sum := 0.0
+	for i, v := range mass {
+		sum += v
+		path[i] = sum
+	}
+	qs := []float64{-2, -1, 1, 2, 3}
+	res, err := WaveletLeaders(path, qs, 0)
+	if err != nil {
+		t.Fatalf("WaveletLeaders: %v", err)
+	}
+	if res.Hq[0] <= res.Hq[len(res.Hq)-1] {
+		t.Errorf("h(q) not decreasing: %v", res.Hq)
+	}
+	// Compare tau(2) with the analytic cascade value tau_cascade(2)
+	// (increments of the integrated cascade are interval masses).
+	wantTau2 := gen.BinomialCascadeTau(m, 2)
+	gotTau2 := tauAt(t, res, 2)
+	if math.Abs(gotTau2-wantTau2) > 0.4 {
+		t.Errorf("tau(2) = %v, analytic %v", gotTau2, wantTau2)
+	}
+	// The leader spectrum must be clearly wider than an fBm's.
+	fbm, err := gen.FBM(1<<14, 0.5, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMono, err := WaveletLeaders(fbm, qs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spectrum.Width() <= resMono.Spectrum.Width() {
+		t.Errorf("cascade width %v <= fBm width %v",
+			res.Spectrum.Width(), resMono.Spectrum.Width())
+	}
+}
+
+func tauAt(t *testing.T, res Result, q float64) float64 {
+	t.Helper()
+	for i, qq := range res.Qs {
+		if qq == q {
+			return res.Tau[i]
+		}
+	}
+	t.Fatalf("q=%v not analyzed", q)
+	return 0
+}
+
+func TestWaveletLeadersErrors(t *testing.T) {
+	if _, err := WaveletLeaders(make([]float64, 64), []float64{1, 2, 3}, 0); err == nil {
+		t.Error("short input should fail")
+	}
+	xs := make([]float64, 512)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	if _, err := WaveletLeaders(xs, []float64{1, 2}, 0); err == nil {
+		t.Error("too few qs should fail")
+	}
+}

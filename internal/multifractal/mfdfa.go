@@ -1,0 +1,365 @@
+// Package multifractal quantifies the multifractality of a time series:
+// the generalized Hurst exponents h(q), the mass scaling exponents tau(q),
+// and the singularity spectrum f(alpha) obtained by Legendre transform.
+// Two classical methods are implemented — multifractal detrended
+// fluctuation analysis (MF-DFA, Kantelhardt et al. 2002, contemporary with
+// the DSN 2003 paper) for arbitrary noisy series, and the box
+// partition-function method for non-negative measures, used to validate
+// against analytically known cascade spectra.
+package multifractal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"agingmf/internal/stats"
+)
+
+// Errors returned by the analyzers.
+var (
+	// ErrTooShort means the input cannot populate enough scales.
+	ErrTooShort = errors.New("multifractal: series too short")
+	// ErrBadConfig means an invalid analysis configuration.
+	ErrBadConfig = errors.New("multifractal: bad configuration")
+)
+
+// Config parameterizes MF-DFA.
+type Config struct {
+	// Qs are the moment orders to evaluate; 0 is handled by the log
+	// average. A symmetric range like [-5, 5] is conventional.
+	Qs []float64
+	// MinScale is the smallest segment length (>= 4*(Order+1)).
+	MinScale int
+	// MaxScaleDiv caps the largest scale at n/MaxScaleDiv (conventionally 4).
+	MaxScaleDiv int
+	// ScaleCount is how many log-spaced scales to evaluate.
+	ScaleCount int
+	// Order is the detrending polynomial order (1..3).
+	Order int
+}
+
+// DefaultConfig returns the standard MF-DFA configuration used by the
+// experiments: q in [-5,5], linear detrending, 12 scales.
+func DefaultConfig() Config {
+	return Config{
+		Qs:          []float64{-5, -3, -2, -1, -0.5, 0, 0.5, 1, 2, 3, 5},
+		MinScale:    16,
+		MaxScaleDiv: 4,
+		ScaleCount:  12,
+		Order:       1,
+	}
+}
+
+func (c Config) validate(n int) error {
+	if len(c.Qs) < 3 {
+		return fmt.Errorf("%d moment orders: %w (need >= 3)", len(c.Qs), ErrBadConfig)
+	}
+	if c.Order < 1 || c.Order > 3 {
+		return fmt.Errorf("order %d: %w (need 1..3)", c.Order, ErrBadConfig)
+	}
+	if c.MinScale < 4*(c.Order+1) {
+		return fmt.Errorf("min scale %d with order %d: %w (need >= %d)", c.MinScale, c.Order, ErrBadConfig, 4*(c.Order+1))
+	}
+	if c.MaxScaleDiv < 2 {
+		return fmt.Errorf("max scale divisor %d: %w (need >= 2)", c.MaxScaleDiv, ErrBadConfig)
+	}
+	if c.ScaleCount < 4 {
+		return fmt.Errorf("scale count %d: %w (need >= 4)", c.ScaleCount, ErrBadConfig)
+	}
+	if n/c.MaxScaleDiv <= c.MinScale {
+		return fmt.Errorf("n=%d: %w", n, ErrTooShort)
+	}
+	return nil
+}
+
+// Result is the full output of a multifractal analysis.
+type Result struct {
+	// Qs echoes the moment orders analyzed.
+	Qs []float64
+	// Hq[i] is the generalized Hurst exponent for Qs[i].
+	Hq []float64
+	// Tau[i] = Qs[i]*Hq[i] - 1 is the mass exponent.
+	Tau []float64
+	// Spectrum is the Legendre singularity spectrum.
+	Spectrum Spectrum
+}
+
+// Spectrum is the singularity spectrum f(alpha).
+type Spectrum struct {
+	// Alpha holds singularity strengths (Hölder exponents).
+	Alpha []float64
+	// F holds the corresponding spectrum values f(alpha).
+	F []float64
+}
+
+// Width returns the spectrum width alphaMax - alphaMin, the standard
+// scalar multifractality measure: ~0 for monofractal signals, growing with
+// multifractality strength.
+func (s Spectrum) Width() float64 {
+	if len(s.Alpha) == 0 {
+		return 0
+	}
+	lo, hi := s.Alpha[0], s.Alpha[0]
+	for _, a := range s.Alpha {
+		if a < lo {
+			lo = a
+		}
+		if a > hi {
+			hi = a
+		}
+	}
+	return hi - lo
+}
+
+// HqRange returns h(qMin)-h(qMax), an alternative multifractality scalar
+// (difference of generalized Hurst exponents across the analyzed q range).
+func (r Result) HqRange() float64 {
+	if len(r.Hq) == 0 {
+		return 0
+	}
+	return r.Hq[0] - r.Hq[len(r.Hq)-1]
+}
+
+// MFDFA runs multifractal detrended fluctuation analysis on xs.
+func MFDFA(xs []float64, cfg Config) (Result, error) {
+	n := len(xs)
+	if err := cfg.validate(n); err != nil {
+		return Result{}, fmt.Errorf("mfdfa: %w", err)
+	}
+	// Profile (cumulative sum of deviations from the mean).
+	mean := stats.Mean(xs)
+	profile := make([]float64, n)
+	sum := 0.0
+	for i, v := range xs {
+		sum += v - mean
+		profile[i] = sum
+	}
+	scales := logScales(cfg.MinScale, n/cfg.MaxScaleDiv, cfg.ScaleCount)
+	if len(scales) < 4 {
+		return Result{}, fmt.Errorf("mfdfa: only %d scales: %w", len(scales), ErrTooShort)
+	}
+	// fluct[si][qi] = Fq(scale si).
+	fluct := make([][]float64, len(scales))
+	for si, s := range scales {
+		f2 := segmentFluctuations(profile, s, cfg.Order)
+		if len(f2) == 0 {
+			continue
+		}
+		row := make([]float64, len(cfg.Qs))
+		for qi, q := range cfg.Qs {
+			row[qi] = momentAverage(f2, q)
+		}
+		fluct[si] = row
+	}
+	res := Result{
+		Qs:  append([]float64(nil), cfg.Qs...),
+		Hq:  make([]float64, len(cfg.Qs)),
+		Tau: make([]float64, len(cfg.Qs)),
+	}
+	logS := make([]float64, 0, len(scales))
+	logF := make([]float64, 0, len(scales))
+	for qi, q := range cfg.Qs {
+		logS = logS[:0]
+		logF = logF[:0]
+		for si, s := range scales {
+			if fluct[si] == nil || fluct[si][qi] <= 0 || math.IsInf(fluct[si][qi], 0) || math.IsNaN(fluct[si][qi]) {
+				continue
+			}
+			logS = append(logS, math.Log(float64(s)))
+			logF = append(logF, math.Log(fluct[si][qi]))
+		}
+		if len(logS) < 4 {
+			return Result{}, fmt.Errorf("mfdfa q=%v: only %d usable scales: %w", q, len(logS), ErrTooShort)
+		}
+		fit, err := stats.OLS(logS, logF)
+		if err != nil {
+			return Result{}, fmt.Errorf("mfdfa q=%v: %w", q, err)
+		}
+		res.Hq[qi] = fit.Slope
+		res.Tau[qi] = q*fit.Slope - 1
+	}
+	res.Spectrum = legendre(res.Qs, res.Tau)
+	return res, nil
+}
+
+// segmentFluctuations returns the per-segment mean squared detrended
+// residuals F^2(v,s), scanning the profile from both ends to use all data.
+func segmentFluctuations(profile []float64, s, order int) []float64 {
+	n := len(profile)
+	nb := n / s
+	if nb == 0 {
+		return nil
+	}
+	out := make([]float64, 0, 2*nb)
+	for b := 0; b < nb; b++ {
+		if f2, ok := detrendMSE(profile[b*s:(b+1)*s], order); ok {
+			out = append(out, f2)
+		}
+	}
+	// Backward pass covers the tail the forward pass missed.
+	if n%s != 0 {
+		for b := 0; b < nb; b++ {
+			lo := n - (b+1)*s
+			if f2, ok := detrendMSE(profile[lo:lo+s], order); ok {
+				out = append(out, f2)
+			}
+		}
+	}
+	return out
+}
+
+// momentAverage computes the q-th order fluctuation function from the
+// per-segment squared fluctuations.
+func momentAverage(f2 []float64, q float64) float64 {
+	if q == 0 {
+		// F_0(s) = exp( (1/2N) * sum ln F^2 ).
+		sum, cnt := 0.0, 0
+		for _, v := range f2 {
+			if v > 0 {
+				sum += math.Log(v)
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			return 0
+		}
+		return math.Exp(sum / (2 * float64(cnt)))
+	}
+	sum, cnt := 0.0, 0
+	for _, v := range f2 {
+		if v > 0 {
+			sum += math.Pow(v, q/2)
+			cnt++
+		}
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return math.Pow(sum/float64(cnt), 1/q)
+}
+
+// detrendMSE fits a polynomial of the given order and returns the mean
+// squared residual.
+func detrendMSE(seg []float64, order int) (float64, bool) {
+	n := len(seg)
+	if n <= order+1 {
+		return 0, false
+	}
+	dim := order + 1
+	ata := make([][]float64, dim)
+	atb := make([]float64, dim)
+	for i := range ata {
+		ata[i] = make([]float64, dim)
+	}
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n-1)
+		p := 1.0
+		pow := make([]float64, dim)
+		for d := 0; d < dim; d++ {
+			pow[d] = p
+			p *= x
+		}
+		for r := 0; r < dim; r++ {
+			for c := 0; c < dim; c++ {
+				ata[r][c] += pow[r] * pow[c]
+			}
+			atb[r] += pow[r] * seg[i]
+		}
+	}
+	coef, ok := solveGauss(ata, atb)
+	if !ok {
+		return 0, false
+	}
+	mse := 0.0
+	for i := 0; i < n; i++ {
+		x := float64(i) / float64(n-1)
+		fit, p := 0.0, 1.0
+		for d := 0; d < dim; d++ {
+			fit += coef[d] * p
+			p *= x
+		}
+		r := seg[i] - fit
+		mse += r * r
+	}
+	return mse / float64(n), true
+}
+
+// legendre converts tau(q) samples to the singularity spectrum by the
+// numerical Legendre transform: alpha = dtau/dq, f = q*alpha - tau.
+func legendre(qs, tau []float64) Spectrum {
+	if len(qs) < 3 {
+		return Spectrum{}
+	}
+	var sp Spectrum
+	for i := 1; i < len(qs)-1; i++ {
+		alpha := (tau[i+1] - tau[i-1]) / (qs[i+1] - qs[i-1])
+		f := qs[i]*alpha - tau[i]
+		if math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+			continue
+		}
+		sp.Alpha = append(sp.Alpha, alpha)
+		sp.F = append(sp.F, f)
+	}
+	return sp
+}
+
+// logScales returns log-spaced integer scales in [lo, hi].
+func logScales(lo, hi, count int) []int {
+	if count < 2 {
+		count = 2
+	}
+	if hi <= lo {
+		return nil
+	}
+	out := make([]int, 0, count)
+	ratio := math.Pow(float64(hi)/float64(lo), 1/float64(count-1))
+	prev := 0
+	for i := 0; i < count; i++ {
+		s := int(math.Round(float64(lo) * math.Pow(ratio, float64(i))))
+		if s <= prev {
+			s = prev + 1
+		}
+		if s > hi {
+			break
+		}
+		out = append(out, s)
+		prev = s
+	}
+	return out
+}
+
+// solveGauss solves a small dense linear system with partial pivoting.
+func solveGauss(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-14 {
+			return nil, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		b[col], b[piv] = b[piv], b[col]
+		inv := 1 / a[col][col]
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] * inv
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		s := b[r]
+		for c := r + 1; c < n; c++ {
+			s -= a[r][c] * x[c]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, true
+}

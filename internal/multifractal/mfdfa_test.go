@@ -1,0 +1,249 @@
+package multifractal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"agingmf/internal/gen"
+)
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+		ok     bool
+	}{
+		{name: "default", mutate: func(*Config) {}, ok: true},
+		{name: "few qs", mutate: func(c *Config) { c.Qs = []float64{1, 2} }, ok: false},
+		{name: "order 0", mutate: func(c *Config) { c.Order = 0 }, ok: false},
+		{name: "order 4", mutate: func(c *Config) { c.Order = 4 }, ok: false},
+		{name: "tiny min scale", mutate: func(c *Config) { c.MinScale = 4 }, ok: false},
+		{name: "divisor 1", mutate: func(c *Config) { c.MaxScaleDiv = 1 }, ok: false},
+		{name: "few scales", mutate: func(c *Config) { c.ScaleCount = 2 }, ok: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			err := cfg.validate(4096)
+			if (err == nil) != tt.ok {
+				t.Errorf("validate err=%v, want ok=%v", err, tt.ok)
+			}
+		})
+	}
+	if err := DefaultConfig().validate(32); err == nil {
+		t.Error("short series must fail validation")
+	}
+}
+
+func TestMFDFAMonofractalFGN(t *testing.T) {
+	// For monofractal fGn, h(q) is flat at H and the spectrum is narrow.
+	for _, h := range []float64{0.4, 0.7} {
+		rng := rand.New(rand.NewSource(int64(1000 * h)))
+		xs, err := gen.FGNDaviesHarte(1<<14, h, rng)
+		if err != nil {
+			t.Fatalf("FGN: %v", err)
+		}
+		res, err := MFDFA(xs, DefaultConfig())
+		if err != nil {
+			t.Fatalf("MFDFA(H=%v): %v", h, err)
+		}
+		// h(2) should approximate H.
+		h2 := hqAt(t, res, 2)
+		if math.Abs(h2-h) > 0.12 {
+			t.Errorf("h(2) = %v for H=%v", h2, h)
+		}
+		if spread := res.HqRange(); math.Abs(spread) > 0.35 {
+			t.Errorf("monofractal h(q) spread = %v, want small", spread)
+		}
+		if w := res.Spectrum.Width(); w > 0.6 {
+			t.Errorf("monofractal spectrum width = %v, want narrow", w)
+		}
+	}
+}
+
+func hqAt(t *testing.T, res Result, q float64) float64 {
+	t.Helper()
+	for i, qq := range res.Qs {
+		if qq == q {
+			return res.Hq[i]
+		}
+	}
+	t.Fatalf("q=%v not analyzed", q)
+	return 0
+}
+
+func TestMFDFAMultifractalWiderThanMonofractal(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mono, err := gen.FGNDaviesHarte(1<<13, 0.6, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := gen.LognormalCascadeNoise(13, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resMono, err := MFDFA(mono, DefaultConfig())
+	if err != nil {
+		t.Fatalf("mono: %v", err)
+	}
+	resMulti, err := MFDFA(multi, DefaultConfig())
+	if err != nil {
+		t.Fatalf("multi: %v", err)
+	}
+	if resMulti.Spectrum.Width() <= resMono.Spectrum.Width() {
+		t.Errorf("cascade width %v <= fGn width %v",
+			resMulti.Spectrum.Width(), resMono.Spectrum.Width())
+	}
+	if resMulti.HqRange() <= resMono.HqRange() {
+		t.Errorf("cascade h(q) range %v <= fGn range %v", resMulti.HqRange(), resMono.HqRange())
+	}
+}
+
+func TestMFDFAShuffleCollapsesMultifractality(t *testing.T) {
+	// Experiment E7's mechanism: shuffling destroys temporal structure, so
+	// the h(q) spread of a correlated multifractal must shrink and h(2)
+	// must move toward 0.5.
+	rng := rand.New(rand.NewSource(6))
+	multi, err := gen.LognormalCascadeNoise(14, 0.45, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := MFDFA(multi, DefaultConfig())
+	if err != nil {
+		t.Fatalf("orig: %v", err)
+	}
+	shuffled := gen.Shuffle(multi, rng)
+	sur, err := MFDFA(shuffled, DefaultConfig())
+	if err != nil {
+		t.Fatalf("surrogate: %v", err)
+	}
+	if math.Abs(hqAt(t, sur, 2)-0.5) > 0.15 {
+		t.Errorf("shuffled h(2) = %v, want ~0.5", hqAt(t, sur, 2))
+	}
+	_ = orig // orig width varies; the hard guarantee is surrogate h(2)~0.5
+}
+
+func TestMFDFATauIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs, err := gen.FGNDaviesHarte(8192, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MFDFA(xs, DefaultConfig())
+	if err != nil {
+		t.Fatalf("MFDFA: %v", err)
+	}
+	for i, q := range res.Qs {
+		want := q*res.Hq[i] - 1
+		if math.Abs(res.Tau[i]-want) > 1e-12 {
+			t.Errorf("tau(%v) = %v, want q*h-1 = %v", q, res.Tau[i], want)
+		}
+	}
+	// h(q) must be non-increasing in q (within estimator noise).
+	for i := 1; i < len(res.Hq); i++ {
+		if res.Hq[i] > res.Hq[i-1]+0.15 {
+			t.Errorf("h(q) increased sharply: h(%v)=%v -> h(%v)=%v",
+				res.Qs[i-1], res.Hq[i-1], res.Qs[i], res.Hq[i])
+		}
+	}
+}
+
+func TestMFDFASpectrumShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	xs, err := gen.LognormalCascadeNoise(13, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MFDFA(xs, DefaultConfig())
+	if err != nil {
+		t.Fatalf("MFDFA: %v", err)
+	}
+	sp := res.Spectrum
+	if len(sp.Alpha) != len(sp.F) || len(sp.Alpha) < 5 {
+		t.Fatalf("spectrum sizes: alpha %d f %d", len(sp.Alpha), len(sp.F))
+	}
+	// f(alpha) peaks near 1 (support dimension of a 1-D signal).
+	peak := sp.F[0]
+	for _, f := range sp.F {
+		if f > peak {
+			peak = f
+		}
+	}
+	if math.Abs(peak-1) > 0.3 {
+		t.Errorf("spectrum peak = %v, want ~1", peak)
+	}
+}
+
+func TestMFDFAErrors(t *testing.T) {
+	if _, err := MFDFA(make([]float64, 32), DefaultConfig()); err == nil {
+		t.Error("short input should fail")
+	}
+	cfg := DefaultConfig()
+	cfg.Qs = []float64{1}
+	if _, err := MFDFA(make([]float64, 4096), cfg); err == nil {
+		t.Error("bad config should fail")
+	}
+	// A constant series has zero fluctuations at every scale: must error,
+	// not return garbage.
+	if _, err := MFDFA(make([]float64, 4096), DefaultConfig()); err == nil {
+		t.Error("constant series should fail (no usable scales)")
+	}
+}
+
+func TestMomentAverage(t *testing.T) {
+	f2 := []float64{1, 4}
+	// q=2: (mean of f2^1)^(1/2) = sqrt(2.5).
+	if got := momentAverage(f2, 2); math.Abs(got-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("momentAverage(q=2) = %v", got)
+	}
+	// q=0: exp(mean(ln f2)/2) = exp(ln(4)/4) = sqrt(2).
+	if got := momentAverage(f2, 0); math.Abs(got-math.Sqrt2) > 1e-12 {
+		t.Errorf("momentAverage(q=0) = %v", got)
+	}
+	// q=-2: (mean of f2^-1)^(-1/2) = (0.625)^(-1/2).
+	want := math.Pow(0.625, -0.5)
+	if got := momentAverage(f2, -2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("momentAverage(q=-2) = %v, want %v", got, want)
+	}
+	if got := momentAverage(nil, 2); got != 0 {
+		t.Errorf("momentAverage(empty) = %v, want 0", got)
+	}
+	if got := momentAverage([]float64{0, 0}, 0); got != 0 {
+		t.Errorf("momentAverage(zeros, q=0) = %v, want 0", got)
+	}
+}
+
+func TestLegendreOfQuadraticTau(t *testing.T) {
+	// For tau(q) = q*H - 1 (monofractal), alpha = H everywhere and f = 1.
+	qs := []float64{-2, -1, 0, 1, 2}
+	h := 0.6
+	tau := make([]float64, len(qs))
+	for i, q := range qs {
+		tau[i] = q*h - 1
+	}
+	sp := legendre(qs, tau)
+	for i := range sp.Alpha {
+		if math.Abs(sp.Alpha[i]-h) > 1e-12 {
+			t.Errorf("alpha[%d] = %v, want %v", i, sp.Alpha[i], h)
+		}
+		if math.Abs(sp.F[i]-1) > 1e-12 {
+			t.Errorf("f[%d] = %v, want 1", i, sp.F[i])
+		}
+	}
+	if sp.Width() > 1e-12 {
+		t.Errorf("monofractal width = %v, want 0", sp.Width())
+	}
+}
+
+func TestSpectrumWidthEmpty(t *testing.T) {
+	var sp Spectrum
+	if sp.Width() != 0 {
+		t.Error("empty spectrum width must be 0")
+	}
+	var r Result
+	if r.HqRange() != 0 {
+		t.Error("empty result HqRange must be 0")
+	}
+}

@@ -1,0 +1,102 @@
+package multifractal
+
+import (
+	"fmt"
+	"math"
+
+	"agingmf/internal/stats"
+)
+
+// PartitionFunction computes tau(q) for a non-negative measure given as
+// cell masses over a dyadic grid (length must be a power of two). For each
+// dyadic coarse-graining of box size 2^j cells, the partition sum
+//
+//	Z_q(eps) = sum_i mu_i(eps)^q
+//
+// is regressed as log Z against log eps. The measure is normalized to unit
+// total mass internally. Boxes with zero mass are skipped (they carry no
+// singularity), which matches the standard treatment for negative q.
+func PartitionFunction(mass []float64, qs []float64) (Result, error) {
+	n := len(mass)
+	if n < 8 || n&(n-1) != 0 {
+		return Result{}, fmt.Errorf("partition function: need a power-of-two number of cells >= 8, got %d", n)
+	}
+	if len(qs) < 3 {
+		return Result{}, fmt.Errorf("partition function: %w (need >= 3 moment orders)", ErrBadConfig)
+	}
+	total := 0.0
+	for _, m := range mass {
+		if m < 0 {
+			return Result{}, fmt.Errorf("partition function: negative mass %v", m)
+		}
+		total += m
+	}
+	if total == 0 {
+		return Result{}, fmt.Errorf("partition function: zero total mass")
+	}
+	norm := make([]float64, n)
+	for i, m := range mass {
+		norm[i] = m / total
+	}
+	// Coarse-grainings: box sizes 1, 2, 4, ... up to n/4 cells.
+	type level struct {
+		eps  float64
+		mass []float64
+	}
+	var levels []level
+	cur := norm
+	boxCells := 1
+	for len(cur) >= 4 {
+		levels = append(levels, level{eps: float64(boxCells) / float64(n), mass: cur})
+		next := make([]float64, len(cur)/2)
+		for i := range next {
+			next[i] = cur[2*i] + cur[2*i+1]
+		}
+		cur = next
+		boxCells *= 2
+	}
+	if len(levels) < 3 {
+		return Result{}, fmt.Errorf("partition function: only %d dyadic levels: %w", len(levels), ErrTooShort)
+	}
+	res := Result{
+		Qs:  append([]float64(nil), qs...),
+		Hq:  make([]float64, len(qs)),
+		Tau: make([]float64, len(qs)),
+	}
+	logEps := make([]float64, 0, len(levels))
+	logZ := make([]float64, 0, len(levels))
+	for qi, q := range qs {
+		logEps = logEps[:0]
+		logZ = logZ[:0]
+		for _, lv := range levels {
+			z := 0.0
+			for _, m := range lv.mass {
+				if m > 0 {
+					z += math.Pow(m, q)
+				}
+			}
+			if z <= 0 || math.IsInf(z, 0) {
+				continue
+			}
+			logEps = append(logEps, math.Log(lv.eps))
+			logZ = append(logZ, math.Log(z))
+		}
+		if len(logEps) < 3 {
+			return Result{}, fmt.Errorf("partition function q=%v: %w", q, ErrTooShort)
+		}
+		fit, err := stats.OLS(logEps, logZ)
+		if err != nil {
+			return Result{}, fmt.Errorf("partition function q=%v: %w", q, err)
+		}
+		res.Tau[qi] = fit.Slope
+		if q != 1 {
+			// Generalized dimension D_q = tau(q)/(q-1); store the analogous
+			// "Hurst-like" exponent tau/(q-1) for inspection.
+			res.Hq[qi] = fit.Slope / (q - 1)
+		} else {
+			res.Hq[qi] = math.NaN() // information dimension needs l'Hôpital
+		}
+	}
+	res.Spectrum = legendre(res.Qs, res.Tau)
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package multifractal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"agingmf/internal/gen"
+)
+
+func TestPartitionFunctionRecoversCascadeTau(t *testing.T) {
+	// The binomial cascade has analytically known tau(q); the box
+	// partition-function estimate must match it closely (the cascade is
+	// exactly self-similar, so this is a sharp test).
+	m := 0.3
+	rng := rand.New(rand.NewSource(1))
+	mass, err := gen.BinomialCascade(14, m, rng)
+	if err != nil {
+		t.Fatalf("cascade: %v", err)
+	}
+	qs := []float64{-4, -2, -1, 0, 1, 2, 3, 4}
+	res, err := PartitionFunction(mass, qs)
+	if err != nil {
+		t.Fatalf("PartitionFunction: %v", err)
+	}
+	for i, q := range qs {
+		want := gen.BinomialCascadeTau(m, q)
+		// Our tau is defined by Z ~ eps^tau with eps in base e; the
+		// theoretical value is in base-2 per-level form. They coincide
+		// because eps halves per level and the regression is base-free.
+		if math.Abs(res.Tau[i]-want) > 0.15 {
+			t.Errorf("tau(%v) = %v, theory %v", q, res.Tau[i], want)
+		}
+	}
+	// Spectrum must be wide and contained in the theoretical alpha range.
+	aMin, aMax := gen.BinomialCascadeSpectrum(m)
+	if w := res.Spectrum.Width(); w < 0.3*(aMax-aMin) {
+		t.Errorf("spectrum width = %v, want a substantial fraction of %v", w, aMax-aMin)
+	}
+	for _, a := range res.Spectrum.Alpha {
+		if a < aMin-0.3 || a > aMax+0.3 {
+			t.Errorf("alpha %v outside theoretical range [%v, %v]", a, aMin, aMax)
+		}
+	}
+}
+
+func TestPartitionFunctionUniformMeasureIsMonofractal(t *testing.T) {
+	mass := make([]float64, 1024)
+	for i := range mass {
+		mass[i] = 1
+	}
+	res, err := PartitionFunction(mass, []float64{-2, -1, 0, 1, 2})
+	if err != nil {
+		t.Fatalf("PartitionFunction: %v", err)
+	}
+	// Uniform measure: tau(q) = q - 1 exactly.
+	for i, q := range res.Qs {
+		if math.Abs(res.Tau[i]-(q-1)) > 1e-9 {
+			t.Errorf("uniform tau(%v) = %v, want %v", q, res.Tau[i], q-1)
+		}
+	}
+	if w := res.Spectrum.Width(); w > 1e-6 {
+		t.Errorf("uniform spectrum width = %v, want 0", w)
+	}
+}
+
+func TestPartitionFunctionTau0IsMinusBoxDimension(t *testing.T) {
+	// tau(0) = -D_0 = -1 for any fully supported measure on the line.
+	rng := rand.New(rand.NewSource(2))
+	mass, err := gen.BinomialCascade(12, 0.4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PartitionFunction(mass, []float64{-1, 0, 1})
+	if err != nil {
+		t.Fatalf("PartitionFunction: %v", err)
+	}
+	if math.Abs(res.Tau[1]-(-1)) > 1e-6 {
+		t.Errorf("tau(0) = %v, want -1", res.Tau[1])
+	}
+	// tau(1) = 0 by mass conservation.
+	if math.Abs(res.Tau[2]) > 1e-9 {
+		t.Errorf("tau(1) = %v, want 0", res.Tau[2])
+	}
+}
+
+func TestPartitionFunctionErrors(t *testing.T) {
+	qs := []float64{0, 1, 2}
+	if _, err := PartitionFunction(make([]float64, 7), qs); err == nil {
+		t.Error("non power-of-two length should fail")
+	}
+	if _, err := PartitionFunction(make([]float64, 4), qs); err == nil {
+		t.Error("too-short input should fail")
+	}
+	if _, err := PartitionFunction([]float64{1, 1, 1, 1, 1, 1, 1, -1}, qs); err == nil {
+		t.Error("negative mass should fail")
+	}
+	if _, err := PartitionFunction(make([]float64, 8), qs); err == nil {
+		t.Error("zero mass should fail")
+	}
+	ones := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	if _, err := PartitionFunction(ones, []float64{1, 2}); err == nil {
+		t.Error("too few qs should fail")
+	}
+}
+
+func TestLogScalesHelper(t *testing.T) {
+	s := logScales(16, 1024, 12)
+	if len(s) < 6 {
+		t.Fatalf("too few scales: %v", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] <= s[i-1] {
+			t.Fatalf("not increasing: %v", s)
+		}
+	}
+	if logScales(100, 50, 5) != nil {
+		t.Error("inverted range should return nil")
+	}
+}

@@ -1,0 +1,68 @@
+package multifractal
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLegendreMonofractalWidthZeroQuick(t *testing.T) {
+	// For any Hurst exponent, the Legendre transform of the exactly
+	// linear tau(q) = qH - 1 must collapse to a single point: alpha = H
+	// everywhere, spectrum width 0, f = 1.
+	f := func(raw float64) bool {
+		h := 0.2 + math.Abs(math.Mod(raw, 0.7)) // H in [0.2, 0.9)
+		if math.IsNaN(h) {
+			return true
+		}
+		qs := []float64{-5, -2, -1, 0, 1, 2, 5}
+		tau := make([]float64, len(qs))
+		for i, q := range qs {
+			tau[i] = q*h - 1
+		}
+		sp := legendre(qs, tau)
+		if sp.Width() > 1e-9 {
+			return false
+		}
+		for i := range sp.Alpha {
+			if math.Abs(sp.Alpha[i]-h) > 1e-9 || math.Abs(sp.F[i]-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLegendreConcaveTauNonNegativeWidthQuick(t *testing.T) {
+	// Any strictly concave tau produces a spectrum with positive width and
+	// alphas decreasing in q (alpha = dtau/dq of a concave function).
+	f := func(rawA, rawB float64) bool {
+		// tau(q) = a*q - b*q^2 - 1 with small positive curvature b.
+		a := 0.3 + math.Abs(math.Mod(rawA, 0.5))
+		b := 0.01 + math.Abs(math.Mod(rawB, 0.05))
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		qs := []float64{-4, -2, -1, 0, 1, 2, 4}
+		tau := make([]float64, len(qs))
+		for i, q := range qs {
+			tau[i] = a*q - b*q*q - 1
+		}
+		sp := legendre(qs, tau)
+		if sp.Width() <= 0 {
+			return false
+		}
+		for i := 1; i < len(sp.Alpha); i++ {
+			if sp.Alpha[i] >= sp.Alpha[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package multifractal
+
+import (
+	"fmt"
+	"math"
+
+	"agingmf/internal/stats"
+)
+
+// StructureFunction computes the scaling exponents zeta(q) of the q-th
+// order structure functions of a signal:
+//
+//	S_q(l) = < |x(t+l) - x(t)|^q >  ~  l^{zeta(q)}
+//
+// For a monofractal signal zeta(q) = qH is linear; concavity of zeta is a
+// classical multifractality diagnostic that predates MF-DFA and only
+// needs positive moments (qs must all be > 0 — negative moments of
+// increments are unstable and are the reason MF-DFA exists).
+//
+// The returned Result stores zeta(q) in Tau (the structure-function
+// analogue of the mass exponents, without the -1 offset) and zeta(q)/q in
+// Hq (the generalized Hurst exponents h(q) = zeta(q)/q).
+func StructureFunction(xs []float64, qs []float64) (Result, error) {
+	n := len(xs)
+	if n < 64 {
+		return Result{}, fmt.Errorf("structure function n=%d: %w", n, ErrTooShort)
+	}
+	if len(qs) < 2 {
+		return Result{}, fmt.Errorf("structure function: %w (need >= 2 moment orders)", ErrBadConfig)
+	}
+	for _, q := range qs {
+		if q <= 0 {
+			return Result{}, fmt.Errorf("structure function q=%v: %w (need q > 0)", q, ErrBadConfig)
+		}
+	}
+	lags := logScales(1, n/4, 14)
+	if len(lags) < 4 {
+		return Result{}, fmt.Errorf("structure function: only %d lags: %w", len(lags), ErrTooShort)
+	}
+	res := Result{
+		Qs:  append([]float64(nil), qs...),
+		Hq:  make([]float64, len(qs)),
+		Tau: make([]float64, len(qs)),
+	}
+	logL := make([]float64, 0, len(lags))
+	logS := make([]float64, 0, len(lags))
+	for qi, q := range qs {
+		logL = logL[:0]
+		logS = logS[:0]
+		for _, l := range lags {
+			sum, cnt := 0.0, 0
+			for t := 0; t+l < n; t++ {
+				d := math.Abs(xs[t+l] - xs[t])
+				if d > 0 {
+					sum += math.Pow(d, q)
+				}
+				cnt++
+			}
+			if cnt == 0 || sum <= 0 {
+				continue
+			}
+			logL = append(logL, math.Log(float64(l)))
+			logS = append(logS, math.Log(sum/float64(cnt)))
+		}
+		if len(logL) < 4 {
+			return Result{}, fmt.Errorf("structure function q=%v: %w", q, ErrTooShort)
+		}
+		fit, err := stats.OLS(logL, logS)
+		if err != nil {
+			return Result{}, fmt.Errorf("structure function q=%v: %w", q, err)
+		}
+		res.Tau[qi] = fit.Slope
+		res.Hq[qi] = fit.Slope / q
+	}
+	// Legendre transform of zeta(q) (using tau(q) = zeta(q) - 1 so the
+	// spectrum peaks at 1 like the MF-DFA convention).
+	shifted := make([]float64, len(res.Tau))
+	for i, z := range res.Tau {
+		shifted[i] = z - 1
+	}
+	res.Spectrum = legendre(res.Qs, shifted)
+	return res, nil
+}
+
+// ZetaConcavity returns a scalar multifractality measure from a
+// structure-function result: how far zeta(q) rises above the straight
+// line connecting its endpoints, evaluated at the middle q (a concave
+// function lies above its chords). Zero (within noise) for monofractals,
+// positive for multifractals.
+func ZetaConcavity(res Result) (float64, error) {
+	k := len(res.Qs)
+	if k < 3 {
+		return 0, fmt.Errorf("zeta concavity: %w (need >= 3 moment orders)", ErrBadConfig)
+	}
+	q0, qk := res.Qs[0], res.Qs[k-1]
+	z0, zk := res.Tau[0], res.Tau[k-1]
+	mid := k / 2
+	qm := res.Qs[mid]
+	chord := z0 + (zk-z0)*(qm-q0)/(qk-q0)
+	return res.Tau[mid] - chord, nil
+}
+
+// GeneralizedDimensions converts mass exponents tau(q) (from
+// PartitionFunction) to the Rényi generalized dimensions
+// D(q) = tau(q)/(q-1), skipping q=1 (which requires the information-
+// dimension limit). Monofractal measures have constant D(q); decreasing
+// D(q) is the measure-side multifractality signature.
+func GeneralizedDimensions(res Result) map[float64]float64 {
+	out := make(map[float64]float64, len(res.Qs))
+	for i, q := range res.Qs {
+		if q == 1 {
+			continue
+		}
+		d := res.Tau[i] / (q - 1)
+		if !math.IsNaN(d) && !math.IsInf(d, 0) {
+			out[q] = d
+		}
+	}
+	return out
+}

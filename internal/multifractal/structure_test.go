@@ -1,0 +1,132 @@
+package multifractal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"agingmf/internal/gen"
+)
+
+func TestStructureFunctionMonofractalLinear(t *testing.T) {
+	// For fBm, zeta(q) = qH: h(q) flat at H, concavity ~ 0.
+	h := 0.6
+	xs, err := gen.FBM(1<<14, h, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []float64{0.5, 1, 2, 3, 4}
+	res, err := StructureFunction(xs, qs)
+	if err != nil {
+		t.Fatalf("StructureFunction: %v", err)
+	}
+	for i, q := range qs {
+		if math.Abs(res.Hq[i]-h) > 0.12 {
+			t.Errorf("h(%v) = %v, want ~%v", q, res.Hq[i], h)
+		}
+	}
+	sag, err := ZetaConcavity(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sag) > 0.15 {
+		t.Errorf("monofractal concavity = %v, want ~0", sag)
+	}
+}
+
+func TestStructureFunctionMultifractalConcave(t *testing.T) {
+	// The integrated binomial cascade is the canonical multifractal path:
+	// increments over an interval of length l are the cascade mass of that
+	// interval, so zeta(q) = tau(q) + 1 exactly, with tau the (concave)
+	// cascade mass exponent.
+	m := 0.3
+	mass, err := gen.BinomialCascade(14, m, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := make([]float64, len(mass))
+	sum := 0.0
+	for i, v := range mass {
+		sum += v
+		path[i] = sum
+	}
+	qs := []float64{0.5, 1, 2, 3, 4, 5}
+	res, err := StructureFunction(path, qs)
+	if err != nil {
+		t.Fatalf("StructureFunction: %v", err)
+	}
+	sag, err := ZetaConcavity(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sag <= 0.02 {
+		t.Errorf("multifractal concavity = %v, want clearly positive", sag)
+	}
+	// h(q) must decrease with q for a multifractal.
+	if res.Hq[0] <= res.Hq[len(res.Hq)-1] {
+		t.Errorf("h(q) not decreasing: %v", res.Hq)
+	}
+	// zeta(2) must match the theoretical tau(2)+1.
+	wantZeta2 := gen.BinomialCascadeTau(m, 2) + 1
+	gotZeta2 := res.Tau[2]
+	if math.Abs(gotZeta2-wantZeta2) > 0.25 {
+		t.Errorf("zeta(2) = %v, theory %v", gotZeta2, wantZeta2)
+	}
+}
+
+func TestStructureFunctionErrors(t *testing.T) {
+	xs := make([]float64, 1024)
+	for i := range xs {
+		xs[i] = float64(i % 7)
+	}
+	if _, err := StructureFunction(make([]float64, 32), []float64{1, 2}); err == nil {
+		t.Error("short input should fail")
+	}
+	if _, err := StructureFunction(xs, []float64{2}); err == nil {
+		t.Error("single q should fail")
+	}
+	if _, err := StructureFunction(xs, []float64{-1, 2}); err == nil {
+		t.Error("negative q should fail")
+	}
+	if _, err := StructureFunction(xs, []float64{0, 2}); err == nil {
+		t.Error("q=0 should fail")
+	}
+	var tiny Result
+	if _, err := ZetaConcavity(tiny); err == nil {
+		t.Error("concavity of empty result should fail")
+	}
+}
+
+func TestGeneralizedDimensions(t *testing.T) {
+	// Uniform measure: D(q) = 1 for every q.
+	mass := make([]float64, 512)
+	for i := range mass {
+		mass[i] = 1
+	}
+	res, err := PartitionFunction(mass, []float64{-2, 0, 1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dims := GeneralizedDimensions(res)
+	if _, ok := dims[1]; ok {
+		t.Error("q=1 must be skipped")
+	}
+	for q, d := range dims {
+		if math.Abs(d-1) > 1e-6 {
+			t.Errorf("uniform D(%v) = %v, want 1", q, d)
+		}
+	}
+	// Cascade: D(q) decreasing in q.
+	cascade, err := gen.BinomialCascade(12, 0.25, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resC, err := PartitionFunction(cascade, []float64{-2, 0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dimsC := GeneralizedDimensions(resC)
+	if !(dimsC[-2] > dimsC[0] && dimsC[0] > dimsC[2] && dimsC[2] > dimsC[4]) {
+		t.Errorf("cascade D(q) not decreasing: %v", dimsC)
+	}
+}

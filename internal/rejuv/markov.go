@@ -1,0 +1,113 @@
+package rejuv
+
+import (
+	"fmt"
+	"math"
+)
+
+// HuangModel is the four-state continuous-time Markov availability model
+// of Huang, Kintala, Kolettis and Fulton (FTCS 1995):
+//
+//	S0 (robust) --RateDegrade--> Sp (failure probable)
+//	Sp --RateFail--> Sf (failed)      --RateRepair--> S0
+//	Sp --RateRejuv--> Sr (rejuvenating) --RateRestart--> S0
+//
+// All parameters are rates (1/mean-sojourn, in any consistent time unit).
+// RateRejuv = 0 models a system without rejuvenation.
+type HuangModel struct {
+	// RateDegrade is the aging rate r2: robust -> failure probable.
+	RateDegrade float64
+	// RateFail is the failure rate lambda: failure probable -> failed.
+	RateFail float64
+	// RateRepair is the unplanned repair rate: failed -> robust.
+	RateRepair float64
+	// RateRejuv is the rejuvenation trigger rate: failure probable ->
+	// rejuvenating.
+	RateRejuv float64
+	// RateRestart is the planned restart rate: rejuvenating -> robust.
+	RateRestart float64
+}
+
+// SteadyState holds the stationary probabilities of the four states.
+type SteadyState struct {
+	// Robust is time spent healthy.
+	Robust float64
+	// Probable is time spent aged but serving.
+	Probable float64
+	// Failed is unplanned downtime.
+	Failed float64
+	// Rejuvenating is planned downtime.
+	Rejuvenating float64
+}
+
+// Availability is the fraction of time the system serves (robust +
+// failure-probable states).
+func (s SteadyState) Availability() float64 { return s.Robust + s.Probable }
+
+// Downtime is the complement of availability.
+func (s SteadyState) Downtime() float64 { return s.Failed + s.Rejuvenating }
+
+// Validate checks the model parameters.
+func (m HuangModel) Validate() error {
+	switch {
+	case m.RateDegrade <= 0:
+		return fmt.Errorf("degrade rate %v: %w", m.RateDegrade, ErrBadConfig)
+	case m.RateFail <= 0:
+		return fmt.Errorf("fail rate %v: %w", m.RateFail, ErrBadConfig)
+	case m.RateRepair <= 0:
+		return fmt.Errorf("repair rate %v: %w", m.RateRepair, ErrBadConfig)
+	case m.RateRejuv < 0:
+		return fmt.Errorf("rejuvenation rate %v: %w", m.RateRejuv, ErrBadConfig)
+	case m.RateRejuv > 0 && m.RateRestart <= 0:
+		return fmt.Errorf("restart rate %v with rejuvenation enabled: %w", m.RateRestart, ErrBadConfig)
+	}
+	return nil
+}
+
+// Solve returns the stationary distribution of the chain in closed form
+// from the balance equations:
+//
+//	pi_p = pi_0 * r2 / (lambda + rho)
+//	pi_f = pi_p * lambda / mu_f
+//	pi_r = pi_p * rho / mu_r
+//
+// normalized to sum to one (rho = RateRejuv).
+func (m HuangModel) Solve() (SteadyState, error) {
+	if err := m.Validate(); err != nil {
+		return SteadyState{}, fmt.Errorf("huang model: %w", err)
+	}
+	exitP := m.RateFail + m.RateRejuv
+	pp := m.RateDegrade / exitP // relative to pi_0 = 1
+	pf := pp * m.RateFail / m.RateRepair
+	pr := 0.0
+	if m.RateRejuv > 0 {
+		pr = pp * m.RateRejuv / m.RateRestart
+	}
+	norm := 1 + pp + pf + pr
+	if math.IsNaN(norm) || math.IsInf(norm, 0) || norm <= 0 {
+		return SteadyState{}, fmt.Errorf("huang model: degenerate normalization %v", norm)
+	}
+	return SteadyState{
+		Robust:       1 / norm,
+		Probable:     pp / norm,
+		Failed:       pf / norm,
+		Rejuvenating: pr / norm,
+	}, nil
+}
+
+// OptimalRejuvenationGain reports whether enabling rejuvenation at the
+// given trigger rate improves steady-state availability over the same
+// model without rejuvenation, and by how much (positive = improvement).
+func (m HuangModel) OptimalRejuvenationGain() (float64, error) {
+	with, err := m.Solve()
+	if err != nil {
+		return 0, err
+	}
+	without := m
+	without.RateRejuv = 0
+	base, err := without.Solve()
+	if err != nil {
+		return 0, err
+	}
+	return with.Availability() - base.Availability(), nil
+}

@@ -1,0 +1,96 @@
+package rejuv
+
+import (
+	"fmt"
+	"math"
+)
+
+// OptimalPeriodicInterval searches the Huang model for the rejuvenation
+// trigger rate that maximizes steady-state availability, scanning the
+// mean time-to-rejuvenation over [lo, hi] (same time units as the model's
+// rates) at the given number of grid points. It returns the best mean
+// interval and the availability it achieves.
+//
+// Note the classic structural property of the four-state model: because
+// the failure-probable state is still "available", availability is
+// monotone in the trigger rate — decreasing downtime exactly when the
+// planned restart is faster than the unplanned repair. The optimum is
+// therefore bang-bang: a best interval at the lo boundary means
+// "rejuvenate as soon as aging is detected", at the hi boundary
+// "never rejuvenate". Interior optima appear only once rejuvenation
+// carries extra costs (see CostModel), which is why the prediction-based
+// trigger the paper enables (rejuvenate exactly when aging is *detected*)
+// is valuable: it realizes the lo-boundary policy without a schedule.
+func OptimalPeriodicInterval(m HuangModel, lo, hi float64, points int) (bestInterval, bestAvail float64, err error) {
+	if err := m.Validate(); err != nil {
+		return 0, 0, fmt.Errorf("optimal interval: %w", err)
+	}
+	if lo <= 0 || hi <= lo {
+		return 0, 0, fmt.Errorf("optimal interval range [%v, %v]: %w", lo, hi, ErrBadConfig)
+	}
+	if points < 2 {
+		return 0, 0, fmt.Errorf("optimal interval with %d points: %w", points, ErrBadConfig)
+	}
+	bestAvail = -1
+	ratio := math.Pow(hi/lo, 1/float64(points-1))
+	interval := lo
+	for i := 0; i < points; i++ {
+		trial := m
+		trial.RateRejuv = 1 / interval
+		ss, err := trial.Solve()
+		if err != nil {
+			return 0, 0, fmt.Errorf("optimal interval at %v: %w", interval, err)
+		}
+		if a := ss.Availability(); a > bestAvail {
+			bestAvail = a
+			bestInterval = interval
+		}
+		interval *= ratio
+	}
+	return bestInterval, bestAvail, nil
+}
+
+// CostModel prices a policy outcome: downtime has a per-tick cost that
+// differs between planned and unplanned outages (unplanned outages abort
+// in-flight work), and each rejuvenation has a fixed administrative cost.
+type CostModel struct {
+	// UnplannedPerTick is the cost of one tick of crash downtime.
+	UnplannedPerTick float64
+	// PlannedPerTick is the cost of one tick of rejuvenation downtime.
+	PlannedPerTick float64
+	// PerRejuvenation is the fixed cost of each proactive restart.
+	PerRejuvenation float64
+	// PerCrash is the fixed cost of each crash (lost transactions,
+	// recovery labour).
+	PerCrash float64
+}
+
+// DefaultCostModel prices unplanned downtime 10x planned, with a fixed
+// crash penalty worth 600 planned ticks.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		UnplannedPerTick: 10,
+		PlannedPerTick:   1,
+		PerRejuvenation:  30,
+		PerCrash:         600,
+	}
+}
+
+// Cost prices an evaluation outcome. Downtime ticks are split between
+// planned and unplanned in proportion to the configured durations, using
+// the event counts.
+func (c CostModel) Cost(o Outcome, cfg EvalConfig) float64 {
+	unplannedTicks := float64(o.Crashes * cfg.CrashDowntime)
+	plannedTicks := float64(o.Rejuvenations * cfg.RejuvDowntime)
+	// Downtime still pending at the horizon is not in either product;
+	// clamp to the recorded total.
+	if total := float64(o.DownTicks); unplannedTicks+plannedTicks > total {
+		scale := total / (unplannedTicks + plannedTicks)
+		unplannedTicks *= scale
+		plannedTicks *= scale
+	}
+	return unplannedTicks*c.UnplannedPerTick +
+		plannedTicks*c.PlannedPerTick +
+		float64(o.Rejuvenations)*c.PerRejuvenation +
+		float64(o.Crashes)*c.PerCrash
+}

@@ -1,0 +1,98 @@
+package rejuv
+
+import (
+	"testing"
+)
+
+func TestOptimalPeriodicIntervalBangBangFastRestart(t *testing.T) {
+	// Restart much faster than repair: the model's availability is
+	// monotone increasing in the trigger rate, so the optimum sits at the
+	// smallest interval ("rejuvenate as soon as aging is detected").
+	m := HuangModel{
+		RateDegrade: 1.0 / 240,
+		RateFail:    1.0 / 48,
+		RateRepair:  1.0 / 8,
+		RateRejuv:   1, // placeholder, swept by the search
+		RateRestart: 30,
+	}
+	best, avail, err := OptimalPeriodicInterval(m, 0.1, 10000, 200)
+	if err != nil {
+		t.Fatalf("OptimalPeriodicInterval: %v", err)
+	}
+	if avail <= 0 || avail >= 1 {
+		t.Fatalf("availability = %v", avail)
+	}
+	if best > 0.2 {
+		t.Errorf("best interval = %v, want the lo boundary (restart beats repair)", best)
+	}
+	// And it must beat the never-rejuvenate extreme.
+	never := m
+	never.RateRejuv = 1.0 / 10000
+	ss, err := never.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Availability() >= avail {
+		t.Errorf("never-rejuvenate availability %v >= optimum %v", ss.Availability(), avail)
+	}
+}
+
+func TestOptimalPeriodicIntervalPrefersNeverWhenRestartSlow(t *testing.T) {
+	// Restart as slow as repair and failures rare: rejuvenation never
+	// pays, so the search pushes the interval to the upper boundary.
+	m := HuangModel{
+		RateDegrade: 1.0 / 240,
+		RateFail:    1.0 / 720,
+		RateRepair:  1,
+		RateRejuv:   1,
+		RateRestart: 1,
+	}
+	best, _, err := OptimalPeriodicInterval(m, 1, 1000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < 900 {
+		t.Errorf("best interval = %v, want near the upper boundary (rejuvenation should not pay)", best)
+	}
+}
+
+func TestOptimalPeriodicIntervalErrors(t *testing.T) {
+	good := HuangModel{RateDegrade: 0.01, RateFail: 0.05, RateRepair: 0.5, RateRejuv: 0.1, RateRestart: 2}
+	if _, _, err := OptimalPeriodicInterval(good, 0, 10, 5); err == nil {
+		t.Error("lo=0 should fail")
+	}
+	if _, _, err := OptimalPeriodicInterval(good, 10, 5, 5); err == nil {
+		t.Error("hi<lo should fail")
+	}
+	if _, _, err := OptimalPeriodicInterval(good, 1, 10, 1); err == nil {
+		t.Error("points<2 should fail")
+	}
+	bad := good
+	bad.RateFail = 0
+	if _, _, err := OptimalPeriodicInterval(bad, 1, 10, 5); err == nil {
+		t.Error("invalid model should fail")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	cfg := EvalConfig{Horizon: 10000, CrashDowntime: 100, RejuvDowntime: 10}
+	c := DefaultCostModel()
+	crashy := Outcome{Crashes: 5, Rejuvenations: 0, DownTicks: 500, UpTicks: 9500}
+	proactive := Outcome{Crashes: 0, Rejuvenations: 20, DownTicks: 200, UpTicks: 9800}
+	if c.Cost(crashy, cfg) <= c.Cost(proactive, cfg) {
+		t.Errorf("crashy cost %v <= proactive cost %v",
+			c.Cost(crashy, cfg), c.Cost(proactive, cfg))
+	}
+	// Zero outcome costs zero.
+	if got := c.Cost(Outcome{}, cfg); got != 0 {
+		t.Errorf("empty outcome cost = %v", got)
+	}
+	// Pending downtime at horizon: recorded DownTicks smaller than the
+	// event products must scale down, not inflate.
+	pending := Outcome{Crashes: 2, Rejuvenations: 0, DownTicks: 150, UpTicks: 9850}
+	full := pending
+	full.DownTicks = 200
+	if c.Cost(pending, cfg) >= c.Cost(full, cfg) {
+		t.Errorf("clamped cost %v >= unclamped %v", c.Cost(pending, cfg), c.Cost(full, cfg))
+	}
+}

@@ -1,0 +1,241 @@
+// Package rejuv evaluates software-rejuvenation policies — the application
+// context that motivates the DSN 2003 aging detector. It provides three
+// policies (none, periodic, and detector-triggered rejuvenation), a
+// discrete-event evaluation loop over the memsim/workload substrate, and
+// the classic four-state continuous-time Markov availability model of
+// Huang et al. (FTCS 1995) solved analytically for cross-validation.
+package rejuv
+
+import (
+	"errors"
+	"fmt"
+
+	"agingmf/internal/aging"
+	"agingmf/internal/memsim"
+	"agingmf/internal/workload"
+)
+
+// ErrBadConfig reports invalid policy or evaluation parameters.
+var ErrBadConfig = errors.New("rejuv: bad configuration")
+
+// Policy decides when to proactively rejuvenate the machine.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Observe consumes the current counters while the machine is up.
+	Observe(c memsim.Counters)
+	// ShouldRejuvenate reports whether to trigger rejuvenation now.
+	// upTicks is the time since the last (re)boot.
+	ShouldRejuvenate(upTicks int) bool
+	// Reset is called after every reboot (crash repair or rejuvenation).
+	Reset() error
+}
+
+// NoPolicy never rejuvenates (the reactive baseline).
+type NoPolicy struct{}
+
+// Name implements Policy.
+func (NoPolicy) Name() string { return "none" }
+
+// Observe implements Policy.
+func (NoPolicy) Observe(memsim.Counters) {}
+
+// ShouldRejuvenate implements Policy.
+func (NoPolicy) ShouldRejuvenate(int) bool { return false }
+
+// Reset implements Policy.
+func (NoPolicy) Reset() error { return nil }
+
+// PeriodicPolicy rejuvenates on a fixed uptime schedule (time-based
+// rejuvenation, the Huang et al. proposal).
+type PeriodicPolicy struct {
+	// Interval is the uptime (in ticks) between rejuvenations.
+	Interval int
+}
+
+// NewPeriodicPolicy validates the interval.
+func NewPeriodicPolicy(interval int) (*PeriodicPolicy, error) {
+	if interval < 1 {
+		return nil, fmt.Errorf("periodic policy interval %d: %w", interval, ErrBadConfig)
+	}
+	return &PeriodicPolicy{Interval: interval}, nil
+}
+
+// Name implements Policy.
+func (p *PeriodicPolicy) Name() string { return fmt.Sprintf("periodic(%d)", p.Interval) }
+
+// Observe implements Policy.
+func (p *PeriodicPolicy) Observe(memsim.Counters) {}
+
+// ShouldRejuvenate implements Policy.
+func (p *PeriodicPolicy) ShouldRejuvenate(upTicks int) bool { return upTicks >= p.Interval }
+
+// Reset implements Policy.
+func (p *PeriodicPolicy) Reset() error { return nil }
+
+// MonitorPolicy rejuvenates when the multifractal aging monitor reaches
+// the trigger phase (prediction-based rejuvenation, the paper's intended
+// application). Both instrumented counters — free memory and used swap —
+// carry their own monitor, mirroring the paper's dual instrumentation;
+// whichever reaches the trigger phase first wins.
+type MonitorPolicy struct {
+	cfg     aging.Config
+	trigger aging.Phase
+	monitor *aging.DualMonitor
+	// MinUptime suppresses triggers right after boot while the monitor
+	// warms up on the fresh regime.
+	MinUptime int
+}
+
+// NewMonitorPolicy builds a policy that rejuvenates when the monitor on
+// either memory counter reaches trigger.
+func NewMonitorPolicy(cfg aging.Config, trigger aging.Phase, minUptime int) (*MonitorPolicy, error) {
+	if trigger != aging.PhaseAgingOnset && trigger != aging.PhaseCrashImminent {
+		return nil, fmt.Errorf("monitor policy trigger %v: %w", trigger, ErrBadConfig)
+	}
+	if minUptime < 0 {
+		return nil, fmt.Errorf("monitor policy min uptime %d: %w", minUptime, ErrBadConfig)
+	}
+	p := &MonitorPolicy{cfg: cfg, trigger: trigger, MinUptime: minUptime}
+	if err := p.Reset(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Name implements Policy.
+func (p *MonitorPolicy) Name() string { return fmt.Sprintf("monitor(%v)", p.trigger) }
+
+// Observe implements Policy.
+func (p *MonitorPolicy) Observe(c memsim.Counters) {
+	p.monitor.Add(c.FreeMemoryBytes, c.UsedSwapBytes)
+}
+
+// ShouldRejuvenate implements Policy.
+func (p *MonitorPolicy) ShouldRejuvenate(upTicks int) bool {
+	return upTicks >= p.MinUptime && p.monitor.Phase() >= p.trigger
+}
+
+// Reset implements Policy.
+func (p *MonitorPolicy) Reset() error {
+	mon, err := aging.NewDualMonitor(p.cfg)
+	if err != nil {
+		return fmt.Errorf("monitor policy reset: %w", err)
+	}
+	p.monitor = mon
+	return nil
+}
+
+// EvalConfig parameterizes a policy evaluation run.
+type EvalConfig struct {
+	// Horizon is the total evaluated time in ticks (up + down).
+	Horizon int
+	// CrashDowntime is the repair time after a crash, in ticks. Crashes
+	// are unplanned, so this substantially exceeds RejuvDowntime.
+	CrashDowntime int
+	// RejuvDowntime is the planned-restart time, in ticks.
+	RejuvDowntime int
+}
+
+// DefaultEvalConfig uses a 2h repair vs 2min planned restart at 1-second
+// ticks over a one-week horizon.
+func DefaultEvalConfig() EvalConfig {
+	return EvalConfig{Horizon: 7 * 86400, CrashDowntime: 7200, RejuvDowntime: 120}
+}
+
+func (c EvalConfig) validate() error {
+	switch {
+	case c.Horizon < 1:
+		return fmt.Errorf("horizon %d: %w", c.Horizon, ErrBadConfig)
+	case c.CrashDowntime < 0:
+		return fmt.Errorf("crash downtime %d: %w", c.CrashDowntime, ErrBadConfig)
+	case c.RejuvDowntime < 0:
+		return fmt.Errorf("rejuvenation downtime %d: %w", c.RejuvDowntime, ErrBadConfig)
+	}
+	return nil
+}
+
+// Outcome summarizes a policy evaluation.
+type Outcome struct {
+	// Policy echoes the evaluated policy name.
+	Policy string
+	// UpTicks is time spent serving.
+	UpTicks int
+	// DownTicks is time spent repairing or restarting.
+	DownTicks int
+	// Crashes counts unplanned failures.
+	Crashes int
+	// Rejuvenations counts proactive restarts.
+	Rejuvenations int
+}
+
+// Availability returns the fraction of the horizon the machine served.
+func (o Outcome) Availability() float64 {
+	total := o.UpTicks + o.DownTicks
+	if total == 0 {
+		return 0
+	}
+	return float64(o.UpTicks) / float64(total)
+}
+
+// Evaluate runs the policy on the machine+driver pair until the horizon
+// elapses. The machine is rebooted (after the applicable downtime) on
+// every crash and every policy trigger.
+func Evaluate(m *memsim.Machine, d *workload.Driver, p Policy, cfg EvalConfig) (Outcome, error) {
+	if m == nil || d == nil || p == nil {
+		return Outcome{}, fmt.Errorf("evaluate: nil machine, driver or policy: %w", ErrBadConfig)
+	}
+	if err := cfg.validate(); err != nil {
+		return Outcome{}, fmt.Errorf("evaluate: %w", err)
+	}
+	out := Outcome{Policy: p.Name()}
+	upSinceBoot := 0
+	downRemaining := 0
+	reboot := func() error {
+		m.Reboot()
+		if err := d.OnReboot(); err != nil {
+			return fmt.Errorf("evaluate: %w", err)
+		}
+		upSinceBoot = 0
+		return p.Reset()
+	}
+	for elapsed := 0; elapsed < cfg.Horizon; elapsed++ {
+		if downRemaining > 0 {
+			downRemaining--
+			out.DownTicks++
+			if downRemaining == 0 {
+				if err := reboot(); err != nil {
+					return Outcome{}, err
+				}
+			}
+			continue
+		}
+		counters, err := d.Step()
+		out.UpTicks++
+		upSinceBoot++
+		kind, _ := m.Crashed()
+		if err != nil || kind != memsim.CrashNone {
+			out.Crashes++
+			if cfg.CrashDowntime == 0 {
+				if err := reboot(); err != nil {
+					return Outcome{}, err
+				}
+			} else {
+				downRemaining = cfg.CrashDowntime
+			}
+			continue
+		}
+		p.Observe(counters)
+		if p.ShouldRejuvenate(upSinceBoot) {
+			out.Rejuvenations++
+			if cfg.RejuvDowntime == 0 {
+				if err := reboot(); err != nil {
+					return Outcome{}, err
+				}
+			} else {
+				downRemaining = cfg.RejuvDowntime
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,303 @@
+package rejuv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"agingmf/internal/aging"
+	"agingmf/internal/memsim"
+	"agingmf/internal/workload"
+)
+
+func newRig(t *testing.T, seed int64) (*memsim.Machine, *workload.Driver) {
+	t.Helper()
+	mcfg := memsim.DefaultConfig()
+	mcfg.RAMPages = 8192
+	mcfg.SwapPages = 8192
+	mcfg.LowWatermark = 256
+	m, err := memsim.New(mcfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("memsim.New: %v", err)
+	}
+	wcfg := workload.DefaultDriverConfig()
+	wcfg.Server.LeakPagesPerTick = 8 // fast aging for test speed
+	d, err := workload.NewDriver(m, wcfg, nil, rand.New(rand.NewSource(seed+1)))
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	return m, d
+}
+
+func TestPolicyConstructorsValidate(t *testing.T) {
+	if _, err := NewPeriodicPolicy(0); err == nil {
+		t.Error("interval 0 should fail")
+	}
+	if _, err := NewMonitorPolicy(aging.DefaultConfig(), aging.PhaseHealthy, 0); err == nil {
+		t.Error("healthy trigger should fail")
+	}
+	if _, err := NewMonitorPolicy(aging.DefaultConfig(), aging.PhaseAgingOnset, -1); err == nil {
+		t.Error("negative min uptime should fail")
+	}
+	bad := aging.DefaultConfig()
+	bad.MinRadius = 0
+	if _, err := NewMonitorPolicy(bad, aging.PhaseAgingOnset, 0); err == nil {
+		t.Error("bad monitor config should fail")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	p, err := NewPeriodicPolicy(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "periodic(100)" {
+		t.Errorf("periodic name = %q", p.Name())
+	}
+	mp, err := NewMonitorPolicy(aging.DefaultConfig(), aging.PhaseAgingOnset, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Name() != "monitor(aging-onset)" {
+		t.Errorf("monitor name = %q", mp.Name())
+	}
+	if (NoPolicy{}).Name() != "none" {
+		t.Error("no-policy name")
+	}
+}
+
+func TestEvaluateNoPolicyCrashes(t *testing.T) {
+	m, d := newRig(t, 1)
+	cfg := EvalConfig{Horizon: 30000, CrashDowntime: 600, RejuvDowntime: 60}
+	out, err := Evaluate(m, d, NoPolicy{}, cfg)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if out.Crashes == 0 {
+		t.Fatal("no crashes under the no-rejuvenation policy")
+	}
+	if out.Rejuvenations != 0 {
+		t.Errorf("rejuvenations = %d under NoPolicy", out.Rejuvenations)
+	}
+	if out.UpTicks+out.DownTicks != cfg.Horizon {
+		t.Errorf("up %d + down %d != horizon %d", out.UpTicks, out.DownTicks, cfg.Horizon)
+	}
+	if a := out.Availability(); a <= 0 || a >= 1 {
+		t.Errorf("availability = %v", a)
+	}
+}
+
+func TestEvaluatePeriodicAvoidsCrashes(t *testing.T) {
+	// Rejuvenating well before the typical time-to-crash should avoid
+	// most crashes and beat the reactive policy on availability.
+	mNo, dNo := newRig(t, 2)
+	cfg := EvalConfig{Horizon: 30000, CrashDowntime: 1200, RejuvDowntime: 60}
+	base, err := Evaluate(mNo, dNo, NoPolicy{}, cfg)
+	if err != nil {
+		t.Fatalf("Evaluate none: %v", err)
+	}
+	if base.Crashes == 0 {
+		t.Skip("baseline did not crash; cannot compare")
+	}
+	meanLife := cfg.Horizon / (base.Crashes + 1)
+	m2, d2 := newRig(t, 2)
+	pol, err := NewPeriodicPolicy(meanLife / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	periodic, err := Evaluate(m2, d2, pol, cfg)
+	if err != nil {
+		t.Fatalf("Evaluate periodic: %v", err)
+	}
+	if periodic.Rejuvenations == 0 {
+		t.Fatal("periodic policy never rejuvenated")
+	}
+	if periodic.Crashes >= base.Crashes {
+		t.Errorf("periodic crashes %d >= baseline %d", periodic.Crashes, base.Crashes)
+	}
+	if periodic.Availability() <= base.Availability() {
+		t.Errorf("periodic availability %v <= baseline %v",
+			periodic.Availability(), base.Availability())
+	}
+}
+
+func TestEvaluateMonitorPolicyRuns(t *testing.T) {
+	m, d := newRig(t, 3)
+	monCfg := aging.DefaultConfig()
+	pol, err := NewMonitorPolicy(monCfg, aging.PhaseAgingOnset, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := EvalConfig{Horizon: 30000, CrashDowntime: 1200, RejuvDowntime: 60}
+	out, err := Evaluate(m, d, pol, cfg)
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if out.Rejuvenations+out.Crashes == 0 {
+		t.Error("monitor policy: nothing happened over the horizon")
+	}
+	if out.UpTicks+out.DownTicks != cfg.Horizon {
+		t.Errorf("time accounting broken: %d + %d != %d", out.UpTicks, out.DownTicks, cfg.Horizon)
+	}
+}
+
+func TestEvaluateValidation(t *testing.T) {
+	m, d := newRig(t, 4)
+	if _, err := Evaluate(nil, d, NoPolicy{}, DefaultEvalConfig()); err == nil {
+		t.Error("nil machine should fail")
+	}
+	if _, err := Evaluate(m, nil, NoPolicy{}, DefaultEvalConfig()); err == nil {
+		t.Error("nil driver should fail")
+	}
+	if _, err := Evaluate(m, d, nil, DefaultEvalConfig()); err == nil {
+		t.Error("nil policy should fail")
+	}
+	if _, err := Evaluate(m, d, NoPolicy{}, EvalConfig{Horizon: 0}); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	if _, err := Evaluate(m, d, NoPolicy{}, EvalConfig{Horizon: 10, CrashDowntime: -1}); err == nil {
+		t.Error("negative downtime should fail")
+	}
+}
+
+func TestEvaluateZeroDowntimeReboots(t *testing.T) {
+	m, d := newRig(t, 5)
+	pol, err := NewPeriodicPolicy(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Evaluate(m, d, pol, EvalConfig{Horizon: 5000, CrashDowntime: 0, RejuvDowntime: 0})
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if out.DownTicks != 0 {
+		t.Errorf("down ticks = %d with zero downtimes", out.DownTicks)
+	}
+	if out.Rejuvenations < 8 {
+		t.Errorf("rejuvenations = %d, want ~10", out.Rejuvenations)
+	}
+	if out.Availability() != 1 {
+		t.Errorf("availability = %v, want 1", out.Availability())
+	}
+}
+
+func TestOutcomeAvailabilityEmpty(t *testing.T) {
+	var o Outcome
+	if o.Availability() != 0 {
+		t.Error("empty outcome availability must be 0")
+	}
+}
+
+func TestHuangModelValidation(t *testing.T) {
+	good := HuangModel{RateDegrade: 0.01, RateFail: 0.05, RateRepair: 0.5, RateRejuv: 0.1, RateRestart: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good model: %v", err)
+	}
+	bad := []HuangModel{
+		{RateDegrade: 0, RateFail: 1, RateRepair: 1},
+		{RateDegrade: 1, RateFail: 0, RateRepair: 1},
+		{RateDegrade: 1, RateFail: 1, RateRepair: 0},
+		{RateDegrade: 1, RateFail: 1, RateRepair: 1, RateRejuv: -1},
+		{RateDegrade: 1, RateFail: 1, RateRepair: 1, RateRejuv: 1, RateRestart: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d validated", i)
+		}
+	}
+}
+
+func TestHuangModelSolveSumsToOne(t *testing.T) {
+	m := HuangModel{RateDegrade: 1.0 / 240, RateFail: 1.0 / 720, RateRepair: 2, RateRejuv: 1.0 / 336, RateRestart: 12}
+	ss, err := m.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	total := ss.Robust + ss.Probable + ss.Failed + ss.Rejuvenating
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("probabilities sum to %v", total)
+	}
+	if ss.Availability()+ss.Downtime() != total {
+		t.Error("availability + downtime != 1")
+	}
+	for _, p := range []float64{ss.Robust, ss.Probable, ss.Failed, ss.Rejuvenating} {
+		if p < 0 || p > 1 {
+			t.Errorf("probability %v out of range", p)
+		}
+	}
+}
+
+func TestHuangModelBalanceEquations(t *testing.T) {
+	// Flow into each state must equal flow out at stationarity.
+	m := HuangModel{RateDegrade: 0.02, RateFail: 0.01, RateRepair: 0.8, RateRejuv: 0.05, RateRestart: 3}
+	ss, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// State Sp: in = pi0*r2, out = pip*(lambda+rho).
+	in := ss.Robust * m.RateDegrade
+	out := ss.Probable * (m.RateFail + m.RateRejuv)
+	if math.Abs(in-out) > 1e-12 {
+		t.Errorf("Sp balance: in %v out %v", in, out)
+	}
+	// State Sf: in = pip*lambda, out = pif*mu_f.
+	in = ss.Probable * m.RateFail
+	out = ss.Failed * m.RateRepair
+	if math.Abs(in-out) > 1e-12 {
+		t.Errorf("Sf balance: in %v out %v", in, out)
+	}
+	// State Sr: in = pip*rho, out = pir*mu_r.
+	in = ss.Probable * m.RateRejuv
+	out = ss.Rejuvenating * m.RateRestart
+	if math.Abs(in-out) > 1e-12 {
+		t.Errorf("Sr balance: in %v out %v", in, out)
+	}
+}
+
+func TestHuangModelRejuvenationImprovesAvailabilityWhenCheap(t *testing.T) {
+	// Fast planned restarts vs slow unplanned repair: rejuvenation wins.
+	m := HuangModel{
+		RateDegrade: 1.0 / 240, // ages in ~10 days (hours units)
+		RateFail:    1.0 / 72,  // fails ~3 days after onset
+		RateRepair:  1.0 / 4,   // 4h unplanned repair
+		RateRejuv:   1.0 / 24,  // rejuvenate ~1 day after onset
+		RateRestart: 12,        // 5min planned restart
+	}
+	gain, err := m.OptimalRejuvenationGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain <= 0 {
+		t.Errorf("rejuvenation gain = %v, want positive", gain)
+	}
+}
+
+func TestHuangModelRejuvenationHurtsWhenRestartSlow(t *testing.T) {
+	// If a planned restart is as slow as a repair and triggers far too
+	// often, rejuvenation reduces availability.
+	m := HuangModel{
+		RateDegrade: 1.0 / 240,
+		RateFail:    1.0 / 720, // failures are rare
+		RateRepair:  1,
+		RateRejuv:   2, // rejuvenate almost immediately after onset
+		RateRestart: 1, // restart as slow as a repair
+	}
+	gain, err := m.OptimalRejuvenationGain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gain >= 0 {
+		t.Errorf("rejuvenation gain = %v, want negative", gain)
+	}
+}
+
+func TestHuangModelNoRejuvenation(t *testing.T) {
+	m := HuangModel{RateDegrade: 0.01, RateFail: 0.02, RateRepair: 0.5}
+	ss, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Rejuvenating != 0 {
+		t.Errorf("rejuvenating probability = %v without rejuvenation", ss.Rejuvenating)
+	}
+}

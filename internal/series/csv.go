@@ -1,0 +1,106 @@
+package series
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// csvTimeLayout is the timestamp format used in exported CSV files.
+const csvTimeLayout = time.RFC3339Nano
+
+// WriteCSV writes one or more equal-length series as a CSV table with a
+// timestamp column followed by one column per series. Timing metadata is
+// taken from the first series.
+func WriteCSV(w io.Writer, ss ...Series) error {
+	if len(ss) == 0 {
+		return fmt.Errorf("write csv: %w", ErrEmpty)
+	}
+	n := ss[0].Len()
+	for _, s := range ss[1:] {
+		if s.Len() != n {
+			return fmt.Errorf("write csv: series %q has %d samples, want %d", s.Name, s.Len(), n)
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, len(ss)+1)
+	header = append(header, "timestamp")
+	for _, s := range ss {
+		header = append(header, s.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("write csv header: %w", err)
+	}
+	row := make([]string, len(ss)+1)
+	for i := 0; i < n; i++ {
+		row[0] = ss[0].TimeAt(i).Format(csvTimeLayout)
+		for j, s := range ss {
+			row[j+1] = strconv.FormatFloat(s.Values[i], 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("flush csv: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses a CSV table in the format produced by WriteCSV and returns
+// one series per value column. The sampling step is inferred from the first
+// two timestamps (1s is assumed for single-row files).
+func ReadCSV(r io.Reader) ([]Series, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("read csv: %w", err)
+	}
+	if len(records) < 2 {
+		return nil, fmt.Errorf("read csv: need a header and at least one row, got %d records", len(records))
+	}
+	header := records[0]
+	if len(header) < 2 || header[0] != "timestamp" {
+		return nil, fmt.Errorf("read csv: malformed header %v", header)
+	}
+	rows := records[1:]
+	start, err := time.Parse(csvTimeLayout, rows[0][0])
+	if err != nil {
+		return nil, fmt.Errorf("read csv: parse first timestamp: %w", err)
+	}
+	step := time.Second
+	if len(rows) > 1 {
+		second, err := time.Parse(csvTimeLayout, rows[1][0])
+		if err != nil {
+			return nil, fmt.Errorf("read csv: parse second timestamp: %w", err)
+		}
+		if d := second.Sub(start); d > 0 {
+			step = d
+		}
+	}
+	out := make([]Series, len(header)-1)
+	for j := range out {
+		out[j] = Series{
+			Name:   header[j+1],
+			Start:  start,
+			Step:   step,
+			Values: make([]float64, len(rows)),
+		}
+	}
+	for i, row := range rows {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("read csv: row %d has %d fields, want %d", i+1, len(row), len(header))
+		}
+		for j := 1; j < len(row); j++ {
+			v, err := strconv.ParseFloat(row[j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("read csv: row %d column %q: %w", i+1, header[j], err)
+			}
+			out[j-1].Values[i] = v
+		}
+	}
+	return out, nil
+}

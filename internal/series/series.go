@@ -1,0 +1,336 @@
+// Package series provides the time-series primitives shared by every other
+// package in this repository: a uniformly sampled sequence of float64
+// observations with a start time and a sampling interval, plus the windowing,
+// resampling and transformation operations the multifractal analysis
+// pipeline is built on.
+//
+// A Series is deliberately simple — a value type wrapping a slice — so that
+// analysis code can treat it like a slice while still carrying enough
+// metadata (start time, sample period) to convert indices back to wall-clock
+// times of the monitored system.
+package series
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Common errors returned by series operations.
+var (
+	// ErrEmpty is returned when an operation requires at least one sample.
+	ErrEmpty = errors.New("series: empty series")
+	// ErrShort is returned when a series has too few samples for the
+	// requested operation (for example a window longer than the data).
+	ErrShort = errors.New("series: series too short")
+	// ErrBadInterval is returned when a sampling interval is not positive.
+	ErrBadInterval = errors.New("series: sampling interval must be positive")
+)
+
+// Series is a uniformly sampled time series. Values[i] is the observation at
+// Start + i*Step. The zero value is an empty series with no metadata; use
+// New to attach timing information.
+type Series struct {
+	// Name labels the series in reports ("free_memory_bytes", ...).
+	Name string
+	// Start is the wall-clock time of Values[0].
+	Start time.Time
+	// Step is the sampling interval between consecutive values.
+	Step time.Duration
+	// Values holds the observations.
+	Values []float64
+}
+
+// New returns a Series with the given name, start time, sampling step and
+// values. The values slice is used directly (not copied); callers that need
+// isolation should pass a copy.
+func New(name string, start time.Time, step time.Duration, values []float64) (Series, error) {
+	if step <= 0 {
+		return Series{}, fmt.Errorf("new %q: %w", name, ErrBadInterval)
+	}
+	return Series{Name: name, Start: start, Step: step, Values: values}, nil
+}
+
+// MustNew is New but panics on error. It is intended for tests and for
+// literals with constant, known-good arguments.
+func MustNew(name string, start time.Time, step time.Duration, values []float64) Series {
+	s, err := New(name, start, step, values)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// FromValues wraps raw values with a 1-second step starting at the zero
+// time. It is the convenient constructor for purely index-based analysis
+// where wall-clock timing is irrelevant.
+func FromValues(name string, values []float64) Series {
+	return Series{Name: name, Step: time.Second, Values: values}
+}
+
+// Len returns the number of samples.
+func (s Series) Len() int { return len(s.Values) }
+
+// Duration returns the time spanned from the first to the last sample.
+// An empty or single-sample series spans zero.
+func (s Series) Duration() time.Duration {
+	if len(s.Values) < 2 {
+		return 0
+	}
+	return time.Duration(len(s.Values)-1) * s.Step
+}
+
+// TimeAt returns the wall-clock time of sample i.
+func (s Series) TimeAt(i int) time.Time {
+	return s.Start.Add(time.Duration(i) * s.Step)
+}
+
+// IndexAt returns the sample index corresponding to time t, clamped to the
+// valid range [0, Len()-1]. It returns -1 for an empty series.
+func (s Series) IndexAt(t time.Time) int {
+	if len(s.Values) == 0 {
+		return -1
+	}
+	if s.Step <= 0 {
+		return 0
+	}
+	i := int(t.Sub(s.Start) / s.Step)
+	if i < 0 {
+		return 0
+	}
+	if i >= len(s.Values) {
+		return len(s.Values) - 1
+	}
+	return i
+}
+
+// Clone returns a deep copy of the series.
+func (s Series) Clone() Series {
+	out := s
+	out.Values = append([]float64(nil), s.Values...)
+	return out
+}
+
+// Slice returns the sub-series [lo, hi). The backing array is shared with
+// the receiver, matching Go slice semantics; Start is advanced accordingly.
+func (s Series) Slice(lo, hi int) (Series, error) {
+	if lo < 0 || hi > len(s.Values) || lo > hi {
+		return Series{}, fmt.Errorf("slice [%d,%d) of %d samples: out of range", lo, hi, len(s.Values))
+	}
+	out := s
+	out.Start = s.TimeAt(lo)
+	out.Values = s.Values[lo:hi]
+	return out, nil
+}
+
+// Head returns the first n samples (all samples if n exceeds the length).
+func (s Series) Head(n int) Series {
+	if n > len(s.Values) {
+		n = len(s.Values)
+	}
+	if n < 0 {
+		n = 0
+	}
+	out, _ := s.Slice(0, n)
+	return out
+}
+
+// Tail returns the last n samples (all samples if n exceeds the length).
+func (s Series) Tail(n int) Series {
+	if n > len(s.Values) {
+		n = len(s.Values)
+	}
+	if n < 0 {
+		n = 0
+	}
+	out, _ := s.Slice(len(s.Values)-n, len(s.Values))
+	return out
+}
+
+// Thirds splits the series into three near-equal consecutive segments
+// (early, middle, late life), used by the spectrum-evolution experiment.
+func (s Series) Thirds() (early, mid, late Series) {
+	n := len(s.Values)
+	a := n / 3
+	b := 2 * n / 3
+	early, _ = s.Slice(0, a)
+	mid, _ = s.Slice(a, b)
+	late, _ = s.Slice(b, n)
+	return early, mid, late
+}
+
+// Map returns a new series whose values are f applied elementwise.
+func (s Series) Map(f func(float64) float64) Series {
+	out := s.Clone()
+	for i, v := range out.Values {
+		out.Values[i] = f(v)
+	}
+	return out
+}
+
+// Add returns the elementwise sum of two equal-length series, keeping the
+// receiver's metadata.
+func (s Series) Add(t Series) (Series, error) {
+	if len(s.Values) != len(t.Values) {
+		return Series{}, fmt.Errorf("add %q(%d) and %q(%d): length mismatch", s.Name, len(s.Values), t.Name, len(t.Values))
+	}
+	out := s.Clone()
+	for i := range out.Values {
+		out.Values[i] += t.Values[i]
+	}
+	return out, nil
+}
+
+// Scale returns the series multiplied by k.
+func (s Series) Scale(k float64) Series {
+	return s.Map(func(v float64) float64 { return k * v })
+}
+
+// Shift returns the series with k added to every value.
+func (s Series) Shift(k float64) Series {
+	return s.Map(func(v float64) float64 { return v + k })
+}
+
+// Diff returns the series of first differences Values[i+1]-Values[i].
+// The result has one fewer sample and starts one step later.
+func (s Series) Diff() (Series, error) {
+	if len(s.Values) < 2 {
+		return Series{}, fmt.Errorf("diff %q: %w", s.Name, ErrShort)
+	}
+	out := make([]float64, len(s.Values)-1)
+	for i := range out {
+		out[i] = s.Values[i+1] - s.Values[i]
+	}
+	d := s
+	d.Name = s.Name + ".diff"
+	d.Start = s.Start.Add(s.Step)
+	d.Values = out
+	return d, nil
+}
+
+// CumSum returns the cumulative-sum profile of the series, the standard
+// first step of DFA-style analyses.
+func (s Series) CumSum() Series {
+	out := s.Clone()
+	sum := 0.0
+	for i, v := range s.Values {
+		sum += v
+		out.Values[i] = sum
+	}
+	out.Name = s.Name + ".cumsum"
+	return out
+}
+
+// Demean returns the series with its mean subtracted.
+func (s Series) Demean() Series {
+	m := s.Mean()
+	return s.Shift(-m)
+}
+
+// Mean returns the arithmetic mean (0 for an empty series).
+func (s Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// Var returns the population variance (0 for fewer than two samples).
+func (s Series) Var() float64 {
+	n := len(s.Values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	sum := 0.0
+	for _, v := range s.Values {
+		d := v - m
+		sum += d * d
+	}
+	return sum / float64(n)
+}
+
+// Std returns the population standard deviation.
+func (s Series) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the minimum value (+Inf for an empty series).
+func (s Series) Min() float64 {
+	min := math.Inf(1)
+	for _, v := range s.Values {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max returns the maximum value (-Inf for an empty series).
+func (s Series) Max() float64 {
+	max := math.Inf(-1)
+	for _, v := range s.Values {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// IsFinite reports whether every sample is a finite number.
+func (s Series) IsFinite() bool {
+	for _, v := range s.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Downsample returns the series decimated by factor k, keeping every k-th
+// sample starting with the first.
+func (s Series) Downsample(k int) (Series, error) {
+	if k <= 0 {
+		return Series{}, fmt.Errorf("downsample %q by %d: factor must be positive", s.Name, k)
+	}
+	out := s
+	out.Step = s.Step * time.Duration(k)
+	out.Values = make([]float64, 0, (len(s.Values)+k-1)/k)
+	for i := 0; i < len(s.Values); i += k {
+		out.Values = append(out.Values, s.Values[i])
+	}
+	return out, nil
+}
+
+// Aggregate returns the series of means of consecutive non-overlapping
+// blocks of length m (the "aggregated series" of self-similarity analysis).
+// Trailing samples that do not fill a block are dropped.
+func (s Series) Aggregate(m int) (Series, error) {
+	if m <= 0 {
+		return Series{}, fmt.Errorf("aggregate %q by %d: block must be positive", s.Name, m)
+	}
+	nb := len(s.Values) / m
+	if nb == 0 {
+		return Series{}, fmt.Errorf("aggregate %q by %d: %w", s.Name, m, ErrShort)
+	}
+	out := s
+	out.Step = s.Step * time.Duration(m)
+	out.Values = make([]float64, nb)
+	for b := 0; b < nb; b++ {
+		sum := 0.0
+		for i := b * m; i < (b+1)*m; i++ {
+			sum += s.Values[i]
+		}
+		out.Values[b] = sum / float64(m)
+	}
+	return out, nil
+}
+
+// String implements fmt.Stringer with a short human-readable summary.
+func (s Series) String() string {
+	return fmt.Sprintf("Series(%q, n=%d, step=%s, mean=%.4g, std=%.4g)",
+		s.Name, len(s.Values), s.Step, s.Mean(), s.Std())
+}

@@ -1,0 +1,303 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestNewRejectsBadInterval(t *testing.T) {
+	tests := []struct {
+		name string
+		step time.Duration
+		ok   bool
+	}{
+		{name: "positive", step: time.Second, ok: true},
+		{name: "zero", step: 0, ok: false},
+		{name: "negative", step: -time.Second, ok: false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := New("x", time.Time{}, tt.step, []float64{1})
+			if (err == nil) != tt.ok {
+				t.Fatalf("New(step=%v) error = %v, want ok=%v", tt.step, err, tt.ok)
+			}
+		})
+	}
+}
+
+func TestMustNewPanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew with zero step did not panic")
+		}
+	}()
+	MustNew("x", time.Time{}, 0, nil)
+}
+
+func TestTimeAtAndIndexAtRoundTrip(t *testing.T) {
+	start := time.Date(2026, 7, 6, 0, 0, 0, 0, time.UTC)
+	s := MustNew("x", start, 5*time.Second, make([]float64, 100))
+	for _, i := range []int{0, 1, 50, 99} {
+		if got := s.IndexAt(s.TimeAt(i)); got != i {
+			t.Errorf("IndexAt(TimeAt(%d)) = %d", i, got)
+		}
+	}
+	if got := s.IndexAt(start.Add(-time.Hour)); got != 0 {
+		t.Errorf("IndexAt(before start) = %d, want 0", got)
+	}
+	if got := s.IndexAt(start.Add(time.Hour)); got != 99 {
+		t.Errorf("IndexAt(after end) = %d, want 99", got)
+	}
+	var empty Series
+	if got := empty.IndexAt(start); got != -1 {
+		t.Errorf("empty.IndexAt = %d, want -1", got)
+	}
+}
+
+func TestDuration(t *testing.T) {
+	s := FromValues("x", []float64{1, 2, 3, 4})
+	if got := s.Duration(); got != 3*time.Second {
+		t.Errorf("Duration = %v, want 3s", got)
+	}
+	if got := FromValues("y", []float64{1}).Duration(); got != 0 {
+		t.Errorf("single-sample Duration = %v, want 0", got)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	s := FromValues("x", []float64{1, 2, 3})
+	c := s.Clone()
+	c.Values[0] = 99
+	if s.Values[0] != 1 {
+		t.Fatal("Clone shares backing storage with original")
+	}
+}
+
+func TestSliceSemantics(t *testing.T) {
+	s := MustNew("x", time.Unix(0, 0).UTC(), time.Second, []float64{0, 1, 2, 3, 4})
+	sub, err := s.Slice(1, 4)
+	if err != nil {
+		t.Fatalf("Slice: %v", err)
+	}
+	if sub.Len() != 3 || sub.Values[0] != 1 || sub.Values[2] != 3 {
+		t.Errorf("Slice values = %v", sub.Values)
+	}
+	if !sub.Start.Equal(s.TimeAt(1)) {
+		t.Errorf("Slice start = %v, want %v", sub.Start, s.TimeAt(1))
+	}
+	if _, err := s.Slice(3, 2); err == nil {
+		t.Error("Slice(3,2) should fail")
+	}
+	if _, err := s.Slice(0, 6); err == nil {
+		t.Error("Slice(0,6) should fail")
+	}
+}
+
+func TestHeadTail(t *testing.T) {
+	s := FromValues("x", []float64{0, 1, 2, 3, 4})
+	if got := s.Head(2).Values; len(got) != 2 || got[1] != 1 {
+		t.Errorf("Head(2) = %v", got)
+	}
+	if got := s.Tail(2).Values; len(got) != 2 || got[0] != 3 {
+		t.Errorf("Tail(2) = %v", got)
+	}
+	if got := s.Head(10).Len(); got != 5 {
+		t.Errorf("Head(10) length = %d", got)
+	}
+	if got := s.Tail(-1).Len(); got != 0 {
+		t.Errorf("Tail(-1) length = %d", got)
+	}
+}
+
+func TestThirdsPartition(t *testing.T) {
+	s := FromValues("x", make([]float64, 10))
+	a, b, c := s.Thirds()
+	if a.Len()+b.Len()+c.Len() != s.Len() {
+		t.Errorf("thirds lengths %d+%d+%d != %d", a.Len(), b.Len(), c.Len(), s.Len())
+	}
+}
+
+func TestDiffAndCumSumInverse(t *testing.T) {
+	s := FromValues("x", []float64{3, 1, 4, 1, 5, 9, 2, 6})
+	d, err := s.Diff()
+	if err != nil {
+		t.Fatalf("Diff: %v", err)
+	}
+	// CumSum(Diff(s)) + s[0] must reconstruct s[1:].
+	rec := d.CumSum().Shift(s.Values[0])
+	for i, v := range rec.Values {
+		if !almostEqual(v, s.Values[i+1], 1e-12) {
+			t.Fatalf("reconstruction[%d] = %v, want %v", i, v, s.Values[i+1])
+		}
+	}
+	if _, err := FromValues("y", []float64{1}).Diff(); err == nil {
+		t.Error("Diff of 1 sample should fail")
+	}
+}
+
+func TestMomentsAgainstKnownValues(t *testing.T) {
+	s := FromValues("x", []float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if !almostEqual(s.Mean(), 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	if !almostEqual(s.Var(), 4, 1e-12) {
+		t.Errorf("Var = %v, want 4", s.Var())
+	}
+	if !almostEqual(s.Std(), 2, 1e-12) {
+		t.Errorf("Std = %v, want 2", s.Std())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestEmptyMoments(t *testing.T) {
+	var s Series
+	if s.Mean() != 0 || s.Var() != 0 || s.Std() != 0 {
+		t.Error("moments of empty series must be zero")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Error("Min/Max of empty series must be +/-Inf")
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !FromValues("x", []float64{1, 2}).IsFinite() {
+		t.Error("finite series reported non-finite")
+	}
+	if FromValues("x", []float64{1, math.NaN()}).IsFinite() {
+		t.Error("NaN not detected")
+	}
+	if FromValues("x", []float64{math.Inf(1)}).IsFinite() {
+		t.Error("Inf not detected")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	s := MustNew("x", time.Unix(0, 0), time.Second, []float64{0, 1, 2, 3, 4, 5, 6})
+	d, err := s.Downsample(3)
+	if err != nil {
+		t.Fatalf("Downsample: %v", err)
+	}
+	want := []float64{0, 3, 6}
+	if len(d.Values) != len(want) {
+		t.Fatalf("Downsample = %v, want %v", d.Values, want)
+	}
+	for i := range want {
+		if d.Values[i] != want[i] {
+			t.Fatalf("Downsample = %v, want %v", d.Values, want)
+		}
+	}
+	if d.Step != 3*time.Second {
+		t.Errorf("Downsample step = %v", d.Step)
+	}
+	if _, err := s.Downsample(0); err == nil {
+		t.Error("Downsample(0) should fail")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	s := FromValues("x", []float64{1, 3, 5, 7, 9})
+	a, err := s.Aggregate(2)
+	if err != nil {
+		t.Fatalf("Aggregate: %v", err)
+	}
+	if len(a.Values) != 2 || a.Values[0] != 2 || a.Values[1] != 6 {
+		t.Errorf("Aggregate = %v, want [2 6]", a.Values)
+	}
+	if _, err := s.Aggregate(6); err == nil {
+		t.Error("Aggregate larger than series should fail")
+	}
+	if _, err := s.Aggregate(0); err == nil {
+		t.Error("Aggregate(0) should fail")
+	}
+}
+
+func TestAddAndScale(t *testing.T) {
+	a := FromValues("a", []float64{1, 2})
+	b := FromValues("b", []float64{10, 20})
+	sum, err := a.Add(b)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	if sum.Values[0] != 11 || sum.Values[1] != 22 {
+		t.Errorf("Add = %v", sum.Values)
+	}
+	if _, err := a.Add(FromValues("c", []float64{1})); err == nil {
+		t.Error("Add with mismatched lengths should fail")
+	}
+	sc := a.Scale(3)
+	if sc.Values[0] != 3 || sc.Values[1] != 6 {
+		t.Errorf("Scale = %v", sc.Values)
+	}
+}
+
+func TestDemeanPropertyQuick(t *testing.T) {
+	f := func(raw []float64) bool {
+		vals := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				vals = append(vals, v)
+			}
+		}
+		if len(vals) == 0 {
+			return true
+		}
+		d := FromValues("x", vals).Demean()
+		return almostEqual(d.Mean(), 0, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScaleVariancePropertyQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(k float64) bool {
+		if math.IsNaN(k) || math.IsInf(k, 0) || math.Abs(k) > 1e3 {
+			return true
+		}
+		vals := make([]float64, 64)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+		}
+		s := FromValues("x", vals)
+		scaled := s.Scale(k)
+		return almostEqual(scaled.Var(), k*k*s.Var(), 1e-6*(1+k*k))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringMentionsNameAndLength(t *testing.T) {
+	s := FromValues("free_memory", []float64{1, 2, 3})
+	got := s.String()
+	if got == "" {
+		t.Fatal("String returned empty")
+	}
+	for _, want := range []string{"free_memory", "n=3"} {
+		if !containsStr(got, want) {
+			t.Errorf("String() = %q, missing %q", got, want)
+		}
+	}
+}
+
+func containsStr(haystack, needle string) bool {
+	for i := 0; i+len(needle) <= len(haystack); i++ {
+		if haystack[i:i+len(needle)] == needle {
+			return true
+		}
+	}
+	return false
+}

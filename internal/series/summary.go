@@ -1,0 +1,56 @@
+package series
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Summary is the five-number-plus description of a series.
+type Summary struct {
+	// Count is the number of samples.
+	Count int
+	// Mean and Std are the first two moments.
+	Mean float64
+	Std  float64
+	// Min, Q25, Median, Q75, Max are the order statistics.
+	Min    float64
+	Q25    float64
+	Median float64
+	Q75    float64
+	Max    float64
+}
+
+// Summarize computes the summary (errors on an empty series).
+func (s Series) Summarize() (Summary, error) {
+	n := len(s.Values)
+	if n == 0 {
+		return Summary{}, fmt.Errorf("summarize %q: %w", s.Name, ErrEmpty)
+	}
+	sorted := append([]float64(nil), s.Values...)
+	sort.Float64s(sorted)
+	quantile := func(q float64) float64 {
+		pos := q * float64(n-1)
+		lo := int(pos)
+		if lo >= n-1 {
+			return sorted[n-1]
+		}
+		frac := pos - float64(lo)
+		return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+	}
+	return Summary{
+		Count:  n,
+		Mean:   s.Mean(),
+		Std:    s.Std(),
+		Min:    sorted[0],
+		Q25:    quantile(0.25),
+		Median: quantile(0.5),
+		Q75:    quantile(0.75),
+		Max:    sorted[n-1],
+	}, nil
+}
+
+// String implements fmt.Stringer with a compact one-line description.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g std=%.4g min=%.4g q25=%.4g med=%.4g q75=%.4g max=%.4g",
+		s.Count, s.Mean, s.Std, s.Min, s.Q25, s.Median, s.Q75, s.Max)
+}

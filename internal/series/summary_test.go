@@ -1,0 +1,59 @@
+package series
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := FromValues("x", []float64{4, 1, 3, 2}) // sorted: 1 2 3 4
+	sum, err := s.Summarize()
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if sum.Count != 4 {
+		t.Errorf("Count = %d", sum.Count)
+	}
+	if !almostEqual(sum.Mean, 2.5, 1e-12) {
+		t.Errorf("Mean = %v", sum.Mean)
+	}
+	if sum.Min != 1 || sum.Max != 4 {
+		t.Errorf("Min/Max = %v/%v", sum.Min, sum.Max)
+	}
+	if !almostEqual(sum.Median, 2.5, 1e-12) {
+		t.Errorf("Median = %v", sum.Median)
+	}
+	if !almostEqual(sum.Q25, 1.75, 1e-12) || !almostEqual(sum.Q75, 3.25, 1e-12) {
+		t.Errorf("quartiles = %v/%v", sum.Q25, sum.Q75)
+	}
+	// Input must not be reordered.
+	if s.Values[0] != 4 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+func TestSummarizeSingleAndEmpty(t *testing.T) {
+	sum, err := FromValues("one", []float64{7}).Summarize()
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	if sum.Min != 7 || sum.Max != 7 || sum.Median != 7 || sum.Q25 != 7 {
+		t.Errorf("single-sample summary = %+v", sum)
+	}
+	if _, err := FromValues("none", nil).Summarize(); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	sum, err := FromValues("x", []float64{1, 2, 3}).Summarize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sum.String()
+	for _, want := range []string{"n=3", "mean=2", "med=2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q, missing %q", out, want)
+		}
+	}
+}

@@ -1,0 +1,157 @@
+package series
+
+import (
+	"fmt"
+	"math"
+)
+
+// Detrend returns the series with its least-squares line removed —
+// the standard preprocessing before spectral or R/S analysis of a series
+// with deterministic drift.
+func (s Series) Detrend() (Series, error) {
+	n := len(s.Values)
+	if n < 2 {
+		return Series{}, fmt.Errorf("detrend %q: %w", s.Name, ErrShort)
+	}
+	// Closed-form simple regression on the index.
+	var sx, sy, sxx, sxy float64
+	for i, v := range s.Values {
+		x := float64(i)
+		sx += x
+		sy += v
+		sxx += x * x
+		sxy += x * v
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return Series{}, fmt.Errorf("detrend %q: degenerate abscissa", s.Name)
+	}
+	slope := (fn*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / fn
+	out := s.Clone()
+	out.Name = s.Name + ".detrend"
+	for i := range out.Values {
+		out.Values[i] -= intercept + slope*float64(i)
+	}
+	return out, nil
+}
+
+// ZScore returns the series standardized to zero mean and unit standard
+// deviation. A constant series (zero deviation) errors rather than
+// dividing by zero.
+func (s Series) ZScore() (Series, error) {
+	if len(s.Values) == 0 {
+		return Series{}, fmt.Errorf("zscore %q: %w", s.Name, ErrEmpty)
+	}
+	std := s.Std()
+	if std == 0 {
+		return Series{}, fmt.Errorf("zscore %q: zero standard deviation", s.Name)
+	}
+	mean := s.Mean()
+	out := s.Clone()
+	out.Name = s.Name + ".z"
+	for i := range out.Values {
+		out.Values[i] = (out.Values[i] - mean) / std
+	}
+	return out, nil
+}
+
+// EWMA returns the exponentially weighted moving average with smoothing
+// factor alpha in (0, 1]: out[i] = alpha*x[i] + (1-alpha)*out[i-1].
+func (s Series) EWMA(alpha float64) (Series, error) {
+	if alpha <= 0 || alpha > 1 {
+		return Series{}, fmt.Errorf("ewma %q alpha=%v: must be in (0,1]", s.Name, alpha)
+	}
+	if len(s.Values) == 0 {
+		return Series{}, fmt.Errorf("ewma %q: %w", s.Name, ErrEmpty)
+	}
+	out := s.Clone()
+	out.Name = s.Name + ".ewma"
+	prev := out.Values[0]
+	for i := 1; i < len(out.Values); i++ {
+		prev = alpha*out.Values[i] + (1-alpha)*prev
+		out.Values[i] = prev
+	}
+	return out, nil
+}
+
+// Clip returns the series with every value limited to [lo, hi].
+func (s Series) Clip(lo, hi float64) (Series, error) {
+	if lo > hi {
+		return Series{}, fmt.Errorf("clip %q: lo %v > hi %v", s.Name, lo, hi)
+	}
+	out := s.Clone()
+	out.Name = s.Name + ".clip"
+	for i, v := range out.Values {
+		if v < lo {
+			out.Values[i] = lo
+		} else if v > hi {
+			out.Values[i] = hi
+		}
+	}
+	return out, nil
+}
+
+// LogReturns returns log(x[i+1]/x[i]) for strictly positive series —
+// the scale-free increments used when a counter spans decades.
+func (s Series) LogReturns() (Series, error) {
+	if len(s.Values) < 2 {
+		return Series{}, fmt.Errorf("log returns %q: %w", s.Name, ErrShort)
+	}
+	out := s
+	out.Name = s.Name + ".logret"
+	out.Start = s.Start.Add(s.Step)
+	out.Values = make([]float64, len(s.Values)-1)
+	for i := range out.Values {
+		a, b := s.Values[i], s.Values[i+1]
+		if a <= 0 || b <= 0 {
+			return Series{}, fmt.Errorf("log returns %q: non-positive value at %d", s.Name, i)
+		}
+		out.Values[i] = math.Log(b / a)
+	}
+	return out, nil
+}
+
+// Interpolate fills non-finite samples (NaN/Inf) by linear interpolation
+// between the nearest finite neighbours; leading/trailing gaps copy the
+// nearest finite value. It errors when no finite sample exists.
+func (s Series) Interpolate() (Series, error) {
+	n := len(s.Values)
+	if n == 0 {
+		return Series{}, fmt.Errorf("interpolate %q: %w", s.Name, ErrEmpty)
+	}
+	out := s.Clone()
+	finite := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+	// Locate finite anchors.
+	first := -1
+	for i, v := range out.Values {
+		if finite(v) {
+			first = i
+			break
+		}
+	}
+	if first == -1 {
+		return Series{}, fmt.Errorf("interpolate %q: no finite samples", s.Name)
+	}
+	for i := 0; i < first; i++ {
+		out.Values[i] = out.Values[first]
+	}
+	last := first
+	for i := first + 1; i < n; i++ {
+		if !finite(out.Values[i]) {
+			continue
+		}
+		if gap := i - last; gap > 1 {
+			step := (out.Values[i] - out.Values[last]) / float64(gap)
+			for k := last + 1; k < i; k++ {
+				out.Values[k] = out.Values[last] + step*float64(k-last)
+			}
+		}
+		last = i
+	}
+	for i := last + 1; i < n; i++ {
+		out.Values[i] = out.Values[last]
+	}
+	return out, nil
+}

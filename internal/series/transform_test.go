@@ -1,0 +1,157 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDetrendRemovesLine(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 7 + 0.3*float64(i) + rng.NormFloat64()
+	}
+	d, err := FromValues("x", vals).Detrend()
+	if err != nil {
+		t.Fatalf("Detrend: %v", err)
+	}
+	if m := d.Mean(); math.Abs(m) > 0.2 {
+		t.Errorf("detrended mean = %v", m)
+	}
+	// Residual slope must be ~0: correlation of residual with index.
+	var sxy, sxx float64
+	mean := d.Mean()
+	for i, v := range d.Values {
+		x := float64(i) - float64(n-1)/2
+		sxy += x * (v - mean)
+		sxx += x * x
+	}
+	if slope := sxy / sxx; math.Abs(slope) > 0.005 {
+		t.Errorf("residual slope = %v", slope)
+	}
+	if _, err := FromValues("y", []float64{1}).Detrend(); err == nil {
+		t.Error("single sample should fail")
+	}
+}
+
+func TestZScore(t *testing.T) {
+	z, err := FromValues("x", []float64{1, 2, 3, 4, 5}).ZScore()
+	if err != nil {
+		t.Fatalf("ZScore: %v", err)
+	}
+	if !almostEqual(z.Mean(), 0, 1e-12) || !almostEqual(z.Std(), 1, 1e-12) {
+		t.Errorf("zscore mean=%v std=%v", z.Mean(), z.Std())
+	}
+	if _, err := FromValues("c", []float64{3, 3, 3}).ZScore(); err == nil {
+		t.Error("constant series should fail")
+	}
+	if _, err := FromValues("e", nil).ZScore(); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestEWMA(t *testing.T) {
+	s := FromValues("x", []float64{0, 10, 10, 10})
+	sm, err := s.EWMA(0.5)
+	if err != nil {
+		t.Fatalf("EWMA: %v", err)
+	}
+	want := []float64{0, 5, 7.5, 8.75}
+	for i := range want {
+		if !almostEqual(sm.Values[i], want[i], 1e-12) {
+			t.Errorf("EWMA[%d] = %v, want %v", i, sm.Values[i], want[i])
+		}
+	}
+	// alpha=1 is the identity.
+	id, err := s.EWMA(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s.Values {
+		if id.Values[i] != s.Values[i] {
+			t.Fatal("alpha=1 not identity")
+		}
+	}
+	for _, a := range []float64{0, -0.5, 1.5} {
+		if _, err := s.EWMA(a); err == nil {
+			t.Errorf("alpha=%v should fail", a)
+		}
+	}
+	if _, err := FromValues("e", nil).EWMA(0.5); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestClip(t *testing.T) {
+	c, err := FromValues("x", []float64{-5, 0, 5, 10}).Clip(0, 5)
+	if err != nil {
+		t.Fatalf("Clip: %v", err)
+	}
+	want := []float64{0, 0, 5, 5}
+	for i := range want {
+		if c.Values[i] != want[i] {
+			t.Errorf("Clip[%d] = %v, want %v", i, c.Values[i], want[i])
+		}
+	}
+	if _, err := FromValues("x", []float64{1}).Clip(2, 1); err == nil {
+		t.Error("lo>hi should fail")
+	}
+}
+
+func TestLogReturns(t *testing.T) {
+	s := FromValues("x", []float64{1, math.E, math.E * math.E})
+	lr, err := s.LogReturns()
+	if err != nil {
+		t.Fatalf("LogReturns: %v", err)
+	}
+	for i, v := range lr.Values {
+		if !almostEqual(v, 1, 1e-12) {
+			t.Errorf("LogReturns[%d] = %v, want 1", i, v)
+		}
+	}
+	if _, err := FromValues("x", []float64{1, 0, 2}).LogReturns(); err == nil {
+		t.Error("zero value should fail")
+	}
+	if _, err := FromValues("x", []float64{1}).LogReturns(); err == nil {
+		t.Error("single sample should fail")
+	}
+}
+
+func TestInterpolate(t *testing.T) {
+	nan := math.NaN()
+	s := FromValues("x", []float64{nan, 2, nan, nan, 8, nan})
+	fixed, err := s.Interpolate()
+	if err != nil {
+		t.Fatalf("Interpolate: %v", err)
+	}
+	want := []float64{2, 2, 4, 6, 8, 8}
+	for i := range want {
+		if !almostEqual(fixed.Values[i], want[i], 1e-12) {
+			t.Errorf("Interpolate[%d] = %v, want %v", i, fixed.Values[i], want[i])
+		}
+	}
+	if !fixed.IsFinite() {
+		t.Error("interpolated series still has non-finite values")
+	}
+	// Original untouched.
+	if !math.IsNaN(s.Values[0]) {
+		t.Error("Interpolate mutated its input")
+	}
+	if _, err := FromValues("x", []float64{nan, nan}).Interpolate(); err == nil {
+		t.Error("all-NaN series should fail")
+	}
+	if _, err := FromValues("x", nil).Interpolate(); err == nil {
+		t.Error("empty series should fail")
+	}
+	// Inf is treated like NaN.
+	s2 := FromValues("y", []float64{1, math.Inf(1), 3})
+	fixed2, err := s2.Interpolate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(fixed2.Values[1], 2, 1e-12) {
+		t.Errorf("Inf interpolation = %v, want 2", fixed2.Values[1])
+	}
+}

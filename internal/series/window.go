@@ -1,0 +1,115 @@
+package series
+
+import (
+	"fmt"
+	"math"
+)
+
+// Window is a view of w consecutive samples of a parent series starting at
+// index Lo.
+type Window struct {
+	// Lo is the index of the first sample inside the parent series.
+	Lo int
+	// Values is the windowed data (shared with the parent's backing array).
+	Values []float64
+}
+
+// Windows returns all sliding windows of length w advancing by stride.
+// Every returned window shares backing storage with the receiver.
+func (s Series) Windows(w, stride int) ([]Window, error) {
+	if w <= 0 || stride <= 0 {
+		return nil, fmt.Errorf("windows(w=%d, stride=%d): parameters must be positive", w, stride)
+	}
+	if len(s.Values) < w {
+		return nil, fmt.Errorf("windows(w=%d) on %d samples: %w", w, len(s.Values), ErrShort)
+	}
+	n := (len(s.Values)-w)/stride + 1
+	out := make([]Window, 0, n)
+	for lo := 0; lo+w <= len(s.Values); lo += stride {
+		out = append(out, Window{Lo: lo, Values: s.Values[lo : lo+w]})
+	}
+	return out, nil
+}
+
+// Rolling applies f to every sliding window of length w (stride 1) and
+// returns the results as a new series aligned to the window *end*: output
+// sample i corresponds to the window covering input samples [i-w+1, i].
+// The output therefore has Len()-w+1 samples and starts w-1 steps later.
+func (s Series) Rolling(w int, f func([]float64) float64) (Series, error) {
+	if w <= 0 {
+		return Series{}, fmt.Errorf("rolling(w=%d): window must be positive", w)
+	}
+	if len(s.Values) < w {
+		return Series{}, fmt.Errorf("rolling(w=%d) on %d samples: %w", w, len(s.Values), ErrShort)
+	}
+	out := s
+	out.Start = s.TimeAt(w - 1)
+	out.Values = make([]float64, len(s.Values)-w+1)
+	for i := range out.Values {
+		out.Values[i] = f(s.Values[i : i+w])
+	}
+	return out, nil
+}
+
+// RollingMean returns the moving average over windows of length w.
+// It runs in O(n) using an incremental sum.
+func (s Series) RollingMean(w int) (Series, error) {
+	if w <= 0 {
+		return Series{}, fmt.Errorf("rolling mean(w=%d): window must be positive", w)
+	}
+	if len(s.Values) < w {
+		return Series{}, fmt.Errorf("rolling mean(w=%d) on %d samples: %w", w, len(s.Values), ErrShort)
+	}
+	out := s
+	out.Name = s.Name + ".rmean"
+	out.Start = s.TimeAt(w - 1)
+	out.Values = make([]float64, len(s.Values)-w+1)
+	sum := 0.0
+	for i := 0; i < w; i++ {
+		sum += s.Values[i]
+	}
+	out.Values[0] = sum / float64(w)
+	for i := w; i < len(s.Values); i++ {
+		sum += s.Values[i] - s.Values[i-w]
+		out.Values[i-w+1] = sum / float64(w)
+	}
+	return out, nil
+}
+
+// RollingStd returns the moving population standard deviation over windows
+// of length w. It is the volatility statistic the aging monitor tracks on
+// the Hölder-exponent series. Computed in O(n) with running sums; tiny
+// negative variances from floating-point cancellation are clamped to zero.
+func (s Series) RollingStd(w int) (Series, error) {
+	if w <= 1 {
+		return Series{}, fmt.Errorf("rolling std(w=%d): window must exceed 1", w)
+	}
+	if len(s.Values) < w {
+		return Series{}, fmt.Errorf("rolling std(w=%d) on %d samples: %w", w, len(s.Values), ErrShort)
+	}
+	out := s
+	out.Name = s.Name + ".rstd"
+	out.Start = s.TimeAt(w - 1)
+	out.Values = make([]float64, len(s.Values)-w+1)
+	var sum, sumSq float64
+	for i := 0; i < w; i++ {
+		sum += s.Values[i]
+		sumSq += s.Values[i] * s.Values[i]
+	}
+	fw := float64(w)
+	put := func(idx int) {
+		mean := sum / fw
+		v := sumSq/fw - mean*mean
+		if v < 0 {
+			v = 0
+		}
+		out.Values[idx] = math.Sqrt(v)
+	}
+	put(0)
+	for i := w; i < len(s.Values); i++ {
+		sum += s.Values[i] - s.Values[i-w]
+		sumSq += s.Values[i]*s.Values[i] - s.Values[i-w]*s.Values[i-w]
+		put(i - w + 1)
+	}
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package series
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestWindowsCountAndOffsets(t *testing.T) {
+	s := FromValues("x", []float64{0, 1, 2, 3, 4, 5, 6, 7})
+	tests := []struct {
+		name      string
+		w, stride int
+		wantLen   int
+		wantLastL int
+	}{
+		{name: "w4s1", w: 4, stride: 1, wantLen: 5, wantLastL: 4},
+		{name: "w4s2", w: 4, stride: 2, wantLen: 3, wantLastL: 4},
+		{name: "w8s1", w: 8, stride: 1, wantLen: 1, wantLastL: 0},
+		{name: "w3s3", w: 3, stride: 3, wantLen: 2, wantLastL: 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			ws, err := s.Windows(tt.w, tt.stride)
+			if err != nil {
+				t.Fatalf("Windows: %v", err)
+			}
+			if len(ws) != tt.wantLen {
+				t.Fatalf("got %d windows, want %d", len(ws), tt.wantLen)
+			}
+			last := ws[len(ws)-1]
+			if last.Lo != tt.wantLastL {
+				t.Errorf("last window Lo = %d, want %d", last.Lo, tt.wantLastL)
+			}
+			for _, win := range ws {
+				if len(win.Values) != tt.w {
+					t.Errorf("window at %d has %d values", win.Lo, len(win.Values))
+				}
+				if win.Values[0] != s.Values[win.Lo] {
+					t.Errorf("window at %d misaligned", win.Lo)
+				}
+			}
+		})
+	}
+}
+
+func TestWindowsErrors(t *testing.T) {
+	s := FromValues("x", []float64{1, 2, 3})
+	if _, err := s.Windows(0, 1); err == nil {
+		t.Error("w=0 should fail")
+	}
+	if _, err := s.Windows(2, 0); err == nil {
+		t.Error("stride=0 should fail")
+	}
+	if _, err := s.Windows(4, 1); err == nil {
+		t.Error("w>len should fail")
+	}
+}
+
+func TestRollingAlignment(t *testing.T) {
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := MustNew("x", start, time.Minute, []float64{1, 2, 3, 4})
+	r, err := s.Rolling(2, func(w []float64) float64 { return w[len(w)-1] })
+	if err != nil {
+		t.Fatalf("Rolling: %v", err)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Rolling length = %d, want 3", r.Len())
+	}
+	if !r.Start.Equal(start.Add(time.Minute)) {
+		t.Errorf("Rolling start = %v, want %v", r.Start, start.Add(time.Minute))
+	}
+	// Window-end alignment: output[i] is f of inputs ending at i+w-1.
+	for i, v := range r.Values {
+		if v != s.Values[i+1] {
+			t.Errorf("Rolling[%d] = %v, want %v", i, v, s.Values[i+1])
+		}
+	}
+}
+
+func TestRollingMeanMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vals := make([]float64, 257)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 100
+	}
+	s := FromValues("x", vals)
+	for _, w := range []int{2, 5, 32, 257} {
+		fast, err := s.RollingMean(w)
+		if err != nil {
+			t.Fatalf("RollingMean(%d): %v", w, err)
+		}
+		slow, err := s.Rolling(w, func(win []float64) float64 {
+			sum := 0.0
+			for _, v := range win {
+				sum += v
+			}
+			return sum / float64(len(win))
+		})
+		if err != nil {
+			t.Fatalf("Rolling(%d): %v", w, err)
+		}
+		for i := range fast.Values {
+			if !almostEqual(fast.Values[i], slow.Values[i], 1e-8) {
+				t.Fatalf("w=%d: RollingMean[%d]=%v naive=%v", w, i, fast.Values[i], slow.Values[i])
+			}
+		}
+	}
+}
+
+func TestRollingStdMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	vals := make([]float64, 200)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()*3 + 100
+	}
+	s := FromValues("x", vals)
+	for _, w := range []int{2, 16, 100} {
+		fast, err := s.RollingStd(w)
+		if err != nil {
+			t.Fatalf("RollingStd(%d): %v", w, err)
+		}
+		slow, err := s.Rolling(w, func(win []float64) float64 {
+			return FromValues("w", win).Std()
+		})
+		if err != nil {
+			t.Fatalf("Rolling(%d): %v", w, err)
+		}
+		for i := range fast.Values {
+			if !almostEqual(fast.Values[i], slow.Values[i], 1e-6) {
+				t.Fatalf("w=%d: RollingStd[%d]=%v naive=%v", w, i, fast.Values[i], slow.Values[i])
+			}
+		}
+	}
+}
+
+func TestRollingStdNonNegativeQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := func(scale float64) bool {
+		if math.IsNaN(scale) || math.IsInf(scale, 0) || math.Abs(scale) > 1e100 {
+			// Squaring larger magnitudes overflows float64; out of scope.
+			return true
+		}
+		vals := make([]float64, 64)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * scale
+		}
+		r, err := FromValues("x", vals).RollingStd(8)
+		if err != nil {
+			return false
+		}
+		for _, v := range r.Values {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRollingStdErrors(t *testing.T) {
+	s := FromValues("x", []float64{1, 2, 3})
+	if _, err := s.RollingStd(1); err == nil {
+		t.Error("w=1 should fail")
+	}
+	if _, err := s.RollingStd(5); err == nil {
+		t.Error("w>len should fail")
+	}
+	if _, err := s.RollingMean(0); err == nil {
+		t.Error("RollingMean(0) should fail")
+	}
+	if _, err := s.RollingMean(9); err == nil {
+		t.Error("RollingMean(9) should fail")
+	}
+	if _, err := s.Rolling(0, nil); err == nil {
+		t.Error("Rolling(0) should fail")
+	}
+}
+
+func TestRollingConstantSeriesHasZeroStd(t *testing.T) {
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = 42
+	}
+	r, err := FromValues("x", vals).RollingStd(10)
+	if err != nil {
+		t.Fatalf("RollingStd: %v", err)
+	}
+	for i, v := range r.Values {
+		if v != 0 {
+			t.Fatalf("RollingStd[%d] = %v on constant series", i, v)
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pearson returns the Pearson linear correlation coefficient of two
+// equal-length samples. It errors when either sample is constant.
+func Pearson(xs, ys []float64) (float64, error) {
+	n := len(xs)
+	if n != len(ys) {
+		return 0, fmt.Errorf("pearson: x has %d points, y has %d", n, len(ys))
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("pearson: %w", ErrInsufficientData)
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		syy += dy * dy
+		sxy += dx * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, fmt.Errorf("pearson: constant sample")
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// CrossCorrelation returns the normalized cross-correlation of x with y
+// at lags 0..maxLag: out[k] correlates x[t] with y[t+k]. Both series are
+// demeaned; normalization uses the geometric mean of the two variances so
+// out is in [-1, 1] for stationary inputs.
+func CrossCorrelation(xs, ys []float64, maxLag int) ([]float64, error) {
+	n := len(xs)
+	if n != len(ys) {
+		return nil, fmt.Errorf("cross-correlation: x has %d points, y has %d", n, len(ys))
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("cross-correlation: %w", ErrInsufficientData)
+	}
+	if maxLag < 0 || maxLag >= n {
+		return nil, fmt.Errorf("cross-correlation maxLag=%d with n=%d: out of range", maxLag, n)
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var vx, vy float64
+	for i := 0; i < n; i++ {
+		vx += (xs[i] - mx) * (xs[i] - mx)
+		vy += (ys[i] - my) * (ys[i] - my)
+	}
+	norm := math.Sqrt(vx * vy)
+	out := make([]float64, maxLag+1)
+	if norm == 0 {
+		return out, nil
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		sum := 0.0
+		for t := 0; t+lag < n; t++ {
+			sum += (xs[t] - mx) * (ys[t+lag] - my)
+		}
+		out[lag] = sum / norm
+	}
+	return out, nil
+}
+
+// LjungBoxResult reports the Ljung–Box portmanteau test for joint
+// autocorrelation up to a maximum lag.
+type LjungBoxResult struct {
+	// Q is the Ljung–Box statistic.
+	Q float64
+	// Lags is the number of lags pooled.
+	Lags int
+	// P is the chi-squared p-value with Lags degrees of freedom.
+	P float64
+}
+
+// Correlated reports whether the test rejects "white noise" at the given
+// significance level.
+func (r LjungBoxResult) Correlated(alpha float64) bool { return r.P < alpha }
+
+// LjungBox tests whether the sample is serially uncorrelated up to
+// maxLag. Useful as a sanity check on surrogate shuffles and on detector
+// residuals.
+func LjungBox(xs []float64, maxLag int) (LjungBoxResult, error) {
+	n := len(xs)
+	if n < 3 {
+		return LjungBoxResult{}, fmt.Errorf("ljung-box: %w", ErrInsufficientData)
+	}
+	if maxLag < 1 || maxLag >= n {
+		return LjungBoxResult{}, fmt.Errorf("ljung-box maxLag=%d with n=%d: out of range", maxLag, n)
+	}
+	acf, err := Autocorrelation(xs, maxLag)
+	if err != nil {
+		return LjungBoxResult{}, fmt.Errorf("ljung-box: %w", err)
+	}
+	fn := float64(n)
+	q := 0.0
+	for k := 1; k <= maxLag; k++ {
+		q += acf[k] * acf[k] / (fn - float64(k))
+	}
+	q *= fn * (fn + 2)
+	return LjungBoxResult{
+		Q:    q,
+		Lags: maxLag,
+		P:    1 - chiSquaredCDF(q, float64(maxLag)),
+	}, nil
+}
+
+// chiSquaredCDF evaluates the chi-squared CDF with k degrees of freedom
+// via the regularized lower incomplete gamma function.
+func chiSquaredCDF(x, k float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return regularizedGammaP(k/2, x/2)
+}
+
+// regularizedGammaP computes P(a, x) by series expansion (x < a+1) or
+// continued fraction (otherwise). Standard Numerical-Recipes-style
+// implementation adequate for test statistics.
+func regularizedGammaP(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	lgA, _ := math.Lgamma(a)
+	if x < a+1 {
+		// Series representation.
+		ap := a
+		sum := 1.0 / a
+		del := sum
+		for i := 0; i < 500; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-14 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lgA)
+	}
+	// Continued fraction for Q(a,x); P = 1-Q.
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i < 500; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-14 {
+			break
+		}
+	}
+	q := math.Exp(-x+a*math.Log(x)-lgA) * h
+	return 1 - q
+}

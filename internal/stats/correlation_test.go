@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPearsonKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if r, err := Pearson(xs, xs); err != nil || !almostEqual(r, 1, 1e-12) {
+		t.Errorf("Pearson(x,x) = %v, %v", r, err)
+	}
+	neg := []float64{5, 4, 3, 2, 1}
+	if r, err := Pearson(xs, neg); err != nil || !almostEqual(r, -1, 1e-12) {
+		t.Errorf("Pearson(x,-x) = %v, %v", r, err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	a := make([]float64, 20000)
+	b := make([]float64, 20000)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+		b[i] = rng.NormFloat64()
+	}
+	if r, err := Pearson(a, b); err != nil || math.Abs(r) > 0.03 {
+		t.Errorf("Pearson(independent) = %v, %v", r, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1}); err == nil {
+		t.Error("n<2 should fail")
+	}
+	if _, err := Pearson([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := Pearson([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("constant sample should fail")
+	}
+}
+
+func TestCrossCorrelationFindsLag(t *testing.T) {
+	// y is x delayed by 5: the cross-correlation x->y peaks at lag 5.
+	rng := rand.New(rand.NewSource(2))
+	n := 4000
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, n)
+	copy(y[5:], x[:n-5])
+	cc, err := CrossCorrelation(x, y, 10)
+	if err != nil {
+		t.Fatalf("CrossCorrelation: %v", err)
+	}
+	peak := 0
+	for k, v := range cc {
+		if v > cc[peak] {
+			peak = k
+		}
+	}
+	if peak != 5 {
+		t.Errorf("peak at lag %d, want 5 (cc=%v)", peak, cc)
+	}
+	if cc[5] < 0.9 {
+		t.Errorf("cc at true lag = %v, want ~1", cc[5])
+	}
+}
+
+func TestCrossCorrelationErrors(t *testing.T) {
+	if _, err := CrossCorrelation([]float64{1}, []float64{1}, 0); err == nil {
+		t.Error("n<2 should fail")
+	}
+	if _, err := CrossCorrelation([]float64{1, 2}, []float64{1}, 0); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := CrossCorrelation([]float64{1, 2}, []float64{1, 2}, 5); err == nil {
+		t.Error("maxLag >= n should fail")
+	}
+	cc, err := CrossCorrelation([]float64{1, 1, 1}, []float64{2, 2, 2}, 1)
+	if err != nil {
+		t.Fatalf("constant input: %v", err)
+	}
+	if cc[0] != 0 {
+		t.Errorf("constant-input cc = %v, want zeros", cc)
+	}
+}
+
+func TestLjungBoxWhiteNoiseAccepted(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rejections := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 300)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		res, err := LjungBox(xs, 10)
+		if err != nil {
+			t.Fatalf("LjungBox: %v", err)
+		}
+		if res.Correlated(0.05) {
+			rejections++
+		}
+	}
+	if rejections > 8 {
+		t.Errorf("%d/%d white-noise rejections at alpha=0.05", rejections, trials)
+	}
+}
+
+func TestLjungBoxDetectsAR1(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 500)
+	prev := 0.0
+	for i := range xs {
+		prev = 0.7*prev + rng.NormFloat64()
+		xs[i] = prev
+	}
+	res, err := LjungBox(xs, 10)
+	if err != nil {
+		t.Fatalf("LjungBox: %v", err)
+	}
+	if !res.Correlated(0.001) {
+		t.Errorf("AR(1) not detected: %+v", res)
+	}
+	if res.Q <= 0 || res.Lags != 10 {
+		t.Errorf("result %+v", res)
+	}
+}
+
+func TestLjungBoxErrors(t *testing.T) {
+	if _, err := LjungBox([]float64{1, 2}, 1); err == nil {
+		t.Error("n<3 should fail")
+	}
+	if _, err := LjungBox([]float64{1, 2, 3}, 0); err == nil {
+		t.Error("maxLag=0 should fail")
+	}
+	if _, err := LjungBox([]float64{1, 2, 3}, 3); err == nil {
+		t.Error("maxLag>=n should fail")
+	}
+}
+
+func TestChiSquaredCDF(t *testing.T) {
+	tests := []struct {
+		x, k, want float64
+	}{
+		// Known quantiles: P(chi2_1 <= 3.841) ~ 0.95, P(chi2_10 <= 18.307) ~ 0.95.
+		{x: 3.841, k: 1, want: 0.95},
+		{x: 18.307, k: 10, want: 0.95},
+		{x: 2.706, k: 1, want: 0.90},
+		{x: 0, k: 5, want: 0},
+	}
+	for _, tt := range tests {
+		if got := chiSquaredCDF(tt.x, tt.k); math.Abs(got-tt.want) > 2e-3 {
+			t.Errorf("chiSquaredCDF(%v, %v) = %v, want %v", tt.x, tt.k, got, tt.want)
+		}
+	}
+	// Large x: CDF approaches 1 via the continued-fraction branch.
+	if got := chiSquaredCDF(100, 3); got < 0.9999 {
+		t.Errorf("chiSquaredCDF(100, 3) = %v", got)
+	}
+	if !math.IsNaN(regularizedGammaP(-1, 1)) {
+		t.Error("negative shape should be NaN")
+	}
+}

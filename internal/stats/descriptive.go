@@ -1,0 +1,222 @@
+// Package stats implements the statistical routines the analysis pipeline
+// relies on: descriptive moments, quantiles, histograms, ordinary
+// least-squares and robust (Theil–Sen) regression, the Mann–Kendall trend
+// test used by prior software-aging work, and autocorrelation.
+//
+// All functions operate on plain []float64 so they compose with both
+// series.Series values and raw windows.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ErrInsufficientData is returned when an estimator needs more samples than
+// it was given.
+var ErrInsufficientData = errors.New("stats: insufficient data")
+
+// Mean returns the arithmetic mean (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance (0 for fewer than two samples).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(n)
+}
+
+// SampleVariance returns the unbiased (n-1 denominator) variance.
+func SampleVariance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	return Variance(xs) * float64(n) / float64(n-1)
+}
+
+// Std returns the population standard deviation.
+func Std(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Moment returns the k-th central moment E[(X-mean)^k].
+func Moment(xs []float64, k int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	sum := 0.0
+	for _, x := range xs {
+		sum += math.Pow(x-m, float64(k))
+	}
+	return sum / float64(len(xs))
+}
+
+// Skewness returns the standardized third central moment (0 when the
+// standard deviation vanishes).
+func Skewness(xs []float64) float64 {
+	s := Std(xs)
+	if s == 0 {
+		return 0
+	}
+	return Moment(xs, 3) / (s * s * s)
+}
+
+// Kurtosis returns the excess kurtosis (fourth standardized moment minus 3;
+// 0 when the standard deviation vanishes).
+func Kurtosis(xs []float64) float64 {
+	v := Variance(xs)
+	if v == 0 {
+		return 0
+	}
+	return Moment(xs, 4)/(v*v) - 3
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using linear
+// interpolation between order statistics. The input is not modified.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("quantile: %w", ErrInsufficientData)
+	}
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("quantile %v: must be in [0,1]", q)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Median returns the 50th percentile.
+func Median(xs []float64) (float64, error) { return Quantile(xs, 0.5) }
+
+// MAD returns the median absolute deviation from the median, a robust
+// scale estimate.
+func MAD(xs []float64) (float64, error) {
+	med, err := Median(xs)
+	if err != nil {
+		return 0, err
+	}
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return Median(dev)
+}
+
+// Histogram is a fixed-width binning of a data set.
+type Histogram struct {
+	// Lo is the left edge of the first bin.
+	Lo float64
+	// Width is the width of every bin.
+	Width float64
+	// Counts holds the number of samples per bin.
+	Counts []int
+	// N is the total number of binned samples.
+	N int
+}
+
+// NewHistogram bins xs into the requested number of equal-width bins
+// spanning [min, max]. The maximum value lands in the last bin.
+func NewHistogram(xs []float64, bins int) (Histogram, error) {
+	if bins <= 0 {
+		return Histogram{}, fmt.Errorf("histogram with %d bins: must be positive", bins)
+	}
+	if len(xs) == 0 {
+		return Histogram{}, fmt.Errorf("histogram: %w", ErrInsufficientData)
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	width := (hi - lo) / float64(bins)
+	if width == 0 {
+		width = 1 // all values identical: everything falls in bin 0
+	}
+	h := Histogram{Lo: lo, Width: width, Counts: make([]int, bins), N: len(xs)}
+	for _, x := range xs {
+		idx := int((x - lo) / width)
+		if idx >= bins {
+			idx = bins - 1
+		}
+		if idx < 0 {
+			idx = 0
+		}
+		h.Counts[idx]++
+	}
+	return h, nil
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.Width
+}
+
+// Density returns the probability density estimate for bin i.
+func (h Histogram) Density(i int) float64 {
+	if h.N == 0 || h.Width == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / (float64(h.N) * h.Width)
+}
+
+// Autocorrelation returns the sample autocorrelation function up to maxLag
+// (inclusive); out[0] is always 1 for non-degenerate input.
+func Autocorrelation(xs []float64, maxLag int) ([]float64, error) {
+	n := len(xs)
+	if n < 2 {
+		return nil, fmt.Errorf("autocorrelation: %w", ErrInsufficientData)
+	}
+	if maxLag < 0 || maxLag >= n {
+		return nil, fmt.Errorf("autocorrelation maxLag=%d with n=%d: out of range", maxLag, n)
+	}
+	m := Mean(xs)
+	denom := 0.0
+	for _, x := range xs {
+		denom += (x - m) * (x - m)
+	}
+	out := make([]float64, maxLag+1)
+	if denom == 0 {
+		return out, nil
+	}
+	for lag := 0; lag <= maxLag; lag++ {
+		num := 0.0
+		for i := 0; i+lag < n; i++ {
+			num += (xs[i] - m) * (xs[i+lag] - m)
+		}
+		out[lag] = num / denom
+	}
+	return out, nil
+}

@@ -1,0 +1,271 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); !almostEqual(got, 5, 1e-12) {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if got := Variance(xs); !almostEqual(got, 4, 1e-12) {
+		t.Errorf("Variance = %v, want 4", got)
+	}
+	if got := SampleVariance(xs); !almostEqual(got, 32.0/7.0, 1e-12) {
+		t.Errorf("SampleVariance = %v, want 32/7", got)
+	}
+	if got := Std(xs); !almostEqual(got, 2, 1e-12) {
+		t.Errorf("Std = %v, want 2", got)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 || Std(nil) != 0 {
+		t.Error("empty-input moments must be zero")
+	}
+	if Variance([]float64{5}) != 0 {
+		t.Error("single-sample variance must be zero")
+	}
+	if Skewness([]float64{3, 3, 3}) != 0 {
+		t.Error("constant-series skewness must be zero")
+	}
+	if Kurtosis([]float64{3, 3, 3}) != 0 {
+		t.Error("constant-series kurtosis must be zero")
+	}
+}
+
+func TestSkewnessSign(t *testing.T) {
+	rightSkewed := []float64{1, 1, 1, 1, 2, 2, 3, 10}
+	if got := Skewness(rightSkewed); got <= 0 {
+		t.Errorf("Skewness of right-skewed data = %v, want > 0", got)
+	}
+	leftSkewed := []float64{-10, -3, -2, -2, -1, -1, -1, -1}
+	if got := Skewness(leftSkewed); got >= 0 {
+		t.Errorf("Skewness of left-skewed data = %v, want < 0", got)
+	}
+}
+
+func TestKurtosisOfGaussianNearZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	xs := make([]float64, 200000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	if got := Kurtosis(xs); math.Abs(got) > 0.1 {
+		t.Errorf("excess kurtosis of N(0,1) sample = %v, want ~0", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	tests := []struct {
+		name string
+		q    float64
+		want float64
+	}{
+		{name: "min", q: 0, want: 1},
+		{name: "max", q: 1, want: 4},
+		{name: "median", q: 0.5, want: 2.5},
+		{name: "q25", q: 0.25, want: 1.75},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Quantile(xs, tt.q)
+			if err != nil {
+				t.Fatalf("Quantile: %v", err)
+			}
+			if !almostEqual(got, tt.want, 1e-12) {
+				t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+			}
+		})
+	}
+	// Input must not be mutated.
+	if xs[0] != 4 {
+		t.Error("Quantile mutated its input")
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("Quantile of empty input should fail")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("Quantile(1.5) should fail")
+	}
+	single, err := Quantile([]float64{7}, 0.9)
+	if err != nil || single != 7 {
+		t.Errorf("Quantile single = %v, %v", single, err)
+	}
+}
+
+func TestMAD(t *testing.T) {
+	got, err := MAD([]float64{1, 1, 2, 2, 4, 6, 9})
+	if err != nil {
+		t.Fatalf("MAD: %v", err)
+	}
+	if !almostEqual(got, 1, 1e-12) {
+		t.Errorf("MAD = %v, want 1", got)
+	}
+	if _, err := MAD(nil); err == nil {
+		t.Error("MAD of empty input should fail")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	xs := []float64{0, 0.5, 1, 1.5, 2, 2.5, 3, 3.9, 4}
+	h, err := NewHistogram(xs, 4)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != len(xs) {
+		t.Errorf("histogram total = %d, want %d", total, len(xs))
+	}
+	// Max value must be in the last bin.
+	if h.Counts[3] == 0 {
+		t.Error("max value not in last bin")
+	}
+	// Densities must integrate to ~1.
+	integral := 0.0
+	for i := range h.Counts {
+		integral += h.Density(i) * h.Width
+	}
+	if !almostEqual(integral, 1, 1e-9) {
+		t.Errorf("density integral = %v, want 1", integral)
+	}
+}
+
+func TestHistogramConstantData(t *testing.T) {
+	h, err := NewHistogram([]float64{5, 5, 5}, 3)
+	if err != nil {
+		t.Fatalf("NewHistogram: %v", err)
+	}
+	if h.Counts[0] != 3 {
+		t.Errorf("constant data counts = %v, want all in bin 0", h.Counts)
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, 4); err == nil {
+		t.Error("empty input should fail")
+	}
+	if _, err := NewHistogram([]float64{1}, 0); err == nil {
+		t.Error("zero bins should fail")
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// Alternating series has ACF(1) = -1 asymptotically.
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(1 - 2*(i%2))
+	}
+	acf, err := Autocorrelation(xs, 2)
+	if err != nil {
+		t.Fatalf("Autocorrelation: %v", err)
+	}
+	if !almostEqual(acf[0], 1, 1e-12) {
+		t.Errorf("ACF(0) = %v, want 1", acf[0])
+	}
+	if acf[1] > -0.99 {
+		t.Errorf("ACF(1) = %v, want ~-1", acf[1])
+	}
+	if acf[2] < 0.99 {
+		t.Errorf("ACF(2) = %v, want ~1", acf[2])
+	}
+}
+
+func TestAutocorrelationWhiteNoiseDecorrelates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	acf, err := Autocorrelation(xs, 5)
+	if err != nil {
+		t.Fatalf("Autocorrelation: %v", err)
+	}
+	for lag := 1; lag <= 5; lag++ {
+		if math.Abs(acf[lag]) > 0.05 {
+			t.Errorf("white-noise ACF(%d) = %v, want ~0", lag, acf[lag])
+		}
+	}
+}
+
+func TestAutocorrelationErrors(t *testing.T) {
+	if _, err := Autocorrelation([]float64{1}, 0); err == nil {
+		t.Error("n<2 should fail")
+	}
+	if _, err := Autocorrelation([]float64{1, 2, 3}, 3); err == nil {
+		t.Error("maxLag >= n should fail")
+	}
+	if _, err := Autocorrelation([]float64{1, 2, 3}, -1); err == nil {
+		t.Error("negative maxLag should fail")
+	}
+	acf, err := Autocorrelation([]float64{2, 2, 2}, 1)
+	if err != nil {
+		t.Fatalf("constant series: %v", err)
+	}
+	if acf[0] != 0 || acf[1] != 0 {
+		t.Errorf("constant-series ACF = %v, want zeros", acf)
+	}
+}
+
+func TestVarianceShiftInvarianceQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(shift float64) bool {
+		if math.IsNaN(shift) || math.IsInf(shift, 0) || math.Abs(shift) > 1e6 {
+			return true
+		}
+		xs := make([]float64, 100)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		shifted := make([]float64, len(xs))
+		for i, x := range xs {
+			shifted[i] = x + shift
+		}
+		return almostEqual(Variance(xs), Variance(shifted), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileMonotoneQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := func(a, b float64) bool {
+		qa := math.Abs(math.Mod(a, 1))
+		qb := math.Abs(math.Mod(b, 1))
+		if math.IsNaN(qa) || math.IsNaN(qb) {
+			return true
+		}
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		va, err1 := Quantile(xs, qa)
+		vb, err2 := Quantile(xs, qb)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return va <= vb+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,213 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LinearFit is the result of a simple linear regression y = Intercept +
+// Slope*x.
+type LinearFit struct {
+	Slope     float64
+	Intercept float64
+	// R2 is the coefficient of determination.
+	R2 float64
+	// StdErrSlope is the standard error of the slope estimate.
+	StdErrSlope float64
+}
+
+// OLS fits y = a + b*x by ordinary least squares.
+func OLS(xs, ys []float64) (LinearFit, error) {
+	n := len(xs)
+	if n != len(ys) {
+		return LinearFit{}, fmt.Errorf("ols: x has %d points, y has %d", n, len(ys))
+	}
+	if n < 2 {
+		return LinearFit{}, fmt.Errorf("ols: %w", ErrInsufficientData)
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxx, sxy, syy float64
+	for i := 0; i < n; i++ {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return LinearFit{}, fmt.Errorf("ols: x values are all identical")
+	}
+	slope := sxy / sxx
+	intercept := my - slope*mx
+	fit := LinearFit{Slope: slope, Intercept: intercept}
+	if syy > 0 {
+		fit.R2 = (sxy * sxy) / (sxx * syy)
+	} else {
+		fit.R2 = 1 // zero-variance y is fit exactly by the horizontal line
+	}
+	if n > 2 {
+		// Residual variance.
+		rss := 0.0
+		for i := 0; i < n; i++ {
+			r := ys[i] - (intercept + slope*xs[i])
+			rss += r * r
+		}
+		fit.StdErrSlope = math.Sqrt(rss / float64(n-2) / sxx)
+	}
+	return fit, nil
+}
+
+// Predict evaluates the fitted line at x.
+func (f LinearFit) Predict(x float64) float64 { return f.Intercept + f.Slope*x }
+
+// XWhenY returns the x at which the fitted line reaches the value y.
+// It returns an error for a (near-)zero slope, where the line never
+// reaches y.
+func (f LinearFit) XWhenY(y float64) (float64, error) {
+	if f.Slope == 0 {
+		return 0, fmt.Errorf("xwheny: zero slope never reaches %v", y)
+	}
+	return (y - f.Intercept) / f.Slope, nil
+}
+
+// TheilSen fits a robust line using the median of pairwise slopes (Sen's
+// slope estimator) with the median-based intercept. It is the estimator
+// used by measurement-based aging work (Vaidyanathan & Trivedi) for noisy
+// resource trends.
+func TheilSen(xs, ys []float64) (LinearFit, error) {
+	n := len(xs)
+	if n != len(ys) {
+		return LinearFit{}, fmt.Errorf("theil-sen: x has %d points, y has %d", n, len(ys))
+	}
+	if n < 2 {
+		return LinearFit{}, fmt.Errorf("theil-sen: %w", ErrInsufficientData)
+	}
+	slopes := make([]float64, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dx := xs[j] - xs[i]; dx != 0 {
+				slopes = append(slopes, (ys[j]-ys[i])/dx)
+			}
+		}
+	}
+	if len(slopes) == 0 {
+		return LinearFit{}, fmt.Errorf("theil-sen: x values are all identical")
+	}
+	slope, err := Median(slopes)
+	if err != nil {
+		return LinearFit{}, fmt.Errorf("theil-sen: %w", err)
+	}
+	// Intercept: median of y - slope*x.
+	resid := make([]float64, n)
+	for i := 0; i < n; i++ {
+		resid[i] = ys[i] - slope*xs[i]
+	}
+	intercept, err := Median(resid)
+	if err != nil {
+		return LinearFit{}, fmt.Errorf("theil-sen: %w", err)
+	}
+	return LinearFit{Slope: slope, Intercept: intercept}, nil
+}
+
+// MannKendallResult reports the Mann–Kendall monotone-trend test.
+type MannKendallResult struct {
+	// S is the Mann–Kendall statistic (sum of pairwise signs).
+	S int
+	// Z is the normal approximation test statistic.
+	Z float64
+	// P is the two-sided p-value from the normal approximation.
+	P float64
+	// Tau is Kendall's rank correlation with time.
+	Tau float64
+}
+
+// Trending reports whether the test rejects "no trend" at the given
+// significance level (for example 0.05).
+func (r MannKendallResult) Trending(alpha float64) bool { return r.P < alpha }
+
+// MannKendall runs the Mann–Kendall test for a monotone trend on an
+// evenly-indexed series, including the standard tie correction in the
+// variance.
+func MannKendall(xs []float64) (MannKendallResult, error) {
+	n := len(xs)
+	if n < 3 {
+		return MannKendallResult{}, fmt.Errorf("mann-kendall: %w", ErrInsufficientData)
+	}
+	s := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			switch {
+			case xs[j] > xs[i]:
+				s++
+			case xs[j] < xs[i]:
+				s--
+			}
+		}
+	}
+	// Tie correction: group sizes of equal values.
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	tieTerm := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && sorted[j] == sorted[i] {
+			j++
+		}
+		t := float64(j - i)
+		if t > 1 {
+			tieTerm += t * (t - 1) * (2*t + 5)
+		}
+		i = j
+	}
+	fn := float64(n)
+	varS := (fn*(fn-1)*(2*fn+5) - tieTerm) / 18
+	var z float64
+	switch {
+	case varS <= 0:
+		z = 0
+	case s > 0:
+		z = float64(s-1) / math.Sqrt(varS)
+	case s < 0:
+		z = float64(s+1) / math.Sqrt(varS)
+	}
+	res := MannKendallResult{
+		S:   s,
+		Z:   z,
+		P:   2 * (1 - stdNormalCDF(math.Abs(z))),
+		Tau: float64(s) / (0.5 * fn * (fn - 1)),
+	}
+	return res, nil
+}
+
+// KendallTau returns Kendall's rank correlation between two equal-length
+// samples (ties contribute zero to the numerator; the simple tau-a
+// denominator is used).
+func KendallTau(xs, ys []float64) (float64, error) {
+	n := len(xs)
+	if n != len(ys) {
+		return 0, fmt.Errorf("kendall tau: x has %d points, y has %d", n, len(ys))
+	}
+	if n < 2 {
+		return 0, fmt.Errorf("kendall tau: %w", ErrInsufficientData)
+	}
+	s := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			dx := xs[j] - xs[i]
+			dy := ys[j] - ys[i]
+			prod := dx * dy
+			switch {
+			case prod > 0:
+				s++
+			case prod < 0:
+				s--
+			}
+		}
+	}
+	return float64(s) / (0.5 * float64(n) * float64(n-1)), nil
+}
+
+// stdNormalCDF returns the standard normal cumulative distribution at x.
+func stdNormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}

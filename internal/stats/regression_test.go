@@ -1,0 +1,220 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestOLSExactLine(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 - 2*x
+	}
+	fit, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	if !almostEqual(fit.Slope, -2, 1e-12) || !almostEqual(fit.Intercept, 3, 1e-12) {
+		t.Errorf("fit = %+v, want slope -2 intercept 3", fit)
+	}
+	if !almostEqual(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %v, want 1", fit.R2)
+	}
+	if !almostEqual(fit.Predict(10), -17, 1e-12) {
+		t.Errorf("Predict(10) = %v, want -17", fit.Predict(10))
+	}
+	x0, err := fit.XWhenY(0)
+	if err != nil {
+		t.Fatalf("XWhenY: %v", err)
+	}
+	if !almostEqual(x0, 1.5, 1e-12) {
+		t.Errorf("XWhenY(0) = %v, want 1.5", x0)
+	}
+}
+
+func TestOLSNoisyRecoversSlope(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 5000
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 7 + 0.25*xs[i] + rng.NormFloat64()*4
+	}
+	fit, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	if math.Abs(fit.Slope-0.25) > 0.005 {
+		t.Errorf("slope = %v, want ~0.25", fit.Slope)
+	}
+	if fit.StdErrSlope <= 0 {
+		t.Errorf("StdErrSlope = %v, want > 0", fit.StdErrSlope)
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS([]float64{1}, []float64{1}); err == nil {
+		t.Error("n<2 should fail")
+	}
+	if _, err := OLS([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := OLS([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Error("constant x should fail")
+	}
+	fit, err := OLS([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if err != nil {
+		t.Fatalf("constant y: %v", err)
+	}
+	if fit.Slope != 0 || fit.R2 != 1 {
+		t.Errorf("constant y fit = %+v", fit)
+	}
+	if _, err := fit.XWhenY(9); err == nil {
+		t.Error("XWhenY with zero slope should fail")
+	}
+}
+
+func TestTheilSenRobustToOutliers(t *testing.T) {
+	// A clean line with 10% wild outliers: OLS bends, Theil-Sen should not.
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 10 - 0.5*xs[i]
+	}
+	for i := 0; i < 5; i++ {
+		ys[i*10] += 500
+	}
+	robust, err := TheilSen(xs, ys)
+	if err != nil {
+		t.Fatalf("TheilSen: %v", err)
+	}
+	if math.Abs(robust.Slope-(-0.5)) > 0.05 {
+		t.Errorf("Theil-Sen slope = %v, want ~-0.5", robust.Slope)
+	}
+	ols, err := OLS(xs, ys)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	if math.Abs(ols.Slope-(-0.5)) < math.Abs(robust.Slope-(-0.5)) {
+		t.Errorf("OLS (%v) unexpectedly more accurate than Theil-Sen (%v)", ols.Slope, robust.Slope)
+	}
+}
+
+func TestTheilSenErrors(t *testing.T) {
+	if _, err := TheilSen([]float64{1}, []float64{1}); err == nil {
+		t.Error("n<2 should fail")
+	}
+	if _, err := TheilSen([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := TheilSen([]float64{3, 3}, []float64{1, 2}); err == nil {
+		t.Error("constant x should fail")
+	}
+}
+
+func TestMannKendallDetectsTrend(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i) * 0.1
+	}
+	res, err := MannKendall(xs)
+	if err != nil {
+		t.Fatalf("MannKendall: %v", err)
+	}
+	if !res.Trending(0.01) {
+		t.Errorf("monotone series not detected as trending: %+v", res)
+	}
+	if res.Tau != 1 {
+		t.Errorf("Tau = %v, want 1 for strictly increasing series", res.Tau)
+	}
+	if res.S != 100*99/2 {
+		t.Errorf("S = %d, want %d", res.S, 100*99/2)
+	}
+}
+
+func TestMannKendallNoTrendOnNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	rejections := 0
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 60)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		res, err := MannKendall(xs)
+		if err != nil {
+			t.Fatalf("MannKendall: %v", err)
+		}
+		if res.Trending(0.05) {
+			rejections++
+		}
+	}
+	// With alpha=0.05 expect ~2 false rejections in 40 trials; allow slack.
+	if rejections > 8 {
+		t.Errorf("%d/%d white-noise trials flagged as trending", rejections, trials)
+	}
+}
+
+func TestMannKendallDecreasing(t *testing.T) {
+	xs := []float64{9, 8, 7, 6, 5, 4, 3, 2, 1}
+	res, err := MannKendall(xs)
+	if err != nil {
+		t.Fatalf("MannKendall: %v", err)
+	}
+	if res.S >= 0 || res.Z >= 0 || res.Tau != -1 {
+		t.Errorf("decreasing series: %+v", res)
+	}
+}
+
+func TestMannKendallTiesAndErrors(t *testing.T) {
+	if _, err := MannKendall([]float64{1, 2}); err == nil {
+		t.Error("n<3 should fail")
+	}
+	res, err := MannKendall([]float64{1, 1, 1, 1, 1})
+	if err != nil {
+		t.Fatalf("constant series: %v", err)
+	}
+	if res.S != 0 || res.Z != 0 {
+		t.Errorf("constant series: %+v, want S=0 Z=0", res)
+	}
+	if res.Trending(0.05) {
+		t.Error("constant series flagged as trending")
+	}
+}
+
+func TestKendallTau(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if tau, err := KendallTau(xs, xs); err != nil || tau != 1 {
+		t.Errorf("KendallTau(x,x) = %v, %v; want 1", tau, err)
+	}
+	rev := []float64{4, 3, 2, 1}
+	if tau, err := KendallTau(xs, rev); err != nil || tau != -1 {
+		t.Errorf("KendallTau(x,reverse) = %v, %v; want -1", tau, err)
+	}
+	if _, err := KendallTau(xs, xs[:2]); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := KendallTau([]float64{1}, []float64{1}); err == nil {
+		t.Error("n<2 should fail")
+	}
+}
+
+func TestStdNormalCDF(t *testing.T) {
+	tests := []struct {
+		x    float64
+		want float64
+	}{
+		{x: 0, want: 0.5},
+		{x: 1.959964, want: 0.975},
+		{x: -1.959964, want: 0.025},
+	}
+	for _, tt := range tests {
+		if got := stdNormalCDF(tt.x); !almostEqual(got, tt.want, 1e-4) {
+			t.Errorf("stdNormalCDF(%v) = %v, want %v", tt.x, got, tt.want)
+		}
+	}
+}

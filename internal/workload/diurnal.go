@@ -1,0 +1,41 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// DiurnalSource models a daily load pattern: a raised sinusoid with the
+// given period (ticks per simulated day), floor (night-time intensity in
+// [0,1)) and peak 1. Combine it multiplicatively with the heavy-tailed
+// sources for realistic production shapes.
+type DiurnalSource struct {
+	period float64
+	floor  float64
+	phase  float64
+}
+
+// NewDiurnalSource validates the parameters. phase shifts the peak
+// position as a fraction of the period in [0, 1).
+func NewDiurnalSource(periodTicks int, floor, phase float64) (*DiurnalSource, error) {
+	if periodTicks < 2 {
+		return nil, fmt.Errorf("diurnal period %d: %w", periodTicks, ErrBadConfig)
+	}
+	if floor < 0 || floor >= 1 {
+		return nil, fmt.Errorf("diurnal floor %v: %w (need 0<=floor<1)", floor, ErrBadConfig)
+	}
+	if phase < 0 || phase >= 1 {
+		return nil, fmt.Errorf("diurnal phase %v: %w (need 0<=phase<1)", phase, ErrBadConfig)
+	}
+	return &DiurnalSource{period: float64(periodTicks), floor: floor, phase: phase}, nil
+}
+
+// Intensity implements Source: floor at the trough, 1 at the peak.
+func (d *DiurnalSource) Intensity(tick int) float64 {
+	angle := 2 * math.Pi * (float64(tick)/d.period - d.phase)
+	// Raised cosine in [0,1], rescaled to [floor, 1].
+	raised := 0.5 * (1 + math.Cos(angle))
+	return d.floor + (1-d.floor)*raised
+}
+
+var _ Source = (*DiurnalSource)(nil)

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDiurnalSourceShape(t *testing.T) {
+	src, err := NewDiurnalSource(86400, 0.2, 0)
+	if err != nil {
+		t.Fatalf("NewDiurnalSource: %v", err)
+	}
+	// Peak at tick 0 (phase 0), trough at half period.
+	if got := src.Intensity(0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("peak intensity = %v, want 1", got)
+	}
+	if got := src.Intensity(43200); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("trough intensity = %v, want 0.2", got)
+	}
+	// Periodicity.
+	if math.Abs(src.Intensity(100)-src.Intensity(100+86400)) > 1e-9 {
+		t.Error("not periodic")
+	}
+	// Bounded in [floor, 1].
+	for tick := 0; tick < 86400; tick += 997 {
+		v := src.Intensity(tick)
+		if v < 0.2-1e-12 || v > 1+1e-12 {
+			t.Fatalf("intensity %v out of range at %d", v, tick)
+		}
+	}
+}
+
+func TestDiurnalSourcePhaseShift(t *testing.T) {
+	src, err := NewDiurnalSource(1000, 0, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Peak moved to a quarter period.
+	if got := src.Intensity(250); math.Abs(got-1) > 1e-9 {
+		t.Errorf("shifted peak = %v at 250, want 1", got)
+	}
+}
+
+func TestDiurnalSourceValidation(t *testing.T) {
+	if _, err := NewDiurnalSource(1, 0.2, 0); err == nil {
+		t.Error("tiny period should fail")
+	}
+	if _, err := NewDiurnalSource(100, 1, 0); err == nil {
+		t.Error("floor=1 should fail")
+	}
+	if _, err := NewDiurnalSource(100, -0.1, 0); err == nil {
+		t.Error("negative floor should fail")
+	}
+	if _, err := NewDiurnalSource(100, 0.2, 1); err == nil {
+		t.Error("phase=1 should fail")
+	}
+}

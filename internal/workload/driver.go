@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"agingmf/internal/memsim"
+)
+
+// DriverConfig parameterizes the load driver.
+type DriverConfig struct {
+	// Server, when non-nil, is a long-lived (typically leaky) process
+	// spawned at start and respawned after rejuvenation.
+	Server *memsim.ProcSpec
+	// ClientRate is the mean client arrivals per tick at intensity 1.
+	ClientRate float64
+	// ClientSpec is the template for transient client processes.
+	ClientSpec memsim.ProcSpec
+	// ClientMeanLife is the mean client lifetime in ticks (Pareto tail
+	// ClientLifeAlpha gives heavy-tailed lifetimes).
+	ClientMeanLife float64
+	// ClientLifeAlpha is the Pareto tail index for lifetimes (>1).
+	ClientLifeAlpha float64
+	// CachePagesPerTick is the mean page-cache pressure per tick at
+	// intensity 1 (file I/O of the workload).
+	CachePagesPerTick float64
+	// MaxClients bounds the live transient population.
+	MaxClients int
+}
+
+// DefaultDriverConfig returns the stress-workload settings used by the
+// experiments: a leaky server plus heavy-tailed client churn.
+func DefaultDriverConfig() DriverConfig {
+	return DriverConfig{
+		Server: &memsim.ProcSpec{
+			Name:             "server",
+			BaseWorkingSet:   2048,
+			ChurnPages:       96,
+			LeakPagesPerTick: 1.2,
+			BurstOnProb:      0.02,
+			BurstOffProb:     0.15,
+			BurstMultiplier:  6,
+		},
+		ClientRate: 0.35,
+		ClientSpec: memsim.ProcSpec{
+			Name:           "client",
+			BaseWorkingSet: 160,
+			ChurnPages:     48,
+		},
+		ClientMeanLife:    90,
+		ClientLifeAlpha:   1.5,
+		CachePagesPerTick: 24,
+		MaxClients:        64,
+	}
+}
+
+func (c DriverConfig) validate() error {
+	switch {
+	case c.ClientRate < 0:
+		return fmt.Errorf("client rate %v: %w", c.ClientRate, ErrBadConfig)
+	case c.ClientMeanLife <= 0 && c.ClientRate > 0:
+		return fmt.Errorf("client mean life %v: %w", c.ClientMeanLife, ErrBadConfig)
+	case c.ClientLifeAlpha <= 1 && c.ClientRate > 0:
+		return fmt.Errorf("client life alpha %v: %w (need > 1)", c.ClientLifeAlpha, ErrBadConfig)
+	case c.CachePagesPerTick < 0:
+		return fmt.Errorf("cache pages per tick %v: %w", c.CachePagesPerTick, ErrBadConfig)
+	case c.MaxClients < 0:
+		return fmt.Errorf("max clients %d: %w", c.MaxClients, ErrBadConfig)
+	}
+	return nil
+}
+
+// Driver binds a machine to a load pattern and advances both together.
+type Driver struct {
+	cfg     DriverConfig
+	machine *memsim.Machine
+	source  Source
+	rng     *rand.Rand
+
+	serverPID int
+	deadlines map[int]int // client pid -> kill tick
+}
+
+// NewDriver creates a driver. source may be nil for constant intensity 1.
+func NewDriver(m *memsim.Machine, cfg DriverConfig, source Source, rng *rand.Rand) (*Driver, error) {
+	if m == nil {
+		return nil, fmt.Errorf("driver: nil machine: %w", ErrBadConfig)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("driver: nil rng: %w", ErrBadConfig)
+	}
+	if err := cfg.validate(); err != nil {
+		return nil, fmt.Errorf("driver: %w", err)
+	}
+	if source == nil {
+		source = ConstantSource(1)
+	}
+	d := &Driver{
+		cfg:       cfg,
+		machine:   m,
+		source:    source,
+		rng:       rng,
+		deadlines: make(map[int]int),
+	}
+	if err := d.ensureServer(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// ServerPID returns the pid of the long-lived server process (0 if none).
+func (d *Driver) ServerPID() int { return d.serverPID }
+
+// ensureServer spawns the server process if configured and not running.
+func (d *Driver) ensureServer() error {
+	if d.cfg.Server == nil {
+		return nil
+	}
+	if d.serverPID != 0 {
+		if _, err := d.machine.Process(d.serverPID); err == nil {
+			return nil
+		}
+	}
+	pid, err := d.machine.Spawn(*d.cfg.Server)
+	if err != nil {
+		return fmt.Errorf("driver: spawn server: %w", err)
+	}
+	d.serverPID = pid
+	return nil
+}
+
+// Step advances the workload and the machine by one tick and returns the
+// machine counters. A crashed machine returns memsim.ErrCrashed; callers
+// decide whether to reboot (rejuvenation policies) or stop (run-to-crash).
+func (d *Driver) Step() (memsim.Counters, error) {
+	if kind, _ := d.machine.Crashed(); kind != memsim.CrashNone {
+		return d.machine.Counters(), fmt.Errorf("driver step: %w", memsim.ErrCrashed)
+	}
+	tick := d.machine.TickCount()
+	intensity := d.source.Intensity(tick)
+	if intensity < 0 {
+		intensity = 0
+	}
+
+	// Retire clients whose lifetime expired.
+	for pid, deadline := range d.deadlines {
+		if tick >= deadline {
+			// The process may already be gone if the machine was rebooted.
+			_ = d.machine.Kill(pid)
+			delete(d.deadlines, pid)
+		}
+	}
+
+	// Heavy-tailed client arrivals (Poisson thinned by intensity).
+	arrivals := d.poisson(d.cfg.ClientRate * intensity)
+	for i := 0; i < arrivals && len(d.deadlines) < d.cfg.MaxClients; i++ {
+		pid, err := d.machine.Spawn(d.cfg.ClientSpec)
+		if err != nil {
+			return d.machine.Counters(), nil // crash absorbed into machine state
+		}
+		d.deadlines[pid] = tick + d.paretoLife()
+	}
+
+	// File I/O cache pressure.
+	if d.cfg.CachePagesPerTick > 0 {
+		d.machine.AddCachePressure(d.poisson(d.cfg.CachePagesPerTick * intensity))
+	}
+
+	return d.machine.Step()
+}
+
+// OnReboot re-arms the driver after the machine was rejuvenated: client
+// bookkeeping is cleared and the server is respawned.
+func (d *Driver) OnReboot() error {
+	d.deadlines = make(map[int]int)
+	d.serverPID = 0
+	return d.ensureServer()
+}
+
+// poisson samples a Poisson variate with the given mean (Knuth's method;
+// the means used here are small).
+func (d *Driver) poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		// Normal approximation for large means keeps this O(1).
+		v := mean + math.Sqrt(mean)*d.rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= d.rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// paretoLife samples a heavy-tailed client lifetime.
+func (d *Driver) paretoLife() int {
+	alpha := d.cfg.ClientLifeAlpha
+	xm := d.cfg.ClientMeanLife * (alpha - 1) / alpha
+	u := d.rng.Float64()
+	if u == 0 {
+		u = 1e-12
+	}
+	life := xm / math.Pow(u, 1/alpha)
+	if life < 1 {
+		life = 1
+	}
+	if life > 1e6 {
+		life = 1e6
+	}
+	return int(life)
+}

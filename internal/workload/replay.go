@@ -1,0 +1,48 @@
+package workload
+
+import (
+	"fmt"
+
+	"agingmf/internal/series"
+)
+
+// ReplaySource replays a recorded intensity series (for example a
+// normalized production load trace) tick by tick. Ticks beyond the trace
+// either wrap around (Loop=true) or hold the final value.
+type ReplaySource struct {
+	values []float64
+	loop   bool
+}
+
+// NewReplaySource builds a source from a series. Negative values are
+// clamped to zero (intensity cannot be negative); the series must contain
+// at least one sample.
+func NewReplaySource(s series.Series, loop bool) (*ReplaySource, error) {
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("replay source from %q: %w", s.Name, ErrBadConfig)
+	}
+	values := make([]float64, s.Len())
+	for i, v := range s.Values {
+		if v < 0 {
+			v = 0
+		}
+		values[i] = v
+	}
+	return &ReplaySource{values: values, loop: loop}, nil
+}
+
+// Intensity implements Source.
+func (r *ReplaySource) Intensity(tick int) float64 {
+	if tick < 0 {
+		tick = 0
+	}
+	if tick >= len(r.values) {
+		if !r.loop {
+			return r.values[len(r.values)-1]
+		}
+		tick %= len(r.values)
+	}
+	return r.values[tick]
+}
+
+var _ Source = (*ReplaySource)(nil)

@@ -1,0 +1,57 @@
+package workload
+
+import (
+	"testing"
+
+	"agingmf/internal/series"
+)
+
+func TestReplaySourceHoldAndLoop(t *testing.T) {
+	s := series.FromValues("load", []float64{1, 2, -3, 4})
+	hold, err := NewReplaySource(s, false)
+	if err != nil {
+		t.Fatalf("NewReplaySource: %v", err)
+	}
+	if got := hold.Intensity(0); got != 1 {
+		t.Errorf("Intensity(0) = %v", got)
+	}
+	if got := hold.Intensity(2); got != 0 {
+		t.Errorf("negative sample not clamped: %v", got)
+	}
+	if got := hold.Intensity(100); got != 4 {
+		t.Errorf("hold beyond trace = %v, want 4", got)
+	}
+	if got := hold.Intensity(-5); got != 1 {
+		t.Errorf("negative tick = %v, want first sample", got)
+	}
+
+	loop, err := NewReplaySource(s, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loop.Intensity(4); got != 1 {
+		t.Errorf("loop wrap = %v, want 1", got)
+	}
+	if got := loop.Intensity(5); got != 2 {
+		t.Errorf("loop wrap = %v, want 2", got)
+	}
+}
+
+func TestReplaySourceEmpty(t *testing.T) {
+	if _, err := NewReplaySource(series.FromValues("x", nil), false); err == nil {
+		t.Error("empty series should fail")
+	}
+}
+
+func TestReplaySourceCopiesInput(t *testing.T) {
+	vals := []float64{5, 6}
+	s := series.FromValues("x", vals)
+	src, err := NewReplaySource(s, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals[0] = 99
+	if got := src.Intensity(0); got != 5 {
+		t.Errorf("replay source shares caller storage: %v", got)
+	}
+}

@@ -1,0 +1,194 @@
+// Package workload drives a memsim.Machine with a synthetic load that
+// reproduces the statistical character of the stress workload used in the
+// DSN 2003 experiments: a long-lived leaky server process, a churning
+// population of short-lived client processes with heavy-tailed arrivals
+// and lifetimes, and file-I/O cache pressure. Aggregating heavy-tailed
+// ON/OFF sources is the canonical mechanism behind self-similar load
+// (Taqqu et al.), and a multiplicative-cascade envelope adds genuine
+// multifractal intensity fluctuations, so the machine's memory counters
+// carry the structure the paper's analysis measures.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"agingmf/internal/gen"
+)
+
+// ErrBadConfig reports invalid workload parameters.
+var ErrBadConfig = errors.New("workload: bad configuration")
+
+// Source modulates load intensity over time.
+type Source interface {
+	// Intensity returns a non-negative multiplier for the given tick.
+	Intensity(tick int) float64
+}
+
+// OnOffSource is a two-state source with Pareto-distributed sojourn times:
+// intensity is 1 during ON periods and 0 during OFF periods. Heavy-tailed
+// sojourns (alpha in (1,2)) are what make aggregated traffic self-similar.
+type OnOffSource struct {
+	rng       *rand.Rand
+	alpha     float64
+	meanOn    float64
+	meanOff   float64
+	on        bool
+	remaining int
+	lastTick  int
+}
+
+// NewOnOffSource creates an ON/OFF source. alpha is the Pareto tail index
+// (1 < alpha <= 2 gives long-range dependence); meanOn/meanOff are the
+// mean sojourn durations in ticks.
+func NewOnOffSource(alpha, meanOn, meanOff float64, rng *rand.Rand) (*OnOffSource, error) {
+	if alpha <= 1 || alpha > 3 {
+		return nil, fmt.Errorf("on/off alpha=%v: %w (need 1<alpha<=3)", alpha, ErrBadConfig)
+	}
+	if meanOn <= 0 || meanOff <= 0 {
+		return nil, fmt.Errorf("on/off means %v/%v: %w", meanOn, meanOff, ErrBadConfig)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("on/off: nil rng: %w", ErrBadConfig)
+	}
+	s := &OnOffSource{rng: rng, alpha: alpha, meanOn: meanOn, meanOff: meanOff, lastTick: -1}
+	s.on = rng.Intn(2) == 0
+	s.remaining = s.drawSojourn()
+	return s, nil
+}
+
+// drawSojourn samples a Pareto duration with the state's mean.
+func (s *OnOffSource) drawSojourn() int {
+	mean := s.meanOff
+	if s.on {
+		mean = s.meanOn
+	}
+	// Pareto with tail alpha and mean m: scale xm = m*(alpha-1)/alpha.
+	xm := mean * (s.alpha - 1) / s.alpha
+	u := s.rng.Float64()
+	if u == 0 {
+		u = 1e-12
+	}
+	d := xm / math.Pow(u, 1/s.alpha)
+	if d < 1 {
+		d = 1
+	}
+	if d > 1e7 {
+		d = 1e7
+	}
+	return int(d)
+}
+
+// Intensity implements Source. Ticks must be fed in non-decreasing order.
+func (s *OnOffSource) Intensity(tick int) float64 {
+	for s.lastTick < tick {
+		s.lastTick++
+		s.remaining--
+		if s.remaining <= 0 {
+			s.on = !s.on
+			s.remaining = s.drawSojourn()
+		}
+	}
+	if s.on {
+		return 1
+	}
+	return 0
+}
+
+// AggregateSource sums n independent ON/OFF sources, normalized so the
+// expected intensity is ~0.5 (the per-source ON probability with equal
+// means). Its output is the classic self-similar load process.
+type AggregateSource struct {
+	sources []*OnOffSource
+}
+
+// NewAggregateSource creates n heavy-tailed ON/OFF sources.
+func NewAggregateSource(n int, alpha, meanOn, meanOff float64, rng *rand.Rand) (*AggregateSource, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("aggregate of %d sources: %w", n, ErrBadConfig)
+	}
+	agg := &AggregateSource{sources: make([]*OnOffSource, n)}
+	for i := range agg.sources {
+		src, err := NewOnOffSource(alpha, meanOn, meanOff, rng)
+		if err != nil {
+			return nil, fmt.Errorf("aggregate source %d: %w", i, err)
+		}
+		agg.sources[i] = src
+	}
+	return agg, nil
+}
+
+// Intensity implements Source: the fraction of sources currently ON.
+func (a *AggregateSource) Intensity(tick int) float64 {
+	sum := 0.0
+	for _, s := range a.sources {
+		sum += s.Intensity(tick)
+	}
+	return sum / float64(len(a.sources))
+}
+
+// CascadeSource modulates intensity with a positive multiplicative-cascade
+// envelope, cycled periodically. It injects multifractal burstiness.
+type CascadeSource struct {
+	envelope []float64
+}
+
+// NewCascadeSource builds a cascade envelope of 2^levels ticks with
+// log-normal multiplier spread sigma, normalized to mean 1.
+func NewCascadeSource(levels int, sigma float64, rng *rand.Rand) (*CascadeSource, error) {
+	env, err := gen.LognormalCascadeNoise(levels, sigma, rng)
+	if err != nil {
+		return nil, fmt.Errorf("cascade source: %w", err)
+	}
+	// The cascade noise is signed; intensity needs a positive envelope.
+	mean := 0.0
+	for i, v := range env {
+		env[i] = math.Abs(v)
+		mean += env[i]
+	}
+	mean /= float64(len(env))
+	if mean == 0 {
+		return nil, fmt.Errorf("cascade source: degenerate envelope")
+	}
+	for i := range env {
+		env[i] /= mean
+	}
+	return &CascadeSource{envelope: env}, nil
+}
+
+// Intensity implements Source.
+func (c *CascadeSource) Intensity(tick int) float64 {
+	if tick < 0 {
+		tick = -tick
+	}
+	return c.envelope[tick%len(c.envelope)]
+}
+
+// ConstantSource is a fixed-intensity source, useful for baselines.
+type ConstantSource float64
+
+// Intensity implements Source.
+func (c ConstantSource) Intensity(int) float64 { return float64(c) }
+
+// ProductSource multiplies the intensities of its factors.
+type ProductSource []Source
+
+// Intensity implements Source.
+func (p ProductSource) Intensity(tick int) float64 {
+	out := 1.0
+	for _, s := range p {
+		out *= s.Intensity(tick)
+	}
+	return out
+}
+
+// Compile-time interface checks.
+var (
+	_ Source = (*OnOffSource)(nil)
+	_ Source = (*AggregateSource)(nil)
+	_ Source = (*CascadeSource)(nil)
+	_ Source = ConstantSource(0)
+	_ Source = ProductSource(nil)
+)

@@ -1,0 +1,350 @@
+package workload
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"agingmf/internal/memsim"
+	"agingmf/internal/stats"
+)
+
+func TestOnOffSourceBinaryAndSwitching(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src, err := NewOnOffSource(1.5, 20, 20, rng)
+	if err != nil {
+		t.Fatalf("NewOnOffSource: %v", err)
+	}
+	switches := 0
+	prev := src.Intensity(0)
+	onTicks := 0.0
+	const n = 20000
+	for i := 1; i < n; i++ {
+		v := src.Intensity(i)
+		if v != 0 && v != 1 {
+			t.Fatalf("intensity %v not binary", v)
+		}
+		if v != prev {
+			switches++
+		}
+		onTicks += v
+		prev = v
+	}
+	if switches < 10 {
+		t.Errorf("only %d state switches in %d ticks", switches, n)
+	}
+	frac := onTicks / n
+	if frac < 0.2 || frac > 0.8 {
+		t.Errorf("ON fraction = %v, want near 0.5", frac)
+	}
+}
+
+func TestOnOffSourceValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := NewOnOffSource(1.0, 10, 10, rng); err == nil {
+		t.Error("alpha=1 should fail")
+	}
+	if _, err := NewOnOffSource(1.5, 0, 10, rng); err == nil {
+		t.Error("zero meanOn should fail")
+	}
+	if _, err := NewOnOffSource(1.5, 10, 10, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+func TestAggregateSourceLongRangeDependence(t *testing.T) {
+	// Aggregated heavy-tailed ON/OFF intensity must be positively
+	// autocorrelated over long lags (slowly decaying ACF), unlike an
+	// independent Bernoulli sequence.
+	rng := rand.New(rand.NewSource(3))
+	agg, err := NewAggregateSource(32, 1.4, 50, 50, rng)
+	if err != nil {
+		t.Fatalf("NewAggregateSource: %v", err)
+	}
+	const n = 30000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = agg.Intensity(i)
+	}
+	acf, err := stats.Autocorrelation(xs, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acf[10] < 0.3 {
+		t.Errorf("ACF(10) = %v, want strong positive correlation", acf[10])
+	}
+	if acf[100] < 0.05 {
+		t.Errorf("ACF(100) = %v, want slowly decaying correlation", acf[100])
+	}
+	m := stats.Mean(xs)
+	if m < 0.25 || m > 0.75 {
+		t.Errorf("mean intensity = %v", m)
+	}
+	if _, err := NewAggregateSource(0, 1.5, 10, 10, rng); err == nil {
+		t.Error("zero sources should fail")
+	}
+}
+
+func TestCascadeSourceMeanOneAndBursty(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src, err := NewCascadeSource(12, 0.5, rng)
+	if err != nil {
+		t.Fatalf("NewCascadeSource: %v", err)
+	}
+	n := 1 << 12
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.Intensity(i)
+		if xs[i] < 0 {
+			t.Fatalf("negative intensity %v", xs[i])
+		}
+	}
+	if m := stats.Mean(xs); math.Abs(m-1) > 1e-9 {
+		t.Errorf("mean = %v, want 1", m)
+	}
+	// Bursty: heavy right tail.
+	if k := stats.Kurtosis(xs); k < 1 {
+		t.Errorf("kurtosis = %v, want bursty (>1)", k)
+	}
+	// Periodic extension must wrap, and negative ticks must not panic.
+	if src.Intensity(n) != xs[0] {
+		t.Error("intensity does not wrap periodically")
+	}
+	_ = src.Intensity(-5)
+	if _, err := NewCascadeSource(-1, 0.5, rng); err == nil {
+		t.Error("negative levels should fail")
+	}
+}
+
+func TestProductAndConstantSources(t *testing.T) {
+	p := ProductSource{ConstantSource(2), ConstantSource(3)}
+	if got := p.Intensity(0); got != 6 {
+		t.Errorf("product intensity = %v, want 6", got)
+	}
+	if got := (ProductSource{}).Intensity(5); got != 1 {
+		t.Errorf("empty product = %v, want 1", got)
+	}
+}
+
+func newMachine(t *testing.T, seed int64, mutate func(*memsim.Config)) *memsim.Machine {
+	t.Helper()
+	cfg := memsim.DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := memsim.New(cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("memsim.New: %v", err)
+	}
+	return m
+}
+
+func TestDriverSpawnsServerAndClients(t *testing.T) {
+	m := newMachine(t, 5, nil)
+	d, err := NewDriver(m, DefaultDriverConfig(), nil, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	if d.ServerPID() == 0 {
+		t.Fatal("server not spawned")
+	}
+	maxProcs := 0
+	for i := 0; i < 500; i++ {
+		c, err := d.Step()
+		if err != nil {
+			t.Fatalf("Step %d: %v", i, err)
+		}
+		if c.Processes > maxProcs {
+			maxProcs = c.Processes
+		}
+	}
+	if maxProcs < 2 {
+		t.Errorf("max processes = %d, clients never spawned", maxProcs)
+	}
+	if err := m.Invariants(); err != nil {
+		t.Errorf("invariants: %v", err)
+	}
+}
+
+func TestDriverClientPopulationBounded(t *testing.T) {
+	m := newMachine(t, 7, nil)
+	cfg := DefaultDriverConfig()
+	cfg.ClientRate = 10 // aggressive arrivals
+	cfg.MaxClients = 10
+	d, err := NewDriver(m, cfg, nil, rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	for i := 0; i < 300; i++ {
+		c, err := d.Step()
+		if err != nil {
+			break
+		}
+		if c.Processes > cfg.MaxClients+1 { // +1 for the server
+			t.Fatalf("tick %d: %d processes exceed bound", i, c.Processes)
+		}
+	}
+}
+
+func TestDriverRunToCrash(t *testing.T) {
+	// On a small machine the default leaky workload must crash within a
+	// bounded horizon, producing the run-to-failure trace of E2.
+	m := newMachine(t, 9, func(c *memsim.Config) {
+		c.RAMPages = 8192
+		c.SwapPages = 16384
+		c.LowWatermark = 256
+	})
+	d, err := NewDriver(m, DefaultDriverConfig(), nil, rand.New(rand.NewSource(10)))
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	crashed := false
+	for i := 0; i < 30000; i++ {
+		if _, err := d.Step(); err != nil {
+			crashed = true
+			break
+		}
+		if kind, _ := m.Crashed(); kind != memsim.CrashNone {
+			crashed = true
+			break
+		}
+	}
+	if !crashed {
+		t.Fatal("workload did not crash the machine within 30000 ticks")
+	}
+	kind, tick := m.Crashed()
+	if kind == memsim.CrashNone {
+		t.Fatal("crash kind none")
+	}
+	if tick < 100 {
+		t.Errorf("crash at tick %d: too fast to be an aging failure", tick)
+	}
+}
+
+func TestDriverRebootRecovery(t *testing.T) {
+	m := newMachine(t, 11, func(c *memsim.Config) {
+		c.RAMPages = 8192
+		c.SwapPages = 8192
+		c.LowWatermark = 256
+	})
+	d, err := NewDriver(m, DefaultDriverConfig(), nil, rand.New(rand.NewSource(12)))
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	for {
+		if _, err := d.Step(); err != nil {
+			break
+		}
+	}
+	m.Reboot()
+	if err := d.OnReboot(); err != nil {
+		t.Fatalf("OnReboot: %v", err)
+	}
+	if d.ServerPID() == 0 {
+		t.Fatal("server not respawned after reboot")
+	}
+	for i := 0; i < 100; i++ {
+		if _, err := d.Step(); err != nil {
+			t.Fatalf("Step after reboot failed at %d: %v", i, err)
+		}
+	}
+}
+
+func TestDriverValidation(t *testing.T) {
+	m := newMachine(t, 13, nil)
+	rng := rand.New(rand.NewSource(14))
+	if _, err := NewDriver(nil, DefaultDriverConfig(), nil, rng); err == nil {
+		t.Error("nil machine should fail")
+	}
+	if _, err := NewDriver(m, DefaultDriverConfig(), nil, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	bad := DefaultDriverConfig()
+	bad.ClientRate = -1
+	if _, err := NewDriver(m, bad, nil, rng); err == nil {
+		t.Error("negative rate should fail")
+	}
+	bad = DefaultDriverConfig()
+	bad.ClientLifeAlpha = 1
+	if _, err := NewDriver(m, bad, nil, rng); err == nil {
+		t.Error("alpha=1 should fail")
+	}
+	bad = DefaultDriverConfig()
+	bad.CachePagesPerTick = -2
+	if _, err := NewDriver(m, bad, nil, rng); err == nil {
+		t.Error("negative cache pressure should fail")
+	}
+}
+
+func TestDriverStepOnCrashedMachine(t *testing.T) {
+	m := newMachine(t, 15, func(c *memsim.Config) {
+		c.RAMPages = 1024
+		c.SwapPages = 512
+		c.LowWatermark = 32
+	})
+	cfg := DefaultDriverConfig()
+	cfg.Server.BaseWorkingSet = 512
+	cfg.Server.LeakPagesPerTick = 50
+	d, err := NewDriver(m, cfg, nil, rand.New(rand.NewSource(16)))
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := d.Step(); err != nil {
+			break
+		}
+	}
+	if _, err := d.Step(); !errors.Is(err, memsim.ErrCrashed) {
+		t.Errorf("Step on crashed machine = %v, want ErrCrashed", err)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	m := newMachine(t, 17, nil)
+	d, err := NewDriver(m, DriverConfig{}, nil, rand.New(rand.NewSource(18)))
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	for _, mean := range []float64{0.5, 3, 50} {
+		sum := 0
+		const trials = 4000
+		for i := 0; i < trials; i++ {
+			sum += d.poisson(mean)
+		}
+		got := float64(sum) / trials
+		if math.Abs(got-mean) > 0.15*mean+0.1 {
+			t.Errorf("poisson(%v) sample mean = %v", mean, got)
+		}
+	}
+	if d.poisson(0) != 0 || d.poisson(-1) != 0 {
+		t.Error("non-positive mean must give 0")
+	}
+}
+
+func TestParetoLifeHeavyTail(t *testing.T) {
+	m := newMachine(t, 19, nil)
+	cfg := DefaultDriverConfig()
+	d, err := NewDriver(m, cfg, nil, rand.New(rand.NewSource(20)))
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	lives := make([]float64, 20000)
+	for i := range lives {
+		lives[i] = float64(d.paretoLife())
+	}
+	med, err := stats.Median(lives)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := stats.Mean(lives)
+	// Heavy tail: mean well above median.
+	if mean < 1.3*med {
+		t.Errorf("mean %v vs median %v: tail not heavy", mean, med)
+	}
+	for _, l := range lives {
+		if l < 1 {
+			t.Fatal("lifetime below 1 tick")
+		}
+	}
+}
