@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench experiments experiments-quick fmt vet clean
+.PHONY: all build test race cover bench check experiments experiments-quick fmt vet clean
 
 all: build test
 
@@ -20,6 +20,11 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Fast pre-commit gate: vet plus the race detector on the packages with
+# lock-free/concurrent code (telemetry, monitor, fleet).
+check: vet
+	$(GO) test -race ./internal/obs/... ./internal/aging/... ./internal/collector/...
 
 # Regenerate every reconstructed table/figure (writes to stdout; see
 # EXPERIMENTS.md for the archived reference run).

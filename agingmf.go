@@ -13,6 +13,7 @@ import (
 	"agingmf/internal/holder"
 	"agingmf/internal/memsim"
 	"agingmf/internal/multifractal"
+	"agingmf/internal/obs"
 	"agingmf/internal/rejuv"
 	"agingmf/internal/series"
 	"agingmf/internal/stats"
@@ -357,6 +358,54 @@ var (
 	DefaultRejuvenEval      = rejuv.DefaultEvalConfig
 	OptimalPeriodicInterval = rejuv.OptimalPeriodicInterval
 	DefaultCostModel        = rejuv.DefaultCostModel
+)
+
+// Telemetry: metrics registry, exposition/HTTP serving, and structured
+// JSONL events. Instrumentation hooks (Monitor.Instrument,
+// DualMonitor.Instrument, Machine.Instrument, FleetConfig.Obs/Events) are
+// all nil-safe: passing a nil registry or emitter keeps the hot paths at
+// zero overhead, so telemetry is strictly opt-in.
+type (
+	// Registry is a set of metric families (counters, gauges, histograms)
+	// with Prometheus text exposition.
+	Registry = obs.Registry
+	// MetricCounter is a monotonically increasing metric.
+	MetricCounter = obs.Counter
+	// MetricGauge is an arbitrary float metric.
+	MetricGauge = obs.Gauge
+	// MetricHistogram is a fixed-bucket distribution metric.
+	MetricHistogram = obs.Histogram
+	// Events emits structured JSONL event records.
+	Events = obs.Events
+	// EventFields carries the payload of one event.
+	EventFields = obs.Fields
+	// EventLevel grades event severity.
+	EventLevel = obs.Level
+	// ObsHandlerConfig parameterizes NewObsHandler.
+	ObsHandlerConfig = obs.HandlerConfig
+)
+
+// Event severity levels.
+const (
+	LevelDebug = obs.LevelDebug
+	LevelInfo  = obs.LevelInfo
+	LevelWarn  = obs.LevelWarn
+	LevelError = obs.LevelError
+)
+
+// Telemetry constructors.
+var (
+	// NewRegistry creates an empty metrics registry.
+	NewRegistry = obs.NewRegistry
+	// NewEvents creates a JSONL event emitter.
+	NewEvents = obs.NewEvents
+	// NewObsHandler serves a registry over HTTP: /metrics, /healthz and
+	// (opt-in) /debug/pprof.
+	NewObsHandler = obs.NewHandler
+	// ExponentialBuckets builds geometric histogram bounds.
+	ExponentialBuckets = obs.ExponentialBuckets
+	// LinearBuckets builds arithmetic histogram bounds.
+	LinearBuckets = obs.LinearBuckets
 )
 
 // NewRand returns a deterministic random source for use with the

@@ -89,6 +89,36 @@ func BenchmarkMonitorAdd(b *testing.B) {
 	}
 }
 
+// benchMonitorAdd feeds a pre-synthesised fBm series to a fresh monitor.
+func benchMonitorAdd(b *testing.B, reg *agingmf.Registry) {
+	b.Helper()
+	mon, err := agingmf.NewMonitor(agingmf.DefaultMonitorConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	mon.Instrument(reg)
+	xs, err := agingmf.FBM(1<<16, 0.6, agingmf.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mon.Add(xs[i%len(xs)])
+	}
+}
+
+// BenchmarkMonitorAddUninstrumented is Add with no registry attached: the
+// telemetry guard must keep this within noise (<2%) of the pre-telemetry
+// BenchmarkMonitorAdd baseline.
+func BenchmarkMonitorAddUninstrumented(b *testing.B) { benchMonitorAdd(b, nil) }
+
+// BenchmarkMonitorAddInstrumented is Add with live counters, gauges and
+// the latency histogram — the price of turning telemetry on.
+func BenchmarkMonitorAddInstrumented(b *testing.B) {
+	benchMonitorAdd(b, agingmf.NewRegistry())
+}
+
 // BenchmarkMachineStep measures one simulator tick under a mixed process
 // population.
 func BenchmarkMachineStep(b *testing.B) {

@@ -13,20 +13,32 @@
 //	  sleep 1
 //	done | agingmon -stdin
 //
+// The monitor pipeline is itself observable: -metrics-addr serves a
+// Prometheus /metrics endpoint (plus /healthz and, with -pprof,
+// net/http/pprof) while the run is live, and -events appends structured
+// JSONL records (jump, phase_change, crash, fault_injection, ...) to a
+// file, "-" meaning stdout.
+//
 // Usage:
 //
 //	agingmon [-seed N] [-ram-mib N] [-swap-mib N] [-leak PAGES]
-//	         [-max-ticks N] [-history-limit N] [-stdin]
+//	         [-max-ticks N] [-history-limit N] [-sim | -stdin]
+//	         [-state FILE] [-metrics-addr HOST:PORT] [-pprof]
+//	         [-events FILE] [-tick-every DURATION]
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"agingmf"
 )
@@ -38,35 +50,102 @@ func main() {
 	}
 }
 
+// telemetry bundles the optional observability wiring of one run.
+type telemetry struct {
+	reg    *agingmf.Registry
+	events *agingmf.Events
+
+	srv        *http.Server
+	eventsFile *os.File
+}
+
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("agingmon", flag.ContinueOnError)
 	var (
-		seed      = fs.Int64("seed", 1, "random seed")
-		ramMiB    = fs.Int("ram-mib", 64, "physical memory in MiB")
-		swapMiB   = fs.Int("swap-mib", 24, "swap space in MiB")
-		leak      = fs.Float64("leak", 3.5, "server leak rate in pages/tick")
-		maxTicks  = fs.Int("max-ticks", 60000, "simulation horizon in ticks")
-		limit     = fs.Int("history-limit", 4096, "monitor history bound (0 = unlimited)")
-		fromStdin = fs.Bool("stdin", false, `read "free_bytes,swap_bytes" samples from stdin instead of simulating`)
-		stateFile = fs.String("state", "", "restore monitor state from this file at start, save on exit")
+		seed        = fs.Int64("seed", 1, "random seed")
+		ramMiB      = fs.Int("ram-mib", 64, "physical memory in MiB")
+		swapMiB     = fs.Int("swap-mib", 24, "swap space in MiB")
+		leak        = fs.Float64("leak", 3.5, "server leak rate in pages/tick")
+		maxTicks    = fs.Int("max-ticks", 60000, "simulation horizon in ticks")
+		limit       = fs.Int("history-limit", 4096, "monitor history bound (0 = unlimited)")
+		simMode     = fs.Bool("sim", true, "monitor the built-in simulated machine (the default; -stdin overrides)")
+		fromStdin   = fs.Bool("stdin", false, `read "free_bytes,swap_bytes" samples from stdin instead of simulating`)
+		stateFile   = fs.String("state", "", "restore monitor state from this file at start, save on exit")
+		metricsAddr = fs.String("metrics-addr", "", "serve /metrics and /healthz on this address while running (e.g. :9177; empty disables)")
+		pprofFlag   = fs.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ (needs -metrics-addr)")
+		eventsPath  = fs.String("events", "", `append structured JSONL events to this file ("-" = stdout, empty disables)`)
+		tickEvery   = fs.Duration("tick-every", 0, "pace simulation ticks in wall time (0 = as fast as possible)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	_ = *simMode // sim is the default mode; the flag exists to state it explicitly
+
+	tel, err := setupTelemetry(*metricsAddr, *pprofFlag, *eventsPath, stdout)
+	if err != nil {
+		return err
+	}
+	defer tel.shutdown()
 
 	mon, err := loadOrNewMonitor(*stateFile, *limit, stdout)
 	if err != nil {
 		return err
 	}
+	mon.Instrument(tel.reg)
+
 	if *fromStdin {
-		err = monitorStream(stdin, stdout, mon)
+		err = monitorStream(stdin, stdout, mon, tel.events)
 	} else {
-		err = monitorSimulation(stdout, mon, *seed, *ramMiB, *swapMiB, *leak, *maxTicks)
+		err = monitorSimulation(stdout, mon, tel, *seed, *ramMiB, *swapMiB, *leak, *maxTicks, *tickEvery)
 	}
-	if err != nil {
-		return err
+	// The monitor state is saved on every exit path — including the
+	// interrupt/error ones — so a malformed sample or a failed run does
+	// not silently discard hours of warmup. Both failures are reported;
+	// either alone makes the exit non-zero.
+	return errors.Join(err, saveMonitor(*stateFile, mon), tel.events.Err())
+}
+
+// setupTelemetry opens the event sink and starts the metrics listener.
+func setupTelemetry(metricsAddr string, enablePprof bool, eventsPath string, stdout io.Writer) (*telemetry, error) {
+	tel := &telemetry{}
+	switch eventsPath {
+	case "":
+	case "-":
+		tel.events = agingmf.NewEvents(os.Stdout, agingmf.LevelInfo)
+	default:
+		f, err := os.OpenFile(eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("open events file: %w", err)
+		}
+		tel.eventsFile = f
+		tel.events = agingmf.NewEvents(f, agingmf.LevelInfo)
 	}
-	return saveMonitor(*stateFile, mon)
+	if metricsAddr != "" {
+		tel.reg = agingmf.NewRegistry()
+		ln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			tel.shutdown()
+			return nil, fmt.Errorf("metrics listener: %w", err)
+		}
+		tel.srv = &http.Server{Handler: agingmf.NewObsHandler(tel.reg, agingmf.ObsHandlerConfig{
+			EnablePprof: enablePprof,
+		})}
+		go func() { _ = tel.srv.Serve(ln) }()
+		fmt.Fprintf(stdout, "metrics: http://%s/metrics\n", ln.Addr())
+	}
+	return tel, nil
+}
+
+// shutdown stops the metrics server and closes the event sink.
+func (tel *telemetry) shutdown() {
+	if tel.srv != nil {
+		_ = tel.srv.Close()
+		tel.srv = nil
+	}
+	if tel.eventsFile != nil {
+		_ = tel.eventsFile.Close()
+		tel.eventsFile = nil
+	}
 }
 
 // loadOrNewMonitor restores the monitor from stateFile if it exists, or
@@ -90,7 +169,7 @@ func loadOrNewMonitor(stateFile string, limit int, stdout io.Writer) (*agingmf.D
 
 // saveMonitor persists the monitor when a state file is configured.
 func saveMonitor(stateFile string, mon *agingmf.DualMonitor) error {
-	if stateFile == "" {
+	if stateFile == "" || mon == nil {
 		return nil
 	}
 	blob, err := mon.SaveState()
@@ -103,12 +182,36 @@ func saveMonitor(stateFile string, mon *agingmf.DualMonitor) error {
 	return nil
 }
 
+// reportJump prints one jump and mirrors it into the event stream.
+func reportJump(stdout io.Writer, ev *agingmf.Events, clock string, at int, j agingmf.DualJump) {
+	fmt.Fprintf(stdout, "%s %6d  jump on %v (volatility %.4f, score %.2f)\n",
+		clock, at, j.Counter, j.Jump.Volatility, j.Jump.Score)
+	ev.Warn("jump", agingmf.EventFields{
+		"counter":    j.Counter.String(),
+		"sample":     j.Jump.SampleIndex,
+		"volatility": j.Jump.Volatility,
+		"score":      j.Jump.Score,
+	})
+}
+
+// reportPhase prints a phase transition and mirrors it into the event
+// stream. It returns the new phase.
+func reportPhase(stdout io.Writer, ev *agingmf.Events, clock string, at int, from, to agingmf.Phase, extra string) agingmf.Phase {
+	fmt.Fprintf(stdout, "%s %6d  phase: %v -> %v%s\n", clock, at, from, to, extra)
+	ev.Warn("phase_change", agingmf.EventFields{
+		"sample": at,
+		"from":   from.String(),
+		"to":     to.String(),
+	})
+	return to
+}
+
 // monitorStream feeds counter samples from a CSV-ish stream into the
 // monitor, printing events as they fire. Blank lines and lines starting
 // with '#' are skipped.
-func monitorStream(stdin io.Reader, stdout io.Writer, mon *agingmf.DualMonitor) error {
+func monitorStream(stdin io.Reader, stdout io.Writer, mon *agingmf.DualMonitor, ev *agingmf.Events) error {
 	scanner := bufio.NewScanner(stdin)
-	lastPhase := agingmf.PhaseHealthy
+	lastPhase := mon.Phase()
 	sample := 0
 	for scanner.Scan() {
 		line := strings.TrimSpace(scanner.Text())
@@ -128,12 +231,10 @@ func monitorStream(stdin io.Reader, stdout io.Writer, mon *agingmf.DualMonitor) 
 			return fmt.Errorf("sample %d: swap: %w", sample, err)
 		}
 		for _, j := range mon.Add(free, swap) {
-			fmt.Fprintf(stdout, "sample %6d  jump on %v (volatility %.4f, score %.2f)\n",
-				sample, j.Counter, j.Jump.Volatility, j.Jump.Score)
+			reportJump(stdout, ev, "sample", sample, j)
 		}
 		if phase := mon.Phase(); phase != lastPhase {
-			fmt.Fprintf(stdout, "sample %6d  phase: %v -> %v\n", sample, lastPhase, phase)
-			lastPhase = phase
+			lastPhase = reportPhase(stdout, ev, "sample", sample, lastPhase, phase, "")
 		}
 		sample++
 	}
@@ -146,7 +247,7 @@ func monitorStream(stdin io.Reader, stdout io.Writer, mon *agingmf.DualMonitor) 
 }
 
 // monitorSimulation runs the built-in simulated machine under stress.
-func monitorSimulation(stdout io.Writer, mon *agingmf.DualMonitor, seed int64, ramMiB, swapMiB int, leak float64, maxTicks int) error {
+func monitorSimulation(stdout io.Writer, mon *agingmf.DualMonitor, tel *telemetry, seed int64, ramMiB, swapMiB int, leak float64, maxTicks int, tickEvery time.Duration) error {
 	mcfg := agingmf.DefaultMachineConfig()
 	mcfg.RAMPages = ramMiB << 20 / mcfg.PageSize
 	mcfg.SwapPages = swapMiB << 20 / mcfg.PageSize
@@ -154,6 +255,7 @@ func monitorSimulation(stdout io.Writer, mon *agingmf.DualMonitor, seed int64, r
 	if err != nil {
 		return err
 	}
+	machine.Instrument(tel.reg, tel.events)
 	wcfg := agingmf.DefaultWorkload()
 	wcfg.Server.LeakPagesPerTick = leak
 	driver, err := agingmf.NewDriver(machine, wcfg, nil, agingmf.NewRand(seed+1))
@@ -163,10 +265,11 @@ func monitorSimulation(stdout io.Writer, mon *agingmf.DualMonitor, seed int64, r
 
 	fmt.Fprintf(stdout, "machine: %d MiB RAM, %d MiB swap, leak %.2f pages/tick, seed %d\n",
 		ramMiB, swapMiB, leak, seed)
-	lastPhase := agingmf.PhaseHealthy
+	lastPhase := mon.Phase()
 	for tick := 0; tick < maxTicks; tick++ {
 		counters, err := driver.Step()
 		if kind, at := machine.Crashed(); kind != agingmf.CrashNone {
+			// The machine emits the structured crash event itself.
 			fmt.Fprintf(stdout, "tick %6d  CRASH (%v)\n", at, kind)
 			break
 		}
@@ -174,15 +277,15 @@ func monitorSimulation(stdout io.Writer, mon *agingmf.DualMonitor, seed int64, r
 			return err
 		}
 		for _, j := range mon.Add(counters.FreeMemoryBytes, counters.UsedSwapBytes) {
-			fmt.Fprintf(stdout, "tick %6d  jump on %v (volatility %.4f, score %.2f)\n",
-				tick, j.Counter, j.Jump.Volatility, j.Jump.Score)
+			reportJump(stdout, tel.events, "tick", tick, j)
 		}
-		phase := mon.Phase()
-		if phase != lastPhase {
-			fmt.Fprintf(stdout, "tick %6d  phase: %v -> %v (free %.1f MiB, swap %.1f MiB)\n",
-				tick, lastPhase, phase,
+		if phase := mon.Phase(); phase != lastPhase {
+			extra := fmt.Sprintf(" (free %.1f MiB, swap %.1f MiB)",
 				counters.FreeMemoryBytes/(1<<20), counters.UsedSwapBytes/(1<<20))
-			lastPhase = phase
+			lastPhase = reportPhase(stdout, tel.events, "tick", tick, lastPhase, phase, extra)
+		}
+		if tickEvery > 0 {
+			time.Sleep(tickEvery)
 		}
 	}
 	fmt.Fprintf(stdout, "final phase: %v (%d jumps across both counters)\n",

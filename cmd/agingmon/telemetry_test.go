@@ -1,0 +1,185 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read run()'s output while run() is still
+// writing it from another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var metricsURLPattern = regexp.MustCompile(`metrics: (http://\S+)/metrics`)
+
+// scrape fetches one page off the run's metrics server.
+func scrape(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body)
+}
+
+// sampleValue extracts the value of an exposition line by exact series
+// prefix ("name" or `name{label="v"}`).
+func sampleValue(t *testing.T, exposition, series string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("series %s not in exposition:\n%s", series, exposition)
+	return 0
+}
+
+func TestRunServesLiveMetrics(t *testing.T) {
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-sim", "-seed", "1", "-max-ticks", "3000",
+			"-tick-every", "1ms", "-metrics-addr", "127.0.0.1:0",
+		}, nil, out)
+	}()
+	var base string
+	for i := 0; i < 500 && base == ""; i++ {
+		if m := metricsURLPattern.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if base == "" {
+		t.Fatalf("bound metrics address never printed:\n%s", out.String())
+	}
+	first := scrape(t, base+"/metrics")
+	for _, want := range []string{
+		"agingmf_machine_free_pages",
+		"agingmf_monitor_volatility",
+		`agingmf_monitor_samples_total{counter="free-memory"}`,
+		`agingmf_monitor_jumps_total{`,
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if got := scrape(t, base+"/healthz"); got != "ok\n" {
+		t.Errorf("healthz = %q, want ok", got)
+	}
+	// Gauges and counters must move while the run is live.
+	n1 := sampleValue(t, first, `agingmf_monitor_samples_total{counter="free-memory"}`)
+	time.Sleep(200 * time.Millisecond)
+	second := scrape(t, base+"/metrics")
+	n2 := sampleValue(t, second, `agingmf_monitor_samples_total{counter="free-memory"}`)
+	if n2 <= n1 {
+		t.Errorf("samples_total did not advance during the run: %v -> %v", n1, n2)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunEmitsEventJSONL(t *testing.T) {
+	evPath := t.TempDir() + "/events.jsonl"
+	var out bytes.Buffer
+	if err := run([]string{"-seed", "1", "-max-ticks", "20000", "-events", evPath}, nil, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(evPath)
+	if err != nil {
+		t.Fatalf("read events: %v", err)
+	}
+	types := map[string]int{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("event line not JSON: %q: %v", line, err)
+		}
+		for _, key := range []string{"ts", "level", "event"} {
+			if _, ok := rec[key].(string); !ok {
+				t.Fatalf("event missing %q: %q", key, line)
+			}
+		}
+		types[rec["event"].(string)]++
+	}
+	for _, want := range []string{"jump", "phase_change", "crash"} {
+		if types[want] == 0 {
+			t.Errorf("no %q event in stream (saw %v)", want, types)
+		}
+	}
+}
+
+func TestRunSaveFailureReported(t *testing.T) {
+	// The state path is a directory: restore skips it, but the save at
+	// exit must fail loudly instead of dropping the state on the floor.
+	var out bytes.Buffer
+	err := run([]string{"-stdin", "-state", t.TempDir()}, strings.NewReader("1000,0\n"), &out)
+	if err == nil || !strings.Contains(err.Error(), "save state") {
+		t.Errorf("unwritable state path not reported, got: %v", err)
+	}
+}
+
+func TestRunStateSavedOnStreamError(t *testing.T) {
+	// A malformed sample aborts the stream, but everything ingested
+	// before it must still be persisted.
+	state := t.TempDir() + "/mon.state"
+	var out bytes.Buffer
+	err := run([]string{"-stdin", "-state", state},
+		strings.NewReader("1000,0\n2000,0\nnot-a-sample\n"), &out)
+	if err == nil {
+		t.Fatal("malformed sample should fail the run")
+	}
+	var out2 bytes.Buffer
+	if err := run([]string{"-stdin", "-state", state}, strings.NewReader(""), &out2); err != nil {
+		t.Fatalf("restore run: %v", err)
+	}
+	if !strings.Contains(out2.String(), "restored monitor state: 2 samples") {
+		t.Errorf("pre-error samples lost:\n%s", out2.String())
+	}
+}
+
+func TestRunEventsOpenFailure(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-events", t.TempDir() + "/no/such/dir/e.jsonl", "-max-ticks", "10"}, nil, &out)
+	if err == nil || !strings.Contains(err.Error(), "open events file") {
+		t.Errorf("unopenable events path not reported, got: %v", err)
+	}
+}

@@ -4,9 +4,14 @@
 // selects one, -quick shrinks the campaigns for a fast pass, -format
 // switches between text, markdown and csv output.
 //
+// With -events each experiment's start and completion is appended as a
+// JSONL record to a file ("-" = stdout) — campaign progress tracking for
+// long full-scale regenerations.
+//
 // Usage:
 //
-//	experiments [-run E5] [-seed N] [-quick] [-list] [-format text|markdown|csv]
+//	experiments [-run E5] [-seed N] [-quick] [-list] [-events FILE]
+//	            [-format text|markdown|csv]
 package main
 
 import (
@@ -14,9 +19,27 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"agingmf/internal/experiment"
+	"agingmf/internal/obs"
 )
+
+// openEvents builds the optional JSONL event sink; the returned closer
+// is always safe to call.
+func openEvents(path string) (*obs.Events, func(), error) {
+	switch path {
+	case "":
+		return nil, func() {}, nil
+	case "-":
+		return obs.NewEvents(os.Stdout, obs.LevelInfo), func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, func() {}, fmt.Errorf("open events file: %w", err)
+	}
+	return obs.NewEvents(f, obs.LevelInfo), func() { f.Close() }, nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -33,10 +56,16 @@ func run(args []string, stdout io.Writer) error {
 		quick  = fs.Bool("quick", false, "small campaigns for a fast pass")
 		list   = fs.Bool("list", false, "list experiments and exit")
 		format = fs.String("format", "text", "output format: text, markdown or csv")
+		evPath = fs.String("events", "", `append JSONL progress events to this file ("-" = stdout, empty disables)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ev, closeEvents, err := openEvents(*evPath)
+	if err != nil {
+		return err
+	}
+	defer closeEvents()
 	if *list {
 		for _, e := range experiment.All() {
 			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
@@ -68,13 +97,24 @@ func run(args []string, stdout io.Writer) error {
 		if *format == "text" {
 			fmt.Fprintf(stdout, "\n######## %s — %s ########\n", e.ID, e.Title)
 		}
+		ev.Info("experiment_start", obs.Fields{
+			"id": e.ID, "title": e.Title, "seed": *seed, "quick": *quick,
+		})
+		start := time.Now()
 		rep, err := e.Run(cfg)
 		if err != nil {
+			ev.Error("experiment_done", obs.Fields{
+				"id": e.ID, "elapsed_ms": time.Since(start).Milliseconds(),
+				"error": err.Error(),
+			})
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		ev.Info("experiment_done", obs.Fields{
+			"id": e.ID, "elapsed_ms": time.Since(start).Milliseconds(),
+		})
 		if err := render(rep); err != nil {
 			return err
 		}
 	}
-	return nil
+	return ev.Err()
 }

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -44,5 +47,39 @@ func TestRunBadFlags(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-wat"}, &out); err == nil {
 		t.Error("unknown flag should fail")
+	}
+}
+
+func TestRunEventsJSONL(t *testing.T) {
+	evPath := filepath.Join(t.TempDir(), "events.jsonl")
+	var out bytes.Buffer
+	if err := run([]string{"-run", "E1", "-quick", "-events", evPath}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(evPath)
+	if err != nil {
+		t.Fatalf("read events: %v", err)
+	}
+	var starts, dones int
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("event line not JSON: %q: %v", line, err)
+		}
+		switch rec["event"] {
+		case "experiment_start":
+			starts++
+			if rec["id"] != "E1" {
+				t.Errorf("experiment_start id = %v, want E1", rec["id"])
+			}
+		case "experiment_done":
+			dones++
+			if _, ok := rec["elapsed_ms"].(float64); !ok {
+				t.Errorf("experiment_done missing elapsed_ms: %v", rec)
+			}
+		}
+	}
+	if starts != 1 || dones != 1 {
+		t.Errorf("events: %d starts, %d dones, want 1/1", starts, dones)
 	}
 }

@@ -3,10 +3,14 @@
 // workload and writes the sampled memory counters as CSV (the input
 // format of mfanalyze).
 //
+// With -events the rig appends structured JSONL progress records
+// (run_start, crash, run_done, ...) to a file, "-" meaning stdout —
+// handy when a fleet of stressgen invocations runs under a supervisor.
+//
 // Usage:
 //
 //	stressgen [-seed N] [-ram-mib N] [-swap-mib N] [-leak PAGES]
-//	          [-max-ticks N] [-sample-every N] [-out FILE]
+//	          [-max-ticks N] [-sample-every N] [-out FILE] [-events FILE]
 package main
 
 import (
@@ -17,6 +21,22 @@ import (
 
 	"agingmf"
 )
+
+// openEvents builds the optional JSONL event sink; the returned closer
+// is always safe to call.
+func openEvents(path string) (*agingmf.Events, func(), error) {
+	switch path {
+	case "":
+		return nil, func() {}, nil
+	case "-":
+		return agingmf.NewEvents(os.Stdout, agingmf.LevelInfo), func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, func() {}, fmt.Errorf("open events file: %w", err)
+	}
+	return agingmf.NewEvents(f, agingmf.LevelInfo), func() { f.Close() }, nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -35,10 +55,21 @@ func run(args []string, stdout io.Writer) error {
 		maxTicks = fs.Int("max-ticks", 60000, "simulation horizon in ticks")
 		every    = fs.Int("sample-every", 1, "sample the counters every N ticks")
 		out      = fs.String("out", "", "output CSV file (default stdout)")
+		evPath   = fs.String("events", "", `append JSONL progress events to this file ("-" = stdout, empty disables)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	ev, closeEvents, err := openEvents(*evPath)
+	if err != nil {
+		return err
+	}
+	defer closeEvents()
+	ev.Info("run_start", agingmf.EventFields{
+		"seed": *seed, "ram_mib": *ramMiB, "swap_mib": *swapMiB,
+		"leak": *leak, "max_ticks": *maxTicks,
+	})
 
 	mcfg := agingmf.DefaultMachineConfig()
 	mcfg.RAMPages = *ramMiB << 20 / mcfg.PageSize
@@ -47,6 +78,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	machine.Instrument(nil, ev)
 	wcfg := agingmf.DefaultWorkload()
 	wcfg.Server.LeakPagesPerTick = *leak
 	driver, err := agingmf.NewDriver(machine, wcfg, nil, agingmf.NewRand(*seed+1))
@@ -76,5 +108,11 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(os.Stderr, "stressgen: %d samples, crash=%v at tick %d\n",
 		trace.Len(), trace.Crash, trace.CrashTick())
-	return nil
+	ev.Info("run_done", agingmf.EventFields{
+		"seed":       *seed,
+		"samples":    trace.Len(),
+		"crash":      trace.Crash.String(),
+		"crash_tick": trace.CrashTick(),
+	})
+	return ev.Err()
 }

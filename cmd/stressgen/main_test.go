@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -73,5 +74,41 @@ func TestRunBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-sample-every", "0", "-max-ticks", "10"}, &buf); err == nil {
 		t.Error("zero sampling interval should fail")
+	}
+}
+
+func TestRunEventsJSONL(t *testing.T) {
+	evPath := filepath.Join(t.TempDir(), "events.jsonl")
+	var buf bytes.Buffer
+	// A big leak on a small machine crashes within the horizon, so the
+	// stream carries run_start, crash and run_done.
+	if err := run([]string{"-seed", "1", "-ram-mib", "8", "-swap-mib", "4",
+		"-leak", "64", "-max-ticks", "60000", "-events", evPath}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	data, err := os.ReadFile(evPath)
+	if err != nil {
+		t.Fatalf("read events: %v", err)
+	}
+	types := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("event line not JSON: %q: %v", line, err)
+		}
+		types[rec["event"].(string)] = true
+	}
+	for _, want := range []string{"run_start", "crash", "run_done"} {
+		if !types[want] {
+			t.Errorf("no %q event (saw %v)", want, types)
+		}
+	}
+}
+
+func TestRunEventsOpenFailure(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-events", t.TempDir() + "/no/such/e.jsonl", "-max-ticks", "10"}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "open events file") {
+		t.Errorf("unopenable events path not reported, got: %v", err)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"agingmf/internal/changepoint"
 	"agingmf/internal/series"
@@ -260,6 +261,8 @@ type Monitor struct {
 	logR     []float64 // cached log radii ladder
 	rs       []int     // cached radii
 	trackers []*slidingExtrema
+
+	met *monitorMetrics // telemetry; nil (zero overhead) unless Instrument-ed
 }
 
 // NewMonitor creates a Monitor with the given configuration.
@@ -297,6 +300,17 @@ func (m *Monitor) Lag() int { return m.cfg.MaxRadius }
 // Add consumes one counter sample. It returns a Jump and true when this
 // sample completes evidence of a volatility jump.
 func (m *Monitor) Add(x float64) (Jump, bool) {
+	if m.met == nil {
+		return m.addSample(x)
+	}
+	start := time.Now()
+	j, fired := m.addSample(x)
+	m.observeAdd(start, fired)
+	return j, fired
+}
+
+// addSample is the un-instrumented Add pipeline.
+func (m *Monitor) addSample(x float64) (Jump, bool) {
 	m.raw = append(m.raw, x)
 	idx := m.seen
 	m.seen++
@@ -501,14 +515,21 @@ func (m *Monitor) trimHistory() {
 	if limit == 0 {
 		return
 	}
+	trimmed := false
 	if keep := max(limit, 2*m.cfg.MaxRadius+1); len(m.raw) > 2*keep {
 		m.raw = append(m.raw[:0], m.raw[len(m.raw)-keep:]...)
+		trimmed = true
 	}
 	if keep := max(limit, m.cfg.VolatilityWindow+1); len(m.alphas) > 2*keep {
 		m.alphas = append(m.alphas[:0], m.alphas[len(m.alphas)-keep:]...)
+		trimmed = true
 	}
 	if len(m.vols) > 2*limit {
 		m.vols = append(m.vols[:0], m.vols[len(m.vols)-limit:]...)
+		trimmed = true
+	}
+	if trimmed && m.met != nil {
+		m.met.trims.Inc()
 	}
 	// Oscillations for centers below the next evaluation point are never
 	// read again.

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"time"
 
 	"agingmf/internal/memsim"
+	"agingmf/internal/obs"
 	"agingmf/internal/workload"
 )
 
@@ -23,6 +25,12 @@ type FleetConfig struct {
 	Seeds []int64
 	// Workers bounds concurrency (0 selects 4).
 	Workers int
+	// Obs receives fleet telemetry: runs started/completed/failed
+	// counters and a per-run duration histogram. Nil disables.
+	Obs *obs.Registry
+	// Events receives per-run progress events (fleet_run_start /
+	// fleet_run_done). Nil disables.
+	Events *obs.Events
 }
 
 // FleetRun is one completed run of a fleet.
@@ -31,6 +39,36 @@ type FleetRun struct {
 	Seed int64
 	// Trace is the recorded counter trace.
 	Trace Trace
+}
+
+// fleetMetrics holds the run-lifecycle instruments of one RunFleet call;
+// families are shared across calls on the same registry.
+type fleetMetrics struct {
+	started   *obs.Counter
+	completed *obs.Counter
+	failed    *obs.Counter
+	duration  *obs.Histogram
+}
+
+// fleetDurationBuckets spans quick-mode runs (a few ms) to full
+// run-to-crash campaigns (tens of seconds).
+var fleetDurationBuckets = []float64{
+	0.001, 0.01, 0.1, 0.5, 1, 5, 15, 60, 300,
+}
+
+// newFleetMetrics registers the fleet families; nil registry → nil
+// instruments (all no-ops).
+func newFleetMetrics(reg *obs.Registry) fleetMetrics {
+	return fleetMetrics{
+		started: reg.Counter("agingmf_fleet_runs_started_total",
+			"Fleet runs started."),
+		completed: reg.Counter("agingmf_fleet_runs_completed_total",
+			"Fleet runs completed successfully."),
+		failed: reg.Counter("agingmf_fleet_runs_failed_total",
+			"Fleet runs aborted by an error."),
+		duration: reg.Histogram("agingmf_fleet_run_duration_seconds",
+			"Wall-clock duration of one fleet run.", fleetDurationBuckets),
+	}
 }
 
 // RunFleet executes every seeded run concurrently (bounded by Workers)
@@ -50,6 +88,7 @@ func RunFleet(cfg FleetConfig) ([]FleetRun, error) {
 	if workers > len(cfg.Seeds) {
 		workers = len(cfg.Seeds)
 	}
+	met := newFleetMetrics(cfg.Obs)
 	runs := make([]FleetRun, len(cfg.Seeds))
 	errs := make([]error, len(cfg.Seeds))
 	var wg sync.WaitGroup
@@ -59,7 +98,28 @@ func RunFleet(cfg FleetConfig) ([]FleetRun, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				runs[i], errs[i] = runFleetOne(cfg, cfg.Seeds[i])
+				seed := cfg.Seeds[i]
+				met.started.Inc()
+				cfg.Events.Info("fleet_run_start", obs.Fields{"seed": seed, "run": i})
+				start := time.Now()
+				runs[i], errs[i] = runFleetOne(cfg, seed)
+				elapsed := time.Since(start)
+				met.duration.Observe(elapsed.Seconds())
+				fields := obs.Fields{
+					"seed":       seed,
+					"run":        i,
+					"elapsed_ms": elapsed.Milliseconds(),
+				}
+				if errs[i] != nil {
+					met.failed.Inc()
+					fields["error"] = errs[i].Error()
+					cfg.Events.Error("fleet_run_done", fields)
+					continue
+				}
+				met.completed.Inc()
+				fields["samples"] = runs[i].Trace.Len()
+				fields["crash"] = runs[i].Trace.Crash.String()
+				cfg.Events.Info("fleet_run_done", fields)
 			}
 		}()
 	}

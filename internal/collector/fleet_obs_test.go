@@ -1,0 +1,89 @@
+package collector
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"agingmf/internal/obs"
+)
+
+func TestRunFleetTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	var events bytes.Buffer
+	cfg := fleetConfig(1, 2, 3)
+	cfg.Obs = reg
+	cfg.Events = obs.NewEvents(&events, obs.LevelInfo)
+	if _, err := RunFleet(cfg); err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"agingmf_fleet_runs_started_total 3",
+		"agingmf_fleet_runs_completed_total 3",
+		"agingmf_fleet_runs_failed_total 0",
+		"agingmf_fleet_run_duration_seconds_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	starts, dones := 0, 0
+	for _, line := range strings.Split(strings.TrimSpace(events.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("event line not JSON: %q", line)
+		}
+		switch rec["event"] {
+		case "fleet_run_start":
+			starts++
+		case "fleet_run_done":
+			dones++
+			if rec["crash"] == nil || rec["samples"] == nil {
+				t.Errorf("fleet_run_done missing crash/samples: %v", rec)
+			}
+		}
+	}
+	if starts != 3 || dones != 3 {
+		t.Errorf("events: %d starts, %d dones, want 3/3", starts, dones)
+	}
+}
+
+func TestRunFleetFailureCountsFailed(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := fleetConfig(1)
+	cfg.Collect.MaxTicks = 0 // invalid: every run fails
+	cfg.Obs = reg
+	if _, err := RunFleet(cfg); err == nil {
+		t.Fatal("invalid collect config should fail the fleet")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "agingmf_fleet_runs_failed_total 1") {
+		t.Errorf("failed counter not incremented:\n%s", buf.String())
+	}
+}
+
+func TestRunFleetNilTelemetryUnchanged(t *testing.T) {
+	// Obs/Events default to nil; the fleet must behave identically.
+	a, err := RunFleet(fleetConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fleetConfig(9)
+	cfg.Obs = obs.NewRegistry()
+	b, err := RunFleet(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a[0].Trace.Len() != b[0].Trace.Len() || a[0].Trace.CrashTick() != b[0].Trace.CrashTick() {
+		t.Error("instrumented fleet produced a different trace")
+	}
+}

@@ -1,6 +1,10 @@
 package memsim
 
-import "fmt"
+import (
+	"fmt"
+
+	"agingmf/internal/obs"
+)
 
 // InjectLeakBurst makes the process immediately allocate-and-leak the
 // given number of pages — a Mandelbug-style sudden leak used by the
@@ -22,6 +26,7 @@ func (m *Machine) InjectLeakBurst(pid, pages int) error {
 		return fmt.Errorf("inject leak burst of %d pages: %w", pages, ErrCrashed)
 	}
 	p.leaked += pages
+	m.noteInjection("leak-burst", obs.Fields{"pid": pid, "pages": pages})
 	return nil
 }
 
@@ -49,6 +54,7 @@ func (m *Machine) InjectFragmentation(pages int) (int, error) {
 	}
 	m.frag += pages
 	m.freeRAM -= pages
+	m.noteInjection("fragmentation", obs.Fields{"pages": pages})
 	return pages, nil
 }
 
@@ -64,5 +70,6 @@ func (m *Machine) SetLeakRate(pid int, pagesPerTick float64) error {
 		return fmt.Errorf("set leak rate on %d: %w", pid, ErrNoSuchProcess)
 	}
 	p.spec.LeakPagesPerTick = pagesPerTick
+	m.noteInjection("leak-rate", obs.Fields{"pid": pid, "pages_per_tick": pagesPerTick})
 	return nil
 }

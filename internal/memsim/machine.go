@@ -19,6 +19,8 @@ import (
 	"fmt"
 	"math/rand"
 	"time"
+
+	"agingmf/internal/obs"
 )
 
 // Common errors.
@@ -168,6 +170,9 @@ type Machine struct {
 	crash     CrashKind
 	crashTick int
 	reboots   int
+
+	met *machineMetrics // telemetry; nil (zero overhead) unless Instrument-ed
+	ev  *obs.Events     // event stream; nil-safe
 }
 
 // New creates a machine with the given configuration and deterministic
@@ -236,6 +241,11 @@ func (m *Machine) Reboot() {
 	m.crash = CrashNone
 	m.crashTick = 0
 	m.reboots++
+	if m.met != nil {
+		m.met.reboots.Inc()
+		m.updateGauges()
+	}
+	m.ev.Info("reboot", obs.Fields{"tick": m.tick, "reboots": m.reboots})
 }
 
 // Spawn adds a process to the machine and returns its pid. The base
@@ -334,6 +344,12 @@ func (m *Machine) AddCachePressure(pages int) {
 func (m *Machine) Step() (Counters, error) {
 	if m.crash != CrashNone {
 		return m.Counters(), fmt.Errorf("step: %w", ErrCrashed)
+	}
+	if m.met != nil {
+		defer func() {
+			m.met.ticks.Inc()
+			m.updateGauges()
+		}()
 	}
 	m.tick++
 	m.swapTraffic = 0
@@ -567,6 +583,7 @@ func (m *Machine) declareCrash(kind CrashKind) {
 	if m.crash == CrashNone {
 		m.crash = kind
 		m.crashTick = m.tick
+		m.noteCrash(kind)
 	}
 }
 

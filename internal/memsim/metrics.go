@@ -1,0 +1,112 @@
+package memsim
+
+import (
+	"agingmf/internal/obs"
+)
+
+// Machine telemetry: resource gauges mirror Counters after every Step (and
+// Reboot), crash/reboot counters accumulate lifecycle transitions, and the
+// event stream records crashes, reboots and fault injections as structured
+// JSONL. Everything is opt-in — an un-instrumented machine pays a single
+// nil check per tick.
+
+// Machine metric families.
+const (
+	metricFreePages       = "agingmf_machine_free_pages"
+	metricUsedSwapPages   = "agingmf_machine_used_swap_pages"
+	metricCachePages      = "agingmf_machine_cache_pages"
+	metricFragPages       = "agingmf_machine_fragmented_pages"
+	metricSwapTraffic     = "agingmf_machine_swap_traffic_pages"
+	metricProcesses       = "agingmf_machine_processes"
+	metricTicks           = "agingmf_machine_ticks_total"
+	metricCrashes         = "agingmf_machine_crashes_total"
+	metricReboots         = "agingmf_machine_reboots_total"
+	metricFaultInjections = "agingmf_machine_fault_injections_total"
+)
+
+// machineMetrics holds one machine's instruments.
+type machineMetrics struct {
+	freePages   *obs.Gauge
+	usedSwap    *obs.Gauge
+	cache       *obs.Gauge
+	frag        *obs.Gauge
+	swapTraffic *obs.Gauge
+	processes   *obs.Gauge
+	ticks       *obs.Counter
+	crashes     *obs.CounterVec
+	reboots     *obs.Counter
+	injections  *obs.CounterVec
+}
+
+// Instrument attaches the machine to a telemetry registry and/or event
+// emitter; either may be nil independently (nil+nil detaches both). Call
+// before the simulation loop so gauges cover the whole run.
+func (m *Machine) Instrument(reg *obs.Registry, ev *obs.Events) {
+	m.ev = ev
+	if reg == nil {
+		m.met = nil
+		return
+	}
+	m.met = &machineMetrics{
+		freePages: reg.Gauge(metricFreePages,
+			"Unallocated, unfragmented physical memory in pages."),
+		usedSwap: reg.Gauge(metricUsedSwapPages,
+			"Occupied swap space in pages."),
+		cache: reg.Gauge(metricCachePages,
+			"Page-cache size in pages."),
+		frag: reg.Gauge(metricFragPages,
+			"RAM pages permanently lost to fragmentation (until reboot)."),
+		swapTraffic: reg.Gauge(metricSwapTraffic,
+			"Swap in+out traffic during the last tick, in pages."),
+		processes: reg.Gauge(metricProcesses,
+			"Live simulated processes."),
+		ticks: reg.Counter(metricTicks,
+			"Simulation ticks executed."),
+		crashes: reg.CounterVec(metricCrashes,
+			"Machine crashes by kind.", "kind"),
+		reboots: reg.Counter(metricReboots,
+			"Rejuvenation reboots performed."),
+		injections: reg.CounterVec(metricFaultInjections,
+			"Fault injections applied, by fault kind.", "kind"),
+	}
+	m.updateGauges()
+}
+
+// updateGauges mirrors the observable counters into the gauges; the
+// caller guarantees m.met != nil.
+func (m *Machine) updateGauges() {
+	m.met.freePages.Set(float64(m.freeRAM))
+	m.met.usedSwap.Set(float64(m.usedSwap))
+	m.met.cache.Set(float64(m.cache))
+	m.met.frag.Set(float64(m.frag))
+	m.met.swapTraffic.Set(float64(m.swapTraffic))
+	m.met.processes.Set(float64(len(m.procs)))
+}
+
+// noteCrash records the crash in metrics and the event stream. Called
+// exactly once per crash (declareCrash guards re-entry).
+func (m *Machine) noteCrash(kind CrashKind) {
+	if m.met != nil {
+		m.met.crashes.With(kind.String()).Inc()
+		m.updateGauges()
+	}
+	m.ev.Warn("crash", obs.Fields{
+		"kind":       kind.String(),
+		"tick":       m.tick,
+		"free_pages": m.freeRAM,
+		"used_swap":  m.usedSwap,
+	})
+}
+
+// noteInjection records a fault injection in metrics and events.
+func (m *Machine) noteInjection(kind string, fields obs.Fields) {
+	if m.met != nil {
+		m.met.injections.With(kind).Inc()
+	}
+	if fields == nil {
+		fields = obs.Fields{}
+	}
+	fields["kind"] = kind
+	fields["tick"] = m.tick
+	m.ev.Info("fault_injection", fields)
+}

@@ -1,0 +1,201 @@
+package memsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"agingmf/internal/obs"
+)
+
+func newMetricsMachine(t *testing.T, cfg Config) *Machine {
+	t.Helper()
+	m, err := New(cfg, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMachineGaugesTrackCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newMetricsMachine(t, DefaultConfig())
+	m.Instrument(reg, nil)
+	if _, err := m.Spawn(ProcSpec{Name: "leaky", BaseWorkingSet: 512, ChurnPages: 64, LeakPagesPerTick: 4}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if _, err := m.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := m.Counters()
+	checks := []struct {
+		name string
+		want float64
+	}{
+		{metricFreePages, c.FreeMemoryBytes / float64(m.cfg.PageSize)},
+		{metricUsedSwapPages, c.UsedSwapBytes / float64(m.cfg.PageSize)},
+		{metricCachePages, float64(c.CachePages)},
+		{metricFragPages, float64(c.FragmentedPages)},
+		{metricSwapTraffic, float64(c.SwapTrafficPages)},
+		{metricProcesses, float64(c.Processes)},
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, chk := range checks {
+		g := findGauge(t, reg, chk.name)
+		if g != chk.want {
+			t.Errorf("%s = %v, want %v", chk.name, g, chk.want)
+		}
+	}
+	if !strings.Contains(buf.String(), "agingmf_machine_ticks_total 200") {
+		t.Errorf("tick counter missing or wrong:\n%s", buf.String())
+	}
+}
+
+// findGauge reads an unlabeled sample value out of the text exposition.
+func findGauge(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			v, err := strconv.ParseFloat(rest, 64)
+			if err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("gauge %s not in exposition", name)
+	return 0
+}
+
+func TestMachineCrashCounterAndEvent(t *testing.T) {
+	reg := obs.NewRegistry()
+	var events bytes.Buffer
+	cfg := DefaultConfig()
+	cfg.RAMPages = 2048
+	cfg.SwapPages = 512
+	cfg.LowWatermark = 64
+	m := newMetricsMachine(t, cfg)
+	m.Instrument(reg, obs.NewEvents(&events, obs.LevelInfo))
+	if _, err := m.Spawn(ProcSpec{Name: "hog", BaseWorkingSet: 128, ChurnPages: 16, LeakPagesPerTick: 64}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if _, err := m.Step(); err != nil {
+			break
+		}
+		if kind, _ := m.Crashed(); kind != CrashNone {
+			break
+		}
+	}
+	kind, _ := m.Crashed()
+	if kind == CrashNone {
+		t.Fatal("machine never crashed under a 64 pages/tick leak")
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `agingmf_machine_crashes_total{kind="` + kind.String() + `"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("exposition missing %q:\n%s", want, buf.String())
+	}
+	var crashSeen bool
+	for _, line := range strings.Split(strings.TrimSpace(events.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("event line not JSON: %q", line)
+		}
+		if rec["event"] == "crash" {
+			crashSeen = true
+			if rec["kind"] != kind.String() {
+				t.Errorf("crash event kind = %v, want %v", rec["kind"], kind)
+			}
+		}
+	}
+	if !crashSeen {
+		t.Errorf("no crash event emitted:\n%s", events.String())
+	}
+}
+
+func TestMachineInjectionEvents(t *testing.T) {
+	reg := obs.NewRegistry()
+	var events bytes.Buffer
+	m := newMetricsMachine(t, DefaultConfig())
+	m.Instrument(reg, obs.NewEvents(&events, obs.LevelInfo))
+	pid, err := m.Spawn(ProcSpec{Name: "victim", BaseWorkingSet: 64, ChurnPages: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.InjectLeakBurst(pid, 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.InjectFragmentation(50); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetLeakRate(pid, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	m.Reboot()
+	kinds := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(events.String()), "\n") {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("event line not JSON: %q", line)
+		}
+		if rec["event"] == "fault_injection" {
+			kinds[rec["kind"].(string)] = true
+		}
+		if rec["event"] == "reboot" && rec["reboots"] != float64(1) {
+			t.Errorf("reboot event wrong: %v", rec)
+		}
+	}
+	for _, want := range []string{"leak-burst", "fragmentation", "leak-rate"} {
+		if !kinds[want] {
+			t.Errorf("no %s injection event:\n%s", want, events.String())
+		}
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`agingmf_machine_fault_injections_total{kind="leak-burst"} 1`,
+		`agingmf_machine_reboots_total 1`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestMachineUninstrumentedUnaffected(t *testing.T) {
+	a := newMetricsMachine(t, DefaultConfig())
+	b := newMetricsMachine(t, DefaultConfig())
+	b.Instrument(obs.NewRegistry(), obs.NewEvents(&bytes.Buffer{}, obs.LevelInfo))
+	spec := ProcSpec{Name: "p", BaseWorkingSet: 256, ChurnPages: 32, LeakPagesPerTick: 1}
+	if _, err := a.Spawn(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Spawn(spec); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		ca, errA := a.Step()
+		cb, errB := b.Step()
+		if (errA == nil) != (errB == nil) || ca != cb {
+			t.Fatalf("tick %d: instrumented machine diverged: %+v vs %+v", i, ca, cb)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Level grades event severity.
+type Level int
+
+// Severity levels, in increasing order.
+const (
+	LevelDebug Level = iota - 1
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("level(%d)", int(l))
+	}
+}
+
+// Fields carries the payload of one event.
+type Fields map[string]any
+
+// Events emits structured events as JSON Lines: one object per line with
+// reserved keys "ts" (RFC 3339 with nanoseconds), "level" and "event",
+// followed by the caller's fields in sorted key order (deterministic
+// output for tests and diffing). Emission is serialized by a mutex, so one
+// emitter can be shared across goroutines. All methods are no-ops on a
+// nil receiver — library code emits unconditionally and users opt in.
+type Events struct {
+	mu   sync.Mutex
+	w    io.Writer
+	min  Level
+	now  func() time.Time
+	err  error
+	seen uint64
+}
+
+// NewEvents creates an emitter writing to w, dropping events below min.
+func NewEvents(w io.Writer, min Level) *Events {
+	return &Events{w: w, min: min, now: time.Now}
+}
+
+// WithClock replaces the timestamp source (tests) and returns e.
+func (e *Events) WithClock(now func() time.Time) *Events {
+	if e == nil || now == nil {
+		return e
+	}
+	e.mu.Lock()
+	e.now = now
+	e.mu.Unlock()
+	return e
+}
+
+// Emit writes one event. Fields named "ts", "level" or "event" are
+// dropped (the reserved keys win). Write errors are remembered and
+// reported by Err; subsequent emissions are still attempted.
+func (e *Events) Emit(level Level, event string, fields Fields) {
+	if e == nil || level < e.min {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	buf := make([]byte, 0, 128)
+	buf = append(buf, `{"ts":`...)
+	buf = appendJSON(buf, e.now().Format(time.RFC3339Nano))
+	buf = append(buf, `,"level":`...)
+	buf = appendJSON(buf, level.String())
+	buf = append(buf, `,"event":`...)
+	buf = appendJSON(buf, event)
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		if k == "ts" || k == "level" || k == "event" {
+			continue
+		}
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		buf = append(buf, ',')
+		buf = appendJSON(buf, k)
+		buf = append(buf, ':')
+		buf = appendJSON(buf, fields[k])
+	}
+	buf = append(buf, '}', '\n')
+	if _, err := e.w.Write(buf); err != nil && e.err == nil {
+		e.err = fmt.Errorf("obs: emit event: %w", err)
+	}
+	e.seen++
+}
+
+// Debug emits at LevelDebug.
+func (e *Events) Debug(event string, fields Fields) { e.Emit(LevelDebug, event, fields) }
+
+// Info emits at LevelInfo.
+func (e *Events) Info(event string, fields Fields) { e.Emit(LevelInfo, event, fields) }
+
+// Warn emits at LevelWarn.
+func (e *Events) Warn(event string, fields Fields) { e.Emit(LevelWarn, event, fields) }
+
+// Error emits at LevelError.
+func (e *Events) Error(event string, fields Fields) { e.Emit(LevelError, event, fields) }
+
+// Err returns the first write error encountered, if any — check it when
+// the event stream matters (e.g. before a clean process exit).
+func (e *Events) Err() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Emitted returns how many events passed the level filter.
+func (e *Events) Emitted() uint64 {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seen
+}
+
+// appendJSON marshals v and appends it; unmarshalable values degrade to a
+// quoted fmt representation rather than corrupting the line.
+func appendJSON(buf []byte, v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		b, _ = json.Marshal(fmt.Sprint(v))
+	}
+	return append(buf, b...)
+}

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func fixedClock() func() time.Time {
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Second)
+	}
+}
+
+func TestEventsJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	ev := NewEvents(&buf, LevelInfo).WithClock(fixedClock())
+	ev.Info("jump", Fields{"counter": "free-memory", "volatility": 0.25, "sample": 1200})
+	ev.Warn("crash", Fields{"kind": "oom"})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	for k, want := range map[string]any{
+		"ts":         "2026-08-05T12:00:01Z",
+		"level":      "info",
+		"event":      "jump",
+		"counter":    "free-memory",
+		"volatility": 0.25,
+		"sample":     float64(1200),
+	} {
+		if got := first[k]; got != want {
+			t.Errorf("line 1 %s = %v, want %v", k, got, want)
+		}
+	}
+	if !strings.Contains(lines[1], `"level":"warn"`) || !strings.Contains(lines[1], `"event":"crash"`) {
+		t.Errorf("line 2 wrong: %s", lines[1])
+	}
+	if ev.Emitted() != 2 {
+		t.Errorf("emitted = %d, want 2", ev.Emitted())
+	}
+}
+
+func TestEventsDeterministicFieldOrder(t *testing.T) {
+	var a, b bytes.Buffer
+	f := Fields{"zeta": 1, "alpha": 2, "mid": 3}
+	NewEvents(&a, LevelInfo).WithClock(fixedClock()).Info("e", f)
+	NewEvents(&b, LevelInfo).WithClock(fixedClock()).Info("e", f)
+	if a.String() != b.String() {
+		t.Errorf("same event serialized differently:\n%s\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), `"alpha":2,"mid":3,"zeta":1`) {
+		t.Errorf("fields not sorted: %s", a.String())
+	}
+}
+
+func TestEventsLevelFilter(t *testing.T) {
+	var buf bytes.Buffer
+	ev := NewEvents(&buf, LevelWarn)
+	ev.Debug("d", nil)
+	ev.Info("i", nil)
+	ev.Warn("w", nil)
+	ev.Error("e", nil)
+	if got := ev.Emitted(); got != 2 {
+		t.Errorf("emitted = %d, want 2 (warn+error)", got)
+	}
+	if strings.Contains(buf.String(), `"event":"i"`) {
+		t.Error("info event leaked through warn filter")
+	}
+}
+
+func TestEventsReservedKeysDropped(t *testing.T) {
+	var buf bytes.Buffer
+	NewEvents(&buf, LevelInfo).WithClock(fixedClock()).
+		Info("real", Fields{"event": "fake", "ts": "fake", "level": "fake"})
+	var rec map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec["event"] != "real" || rec["level"] != "info" {
+		t.Errorf("reserved keys overridden: %v", rec)
+	}
+}
+
+type failWriter struct{ err error }
+
+func (w failWriter) Write(p []byte) (int, error) { return 0, w.err }
+
+func TestEventsWriteErrorRemembered(t *testing.T) {
+	boom := errors.New("disk full")
+	ev := NewEvents(failWriter{boom}, LevelInfo)
+	ev.Info("x", nil)
+	if !errors.Is(ev.Err(), boom) {
+		t.Errorf("Err() = %v, want wrapped %v", ev.Err(), boom)
+	}
+}
+
+func TestEventsConcurrentEmitKeepsLinesWhole(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	ev := NewEvents(w, LevelInfo)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				ev.Info("tick", Fields{"g": g, "i": i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for i, l := range lines {
+		if !json.Valid([]byte(l)) {
+			t.Fatalf("line %d is not valid JSON: %q", i+1, l)
+		}
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

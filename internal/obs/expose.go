@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText writes every registered family in the Prometheus text
+// exposition format (version 0.0.4): a # HELP line, a # TYPE line, then
+// one sample line per child, families sorted by name and children by
+// label values. Histograms expose cumulative _bucket series plus _sum and
+// _count. A nil registry writes nothing.
+//
+// Values are read with atomic loads but not snapshotted as a set, so a
+// scrape concurrent with updates may observe a histogram whose _count is
+// momentarily ahead of its buckets — the standard Prometheus trade-off
+// for lock-free hot paths.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshot() {
+		f.mu.Lock()
+		keys := f.sortedChildKeys()
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.name, f.kind)
+		for _, key := range keys {
+			writeChild(bw, f, f.labels[key], f.children[key])
+		}
+		f.mu.Unlock()
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("obs: write exposition: %w", err)
+	}
+	return nil
+}
+
+// writeChild emits the sample line(s) of one instrument.
+func writeChild(w io.Writer, f *family, labelValues []string, child any) {
+	base := labelSet(f.labelNames, labelValues)
+	switch c := child.(type) {
+	case *Counter:
+		fmt.Fprintf(w, "%s%s %d\n", f.name, braced(base), c.Value())
+	case *Gauge:
+		fmt.Fprintf(w, "%s%s %s\n", f.name, braced(base), formatFloat(c.Value()))
+	case *Histogram:
+		counts := c.BucketCounts()
+		leNames := append(append([]string{}, f.labelNames...), "le")
+		leValues := append(append([]string{}, labelValues...), "")
+		var cum uint64
+		for i, upper := range c.upper {
+			cum += counts[i]
+			leValues[len(leValues)-1] = formatFloat(upper)
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, braced(labelSet(leNames, leValues)), cum)
+		}
+		cum += counts[len(counts)-1]
+		leValues[len(leValues)-1] = "+Inf"
+		fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, braced(labelSet(leNames, leValues)), cum)
+		fmt.Fprintf(w, "%s_sum%s %s\n", f.name, braced(base), formatFloat(c.Sum()))
+		fmt.Fprintf(w, "%s_count%s %d\n", f.name, braced(base), c.Count())
+	}
+}
+
+// labelSet renders `name="value"` pairs, escaped, comma-joined.
+func labelSet(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = n + `="` + escapeLabelValue(values[i]) + `"`
+	}
+	return strings.Join(parts, ",")
+}
+
+// braced wraps a non-empty label set in braces.
+func braced(set string) string {
+	if set == "" {
+		return ""
+	}
+	return "{" + set + "}"
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabelValue escapes backslash, double quote and newline.
+func escapeLabelValue(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

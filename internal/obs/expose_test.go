@@ -1,0 +1,196 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds the fixed registry behind the exposition golden
+// file: one family of each type, labels with every escape-worthy byte.
+func goldenRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("agingmf_demo_events_total", "Events handled.").Add(42)
+	rv := reg.CounterVec("agingmf_demo_requests_total", "Requests by method and path.", "method", "path")
+	rv.With("get", `quoted"slashed\and`+"\nnewlined").Add(3)
+	rv.With("post", "/metrics").Inc()
+	reg.Gauge("agingmf_demo_temperature_celsius", "Current temperature.").Set(36.6)
+	h := reg.Histogram("agingmf_demo_latency_seconds",
+		"Latency with a \\ backslash and a\nnewline in the help.",
+		[]float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.004, 0.05, 3} {
+		h.Observe(v)
+	}
+	return reg
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to regenerate): %v", err)
+	}
+	gotLines := strings.Split(buf.String(), "\n")
+	wantLines := strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Errorf("line %d:\n got: %q\nwant: %q", i+1, g, w)
+		}
+	}
+}
+
+// TestExpositionInvariants parses the exposition line by line and checks
+// the structural rules a Prometheus scraper relies on: HELP precedes TYPE
+// precedes samples for every family, sample names belong to the family,
+// histogram buckets are cumulative with the +Inf bucket equal to _count.
+func TestExpositionInvariants(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		family     string
+		typ        string
+		sawType    bool
+		lastCum    uint64
+		sawInf     bool
+		count      uint64
+		prevFamily = ""
+	)
+	checkHistogramClosed := func() {
+		if typ == "histogram" && family != "" {
+			if !sawInf {
+				t.Errorf("family %s: no +Inf bucket", family)
+			}
+			if lastCum != count {
+				t.Errorf("family %s: +Inf cumulative %d != _count %d", family, lastCum, count)
+			}
+		}
+	}
+	for n, line := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			checkHistogramClosed()
+			fields := strings.SplitN(line[len("# HELP "):], " ", 2)
+			if fields[0] <= prevFamily {
+				t.Errorf("line %d: family %q not sorted after %q", n+1, fields[0], prevFamily)
+			}
+			prevFamily = fields[0]
+			family, sawType, lastCum, sawInf, count = fields[0], false, 0, false, 0
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(line[len("# TYPE "):])
+			if len(fields) != 2 || fields[0] != family {
+				t.Errorf("line %d: TYPE %q does not follow HELP for %q", n+1, line, family)
+			}
+			typ = fields[1]
+			sawType = true
+		default:
+			if !sawType {
+				t.Fatalf("line %d: sample before TYPE: %q", n+1, line)
+			}
+			name := line
+			if i := strings.IndexAny(line, "{ "); i >= 0 {
+				name = line[:i]
+			}
+			base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name,
+				"_bucket"), "_sum"), "_count")
+			if typ == "histogram" {
+				if base != family {
+					t.Errorf("line %d: sample %q outside family %q", n+1, name, family)
+				}
+			} else if name != family {
+				t.Errorf("line %d: sample %q outside family %q", n+1, name, family)
+			}
+			value := line[strings.LastIndex(line, " ")+1:]
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				cum, err := strconv.ParseUint(value, 10, 64)
+				if err != nil {
+					t.Fatalf("line %d: bucket value %q: %v", n+1, value, err)
+				}
+				if cum < lastCum {
+					t.Errorf("line %d: bucket not cumulative: %d < %d", n+1, cum, lastCum)
+				}
+				lastCum = cum
+				if strings.Contains(line, `le="+Inf"`) {
+					sawInf = true
+				}
+			case strings.HasSuffix(name, "_count"):
+				c, err := strconv.ParseUint(value, 10, 64)
+				if err != nil {
+					t.Fatalf("line %d: count %q: %v", n+1, value, err)
+				}
+				count = c
+			default:
+				if _, err := strconv.ParseFloat(value, 64); err != nil {
+					t.Errorf("line %d: unparseable value %q", n+1, value)
+				}
+			}
+		}
+	}
+	checkHistogramClosed()
+}
+
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.CounterVec("esc_total", "h", "v").With("a\\b\"c\nd").Inc()
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{v="a\\b\"c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("escaped sample %q not found in:\n%s", want, buf.String())
+	}
+	if strings.Count(buf.String(), "\n") != 3 {
+		t.Errorf("raw newline leaked into exposition:\n%q", buf.String())
+	}
+}
+
+func TestHelpEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("help_total", "line one\nline \\ two").Inc()
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP help_total line one\nline \\ two`
+	if !strings.Contains(buf.String(), want) {
+		t.Errorf("escaped help %q not found in:\n%s", want, buf.String())
+	}
+}
+
+func ExampleRegistry_WriteText() {
+	reg := NewRegistry()
+	reg.CounterVec("requests_total", "Requests served.", "code").With("200").Add(7)
+	var buf bytes.Buffer
+	_ = reg.WriteText(&buf)
+	fmt.Print(buf.String())
+	// Output:
+	// # HELP requests_total Requests served.
+	// # TYPE requests_total counter
+	// requests_total{code="200"} 7
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestHistogramConservationConcurrent is the property test required by the
+// telemetry subsystem: however the observations are valued and however
+// they interleave across goroutines, every one lands in exactly one
+// bucket — sum(buckets) == count == number of Observe calls — and the sum
+// matches a sequential reference.
+func TestHistogramConservationConcurrent(t *testing.T) {
+	prop := func(values []float64, workers uint8) bool {
+		g := int(workers%7) + 1
+		h := newHistogram([]float64{-1, 0, 0.5, 1, 10})
+		var wg sync.WaitGroup
+		for w := 0; w < g; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(values); i += g {
+					v := values[i]
+					if math.IsNaN(v) {
+						v = 0 // NaN has no defined bucket; normalize
+					}
+					h.Observe(v)
+				}
+			}(w)
+		}
+		wg.Wait()
+		var total uint64
+		for _, c := range h.BucketCounts() {
+			total += c
+		}
+		return total == uint64(len(values)) && h.Count() == uint64(len(values))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHistogramSequentialMatchesReference checks bucket placement against
+// a direct scan for arbitrary values and bucket ladders.
+func TestHistogramSequentialMatchesReference(t *testing.T) {
+	prop := func(values []float64) bool {
+		upper := []float64{-2, -0.5, 0, 3, 7}
+		h := newHistogram(upper)
+		ref := make([]uint64, len(upper)+1)
+		for _, v := range values {
+			if math.IsNaN(v) {
+				v = 0
+			}
+			h.Observe(v)
+			i := 0
+			for i < len(upper) && v > upper[i] {
+				i++
+			}
+			ref[i]++
+		}
+		got := h.BucketCounts()
+		for i := range ref {
+			if got[i] != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	g := &Gauge{}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8000 {
+		t.Errorf("gauge = %v, want 8000 (lost CAS update?)", got)
+	}
+}

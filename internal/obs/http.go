@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// HandlerConfig parameterizes NewHandler.
+type HandlerConfig struct {
+	// EnablePprof additionally serves net/http/pprof under /debug/pprof/.
+	// Off by default: profiling endpoints expose internals and cost CPU,
+	// so they are strictly opt-in.
+	EnablePprof bool
+	// Health, when non-nil, is consulted by /healthz: a non-nil error
+	// turns the response into 503 with the error text. Nil means always
+	// healthy.
+	Health func() error
+}
+
+// NewHandler returns an http.Handler serving the registry:
+//
+//	/metrics  Prometheus text exposition of reg
+//	/healthz  200 "ok" (or 503 when cfg.Health reports an error)
+//	/debug/pprof/...  (only when cfg.EnablePprof)
+//
+// A nil registry serves an empty exposition, so wiring is unconditional.
+func NewHandler(reg *Registry, cfg HandlerConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if cfg.Health != nil {
+			if err := cfg.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	if cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

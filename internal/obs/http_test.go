@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestHandlerMetricsAndHealth(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total", "help").Add(3)
+	srv := httptest.NewServer(NewHandler(reg, HandlerConfig{}))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	if !strings.Contains(body, "up_total 3") {
+		t.Errorf("/metrics missing sample:\n%s", body)
+	}
+	code, body = get(t, srv, "/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get(t, srv, "/debug/pprof/"); code != http.StatusNotFound {
+		t.Errorf("pprof served without opt-in: %d", code)
+	}
+}
+
+func TestHandlerHealthFailure(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewRegistry(), HandlerConfig{
+		Health: func() error { return errors.New("monitor wedged") },
+	}))
+	defer srv.Close()
+	code, body := get(t, srv, "/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "monitor wedged") {
+		t.Errorf("/healthz = %d %q, want 503 with reason", code, body)
+	}
+}
+
+func TestHandlerPprofOptIn(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(NewRegistry(), HandlerConfig{EnablePprof: true}))
+	defer srv.Close()
+	code, body := get(t, srv, "/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d, want pprof index", code)
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	srv := httptest.NewServer(NewHandler(nil, HandlerConfig{}))
+	defer srv.Close()
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK || body != "" {
+		t.Errorf("nil registry /metrics = %d %q, want empty 200", code, body)
+	}
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. The zero value is
+// ready to use; all methods are safe for concurrent use and no-ops on a
+// nil receiver.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an arbitrary float metric. The zero value is ready to use; all
+// methods are safe for concurrent use and no-ops on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Buckets are defined
+// by their upper bounds; an implicit +Inf bucket catches the tail, so
+// every observation lands in exactly one bucket and the total count is
+// conserved. All methods are safe for concurrent use and no-ops on a nil
+// receiver.
+type Histogram struct {
+	upper   []float64 // sorted finite upper bounds
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// newHistogram builds a histogram over normalized bounds.
+func newHistogram(upper []float64) *Histogram {
+	return &Histogram{
+		upper:  upper,
+		counts: make([]atomic.Uint64, len(upper)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Upper bounds are inclusive (Prometheus convention: le): the first
+	// bound >= v owns the observation; i == len(upper) is the +Inf bucket.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+}
+
+// Count returns how many values have been observed.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the last
+// entry being the +Inf bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// normalizeBuckets validates and copies histogram bounds; a trailing +Inf
+// bound is dropped (it is always implicit).
+func normalizeBuckets(name string, buckets []float64) []float64 {
+	if len(buckets) > 0 && math.IsInf(buckets[len(buckets)-1], +1) {
+		buckets = buckets[:len(buckets)-1]
+	}
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one finite bucket", name))
+	}
+	out := append([]float64(nil), buckets...)
+	for i, b := range out {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			panic(fmt.Sprintf("obs: histogram %q bucket %v is not finite", name, b))
+		}
+		if i > 0 && out[i-1] >= b {
+			panic(fmt.Sprintf("obs: histogram %q buckets not strictly ascending at %v", name, b))
+		}
+	}
+	return out
+}
+
+// ExponentialBuckets returns n upper bounds starting at start and growing
+// by factor — the usual shape for latency histograms.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic(fmt.Sprintf("obs: bad exponential buckets (%v, %v, %d)", start, factor, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// LinearBuckets returns n upper bounds starting at start with constant
+// width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic(fmt.Sprintf("obs: bad linear buckets (%v, %v, %d)", start, width, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start += width
+	}
+	return out
+}

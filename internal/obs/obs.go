@@ -1,0 +1,318 @@
+// Package obs is the repository's telemetry subsystem: a dependency-free
+// metrics registry with Prometheus text exposition, an HTTP handler
+// serving /metrics, /healthz and (opt-in) net/http/pprof, and a
+// structured JSONL event emitter. It exists so the online aging monitor —
+// whose whole value is cheap, continuous early warning — is itself
+// continuously observable at production sampling rates.
+//
+// Everything is nil-safe by design: a nil *Registry hands out nil
+// instruments whose methods are no-ops, so library code can instrument
+// its hot paths unconditionally and users opt in by passing a registry.
+// The only cost of staying un-instrumented is a nil check.
+//
+// Metric families follow the Prometheus data model: a family has a name,
+// help text, a type and a fixed label-name set; children are addressed by
+// label values. Registration is get-or-create and idempotent; registering
+// the same name with a conflicting type, help or label set panics, since
+// that is a programming error no caller can recover from.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// metricKind discriminates the family types.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota + 1
+	kindGauge
+	kindHistogram
+)
+
+// String implements fmt.Stringer (used in the exposition TYPE line).
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Registry is a set of metric families. All methods are safe for
+// concurrent use, and safe on a nil receiver (returning nil instruments
+// whose methods are no-ops).
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// family is one metric family: all children share name, type and label
+// names.
+type family struct {
+	name       string
+	help       string
+	kind       metricKind
+	labelNames []string
+	buckets    []float64 // histogram families only
+
+	mu       sync.Mutex
+	children map[string]any      // child key -> *Counter | *Gauge | *Histogram
+	labels   map[string][]string // child key -> label values
+}
+
+// childKey builds the map key for a label-value tuple. Values may contain
+// any bytes; the separator cannot occur ambiguously because each value is
+// length-prefixed.
+func childKey(values []string) string {
+	var b strings.Builder
+	for _, v := range values {
+		fmt.Fprintf(&b, "%d:%s", len(v), v)
+	}
+	return b.String()
+}
+
+// child returns the instrument for the given label values, creating it on
+// first use via make.
+func (f *family) child(values []string, make func() any) any {
+	if len(values) != len(f.labelNames) {
+		panic(fmt.Sprintf("obs: family %q wants %d label values, got %d",
+			f.name, len(f.labelNames), len(values)))
+	}
+	key := childKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := make()
+	f.children[key] = c
+	f.labels[key] = append([]string(nil), values...)
+	return c
+}
+
+// lookup returns (creating if absent) the family with the given identity,
+// panicking on any mismatch with a previous registration.
+func (r *Registry) lookup(name, help string, kind metricKind, labelNames []string, buckets []float64) *family {
+	mustValidName(name)
+	for _, ln := range labelNames {
+		mustValidLabel(ln)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.fams[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("obs: %q re-registered as %v, was %v", name, kind, f.kind))
+		}
+		if f.help != help {
+			panic(fmt.Sprintf("obs: %q re-registered with different help", name))
+		}
+		if !equalStrings(f.labelNames, labelNames) {
+			panic(fmt.Sprintf("obs: %q re-registered with labels %v, was %v",
+				name, labelNames, f.labelNames))
+		}
+		if kind == kindHistogram && !equalFloats(f.buckets, buckets) {
+			panic(fmt.Sprintf("obs: %q re-registered with different buckets", name))
+		}
+		return f
+	}
+	f := &family{
+		name:       name,
+		help:       help,
+		kind:       kind,
+		labelNames: append([]string(nil), labelNames...),
+		buckets:    buckets,
+		children:   make(map[string]any),
+		labels:     make(map[string][]string),
+	}
+	r.fams[name] = f
+	return f
+}
+
+// Counter returns the unlabeled counter with the given name, registering
+// the family on first use. Nil-safe.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// CounterVec registers (or finds) a counter family with the given label
+// names. Nil-safe.
+func (r *Registry) CounterVec(name, help string, labelNames ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	return &CounterVec{fam: r.lookup(name, help, kindCounter, labelNames, nil)}
+}
+
+// Gauge returns the unlabeled gauge with the given name. Nil-safe.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.GaugeVec(name, help).With()
+}
+
+// GaugeVec registers (or finds) a gauge family. Nil-safe.
+func (r *Registry) GaugeVec(name, help string, labelNames ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	return &GaugeVec{fam: r.lookup(name, help, kindGauge, labelNames, nil)}
+}
+
+// Histogram returns the unlabeled histogram with the given name and
+// bucket upper bounds (see Buckets helpers). Nil-safe.
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	return r.HistogramVec(name, help, buckets, nil...).With()
+}
+
+// HistogramVec registers (or finds) a histogram family. The bucket upper
+// bounds must be sorted strictly ascending and finite; an implicit +Inf
+// bucket is always appended. Nil-safe.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labelNames ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	norm := normalizeBuckets(name, buckets)
+	return &HistogramVec{fam: r.lookup(name, help, kindHistogram, labelNames, norm)}
+}
+
+// CounterVec is a counter family handle; With addresses children.
+type CounterVec struct{ fam *family }
+
+// With returns the child counter for the given label values. Nil-safe.
+func (v *CounterVec) With(labelValues ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.fam.child(labelValues, func() any { return &Counter{} }).(*Counter)
+}
+
+// GaugeVec is a gauge family handle.
+type GaugeVec struct{ fam *family }
+
+// With returns the child gauge for the given label values. Nil-safe.
+func (v *GaugeVec) With(labelValues ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.fam.child(labelValues, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// HistogramVec is a histogram family handle.
+type HistogramVec struct{ fam *family }
+
+// With returns the child histogram for the given label values. Nil-safe.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	f := v.fam
+	return f.child(labelValues, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// snapshot returns the families sorted by name and, per family, the child
+// keys sorted lexically — the deterministic iteration order used by the
+// exposition writer.
+func (r *Registry) snapshot() []*family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedChildKeys returns the family's child keys in deterministic order:
+// lexically by label values.
+func (f *family) sortedChildKeys() []string {
+	keys := make([]string, 0, len(f.children))
+	for k := range f.children {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mustValidName panics unless name matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func mustValidName(name string) {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+}
+
+// mustValidLabel panics unless name matches [a-zA-Z_][a-zA-Z0-9_]*.
+func mustValidLabel(name string) {
+	if !validLabelName(name) {
+		panic(fmt.Sprintf("obs: invalid label name %q", name))
+	}
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("test_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	// Get-or-create: same name returns the same child.
+	if again := reg.Counter("test_total", "help"); again != c {
+		t.Error("re-registration did not return the same counter")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("test_gauge", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestLabeledChildrenAreDistinct(t *testing.T) {
+	reg := NewRegistry()
+	v := reg.CounterVec("req_total", "help", "method")
+	v.With("get").Add(2)
+	v.With("post").Inc()
+	if got := v.With("get").Value(); got != 2 {
+		t.Errorf(`with("get") = %d, want 2`, got)
+	}
+	if got := v.With("post").Value(); got != 1 {
+		t.Errorf(`with("post") = %d, want 1`, got)
+	}
+	// Label values that would collide under naive joining must not.
+	w := reg.CounterVec("pair_total", "help", "a", "b")
+	w.With("x", "yz").Inc()
+	if got := w.With("xy", "z").Value(); got != 0 {
+		t.Errorf(`with("xy","z") aliased with("x","yz"): %d`, got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "help", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 5, 100} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 1, 2} // le=1: {0.5, 1}; le=2: {1.5, 2}; le=4: {3}; +Inf: {5, 100}
+	got := h.BucketCounts()
+	if len(got) != len(want) {
+		t.Fatalf("bucket count = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if math.Abs(h.Sum()-113) > 1e-9 {
+		t.Errorf("sum = %v, want 113", h.Sum())
+	}
+}
+
+func TestHistogramTrailingInfBucketDropped(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("inf_seconds", "help", []float64{1, math.Inf(1)})
+	h.Observe(9)
+	if got := len(h.BucketCounts()); got != 2 {
+		t.Errorf("buckets = %d, want 2 (finite + implicit +Inf)", got)
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x_total", "help")
+	c.Inc()
+	c.Add(3)
+	if c != nil || c.Value() != 0 {
+		t.Error("nil registry counter must be nil and inert")
+	}
+	g := reg.GaugeVec("x_gauge", "help", "l").With("v")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge must be inert")
+	}
+	h := reg.HistogramVec("x_seconds", "help", []float64{1}, "l").With("v")
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.BucketCounts() != nil {
+		t.Error("nil histogram must be inert")
+	}
+	var ev *Events
+	ev.Info("ignored", Fields{"k": 1})
+	if ev.Err() != nil || ev.Emitted() != 0 {
+		t.Error("nil events must be inert")
+	}
+	var buf []byte
+	_ = buf
+	if err := reg.WriteText(discard{}); err != nil {
+		t.Errorf("nil registry WriteText: %v", err)
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func TestRegistryPanicsOnConflicts(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(r *Registry)
+	}{
+		{"type mismatch", func(r *Registry) {
+			r.Counter("dup", "h")
+			r.Gauge("dup", "h")
+		}},
+		{"help mismatch", func(r *Registry) {
+			r.Counter("dup", "h1")
+			r.Counter("dup", "h2")
+		}},
+		{"label mismatch", func(r *Registry) {
+			r.CounterVec("dup", "h", "a")
+			r.CounterVec("dup", "h", "b")
+		}},
+		{"bucket mismatch", func(r *Registry) {
+			r.Histogram("dup", "h", []float64{1})
+			r.Histogram("dup", "h", []float64{2})
+		}},
+		{"bad metric name", func(r *Registry) { r.Counter("0bad", "h") }},
+		{"bad label name", func(r *Registry) { r.CounterVec("ok_total", "h", "0bad") }},
+		{"label arity", func(r *Registry) { r.CounterVec("ok_total", "h", "a").With("x", "y") }},
+		{"empty buckets", func(r *Registry) { r.Histogram("h_seconds", "h", nil) }},
+		{"unsorted buckets", func(r *Registry) { r.Histogram("h_seconds", "h", []float64{2, 1}) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", tc.name)
+				}
+			}()
+			tc.f(NewRegistry())
+		})
+	}
+}
+
+func TestConcurrentRegistryAccess(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v := reg.CounterVec("shared_total", "help", "worker")
+			for j := 0; j < 1000; j++ {
+				v.With("all").Inc()
+			}
+			reg.Gauge("shared_gauge", "help").Set(float64(i))
+			reg.Histogram("shared_seconds", "help", []float64{1, 2}).Observe(float64(i))
+		}(i)
+	}
+	wg.Wait()
+	if got := reg.CounterVec("shared_total", "help", "worker").With("all").Value(); got != 8000 {
+		t.Errorf("shared counter = %d, want 8000", got)
+	}
+	if got := reg.Histogram("shared_seconds", "help", []float64{1, 2}).Count(); got != 8 {
+		t.Errorf("shared histogram count = %d, want 8", got)
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExponentialBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if exp[i] != want[i] {
+			t.Errorf("exp[%d] = %v, want %v", i, exp[i], want[i])
+		}
+	}
+	lin := LinearBuckets(10, 5, 3)
+	wantLin := []float64{10, 15, 20}
+	for i := range wantLin {
+		if lin[i] != wantLin[i] {
+			t.Errorf("lin[%d] = %v, want %v", i, lin[i], wantLin[i])
+		}
+	}
+}
