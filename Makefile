@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench check experiments experiments-quick fmt vet clean
+.PHONY: all build test race cover bench check chaos experiments experiments-quick fmt vet clean
 
 all: build test
 
@@ -22,9 +22,17 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Fast pre-commit gate: vet plus the race detector on the packages with
-# lock-free/concurrent code (telemetry, monitor, fleet).
+# lock-free/concurrent code (telemetry, monitor, fleet, resilience, chaos).
 check: vet
-	$(GO) test -race ./internal/obs/... ./internal/aging/... ./internal/collector/...
+	$(GO) test -race ./internal/obs/... ./internal/aging/... ./internal/collector/... \
+		./internal/resilience/... ./internal/chaos/...
+
+# Robustness regression suite: the fault-injection campaigns plus the
+# hardened agingmon paths, under the race detector. -short keeps the
+# injected-fault budgets at their test sizes.
+chaos:
+	$(GO) test -race -short -v -run 'Chaos|Campaign|Resilience|Watchdog|Retry|Signal|BadSample|Stall' \
+		./internal/chaos/... ./internal/resilience/... ./internal/collector/... ./cmd/agingmon/...
 
 # Regenerate every reconstructed table/figure (writes to stdout; see
 # EXPERIMENTS.md for the archived reference run).

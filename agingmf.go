@@ -6,6 +6,7 @@ import (
 
 	"agingmf/internal/aging"
 	"agingmf/internal/changepoint"
+	"agingmf/internal/chaos"
 	"agingmf/internal/collector"
 	"agingmf/internal/dsp"
 	"agingmf/internal/fractal"
@@ -15,6 +16,7 @@ import (
 	"agingmf/internal/multifractal"
 	"agingmf/internal/obs"
 	"agingmf/internal/rejuv"
+	"agingmf/internal/resilience"
 	"agingmf/internal/series"
 	"agingmf/internal/stats"
 	"agingmf/internal/workload"
@@ -323,11 +325,75 @@ type (
 	FleetRun = collector.FleetRun
 )
 
-// Collector functions.
+// Collector functions. RunFleet takes a context.Context: cancelling it
+// stops the campaign between runs (and interrupts in-flight collections),
+// and with FleetConfig.CheckpointDir set a later identical call resumes
+// from the completed seeds.
 var (
 	Collect        = collector.Collect
+	CollectContext = collector.CollectContext
 	DefaultCollect = collector.DefaultConfig
 	RunFleet       = collector.RunFleet
+	// ReadFleetCheckpoint loads one seed's checkpointed run (the boolean
+	// reports whether a checkpoint exists).
+	ReadFleetCheckpoint = collector.ReadCheckpoint
+	// WriteFleetCheckpoint persists one completed run atomically.
+	WriteFleetCheckpoint = collector.WriteCheckpoint
+	// FleetCheckpointPath names the checkpoint file of one seed.
+	FleetCheckpointPath = collector.CheckpointPath
+)
+
+// Resilience: bounded retries, stall watchdogs and panic recovery — the
+// fault-tolerance toolkit threaded through the collection pipeline (see
+// internal/resilience). Everything is nil-safe: a zero ResilienceMetrics
+// is a valid no-op instrument set and a nil *Watchdog ignores all calls.
+type (
+	// RetryConfig shapes a Retry call (attempts, backoff, jitter).
+	RetryConfig = resilience.RetryConfig
+	// ResilienceMetrics bundles the retry/watchdog/panic instruments.
+	ResilienceMetrics = resilience.Metrics
+	// Watchdog fires when no sample arrives within a deadline.
+	Watchdog = resilience.Watchdog
+	// PanicError is a panic converted to an error by RecoverPanic.
+	PanicError = resilience.PanicError
+)
+
+// Resilience functions.
+var (
+	// Retry runs a function with bounded attempts and exponential backoff.
+	Retry = resilience.Retry
+	// TransientError marks an error as retryable.
+	TransientError = resilience.Transient
+	// IsTransientError reports whether an error carries the retryable mark.
+	IsTransientError = resilience.IsTransient
+	// RecoverPanic runs a function, converting a panic into a *PanicError.
+	RecoverPanic = resilience.Recover
+	// NewWatchdog arms a stall watchdog (non-positive timeout disables).
+	NewWatchdog = resilience.NewWatchdog
+	// NewResilienceMetrics registers the resilience families on a registry.
+	NewResilienceMetrics = resilience.NewMetrics
+)
+
+// Chaos validation: fault-injection campaigns over the full
+// simulate→sample→detect pipeline. A chaos run corrupts and drops
+// samples, stalls the stream, bursts leaks and fragmentation into the
+// machine, panics mid-pipeline and cancels mid-run — and verifies the
+// pipeline degrades gracefully instead of aborting.
+type (
+	// ChaosConfig parameterizes one chaos run.
+	ChaosConfig = chaos.Config
+	// ChaosFaults selects the injected faults.
+	ChaosFaults = chaos.Faults
+	// ChaosReport is the outcome of a chaos run.
+	ChaosReport = chaos.Report
+)
+
+// Chaos functions.
+var (
+	// RunChaos executes one seeded fault-injection run.
+	RunChaos = chaos.Run
+	// RunChaosCampaign executes one chaos run per seed.
+	RunChaosCampaign = chaos.RunCampaign
 )
 
 // Rejuvenation policies and evaluation.

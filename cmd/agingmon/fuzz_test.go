@@ -1,0 +1,51 @@
+package main
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParseSample drives the stdin sample parser with arbitrary lines —
+// the exact input a hostile or corrupted producer controls. The parser
+// must never panic and its accept/reject contract must hold: accepted
+// samples are exactly two comma-separated finite floats.
+func FuzzParseSample(f *testing.F) {
+	for _, seed := range []string{
+		"1000000,2048",
+		" 3.5e9 , 0 ",
+		"-1,-2",
+		"",
+		"free,swap",
+		"1,2,3",
+		"NaN,0",
+		"0,+Inf",
+		"1e309,0",
+		"0x10,0",
+		"1.,.5",
+		strings.Repeat("9", 400) + "," + strings.Repeat("9", 400),
+		"1\x00,2",
+		"\ufeff1,2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		free, swap, err := parseSample(line)
+		if err != nil {
+			return
+		}
+		// Accepted values must be finite — anything else would poison the
+		// monitor's statistics downstream.
+		if math.IsNaN(free) || math.IsInf(free, 0) || math.IsNaN(swap) || math.IsInf(swap, 0) {
+			t.Fatalf("parseSample(%q) accepted non-finite values (%v, %v)", line, free, swap)
+		}
+		// The accept contract: exactly two fields, each itself re-parsable.
+		parts := strings.Split(line, ",")
+		if len(parts) != 2 {
+			t.Fatalf("parseSample(%q) accepted %d fields", line, len(parts))
+		}
+		if _, _, err := parseSample(parts[0] + "," + parts[1]); err != nil {
+			t.Fatalf("parseSample(%q) not idempotent: %v", line, err)
+		}
+	})
+}

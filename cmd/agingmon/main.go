@@ -13,11 +13,18 @@
 //	  sleep 1
 //	done | agingmon -stdin
 //
+// The monitor is built to survive degraded inputs — the same systems it
+// watches for aging also feed it: malformed stdin samples are skipped and
+// counted (fatal only past -max-bad-samples), SIGINT/SIGTERM drain
+// gracefully and save -state before exiting, and -stall-timeout arms a
+// watchdog that flips /healthz to 503 "stalled" when the sample stream
+// dries up.
+//
 // The monitor pipeline is itself observable: -metrics-addr serves a
 // Prometheus /metrics endpoint (plus /healthz and, with -pprof,
 // net/http/pprof) while the run is live, and -events appends structured
-// JSONL records (jump, phase_change, crash, fault_injection, ...) to a
-// file, "-" meaning stdout.
+// JSONL records (jump, phase_change, crash, bad_sample, stalled, ...) to
+// a file, "-" meaning stdout.
 //
 // Usage:
 //
@@ -25,6 +32,7 @@
 //	         [-max-ticks N] [-history-limit N] [-sim | -stdin]
 //	         [-state FILE] [-metrics-addr HOST:PORT] [-pprof]
 //	         [-events FILE] [-tick-every DURATION]
+//	         [-max-bad-samples N] [-stall-timeout DURATION]
 package main
 
 import (
@@ -33,11 +41,14 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"agingmf"
@@ -62,30 +73,46 @@ type telemetry struct {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("agingmon", flag.ContinueOnError)
 	var (
-		seed        = fs.Int64("seed", 1, "random seed")
-		ramMiB      = fs.Int("ram-mib", 64, "physical memory in MiB")
-		swapMiB     = fs.Int("swap-mib", 24, "swap space in MiB")
-		leak        = fs.Float64("leak", 3.5, "server leak rate in pages/tick")
-		maxTicks    = fs.Int("max-ticks", 60000, "simulation horizon in ticks")
-		limit       = fs.Int("history-limit", 4096, "monitor history bound (0 = unlimited)")
-		simMode     = fs.Bool("sim", true, "monitor the built-in simulated machine (the default; -stdin overrides)")
-		fromStdin   = fs.Bool("stdin", false, `read "free_bytes,swap_bytes" samples from stdin instead of simulating`)
-		stateFile   = fs.String("state", "", "restore monitor state from this file at start, save on exit")
-		metricsAddr = fs.String("metrics-addr", "", "serve /metrics and /healthz on this address while running (e.g. :9177; empty disables)")
-		pprofFlag   = fs.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ (needs -metrics-addr)")
-		eventsPath  = fs.String("events", "", `append structured JSONL events to this file ("-" = stdout, empty disables)`)
-		tickEvery   = fs.Duration("tick-every", 0, "pace simulation ticks in wall time (0 = as fast as possible)")
+		seed         = fs.Int64("seed", 1, "random seed")
+		ramMiB       = fs.Int("ram-mib", 64, "physical memory in MiB")
+		swapMiB      = fs.Int("swap-mib", 24, "swap space in MiB")
+		leak         = fs.Float64("leak", 3.5, "server leak rate in pages/tick")
+		maxTicks     = fs.Int("max-ticks", 60000, "simulation horizon in ticks")
+		limit        = fs.Int("history-limit", 4096, "monitor history bound (0 = unlimited)")
+		simMode      = fs.Bool("sim", true, "monitor the built-in simulated machine (the default; -stdin overrides)")
+		fromStdin    = fs.Bool("stdin", false, `read "free_bytes,swap_bytes" samples from stdin instead of simulating`)
+		stateFile    = fs.String("state", "", "restore monitor state from this file at start, save on exit")
+		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics and /healthz on this address while running (e.g. :9177; empty disables)")
+		pprofFlag    = fs.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ (needs -metrics-addr)")
+		eventsPath   = fs.String("events", "", `append structured JSONL events to this file ("-" = stdout, empty disables)`)
+		tickEvery    = fs.Duration("tick-every", 0, "pace simulation ticks in wall time (0 = as fast as possible)")
+		maxBad       = fs.Int("max-bad-samples", 100, "tolerate this many malformed stdin samples before aborting (0 = abort on the first, negative = unlimited)")
+		stallTimeout = fs.Duration("stall-timeout", 0, `declare the stream "stalled" (503 on /healthz, stalled event) when no sample arrives within this long (0 disables)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	_ = *simMode // sim is the default mode; the flag exists to state it explicitly
 
-	tel, err := setupTelemetry(*metricsAddr, *pprofFlag, *eventsPath, stdout)
-	if err != nil {
+	tel := &telemetry{}
+	defer tel.shutdown()
+	if err := tel.openEvents(*eventsPath); err != nil {
 		return err
 	}
-	defer tel.shutdown()
+	if *metricsAddr != "" {
+		tel.reg = agingmf.NewRegistry()
+	}
+	// The watchdog turns a dried-up sample stream into an observable
+	// condition instead of a silent hang: /healthz flips to 503 and a
+	// stalled event fires. A zero timeout yields the nil (disabled)
+	// watchdog, so the wiring below is unconditional.
+	wd := agingmf.NewWatchdog(*stallTimeout, agingmf.NewResilienceMetrics(tel.reg), func(gap time.Duration) {
+		tel.events.Warn("stalled", agingmf.EventFields{"gap_ms": gap.Milliseconds()})
+	})
+	defer wd.Stop()
+	if err := tel.serveMetrics(*metricsAddr, *pprofFlag, wd.Healthy, stdout); err != nil {
+		return err
+	}
 
 	mon, err := loadOrNewMonitor(*stateFile, *limit, stdout)
 	if err != nil {
@@ -93,21 +120,27 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	mon.Instrument(tel.reg)
 
+	// SIGINT/SIGTERM drain gracefully: the monitor loops observe the
+	// channel, stop feeding samples, and fall through to the state save
+	// below — an interrupted session keeps its warmup.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
 	if *fromStdin {
-		err = monitorStream(stdin, stdout, mon, tel.events)
+		err = monitorStream(stdin, stdout, mon, tel, wd, sigc, *maxBad)
 	} else {
-		err = monitorSimulation(stdout, mon, tel, *seed, *ramMiB, *swapMiB, *leak, *maxTicks, *tickEvery)
+		err = monitorSimulation(stdout, mon, tel, wd, sigc, *seed, *ramMiB, *swapMiB, *leak, *maxTicks, *tickEvery)
 	}
 	// The monitor state is saved on every exit path — including the
-	// interrupt/error ones — so a malformed sample or a failed run does
-	// not silently discard hours of warmup. Both failures are reported;
-	// either alone makes the exit non-zero.
+	// interrupt/error/signal ones — so a malformed sample, a failed run or
+	// a SIGTERM does not silently discard hours of warmup. All failures
+	// are reported; any alone makes the exit non-zero.
 	return errors.Join(err, saveMonitor(*stateFile, mon), tel.events.Err())
 }
 
-// setupTelemetry opens the event sink and starts the metrics listener.
-func setupTelemetry(metricsAddr string, enablePprof bool, eventsPath string, stdout io.Writer) (*telemetry, error) {
-	tel := &telemetry{}
+// openEvents opens the JSONL event sink.
+func (tel *telemetry) openEvents(eventsPath string) error {
 	switch eventsPath {
 	case "":
 	case "-":
@@ -115,25 +148,30 @@ func setupTelemetry(metricsAddr string, enablePprof bool, eventsPath string, std
 	default:
 		f, err := os.OpenFile(eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			return nil, fmt.Errorf("open events file: %w", err)
+			return fmt.Errorf("open events file: %w", err)
 		}
 		tel.eventsFile = f
 		tel.events = agingmf.NewEvents(f, agingmf.LevelInfo)
 	}
-	if metricsAddr != "" {
-		tel.reg = agingmf.NewRegistry()
-		ln, err := net.Listen("tcp", metricsAddr)
-		if err != nil {
-			tel.shutdown()
-			return nil, fmt.Errorf("metrics listener: %w", err)
-		}
-		tel.srv = &http.Server{Handler: agingmf.NewObsHandler(tel.reg, agingmf.ObsHandlerConfig{
-			EnablePprof: enablePprof,
-		})}
-		go func() { _ = tel.srv.Serve(ln) }()
-		fmt.Fprintf(stdout, "metrics: http://%s/metrics\n", ln.Addr())
+	return nil
+}
+
+// serveMetrics starts the metrics listener; health feeds /healthz.
+func (tel *telemetry) serveMetrics(metricsAddr string, enablePprof bool, health func() error, stdout io.Writer) error {
+	if metricsAddr == "" {
+		return nil
 	}
-	return tel, nil
+	ln, err := net.Listen("tcp", metricsAddr)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	tel.srv = &http.Server{Handler: agingmf.NewObsHandler(tel.reg, agingmf.ObsHandlerConfig{
+		EnablePprof: enablePprof,
+		Health:      health,
+	})}
+	go func() { _ = tel.srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "metrics: http://%s/metrics\n", ln.Addr())
+	return nil
 }
 
 // shutdown stops the metrics server and closes the event sink.
@@ -206,48 +244,129 @@ func reportPhase(stdout io.Writer, ev *agingmf.Events, clock string, at int, fro
 	return to
 }
 
+// reportSignal notes a termination signal on both channels.
+func reportSignal(stdout io.Writer, ev *agingmf.Events, sig os.Signal, clock string, at int) {
+	fmt.Fprintf(stdout, "%s %6d  received %v: draining and saving state\n", clock, at, sig)
+	ev.Warn("signal", agingmf.EventFields{"signal": sig.String(), "sample": at})
+}
+
+// parseSample parses one "free_bytes,swap_bytes" stdin line. Non-finite
+// values are rejected: a NaN smuggled into the monitor would silently
+// poison every downstream statistic.
+func parseSample(line string) (free, swap float64, err error) {
+	parts := strings.Split(line, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("want \"free,swap\", got %d fields", len(parts))
+	}
+	free, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("free: %w", err)
+	}
+	swap, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("swap: %w", err)
+	}
+	if math.IsNaN(free) || math.IsInf(free, 0) || math.IsNaN(swap) || math.IsInf(swap, 0) {
+		return 0, 0, fmt.Errorf("non-finite sample (%v, %v)", free, swap)
+	}
+	return free, swap, nil
+}
+
+// truncateForEvent bounds attacker- or corruption-controlled line content
+// before it lands in an event record.
+func truncateForEvent(line string) string {
+	const max = 64
+	if len(line) > max {
+		return line[:max] + "..."
+	}
+	return line
+}
+
 // monitorStream feeds counter samples from a CSV-ish stream into the
 // monitor, printing events as they fire. Blank lines and lines starting
-// with '#' are skipped.
-func monitorStream(stdin io.Reader, stdout io.Writer, mon *agingmf.DualMonitor, ev *agingmf.Events) error {
-	scanner := bufio.NewScanner(stdin)
+// with '#' are skipped. Malformed lines are counted and skipped (event
+// bad_sample, counter agingmf_monitor_bad_samples_total) — fatal only
+// once more than maxBad of them arrive (negative = unlimited). A signal
+// drains the stream gracefully.
+func monitorStream(stdin io.Reader, stdout io.Writer, mon *agingmf.DualMonitor, tel *telemetry, wd *agingmf.Watchdog, sigc <-chan os.Signal, maxBad int) error {
+	badSamples := tel.reg.Counter("agingmf_monitor_bad_samples_total",
+		"Malformed stdin samples skipped by the monitor.")
+	// The scanner runs on its own goroutine so the select below can react
+	// to signals while a read blocks. The done channel unblocks the
+	// sender if the consumer leaves first; a scanner blocked inside an
+	// open-but-idle stdin read can only be collected at process exit.
+	lines := make(chan string)
+	scanErr := make(chan error, 1)
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		defer close(lines)
+		scanner := bufio.NewScanner(stdin)
+		for scanner.Scan() {
+			select {
+			case lines <- scanner.Text():
+			case <-done:
+				return
+			}
+		}
+		scanErr <- scanner.Err()
+	}()
+
 	lastPhase := mon.Phase()
-	sample := 0
-	for scanner.Scan() {
-		line := strings.TrimSpace(scanner.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	sample, bad := 0, 0
+	for {
+		select {
+		case sig := <-sigc:
+			reportSignal(stdout, tel.events, sig, "sample", sample)
+			return nil
+		case line, ok := <-lines:
+			if !ok {
+				select {
+				case err := <-scanErr:
+					if err != nil {
+						return fmt.Errorf("read stdin: %w", err)
+					}
+				default:
+				}
+				fmt.Fprintf(stdout, "final phase: %v after %d samples (%d jumps, %d bad skipped)\n",
+					lastPhase, sample, len(mon.Jumps()), bad)
+				return nil
+			}
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			free, swap, err := parseSample(line)
+			if err != nil {
+				bad++
+				badSamples.Inc()
+				tel.events.Warn("bad_sample", agingmf.EventFields{
+					"sample": sample,
+					"line":   truncateForEvent(line),
+					"error":  err.Error(),
+				})
+				if maxBad >= 0 && bad > maxBad {
+					return fmt.Errorf("sample %d: %q: %w (%d malformed samples exceed -max-bad-samples=%d)",
+						sample, truncateForEvent(line), err, bad, maxBad)
+				}
+				continue
+			}
+			if wd.Pet() {
+				tel.events.Info("resumed", agingmf.EventFields{"sample": sample})
+			}
+			for _, j := range mon.Add(free, swap) {
+				reportJump(stdout, tel.events, "sample", sample, j)
+			}
+			if phase := mon.Phase(); phase != lastPhase {
+				lastPhase = reportPhase(stdout, tel.events, "sample", sample, lastPhase, phase, "")
+			}
+			sample++
 		}
-		parts := strings.Split(line, ",")
-		if len(parts) != 2 {
-			return fmt.Errorf("sample %d: want \"free,swap\", got %q", sample, line)
-		}
-		free, err := strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
-		if err != nil {
-			return fmt.Errorf("sample %d: free: %w", sample, err)
-		}
-		swap, err := strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
-		if err != nil {
-			return fmt.Errorf("sample %d: swap: %w", sample, err)
-		}
-		for _, j := range mon.Add(free, swap) {
-			reportJump(stdout, ev, "sample", sample, j)
-		}
-		if phase := mon.Phase(); phase != lastPhase {
-			lastPhase = reportPhase(stdout, ev, "sample", sample, lastPhase, phase, "")
-		}
-		sample++
 	}
-	if err := scanner.Err(); err != nil {
-		return fmt.Errorf("read stdin: %w", err)
-	}
-	fmt.Fprintf(stdout, "final phase: %v after %d samples (%d jumps)\n",
-		lastPhase, sample, len(mon.Jumps()))
-	return nil
 }
 
 // monitorSimulation runs the built-in simulated machine under stress.
-func monitorSimulation(stdout io.Writer, mon *agingmf.DualMonitor, tel *telemetry, seed int64, ramMiB, swapMiB int, leak float64, maxTicks int, tickEvery time.Duration) error {
+func monitorSimulation(stdout io.Writer, mon *agingmf.DualMonitor, tel *telemetry, wd *agingmf.Watchdog, sigc <-chan os.Signal, seed int64, ramMiB, swapMiB int, leak float64, maxTicks int, tickEvery time.Duration) error {
 	mcfg := agingmf.DefaultMachineConfig()
 	mcfg.RAMPages = ramMiB << 20 / mcfg.PageSize
 	mcfg.SwapPages = swapMiB << 20 / mcfg.PageSize
@@ -266,7 +385,14 @@ func monitorSimulation(stdout io.Writer, mon *agingmf.DualMonitor, tel *telemetr
 	fmt.Fprintf(stdout, "machine: %d MiB RAM, %d MiB swap, leak %.2f pages/tick, seed %d\n",
 		ramMiB, swapMiB, leak, seed)
 	lastPhase := mon.Phase()
+loop:
 	for tick := 0; tick < maxTicks; tick++ {
+		select {
+		case sig := <-sigc:
+			reportSignal(stdout, tel.events, sig, "tick", tick)
+			break loop
+		default:
+		}
 		counters, err := driver.Step()
 		if kind, at := machine.Crashed(); kind != agingmf.CrashNone {
 			// The machine emits the structured crash event itself.
@@ -276,6 +402,7 @@ func monitorSimulation(stdout io.Writer, mon *agingmf.DualMonitor, tel *telemetr
 		if err != nil {
 			return err
 		}
+		wd.Pet()
 		for _, j := range mon.Add(counters.FreeMemoryBytes, counters.UsedSwapBytes) {
 			reportJump(stdout, tel.events, "tick", tick, j)
 		}

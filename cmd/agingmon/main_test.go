@@ -76,16 +76,63 @@ func TestRunStdinMode(t *testing.T) {
 	}
 }
 
-func TestRunStdinMalformed(t *testing.T) {
+func TestRunStdinMalformedStrictMode(t *testing.T) {
+	// -max-bad-samples 0 restores the old fail-fast behaviour: the first
+	// malformed line aborts the run.
 	var out bytes.Buffer
-	if err := run([]string{"-stdin"}, strings.NewReader("1,2,3\n"), &out); err == nil {
-		t.Error("three fields should fail")
+	if err := run([]string{"-stdin", "-max-bad-samples", "0"}, strings.NewReader("1,2,3\n"), &out); err == nil {
+		t.Error("three fields should fail in strict mode")
 	}
-	if err := run([]string{"-stdin"}, strings.NewReader("abc,1\n"), &out); err == nil {
-		t.Error("non-numeric free should fail")
+	if err := run([]string{"-stdin", "-max-bad-samples", "0"}, strings.NewReader("abc,1\n"), &out); err == nil {
+		t.Error("non-numeric free should fail in strict mode")
 	}
-	if err := run([]string{"-stdin"}, strings.NewReader("1,xyz\n"), &out); err == nil {
-		t.Error("non-numeric swap should fail")
+	if err := run([]string{"-stdin", "-max-bad-samples", "0"}, strings.NewReader("1,xyz\n"), &out); err == nil {
+		t.Error("non-numeric swap should fail in strict mode")
+	}
+}
+
+func TestRunStdinSkipsMalformedByDefault(t *testing.T) {
+	// One bad line inside a good stream must not kill the monitor: it is
+	// skipped, counted, and reported in the summary.
+	var in strings.Builder
+	level := 1e9
+	for i := 0; i < 100; i++ {
+		level -= 1e4
+		fmt.Fprintf(&in, "%.0f,0\n", level)
+		if i == 50 {
+			in.WriteString("garbage line\n")
+			in.WriteString("NaN,0\n")
+		}
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-stdin"}, strings.NewReader(in.String()), &out); err != nil {
+		t.Fatalf("run with recoverable bad samples: %v", err)
+	}
+	if !strings.Contains(out.String(), "100 samples") {
+		t.Errorf("good samples lost:\n%s", lastLine(out.String()))
+	}
+	if !strings.Contains(out.String(), "2 bad skipped") {
+		t.Errorf("bad samples not counted:\n%s", lastLine(out.String()))
+	}
+}
+
+func TestRunStdinBadSampleBudgetExhausted(t *testing.T) {
+	var in strings.Builder
+	for i := 0; i < 10; i++ {
+		in.WriteString("junk\n")
+	}
+	var out bytes.Buffer
+	err := run([]string{"-stdin", "-max-bad-samples", "3"}, strings.NewReader(in.String()), &out)
+	if err == nil || !strings.Contains(err.Error(), "max-bad-samples") {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+	// Unlimited tolerance: the same stream drains cleanly.
+	out.Reset()
+	if err := run([]string{"-stdin", "-max-bad-samples", "-1"}, strings.NewReader(in.String()), &out); err != nil {
+		t.Fatalf("unlimited tolerance still failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "10 bad skipped") {
+		t.Errorf("summary missing skip count:\n%s", lastLine(out.String()))
 	}
 }
 

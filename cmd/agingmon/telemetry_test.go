@@ -162,10 +162,10 @@ func TestRunStateSavedOnStreamError(t *testing.T) {
 	// before it must still be persisted.
 	state := t.TempDir() + "/mon.state"
 	var out bytes.Buffer
-	err := run([]string{"-stdin", "-state", state},
+	err := run([]string{"-stdin", "-state", state, "-max-bad-samples", "0"},
 		strings.NewReader("1000,0\n2000,0\nnot-a-sample\n"), &out)
 	if err == nil {
-		t.Fatal("malformed sample should fail the run")
+		t.Fatal("malformed sample should fail a strict-mode run")
 	}
 	var out2 bytes.Buffer
 	if err := run([]string{"-stdin", "-state", state}, strings.NewReader(""), &out2); err != nil {

@@ -15,10 +15,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"agingmf/internal/experiment"
@@ -42,13 +45,20 @@ func openEvents(path string) (*obs.Events, func(), error) {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM end the regeneration between experiments: the one in
+	// flight finishes and renders, the rest are skipped and reported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
 		id     = fs.String("run", "", "run a single experiment (E1..E12)")
@@ -93,7 +103,13 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("unknown format %q (want text, markdown or csv)", *format)
 		}
 	}
-	for _, e := range todo {
+	for n, e := range todo {
+		if ctx.Err() != nil {
+			skipped := len(todo) - n
+			ev.Warn("campaign_interrupted", obs.Fields{"skipped": skipped})
+			fmt.Fprintf(stdout, "\ninterrupted: %d experiment(s) skipped\n", skipped)
+			break
+		}
 		if *format == "text" {
 			fmt.Fprintf(stdout, "\n######## %s — %s ########\n", e.ID, e.Title)
 		}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -11,7 +12,7 @@ import (
 
 func TestRunList(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-list"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-list"}, &out); err != nil {
 		t.Fatalf("run -list: %v", err)
 	}
 	text := out.String()
@@ -24,7 +25,7 @@ func TestRunList(t *testing.T) {
 
 func TestRunSingleExperimentQuick(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-run", "E1", "-quick"}, &out); err != nil {
+	if err := run(context.Background(), []string{"-run", "E1", "-quick"}, &out); err != nil {
 		t.Fatalf("run -run E1: %v", err)
 	}
 	text := out.String()
@@ -38,14 +39,14 @@ func TestRunSingleExperimentQuick(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-run", "E99"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-run", "E99"}, &out); err == nil {
 		t.Error("unknown experiment should fail")
 	}
 }
 
 func TestRunBadFlags(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"-wat"}, &out); err == nil {
+	if err := run(context.Background(), []string{"-wat"}, &out); err == nil {
 		t.Error("unknown flag should fail")
 	}
 }
@@ -53,7 +54,7 @@ func TestRunBadFlags(t *testing.T) {
 func TestRunEventsJSONL(t *testing.T) {
 	evPath := filepath.Join(t.TempDir(), "events.jsonl")
 	var out bytes.Buffer
-	if err := run([]string{"-run", "E1", "-quick", "-events", evPath}, &out); err != nil {
+	if err := run(context.Background(), []string{"-run", "E1", "-quick", "-events", evPath}, &out); err != nil {
 		t.Fatalf("run: %v", err)
 	}
 	data, err := os.ReadFile(evPath)
@@ -81,5 +82,19 @@ func TestRunEventsJSONL(t *testing.T) {
 	}
 	if starts != 1 || dones != 1 {
 		t.Errorf("events: %d starts, %d dones, want 1/1", starts, dones)
+	}
+}
+
+func TestRunInterruptedSkipsRemaining(t *testing.T) {
+	// A cancelled context (the SIGINT path) must end the campaign
+	// gracefully, reporting the skipped experiments instead of erroring.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var out bytes.Buffer
+	if err := run(ctx, []string{"-quick"}, &out); err != nil {
+		t.Fatalf("interrupted run: %v", err)
+	}
+	if !strings.Contains(out.String(), "experiment(s) skipped") {
+		t.Errorf("skip not reported:\n%s", out.String())
 	}
 }

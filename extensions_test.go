@@ -1,6 +1,7 @@
 package agingmf_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -140,7 +141,7 @@ func TestFacadeEWMAWelchDiurnalFleet(t *testing.T) {
 	wcfg := agingmf.DefaultWorkload()
 	wcfg.Server.BaseWorkingSet = 512
 	wcfg.Server.LeakPagesPerTick = 8
-	runs, err := agingmf.RunFleet(agingmf.FleetConfig{
+	runs, err := agingmf.RunFleet(context.Background(), agingmf.FleetConfig{
 		Machine:  mcfg,
 		Workload: wcfg,
 		Collect:  agingmf.CollectConfig{TicksPerSample: 1, MaxTicks: 5000, StopOnCrash: true},

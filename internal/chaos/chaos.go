@@ -1,0 +1,415 @@
+// Package chaos is the pipeline's fault-injection campaign runner: it
+// drives a full simulate→sample→detect session while deliberately
+// breaking it — corrupting and dropping samples, stalling the stream,
+// bursting leaks and fragmentation into the simulated machine, panicking
+// mid-pipeline, and cancelling mid-run — and verifies the pipeline
+// degrades instead of aborting. The aging literature (CHAOS, the
+// workload-shift studies) demands detectors that keep producing verdicts
+// under degraded inputs; this package is that demand turned into a
+// regression suite.
+//
+// A chaos run never reports injected faults as failures: dropped and
+// corrupted samples are skipped and counted, stalls trip the watchdog and
+// recover, machine crashes are the experiment's natural endpoint, and
+// cancellation ends the run gracefully with the partial report. Run
+// returns a non-nil error only for broken configuration or a defect in
+// the pipeline itself — which is exactly what the chaos tests exist to
+// catch.
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"agingmf/internal/aging"
+	"agingmf/internal/memsim"
+	"agingmf/internal/obs"
+	"agingmf/internal/resilience"
+	"agingmf/internal/workload"
+)
+
+// ErrBadConfig reports invalid chaos-campaign parameters.
+var ErrBadConfig = errors.New("chaos: bad configuration")
+
+// Faults selects which faults a run injects and how often. The zero value
+// injects nothing (a plain monitored run).
+type Faults struct {
+	// DropRate is the probability (0..1) that a sample is lost before it
+	// reaches the monitor.
+	DropRate float64
+	// CorruptRate is the probability (0..1) that a sample is replaced by
+	// garbage (NaN, infinities, sign flips) before it reaches the
+	// monitor's input guard.
+	CorruptRate float64
+	// StallEvery injects a stream stall (no samples, no watchdog pets)
+	// every this many samples; 0 disables. Each stall sleeps just past
+	// the watchdog deadline so the stall is observable.
+	StallEvery int
+	// LeakBurstEvery injects a sudden leak of LeakBurstPages into the
+	// server process every this many ticks; 0 disables.
+	LeakBurstEvery int
+	// LeakBurstPages is the burst size (default 64 when bursts are on).
+	LeakBurstPages int
+	// FragEvery injects FragPages of fragmentation every this many
+	// ticks; 0 disables.
+	FragEvery int
+	// FragPages is the fragmentation grain (default 32 when on).
+	FragPages int
+	// PanicAtSample makes the monitor-feed stage panic at this 1-based
+	// sample index; 0 disables. The panic must be recovered in-pipeline
+	// and the run must continue.
+	PanicAtSample int
+	// CancelAfterSamples cancels the run's context after this many
+	// accepted samples; 0 disables. The run must end gracefully with the
+	// partial report.
+	CancelAfterSamples int
+}
+
+// Config parameterizes one chaos run.
+type Config struct {
+	// Seed drives the machine, workload, and fault injection streams;
+	// runs are deterministic per seed.
+	Seed int64
+	// Machine is the simulated hardware (zero value selects
+	// memsim.DefaultConfig).
+	Machine memsim.Config
+	// Workload is the load configuration (zero value selects
+	// workload.DefaultDriverConfig).
+	Workload workload.DriverConfig
+	// Monitor is the aging-detector configuration (zero value selects
+	// aging.DefaultConfig).
+	Monitor aging.Config
+	// MaxTicks bounds the run length (default 20000).
+	MaxTicks int
+	// Faults selects the injected faults.
+	Faults Faults
+	// StallTimeout arms a watchdog on the sample stream; 0 disables.
+	StallTimeout time.Duration
+	// Obs receives chaos telemetry (fault counters by kind, accepted
+	// samples) plus the resilience instruments. Nil disables.
+	Obs *obs.Registry
+	// Events receives chaos_fault / chaos_done events. Nil disables.
+	Events *obs.Events
+}
+
+// Report is the outcome of a chaos run: what was injected, what the
+// pipeline did about it, and where the detector ended up.
+type Report struct {
+	Seed int64
+	// Ticks is the number of machine ticks executed.
+	Ticks int
+	// Samples is the number of samples accepted by the monitor.
+	Samples int
+	// Dropped counts samples lost before the monitor.
+	Dropped int
+	// Corrupted counts samples garbled in flight.
+	Corrupted int
+	// SkippedBad counts corrupted samples the input guard rejected —
+	// every corruption must be caught here, never fed to the detector.
+	SkippedBad int
+	// Stalls counts injected stream stalls; WatchdogStalls counts the
+	// stalls the watchdog actually observed.
+	Stalls         int
+	WatchdogStalls int
+	// LeakBursts and FragmentedPages count the machine-level injections.
+	LeakBursts      int
+	FragmentedPages int
+	// PanicsRecovered counts pipeline panics contained by resilience.
+	PanicsRecovered int
+	// Jumps is the number of volatility jumps the detector reported.
+	Jumps int
+	// FinalPhase is the detector's verdict at the end of the run.
+	FinalPhase aging.Phase
+	// Crash is how the machine ended (CrashNone if it survived).
+	Crash memsim.CrashKind
+	// Cancelled reports that the run ended on context cancellation.
+	Cancelled bool
+}
+
+// metrics holds the chaos instruments; nil registry → no-op instruments.
+type metrics struct {
+	faults  *obs.CounterVec
+	samples *obs.Counter
+	res     resilience.Metrics
+}
+
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		faults: reg.CounterVec("agingmf_chaos_faults_total",
+			"Faults injected by the chaos runner.", "kind"),
+		samples: reg.Counter("agingmf_chaos_samples_total",
+			"Samples accepted by the monitor under chaos."),
+		res: resilience.NewMetrics(reg),
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machine == (memsim.Config{}) {
+		c.Machine = memsim.DefaultConfig()
+	}
+	if c.Workload.Server == nil && c.Workload.ClientRate == 0 {
+		c.Workload = workload.DefaultDriverConfig()
+	}
+	if c.Monitor == (aging.Config{}) {
+		c.Monitor = aging.DefaultConfig()
+	}
+	if c.MaxTicks == 0 {
+		c.MaxTicks = 20000
+	}
+	f := &c.Faults
+	if f.LeakBurstEvery > 0 && f.LeakBurstPages == 0 {
+		f.LeakBurstPages = 64
+	}
+	if f.FragEvery > 0 && f.FragPages == 0 {
+		f.FragPages = 32
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	f := c.Faults
+	switch {
+	case c.MaxTicks < 1:
+		return fmt.Errorf("max ticks %d: %w", c.MaxTicks, ErrBadConfig)
+	case f.DropRate < 0 || f.DropRate > 1:
+		return fmt.Errorf("drop rate %v: %w", f.DropRate, ErrBadConfig)
+	case f.CorruptRate < 0 || f.CorruptRate > 1:
+		return fmt.Errorf("corrupt rate %v: %w", f.CorruptRate, ErrBadConfig)
+	case f.StallEvery < 0 || f.LeakBurstEvery < 0 || f.FragEvery < 0:
+		return fmt.Errorf("negative fault interval: %w", ErrBadConfig)
+	case f.StallEvery > 0 && c.StallTimeout <= 0:
+		return fmt.Errorf("stall injection needs a watchdog (StallTimeout): %w", ErrBadConfig)
+	}
+	return nil
+}
+
+// corrupt garbles a sample the way broken producers do: non-finite
+// values, negated magnitudes, or absurd scales.
+func corrupt(rng *rand.Rand, v float64) float64 {
+	switch rng.Intn(4) {
+	case 0:
+		return math.NaN()
+	case 1:
+		return math.Inf(1 - 2*rng.Intn(2))
+	case 2:
+		return -v - 1
+	default:
+		return v * 1e12
+	}
+}
+
+// acceptable is the pipeline's input guard — the same contract
+// cmd/agingmon applies to stdin samples: both counters finite, free
+// memory non-negative.
+func acceptable(free, swap float64) bool {
+	if math.IsNaN(free) || math.IsInf(free, 0) || free < 0 {
+		return false
+	}
+	return !math.IsNaN(swap) && !math.IsInf(swap, 0)
+}
+
+// Run executes one chaos campaign: a seeded run-to-crash simulation with
+// the configured faults injected, the full detection pipeline attached,
+// and the resilience layer (watchdog, panic recovery) active. See the
+// package comment for what counts as an error.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Report{}, err
+	}
+	m, err := memsim.New(cfg.Machine, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return Report{}, fmt.Errorf("chaos: %w", err)
+	}
+	wcfg := cfg.Workload
+	if wcfg.Server != nil {
+		server := *wcfg.Server // no shared mutable state across runs
+		wcfg.Server = &server
+	}
+	d, err := workload.NewDriver(m, wcfg, nil, rand.New(rand.NewSource(cfg.Seed+1)))
+	if err != nil {
+		return Report{}, fmt.Errorf("chaos: %w", err)
+	}
+	mon, err := aging.NewDualMonitor(cfg.Monitor)
+	if err != nil {
+		return Report{}, fmt.Errorf("chaos: %w", err)
+	}
+	met := newMetrics(cfg.Obs)
+	wd := resilience.NewWatchdog(cfg.StallTimeout, met.res, func(gap time.Duration) {
+		cfg.Events.Warn("chaos_stall_detected", obs.Fields{
+			"seed": cfg.Seed, "gap_ms": gap.Milliseconds(),
+		})
+	})
+	defer wd.Stop()
+
+	// The cancellation fault cancels this derived context; an external
+	// cancellation arrives through the same path.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	rep := Report{Seed: cfg.Seed}
+	faultRNG := rand.New(rand.NewSource(cfg.Seed + 2))
+	fault := func(kind string, fields obs.Fields) {
+		met.faults.With(kind).Inc()
+		fields["kind"] = kind
+		fields["seed"] = cfg.Seed
+		cfg.Events.Warn("chaos_fault", fields)
+	}
+	f := cfg.Faults
+	lastStall := 0
+
+	// feed pushes one accepted sample through the detector inside a panic
+	// guard and pets the watchdog. A pipeline panic is recovered, counted,
+	// and the run continues — chaos runs must not abort on a contained
+	// defect; the sample it was processing is lost, like any bad sample.
+	feed := func(free, swap float64) {
+		err := met.res.Recover(func() error {
+			if f.PanicAtSample > 0 && rep.Samples+1 == f.PanicAtSample {
+				f.PanicAtSample = 0 // fire once
+				panic(fmt.Sprintf("chaos: injected pipeline panic at sample %d", rep.Samples+1))
+			}
+			mon.Add(free, swap)
+			return nil
+		})
+		var pe *resilience.PanicError
+		if errors.As(err, &pe) {
+			rep.PanicsRecovered++
+			fault("panic", obs.Fields{"panic": fmt.Sprint(pe.Value)})
+			return
+		}
+		rep.Samples++
+		met.samples.Inc()
+		wd.Pet()
+	}
+
+loop:
+	for tick := 0; tick < cfg.MaxTicks; tick++ {
+		if tick&63 == 0 && ctx.Err() != nil {
+			rep.Cancelled = true
+			break
+		}
+		counters, derr := d.Step()
+		rep.Ticks++
+
+		// Machine-level faults: leak bursts and fragmentation, injected
+		// between the step and the sample like an asynchronous fault.
+		if f.LeakBurstEvery > 0 && tick > 0 && tick%f.LeakBurstEvery == 0 {
+			if pid := d.ServerPID(); pid != 0 {
+				if err := m.InjectLeakBurst(pid, f.LeakBurstPages); err == nil {
+					rep.LeakBursts++
+					fault("leak_burst", obs.Fields{"tick": tick, "pages": f.LeakBurstPages})
+				}
+				// A burst that crashes the machine is an organic ending,
+				// observed via Crashed below.
+			}
+		}
+		if f.FragEvery > 0 && tick > 0 && tick%f.FragEvery == 0 {
+			if n, err := m.InjectFragmentation(f.FragPages); err == nil && n > 0 {
+				rep.FragmentedPages += n
+				fault("fragmentation", obs.Fields{"tick": tick, "pages": n})
+			}
+		}
+
+		// Pipeline-level faults on the sample path.
+		free, swap := counters.FreeMemoryBytes, counters.UsedSwapBytes
+		switch {
+		case f.DropRate > 0 && faultRNG.Float64() < f.DropRate:
+			rep.Dropped++
+			fault("drop", obs.Fields{"tick": tick})
+		case f.CorruptRate > 0 && faultRNG.Float64() < f.CorruptRate:
+			rep.Corrupted++
+			fault("corrupt", obs.Fields{"tick": tick})
+			free = corrupt(faultRNG, free)
+			if faultRNG.Intn(2) == 0 {
+				swap = corrupt(faultRNG, swap)
+			}
+			if acceptable(free, swap) {
+				// Sign flips on a zero counter can survive the guard;
+				// what matters is the detector never sees non-finite
+				// input, so feed it like any in-range sample.
+				feed(free, swap)
+			} else {
+				rep.SkippedBad++
+			}
+		default:
+			feed(free, swap)
+		}
+
+		if f.CancelAfterSamples > 0 && rep.Samples >= f.CancelAfterSamples {
+			fault("cancel", obs.Fields{"tick": tick, "samples": rep.Samples})
+			cancel()
+			f.CancelAfterSamples = 0 // fire once
+		}
+
+		// Stream stalls: go quiet past the watchdog deadline, once per
+		// StallEvery accepted samples.
+		if f.StallEvery > 0 && rep.Samples >= lastStall+f.StallEvery {
+			lastStall = rep.Samples
+			rep.Stalls++
+			fault("stall", obs.Fields{"tick": tick})
+			time.Sleep(cfg.StallTimeout + cfg.StallTimeout/2)
+			if wd.Stalled() {
+				rep.WatchdogStalls++
+			}
+			wd.Pet()
+		}
+
+		kind, _ := m.Crashed()
+		if derr != nil || kind != memsim.CrashNone {
+			rep.Crash = kind
+			break loop
+		}
+	}
+	if ctx.Err() != nil && !rep.Cancelled {
+		rep.Cancelled = true
+	}
+	rep.Jumps = len(mon.Jumps())
+	rep.FinalPhase = mon.Phase()
+	cfg.Events.Info("chaos_done", obs.Fields{
+		"seed": cfg.Seed, "ticks": rep.Ticks, "samples": rep.Samples,
+		"dropped": rep.Dropped, "corrupted": rep.Corrupted,
+		"stalls": rep.Stalls, "leak_bursts": rep.LeakBursts,
+		"panics": rep.PanicsRecovered, "cancelled": rep.Cancelled,
+		"phase": rep.FinalPhase.String(), "crash": rep.Crash.String(),
+	})
+	return rep, nil
+}
+
+// RunCampaign executes one chaos run per seed sequentially (chaos runs
+// stall and sleep on purpose; parallelism would let episodes mask each
+// other). Cancellation stops the campaign between runs; completed reports
+// are always returned. The error joins per-seed pipeline errors — an
+// all-green campaign returns nil.
+func RunCampaign(ctx context.Context, cfg Config, seeds []int64) ([]Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("chaos: no seeds: %w", ErrBadConfig)
+	}
+	var (
+		reports []Report
+		errs    []error
+	)
+	for _, seed := range seeds {
+		if ctx.Err() != nil {
+			break
+		}
+		run := cfg
+		run.Seed = seed
+		rep, err := Run(ctx, run)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("chaos seed %d: %w", seed, err))
+			continue
+		}
+		reports = append(reports, rep)
+	}
+	return reports, errors.Join(errs...)
+}

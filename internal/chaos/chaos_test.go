@@ -1,0 +1,313 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"agingmf/internal/collector"
+	"agingmf/internal/memsim"
+	"agingmf/internal/obs"
+	"agingmf/internal/workload"
+)
+
+// chaosConfig is a fast-crashing machine under a heavy leak: small RAM,
+// aggressive server leak, so full run-to-crash chaos runs stay in test
+// budgets.
+func chaosConfig(seed int64) Config {
+	mcfg := memsim.DefaultConfig()
+	mcfg.RAMPages = 8192
+	mcfg.SwapPages = 4096
+	mcfg.LowWatermark = 256
+	wcfg := workload.DefaultDriverConfig()
+	wcfg.Server.LeakPagesPerTick = 6
+	return Config{
+		Seed:     seed,
+		Machine:  mcfg,
+		Workload: wcfg,
+		MaxTicks: 20000,
+	}
+}
+
+func TestChaosCleanRunCrashesOrganically(t *testing.T) {
+	rep, err := Run(context.Background(), chaosConfig(1))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Crash == memsim.CrashNone {
+		t.Errorf("heavy leak should crash the machine, got %v after %d ticks", rep.Crash, rep.Ticks)
+	}
+	if rep.Samples != rep.Ticks {
+		t.Errorf("faultless run: samples %d != ticks %d", rep.Samples, rep.Ticks)
+	}
+	if rep.Dropped+rep.Corrupted+rep.Stalls+rep.PanicsRecovered != 0 {
+		t.Errorf("faultless run injected faults: %+v", rep)
+	}
+}
+
+func TestChaosSurvivesCorruptionAndDrops(t *testing.T) {
+	cfg := chaosConfig(2)
+	cfg.Faults.DropRate = 0.05
+	cfg.Faults.CorruptRate = 0.05
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("pipeline aborted under sample corruption: %v", err)
+	}
+	if rep.Dropped == 0 || rep.Corrupted == 0 {
+		t.Fatalf("faults not injected: %+v", rep)
+	}
+	if rep.SkippedBad == 0 {
+		t.Errorf("no corrupted sample was caught by the input guard: %+v", rep)
+	}
+	if rep.Samples == 0 {
+		t.Error("no samples survived to the detector")
+	}
+	if rep.Crash == memsim.CrashNone {
+		t.Errorf("corruption must not mask the organic crash: %+v", rep)
+	}
+	if rep.FinalPhase < 1 {
+		t.Errorf("detector produced no verdict: phase %v", rep.FinalPhase)
+	}
+}
+
+func TestChaosLeakBurstsAccelerateCrash(t *testing.T) {
+	base, err := Run(context.Background(), chaosConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosConfig(3)
+	cfg.Faults.LeakBurstEvery = 200
+	cfg.Faults.LeakBurstPages = 256
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("pipeline aborted under leak bursts: %v", err)
+	}
+	if rep.LeakBursts == 0 {
+		t.Fatalf("no bursts injected: %+v", rep)
+	}
+	if rep.Crash == memsim.CrashNone {
+		t.Errorf("bursts on a leaky machine should still crash it: %+v", rep)
+	}
+	if rep.Ticks >= base.Ticks {
+		t.Errorf("bursts did not accelerate the crash: %d ticks vs %d baseline", rep.Ticks, base.Ticks)
+	}
+}
+
+func TestChaosFragmentationInjected(t *testing.T) {
+	cfg := chaosConfig(4)
+	cfg.Faults.FragEvery = 100
+	cfg.Faults.FragPages = 64
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("pipeline aborted under fragmentation: %v", err)
+	}
+	if rep.FragmentedPages == 0 {
+		t.Errorf("no fragmentation recorded: %+v", rep)
+	}
+}
+
+func TestChaosStallTripsWatchdog(t *testing.T) {
+	cfg := chaosConfig(5)
+	cfg.MaxTicks = 3000
+	cfg.StallTimeout = 5 * time.Millisecond
+	cfg.Faults.StallEvery = 200
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("pipeline aborted on a stalled stream: %v", err)
+	}
+	if rep.Stalls == 0 {
+		t.Fatalf("no stalls injected: %+v", rep)
+	}
+	if rep.WatchdogStalls != rep.Stalls {
+		t.Errorf("watchdog observed %d of %d stalls", rep.WatchdogStalls, rep.Stalls)
+	}
+}
+
+func TestChaosPanicRecoveredMidPipeline(t *testing.T) {
+	cfg := chaosConfig(6)
+	cfg.Faults.PanicAtSample = 50
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("pipeline aborted on a contained panic: %v", err)
+	}
+	if rep.PanicsRecovered != 1 {
+		t.Fatalf("panics recovered = %d, want 1", rep.PanicsRecovered)
+	}
+	if rep.Samples < 100 {
+		t.Errorf("run did not continue past the panic: %d samples", rep.Samples)
+	}
+}
+
+func TestChaosCancellationEndsGracefully(t *testing.T) {
+	cfg := chaosConfig(7)
+	cfg.Faults.CancelAfterSamples = 100
+	rep, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("cancellation must not be an error: %v", err)
+	}
+	if !rep.Cancelled {
+		t.Fatalf("run not marked cancelled: %+v", rep)
+	}
+	// The cancellation check is amortized over 64-tick blocks.
+	if rep.Samples < 100 || rep.Samples > 200 {
+		t.Errorf("samples = %d, want promptly after 100", rep.Samples)
+	}
+
+	// External cancellation takes the same graceful path.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err = Run(ctx, chaosConfig(7))
+	if err != nil {
+		t.Fatalf("pre-cancelled run errored: %v", err)
+	}
+	if !rep.Cancelled || rep.Samples != 0 {
+		t.Errorf("pre-cancelled run should end immediately: %+v", rep)
+	}
+}
+
+func TestChaosDeterministicPerSeed(t *testing.T) {
+	cfg := chaosConfig(8)
+	cfg.Faults.DropRate = 0.03
+	cfg.Faults.CorruptRate = 0.03
+	cfg.Faults.LeakBurstEvery = 500
+	a, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different reports:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestChaosRejectsBadConfig(t *testing.T) {
+	for name, mutate := range map[string]func(*Config){
+		"drop rate":     func(c *Config) { c.Faults.DropRate = 1.5 },
+		"corrupt rate":  func(c *Config) { c.Faults.CorruptRate = -0.1 },
+		"stall no dog":  func(c *Config) { c.Faults.StallEvery = 10 },
+		"neg interval":  func(c *Config) { c.Faults.LeakBurstEvery = -1 },
+		"neg max ticks": func(c *Config) { c.MaxTicks = -1 },
+	} {
+		cfg := chaosConfig(1)
+		mutate(&cfg)
+		if _, err := Run(context.Background(), cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("%s: err = %v, want ErrBadConfig", name, err)
+		}
+	}
+}
+
+func TestChaosTelemetry(t *testing.T) {
+	reg := obs.NewRegistry()
+	var events strings.Builder
+	cfg := chaosConfig(9)
+	cfg.Obs = reg
+	cfg.Events = obs.NewEvents(&events, obs.LevelDebug)
+	cfg.Faults.DropRate = 0.05
+	cfg.Faults.CorruptRate = 0.05
+	cfg.Faults.PanicAtSample = 25
+	if _, err := Run(context.Background(), cfg); err != nil {
+		t.Fatal(err)
+	}
+	var expo strings.Builder
+	if err := reg.WriteText(&expo); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`agingmf_chaos_faults_total{kind="drop"}`,
+		`agingmf_chaos_faults_total{kind="corrupt"}`,
+		`agingmf_chaos_faults_total{kind="panic"}`,
+		"agingmf_chaos_samples_total",
+		"agingmf_resilience_panics_recovered_total 1",
+	} {
+		if !strings.Contains(expo.String(), want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+	for _, want := range []string{`"event":"chaos_fault"`, `"event":"chaos_done"`} {
+		if !strings.Contains(events.String(), want) {
+			t.Errorf("events missing %s", want)
+		}
+	}
+}
+
+func TestRunCampaignAggregatesSeeds(t *testing.T) {
+	cfg := chaosConfig(0)
+	cfg.MaxTicks = 4000
+	cfg.Faults.DropRate = 0.02
+	reports, err := RunCampaign(context.Background(), cfg, []int64{1, 2, 3})
+	if err != nil {
+		t.Fatalf("campaign errored: %v", err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("reports = %d, want 3", len(reports))
+	}
+	for i, seed := range []int64{1, 2, 3} {
+		if reports[i].Seed != seed {
+			t.Errorf("report %d seed = %d, want %d", i, reports[i].Seed, seed)
+		}
+	}
+	if _, err := RunCampaign(context.Background(), cfg, nil); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("empty campaign: err = %v, want ErrBadConfig", err)
+	}
+}
+
+// TestChaosFleetCancelResume is the fleet-level chaos scenario from the
+// issue's acceptance criteria, exercised through the public collector
+// API: a campaign killed mid-flight resumes from its checkpoints and the
+// merged result is byte-identical to an uninterrupted campaign.
+func TestChaosFleetCancelResume(t *testing.T) {
+	mcfg := memsim.DefaultConfig()
+	mcfg.RAMPages = 8192
+	mcfg.SwapPages = 4096
+	mcfg.LowWatermark = 256
+	wcfg := workload.DefaultDriverConfig()
+	wcfg.Server.LeakPagesPerTick = 6
+	fleet := collector.FleetConfig{
+		Machine:  mcfg,
+		Workload: wcfg,
+		Collect:  collector.Config{TicksPerSample: 1, MaxTicks: 20000, StopOnCrash: true},
+		Seeds:    []int64{11, 12, 13},
+		Workers:  1,
+	}
+
+	reference, err := collector.RunFleet(context.Background(), fleet)
+	if err != nil {
+		t.Fatalf("reference campaign: %v", err)
+	}
+
+	// Interrupted campaign: a tight deadline kills it mid-flight.
+	ckpt := t.TempDir()
+	fleet.CheckpointDir = ckpt
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	partial, err := collector.RunFleet(ctx, fleet)
+	cancel()
+	if err == nil && len(partial) == len(fleet.Seeds) {
+		t.Skip("campaign finished inside the chaos deadline; nothing to resume")
+	}
+
+	// Resume: the checkpointed seeds are skipped, the rest re-run.
+	resumed, err := collector.RunFleet(context.Background(), fleet)
+	if err != nil {
+		t.Fatalf("resumed campaign: %v", err)
+	}
+	if len(resumed) != len(reference) {
+		t.Fatalf("resumed %d runs, reference %d", len(resumed), len(reference))
+	}
+	for i := range reference {
+		var want, got strings.Builder
+		if err := reference[i].Trace.WriteCSV(&want); err != nil {
+			t.Fatal(err)
+		}
+		if err := resumed[i].Trace.WriteCSV(&got); err != nil {
+			t.Fatal(err)
+		}
+		if want.String() != got.String() {
+			t.Errorf("seed %d: resumed trace differs from uninterrupted reference", reference[i].Seed)
+		}
+	}
+}

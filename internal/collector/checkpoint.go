@@ -1,0 +1,72 @@
+package collector
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoints persist completed fleet runs so an interrupted campaign can
+// resume without redoing finished seeds. Each seed gets its own file
+// (seed_<seed>.ckpt) holding the gob-encoded FleetRun: gob round-trips
+// the exact float64 bits of every series, so a resumed campaign yields
+// byte-identical traces to an uninterrupted one (the CSV codec in
+// internal/series also round-trips exactly, but cannot carry the crash
+// metadata a FleetRun needs). Files are written to a temporary name and
+// renamed into place, so a checkpoint either exists completely or not at
+// all — a run killed mid-write never corrupts the resume state.
+
+// CheckpointPath returns the checkpoint file for one seed inside dir.
+func CheckpointPath(dir string, seed int64) string {
+	return filepath.Join(dir, fmt.Sprintf("seed_%d.ckpt", seed))
+}
+
+// WriteCheckpoint atomically persists one completed run into dir,
+// creating the directory if needed.
+func WriteCheckpoint(dir string, run FleetRun) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("checkpoint seed %d: %w", run.Seed, err)
+	}
+	path := CheckpointPath(dir, run.Seed)
+	tmp, err := os.CreateTemp(dir, ".ckpt-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint seed %d: %w", run.Seed, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := gob.NewEncoder(tmp).Encode(run); err != nil {
+		tmp.Close()
+		return fmt.Errorf("checkpoint seed %d: encode: %w", run.Seed, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint seed %d: %w", run.Seed, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint seed %d: %w", run.Seed, err)
+	}
+	return nil
+}
+
+// ReadCheckpoint loads the checkpoint for one seed. The boolean reports
+// whether a checkpoint exists; a malformed file is an error, not a silent
+// re-run, so corrupted campaign state is surfaced instead of papered over.
+func ReadCheckpoint(dir string, seed int64) (FleetRun, bool, error) {
+	f, err := os.Open(CheckpointPath(dir, seed))
+	if errors.Is(err, fs.ErrNotExist) {
+		return FleetRun{}, false, nil
+	}
+	if err != nil {
+		return FleetRun{}, false, fmt.Errorf("checkpoint seed %d: %w", seed, err)
+	}
+	defer f.Close()
+	var run FleetRun
+	if err := gob.NewDecoder(f).Decode(&run); err != nil {
+		return FleetRun{}, false, fmt.Errorf("checkpoint seed %d: decode: %w", seed, err)
+	}
+	if run.Seed != seed {
+		return FleetRun{}, false, fmt.Errorf("checkpoint seed %d: file holds seed %d", seed, run.Seed)
+	}
+	return run, true, nil
+}

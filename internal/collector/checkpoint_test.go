@@ -1,0 +1,92 @@
+package collector
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	runs, err := RunFleet(context.Background(), fleetConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, runs[0]); err != nil {
+		t.Fatalf("WriteCheckpoint: %v", err)
+	}
+	back, found, err := ReadCheckpoint(dir, 42)
+	if err != nil || !found {
+		t.Fatalf("ReadCheckpoint: found=%v err=%v", found, err)
+	}
+	if back.Seed != 42 || back.Trace.Crash != runs[0].Trace.Crash ||
+		back.Trace.CrashIndex != runs[0].Trace.CrashIndex ||
+		back.Trace.TicksPerSample != runs[0].Trace.TicksPerSample {
+		t.Errorf("metadata not preserved: %+v", back.Trace)
+	}
+	if got, want := traceCSV(t, back), traceCSV(t, runs[0]); got != want {
+		t.Error("checkpointed trace not byte-identical after reload")
+	}
+}
+
+func TestCheckpointMissingIsNotAnError(t *testing.T) {
+	_, found, err := ReadCheckpoint(t.TempDir(), 7)
+	if err != nil || found {
+		t.Fatalf("missing checkpoint: found=%v err=%v, want false/nil", found, err)
+	}
+}
+
+func TestCheckpointCorruptedFileIsSurfaced(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(CheckpointPath(dir, 7), []byte("not gob"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadCheckpoint(dir, 7); err == nil {
+		t.Fatal("corrupted checkpoint must error, not silently re-run")
+	}
+}
+
+func TestCheckpointSeedMismatchIsSurfaced(t *testing.T) {
+	runs, err := RunFleet(context.Background(), fleetConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := WriteCheckpoint(dir, runs[0]); err != nil {
+		t.Fatal(err)
+	}
+	// File named for seed 9 but holding seed 3.
+	if err := os.Rename(CheckpointPath(dir, 3), CheckpointPath(dir, 9)); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = ReadCheckpoint(dir, 9)
+	if err == nil || !strings.Contains(err.Error(), "holds seed 3") {
+		t.Fatalf("seed mismatch not surfaced: %v", err)
+	}
+}
+
+func TestCheckpointWriteIsAtomic(t *testing.T) {
+	// A failed write must not leave a partial checkpoint behind.
+	dir := t.TempDir()
+	runs, err := RunFleet(context.Background(), fleetConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpoint(dir, runs[0]); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".ckpt-") {
+			t.Errorf("temporary file %s left behind", e.Name())
+		}
+	}
+	if len(entries) != 1 || entries[0].Name() != filepath.Base(CheckpointPath(dir, 5)) {
+		t.Errorf("unexpected directory contents: %v", entries)
+	}
+}

@@ -6,6 +6,7 @@
 package collector
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -89,6 +90,18 @@ func (c Config) validate() error {
 // Collect drives the workload until crash (or MaxTicks) while sampling the
 // machine counters. The driver must be bound to the machine it steps.
 func Collect(m *memsim.Machine, d *workload.Driver, cfg Config) (Trace, error) {
+	return CollectContext(context.Background(), m, d, cfg)
+}
+
+// CollectContext is Collect with cooperative cancellation: when ctx is
+// cancelled the session stops between ticks and the context's error is
+// returned (the partial trace is discarded — a truncated run is not a
+// valid run-to-failure observation). The cancellation check is amortized
+// over 64-tick blocks to keep the sampling loop hot-path cheap.
+func CollectContext(ctx context.Context, m *memsim.Machine, d *workload.Driver, cfg Config) (Trace, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if m == nil || d == nil {
 		return Trace{}, fmt.Errorf("collect: nil machine or driver: %w", ErrBadConfig)
 	}
@@ -108,6 +121,9 @@ func Collect(m *memsim.Machine, d *workload.Driver, cfg Config) (Trace, error) {
 		procs = append(procs, float64(c.Processes))
 	}
 	for tick := 0; tick < cfg.MaxTicks; tick++ {
+		if tick&63 == 0 && ctx.Err() != nil {
+			return Trace{}, fmt.Errorf("collect: %w", context.Cause(ctx))
+		}
 		counters, err := d.Step()
 		sample := tick%cfg.TicksPerSample == 0
 		if sample {

@@ -1,6 +1,8 @@
 package collector
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -8,6 +10,7 @@ import (
 
 	"agingmf/internal/memsim"
 	"agingmf/internal/obs"
+	"agingmf/internal/resilience"
 	"agingmf/internal/workload"
 )
 
@@ -22,14 +25,31 @@ type FleetConfig struct {
 	// Collect is the per-run collection configuration.
 	Collect Config
 	// Seeds lists the run seeds; one trace is produced per seed.
+	// Duplicates are rejected (they would silently double-count runs in
+	// any downstream statistics).
 	Seeds []int64
-	// Workers bounds concurrency (0 selects 4).
+	// Workers bounds concurrency (0 selects 4; negative is an error).
 	Workers int
-	// Obs receives fleet telemetry: runs started/completed/failed
-	// counters and a per-run duration histogram. Nil disables.
+	// MaxAttempts bounds how many times one seeded run is attempted when
+	// it keeps failing transiently (0 or 1 = no retries). Only errors the
+	// Retryable classifier accepts are retried; deterministic failures
+	// (bad configuration) fail fast on the first attempt.
+	MaxAttempts int
+	// Retryable decides whether a run error is worth retrying. Nil
+	// selects resilience.IsTransient. Recovered panics arrive wrapped in
+	// *resilience.PanicError, so a classifier can opt into retrying them.
+	Retryable func(error) bool
+	// CheckpointDir, when non-empty, persists every completed run to
+	// <dir>/seed_<seed>.ckpt and, at startup, loads existing checkpoints
+	// instead of re-running those seeds — an interrupted campaign resumes
+	// where it stopped, producing byte-identical traces.
+	CheckpointDir string
+	// Obs receives fleet telemetry: runs started/completed/failed/
+	// retried/resumed counters and a per-run duration histogram. Nil
+	// disables.
 	Obs *obs.Registry
 	// Events receives per-run progress events (fleet_run_start /
-	// fleet_run_done). Nil disables.
+	// fleet_run_retry / fleet_run_resumed / fleet_run_done). Nil disables.
 	Events *obs.Events
 }
 
@@ -47,7 +67,11 @@ type fleetMetrics struct {
 	started   *obs.Counter
 	completed *obs.Counter
 	failed    *obs.Counter
+	retried   *obs.Counter
+	resumed   *obs.Counter
+	panics    *obs.Counter
 	duration  *obs.Histogram
+	res       resilience.Metrics
 }
 
 // fleetDurationBuckets spans quick-mode runs (a few ms) to full
@@ -66,31 +90,93 @@ func newFleetMetrics(reg *obs.Registry) fleetMetrics {
 			"Fleet runs completed successfully."),
 		failed: reg.Counter("agingmf_fleet_runs_failed_total",
 			"Fleet runs aborted by an error."),
+		retried: reg.Counter("agingmf_fleet_runs_retried_total",
+			"Fleet run attempts retried after a transient failure."),
+		resumed: reg.Counter("agingmf_fleet_runs_resumed_total",
+			"Fleet runs restored from a checkpoint instead of re-run."),
+		panics: reg.Counter("agingmf_fleet_run_panics_total",
+			"Fleet runs that panicked and were recovered into errors."),
 		duration: reg.Histogram("agingmf_fleet_run_duration_seconds",
 			"Wall-clock duration of one fleet run.", fleetDurationBuckets),
+		res: resilience.NewMetrics(reg),
 	}
 }
 
+// fleetOutcome is the terminal state of one seed: a run worth keeping
+// (ok), an error worth reporting, or both (a completed run whose
+// checkpoint could not be written).
+type fleetOutcome struct {
+	run FleetRun
+	err error
+	ok  bool
+}
+
+// runOne executes a single seeded collection. It is a variable so the
+// fault-injection tests can substitute failing or panicking runs.
+var runOne = runFleetOne
+
 // RunFleet executes every seeded run concurrently (bounded by Workers)
-// and returns the traces in seed order. The first error aborts the whole
-// fleet.
-func RunFleet(cfg FleetConfig) ([]FleetRun, error) {
+// and returns the completed traces in seed order. Failed seeds do not
+// discard the campaign: the returned slice holds every completed run and
+// the returned error joins the per-seed failures (nil when all seeds
+// completed), so callers can salvage partial campaigns. Transiently
+// failing runs are retried up to MaxAttempts; panicking runs are
+// recovered into per-seed errors. Cancelling ctx stops dispatching new
+// runs, interrupts in-flight collections, and reports the not-run seeds
+// as cancelled — with CheckpointDir set, a later call with the same
+// configuration resumes from the completed seeds.
+func RunFleet(ctx context.Context, cfg FleetConfig) ([]FleetRun, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(cfg.Seeds) == 0 {
 		return nil, fmt.Errorf("fleet: no seeds: %w", ErrBadConfig)
+	}
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("fleet: negative workers %d: %w", cfg.Workers, ErrBadConfig)
+	}
+	seen := make(map[int64]int, len(cfg.Seeds))
+	for i, seed := range cfg.Seeds {
+		if j, dup := seen[seed]; dup {
+			return nil, fmt.Errorf("fleet: duplicate seed %d (positions %d and %d): %w",
+				seed, j, i, ErrBadConfig)
+		}
+		seen[seed] = i
 	}
 	if err := cfg.Machine.Validate(); err != nil {
 		return nil, fmt.Errorf("fleet: %w", err)
 	}
 	workers := cfg.Workers
-	if workers <= 0 {
+	if workers == 0 {
 		workers = 4
 	}
 	if workers > len(cfg.Seeds) {
 		workers = len(cfg.Seeds)
 	}
 	met := newFleetMetrics(cfg.Obs)
-	runs := make([]FleetRun, len(cfg.Seeds))
-	errs := make([]error, len(cfg.Seeds))
+
+	outcomes := make([]fleetOutcome, len(cfg.Seeds))
+	var todo []int
+	for i, seed := range cfg.Seeds {
+		if cfg.CheckpointDir == "" {
+			todo = append(todo, i)
+			continue
+		}
+		run, found, err := ReadCheckpoint(cfg.CheckpointDir, seed)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: resume: %w", err)
+		}
+		if !found {
+			todo = append(todo, i)
+			continue
+		}
+		outcomes[i] = fleetOutcome{run: run, ok: true}
+		met.resumed.Inc()
+		cfg.Events.Info("fleet_run_resumed", obs.Fields{
+			"seed": seed, "run": i, "samples": run.Trace.Len(),
+		})
+	}
+
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -98,46 +184,108 @@ func RunFleet(cfg FleetConfig) ([]FleetRun, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				seed := cfg.Seeds[i]
-				met.started.Inc()
-				cfg.Events.Info("fleet_run_start", obs.Fields{"seed": seed, "run": i})
-				start := time.Now()
-				runs[i], errs[i] = runFleetOne(cfg, seed)
-				elapsed := time.Since(start)
-				met.duration.Observe(elapsed.Seconds())
-				fields := obs.Fields{
-					"seed":       seed,
-					"run":        i,
-					"elapsed_ms": elapsed.Milliseconds(),
-				}
-				if errs[i] != nil {
-					met.failed.Inc()
-					fields["error"] = errs[i].Error()
-					cfg.Events.Error("fleet_run_done", fields)
-					continue
-				}
-				met.completed.Inc()
-				fields["samples"] = runs[i].Trace.Len()
-				fields["crash"] = runs[i].Trace.Crash.String()
-				cfg.Events.Info("fleet_run_done", fields)
+				outcomes[i] = fleetAttempt(ctx, cfg, met, i)
 			}
 		}()
 	}
-	for i := range cfg.Seeds {
-		jobs <- i
+dispatch:
+	for _, i := range todo {
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case jobs <- i:
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	// Seeds never dispatched (cancelled before their turn) are reported
+	// as such; the zero outcome marks them.
+	for _, i := range todo {
+		if !outcomes[i].ok && outcomes[i].err == nil {
+			outcomes[i].err = fmt.Errorf("fleet seed %d: not run: %w", cfg.Seeds[i], context.Cause(ctx))
 		}
 	}
-	return runs, nil
+
+	runs := make([]FleetRun, 0, len(cfg.Seeds))
+	errs := make([]error, 0, len(cfg.Seeds))
+	for _, o := range outcomes {
+		if o.ok {
+			runs = append(runs, o.run)
+		}
+		if o.err != nil {
+			errs = append(errs, o.err)
+		}
+	}
+	return runs, errors.Join(errs...)
+}
+
+// fleetAttempt runs one seed to completion: bounded retries around a
+// panic-recovered collection, then (optionally) a checkpoint write.
+func fleetAttempt(ctx context.Context, cfg FleetConfig, met fleetMetrics, i int) fleetOutcome {
+	seed := cfg.Seeds[i]
+	if ctx.Err() != nil {
+		return fleetOutcome{err: fmt.Errorf("fleet seed %d: not run: %w", seed, context.Cause(ctx))}
+	}
+	met.started.Inc()
+	cfg.Events.Info("fleet_run_start", obs.Fields{"seed": seed, "run": i})
+	start := time.Now()
+	recoverMet := resilience.Metrics{Panics: met.panics}
+	retryMet := met.res
+	retryMet.Retries = met.retried // the fleet-specific retry counter
+	attempts := cfg.MaxAttempts
+	if attempts < 1 {
+		attempts = 1 // RetryConfig's zero default is 3; the fleet's is no-retry
+	}
+	var run FleetRun
+	err := resilience.Retry(ctx, resilience.RetryConfig{
+		MaxAttempts: attempts,
+		Classify:    cfg.Retryable,
+		Metrics:     retryMet,
+	}, func(attempt int) error {
+		if attempt > 1 {
+			cfg.Events.Warn("fleet_run_retry", obs.Fields{
+				"seed": seed, "run": i, "attempt": attempt,
+			})
+		}
+		var rerr error
+		if perr := recoverMet.Recover(func() error {
+			run, rerr = runOne(ctx, cfg, seed)
+			return rerr
+		}); perr != nil {
+			return fmt.Errorf("fleet seed %d: %w", seed, perr)
+		}
+		return rerr
+	})
+	elapsed := time.Since(start)
+	met.duration.Observe(elapsed.Seconds())
+	fields := obs.Fields{
+		"seed":       seed,
+		"run":        i,
+		"elapsed_ms": elapsed.Milliseconds(),
+	}
+	if err != nil {
+		met.failed.Inc()
+		fields["error"] = err.Error()
+		cfg.Events.Error("fleet_run_done", fields)
+		return fleetOutcome{err: err}
+	}
+	met.completed.Inc()
+	fields["samples"] = run.Trace.Len()
+	fields["crash"] = run.Trace.Crash.String()
+	cfg.Events.Info("fleet_run_done", fields)
+	out := fleetOutcome{run: run, ok: true}
+	if cfg.CheckpointDir != "" {
+		if cerr := WriteCheckpoint(cfg.CheckpointDir, run); cerr != nil {
+			// The trace is still good; report the broken checkpoint
+			// alongside it rather than discarding the work.
+			out.err = fmt.Errorf("fleet: %w", cerr)
+		}
+	}
+	return out
 }
 
 // runFleetOne executes a single seeded collection.
-func runFleetOne(cfg FleetConfig, seed int64) (FleetRun, error) {
+func runFleetOne(ctx context.Context, cfg FleetConfig, seed int64) (FleetRun, error) {
 	m, err := memsim.New(cfg.Machine, rand.New(rand.NewSource(seed)))
 	if err != nil {
 		return FleetRun{}, fmt.Errorf("fleet seed %d: %w", seed, err)
@@ -153,7 +301,7 @@ func runFleetOne(cfg FleetConfig, seed int64) (FleetRun, error) {
 	if err != nil {
 		return FleetRun{}, fmt.Errorf("fleet seed %d: %w", seed, err)
 	}
-	tr, err := Collect(m, d, cfg.Collect)
+	tr, err := CollectContext(ctx, m, d, cfg.Collect)
 	if err != nil {
 		return FleetRun{}, fmt.Errorf("fleet seed %d: %w", seed, err)
 	}

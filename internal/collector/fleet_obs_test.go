@@ -2,6 +2,7 @@ package collector
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ func TestRunFleetTelemetry(t *testing.T) {
 	cfg := fleetConfig(1, 2, 3)
 	cfg.Obs = reg
 	cfg.Events = obs.NewEvents(&events, obs.LevelInfo)
-	if _, err := RunFleet(cfg); err != nil {
+	if _, err := RunFleet(context.Background(), cfg); err != nil {
 		t.Fatalf("RunFleet: %v", err)
 	}
 	var buf bytes.Buffer
@@ -59,7 +60,7 @@ func TestRunFleetFailureCountsFailed(t *testing.T) {
 	cfg := fleetConfig(1)
 	cfg.Collect.MaxTicks = 0 // invalid: every run fails
 	cfg.Obs = reg
-	if _, err := RunFleet(cfg); err == nil {
+	if _, err := RunFleet(context.Background(), cfg); err == nil {
 		t.Fatal("invalid collect config should fail the fleet")
 	}
 	var buf bytes.Buffer
@@ -73,13 +74,13 @@ func TestRunFleetFailureCountsFailed(t *testing.T) {
 
 func TestRunFleetNilTelemetryUnchanged(t *testing.T) {
 	// Obs/Events default to nil; the fleet must behave identically.
-	a, err := RunFleet(fleetConfig(9))
+	a, err := RunFleet(context.Background(), fleetConfig(9))
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := fleetConfig(9)
 	cfg.Obs = obs.NewRegistry()
-	b, err := RunFleet(cfg)
+	b, err := RunFleet(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,294 @@
+package collector
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"agingmf/internal/obs"
+	"agingmf/internal/resilience"
+)
+
+// stubRunOne substitutes the per-seed run for the duration of one test.
+func stubRunOne(t *testing.T, fn func(ctx context.Context, cfg FleetConfig, seed int64) (FleetRun, error)) {
+	t.Helper()
+	old := runOne
+	runOne = fn
+	t.Cleanup(func() { runOne = old })
+}
+
+// exposition renders the registry for substring assertions.
+func exposition(t *testing.T, reg *obs.Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// traceCSV renders one run's trace to its canonical CSV bytes — the
+// "byte-identical" currency of the resume tests.
+func traceCSV(t *testing.T, run FleetRun) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run.Trace.WriteCSV(&buf); err != nil {
+		t.Fatalf("seed %d: WriteCSV: %v", run.Seed, err)
+	}
+	return buf.String()
+}
+
+func TestRunFleetSalvagesPartialResults(t *testing.T) {
+	boom := errors.New("seed 2 exploded")
+	stubRunOne(t, func(ctx context.Context, cfg FleetConfig, seed int64) (FleetRun, error) {
+		if seed == 2 {
+			return FleetRun{}, boom
+		}
+		return runFleetOne(ctx, cfg, seed)
+	})
+	reg := obs.NewRegistry()
+	cfg := fleetConfig(1, 2, 3)
+	cfg.Obs = reg
+	runs, err := RunFleet(context.Background(), cfg)
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrap of the seed-2 failure", err)
+	}
+	if len(runs) != 2 || runs[0].Seed != 1 || runs[1].Seed != 3 {
+		t.Fatalf("salvaged runs = %+v, want seeds 1 and 3 in order", runs)
+	}
+	out := exposition(t, reg)
+	for _, want := range []string{
+		"agingmf_fleet_runs_completed_total 2",
+		"agingmf_fleet_runs_failed_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestRunFleetRetriesTransientFailures(t *testing.T) {
+	var mu sync.Mutex
+	failed := false
+	stubRunOne(t, func(ctx context.Context, cfg FleetConfig, seed int64) (FleetRun, error) {
+		mu.Lock()
+		first := seed == 2 && !failed
+		if first {
+			failed = true
+		}
+		mu.Unlock()
+		if first {
+			return FleetRun{}, resilience.Transient(errors.New("spurious infrastructure failure"))
+		}
+		return runFleetOne(ctx, cfg, seed)
+	})
+	reg := obs.NewRegistry()
+	var events bytes.Buffer
+	cfg := fleetConfig(1, 2, 3)
+	cfg.Obs = reg
+	cfg.Events = obs.NewEvents(&events, obs.LevelInfo)
+	cfg.MaxAttempts = 3
+	runs, err := RunFleet(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("RunFleet: %v (the transient failure should have healed)", err)
+	}
+	if len(runs) != 3 {
+		t.Fatalf("runs = %d, want 3", len(runs))
+	}
+	out := exposition(t, reg)
+	for _, want := range []string{
+		"agingmf_fleet_runs_retried_total 1",
+		"agingmf_fleet_runs_failed_total 0",
+		"agingmf_fleet_runs_completed_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(events.String(), "fleet_run_retry") {
+		t.Error("retry event not emitted")
+	}
+}
+
+func TestRunFleetDoesNotRetryPermanentFailures(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	stubRunOne(t, func(ctx context.Context, cfg FleetConfig, seed int64) (FleetRun, error) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		return FleetRun{}, errors.New("deterministic failure")
+	})
+	cfg := fleetConfig(5)
+	cfg.MaxAttempts = 4
+	if _, err := RunFleet(context.Background(), cfg); err == nil {
+		t.Fatal("want failure")
+	}
+	if calls != 1 {
+		t.Errorf("permanent failure attempted %d times, want 1", calls)
+	}
+}
+
+func TestRunFleetRecoversPanics(t *testing.T) {
+	stubRunOne(t, func(ctx context.Context, cfg FleetConfig, seed int64) (FleetRun, error) {
+		if seed == 2 {
+			panic("corrupted run state")
+		}
+		return runFleetOne(ctx, cfg, seed)
+	})
+	reg := obs.NewRegistry()
+	cfg := fleetConfig(1, 2, 3)
+	cfg.Obs = reg
+	runs, err := RunFleet(context.Background(), cfg)
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a *resilience.PanicError in the join", err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("panicking seed destroyed the campaign: %d runs", len(runs))
+	}
+	out := exposition(t, reg)
+	for _, want := range []string{
+		"agingmf_fleet_run_panics_total 1",
+		"agingmf_fleet_runs_completed_total 2",
+		"agingmf_fleet_runs_failed_total 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestRunFleetRejectsBadWorkersAndDuplicateSeeds(t *testing.T) {
+	neg := fleetConfig(1)
+	neg.Workers = -2
+	if _, err := RunFleet(context.Background(), neg); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("negative workers: err = %v, want ErrBadConfig", err)
+	}
+	dup := fleetConfig(1, 2, 1)
+	if _, err := RunFleet(context.Background(), dup); !errors.Is(err, ErrBadConfig) {
+		t.Errorf("duplicate seeds: err = %v, want ErrBadConfig", err)
+	} else if !strings.Contains(err.Error(), "duplicate seed 1") {
+		t.Errorf("duplicate-seed error not descriptive: %v", err)
+	}
+}
+
+func TestRunFleetCheckpointsAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	cfg := fleetConfig(1, 2, 3)
+	cfg.CheckpointDir = dir
+	first, err := RunFleet(context.Background(), cfg)
+	if err != nil || len(first) != 3 {
+		t.Fatalf("first campaign: %d runs, err %v", len(first), err)
+	}
+	// A second identical call must resume every seed from its checkpoint.
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	second, err := RunFleet(context.Background(), cfg)
+	if err != nil || len(second) != 3 {
+		t.Fatalf("resumed campaign: %d runs, err %v", len(second), err)
+	}
+	out := exposition(t, reg)
+	for _, want := range []string{
+		"agingmf_fleet_runs_resumed_total 3",
+		"agingmf_fleet_runs_started_total 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	for i := range first {
+		if got, want := traceCSV(t, second[i]), traceCSV(t, first[i]); got != want {
+			t.Errorf("seed %d: resumed trace differs from the original", first[i].Seed)
+		}
+	}
+}
+
+func TestRunFleetCancelMidCampaignResumesExactly(t *testing.T) {
+	// Reference: an uninterrupted campaign.
+	cfg := fleetConfig(11, 12, 13, 14)
+	want, err := RunFleet(context.Background(), cfg)
+	if err != nil || len(want) != 4 {
+		t.Fatalf("reference campaign: %d runs, err %v", len(want), err)
+	}
+
+	// Interrupted campaign: cancel after the first completed run.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var mu sync.Mutex
+	completed := 0
+	stubRunOne(t, func(ctx context.Context, cfg FleetConfig, seed int64) (FleetRun, error) {
+		run, err := runFleetOne(ctx, cfg, seed)
+		mu.Lock()
+		if err == nil {
+			completed++
+			if completed == 1 {
+				cancel()
+			}
+		}
+		mu.Unlock()
+		return run, err
+	})
+	dir := t.TempDir()
+	icfg := fleetConfig(11, 12, 13, 14)
+	icfg.CheckpointDir = dir
+	icfg.Workers = 1 // serialize so the cancellation point is deterministic
+	partial, err := RunFleet(ctx, icfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted campaign err = %v, want context.Canceled in the join", err)
+	}
+	if len(partial) == 0 || len(partial) == 4 {
+		t.Fatalf("interrupted campaign completed %d of 4 runs, want a strict subset", len(partial))
+	}
+
+	// Resume with a fresh context: the checkpointed seeds are skipped and
+	// the final traces are byte-identical to the uninterrupted campaign.
+	reg := obs.NewRegistry()
+	rcfg := fleetConfig(11, 12, 13, 14)
+	rcfg.CheckpointDir = dir
+	rcfg.Obs = reg
+	got, err := RunFleet(context.Background(), rcfg)
+	if err != nil {
+		t.Fatalf("resumed campaign: %v", err)
+	}
+	if len(got) != 4 {
+		t.Fatalf("resumed campaign produced %d runs, want 4", len(got))
+	}
+	if !strings.Contains(exposition(t, reg), "agingmf_fleet_runs_resumed_total "+strconv.Itoa(len(partial))) {
+		t.Errorf("resumed counter != %d checkpointed runs", len(partial))
+	}
+	for i := range want {
+		if got[i].Seed != want[i].Seed {
+			t.Fatalf("run %d seed = %d, want %d", i, got[i].Seed, want[i].Seed)
+		}
+		if traceCSV(t, got[i]) != traceCSV(t, want[i]) {
+			t.Errorf("seed %d: resumed trace not byte-identical to the uninterrupted run", want[i].Seed)
+		}
+	}
+}
+
+func TestRunFleetCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	runs, err := RunFleet(ctx, fleetConfig(1, 2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(runs) != 0 {
+		t.Errorf("cancelled-before-start campaign produced %d runs", len(runs))
+	}
+}
+
+func TestCollectContextCancellation(t *testing.T) {
+	cfg := fleetConfig(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := runFleetOne(ctx, cfg, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("CollectContext under a cancelled context: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package collector
 
 import (
+	"context"
 	"testing"
 
 	"agingmf/internal/memsim"
@@ -24,7 +25,7 @@ func fleetConfig(seeds ...int64) FleetConfig {
 
 func TestRunFleetProducesOneTracePerSeed(t *testing.T) {
 	cfg := fleetConfig(1, 2, 3)
-	runs, err := RunFleet(cfg)
+	runs, err := RunFleet(context.Background(), cfg)
 	if err != nil {
 		t.Fatalf("RunFleet: %v", err)
 	}
@@ -50,11 +51,11 @@ func TestRunFleetProducesOneTracePerSeed(t *testing.T) {
 }
 
 func TestRunFleetDeterministicPerSeed(t *testing.T) {
-	a, err := RunFleet(fleetConfig(7))
+	a, err := RunFleet(context.Background(), fleetConfig(7))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunFleet(fleetConfig(7))
+	b, err := RunFleet(context.Background(), fleetConfig(7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestRunFleetDoesNotShareServerSpec(t *testing.T) {
 	cfg := fleetConfig(1, 2, 3, 4, 5, 6)
 	cfg.Workers = 6
 	before := *cfg.Workload.Server
-	if _, err := RunFleet(cfg); err != nil {
+	if _, err := RunFleet(context.Background(), cfg); err != nil {
 		t.Fatalf("RunFleet: %v", err)
 	}
 	if *cfg.Workload.Server != before {
@@ -84,17 +85,17 @@ func TestRunFleetDoesNotShareServerSpec(t *testing.T) {
 
 func TestRunFleetValidation(t *testing.T) {
 	cfg := fleetConfig()
-	if _, err := RunFleet(cfg); err == nil {
+	if _, err := RunFleet(context.Background(), cfg); err == nil {
 		t.Error("no seeds should fail")
 	}
 	bad := fleetConfig(1)
 	bad.Machine.RAMPages = 0
-	if _, err := RunFleet(bad); err == nil {
+	if _, err := RunFleet(context.Background(), bad); err == nil {
 		t.Error("bad machine config should fail")
 	}
 	badCollect := fleetConfig(1)
 	badCollect.Collect.MaxTicks = 0
-	if _, err := RunFleet(badCollect); err == nil {
+	if _, err := RunFleet(context.Background(), badCollect); err == nil {
 		t.Error("bad collect config should fail")
 	}
 }

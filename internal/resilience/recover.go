@@ -1,0 +1,49 @@
+package resilience
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError is a panic converted into an error by Recover. It wraps the
+// panic value (as an error when it was one) and carries the goroutine
+// stack captured at recovery time.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the formatted goroutine stack at the recovery point.
+	Stack []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("recovered panic: %v", e.Value)
+}
+
+// Unwrap exposes the panic value when it was itself an error, so
+// errors.Is/As see through the recovery.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// Recover runs fn, converting a panic into a *PanicError so one
+// misbehaving unit of work (a fleet run, a chaos step) degrades into an
+// ordinary per-item failure instead of killing the whole process. The
+// Metrics receiver counts each recovery; the zero Metrics value works.
+func (m Metrics) Recover(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			m.Panics.Inc()
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// Recover is the uninstrumented convenience form of Metrics.Recover.
+func Recover(fn func() error) error {
+	return Metrics{}.Recover(fn)
+}

@@ -1,0 +1,203 @@
+// Package resilience is the repository's fault-tolerance toolkit: bounded
+// retries with exponential backoff and jitter, a watchdog that notices
+// stalled sample streams, and a panic-to-error recovery wrapper. The
+// collection pipeline (collector fleet runner, agingmon, chaos harness)
+// threads these through its long-running paths so that one transient
+// failure, one stuck producer or one panicking run cannot take down a
+// whole measurement campaign — the operational counterpart of the paper's
+// thesis that long-running systems must survive their own degradation.
+//
+// Like internal/obs, everything here is nil-safe and dependency-free:
+// a zero Metrics value is a valid no-op instrument set, and a nil
+// *Watchdog ignores all method calls, so callers wire resilience in
+// unconditionally and users opt in to the parts they need.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"agingmf/internal/obs"
+)
+
+// transientError marks an error as retryable. It is created by Transient
+// and detected by IsTransient through arbitrarily deep wrapping.
+type transientError struct{ err error }
+
+// Error implements the error interface.
+func (e *transientError) Error() string { return e.err.Error() }
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient marks err as retryable: Retry (with a nil Classify) will
+// attempt again after a failure carrying this mark anywhere in its chain.
+// A nil err stays nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err carries a Transient mark anywhere in
+// its wrap chain.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// Metrics bundles the obs instruments of this package. The zero value is
+// fully functional (every instrument nil, every update a no-op); use
+// NewMetrics to register the real families on a registry.
+type Metrics struct {
+	// Retries counts retry attempts after a failed first try
+	// (agingmf_resilience_retries_total).
+	Retries *obs.Counter
+	// Backoff observes each backoff pause in seconds
+	// (agingmf_resilience_backoff_seconds).
+	Backoff *obs.Histogram
+	// Stalls counts watchdog deadline expiries
+	// (agingmf_resilience_watchdog_stalls_total).
+	Stalls *obs.Counter
+	// Panics counts panics converted to errors by Recover
+	// (agingmf_resilience_panics_recovered_total).
+	Panics *obs.Counter
+}
+
+// backoffBuckets spans sub-millisecond test backoffs to multi-minute
+// production pauses.
+var backoffBuckets = []float64{
+	0.0001, 0.001, 0.01, 0.1, 0.5, 1, 5, 30, 120,
+}
+
+// NewMetrics registers the resilience families on reg; a nil registry
+// yields the zero (no-op) Metrics.
+func NewMetrics(reg *obs.Registry) Metrics {
+	return Metrics{
+		Retries: reg.Counter("agingmf_resilience_retries_total",
+			"Retry attempts made after a failed first try."),
+		Backoff: reg.Histogram("agingmf_resilience_backoff_seconds",
+			"Backoff pause before each retry attempt.", backoffBuckets),
+		Stalls: reg.Counter("agingmf_resilience_watchdog_stalls_total",
+			"Watchdog deadline expiries (stalled sample streams)."),
+		Panics: reg.Counter("agingmf_resilience_panics_recovered_total",
+			"Panics converted to errors by Recover."),
+	}
+}
+
+// RetryConfig shapes one Retry call. The zero value is usable: 3 attempts,
+// 10ms base delay doubling to a 5s cap, no jitter.
+type RetryConfig struct {
+	// MaxAttempts bounds the total tries, first included (0 selects 3;
+	// 1 means no retry).
+	MaxAttempts int
+	// BaseDelay is the pause before the first retry (0 selects 10ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the grown delay (0 selects 5s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts (values <= 1 select 2).
+	Multiplier float64
+	// Jitter randomizes each delay into [delay*(1-Jitter), delay] to
+	// de-synchronize competing retriers. Must be in [0, 1]; it only takes
+	// effect when Rand is non-nil, preserving determinism by default.
+	Jitter float64
+	// Rand is the jitter source. Nil disables jitter.
+	Rand *rand.Rand
+	// Classify decides whether an error is worth retrying. Nil selects
+	// IsTransient.
+	Classify func(error) bool
+	// Sleep replaces the inter-attempt pause (tests). Nil selects a
+	// context-aware sleep.
+	Sleep func(context.Context, time.Duration) error
+	// Metrics receives retry counts and backoff observations.
+	Metrics Metrics
+}
+
+// withDefaults resolves the zero-value conveniences.
+func (c RetryConfig) withDefaults() RetryConfig {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BaseDelay <= 0 {
+		c.BaseDelay = 10 * time.Millisecond
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 5 * time.Second
+	}
+	if c.Multiplier <= 1 {
+		c.Multiplier = 2
+	}
+	if c.Classify == nil {
+		c.Classify = IsTransient
+	}
+	if c.Sleep == nil {
+		c.Sleep = sleepCtx
+	}
+	return c
+}
+
+// sleepCtx pauses for d or until ctx is done, whichever comes first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Retry runs fn (passing the 1-based attempt number) until it succeeds,
+// returns a non-retryable error, exhausts MaxAttempts, or ctx is
+// cancelled. Between attempts it pauses with exponential backoff and
+// optional jitter. The returned error is fn's last error (annotated with
+// the attempt count when more than one attempt was made), or the context
+// error when cancellation cut the loop short.
+func Retry(ctx context.Context, cfg RetryConfig, fn func(attempt int) error) error {
+	cfg = cfg.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	delay := cfg.BaseDelay
+	var err error
+	for attempt := 1; ; attempt++ {
+		if cerr := ctx.Err(); cerr != nil {
+			if err != nil {
+				return fmt.Errorf("retry cancelled after %d attempts: %w", attempt-1, errors.Join(cerr, err))
+			}
+			return cerr
+		}
+		err = fn(attempt)
+		if err == nil {
+			return nil
+		}
+		if attempt >= cfg.MaxAttempts || !cfg.Classify(err) {
+			if attempt > 1 {
+				return fmt.Errorf("after %d attempts: %w", attempt, err)
+			}
+			return err
+		}
+		pause := delay
+		if cfg.Rand != nil && cfg.Jitter > 0 {
+			j := cfg.Jitter
+			if j > 1 {
+				j = 1
+			}
+			pause = time.Duration(float64(pause) * (1 - j*cfg.Rand.Float64()))
+		}
+		cfg.Metrics.Retries.Inc()
+		cfg.Metrics.Backoff.Observe(pause.Seconds())
+		if serr := cfg.Sleep(ctx, pause); serr != nil {
+			return fmt.Errorf("retry cancelled after %d attempts: %w", attempt, errors.Join(serr, err))
+		}
+		delay = time.Duration(float64(delay) * cfg.Multiplier)
+		if delay > cfg.MaxDelay {
+			delay = cfg.MaxDelay
+		}
+	}
+}

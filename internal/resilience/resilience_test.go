@@ -1,0 +1,236 @@
+package resilience
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"agingmf/internal/obs"
+)
+
+// instantSleep records requested pauses without waiting.
+func instantSleep(pauses *[]time.Duration) func(context.Context, time.Duration) error {
+	return func(ctx context.Context, d time.Duration) error {
+		*pauses = append(*pauses, d)
+		return ctx.Err()
+	}
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	var pauses []time.Duration
+	calls := 0
+	err := Retry(context.Background(), RetryConfig{
+		MaxAttempts: 5,
+		BaseDelay:   10 * time.Millisecond,
+		Sleep:       instantSleep(&pauses),
+	}, func(attempt int) error {
+		calls++
+		if attempt != calls {
+			t.Errorf("attempt = %d on call %d", attempt, calls)
+		}
+		if calls < 3 {
+			return Transient(errors.New("flaky"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Retry: %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	// Exponential growth: 10ms then 20ms.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(pauses) != len(want) {
+		t.Fatalf("pauses = %v, want %v", pauses, want)
+	}
+	for i := range want {
+		if pauses[i] != want[i] {
+			t.Errorf("pause %d = %v, want %v", i, pauses[i], want[i])
+		}
+	}
+}
+
+func TestRetryStopsOnPermanentError(t *testing.T) {
+	calls := 0
+	perm := errors.New("bad config")
+	err := Retry(context.Background(), RetryConfig{MaxAttempts: 5, Sleep: instantSleep(new([]time.Duration))},
+		func(int) error { calls++; return perm })
+	if !errors.Is(err, perm) {
+		t.Fatalf("err = %v, want wrap of %v", err, perm)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d: permanent errors must not be retried", calls)
+	}
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), RetryConfig{MaxAttempts: 3, Sleep: instantSleep(new([]time.Duration))},
+		func(int) error { calls++; return Transient(fmt.Errorf("try %d", calls)) })
+	if err == nil || calls != 3 {
+		t.Fatalf("err = %v after %d calls, want failure after 3", err, calls)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error does not report the attempt count: %v", err)
+	}
+	if !IsTransient(err) {
+		t.Errorf("final error lost its transient mark: %v", err)
+	}
+}
+
+func TestRetryDelayCapAndJitter(t *testing.T) {
+	var pauses []time.Duration
+	err := Retry(context.Background(), RetryConfig{
+		MaxAttempts: 6,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    300 * time.Millisecond,
+		Sleep:       instantSleep(&pauses),
+	}, func(int) error { return Transient(errors.New("x")) })
+	if err == nil {
+		t.Fatal("want exhaustion")
+	}
+	// 100, 200, 300 (capped), 300, 300.
+	if last := pauses[len(pauses)-1]; last != 300*time.Millisecond {
+		t.Errorf("delay not capped: %v", pauses)
+	}
+	// With jitter, every pause lands in [delay/2, delay].
+	pauses = nil
+	_ = Retry(context.Background(), RetryConfig{
+		MaxAttempts: 8,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    100 * time.Millisecond,
+		Jitter:      0.5,
+		Rand:        rand.New(rand.NewSource(1)),
+		Sleep:       instantSleep(&pauses),
+	}, func(int) error { return Transient(errors.New("x")) })
+	for i, p := range pauses {
+		if p < 50*time.Millisecond || p > 100*time.Millisecond {
+			t.Errorf("jittered pause %d = %v outside [50ms, 100ms]", i, p)
+		}
+	}
+}
+
+func TestRetryHonoursContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Retry(ctx, RetryConfig{MaxAttempts: 10}, func(int) error {
+		calls++
+		cancel()
+		return Transient(errors.New("flaky"))
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d after cancellation, want 1", calls)
+	}
+}
+
+func TestRetryNilContextAndZeroConfig(t *testing.T) {
+	calls := 0
+	err := Retry(nil, RetryConfig{Sleep: instantSleep(new([]time.Duration))}, //nolint:staticcheck // nil ctx is part of the contract
+		func(int) error {
+			calls++
+			if calls < 2 {
+				return Transient(errors.New("once"))
+			}
+			return nil
+		})
+	if err != nil || calls != 2 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+}
+
+func TestRetryCustomClassify(t *testing.T) {
+	calls := 0
+	err := Retry(context.Background(), RetryConfig{
+		MaxAttempts: 4,
+		Classify:    func(error) bool { return true },
+		Sleep:       instantSleep(new([]time.Duration)),
+	}, func(int) error {
+		calls++
+		if calls < 2 {
+			return errors.New("unmarked but retryable")
+		}
+		return nil
+	})
+	if err != nil || calls != 2 {
+		t.Fatalf("err = %v, calls = %d", err, calls)
+	}
+}
+
+func TestRetryMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	_ = Retry(context.Background(), RetryConfig{
+		MaxAttempts: 3,
+		Metrics:     m,
+		Sleep:       instantSleep(new([]time.Duration)),
+	}, func(int) error { return Transient(errors.New("x")) })
+	if got := m.Retries.Value(); got != 2 {
+		t.Errorf("retries counter = %d, want 2", got)
+	}
+	if got := m.Backoff.Count(); got != 2 {
+		t.Errorf("backoff observations = %d, want 2", got)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "agingmf_resilience_retries_total 2") {
+		t.Errorf("exposition missing retries counter:\n%s", buf.String())
+	}
+}
+
+func TestTransientClassification(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) must stay nil")
+	}
+	base := errors.New("io timeout")
+	wrapped := fmt.Errorf("run 3: %w", Transient(base))
+	if !IsTransient(wrapped) {
+		t.Error("transient mark lost through wrapping")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Error("cause lost through Transient")
+	}
+	if IsTransient(base) {
+		t.Error("unmarked error classified transient")
+	}
+}
+
+func TestRecoverConvertsPanics(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	err := m.Recover(func() error { panic("boom") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *PanicError", err)
+	}
+	if pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = %+v, want value and stack", pe)
+	}
+	if got := m.Panics.Value(); got != 1 {
+		t.Errorf("panics counter = %d, want 1", got)
+	}
+	// A panicking error value unwraps to the cause.
+	cause := errors.New("root")
+	err = Recover(func() error { panic(cause) })
+	if !errors.Is(err, cause) {
+		t.Errorf("panic(error) does not unwrap to the cause: %v", err)
+	}
+	// Ordinary returns pass through.
+	if err := Recover(func() error { return nil }); err != nil {
+		t.Errorf("clean call returned %v", err)
+	}
+	plain := errors.New("plain")
+	if err := Recover(func() error { return plain }); !errors.Is(err, plain) {
+		t.Errorf("plain error mangled: %v", err)
+	}
+}

@@ -1,0 +1,100 @@
+package resilience
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"agingmf/internal/obs"
+)
+
+// waitFor polls cond for up to 2s — generous against CI scheduling noise
+// while returning quickly in the common case.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestWatchdogFiresOnStall(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	var fired atomic.Int64
+	w := NewWatchdog(10*time.Millisecond, m, func(gap time.Duration) {
+		if gap < 10*time.Millisecond {
+			t.Errorf("stall gap %v below deadline", gap)
+		}
+		fired.Add(1)
+	})
+	defer w.Stop()
+	waitFor(t, "stall", func() bool { return w.Stalled() })
+	if fired.Load() != 1 {
+		t.Errorf("callback fired %d times, want 1", fired.Load())
+	}
+	if w.Stalls() != 1 || m.Stalls.Value() != 1 {
+		t.Errorf("stalls = %d (metric %d), want 1", w.Stalls(), m.Stalls.Value())
+	}
+	if err := w.Healthy(); err == nil || !strings.Contains(err.Error(), "stalled") {
+		t.Errorf("Healthy() = %v while stalled", err)
+	}
+	// A stall fires once per episode, not repeatedly.
+	time.Sleep(30 * time.Millisecond)
+	if w.Stalls() != 1 {
+		t.Errorf("stall re-fired without a pet: %d", w.Stalls())
+	}
+	// A pet recovers the stream and re-arms the deadline.
+	if was := w.Pet(); !was {
+		t.Error("Pet did not report the cleared stall")
+	}
+	if w.Stalled() || w.Healthy() != nil {
+		t.Error("still stalled after a pet")
+	}
+	waitFor(t, "second stall", func() bool { return w.Stalls() == 2 })
+}
+
+func TestWatchdogStaysQuietWhilePetted(t *testing.T) {
+	w := NewWatchdog(50*time.Millisecond, Metrics{}, nil)
+	defer w.Stop()
+	for i := 0; i < 10; i++ {
+		time.Sleep(5 * time.Millisecond)
+		if w.Pet() {
+			t.Fatal("stall reported on a live stream")
+		}
+	}
+	if w.Stalled() || w.Stalls() != 0 {
+		t.Errorf("stalled=%v stalls=%d on a live stream", w.Stalled(), w.Stalls())
+	}
+}
+
+func TestWatchdogNilIsDisabled(t *testing.T) {
+	var w *Watchdog
+	if w = NewWatchdog(0, Metrics{}, nil); w != nil {
+		t.Fatal("zero timeout must return the nil watchdog")
+	}
+	// Every method must be a safe no-op.
+	if w.Pet() || w.Stalled() || w.Stalls() != 0 || w.Healthy() != nil {
+		t.Error("nil watchdog not quiet")
+	}
+	w.Stop()
+}
+
+func TestWatchdogStop(t *testing.T) {
+	var fired atomic.Int64
+	w := NewWatchdog(10*time.Millisecond, Metrics{}, func(time.Duration) { fired.Add(1) })
+	w.Stop()
+	w.Stop() // idempotent
+	time.Sleep(30 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Errorf("stopped watchdog fired %d times", fired.Load())
+	}
+	if w.Pet() {
+		t.Error("Pet after Stop reported a stall")
+	}
+}
