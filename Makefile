@@ -22,17 +22,19 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Fast pre-commit gate: vet plus the race detector on the packages with
-# lock-free/concurrent code (telemetry, monitor, fleet, resilience, chaos).
+# lock-free/concurrent code (telemetry, monitor, fleet, resilience,
+# chaos, the ingest daemon).
 check: vet
 	$(GO) test -race ./internal/obs/... ./internal/aging/... ./internal/collector/... \
-		./internal/resilience/... ./internal/chaos/...
+		./internal/resilience/... ./internal/chaos/... ./internal/ingest/... ./cmd/agingd/...
 
 # Robustness regression suite: the fault-injection campaigns plus the
-# hardened agingmon paths, under the race detector. -short keeps the
-# injected-fault budgets at their test sizes.
+# hardened agingmon/agingd paths, under the race detector. -short keeps
+# the injected-fault budgets at their test sizes.
 chaos:
-	$(GO) test -race -short -v -run 'Chaos|Campaign|Resilience|Watchdog|Retry|Signal|BadSample|Stall' \
-		./internal/chaos/... ./internal/resilience/... ./internal/collector/... ./cmd/agingmon/...
+	$(GO) test -race -short -v -run 'Chaos|Campaign|Resilience|Watchdog|Retry|Signal|BadSample|Stall|Ingest|SelfTest|Interrupt' \
+		./internal/chaos/... ./internal/resilience/... ./internal/collector/... \
+		./internal/ingest/... ./cmd/agingmon/... ./cmd/agingd/...
 
 # Regenerate every reconstructed table/figure (writes to stdout; see
 # EXPERIMENTS.md for the archived reference run).

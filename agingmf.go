@@ -12,6 +12,7 @@ import (
 	"agingmf/internal/fractal"
 	"agingmf/internal/gen"
 	"agingmf/internal/holder"
+	"agingmf/internal/ingest"
 	"agingmf/internal/memsim"
 	"agingmf/internal/multifractal"
 	"agingmf/internal/obs"
@@ -386,6 +387,14 @@ type (
 	ChaosFaults = chaos.Faults
 	// ChaosReport is the outcome of a chaos run.
 	ChaosReport = chaos.Report
+	// ChaosIngestConfig parameterizes an ingest chaos campaign: slow
+	// clients, mid-stream disconnects, malformed floods and alert-sink
+	// outages thrown at a real ingest.Server over loopback TCP.
+	ChaosIngestConfig = chaos.IngestConfig
+	// ChaosIngestFaults selects the ingest faults.
+	ChaosIngestFaults = chaos.IngestFaults
+	// ChaosIngestReport is the outcome of an ingest campaign.
+	ChaosIngestReport = chaos.IngestReport
 )
 
 // Chaos functions.
@@ -394,6 +403,75 @@ var (
 	RunChaos = chaos.Run
 	// RunChaosCampaign executes one chaos run per seed.
 	RunChaosCampaign = chaos.RunCampaign
+	// RunChaosIngest executes one ingest chaos campaign against a live
+	// fleet daemon.
+	RunChaosIngest = chaos.RunIngest
+)
+
+// Fleet ingestion: the serving layer behind cmd/agingd. A sharded
+// registry routes "timestamp free swap" wire samples from many machines
+// into per-source DualMonitors (single-writer shards, no per-sample
+// locks), fans jump/phase/stall alerts out on a bus, and persists
+// snapshots so a restarted daemon resumes every source.
+type (
+	// IngestSample is one parsed wire observation.
+	IngestSample = ingest.Sample
+	// IngestConfig parameterizes the sharded registry.
+	IngestConfig = ingest.Config
+	// IngestRegistry routes samples to per-source monitors.
+	IngestRegistry = ingest.Registry
+	// IngestSourceStatus is the externally visible state of one source.
+	IngestSourceStatus = ingest.SourceStatus
+	// IngestShardStat is one shard's accounting snapshot.
+	IngestShardStat = ingest.ShardStat
+	// IngestServer is the daemon: registry + TCP/HTTP transports.
+	IngestServer = ingest.Server
+	// IngestServerConfig parameterizes the daemon.
+	IngestServerConfig = ingest.ServerConfig
+	// IngestAlert is one fleet event (jump, phase change, stall, resume).
+	IngestAlert = ingest.Alert
+	// IngestAlertBus fans alerts out to subscribers.
+	IngestAlertBus = ingest.AlertBus
+	// IngestSubscription is one consumer's bounded alert queue.
+	IngestSubscription = ingest.Subscription
+	// IngestWebhookConfig parameterizes the webhook alert sink.
+	IngestWebhookConfig = ingest.WebhookConfig
+	// IngestSelfTestConfig parameterizes the end-to-end self-test.
+	IngestSelfTestConfig = ingest.SelfTestConfig
+	// IngestSelfTestReport is the self-test outcome.
+	IngestSelfTestReport = ingest.SelfTestReport
+)
+
+// Alert kinds published on the ingest alert bus.
+const (
+	IngestAlertJump        = ingest.AlertJump
+	IngestAlertPhaseChange = ingest.AlertPhaseChange
+	IngestAlertStall       = ingest.AlertStall
+	IngestAlertResume      = ingest.AlertResume
+)
+
+// Ingestion functions.
+var (
+	// ParseIngestLine parses one wire line ("free,swap", "free swap",
+	// "ts free swap", each optionally prefixed "source=ID").
+	ParseIngestLine = ingest.ParseLine
+	// FormatIngestLine renders a sample in canonical wire form.
+	FormatIngestLine = ingest.FormatLine
+	// NewIngestRegistry builds and starts a sharded registry.
+	NewIngestRegistry = ingest.NewRegistry
+	// NewIngestServer builds the daemon (call Start, then Shutdown).
+	NewIngestServer = ingest.NewServer
+	// RunIngestSelfTest drives simulated machines through a live server
+	// over real sockets and verifies zero loss and monitor parity.
+	RunIngestSelfTest = ingest.RunSelfTest
+	// ReadIngestSnapshot loads a state snapshot into IngestConfig.Restore.
+	ReadIngestSnapshot = ingest.ReadSnapshot
+	// WriteIngestSnapshot atomically persists registry monitor states.
+	WriteIngestSnapshot = ingest.WriteSnapshot
+	// IngestJSONLSink drains an alert subscription into JSONL events.
+	IngestJSONLSink = ingest.JSONLSink
+	// IngestWebhookSink POSTs each alert to a webhook with retries.
+	IngestWebhookSink = ingest.WebhookSink
 )
 
 // Rejuvenation policies and evaluation.

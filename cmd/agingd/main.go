@@ -1,0 +1,221 @@
+// Command agingd is the fleet aging daemon: it ingests memory-counter
+// samples from many machines concurrently and runs one online
+// multifractal aging monitor per source, raising jump/phase-change/stall
+// alerts as machines age.
+//
+// Producers speak the line protocol over TCP (-listen) or HTTP POST
+// /ingest (-http). Each line is "free,swap", "free swap" or
+// "timestamp free swap", optionally prefixed "source=ID " to multiplex
+// many machines over one connection; lines without a source are keyed by
+// the peer host. A machine can self-report with nothing but a shell
+// loop:
+//
+//	while true; do
+//	  awk '/MemAvailable/{f=$2*1024} /SwapTotal/{t=$2*1024} /SwapFree/{s=$2*1024}
+//	       END{printf "%d %d\n", f, t-s}' /proc/meminfo
+//	  sleep 1
+//	done | nc agingd-host 9178
+//
+// The HTTP listener also serves the fleet API (GET /api/sources,
+// /api/sources/{id}/status, /api/alerts, /api/shards) and telemetry
+// (/metrics, /healthz, opt-in /debug/pprof). Alerts fan out to the API's
+// recent ring, an optional JSONL sink (-alerts) and an optional webhook
+// (-webhook, delivered with bounded retries).
+//
+// State survives restarts: -snapshot names a file the daemon writes
+// every -snapshot-every and on shutdown, and reads back at start — a
+// restarted daemon resumes every source's monitor exactly where it
+// stopped. SIGINT/SIGTERM drain gracefully: intake stops, queued samples
+// reach their monitors, and the final snapshot is written before exit.
+//
+// With -selftest the daemon exercises itself end-to-end: it drives
+// -selftest-sources simulated machines (internal/memsim) through its own
+// TCP socket and verifies that no sample was lost and that every
+// source's monitor state is byte-for-byte identical to a single-process
+// monitor fed the same trace, then exits non-zero on any discrepancy.
+//
+// Usage:
+//
+//	agingd [-listen HOST:PORT] [-http HOST:PORT] [-shards N] [-queue N]
+//	       [-snapshot FILE] [-snapshot-every DURATION]
+//	       [-stall-timeout DURATION] [-max-sources N] [-max-bad-lines N]
+//	       [-history-limit N] [-alerts FILE] [-events FILE]
+//	       [-webhook URL] [-pprof]
+//	       [-selftest] [-selftest-sources N] [-selftest-samples N]
+//	       [-selftest-conns N] [-seed N]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"agingmf"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "agingd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("agingd", flag.ContinueOnError)
+	var (
+		listen        = fs.String("listen", ":9178", "TCP line-protocol listener address (empty disables)")
+		httpAddr      = fs.String("http", ":9179", "HTTP listener: POST /ingest, the /api endpoints, /metrics, /healthz (empty disables)")
+		shards        = fs.Int("shards", 8, "monitor shards (single-writer goroutines)")
+		queue         = fs.Int("queue", 1024, "per-shard sample queue bound")
+		snapshot      = fs.String("snapshot", "", "state snapshot file: read at start, written every -snapshot-every and on shutdown (empty disables)")
+		snapshotEvery = fs.Duration("snapshot-every", time.Minute, "periodic snapshot cadence")
+		stallTimeout  = fs.Duration("stall-timeout", 0, "raise a stall alert when a source is silent this long (0 disables)")
+		maxSources    = fs.Int("max-sources", 65536, "cap on tracked sources (negative = unlimited)")
+		maxBadLines   = fs.Int("max-bad-lines", 100, "per-connection malformed-line budget before the connection is closed (negative = unlimited)")
+		idleTimeout   = fs.Duration("idle-timeout", 0, "close a TCP connection idle this long (0 disables)")
+		historyLimit  = fs.Int("history-limit", 4096, "per-source monitor history bound (0 = unlimited; the registry holds one monitor per source)")
+		alertsPath    = fs.String("alerts", "", `append alert JSONL to this file ("-" = stdout, empty disables)`)
+		eventsPath    = fs.String("events", "", `append lifecycle JSONL events to this file ("-" = stdout, empty disables)`)
+		webhook       = fs.String("webhook", "", "POST each alert to this URL with bounded retries (empty disables)")
+		pprofFlag     = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the HTTP listener")
+		selftest      = fs.Bool("selftest", false, "drive simulated machines through the real socket, verify zero loss and monitor parity, then exit")
+		stSources     = fs.Int("selftest-sources", 64, "self-test: simulated machines")
+		stSamples     = fs.Int("selftest-samples", 256, "self-test: samples per machine")
+		stConns       = fs.Int("selftest-conns", 0, "self-test: TCP connections to multiplex over (0 = min(sources, 64))")
+		seed          = fs.Int64("seed", 1, "self-test: deterministic trace seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	events, closeEvents, err := openEvents(*eventsPath)
+	if err != nil {
+		return err
+	}
+	defer closeEvents()
+	alertEvents, closeAlerts, err := openEvents(*alertsPath)
+	if err != nil {
+		return err
+	}
+	defer closeAlerts()
+
+	monCfg := agingmf.DefaultMonitorConfig()
+	monCfg.HistoryLimit = *historyLimit
+	srv, err := agingmf.NewIngestServer(agingmf.IngestServerConfig{
+		Registry: agingmf.IngestConfig{
+			Shards:       *shards,
+			QueueSize:    *queue,
+			Monitor:      monCfg,
+			MaxSources:   *maxSources,
+			StallTimeout: *stallTimeout,
+			Obs:          agingmf.NewRegistry(),
+			Events:       events,
+		},
+		TCPAddr:       *listen,
+		HTTPAddr:      *httpAddr,
+		MaxBadLines:   *maxBadLines,
+		IdleTimeout:   *idleTimeout,
+		SnapshotPath:  *snapshot,
+		SnapshotEvery: *snapshotEvery,
+		EnablePprof:   *pprofFlag,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	if n := srv.Registry().NumSources(); n > 0 {
+		fmt.Fprintf(stdout, "restored %d sources from %s\n", n, *snapshot)
+	}
+	if a := srv.TCPAddr(); a != nil {
+		fmt.Fprintf(stdout, "ingest: tcp://%s\n", a)
+	}
+	if a := srv.HTTPAddr(); a != nil {
+		fmt.Fprintf(stdout, "api: http://%s/api/sources\n", a)
+	}
+
+	// Alert sinks drain their own bus subscriptions; a slow or dead sink
+	// drops alerts (counted), never backpressures ingestion.
+	ctx, cancelSinks := context.WithCancel(context.Background())
+	defer cancelSinks()
+	if alertEvents != nil {
+		go agingmf.IngestJSONLSink(srv.Registry().Alerts().Subscribe("jsonl", 256), alertEvents)
+	}
+	if *webhook != "" {
+		go agingmf.IngestWebhookSink(ctx, srv.Registry().Alerts().Subscribe("webhook", 256),
+			agingmf.IngestWebhookConfig{URL: *webhook}, events)
+	}
+
+	if *selftest {
+		return runSelfTest(ctx, srv, stdout, *stSources, *stSamples, *stConns, *seed)
+	}
+
+	// Serve until a termination signal, then drain: stop intake, feed
+	// every queued sample to its monitor, write the final snapshot.
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	sig := <-sigc
+	fmt.Fprintf(stdout, "received %v: draining and saving state\n", sig)
+	events.Warn("signal", agingmf.EventFields{"signal": sig.String()})
+
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	reg := srv.Registry()
+	fmt.Fprintf(stdout, "drained: %d sources, %d samples accepted, %d dropped, %d alerts\n",
+		reg.NumSources(), reg.Accepted(), reg.Dropped(), reg.Alerts().Total())
+	return nil
+}
+
+// runSelfTest exercises the daemon end-to-end and shuts it down.
+func runSelfTest(ctx context.Context, srv *agingmf.IngestServer, stdout io.Writer, sources, samples, conns int, seed int64) error {
+	fmt.Fprintf(stdout, "selftest: %d sources x %d samples, seed %d\n", sources, samples, seed)
+	rep, err := agingmf.RunIngestSelfTest(ctx, srv, agingmf.IngestSelfTestConfig{
+		Sources: sources,
+		Samples: samples,
+		Conns:   conns,
+		Seed:    seed,
+	})
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	serr := srv.Shutdown(shutCtx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "selftest: sent %d, accepted %d, dropped %d, %d jumps, %d alerts, %d parity mismatches in %v\n",
+		rep.SamplesSent, rep.Accepted, rep.Dropped, rep.Jumps, rep.Alerts,
+		len(rep.ParityMismatches), rep.Elapsed.Round(time.Millisecond))
+	if !rep.Ok() {
+		return fmt.Errorf("selftest failed: accepted %d/%d, dropped %d, parity mismatches %v",
+			rep.Accepted, rep.SamplesSent, rep.Dropped, rep.ParityMismatches)
+	}
+	fmt.Fprintln(stdout, "selftest: PASS")
+	return serr
+}
+
+// openEvents opens one JSONL sink ("-" = stdout, "" = disabled). The
+// returned Events is nil when disabled — every agingmf events API is
+// nil-safe.
+func openEvents(path string) (*agingmf.Events, func(), error) {
+	switch path {
+	case "":
+		return nil, func() {}, nil
+	case "-":
+		return agingmf.NewEvents(os.Stdout, agingmf.LevelInfo), func() {}, nil
+	default:
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, nil, fmt.Errorf("open events file %s: %w", path, err)
+		}
+		return agingmf.NewEvents(f, agingmf.LevelInfo), func() { f.Close() }, nil
+	}
+}

@@ -1,0 +1,188 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// syncBuf is a goroutine-safe stdout sink for a daemon under test.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// waitPrefix polls the daemon's stdout for a line with the given prefix
+// and returns the rest of that line.
+func waitPrefix(t *testing.T, buf *syncBuf, prefix string) string {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, prefix); ok {
+				return strings.TrimSpace(rest)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("daemon never printed %q; output so far:\n%s", prefix, buf.String())
+	return ""
+}
+
+// TestSelfTestMode runs the daemon's built-in end-to-end verification:
+// simulated machines through the real socket, zero loss, monitor parity.
+func TestSelfTestMode(t *testing.T) {
+	var buf syncBuf
+	err := run([]string{
+		"-listen", "127.0.0.1:0", "-http", "",
+		"-selftest", "-selftest-sources", "48", "-selftest-samples", "32",
+		"-selftest-conns", "7", "-seed", "3",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("selftest failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "selftest: PASS") {
+		t.Errorf("no PASS verdict:\n%s", buf.String())
+	}
+}
+
+// sourceStatus polls the daemon's HTTP API for one source's sample count.
+func sourceSamples(t *testing.T, api, id string) (int64, bool) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("http://%s/api/sources/%s/status", api, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, false
+	}
+	var st struct {
+		Samples int64 `json:"samples"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.Samples, true
+}
+
+func waitSamples(t *testing.T, api, id string, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if n, ok := sourceSamples(t, api, id); ok && n >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("source %s never reached %d samples", id, want)
+}
+
+// TestInterruptRestartResumes is the daemon-level crash-recovery test:
+// feed a daemon, kill it with SIGINT (graceful drain + final snapshot),
+// restart it on the same snapshot file, and verify every source resumes
+// exactly where its monitor stopped.
+func TestInterruptRestartResumes(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "agingd.snap")
+
+	daemon := func() (*syncBuf, chan error, string, string) {
+		var buf syncBuf
+		errc := make(chan error, 1)
+		go func() {
+			errc <- run([]string{
+				"-listen", "127.0.0.1:0", "-http", "127.0.0.1:0",
+				"-snapshot", snap, "-history-limit", "128",
+			}, &buf)
+		}()
+		tcp := waitPrefix(t, &buf, "ingest: tcp://")
+		api := waitPrefix(t, &buf, "api: http://")
+		api = strings.TrimSuffix(api, "/api/sources")
+		return &buf, errc, tcp, api
+	}
+	feed := func(tcp string, from, to int) {
+		conn, err := net.Dial("tcp", tcp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		w := bufio.NewWriter(conn)
+		for i := from; i < to; i++ {
+			fmt.Fprintf(w, "source=m %d %d\nsource=n %d 0\n", 1_000_000-i, i, 2_000_000-i)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	interrupt := func(buf *syncBuf, errc chan error) {
+		// The daemon installs its handler before blocking on the signal
+		// channel; both addresses printing means setup is done.
+		if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+			t.Fatal(err)
+		}
+		select {
+		case err := <-errc:
+			if err != nil {
+				t.Fatalf("daemon exit: %v\n%s", err, buf.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("daemon did not drain on SIGINT:\n%s", buf.String())
+		}
+		if !strings.Contains(buf.String(), "drained:") {
+			t.Errorf("no drain report:\n%s", buf.String())
+		}
+	}
+
+	buf1, errc1, tcp1, api1 := daemon()
+	feed(tcp1, 0, 50)
+	waitSamples(t, api1, "m", 50)
+	waitSamples(t, api1, "n", 50)
+	time.Sleep(20 * time.Millisecond) // let the daemon reach its signal wait
+	interrupt(buf1, errc1)
+
+	buf2, errc2, tcp2, api2 := daemon()
+	if rest := waitPrefix(t, buf2, "restored "); !strings.HasPrefix(rest, "2 sources") {
+		t.Errorf("restart restored %q, want 2 sources", rest)
+	}
+	if n, ok := sourceSamples(t, api2, "m"); !ok || n != 50 {
+		t.Errorf("source m resumed at %d samples (ok=%v), want 50", n, ok)
+	}
+	if n, ok := sourceSamples(t, api2, "n"); !ok || n != 50 {
+		t.Errorf("source n resumed at %d samples (ok=%v), want 50", n, ok)
+	}
+	feed(tcp2, 50, 80)
+	waitSamples(t, api2, "m", 80)
+	time.Sleep(20 * time.Millisecond)
+	interrupt(buf2, errc2)
+}
+
+// TestBadFlags keeps flag parsing honest.
+func TestBadFlags(t *testing.T) {
+	var buf syncBuf
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run([]string{"-shards", "0", "-listen", "", "-http", "", "-selftest",
+		"-selftest-sources", "2", "-selftest-samples", "4"}, &buf); err == nil {
+		t.Error("selftest without a TCP listener succeeded")
+	}
+}

@@ -4,12 +4,16 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"agingmf"
 )
 
 // FuzzParseSample drives the stdin sample parser with arbitrary lines —
 // the exact input a hostile or corrupted producer controls. The parser
-// must never panic and its accept/reject contract must hold: accepted
-// samples are exactly two comma-separated finite floats.
+// (shared with cmd/agingd via agingmf.ParseIngestLine) must never panic,
+// and accepted samples must carry only finite counters in every wire
+// form: "free,swap", "free swap", "timestamp free swap", each optionally
+// prefixed "source=ID ".
 func FuzzParseSample(f *testing.F) {
 	for _, seed := range []string{
 		"1000000,2048",
@@ -26,6 +30,14 @@ func FuzzParseSample(f *testing.F) {
 		strings.Repeat("9", 400) + "," + strings.Repeat("9", 400),
 		"1\x00,2",
 		"\ufeff1,2",
+		"1e6 2048",
+		"17.5 1e6 2048",
+		"source=web-01 1e6 2048",
+		"source=web-01 1000000,2048",
+		"source= 1,2",
+		"source=" + strings.Repeat("x", 400) + " 1 2",
+		"source=a,b 1 2",
+		"1 2 3 4",
 	} {
 		f.Add(seed)
 	}
@@ -39,13 +51,22 @@ func FuzzParseSample(f *testing.F) {
 		if math.IsNaN(free) || math.IsInf(free, 0) || math.IsNaN(swap) || math.IsInf(swap, 0) {
 			t.Fatalf("parseSample(%q) accepted non-finite values (%v, %v)", line, free, swap)
 		}
-		// The accept contract: exactly two fields, each itself re-parsable.
-		parts := strings.Split(line, ",")
-		if len(parts) != 2 {
-			t.Fatalf("parseSample(%q) accepted %d fields", line, len(parts))
+		// The shared parser must agree with the local wrapper, and its
+		// canonical re-rendering must round-trip to the same counters.
+		s, err := agingmf.ParseIngestLine(line)
+		if err != nil {
+			t.Fatalf("parseSample(%q) accepted what ParseIngestLine rejects: %v", line, err)
 		}
-		if _, _, err := parseSample(parts[0] + "," + parts[1]); err != nil {
-			t.Fatalf("parseSample(%q) not idempotent: %v", line, err)
+		if s.Free != free || s.Swap != swap {
+			t.Fatalf("parseSample(%q) = (%v, %v), ParseIngestLine = (%v, %v)",
+				line, free, swap, s.Free, s.Swap)
+		}
+		rt, err := agingmf.ParseIngestLine(agingmf.FormatIngestLine(s))
+		if err != nil {
+			t.Fatalf("FormatIngestLine(%q) does not re-parse: %v", line, err)
+		}
+		if rt != s {
+			t.Fatalf("round trip of %q: got %+v, want %+v", line, rt, s)
 		}
 	})
 }

@@ -4,8 +4,12 @@
 //
 // By default it monitors a simulated machine under the stress workload
 // (the live-demo counterpart of the batch experiments). With -stdin it
-// instead reads "free_bytes,swap_bytes" lines from standard input, one
-// per sample — pipe a real system's counters in:
+// instead reads counter samples from standard input, one line per
+// sample, in any fleet wire form — "free_bytes,swap_bytes",
+// "free swap", "timestamp free swap", each optionally prefixed
+// "source=ID " (source and timestamp are accepted and ignored here;
+// cmd/agingd is the multi-source daemon) — pipe a real system's
+// counters in:
 //
 //	while true; do
 //	  awk '/MemAvailable/{f=$2*1024} /SwapTotal/{t=$2*1024} /SwapFree/{s=$2*1024}
@@ -41,12 +45,10 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"math"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
-	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -250,26 +252,20 @@ func reportSignal(stdout io.Writer, ev *agingmf.Events, sig os.Signal, clock str
 	ev.Warn("signal", agingmf.EventFields{"signal": sig.String(), "sample": at})
 }
 
-// parseSample parses one "free_bytes,swap_bytes" stdin line. Non-finite
-// values are rejected: a NaN smuggled into the monitor would silently
-// poison every downstream statistic.
+// parseSample parses one stdin sample line through the shared fleet wire
+// parser (agingmf.ParseIngestLine): "free,swap", "free swap" or
+// "timestamp free swap", each optionally prefixed "source=ID ". The
+// source and timestamp fields are accepted and ignored — agingmon
+// monitors a single stream; cmd/agingd is the multi-source daemon — so a
+// producer script written for one binary feeds the other unchanged.
+// Non-finite values are rejected: a NaN smuggled into the monitor would
+// silently poison every downstream statistic.
 func parseSample(line string) (free, swap float64, err error) {
-	parts := strings.Split(line, ",")
-	if len(parts) != 2 {
-		return 0, 0, fmt.Errorf("want \"free,swap\", got %d fields", len(parts))
-	}
-	free, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64)
+	s, err := agingmf.ParseIngestLine(line)
 	if err != nil {
-		return 0, 0, fmt.Errorf("free: %w", err)
+		return 0, 0, err
 	}
-	swap, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64)
-	if err != nil {
-		return 0, 0, fmt.Errorf("swap: %w", err)
-	}
-	if math.IsNaN(free) || math.IsInf(free, 0) || math.IsNaN(swap) || math.IsInf(swap, 0) {
-		return 0, 0, fmt.Errorf("non-finite sample (%v, %v)", free, swap)
-	}
-	return free, swap, nil
+	return s.Free, s.Swap, nil
 }
 
 // truncateForEvent bounds attacker- or corruption-controlled line content

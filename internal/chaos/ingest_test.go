@@ -1,0 +1,93 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"agingmf/internal/aging"
+)
+
+// ingestTestMonitor keeps per-source monitors cheap enough for a
+// many-producer campaign.
+func ingestTestMonitor() aging.Config {
+	cfg := aging.DefaultConfig()
+	cfg.MinRadius = 2
+	cfg.MaxRadius = 8
+	cfg.VolatilityWindow = 8
+	cfg.DetectorWarmup = 8
+	cfg.Refractory = 4
+	cfg.HistoryLimit = 64
+	return cfg
+}
+
+// TestIngestChaosAllFaults is the fleet-serving chaos campaign: slow
+// clients, mid-stream disconnects, malformed floods and a dead alert
+// sink, all at once. The daemon must lose nothing, poison nothing, and
+// keep every source's verdict byte-for-byte identical to a
+// single-process monitor.
+func TestIngestChaosAllFaults(t *testing.T) {
+	rep, err := RunIngest(context.Background(), IngestConfig{
+		Seed:    11,
+		Sources: 12,
+		Samples: 150,
+		Monitor: ingestTestMonitor(),
+		Faults: IngestFaults{
+			MalformedRate:   0.2,
+			DisconnectEvery: 40,
+			SlowEvery:       4,
+			SlowDelay:       100 * time.Microsecond,
+			AlertSinkOutage: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("daemon did not degrade gracefully: %+v", rep)
+	}
+	if rep.Malformed == 0 {
+		t.Error("campaign injected no malformed lines; MalformedRate plumbing broken")
+	}
+	if rep.Disconnects == 0 {
+		t.Error("campaign injected no disconnects; DisconnectEvery plumbing broken")
+	}
+	if rep.BadLines != uint64(rep.Malformed) {
+		t.Errorf("daemon counted %d bad lines, campaign injected %d", rep.BadLines, rep.Malformed)
+	}
+	t.Logf("ingest chaos: %d samples, %d malformed, %d disconnects, %d alerts (%d dropped by dead sink)",
+		rep.SamplesSent, rep.Malformed, rep.Disconnects, rep.AlertsPublished, rep.AlertsDroppedBySink)
+}
+
+// TestIngestChaosCleanRun sanity-checks the campaign harness itself with
+// no faults: a plain concurrent load must pass trivially.
+func TestIngestChaosCleanRun(t *testing.T) {
+	rep, err := RunIngest(context.Background(), IngestConfig{
+		Seed:    5,
+		Sources: 8,
+		Samples: 80,
+		Monitor: ingestTestMonitor(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("clean run failed: %+v", rep)
+	}
+	if rep.Malformed != 0 || rep.Disconnects != 0 {
+		t.Errorf("clean run injected faults: %+v", rep)
+	}
+}
+
+func TestIngestChaosRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []IngestConfig{
+		{Faults: IngestFaults{MalformedRate: -0.1}},
+		{Faults: IngestFaults{MalformedRate: 1.5}},
+		{Faults: IngestFaults{DisconnectEvery: -1}},
+		{Faults: IngestFaults{SlowEvery: -2}},
+	} {
+		if _, err := RunIngest(context.Background(), cfg); err == nil {
+			t.Errorf("config %+v accepted", cfg.Faults)
+		}
+	}
+}

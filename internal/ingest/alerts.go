@@ -1,0 +1,305 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agingmf/internal/obs"
+	"agingmf/internal/resilience"
+)
+
+// Alert kinds published on the bus.
+const (
+	// AlertJump is a Hölder-volatility jump on one counter.
+	AlertJump = "jump"
+	// AlertPhaseChange is an aging-phase transition.
+	AlertPhaseChange = "phase_change"
+	// AlertStall means a source went silent past the stall timeout.
+	AlertStall = "stall"
+	// AlertResume means a stalled source produced a sample again.
+	AlertResume = "resume"
+)
+
+// Alert is one fleet event. It carries no wall-clock timestamp of its
+// own — alerts derive deterministically from the sample stream, which is
+// what makes the daemon's verdicts comparable byte-for-byte with a
+// single-process run; sinks that need a timestamp add their own (the
+// JSONL sink's event envelope has one).
+type Alert struct {
+	// Source is the machine the alert concerns.
+	Source string `json:"source"`
+	// Kind is one of the Alert* constants.
+	Kind string `json:"kind"`
+	// Counter attributes jump alerts to free-memory or used-swap.
+	Counter string `json:"counter,omitempty"`
+	// Sample is the per-source sample index the alert fired at.
+	Sample int `json:"sample,omitempty"`
+	// Volatility and Score describe a jump alarm.
+	Volatility float64 `json:"volatility,omitempty"`
+	Score      float64 `json:"score,omitempty"`
+	// From and To describe a phase change.
+	From string `json:"from,omitempty"`
+	To   string `json:"to,omitempty"`
+	// GapMillis is the observed silence of a stall alert.
+	GapMillis int64 `json:"gap_ms,omitempty"`
+}
+
+// Subscription is one consumer's bounded alert queue. Alerts are
+// delivered on C until Cancel (or the bus closing) closes it. A consumer
+// that falls behind loses alerts — counted by Dropped and the
+// agingmf_ingest_alert_drops_total{sink} metric — rather than ever
+// backpressuring the ingest hot path.
+type Subscription struct {
+	name    string
+	ch      chan Alert
+	bus     *AlertBus
+	dropped atomic.Uint64
+	drops   *obs.Counter
+	once    sync.Once
+}
+
+// C returns the delivery channel.
+func (s *Subscription) C() <-chan Alert { return s.ch }
+
+// Name returns the sink name given at Subscribe.
+func (s *Subscription) Name() string { return s.name }
+
+// Dropped returns how many alerts this subscriber lost to a full queue.
+func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
+
+// Cancel unsubscribes and closes the delivery channel. Idempotent; safe
+// to race the bus closing.
+func (s *Subscription) Cancel() {
+	s.bus.unsubscribe(s)
+}
+
+// AlertBus fans alerts out to subscribers and keeps a bounded ring of the
+// most recent alerts for the HTTP API. Publishing never blocks.
+type AlertBus struct {
+	met *metrics
+
+	mu     sync.Mutex
+	subs   map[*Subscription]struct{}
+	ring   []Alert
+	next   int
+	filled bool
+	total  uint64
+	closed bool
+}
+
+// newAlertBus builds a bus with the given ring capacity.
+func newAlertBus(ringSize int, met metrics) *AlertBus {
+	return &AlertBus{
+		met:  &met,
+		subs: make(map[*Subscription]struct{}),
+		ring: make([]Alert, ringSize),
+	}
+}
+
+// Subscribe registers a consumer with a queue of buf alerts (minimum 1).
+// The name labels this sink's drop metric.
+func (b *AlertBus) Subscribe(name string, buf int) *Subscription {
+	if buf < 1 {
+		buf = 1
+	}
+	s := &Subscription{
+		name:  name,
+		ch:    make(chan Alert, buf),
+		bus:   b,
+		drops: b.met.alertDrops.With(name),
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		close(s.ch)
+		return s
+	}
+	b.subs[s] = struct{}{}
+	return s
+}
+
+// unsubscribe removes s and closes its channel (once).
+func (b *AlertBus) unsubscribe(s *Subscription) {
+	b.mu.Lock()
+	_, live := b.subs[s]
+	delete(b.subs, s)
+	b.mu.Unlock()
+	if live {
+		s.once.Do(func() { close(s.ch) })
+	}
+}
+
+// Publish records a in the ring and offers it to every subscriber,
+// dropping (and counting) on full queues.
+func (b *AlertBus) Publish(a Alert) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.total++
+	if len(b.ring) > 0 {
+		b.ring[b.next] = a
+		b.next++
+		if b.next == len(b.ring) {
+			b.next = 0
+			b.filled = true
+		}
+	}
+	for s := range b.subs {
+		select {
+		case s.ch <- a:
+		default:
+			s.dropped.Add(1)
+			s.drops.Inc()
+		}
+	}
+}
+
+// Total returns how many alerts have been published.
+func (b *AlertBus) Total() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.total
+}
+
+// Recent returns up to n of the most recent alerts, oldest first. n <= 0
+// returns the whole retained ring.
+func (b *AlertBus) Recent(n int) []Alert {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	size := b.next
+	if b.filled {
+		size = len(b.ring)
+	}
+	if n <= 0 || n > size {
+		n = size
+	}
+	out := make([]Alert, 0, n)
+	// Walk the ring from oldest to newest, keeping the last n.
+	start := 0
+	if b.filled {
+		start = b.next
+	}
+	for i := 0; i < size; i++ {
+		out = append(out, b.ring[(start+i)%len(b.ring)])
+	}
+	return out[len(out)-n:]
+}
+
+// Close drops every subscriber (closing their channels) and stops
+// accepting publishes. Idempotent.
+func (b *AlertBus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := make([]*Subscription, 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.subs = make(map[*Subscription]struct{})
+	b.mu.Unlock()
+	for _, s := range subs {
+		s.once.Do(func() { close(s.ch) })
+	}
+}
+
+// JSONLSink drains sub into ev as "alert" events (one JSON line each,
+// timestamped by the event envelope) until the subscription closes. Run
+// it on its own goroutine:
+//
+//	go ingest.JSONLSink(bus.Subscribe("jsonl", 256), events)
+func JSONLSink(sub *Subscription, ev *obs.Events) {
+	for a := range sub.C() {
+		ev.Warn("alert", obs.Fields{
+			"source": a.Source, "alert": a.Kind, "counter": a.Counter,
+			"sample": a.Sample, "volatility": a.Volatility, "score": a.Score,
+			"from": a.From, "to": a.To, "gap_ms": a.GapMillis,
+		})
+	}
+}
+
+// WebhookConfig parameterizes WebhookSink.
+type WebhookConfig struct {
+	// URL receives one POST per alert with a JSON Alert body.
+	URL string
+	// Client is the HTTP client (nil selects a 10-second-timeout client).
+	Client *http.Client
+	// Retry bounds delivery attempts per alert; the zero value selects
+	// resilience defaults (3 attempts, 10ms base backoff). Network errors
+	// and 5xx responses are retried; other HTTP errors are not.
+	Retry resilience.RetryConfig
+}
+
+// WebhookSink drains sub, POSTing each alert to cfg.URL with bounded
+// retries (resilience.Retry). Delivery failures are events, never
+// fatal — an unreachable webhook must not affect ingestion. Run it on its
+// own goroutine; it returns when the subscription closes or ctx is
+// cancelled.
+func WebhookSink(ctx context.Context, sub *Subscription, cfg WebhookConfig, ev *obs.Events) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	retry := cfg.Retry
+	if retry.Classify == nil {
+		retry.Classify = resilience.IsTransient
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case a, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			body, err := json.Marshal(a)
+			if err != nil {
+				continue // an Alert always marshals; defensive only
+			}
+			err = resilience.Retry(ctx, retry, func(int) error {
+				return postAlert(ctx, client, cfg.URL, body)
+			})
+			if err != nil {
+				ev.Error("alert_webhook_failed", obs.Fields{
+					"url": cfg.URL, "source": a.Source, "alert": a.Kind,
+					"error": err.Error(),
+				})
+			}
+		}
+	}
+}
+
+// postAlert performs one webhook delivery attempt. Transport errors and
+// 5xx responses are marked transient for the retry classifier.
+func postAlert(ctx context.Context, client *http.Client, url string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("webhook: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return resilience.Transient(fmt.Errorf("webhook: %w", err))
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		return resilience.Transient(fmt.Errorf("webhook: %s", resp.Status))
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("webhook: %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"agingmf/internal/obs"
+	"agingmf/internal/resilience"
+)
+
+func testAlert(i int) Alert {
+	return Alert{Source: fmt.Sprintf("s-%d", i), Kind: AlertJump, Sample: i}
+}
+
+func TestAlertBusRing(t *testing.T) {
+	b := newAlertBus(4, metrics{})
+	defer b.Close()
+	if got := b.Recent(0); len(got) != 0 {
+		t.Errorf("empty bus Recent = %v", got)
+	}
+	for i := 0; i < 6; i++ {
+		b.Publish(testAlert(i))
+	}
+	if b.Total() != 6 {
+		t.Errorf("total = %d", b.Total())
+	}
+	got := b.Recent(0)
+	if len(got) != 4 {
+		t.Fatalf("ring retained %d alerts, want 4", len(got))
+	}
+	for i, a := range got { // oldest first: 2,3,4,5
+		if a.Sample != i+2 {
+			t.Errorf("recent[%d].Sample = %d, want %d", i, a.Sample, i+2)
+		}
+	}
+	if got := b.Recent(2); len(got) != 2 || got[0].Sample != 4 || got[1].Sample != 5 {
+		t.Errorf("Recent(2) = %v", got)
+	}
+}
+
+func TestAlertBusFanoutAndDrops(t *testing.T) {
+	b := newAlertBus(8, metrics{})
+	fast := b.Subscribe("fast", 8)
+	slow := b.Subscribe("slow", 1) // 1-slot queue, never drained: drops
+	for i := 0; i < 5; i++ {
+		b.Publish(testAlert(i))
+	}
+	for i := 0; i < 5; i++ {
+		select {
+		case a := <-fast.C():
+			if a.Sample != i {
+				t.Errorf("fast got %d, want %d", a.Sample, i)
+			}
+		case <-time.After(time.Second):
+			t.Fatal("fast subscriber starved")
+		}
+	}
+	if slow.Dropped() != 4 {
+		t.Errorf("slow dropped = %d, want 4", slow.Dropped())
+	}
+	// Cancel is idempotent and closes the channel.
+	fast.Cancel()
+	fast.Cancel()
+	if _, ok := <-fast.C(); ok {
+		t.Error("cancelled subscription channel still open")
+	}
+	b.Close()
+	b.Close() // idempotent
+	if a, ok := <-slow.C(); !ok || a.Sample != 0 {
+		t.Errorf("slow subscriber's buffered alert = %+v, ok=%v", a, ok)
+	}
+	if _, ok := <-slow.C(); ok {
+		t.Error("bus close left subscriber channel open")
+	}
+	b.Publish(testAlert(9)) // post-close publish is a silent no-op
+	if sub := b.Subscribe("late", 1); sub.C() == nil {
+		t.Error("post-close Subscribe returned nil channel")
+	} else if _, ok := <-sub.C(); ok {
+		t.Error("post-close subscription not closed")
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	ev := obs.NewEvents(syncWriter{&mu, &buf}, obs.LevelInfo)
+	b := newAlertBus(4, metrics{})
+	sub := b.Subscribe("jsonl", 4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		JSONLSink(sub, ev)
+	}()
+	b.Publish(Alert{Source: "web-01", Kind: AlertPhaseChange, From: "healthy", To: "aging-onset"})
+	b.Close()
+	<-done
+
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &rec); err != nil {
+		t.Fatalf("sink output %q is not JSONL: %v", out, err)
+	}
+	if rec["event"] != "alert" || rec["source"] != "web-01" || rec["alert"] != AlertPhaseChange {
+		t.Errorf("sink record = %v", rec)
+	}
+}
+
+// syncWriter serializes writes between the sink goroutine and the test.
+type syncWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+func TestWebhookSinkRetriesTransient(t *testing.T) {
+	var calls atomic.Int32
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			http.Error(w, "boom", http.StatusInternalServerError) // transient
+			return
+		}
+		var a Alert
+		if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+			t.Errorf("webhook body: %v", err)
+		}
+		got.Store(a)
+	}))
+	defer ts.Close()
+
+	b := newAlertBus(4, metrics{})
+	sub := b.Subscribe("webhook", 4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		WebhookSink(context.Background(), sub, WebhookConfig{
+			URL:   ts.URL,
+			Retry: resilience.RetryConfig{MaxAttempts: 3, BaseDelay: time.Millisecond},
+		}, nil)
+	}()
+	want := Alert{Source: "db-7", Kind: AlertJump, Counter: "free-memory", Sample: 41}
+	b.Publish(want)
+	b.Close()
+	<-done
+
+	if n := calls.Load(); n != 2 {
+		t.Errorf("webhook called %d times, want 2 (5xx then success)", n)
+	}
+	if a, _ := got.Load().(Alert); a != want {
+		t.Errorf("webhook received %+v, want %+v", a, want)
+	}
+}
+
+func TestWebhookSinkPermanentFailureIsNotRetried(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	ev := obs.NewEvents(syncWriter{&mu, &buf}, obs.LevelInfo)
+	b := newAlertBus(4, metrics{})
+	sub := b.Subscribe("webhook", 4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		WebhookSink(context.Background(), sub, WebhookConfig{
+			URL:   ts.URL,
+			Retry: resilience.RetryConfig{MaxAttempts: 5, BaseDelay: time.Millisecond},
+		}, ev)
+	}()
+	b.Publish(testAlert(1))
+	b.Close()
+	<-done
+
+	if n := calls.Load(); n != 1 {
+		t.Errorf("webhook called %d times for a 400, want 1", n)
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "alert_webhook_failed") {
+		t.Errorf("delivery failure not evented: %q", out)
+	}
+}

@@ -1,0 +1,77 @@
+package ingest
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkShardRouter measures the registry hot path end-to-end:
+// validate, hash-route, enqueue, and the shard goroutine's monitor add —
+// across a population of sources with parallel producers.
+func BenchmarkShardRouter(b *testing.B) {
+	for _, sources := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("sources=%d", sources), func(b *testing.B) {
+			r, err := NewRegistry(Config{Monitor: testMonitorConfig()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			ids := make([]string, sources)
+			for i := range ids {
+				ids[i] = fmt.Sprintf("bench-%04d", i)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					s := Sample{Source: ids[i%sources], Free: 1e9 - float64(i), Swap: float64(i)}
+					if err := r.Ingest(s); err != nil {
+						b.Fatal(err)
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			if err := r.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkIngestLine measures the full wire path: parse + route.
+func BenchmarkIngestLine(b *testing.B) {
+	for name, line := range map[string]string{
+		"comma":     "1000000,2048",
+		"fields":    "1e9 2048",
+		"source":    "source=web-0042 1e9 2048",
+		"timestamp": "source=web-0042 17.5 1e9 2048",
+	} {
+		b.Run(name, func(b *testing.B) {
+			r, err := NewRegistry(Config{Monitor: testMonitorConfig()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.IngestLine("peer", line); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParseLine isolates the parser from the routing.
+func BenchmarkParseLine(b *testing.B) {
+	const line = "source=web-0042 17.5 1e9 2048"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseLine(line); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package ingest
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestParseLineFormats(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		want Sample
+	}{
+		{"comma", "1000000,2048", Sample{Free: 1e6, Swap: 2048}},
+		{"comma spaced", " 3.5e9 , 0 ", Sample{Free: 3.5e9, Swap: 0}},
+		{"whitespace", "1e6 2048", Sample{Free: 1e6, Swap: 2048}},
+		{"tabs", "1e6\t2048", Sample{Free: 1e6, Swap: 2048}},
+		{"timestamp", "17.5 1e6 2048", Sample{Timestamp: 17.5, HasTimestamp: true, Free: 1e6, Swap: 2048}},
+		{"source comma", "source=web-01 1000000,2048", Sample{Source: "web-01", Free: 1e6, Swap: 2048}},
+		{"source whitespace", "source=web-01 1e6 2048", Sample{Source: "web-01", Free: 1e6, Swap: 2048}},
+		{"source timestamp", "source=db/2 17.5 1e6 2048", Sample{Source: "db/2", Timestamp: 17.5, HasTimestamp: true, Free: 1e6, Swap: 2048}},
+		{"negative", "-1,-2", Sample{Free: -1, Swap: -2}},
+		{"padded", "  1 2  ", Sample{Free: 1, Swap: 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseLine(tc.line)
+			if err != nil {
+				t.Fatalf("ParseLine(%q): %v", tc.line, err)
+			}
+			if got != tc.want {
+				t.Errorf("ParseLine(%q) = %+v, want %+v", tc.line, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseLineRejects(t *testing.T) {
+	lines := []string{
+		"",
+		"   ",
+		"free,swap",
+		"1,2,3",
+		"1",
+		"1 2 3 4",
+		"NaN,0",
+		"0,+Inf",
+		"-Inf 0",
+		"1e309,0",
+		"NaN 1 2",
+		"source=web-01",
+		"source=web-01 ",
+		"source= 1 2",
+		"source=a,b 1 2",
+		"source=a b", // source consumes "a", leaving one field
+		"source=" + strings.Repeat("x", MaxSourceLen+1) + " 1 2",
+		"source=ctl\x01chr 1 2",
+		"1\x00,2",
+	}
+	for _, line := range lines {
+		if s, err := ParseLine(line); err == nil {
+			t.Errorf("ParseLine(%q) accepted: %+v", line, s)
+		} else if !errors.Is(err, ErrBadLine) {
+			t.Errorf("ParseLine(%q) error %v is not ErrBadLine", line, err)
+		}
+	}
+}
+
+func TestParseLineSourceLimits(t *testing.T) {
+	longest := strings.Repeat("x", MaxSourceLen)
+	s, err := ParseLine("source=" + longest + " 1 2")
+	if err != nil {
+		t.Fatalf("max-length source rejected: %v", err)
+	}
+	if s.Source != longest {
+		t.Errorf("source = %q", s.Source)
+	}
+}
+
+func TestFormatLineRoundTrip(t *testing.T) {
+	samples := []Sample{
+		{Free: 1e6, Swap: 2048},
+		{Source: "web-01", Free: 3.5e9, Swap: 0},
+		{Source: "db/2", Timestamp: 17.25, HasTimestamp: true, Free: 1e6, Swap: 2048},
+		{Free: -1.5, Swap: math.MaxFloat64},
+		{Source: "x", Timestamp: 0, HasTimestamp: true, Free: 0, Swap: 0},
+	}
+	for _, want := range samples {
+		got, err := ParseLine(FormatLine(want))
+		if err != nil {
+			t.Fatalf("round trip of %+v: %v", want, err)
+		}
+		if got != want {
+			t.Errorf("round trip of %+v: got %+v (line %q)", want, got, FormatLine(want))
+		}
+	}
+}
+
+// FuzzParseLine hammers the wire parser with hostile lines: it must
+// never panic, never accept non-finite counters, and its canonical
+// re-rendering must round-trip losslessly.
+func FuzzParseLine(f *testing.F) {
+	for _, seed := range []string{
+		"1000000,2048",
+		"source=web-01 17.5 1e6 2048",
+		"source=a,b 1 2",
+		"NaN 0",
+		"1e309,0",
+		strings.Repeat("9", 400) + " " + strings.Repeat("9", 400),
+		"source=\x7f 1 2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		s, err := ParseLine(line)
+		if err != nil {
+			if !errors.Is(err, ErrBadLine) {
+				t.Fatalf("ParseLine(%q) error %v is not ErrBadLine", line, err)
+			}
+			return
+		}
+		for name, v := range map[string]float64{"free": s.Free, "swap": s.Swap, "ts": s.Timestamp} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("ParseLine(%q) accepted non-finite %s %v", line, name, v)
+			}
+		}
+		rt, err := ParseLine(FormatLine(s))
+		if err != nil {
+			t.Fatalf("FormatLine(%+v) does not re-parse: %v", s, err)
+		}
+		if rt != s {
+			t.Fatalf("round trip of %q: got %+v, want %+v", line, rt, s)
+		}
+	})
+}

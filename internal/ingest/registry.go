@@ -1,0 +1,656 @@
+// Package ingest is the fleet serving layer: a concurrent ingestion
+// registry that routes memory-counter samples from many machines into
+// per-source online aging monitors, plus the TCP/HTTP transports, the
+// alert fan-out bus and the snapshot persistence that make it a daemon
+// (cmd/agingd).
+//
+// The hot path is hash-sharded: a source id is FNV-hashed onto one of N
+// shards, each owned by a single goroutine fed by a bounded channel.
+// Because every sample of a source is handled by the same goroutine, the
+// per-source aging.DualMonitor needs no locks and its verdicts are
+// byte-for-byte identical to a single-process run over the same samples —
+// the property the agingd self-test asserts. Producers experience
+// explicit backpressure (the default: a full shard queue blocks the
+// producing connection, and only it) or explicit drops
+// (Config.DropWhenFull), never silent loss; every drop is counted by
+// reason.
+//
+// Telemetry (internal/obs) and fault-tolerance (internal/resilience) are
+// wired through the same nil-safe hooks as the rest of the repository:
+// per-shard queue-depth gauges and sample counters, drop/alert/bad-line
+// counters, a handle-latency histogram, per-source stall watchdogs, and
+// webhook retries.
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agingmf/internal/aging"
+	"agingmf/internal/obs"
+	"agingmf/internal/resilience"
+)
+
+// Ingest errors. ErrQueueFull is only returned in DropWhenFull mode; in
+// the default backpressure mode a full queue blocks the caller instead.
+var (
+	ErrClosed        = errors.New("ingest: registry closed")
+	ErrNoSource      = errors.New("ingest: sample without source id")
+	ErrBadSample     = errors.New("ingest: non-finite sample")
+	ErrQueueFull     = errors.New("ingest: shard queue full")
+	ErrUnknownSource = errors.New("ingest: unknown source")
+)
+
+// Config parameterizes a Registry. The zero value is usable: 8 shards,
+// 1024-sample queues, backpressure on full queues, the experiment-standard
+// monitor configuration, and a 65536-source cap.
+type Config struct {
+	// Shards is the number of single-goroutine monitor shards (0 selects 8).
+	Shards int
+	// QueueSize is the per-shard sample queue bound (0 selects 1024).
+	QueueSize int
+	// DropWhenFull selects drop-and-count over backpressure when a shard
+	// queue is full. The default (false) blocks the producer, which on the
+	// TCP transport turns into flow control on exactly the offending
+	// connection.
+	DropWhenFull bool
+	// Monitor configures every per-source DualMonitor (zero value selects
+	// aging.DefaultConfig). Bound the history (HistoryLimit) in production:
+	// the registry holds one monitor per source.
+	Monitor aging.Config
+	// MaxSources caps the registry's source population so a malformed or
+	// hostile flood cannot allocate monitors without bound (0 selects
+	// 65536; negative means unlimited). Samples for new sources beyond the
+	// cap are dropped and counted (reason "max_sources").
+	MaxSources int
+	// StallTimeout arms a per-source watchdog: a source silent for this
+	// long raises a "stall" alert (and "resume" when it returns). 0
+	// disables.
+	StallTimeout time.Duration
+	// AlertRing is the size of the recent-alert ring served by /api/alerts
+	// (0 selects 256).
+	AlertRing int
+	// Restore pre-populates sources from SaveState blobs (source id →
+	// aging.DualMonitor.SaveState), as read by ReadSnapshot. A restarted
+	// daemon resumes every source exactly where its monitor stopped.
+	Restore map[string][]byte
+	// Obs receives the ingest metric families. Nil disables (hot paths
+	// then pay only nil checks).
+	Obs *obs.Registry
+	// Events receives structured lifecycle events (source_created,
+	// snapshot_saved, ...). Nil disables.
+	Events *obs.Events
+}
+
+// withDefaults resolves the zero-value conveniences.
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 1024
+	}
+	if c.Monitor == (aging.Config{}) {
+		c.Monitor = aging.DefaultConfig()
+	}
+	if c.MaxSources == 0 {
+		c.MaxSources = 65536
+	}
+	if c.AlertRing <= 0 {
+		c.AlertRing = 256
+	}
+	return c
+}
+
+// shardMsg is one unit of shard work: a sample, or a control closure to
+// run on the shard goroutine (state snapshots use this to serialize with
+// the sample stream instead of locking the monitors).
+type shardMsg struct {
+	s   Sample
+	ctl *ctlMsg
+}
+
+// ctlMsg runs fn on the owning shard goroutine and closes done after.
+type ctlMsg struct {
+	fn   func(*shard)
+	done chan struct{}
+}
+
+// shard owns a partition of the source population. Only its goroutine
+// touches sources' monitors; accepted/depth are read by observers.
+type shard struct {
+	id  int
+	reg *Registry
+	ch  chan shardMsg
+
+	sources map[string]*source // owned by the shard goroutine
+
+	accepted atomic.Uint64
+	depth    atomic.Int64
+
+	samplesCtr *obs.Counter
+	depthGauge *obs.Gauge
+}
+
+// source is one monitored machine. The monitor and lastPhase are owned by
+// the shard goroutine; the atomic mirror fields are the read side of the
+// status API.
+type source struct {
+	id        string
+	shardID   int
+	mon       *aging.DualMonitor
+	wd        *resilience.Watchdog
+	lastPhase aging.Phase
+
+	samples  atomic.Int64
+	jumps    atomic.Int64
+	phase    atomic.Int32
+	lastFree atomic.Uint64 // Float64bits
+	lastSwap atomic.Uint64 // Float64bits
+	lastSeen atomic.Int64  // UnixNano; 0 = restored, not yet seen live
+	stalled  atomic.Bool
+}
+
+// SourceStatus is the externally visible state of one source.
+type SourceStatus struct {
+	ID       string    `json:"id"`
+	Shard    int       `json:"shard"`
+	Samples  int64     `json:"samples"`
+	Jumps    int64     `json:"jumps"`
+	Phase    string    `json:"phase"`
+	LastFree float64   `json:"last_free"`
+	LastSwap float64   `json:"last_swap"`
+	Stalled  bool      `json:"stalled"`
+	LastSeen time.Time `json:"last_seen"`
+}
+
+// status assembles the atomic mirror into a SourceStatus.
+func (src *source) status() SourceStatus {
+	st := SourceStatus{
+		ID:       src.id,
+		Shard:    src.shardID,
+		Samples:  src.samples.Load(),
+		Jumps:    src.jumps.Load(),
+		Phase:    aging.Phase(src.phase.Load()).String(),
+		LastFree: math.Float64frombits(src.lastFree.Load()),
+		LastSwap: math.Float64frombits(src.lastSwap.Load()),
+		Stalled:  src.stalled.Load(),
+	}
+	if ns := src.lastSeen.Load(); ns != 0 {
+		st.LastSeen = time.Unix(0, ns)
+	}
+	return st
+}
+
+// ShardStat is one shard's accounting snapshot.
+type ShardStat struct {
+	ID       int    `json:"id"`
+	Sources  int    `json:"sources"`
+	Accepted uint64 `json:"accepted"`
+	Depth    int64  `json:"depth"`
+}
+
+// Registry is the sharded source registry. All exported methods are safe
+// for concurrent use.
+type Registry struct {
+	cfg    Config
+	shards []*shard
+	met    metrics
+	bus    *AlertBus
+
+	byID     sync.Map // source id → *source (read side of the status API)
+	nsources atomic.Int64
+	accepted atomic.Uint64
+	dropped  atomic.Uint64
+	badLines atomic.Uint64
+
+	stopc    chan struct{}
+	senders  atomic.Int64 // in-flight Ingest/withShard channel users
+	wg       sync.WaitGroup
+	closing  atomic.Bool
+	drained  atomic.Bool
+	closeMu  sync.Mutex
+	directMu sync.Mutex // serializes post-drain direct shard access
+
+	maxSourcesWarned atomic.Bool
+}
+
+// NewRegistry builds and starts a registry: shard goroutines are running
+// and sources from cfg.Restore are resumed when it returns.
+func NewRegistry(cfg Config) (*Registry, error) {
+	cfg = cfg.withDefaults()
+	// Validate the monitor configuration once, up front — per-source
+	// construction must not be the first place a bad config surfaces.
+	if _, err := aging.NewDualMonitor(cfg.Monitor); err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	r := &Registry{
+		cfg:   cfg,
+		met:   newMetrics(cfg.Obs),
+		stopc: make(chan struct{}),
+	}
+	r.bus = newAlertBus(cfg.AlertRing, r.met)
+	r.shards = make([]*shard, cfg.Shards)
+	for i := range r.shards {
+		r.shards[i] = &shard{
+			id:         i,
+			reg:        r,
+			ch:         make(chan shardMsg, cfg.QueueSize),
+			sources:    make(map[string]*source),
+			samplesCtr: r.met.samples.With(fmt.Sprint(i)),
+			depthGauge: r.met.queueDepth.With(fmt.Sprint(i)),
+		}
+	}
+	for id, blob := range cfg.Restore {
+		if err := validSource(id); err != nil {
+			return nil, fmt.Errorf("ingest: restore %q: %w", id, err)
+		}
+		mon, err := aging.RestoreDualMonitor(blob)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: restore %q: %w", id, err)
+		}
+		sh := r.shards[r.shardIndex(id)]
+		src := r.attachSource(sh, id, mon)
+		src.samples.Store(int64(mon.SamplesSeen()))
+		src.jumps.Store(int64(len(mon.Jumps())))
+	}
+	for _, sh := range r.shards {
+		r.wg.Add(1)
+		go sh.run()
+	}
+	return r, nil
+}
+
+// Config returns the resolved configuration.
+func (r *Registry) Config() Config { return r.cfg }
+
+// Alerts returns the registry's alert bus.
+func (r *Registry) Alerts() *AlertBus { return r.bus }
+
+// shardIndex hashes a source id onto a shard (FNV-1a).
+func (r *Registry) shardIndex(id string) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(id))
+	return int(h.Sum64() % uint64(len(r.shards)))
+}
+
+// Ingest routes one sample to its source's shard. In the default mode a
+// full shard queue blocks (backpressure); with DropWhenFull it returns
+// ErrQueueFull and counts the drop. After Close it returns ErrClosed.
+func (r *Registry) Ingest(s Sample) error {
+	if s.Source == "" {
+		return ErrNoSource
+	}
+	if math.IsNaN(s.Free) || math.IsInf(s.Free, 0) || math.IsNaN(s.Swap) || math.IsInf(s.Swap, 0) {
+		return ErrBadSample
+	}
+	// Sender registration is an atomic counter, not a WaitGroup: a
+	// WaitGroup Add racing a parked Wait is a documented misuse panic,
+	// and Ingest legitimately races Close. The order — increment, then
+	// check the closing flag — pairs with Close's order — set the flag,
+	// then poll the counter — so either this sender sees the flag and
+	// backs out, or Close sees the sender and waits for it.
+	r.senders.Add(1)
+	defer r.senders.Add(-1)
+	if r.closing.Load() {
+		r.drop("shutdown")
+		return ErrClosed
+	}
+	sh := r.shards[r.shardIndex(s.Source)]
+	msg := shardMsg{s: s}
+	if r.cfg.DropWhenFull {
+		select {
+		case sh.ch <- msg:
+		default:
+			r.drop("queue_full")
+			return ErrQueueFull
+		}
+	} else {
+		select {
+		case sh.ch <- msg:
+		case <-r.stopc:
+			r.drop("shutdown")
+			return ErrClosed
+		}
+	}
+	sh.depthGauge.Set(float64(sh.depth.Add(1)))
+	return nil
+}
+
+// IngestLine parses one wire line and routes it. Lines without a source=
+// field are attributed to defaultSource. Blank lines and '#' comments are
+// accepted and ignored (keep-alives).
+func (r *Registry) IngestLine(defaultSource, line string) error {
+	trimmed := trimLine(line)
+	if trimmed == "" {
+		return nil
+	}
+	s, err := ParseLine(trimmed)
+	if err != nil {
+		r.badLines.Add(1)
+		r.met.badLines.Inc()
+		return err
+	}
+	if s.Source == "" {
+		s.Source = defaultSource
+	}
+	return r.Ingest(s)
+}
+
+// trimLine strips whitespace and filters comment/blank lines.
+func trimLine(line string) string {
+	t := strings.TrimSpace(line)
+	if t == "" || t[0] == '#' {
+		return ""
+	}
+	return t
+}
+
+// drop counts one dropped sample by reason.
+func (r *Registry) drop(reason string) {
+	r.dropped.Add(1)
+	r.met.dropped.With(reason).Inc()
+}
+
+// Accepted returns the number of samples consumed by monitors.
+func (r *Registry) Accepted() uint64 { return r.accepted.Load() }
+
+// Dropped returns the number of samples dropped before any monitor.
+func (r *Registry) Dropped() uint64 { return r.dropped.Load() }
+
+// BadLines returns the number of malformed wire lines rejected.
+func (r *Registry) BadLines() uint64 { return r.badLines.Load() }
+
+// NumSources returns the current source population.
+func (r *Registry) NumSources() int { return int(r.nsources.Load()) }
+
+// Source returns the status of one source.
+func (r *Registry) Source(id string) (SourceStatus, bool) {
+	v, ok := r.byID.Load(id)
+	if !ok {
+		return SourceStatus{}, false
+	}
+	return v.(*source).status(), true
+}
+
+// Sources returns every source's status, sorted by id.
+func (r *Registry) Sources() []SourceStatus {
+	var out []SourceStatus
+	r.byID.Range(func(_, v any) bool {
+		out = append(out, v.(*source).status())
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ShardStats returns per-shard accounting: population, accepted samples,
+// current queue depth.
+func (r *Registry) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(r.shards))
+	for i, sh := range r.shards {
+		out[i] = ShardStat{
+			ID:       sh.id,
+			Sources:  sh.sourceCount(),
+			Accepted: sh.accepted.Load(),
+			Depth:    sh.depth.Load(),
+		}
+	}
+	return out
+}
+
+// sourceCount counts this shard's sources via the registry's read-side
+// map, so observers never touch the goroutine-owned map.
+func (sh *shard) sourceCount() int {
+	n := 0
+	sh.reg.byID.Range(func(_, v any) bool {
+		if v.(*source).shardID == sh.id {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// MonitorState returns the SaveState blob of one source's monitor,
+// serialized against that source's sample stream (the blob reflects a
+// sample boundary, never a torn state).
+func (r *Registry) MonitorState(id string) ([]byte, error) {
+	if _, ok := r.byID.Load(id); !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSource, id)
+	}
+	var (
+		blob []byte
+		err  error
+	)
+	werr := r.withShard(r.shards[r.shardIndex(id)], func(sh *shard) {
+		src, ok := sh.sources[id]
+		if !ok {
+			err = fmt.Errorf("%w: %q", ErrUnknownSource, id)
+			return
+		}
+		blob, err = src.mon.SaveState()
+	})
+	if werr != nil {
+		return nil, werr
+	}
+	return blob, err
+}
+
+// SnapshotStates collects every source's SaveState blob, shard by shard,
+// each shard serialized against its own sample stream. It works both on a
+// live registry and after Close (the monitors are then quiescent).
+func (r *Registry) SnapshotStates() (map[string][]byte, error) {
+	out := make(map[string][]byte, r.NumSources())
+	var errs []error
+	for _, sh := range r.shards {
+		werr := r.withShard(sh, func(sh *shard) {
+			for id, src := range sh.sources {
+				blob, err := src.mon.SaveState()
+				if err != nil {
+					errs = append(errs, fmt.Errorf("ingest: snapshot %q: %w", id, err))
+					continue
+				}
+				out[id] = blob
+			}
+		})
+		if werr != nil {
+			return nil, werr
+		}
+	}
+	r.met.snapshots.Inc()
+	return out, errors.Join(errs...)
+}
+
+// withShard runs fn in the shard's goroutine context: via a control
+// message on a live registry, directly (under a mutex) once drained.
+func (r *Registry) withShard(sh *shard, fn func(*shard)) error {
+	if r.drained.Load() {
+		r.directMu.Lock()
+		defer r.directMu.Unlock()
+		fn(sh)
+		return nil
+	}
+	ctl := &ctlMsg{fn: fn, done: make(chan struct{})}
+	r.senders.Add(1)
+	if r.closing.Load() {
+		r.senders.Add(-1)
+		// Close is in progress: wait for the drain, then go direct.
+		return r.withShardAfterDrain(sh, fn)
+	}
+	select {
+	case sh.ch <- shardMsg{ctl: ctl}:
+		r.senders.Add(-1)
+	case <-r.stopc:
+		r.senders.Add(-1)
+		return r.withShardAfterDrain(sh, fn)
+	}
+	<-ctl.done
+	return nil
+}
+
+// withShardAfterDrain waits out an in-progress Close, then runs fn
+// directly on the quiescent shard.
+func (r *Registry) withShardAfterDrain(sh *shard, fn func(*shard)) error {
+	r.wg.Wait() // shard goroutines exit once Close drains the queues
+	r.directMu.Lock()
+	defer r.directMu.Unlock()
+	fn(sh)
+	return nil
+}
+
+// Close stops intake, drains every queued sample into its monitor, stops
+// the shard goroutines and watchdogs, and closes the alert bus. It is
+// idempotent. After Close the registry is still readable (statuses,
+// SnapshotStates) — only ingestion is gone.
+func (r *Registry) Close() error {
+	r.closeMu.Lock()
+	defer r.closeMu.Unlock()
+	if r.drained.Load() {
+		return nil
+	}
+	r.closing.Store(true)
+	close(r.stopc)
+	// Wait out in-flight senders: anyone who registered before seeing the
+	// closing flag either completes a send or escapes via stopc; new
+	// senders back out immediately. Once the counter reaches zero no
+	// goroutine is or will be touching the shard channels.
+	for r.senders.Load() != 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	for _, sh := range r.shards {
+		close(sh.ch)
+	}
+	r.wg.Wait() // shards drain their queues, then exit
+	r.drained.Store(true)
+	r.bus.Close()
+	return nil
+}
+
+// attachSource registers a new source object on both the shard-owned map
+// side (caller's duty) and the read-side index. Monitor must be fresh or
+// restored; phase mirrors are initialized from it.
+func (r *Registry) attachSource(sh *shard, id string, mon *aging.DualMonitor) *source {
+	src := &source{id: id, shardID: sh.id, mon: mon, lastPhase: mon.Phase()}
+	src.phase.Store(int32(mon.Phase()))
+	if r.cfg.StallTimeout > 0 {
+		src.wd = resilience.NewWatchdog(r.cfg.StallTimeout, r.met.res, func(gap time.Duration) {
+			src.stalled.Store(true)
+			r.publishAlert(Alert{
+				Source:    id,
+				Kind:      AlertStall,
+				GapMillis: gap.Milliseconds(),
+			})
+		})
+	}
+	sh.sources[id] = src
+	r.byID.Store(id, src)
+	r.met.sources.Set(float64(r.nsources.Add(1)))
+	return src
+}
+
+// publishAlert counts and fans out one alert.
+func (r *Registry) publishAlert(a Alert) {
+	r.met.alerts.With(a.Kind).Inc()
+	r.bus.Publish(a)
+}
+
+// run is the shard goroutine: it consumes samples and control messages
+// until the channel closes (Close drains what is queued first), then
+// stops this shard's watchdogs.
+func (sh *shard) run() {
+	defer sh.reg.wg.Done()
+	for msg := range sh.ch {
+		sh.depthGauge.Set(float64(sh.depth.Add(-1)))
+		if msg.ctl != nil {
+			msg.ctl.fn(sh)
+			close(msg.ctl.done)
+			continue
+		}
+		sh.handle(msg.s)
+	}
+	for _, src := range sh.sources {
+		src.wd.Stop()
+	}
+}
+
+// handle feeds one sample into its source's monitor — the single-writer
+// hot path. No locks are taken: the monitor is goroutine-owned and the
+// status mirror is atomics.
+func (sh *shard) handle(s Sample) {
+	r := sh.reg
+	src, ok := sh.sources[s.Source]
+	if !ok {
+		if r.cfg.MaxSources > 0 && r.nsources.Load() >= int64(r.cfg.MaxSources) {
+			r.drop("max_sources")
+			if r.maxSourcesWarned.CompareAndSwap(false, true) {
+				r.cfg.Events.Warn("ingest_max_sources", obs.Fields{
+					"limit": r.cfg.MaxSources, "source": s.Source,
+				})
+			}
+			return
+		}
+		mon, err := aging.NewDualMonitor(r.cfg.Monitor)
+		if err != nil {
+			// The config was validated at construction; this cannot
+			// happen short of a defect. Count, don't crash the shard.
+			r.drop("monitor_error")
+			return
+		}
+		src = r.attachSource(sh, s.Source, mon)
+		r.cfg.Events.Info("ingest_source_created", obs.Fields{
+			"source": s.Source, "shard": sh.id,
+		})
+	}
+
+	var start time.Time
+	if r.cfg.Obs != nil {
+		start = time.Now()
+	}
+	jumps := src.mon.Add(s.Free, s.Swap)
+
+	src.samples.Add(1)
+	src.lastFree.Store(math.Float64bits(s.Free))
+	src.lastSwap.Store(math.Float64bits(s.Swap))
+	src.lastSeen.Store(time.Now().UnixNano())
+	sh.accepted.Add(1)
+	sh.samplesCtr.Inc()
+	r.accepted.Add(1)
+	if src.wd.Pet() {
+		src.stalled.Store(false)
+		r.publishAlert(Alert{Source: src.id, Kind: AlertResume})
+	}
+
+	for _, j := range jumps {
+		src.jumps.Add(1)
+		r.publishAlert(Alert{
+			Source:     src.id,
+			Kind:       AlertJump,
+			Counter:    j.Counter.String(),
+			Sample:     j.Jump.SampleIndex,
+			Volatility: j.Jump.Volatility,
+			Score:      j.Jump.Score,
+		})
+	}
+	if phase := src.mon.Phase(); phase != src.lastPhase {
+		r.publishAlert(Alert{
+			Source: src.id,
+			Kind:   AlertPhaseChange,
+			Sample: src.mon.SamplesSeen(),
+			From:   src.lastPhase.String(),
+			To:     phase.String(),
+		})
+		src.lastPhase = phase
+		src.phase.Store(int32(phase))
+	}
+	if r.cfg.Obs != nil {
+		r.met.handleSec.Observe(time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,272 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"agingmf/internal/aging"
+	"agingmf/internal/memsim"
+	"agingmf/internal/workload"
+)
+
+// SelfTestConfig parameterizes RunSelfTest.
+type SelfTestConfig struct {
+	// Sources is the number of simulated machines (0 selects 16).
+	Sources int
+	// Samples is the trace length per machine (0 selects 256). A machine
+	// that crashes earlier contributes its partial trace.
+	Samples int
+	// Conns is the number of TCP connections the sources are multiplexed
+	// over (0 selects min(Sources, 64)); the wire source= field keys the
+	// streams, exactly as a fleet relay would.
+	Conns int
+	// Seed makes every machine's trace deterministic (machine i derives
+	// from Seed+i).
+	Seed int64
+	// Machine is the simulated hardware (zero value selects
+	// memsim.DefaultConfig).
+	Machine memsim.Config
+	// Workload is the load configuration (zero value selects
+	// workload.DefaultDriverConfig).
+	Workload workload.DriverConfig
+	// Timeout bounds the whole self-test (0 selects 2m).
+	Timeout time.Duration
+}
+
+func (c SelfTestConfig) withDefaults() SelfTestConfig {
+	if c.Sources <= 0 {
+		c.Sources = 16
+	}
+	if c.Samples <= 0 {
+		c.Samples = 256
+	}
+	if c.Conns <= 0 {
+		c.Conns = c.Sources
+		if c.Conns > 64 {
+			c.Conns = 64
+		}
+	}
+	if c.Conns > c.Sources {
+		c.Conns = c.Sources
+	}
+	if c.Machine == (memsim.Config{}) {
+		c.Machine = memsim.DefaultConfig()
+	}
+	if c.Workload.Server == nil && c.Workload.ClientRate == 0 {
+		c.Workload = workload.DefaultDriverConfig()
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 2 * time.Minute
+	}
+	return c
+}
+
+// SelfTestReport is the outcome of one self-test.
+type SelfTestReport struct {
+	// Sources and SamplesSent describe the generated load.
+	Sources     int
+	SamplesSent int
+	// Accepted and Dropped are the registry's accounting after the load;
+	// a passing self-test has Accepted == SamplesSent and Dropped == 0.
+	Accepted uint64
+	Dropped  uint64
+	// ParityMismatches lists sources whose daemon-side monitor state
+	// differs from a single-process monitor fed the same trace — always
+	// empty unless the sharding is broken.
+	ParityMismatches []string
+	// Jumps and Alerts summarize what the fleet detected.
+	Jumps  int64
+	Alerts uint64
+	// Elapsed is the wall time of the load+verify phases.
+	Elapsed time.Duration
+}
+
+// Ok reports whether the self-test passed: every sample accepted, none
+// dropped, and every source's monitor byte-for-byte identical to its
+// single-process reference.
+func (r SelfTestReport) Ok() bool {
+	return r.Accepted == uint64(r.SamplesSent) && r.Dropped == 0 && len(r.ParityMismatches) == 0
+}
+
+// selfTestSourceID names simulated machine i on the wire.
+func selfTestSourceID(i int) string { return fmt.Sprintf("selftest-%04d", i) }
+
+// RunSelfTest drives cfg.Sources simulated machines (internal/memsim
+// under an internal/workload driver) through the server's real TCP
+// socket, multiplexed over cfg.Conns connections, then verifies the
+// daemon end-to-end:
+//
+//   - every sample was accepted, none dropped (backpressure, not loss);
+//   - each source's monitor state is byte-for-byte identical to a
+//     single-process aging.DualMonitor fed the same trace.
+//
+// The server must be started with a TCP listener and must not be shut
+// down underneath the test. RunSelfTest returns an error only for
+// plumbing failures (dial, config); a detected discrepancy is reported
+// in SelfTestReport, not as an error.
+func RunSelfTest(ctx context.Context, srv *Server, cfg SelfTestConfig) (SelfTestReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg = cfg.withDefaults()
+	addr := srv.TCPAddr()
+	if addr == nil {
+		return SelfTestReport{}, fmt.Errorf("ingest: self-test needs a TCP listener")
+	}
+	ctx, cancel := context.WithTimeout(ctx, cfg.Timeout)
+	defer cancel()
+	start := time.Now()
+
+	// Generate every machine's trace up front: the same deterministic
+	// traces feed both the wire and the single-process reference monitors.
+	traces := make([][][2]float64, cfg.Sources)
+	total := 0
+	for i := range traces {
+		tr, err := selfTestTrace(cfg, i)
+		if err != nil {
+			return SelfTestReport{}, err
+		}
+		traces[i] = tr
+		total += len(tr)
+	}
+
+	rep := SelfTestReport{Sources: cfg.Sources, SamplesSent: total}
+	reg := srv.Registry()
+	base := reg.Accepted() // the server may have served traffic already
+
+	// Partition sources round-robin over the connections; each connection
+	// interleaves its sources sample-by-sample, the worst case for
+	// cross-source isolation.
+	var wg sync.WaitGroup
+	errc := make(chan error, cfg.Conns)
+	for c := 0; c < cfg.Conns; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			errc <- selfTestConn(ctx, addr, cfg, traces, c)
+		}(c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			return rep, err
+		}
+	}
+
+	// The samples are all written; wait for the shards to consume them.
+	for reg.Accepted()-base < uint64(total) {
+		if ctx.Err() != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	rep.Accepted = reg.Accepted() - base
+	rep.Dropped = reg.Dropped()
+	rep.Alerts = reg.Alerts().Total()
+
+	// Parity: replay each trace into a fresh single-process monitor and
+	// compare gob states byte-for-byte.
+	for i, tr := range traces {
+		id := selfTestSourceID(i)
+		if st, ok := reg.Source(id); ok {
+			rep.Jumps += st.Jumps
+		}
+		got, err := reg.MonitorState(id)
+		if err != nil {
+			rep.ParityMismatches = append(rep.ParityMismatches, id)
+			continue
+		}
+		ref, err := aging.NewDualMonitor(reg.Config().Monitor)
+		if err != nil {
+			return rep, fmt.Errorf("ingest: self-test reference monitor: %w", err)
+		}
+		for _, s := range tr {
+			ref.Add(s[0], s[1])
+		}
+		want, err := ref.SaveState()
+		if err != nil {
+			return rep, fmt.Errorf("ingest: self-test reference state: %w", err)
+		}
+		if !bytes.Equal(got, want) {
+			rep.ParityMismatches = append(rep.ParityMismatches, id)
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// selfTestTrace simulates machine i and returns its (free, swap) trace.
+func selfTestTrace(cfg SelfTestConfig, i int) ([][2]float64, error) {
+	m, err := memsim.New(cfg.Machine, rand.New(rand.NewSource(cfg.Seed+int64(i))))
+	if err != nil {
+		return nil, fmt.Errorf("ingest: self-test machine %d: %w", i, err)
+	}
+	wcfg := cfg.Workload
+	if wcfg.Server != nil {
+		server := *wcfg.Server // no shared mutable state across machines
+		wcfg.Server = &server
+	}
+	d, err := workload.NewDriver(m, wcfg, nil, rand.New(rand.NewSource(cfg.Seed+int64(i)+1e6)))
+	if err != nil {
+		return nil, fmt.Errorf("ingest: self-test driver %d: %w", i, err)
+	}
+	tr := make([][2]float64, 0, cfg.Samples)
+	for len(tr) < cfg.Samples {
+		c, err := d.Step()
+		if err != nil {
+			break // crash is the machine's natural endpoint; partial trace is fine
+		}
+		tr = append(tr, [2]float64{c.FreeMemoryBytes, c.UsedSwapBytes})
+	}
+	return tr, nil
+}
+
+// selfTestConn writes connection c's share of the sources, interleaved
+// sample-by-sample over one real TCP connection.
+func selfTestConn(ctx context.Context, addr net.Addr, cfg SelfTestConfig, traces [][][2]float64, c int) error {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, addr.Network(), addr.String())
+	if err != nil {
+		return fmt.Errorf("ingest: self-test dial: %w", err)
+	}
+	defer conn.Close()
+	w := bufio.NewWriter(conn)
+	mine := make([]int, 0, len(traces)/cfg.Conns+1)
+	longest := 0
+	for i := c; i < len(traces); i += cfg.Conns {
+		mine = append(mine, i)
+		if len(traces[i]) > longest {
+			longest = len(traces[i])
+		}
+	}
+	for round := 0; round < longest; round++ {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		for _, i := range mine {
+			if round >= len(traces[i]) {
+				continue
+			}
+			s := traces[i][round]
+			line := FormatLine(Sample{
+				Source: selfTestSourceID(i),
+				Free:   s[0],
+				Swap:   s[1],
+			})
+			if _, err := w.WriteString(line + "\n"); err != nil {
+				return fmt.Errorf("ingest: self-test write: %w", err)
+			}
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("ingest: self-test flush: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package ingest
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestSelfTestSmall exercises the full loop quickly: simulated machines,
+// real sockets, parity verification.
+func TestSelfTestSmall(t *testing.T) {
+	srv := startTestServer(t, nil)
+	rep, err := RunSelfTest(context.Background(), srv, SelfTestConfig{
+		Sources: 8,
+		Samples: 64,
+		Conns:   3,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("self-test failed: %+v", rep)
+	}
+	if rep.SamplesSent == 0 || rep.Accepted != uint64(rep.SamplesSent) {
+		t.Errorf("accounting: %+v", rep)
+	}
+}
+
+// TestSelfTestThousandSources is the fleet-scale acceptance test: 1000
+// concurrent simulated sources through real loopback sockets at the
+// default queue sizes, with zero dropped samples and byte-for-byte
+// monitor parity for every source.
+func TestSelfTestThousandSources(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet-scale self-test skipped in -short mode")
+	}
+	srv := startTestServer(t, func(c *ServerConfig) {
+		c.Registry = Config{Monitor: testMonitorConfig()} // default shards & queues
+	})
+	rep, err := RunSelfTest(context.Background(), srv, SelfTestConfig{
+		Sources: 1000,
+		Samples: 24,
+		Seed:    1,
+		Timeout: 4 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dropped != 0 {
+		t.Errorf("dropped %d samples at default queue sizes", rep.Dropped)
+	}
+	if rep.Accepted != uint64(rep.SamplesSent) {
+		t.Errorf("accepted %d of %d samples", rep.Accepted, rep.SamplesSent)
+	}
+	if len(rep.ParityMismatches) != 0 {
+		t.Errorf("%d sources diverged from single-process monitors: %v",
+			len(rep.ParityMismatches), rep.ParityMismatches)
+	}
+	if srv.Registry().NumSources() != 1000 {
+		t.Errorf("registry tracks %d sources, want 1000", srv.Registry().NumSources())
+	}
+	t.Logf("self-test: %d sources, %d samples, %d alerts in %v",
+		rep.Sources, rep.SamplesSent, rep.Alerts, rep.Elapsed.Round(time.Millisecond))
+}
+
+func TestSelfTestNeedsTCP(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Registry: Config{Monitor: testMonitorConfig()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Registry().Close()
+	if _, err := RunSelfTest(context.Background(), srv, SelfTestConfig{}); err == nil {
+		t.Error("self-test without a TCP listener succeeded")
+	}
+}

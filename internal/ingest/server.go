@@ -1,0 +1,470 @@
+package ingest
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agingmf/internal/obs"
+)
+
+// ServerConfig parameterizes a Server.
+type ServerConfig struct {
+	// Registry configures the sharded monitor registry the server feeds.
+	Registry Config
+	// TCPAddr is the line-protocol listener address (e.g. ":9178";
+	// empty disables the TCP transport).
+	TCPAddr string
+	// HTTPAddr is the API listener address, serving POST /ingest, the
+	// /api endpoints, /metrics and /healthz (empty disables).
+	HTTPAddr string
+	// MaxLineBytes bounds one wire line (0 selects 64 KiB). Longer lines
+	// poison the connection (counted, then closed).
+	MaxLineBytes int
+	// MaxBadLines is the per-connection malformed-line budget; past it
+	// the connection is closed (0 selects 100, negative means unlimited).
+	MaxBadLines int
+	// IdleTimeout closes a TCP connection that sends nothing for this
+	// long (0 disables). Slow clients beyond it are evicted, not served.
+	IdleTimeout time.Duration
+	// SnapshotPath enables state persistence: the registry's monitor
+	// states are saved there every SnapshotEvery and on Shutdown, and
+	// loaded from there (when the file exists) by NewServer.
+	SnapshotPath string
+	// SnapshotEvery is the periodic snapshot cadence (0 selects 1m;
+	// meaningless without SnapshotPath).
+	SnapshotEvery time.Duration
+	// EnablePprof additionally serves net/http/pprof on the API listener.
+	EnablePprof bool
+}
+
+// withDefaults resolves the zero-value conveniences.
+func (c ServerConfig) withDefaults() ServerConfig {
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 64 << 10
+	}
+	if c.MaxBadLines == 0 {
+		c.MaxBadLines = 100
+	}
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = time.Minute
+	}
+	return c
+}
+
+// Server is the ingestion daemon: the sharded registry plus its TCP and
+// HTTP transports, periodic snapshots and graceful shutdown.
+type Server struct {
+	cfg ServerConfig
+	reg *Registry
+	ev  *obs.Events
+
+	tcpLn   net.Listener
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+
+	stopc    chan struct{}
+	wg       sync.WaitGroup
+	started  atomic.Bool
+	stopping atomic.Bool
+	stopOnce sync.Once
+}
+
+// NewServer builds a server. When cfg.SnapshotPath names an existing
+// snapshot, every source in it is restored before the first sample
+// arrives. Call Start to bind the listeners.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SnapshotPath != "" && cfg.Registry.Restore == nil {
+		restore, err := ReadSnapshot(cfg.SnapshotPath)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Registry.Restore = restore
+	}
+	reg, err := NewRegistry(cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:   cfg,
+		reg:   reg,
+		ev:    cfg.Registry.Events,
+		conns: make(map[net.Conn]struct{}),
+		stopc: make(chan struct{}),
+	}, nil
+}
+
+// Registry exposes the underlying registry (statuses, alerts, states).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Start binds the configured listeners and begins serving. It returns
+// once the listeners are bound (serving continues on background
+// goroutines until Shutdown).
+func (s *Server) Start() error {
+	if !s.started.CompareAndSwap(false, true) {
+		return errors.New("ingest: server already started")
+	}
+	if s.cfg.TCPAddr != "" {
+		ln, err := net.Listen("tcp", s.cfg.TCPAddr)
+		if err != nil {
+			return fmt.Errorf("ingest: tcp listener: %w", err)
+		}
+		s.tcpLn = ln
+		s.wg.Add(1)
+		go s.acceptLoop(ln)
+	}
+	if s.cfg.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+		if err != nil {
+			if s.tcpLn != nil {
+				s.tcpLn.Close()
+			}
+			return fmt.Errorf("ingest: http listener: %w", err)
+		}
+		s.httpLn = ln
+		s.httpSrv = &http.Server{Handler: s.Handler()}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			_ = s.httpSrv.Serve(ln)
+		}()
+	}
+	if s.cfg.SnapshotPath != "" {
+		s.wg.Add(1)
+		go s.snapshotLoop()
+	}
+	return nil
+}
+
+// TCPAddr returns the bound TCP listener address (nil when disabled).
+func (s *Server) TCPAddr() net.Addr {
+	if s.tcpLn == nil {
+		return nil
+	}
+	return s.tcpLn.Addr()
+}
+
+// HTTPAddr returns the bound API listener address (nil when disabled).
+func (s *Server) HTTPAddr() net.Addr {
+	if s.httpLn == nil {
+		return nil
+	}
+	return s.httpLn.Addr()
+}
+
+// acceptLoop accepts line-protocol connections until the listener closes.
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown
+		}
+		s.reg.met.conns.With("tcp").Inc()
+		s.reg.met.connsOpen.Add(1)
+		s.connMu.Lock()
+		s.conns[conn] = struct{}{}
+		s.connMu.Unlock()
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// dropConn unregisters and closes one connection.
+func (s *Server) dropConn(conn net.Conn) {
+	s.connMu.Lock()
+	_, live := s.conns[conn]
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+	if live {
+		s.reg.met.connsOpen.Add(-1)
+		conn.Close()
+	}
+}
+
+// handleConn consumes one line-protocol connection. Lines without a
+// source= field are attributed to the peer's host. Malformed lines are
+// counted against the connection's budget; exceeding it (or the line
+// length bound, or the idle timeout) closes the connection. A closed or
+// mid-stream-reset connection is normal fleet behaviour, not an error.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+
+	defaultSource := hostOf(conn.RemoteAddr())
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 4096), s.cfg.MaxLineBytes)
+	bad := 0
+	for {
+		if s.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		if !sc.Scan() {
+			// EOF, reset, eviction by deadline, or an over-long line —
+			// all are expected producer behaviour; the scanner error is
+			// surfaced as an event below for the curious.
+			if err := sc.Err(); err != nil && !s.stopping.Load() {
+				s.ev.Info("ingest_conn_error", obs.Fields{
+					"peer": conn.RemoteAddr().String(), "error": err.Error(),
+				})
+			}
+			return
+		}
+		err := s.reg.IngestLine(defaultSource, sc.Text())
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrClosed):
+			return
+		case errors.Is(err, ErrQueueFull):
+			// Drop already counted; in drop mode the producer is not
+			// throttled, so keep reading.
+		default:
+			bad++
+			s.ev.Warn("ingest_bad_line", obs.Fields{
+				"peer":  conn.RemoteAddr().String(),
+				"line":  truncate(sc.Text(), 64),
+				"error": err.Error(),
+			})
+			if s.cfg.MaxBadLines >= 0 && bad > s.cfg.MaxBadLines {
+				fmt.Fprintf(conn, "ERR too many malformed lines (%d)\n", bad)
+				return
+			}
+		}
+	}
+}
+
+// hostOf extracts the host part of a peer address — the stable identity
+// across reconnects (ports churn).
+func hostOf(addr net.Addr) string {
+	if addr == nil {
+		return "unknown"
+	}
+	host, _, err := net.SplitHostPort(addr.String())
+	if err != nil || host == "" {
+		return addr.String()
+	}
+	return host
+}
+
+// truncate bounds wire-controlled content before it lands in an event.
+func truncate(s string, max int) string {
+	if len(s) > max {
+		return s[:max] + "..."
+	}
+	return s
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /ingest[?source=ID]        wire lines in the request body
+//	GET  /api/sources               every source's status
+//	GET  /api/sources/{id}/status   one source's status
+//	GET  /api/alerts[?n=N]          most recent alerts, oldest first
+//	GET  /api/shards                per-shard accounting
+//	GET  /metrics, /healthz         telemetry (plus /debug/pprof opt-in)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /api/sources", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"sources": s.reg.Sources()})
+	})
+	mux.HandleFunc("GET /api/sources/{id}/status", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := s.reg.Source(r.PathValue("id"))
+		if !ok {
+			http.Error(w, "unknown source", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("GET /api/alerts", func(w http.ResponseWriter, r *http.Request) {
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+			n = v
+		}
+		writeJSON(w, map[string]any{
+			"total":  s.reg.Alerts().Total(),
+			"alerts": s.reg.Alerts().Recent(n),
+		})
+	})
+	mux.HandleFunc("GET /api/shards", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"shards": s.reg.ShardStats()})
+	})
+	obsH := obs.NewHandler(s.cfg.Registry.Obs, obs.HandlerConfig{
+		EnablePprof: s.cfg.EnablePprof,
+		Health:      s.health,
+	})
+	mux.Handle("/metrics", obsH)
+	mux.Handle("/healthz", obsH)
+	if s.cfg.EnablePprof {
+		mux.Handle("/debug/pprof/", obsH)
+	}
+	return mux
+}
+
+// health feeds /healthz: draining is the only unhealthy state.
+func (s *Server) health() error {
+	if s.stopping.Load() {
+		return errors.New("draining")
+	}
+	return nil
+}
+
+// handleIngest consumes wire lines from a POST body. The default source
+// for source-less lines is ?source=, else the peer host.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	s.reg.met.conns.With("http").Inc()
+	defaultSource := r.URL.Query().Get("source")
+	if defaultSource == "" {
+		defaultSource = hostOf(addrOf(r))
+	} else if err := validSource(defaultSource); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 4096), s.cfg.MaxLineBytes)
+	accepted, rejected := 0, 0
+	for sc.Scan() {
+		if trimLine(sc.Text()) == "" {
+			continue
+		}
+		switch err := s.reg.IngestLine(defaultSource, sc.Text()); {
+		case err == nil:
+			accepted++
+		case errors.Is(err, ErrClosed):
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		default:
+			rejected++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	status := http.StatusOK
+	if accepted == 0 && rejected > 0 {
+		status = http.StatusBadRequest
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]int{
+		"accepted": accepted, "rejected": rejected,
+	})
+}
+
+// addrOf recovers the peer address of an HTTP request.
+func addrOf(r *http.Request) net.Addr {
+	if r.RemoteAddr == "" {
+		return nil
+	}
+	return strAddr(r.RemoteAddr)
+}
+
+// strAddr adapts a pre-formatted address string to net.Addr.
+type strAddr string
+
+func (a strAddr) Network() string { return "tcp" }
+func (a strAddr) String() string  { return string(a) }
+
+// writeJSON writes one JSON response.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// snapshotLoop persists the registry periodically until Shutdown (which
+// writes the final snapshot itself).
+func (s *Server) snapshotLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.SnapshotEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-t.C:
+			if err := s.SaveSnapshot(); err != nil {
+				s.ev.Error("ingest_snapshot_failed", obs.Fields{"error": err.Error()})
+			}
+		}
+	}
+}
+
+// SaveSnapshot persists every source's monitor state to
+// cfg.SnapshotPath.
+func (s *Server) SaveSnapshot() error {
+	if s.cfg.SnapshotPath == "" {
+		return nil
+	}
+	states, err := s.reg.SnapshotStates()
+	if err != nil {
+		return err
+	}
+	if err := WriteSnapshot(s.cfg.SnapshotPath, states); err != nil {
+		return err
+	}
+	s.ev.Info("ingest_snapshot_saved", obs.Fields{
+		"path": s.cfg.SnapshotPath, "sources": len(states),
+	})
+	return nil
+}
+
+// Shutdown drains gracefully: stop accepting, close the transports,
+// drain every queued sample into its monitor, write the final snapshot,
+// and stop the API server. Safe to call once; ctx bounds the HTTP
+// server's drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	s.stopOnce.Do(func() {
+		s.stopping.Store(true)
+		close(s.stopc)
+		if s.tcpLn != nil {
+			s.tcpLn.Close()
+		}
+		// Producers are one-way writers: a graceful drain cannot wait for
+		// them to hang up, so close their connections. Whatever their
+		// kernels had buffered is lost — the snapshot records a sample
+		// boundary, which is all restart-resume needs.
+		s.connMu.Lock()
+		conns := make([]net.Conn, 0, len(s.conns))
+		for c := range s.conns {
+			conns = append(conns, c)
+		}
+		s.connMu.Unlock()
+		for _, c := range conns {
+			s.dropConn(c)
+		}
+		var errs []error
+		if cerr := s.reg.Close(); cerr != nil {
+			errs = append(errs, cerr)
+		}
+		if serr := s.SaveSnapshot(); serr != nil {
+			errs = append(errs, serr)
+		}
+		if s.httpSrv != nil {
+			if herr := s.httpSrv.Shutdown(ctx); herr != nil {
+				errs = append(errs, herr)
+			}
+		}
+		s.wg.Wait()
+		err = errors.Join(errs...)
+	})
+	return err
+}

@@ -1,0 +1,70 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// snapshotVersion guards the on-disk format.
+const snapshotVersion = 1
+
+// snapshotFile is the gob envelope of one registry snapshot: each
+// source's aging.DualMonitor.SaveState blob, keyed by source id.
+type snapshotFile struct {
+	Version int
+	States  map[string][]byte
+}
+
+// WriteSnapshot atomically persists the given source states to path
+// (tmp + rename, so a crash mid-write never corrupts the previous
+// snapshot).
+func WriteSnapshot(path string, states map[string][]byte) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snapshotFile{
+		Version: snapshotVersion,
+		States:  states,
+	}); err != nil {
+		return fmt.Errorf("ingest: encode snapshot: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("ingest: write snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("ingest: write snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("ingest: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("ingest: write snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot loads a snapshot written by WriteSnapshot. The returned
+// map plugs straight into Config.Restore. A missing file is not an
+// error — it returns (nil, nil), the natural cold-start case.
+func ReadSnapshot(path string) (map[string][]byte, error) {
+	blob, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ingest: read snapshot: %w", err)
+	}
+	var sf snapshotFile
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&sf); err != nil {
+		return nil, fmt.Errorf("ingest: decode snapshot %s: %w", path, err)
+	}
+	if sf.Version != snapshotVersion {
+		return nil, fmt.Errorf("ingest: snapshot %s: unsupported version %d", path, sf.Version)
+	}
+	return sf.States, nil
+}

@@ -1,0 +1,83 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap.gob")
+	want := map[string][]byte{
+		"web-01": []byte("state-a"),
+		"db/2":   []byte("state-b"),
+		"empty":  nil,
+	}
+	if err := WriteSnapshot(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d states, want %d", len(got), len(want))
+	}
+	for id, blob := range want {
+		if !bytes.Equal(got[id], blob) {
+			t.Errorf("state %q = %q, want %q", id, got[id], blob)
+		}
+	}
+	// Overwrite must be atomic-by-rename: no stray tmp files left behind.
+	if err := WriteSnapshot(path, map[string][]byte{"only": []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("snapshot dir has %d entries, want 1 (tmp files left?)", len(entries))
+	}
+	if got, err = ReadSnapshot(path); err != nil || len(got) != 1 {
+		t.Errorf("overwritten snapshot: %v, %d states", err, len(got))
+	}
+}
+
+func TestReadSnapshotMissingIsColdStart(t *testing.T) {
+	got, err := ReadSnapshot(filepath.Join(t.TempDir(), "nope.gob"))
+	if err != nil || got != nil {
+		t.Errorf("missing snapshot: got %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestReadSnapshotRejectsCorruptionAndVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	corrupt := filepath.Join(dir, "corrupt.gob")
+	if err := os.WriteFile(corrupt, []byte("not a gob stream"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(corrupt); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+
+	skew := filepath.Join(dir, "skew.gob")
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snapshotFile{Version: snapshotVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(skew, buf.Bytes(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadSnapshot(skew); err == nil {
+		t.Error("future-version snapshot accepted")
+	}
+}
+
+func TestWriteSnapshotUnwritableDir(t *testing.T) {
+	if err := WriteSnapshot(filepath.Join(t.TempDir(), "missing", "snap.gob"), nil); err == nil {
+		t.Error("write into a missing directory succeeded")
+	}
+}
