@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench check chaos experiments experiments-quick fmt vet clean
+.PHONY: all build test race cover bench bench-smoke check chaos experiments experiments-quick fmt vet clean
 
 all: build test
 
@@ -21,12 +21,18 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
+# One iteration of every benchmark: proves the bench suite still builds
+# and runs without paying for stable numbers (CI runs this).
+bench-smoke:
+	$(GO) test -run XXX -bench . -benchtime=1x . ./internal/ingest/
+
 # Fast pre-commit gate: vet plus the race detector on the packages with
-# lock-free/concurrent code (telemetry, monitor, fleet, resilience,
-# chaos, the ingest daemon).
+# lock-free/concurrent code (telemetry, monitor, streaming kernel, fleet,
+# resilience, chaos, the ingest daemon).
 check: vet
-	$(GO) test -race ./internal/obs/... ./internal/aging/... ./internal/collector/... \
-		./internal/resilience/... ./internal/chaos/... ./internal/ingest/... ./cmd/agingd/...
+	$(GO) test -race ./internal/obs/... ./internal/stream/... ./internal/aging/... \
+		./internal/collector/... ./internal/resilience/... ./internal/chaos/... \
+		./internal/ingest/... ./cmd/agingd/...
 
 # Robustness regression suite: the fault-injection campaigns plus the
 # hardened agingmon/agingd paths, under the race detector. -short keeps

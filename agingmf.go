@@ -440,7 +440,13 @@ type (
 	IngestSelfTestConfig = ingest.SelfTestConfig
 	// IngestSelfTestReport is the self-test outcome.
 	IngestSelfTestReport = ingest.SelfTestReport
+	// IngestBatch is a run of samples from one source, sent as one
+	// "batch;" wire line and one shard handoff.
+	IngestBatch = ingest.Batch
 )
+
+// IngestBatchPrefix marks a batched wire line ("batch;...").
+const IngestBatchPrefix = ingest.BatchPrefix
 
 // Alert kinds published on the ingest alert bus.
 const (
@@ -457,6 +463,12 @@ var (
 	ParseIngestLine = ingest.ParseLine
 	// FormatIngestLine renders a sample in canonical wire form.
 	FormatIngestLine = ingest.FormatLine
+	// ParseIngestBatch parses one "batch;" wire line.
+	ParseIngestBatch = ingest.ParseBatch
+	// FormatIngestBatch renders a batch in canonical wire form.
+	FormatIngestBatch = ingest.FormatBatch
+	// IsIngestBatchLine reports whether a wire line is batch-framed.
+	IsIngestBatchLine = ingest.IsBatchLine
 	// NewIngestRegistry builds and starts a sharded registry.
 	NewIngestRegistry = ingest.NewRegistry
 	// NewIngestServer builds the daemon (call Start, then Shutdown).

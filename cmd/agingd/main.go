@@ -42,7 +42,7 @@
 //	       [-history-limit N] [-alerts FILE] [-events FILE]
 //	       [-webhook URL] [-pprof]
 //	       [-selftest] [-selftest-sources N] [-selftest-samples N]
-//	       [-selftest-conns N] [-seed N]
+//	       [-selftest-conns N] [-selftest-batch N] [-seed N]
 package main
 
 import (
@@ -87,6 +87,7 @@ func run(args []string, stdout io.Writer) error {
 		stSources     = fs.Int("selftest-sources", 64, "self-test: simulated machines")
 		stSamples     = fs.Int("selftest-samples", 256, "self-test: samples per machine")
 		stConns       = fs.Int("selftest-conns", 0, "self-test: TCP connections to multiplex over (0 = min(sources, 64))")
+		stBatch       = fs.Int("selftest-batch", 8, "self-test: samples per batch; wire line (1 = plain per-sample lines)")
 		seed          = fs.Int64("seed", 1, "self-test: deterministic trace seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -153,7 +154,7 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *selftest {
-		return runSelfTest(ctx, srv, stdout, *stSources, *stSamples, *stConns, *seed)
+		return runSelfTest(ctx, srv, stdout, *stSources, *stSamples, *stConns, *stBatch, *seed)
 	}
 
 	// Serve until a termination signal, then drain: stop intake, feed
@@ -177,13 +178,14 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // runSelfTest exercises the daemon end-to-end and shuts it down.
-func runSelfTest(ctx context.Context, srv *agingmf.IngestServer, stdout io.Writer, sources, samples, conns int, seed int64) error {
-	fmt.Fprintf(stdout, "selftest: %d sources x %d samples, seed %d\n", sources, samples, seed)
+func runSelfTest(ctx context.Context, srv *agingmf.IngestServer, stdout io.Writer, sources, samples, conns, batch int, seed int64) error {
+	fmt.Fprintf(stdout, "selftest: %d sources x %d samples, batch %d, seed %d\n", sources, samples, batch, seed)
 	rep, err := agingmf.RunIngestSelfTest(ctx, srv, agingmf.IngestSelfTestConfig{
-		Sources: sources,
-		Samples: samples,
-		Conns:   conns,
-		Seed:    seed,
+		Sources:   sources,
+		Samples:   samples,
+		Conns:     conns,
+		BatchSize: batch,
+		Seed:      seed,
 	})
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

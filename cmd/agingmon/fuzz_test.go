@@ -9,11 +9,11 @@ import (
 )
 
 // FuzzParseSample drives the stdin sample parser with arbitrary lines —
-// the exact input a hostile or corrupted producer controls. The parser
-// (shared with cmd/agingd via agingmf.ParseIngestLine) must never panic,
-// and accepted samples must carry only finite counters in every wire
-// form: "free,swap", "free swap", "timestamp free swap", each optionally
-// prefixed "source=ID ".
+// the exact input a hostile or corrupted producer controls. The parsers
+// (shared with cmd/agingd via agingmf.ParseIngestLine / ParseIngestBatch)
+// must never panic, and accepted samples must carry only finite counters
+// in every wire form: "free,swap", "free swap", "timestamp free swap",
+// "batch;free swap;...", each optionally prefixed/tagged "source=ID".
 func FuzzParseSample(f *testing.F) {
 	for _, seed := range []string{
 		"1000000,2048",
@@ -38,28 +38,47 @@ func FuzzParseSample(f *testing.F) {
 		"source=" + strings.Repeat("x", 400) + " 1 2",
 		"source=a,b 1 2",
 		"1 2 3 4",
+		"batch;1e6 2048;2e6 4096",
+		"batch;source=web-01;1 2",
+		"batch;NaN 0",
+		"batch;1 2;;3 4",
 	} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, line string) {
-		free, swap, err := parseSample(line)
+		pairs, err := parseSamples(line)
 		if err != nil {
 			return
 		}
+		if len(pairs) == 0 {
+			t.Fatalf("parseSamples(%q) accepted an empty line", line)
+		}
 		// Accepted values must be finite — anything else would poison the
 		// monitor's statistics downstream.
-		if math.IsNaN(free) || math.IsInf(free, 0) || math.IsNaN(swap) || math.IsInf(swap, 0) {
-			t.Fatalf("parseSample(%q) accepted non-finite values (%v, %v)", line, free, swap)
+		for _, p := range pairs {
+			if math.IsNaN(p[0]) || math.IsInf(p[0], 0) || math.IsNaN(p[1]) || math.IsInf(p[1], 0) {
+				t.Fatalf("parseSamples(%q) accepted non-finite values %v", line, p)
+			}
 		}
-		// The shared parser must agree with the local wrapper, and its
+		// The local wrapper must agree with the shared parsers, and their
 		// canonical re-rendering must round-trip to the same counters.
+		if agingmf.IsIngestBatchLine(line) {
+			b, err := agingmf.ParseIngestBatch(line)
+			if err != nil {
+				t.Fatalf("parseSamples(%q) accepted what ParseIngestBatch rejects: %v", line, err)
+			}
+			if len(b.Pairs) != len(pairs) {
+				t.Fatalf("parseSamples(%q) = %d pairs, ParseIngestBatch = %d", line, len(pairs), len(b.Pairs))
+			}
+			return
+		}
 		s, err := agingmf.ParseIngestLine(line)
 		if err != nil {
-			t.Fatalf("parseSample(%q) accepted what ParseIngestLine rejects: %v", line, err)
+			t.Fatalf("parseSamples(%q) accepted what ParseIngestLine rejects: %v", line, err)
 		}
-		if s.Free != free || s.Swap != swap {
-			t.Fatalf("parseSample(%q) = (%v, %v), ParseIngestLine = (%v, %v)",
-				line, free, swap, s.Free, s.Swap)
+		if len(pairs) != 1 || s.Free != pairs[0][0] || s.Swap != pairs[0][1] {
+			t.Fatalf("parseSamples(%q) = %v, ParseIngestLine = (%v, %v)",
+				line, pairs, s.Free, s.Swap)
 		}
 		rt, err := agingmf.ParseIngestLine(agingmf.FormatIngestLine(s))
 		if err != nil {

@@ -6,7 +6,8 @@
 // (the live-demo counterpart of the batch experiments). With -stdin it
 // instead reads counter samples from standard input, one line per
 // sample, in any fleet wire form — "free_bytes,swap_bytes",
-// "free swap", "timestamp free swap", each optionally prefixed
+// "free swap", "timestamp free swap", or a batched
+// "batch;free swap;free swap;..." line, each optionally prefixed
 // "source=ID " (source and timestamp are accepted and ignored here;
 // cmd/agingd is the multi-source daemon) — pipe a real system's
 // counters in:
@@ -252,20 +253,28 @@ func reportSignal(stdout io.Writer, ev *agingmf.Events, sig os.Signal, clock str
 	ev.Warn("signal", agingmf.EventFields{"signal": sig.String(), "sample": at})
 }
 
-// parseSample parses one stdin sample line through the shared fleet wire
-// parser (agingmf.ParseIngestLine): "free,swap", "free swap" or
-// "timestamp free swap", each optionally prefixed "source=ID ". The
-// source and timestamp fields are accepted and ignored — agingmon
-// monitors a single stream; cmd/agingd is the multi-source daemon — so a
-// producer script written for one binary feeds the other unchanged.
-// Non-finite values are rejected: a NaN smuggled into the monitor would
-// silently poison every downstream statistic.
-func parseSample(line string) (free, swap float64, err error) {
+// parseSamples parses one stdin line through the shared fleet wire
+// parsers (agingmf.ParseIngestLine / ParseIngestBatch): "free,swap",
+// "free swap", "timestamp free swap", or a "batch;..." run of pairs,
+// each optionally prefixed/tagged "source=ID". The source and timestamp
+// fields are accepted and ignored — agingmon monitors a single stream;
+// cmd/agingd is the multi-source daemon — so a producer script written
+// for one binary feeds the other unchanged. Non-finite values are
+// rejected: a NaN smuggled into the monitor would silently poison every
+// downstream statistic.
+func parseSamples(line string) ([][2]float64, error) {
+	if agingmf.IsIngestBatchLine(line) {
+		b, err := agingmf.ParseIngestBatch(line)
+		if err != nil {
+			return nil, err
+		}
+		return b.Pairs, nil
+	}
 	s, err := agingmf.ParseIngestLine(line)
 	if err != nil {
-		return 0, 0, err
+		return nil, err
 	}
-	return s.Free, s.Swap, nil
+	return [][2]float64{{s.Free, s.Swap}}, nil
 }
 
 // truncateForEvent bounds attacker- or corruption-controlled line content
@@ -332,7 +341,7 @@ func monitorStream(stdin io.Reader, stdout io.Writer, mon *agingmf.DualMonitor, 
 			if line == "" || strings.HasPrefix(line, "#") {
 				continue
 			}
-			free, swap, err := parseSample(line)
+			pairs, err := parseSamples(line)
 			if err != nil {
 				bad++
 				badSamples.Inc()
@@ -350,13 +359,13 @@ func monitorStream(stdin io.Reader, stdout io.Writer, mon *agingmf.DualMonitor, 
 			if wd.Pet() {
 				tel.events.Info("resumed", agingmf.EventFields{"sample": sample})
 			}
-			for _, j := range mon.Add(free, swap) {
-				reportJump(stdout, tel.events, "sample", sample, j)
+			for _, j := range mon.AddBatch(pairs) {
+				reportJump(stdout, tel.events, "sample", j.Jump.SampleIndex, j)
 			}
 			if phase := mon.Phase(); phase != lastPhase {
-				lastPhase = reportPhase(stdout, tel.events, "sample", sample, lastPhase, phase, "")
+				lastPhase = reportPhase(stdout, tel.events, "sample", sample+len(pairs)-1, lastPhase, phase, "")
 			}
-			sample++
+			sample += len(pairs)
 		}
 	}
 }

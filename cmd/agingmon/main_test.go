@@ -76,6 +76,33 @@ func TestRunStdinMode(t *testing.T) {
 	}
 }
 
+// TestRunStdinBatchLines feeds the same stream split into batch; lines:
+// the monitor must count every sample inside the batches, and a
+// corrupted batch must be skipped whole, not half-ingested.
+func TestRunStdinBatchLines(t *testing.T) {
+	var in strings.Builder
+	level := 1e9
+	for i := 0; i < 40; i++ { // 40 lines x 5 samples
+		in.WriteString("batch")
+		for k := 0; k < 5; k++ {
+			level -= 1e4
+			fmt.Fprintf(&in, ";%.0f 0", level)
+		}
+		in.WriteString("\n")
+	}
+	in.WriteString("batch;1 2;NaN 0\n") // rejected whole
+	var out bytes.Buffer
+	if err := run([]string{"-stdin"}, strings.NewReader(in.String()), &out); err != nil {
+		t.Fatalf("run -stdin with batches: %v", err)
+	}
+	if !strings.Contains(out.String(), "200 samples") {
+		t.Errorf("batched samples lost:\n%s", lastLine(out.String()))
+	}
+	if !strings.Contains(out.String(), "1 bad skipped") {
+		t.Errorf("bad batch not counted:\n%s", lastLine(out.String()))
+	}
+}
+
 func TestRunStdinMalformedStrictMode(t *testing.T) {
 	// -max-bad-samples 0 restores the old fail-fast behaviour: the first
 	// malformed line aborts the run.

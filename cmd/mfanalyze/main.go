@@ -2,7 +2,9 @@
 // counter CSV (as produced by stressgen, or any file with a "timestamp"
 // column followed by value columns): global Hurst estimates, MF-DFA
 // generalized Hurst exponents and spectrum, and the Hölder-volatility
-// jump report of the aging monitor.
+// jump report of the aging monitor. The Hölder trajectory and the jump
+// report both run on the internal/stream kernel the online daemon uses,
+// so offline analysis and live detection agree sample for sample.
 //
 // Usage:
 //

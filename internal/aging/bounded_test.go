@@ -58,9 +58,9 @@ func TestBoundedMonitorMemoryStaysBounded(t *testing.T) {
 	if len(mon.vols) > 2*cfg.HistoryLimit {
 		t.Errorf("vols retained %d > %d", len(mon.vols), 2*cfg.HistoryLimit)
 	}
-	for _, tr := range mon.trackers {
-		if len(tr.osc) > 2*cfg.MaxRadius+2 {
-			t.Errorf("tracker r=%d retained %d oscillations", tr.r, len(tr.osc))
+	for _, ts := range mon.est.State().Trackers {
+		if len(ts.Osc) > 2*cfg.MaxRadius+2 {
+			t.Errorf("tracker r=%d retained %d oscillations", ts.R, len(ts.Osc))
 		}
 	}
 	// Counters keep the global view.

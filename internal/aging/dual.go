@@ -77,6 +77,25 @@ func (d *DualMonitor) Add(freeMemory, usedSwap float64) []DualJump {
 	return fired
 }
 
+// AddBatch consumes a slice of counter-sample pairs (pair[0] = free
+// memory, pair[1] = used swap) and returns the jumps fired while
+// consuming it. It is equivalent to calling Add per pair — the per-pair
+// free-then-swap alarm ordering is preserved — but lets callers move
+// many samples per call (and, in the ingestion daemon, per channel send).
+func (d *DualMonitor) AddBatch(pairs [][2]float64) []DualJump {
+	var fired []DualJump
+	for _, p := range pairs {
+		if j, ok := d.free.Add(p[0]); ok {
+			fired = append(fired, DualJump{Counter: CounterFreeMemory, Jump: j})
+		}
+		if j, ok := d.swap.Add(p[1]); ok {
+			fired = append(fired, DualJump{Counter: CounterUsedSwap, Jump: j})
+		}
+	}
+	d.jumps = append(d.jumps, fired...)
+	return fired
+}
+
 // Phase returns the most advanced phase across the two counters.
 func (d *DualMonitor) Phase() Phase {
 	fp, sp := d.free.Phase(), d.swap.Phase()

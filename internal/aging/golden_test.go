@@ -1,0 +1,206 @@
+package aging
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// Gob-compatibility golden tests: the testdata/*.gob fixtures were
+// written by the pre-internal/stream (v0) Monitor implementation — see
+// testdata/gen_fixtures.go — and must keep restoring forever. Each test
+// restores a v0 blob, continues the deterministic fixture trace past the
+// snapshot split, and demands behaviour identical to a current-code
+// monitor that consumed the whole trace uninterrupted.
+
+// fixtureTrace duplicates the generator in testdata/gen_fixtures.go; the
+// copies must stay identical or the fixtures become unverifiable.
+func fixtureTrace(seed uint64, n int) []float64 {
+	x := seed
+	rnd := func() float64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return float64(x>>11) / (1 << 53)
+	}
+	out := make([]float64, n)
+	level := 0.0
+	for i := range out {
+		amp := 0.05
+		if i >= n/2 {
+			amp = 1.5
+		}
+		if (i/16)%2 == 0 {
+			level += 0.01
+			out[i] = level
+		} else {
+			out[i] = level + amp*(rnd()-0.5)
+		}
+	}
+	return out
+}
+
+// fixtureConfig duplicates the config in testdata/gen_fixtures.go.
+func fixtureConfig(kind DetectorKind, historyLimit int) Config {
+	return Config{
+		MinRadius:        2,
+		MaxRadius:        8,
+		VolatilityWindow: 32,
+		Detector:         kind,
+		ShewhartK:        3,
+		DetectorWarmup:   64,
+		CUSUMDrift:       0.5,
+		CUSUMThreshold:   20,
+		PHDelta:          0.5,
+		PHLambda:         50,
+		EWMALambda:       0.05,
+		EWMAK:            6,
+		Refractory:       32,
+		HistoryLimit:     historyLimit,
+	}
+}
+
+const (
+	fixtureLen   = 800
+	fixtureSplit = 500
+)
+
+func readFixture(t *testing.T, name string) []byte {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join("testdata", name))
+	if err != nil {
+		t.Fatalf("read fixture: %v", err)
+	}
+	return blob
+}
+
+func TestGoldenMonitorFixturesRestore(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		kind    DetectorKind
+		history int
+		seed    uint64
+	}{
+		{"monitor_shewhart_v0.gob", DetectShewhart, 0, 11},
+		{"monitor_cusum_v0.gob", DetectCUSUM, 256, 12},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			restored, err := RestoreMonitor(readFixture(t, tc.name))
+			if err != nil {
+				t.Fatalf("restore v0 snapshot: %v", err)
+			}
+			if restored.SamplesSeen() != fixtureSplit {
+				t.Fatalf("restored SamplesSeen = %d, want %d", restored.SamplesSeen(), fixtureSplit)
+			}
+			if restored.Config() != fixtureConfig(tc.kind, tc.history) {
+				t.Fatalf("restored config %+v diverged from fixture config", restored.Config())
+			}
+			// The fixtures were generated with a jump fired before the
+			// split, so refractory and recalibration state is exercised.
+			if restored.Phase() == PhaseHealthy {
+				t.Fatal("fixture should have jumped before the split")
+			}
+			trace := fixtureTrace(tc.seed, fixtureLen)
+			fresh, err := NewMonitor(fixtureConfig(tc.kind, tc.history))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, v := range trace {
+				jf, ff := fresh.Add(v)
+				if i < fixtureSplit {
+					continue
+				}
+				jr, fr := restored.Add(v)
+				if ff != fr || jf != jr {
+					t.Fatalf("divergence at sample %d: fresh (%+v,%v), restored (%+v,%v)", i, jf, ff, jr, fr)
+				}
+			}
+			freshBlob, err := fresh.SaveState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			restoredBlob, err := restored.SaveState()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(freshBlob, restoredBlob) {
+				t.Fatal("continued v0 state and uninterrupted state serialize differently")
+			}
+		})
+	}
+}
+
+func TestGoldenDualFixtureRestores(t *testing.T) {
+	restored, err := RestoreDualMonitor(readFixture(t, "dual_v0.gob"))
+	if err != nil {
+		t.Fatalf("restore v0 dual snapshot: %v", err)
+	}
+	if restored.SamplesSeen() != fixtureSplit {
+		t.Fatalf("restored SamplesSeen = %d, want %d", restored.SamplesSeen(), fixtureSplit)
+	}
+	free := fixtureTrace(21, fixtureLen)
+	swap := fixtureTrace(22, fixtureLen)
+	fresh, err := NewDualMonitor(fixtureConfig(DetectShewhart, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < fixtureLen; i++ {
+		ff := fresh.Add(free[i], swap[i])
+		if i < fixtureSplit {
+			continue
+		}
+		fr := restored.Add(free[i], swap[i])
+		if len(ff) != len(fr) {
+			t.Fatalf("jump divergence at pair %d: %d vs %d", i, len(ff), len(fr))
+		}
+		for k := range ff {
+			if ff[k] != fr[k] {
+				t.Fatalf("jump payload divergence at pair %d: %+v vs %+v", i, ff[k], fr[k])
+			}
+		}
+	}
+	freshBlob, err := fresh.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restoredBlob, err := restored.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(freshBlob, restoredBlob) {
+		t.Fatal("continued v0 dual state and uninterrupted state serialize differently")
+	}
+	if fresh.Phase() != restored.Phase() {
+		t.Fatalf("phase divergence: %v vs %v", fresh.Phase(), restored.Phase())
+	}
+}
+
+// TestSnapshotVersionGuard rejects snapshots from the future instead of
+// silently misinterpreting them.
+func TestSnapshotVersionGuard(t *testing.T) {
+	mon, err := NewMonitor(fixtureConfig(DetectShewhart, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range fixtureTrace(99, 100) {
+		mon.Add(v)
+	}
+	blob, err := mon.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st monitorState
+	if err := gobDecode(blob, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Version != monitorStateVersion {
+		t.Fatalf("current snapshot version = %d, want %d", st.Version, monitorStateVersion)
+	}
+	st.Version = monitorStateVersion + 1
+	future, err := gobEncode(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreMonitor(future); err == nil {
+		t.Fatal("future-versioned snapshot should be rejected")
+	}
+}

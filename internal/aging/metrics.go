@@ -95,6 +95,22 @@ func (m *Monitor) observeAdd(start time.Time, fired bool) {
 	}
 }
 
+// observeAddBatch records the telemetry of one AddBatch call: one
+// latency observation for the whole batch (the histogram measures call
+// latency, and AddBatch is one call) and bulk counter updates. The
+// caller guarantees m.met != nil.
+func (m *Monitor) observeAddBatch(start time.Time, n, fired int) {
+	m.met.addSeconds.Observe(time.Since(start).Seconds())
+	m.met.samples.Add(uint64(n))
+	if m.volsSeen > 0 {
+		m.met.volatility.Set(m.vols[len(m.vols)-1])
+	}
+	if fired > 0 {
+		m.met.jumps.Add(uint64(fired))
+		m.met.phase.Set(float64(m.Phase()))
+	}
+}
+
 // Instrument attaches both per-counter monitors to a telemetry registry,
 // labeling their children with the counter kind ("free-memory" /
 // "used-swap"). A nil registry detaches. Call again after

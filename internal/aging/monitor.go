@@ -8,6 +8,12 @@
 // the onset of aging and a subsequent jump signals that failure is
 // imminent.
 //
+// Since PR 4 the Monitor is a thin composition of the streaming stages in
+// internal/stream (OscillationEstimator → VolatilityWindow →
+// Standardizer → GatedDetector); this package adds configuration,
+// phase/jump bookkeeping, history retention, persistence and telemetry
+// around that kernel.
+//
 // The package also provides the prior-work baselines the method is
 // compared against in experiment E8: parametric trend extrapolation of
 // resource exhaustion (Garg et al.; Vaidyanathan & Trivedi) and a global
@@ -17,12 +23,11 @@ package aging
 import (
 	"errors"
 	"fmt"
-	"math"
 	"time"
 
 	"agingmf/internal/changepoint"
 	"agingmf/internal/series"
-	"agingmf/internal/stats"
+	"agingmf/internal/stream"
 )
 
 // Errors returned by the package.
@@ -196,6 +201,16 @@ func (c Config) validate() error {
 	return nil
 }
 
+// ladder returns the dyadic radius ladder MinRadius, 2*MinRadius, ...
+// <= MaxRadius of the Hölder estimator.
+func (c Config) ladder() []int {
+	var rs []int
+	for r := c.MinRadius; r <= c.MaxRadius; r *= 2 {
+		rs = append(rs, r)
+	}
+	return rs
+}
+
 func (c Config) newDetector() (changepoint.Detector, error) {
 	switch c.Detector {
 	case DetectShewhart:
@@ -234,11 +249,19 @@ type Jump struct {
 }
 
 // Monitor is the online aging detector. Feed it one counter sample at a
-// time with Add; inspect Phase, Jumps and the derived series at any time.
-// Not safe for concurrent use.
+// time with Add (or a slice at a time with AddBatch); inspect Phase,
+// Jumps and the derived series at any time. Not safe for concurrent use.
+//
+// Monitor composes the internal/stream pipeline stages:
+//
+//	raw ─▶ est (Hölder) ─▶ vol (moving std) ─▶ std (z-score) ─▶ gate (detector)
 type Monitor struct {
-	cfg      Config
-	detector changepoint.Detector
+	cfg Config
+
+	est  *stream.OscillationEstimator
+	vol  *stream.VolatilityWindow
+	std  *stream.Standardizer
+	gate *stream.GatedDetector
 
 	seen       int       // total samples consumed (indices are absolute)
 	alphasSeen int       // total Hölder estimates produced
@@ -247,20 +270,7 @@ type Monitor struct {
 	alphas     []float64 // Hölder trajectory (lagging MaxRadius behind raw)
 	vols       []float64 // moving std of alphas
 
-	volSum, volSumSq float64 // running sums over the volatility window
-
-	// Warmup standardization state for CUSUM/Page–Hinkley.
-	calN             int
-	calSum, calSqSum float64
-	calMean, calStd  float64
-	calibrated       bool
-
-	jumps      []Jump
-	refractory int
-
-	logR     []float64 // cached log radii ladder
-	rs       []int     // cached radii
-	trackers []*slidingExtrema
+	jumps []Jump
 
 	met *monitorMetrics // telemetry; nil (zero overhead) unless Instrument-ed
 }
@@ -270,20 +280,31 @@ func NewMonitor(cfg Config) (*Monitor, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, fmt.Errorf("new monitor: %w", err)
 	}
+	rs := cfg.ladder()
+	if len(rs) < 3 {
+		return nil, fmt.Errorf("new monitor: radius ladder %v too short: %w", rs, ErrBadConfig)
+	}
+	est, err := stream.NewOscillationEstimator(rs)
+	if err != nil {
+		return nil, fmt.Errorf("new monitor: %w", err)
+	}
+	vol, err := stream.NewVolatilityWindow(cfg.VolatilityWindow)
+	if err != nil {
+		return nil, fmt.Errorf("new monitor: %w", err)
+	}
+	std, err := stream.NewStandardizer(cfg.DetectorWarmup, cfg.standardizes())
+	if err != nil {
+		return nil, fmt.Errorf("new monitor: %w", err)
+	}
 	det, err := cfg.newDetector()
 	if err != nil {
 		return nil, fmt.Errorf("new monitor: %w", err)
 	}
-	m := &Monitor{cfg: cfg, detector: det}
-	for r := cfg.MinRadius; r <= cfg.MaxRadius; r *= 2 {
-		m.rs = append(m.rs, r)
-		m.logR = append(m.logR, math.Log(float64(r)))
-		m.trackers = append(m.trackers, newSlidingExtrema(r))
+	gate, err := stream.NewGatedDetector(det, cfg.Refractory)
+	if err != nil {
+		return nil, fmt.Errorf("new monitor: %w", err)
 	}
-	if len(m.rs) < 3 {
-		return nil, fmt.Errorf("new monitor: radius ladder %v too short: %w", m.rs, ErrBadConfig)
-	}
-	return m, nil
+	return &Monitor{cfg: cfg, est: est, vol: vol, std: std, gate: gate}, nil
 }
 
 // Config returns the monitor configuration.
@@ -295,7 +316,7 @@ func (m *Monitor) SamplesSeen() int { return m.seen }
 // Lag returns the structural delay, in raw samples, between a sample
 // arriving and the earliest alarm it can contribute to: the Hölder
 // estimator needs MaxRadius of future context.
-func (m *Monitor) Lag() int { return m.cfg.MaxRadius }
+func (m *Monitor) Lag() int { return m.est.Lag() }
 
 // Add consumes one counter sample. It returns a Jump and true when this
 // sample completes evidence of a volatility jump.
@@ -309,61 +330,56 @@ func (m *Monitor) Add(x float64) (Jump, bool) {
 	return j, fired
 }
 
-// addSample is the un-instrumented Add pipeline.
-func (m *Monitor) addSample(x float64) (Jump, bool) {
-	m.raw = append(m.raw, x)
-	idx := m.seen
-	m.seen++
-	for _, tr := range m.trackers {
-		tr.push(idx, x)
+// AddBatch consumes a slice of counter samples and returns the jumps
+// fired while consuming it, in order. It is byte-for-byte equivalent to
+// calling Add per sample (asserted by the parity tests) but amortizes the
+// instrumentation overhead — and, further up the stack, the channel and
+// parse cost of fleet ingestion — over the whole batch.
+func (m *Monitor) AddBatch(xs []float64) []Jump {
+	if m.met == nil {
+		return m.addBatch(xs)
 	}
-	defer m.trimHistory()
-	// The centered Hölder estimate at index t requires samples up to
-	// t+MaxRadius, so when sample n-1 arrives we can evaluate t = n-1-R.
-	t := m.seen - 1 - m.cfg.MaxRadius
-	if t < m.cfg.MaxRadius {
-		return Jump{}, false
-	}
-	alpha := m.pointAlpha(t)
-	m.alphas = append(m.alphas, alpha)
-	m.alphasSeen++
-	// Update the moving volatility window. The retained alphas tail is
-	// always at least VolatilityWindow+1 long (see trimHistory), so the
-	// end-relative access below is valid in bounded mode too.
-	w := m.cfg.VolatilityWindow
-	m.volSum += alpha
-	m.volSumSq += alpha * alpha
-	if m.alphasSeen > w {
-		old := m.alphas[len(m.alphas)-w-1]
-		m.volSum -= old
-		m.volSumSq -= old * old
-	}
-	if m.alphasSeen < w {
-		return Jump{}, false
-	}
-	fw := float64(w)
-	mean := m.volSum / fw
-	v := m.volSumSq/fw - mean*mean
-	if v < 0 {
-		v = 0
-	}
-	vol := math.Sqrt(v)
-	m.vols = append(m.vols, vol)
-	m.volsSeen++
-	stat := vol
-	if m.cfg.standardizes() {
-		var ok bool
-		if stat, ok = m.standardize(vol); !ok {
-			return Jump{}, false // still calibrating the baseline
+	start := time.Now()
+	fired := m.addBatch(xs)
+	m.observeAddBatch(start, len(xs), len(fired))
+	return fired
+}
+
+// addBatch is the un-instrumented AddBatch loop.
+func (m *Monitor) addBatch(xs []float64) []Jump {
+	var fired []Jump
+	for _, x := range xs {
+		if j, ok := m.addSample(x); ok {
+			fired = append(fired, j)
 		}
 	}
-	if m.refractory > 0 {
-		m.refractory--
-		// Keep the detector's baseline in sync without alarming.
-		_, _ = m.detector.Step(stat)
+	return fired
+}
+
+// addSample is the un-instrumented Add pipeline: push the sample through
+// the stream stages in order, record emitted values in the retained
+// histories, and turn a detector alarm into a Jump.
+func (m *Monitor) addSample(x float64) (Jump, bool) {
+	m.raw = append(m.raw, x)
+	m.seen++
+	defer m.trimHistory()
+	alpha, ok := m.est.Push(x)
+	if !ok {
 		return Jump{}, false
 	}
-	alarm, fired := m.detector.Step(stat)
+	m.alphas = append(m.alphas, alpha)
+	m.alphasSeen++
+	vol, ok := m.vol.Push(alpha)
+	if !ok {
+		return Jump{}, false
+	}
+	m.vols = append(m.vols, vol)
+	m.volsSeen++
+	stat, ok := m.std.Push(vol)
+	if !ok {
+		return Jump{}, false // still calibrating the baseline
+	}
+	alarm, fired := m.gate.Push(stat)
 	if !fired {
 		return Jump{}, false
 	}
@@ -374,107 +390,9 @@ func (m *Monitor) addSample(x float64) (Jump, bool) {
 		Score:       alarm.Score,
 	}
 	m.jumps = append(m.jumps, j)
-	m.refractory = m.cfg.Refractory
-	m.detector.Reset()
 	// Recalibrate the standardization baseline for the post-jump regime.
-	m.calN, m.calSum, m.calSqSum = 0, 0, 0
-	m.calibrated = false
+	m.std.Recalibrate()
 	return j, true
-}
-
-// standardize z-scores a volatility value against the warmup baseline.
-// It returns ok=false while the baseline is still being estimated.
-func (m *Monitor) standardize(vol float64) (float64, bool) {
-	if !m.calibrated {
-		m.calN++
-		m.calSum += vol
-		m.calSqSum += vol * vol
-		if m.calN < m.cfg.DetectorWarmup {
-			return 0, false
-		}
-		m.calMean = m.calSum / float64(m.calN)
-		v := m.calSqSum/float64(m.calN) - m.calMean*m.calMean
-		if v < 0 {
-			v = 0
-		}
-		m.calStd = math.Sqrt(v)
-		if m.calStd == 0 {
-			m.calStd = 1e-12
-		}
-		m.calibrated = true
-		return 0, false
-	}
-	return (vol - m.calMean) / m.calStd, true
-}
-
-// pointAlpha computes the oscillation Hölder exponent at raw index t from
-// the incrementally maintained window extrema. Valid for t in
-// [MaxRadius, n-1-MaxRadius], which is exactly where Add evaluates it.
-func (m *Monitor) pointAlpha(t int) float64 {
-	logO := make([]float64, 0, len(m.rs))
-	logR := make([]float64, 0, len(m.rs))
-	for i, tr := range m.trackers {
-		osc := tr.at(t)
-		if osc <= 0 {
-			return 1 // locally constant: maximally smooth
-		}
-		logO = append(logO, math.Log(osc))
-		logR = append(logR, m.logR[i])
-	}
-	return fitAlpha(logR, logO)
-}
-
-// pointAlphaScan is the direct-scan reference implementation of
-// pointAlpha, kept for the equivalence tests that guard the incremental
-// tracker.
-func (m *Monitor) pointAlphaScan(t int) float64 {
-	logO := make([]float64, 0, len(m.rs))
-	logR := make([]float64, 0, len(m.rs))
-	for i, r := range m.rs {
-		lo, hi := t-r, t+r
-		if lo < 0 {
-			lo = 0
-		}
-		if hi >= len(m.raw) {
-			hi = len(m.raw) - 1
-		}
-		minV, maxV := math.Inf(1), math.Inf(-1)
-		for k := lo; k <= hi; k++ {
-			v := m.raw[k]
-			if v < minV {
-				minV = v
-			}
-			if v > maxV {
-				maxV = v
-			}
-		}
-		osc := maxV - minV
-		if osc <= 0 {
-			return 1
-		}
-		logO = append(logO, math.Log(osc))
-		logR = append(logR, m.logR[i])
-	}
-	return fitAlpha(logR, logO)
-}
-
-// fitAlpha converts the log-log points into a clamped Hölder estimate.
-func fitAlpha(logR, logO []float64) float64 {
-	fit, err := stats.OLS(logR, logO)
-	if err != nil {
-		return 1
-	}
-	a := fit.Slope
-	if math.IsNaN(a) {
-		return 1
-	}
-	if a < 0 {
-		return 0
-	}
-	if a > 2 {
-		return 2
-	}
-	return a
 }
 
 // Phase returns the monitor's current aging assessment.
@@ -507,9 +425,11 @@ func (m *Monitor) VolatilityValues() []float64 {
 }
 
 // trimHistory enforces the configured memory bound after each sample.
-// Internal floors guarantee the pipeline keeps everything it still needs:
-// the volatility recursion reads alphas up to VolatilityWindow back, and
-// the trackers' pending oscillations span at most MaxRadius centers.
+// Internal floors guarantee enough history remains to rebuild the stage
+// states on restore: the volatility ring spans VolatilityWindow alphas,
+// and the estimator keeps its own pending-oscillation bound. The
+// copy-down trims reuse slice capacity, so bounded-mode steady state
+// allocates nothing.
 func (m *Monitor) trimHistory() {
 	limit := m.cfg.HistoryLimit
 	if limit == 0 {
@@ -531,13 +451,6 @@ func (m *Monitor) trimHistory() {
 	if trimmed && m.met != nil {
 		m.met.trims.Inc()
 	}
-	// Oscillations for centers below the next evaluation point are never
-	// read again.
-	if next := m.seen - m.cfg.MaxRadius; next > 0 {
-		for _, tr := range m.trackers {
-			tr.trim(next)
-		}
-	}
 }
 
 // AnalysisResult is the offline batch analysis of a complete trace.
@@ -553,7 +466,9 @@ type AnalysisResult struct {
 }
 
 // Analyze runs the monitor over a complete counter series and returns the
-// derived series with timing metadata aligned to the input.
+// derived series with timing metadata aligned to the input. It is the
+// offline entry point of the same streaming kernel Add uses online, so
+// the two agree exactly by construction.
 func Analyze(s series.Series, cfg Config) (AnalysisResult, error) {
 	mon, err := NewMonitor(cfg)
 	if err != nil {
@@ -562,9 +477,7 @@ func Analyze(s series.Series, cfg Config) (AnalysisResult, error) {
 	if s.Len() < 2*cfg.MaxRadius+cfg.VolatilityWindow+cfg.DetectorWarmup {
 		return AnalysisResult{}, fmt.Errorf("analyze %q: %d samples: %w", s.Name, s.Len(), ErrNotReady)
 	}
-	for _, v := range s.Values {
-		mon.Add(v)
-	}
+	mon.AddBatch(s.Values)
 	res := AnalysisResult{
 		Jumps:      mon.Jumps(),
 		FinalPhase: mon.Phase(),

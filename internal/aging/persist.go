@@ -5,15 +5,33 @@ import (
 	"encoding"
 	"encoding/gob"
 	"fmt"
+
+	"agingmf/internal/stream"
 )
 
 // Monitor state persistence: a long-running agent can SaveState before a
 // restart and resume with RestoreMonitor without losing its warmup,
 // baselines or jump history. The snapshot is self-describing (it embeds
 // the configuration).
+//
+// The wire layout deliberately keeps the pre-internal/stream (v0) field
+// set so snapshots interoperate across the refactor in both directions:
+// gob decodes by field name and tolerates both unknown and missing
+// fields, so v0 blobs (no Version field) restore into current monitors,
+// and current blobs (Version=1) restore into v0 binaries. The stage
+// states of internal/stream are flattened into this layout on save and
+// reconstructed from it on restore; the golden-fixture tests in
+// golden_test.go pin the compatibility against committed v0 blobs.
+
+// monitorStateVersion is the current snapshot schema version. Version 0
+// (the zero value, i.e. a blob written before the field existed) is the
+// pre-stream layout, which shares the schema below.
+const monitorStateVersion = 1
 
 // monitorState is the exported gob mirror of Monitor.
 type monitorState struct {
+	Version int
+
 	Config        Config
 	DetectorState []byte
 
@@ -40,7 +58,9 @@ type monitorState struct {
 	Trackers []trackerState
 }
 
-// trackerState is the exported gob mirror of slidingExtrema.
+// trackerState is the exported gob mirror of one radius tracker
+// (stream.ExtremaState, kept as a distinct type so the wire schema is
+// owned by this package, not by internal/stream's evolution).
 type trackerState struct {
 	R       int
 	MaxIdx  []int
@@ -71,15 +91,19 @@ func gobDecode(data []byte, v any) error {
 // SaveState serializes the monitor, including the jump detector's
 // internal state.
 func (m *Monitor) SaveState() ([]byte, error) {
-	marshaler, ok := m.detector.(encoding.BinaryMarshaler)
+	det := m.gate.Detector()
+	marshaler, ok := det.(encoding.BinaryMarshaler)
 	if !ok {
-		return nil, fmt.Errorf("save state: detector %T is not serializable", m.detector)
+		return nil, fmt.Errorf("save state: detector %T is not serializable", det)
 	}
 	detState, err := marshaler.MarshalBinary()
 	if err != nil {
 		return nil, fmt.Errorf("save state: %w", err)
 	}
+	volSt := m.vol.State()
+	stdSt := m.std.State()
 	st := monitorState{
+		Version:       monitorStateVersion,
 		Config:        m.cfg,
 		DetectorState: detState,
 		Seen:          m.seen,
@@ -88,28 +112,19 @@ func (m *Monitor) SaveState() ([]byte, error) {
 		Raw:           m.raw,
 		Alphas:        m.alphas,
 		Vols:          m.vols,
-		VolSum:        m.volSum,
-		VolSumSq:      m.volSumSq,
-		CalN:          m.calN,
-		CalSum:        m.calSum,
-		CalSqSum:      m.calSqSum,
-		CalMean:       m.calMean,
-		CalStd:        m.calStd,
-		Calibrated:    m.calibrated,
+		VolSum:        volSt.Sum,
+		VolSumSq:      volSt.SumSq,
+		CalN:          stdSt.N,
+		CalSum:        stdSt.Sum,
+		CalSqSum:      stdSt.SqSum,
+		CalMean:       stdSt.Mean,
+		CalStd:        stdSt.Std,
+		Calibrated:    stdSt.Calibrated,
 		Jumps:         m.jumps,
-		Refractory:    m.refractory,
+		Refractory:    m.gate.Remaining(),
 	}
-	for _, tr := range m.trackers {
-		ts := trackerState{R: tr.r, Osc: tr.osc, OscBase: tr.oscBase}
-		for _, e := range tr.maxD {
-			ts.MaxIdx = append(ts.MaxIdx, e.idx)
-			ts.MaxVal = append(ts.MaxVal, e.v)
-		}
-		for _, e := range tr.minD {
-			ts.MinIdx = append(ts.MinIdx, e.idx)
-			ts.MinVal = append(ts.MinVal, e.v)
-		}
-		st.Trackers = append(st.Trackers, ts)
+	for _, ts := range m.est.State().Trackers {
+		st.Trackers = append(st.Trackers, trackerState(ts))
 	}
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
@@ -118,23 +133,71 @@ func (m *Monitor) SaveState() ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// RestoreMonitor reconstructs a monitor from a SaveState snapshot. The
-// restored monitor continues exactly where the saved one stopped.
+// RestoreMonitor reconstructs a monitor from a SaveState snapshot —
+// current or pre-stream (v0) — and continues exactly where the saved one
+// stopped.
 func RestoreMonitor(data []byte) (*Monitor, error) {
 	var st monitorState
 	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&st); err != nil {
 		return nil, fmt.Errorf("restore monitor: decode: %w", err)
 	}
+	if st.Version > monitorStateVersion {
+		return nil, fmt.Errorf("restore monitor: snapshot version %d is newer than supported %d",
+			st.Version, monitorStateVersion)
+	}
 	m, err := NewMonitor(st.Config)
 	if err != nil {
 		return nil, fmt.Errorf("restore monitor: %w", err)
 	}
-	unmarshaler, ok := m.detector.(encoding.BinaryUnmarshaler)
+	det := m.gate.Detector()
+	unmarshaler, ok := det.(encoding.BinaryUnmarshaler)
 	if !ok {
-		return nil, fmt.Errorf("restore monitor: detector %T is not serializable", m.detector)
+		return nil, fmt.Errorf("restore monitor: detector %T is not serializable", det)
 	}
 	if err := unmarshaler.UnmarshalBinary(st.DetectorState); err != nil {
 		return nil, fmt.Errorf("restore monitor: %w", err)
+	}
+	estSt := stream.OscillationEstimatorState{
+		Radii: st.Config.ladder(),
+		Seen:  st.Seen,
+	}
+	for _, ts := range st.Trackers {
+		estSt.Trackers = append(estSt.Trackers, stream.ExtremaState(ts))
+	}
+	if m.est, err = stream.RestoreOscillationEstimator(estSt); err != nil {
+		return nil, fmt.Errorf("restore monitor: %w", err)
+	}
+	// The legacy layout persists the running window sums plus the alpha
+	// history (whose retained tail always spans the window, see
+	// trimHistory); the window ring is reconstructed from that tail so the
+	// restored monitor's arithmetic continues bit for bit.
+	ring, err := stream.RebuildVolatilityRing(st.Config.VolatilityWindow, st.AlphasSeen, st.Alphas)
+	if err != nil {
+		return nil, fmt.Errorf("restore monitor: %w", err)
+	}
+	if m.vol, err = stream.RestoreVolatilityWindow(stream.VolatilityWindowState{
+		W:     st.Config.VolatilityWindow,
+		Ring:  ring,
+		Count: st.AlphasSeen,
+		Sum:   st.VolSum,
+		SumSq: st.VolSumSq,
+	}); err != nil {
+		return nil, fmt.Errorf("restore monitor: %w", err)
+	}
+	if m.std, err = stream.RestoreStandardizer(stream.StandardizerState{
+		Enabled:    st.Config.standardizes(),
+		Warmup:     st.Config.DetectorWarmup,
+		N:          st.CalN,
+		Sum:        st.CalSum,
+		SqSum:      st.CalSqSum,
+		Mean:       st.CalMean,
+		Std:        st.CalStd,
+		Calibrated: st.Calibrated,
+	}); err != nil {
+		return nil, fmt.Errorf("restore monitor: %w", err)
+	}
+	if err := m.gate.SetRemaining(st.Refractory); err != nil {
+		return nil, fmt.Errorf("restore monitor: refractory %d: %w", st.Refractory, err)
 	}
 	m.seen = st.Seen
 	m.alphasSeen = st.AlphasSeen
@@ -142,35 +205,6 @@ func RestoreMonitor(data []byte) (*Monitor, error) {
 	m.raw = st.Raw
 	m.alphas = st.Alphas
 	m.vols = st.Vols
-	m.volSum = st.VolSum
-	m.volSumSq = st.VolSumSq
-	m.calN = st.CalN
-	m.calSum = st.CalSum
-	m.calSqSum = st.CalSqSum
-	m.calMean = st.CalMean
-	m.calStd = st.CalStd
-	m.calibrated = st.Calibrated
 	m.jumps = st.Jumps
-	m.refractory = st.Refractory
-	if len(st.Trackers) != len(m.trackers) {
-		return nil, fmt.Errorf("restore monitor: %d trackers in snapshot, config needs %d",
-			len(st.Trackers), len(m.trackers))
-	}
-	for i, ts := range st.Trackers {
-		tr := m.trackers[i]
-		if tr.r != ts.R {
-			return nil, fmt.Errorf("restore monitor: tracker %d radius %d != %d", i, ts.R, tr.r)
-		}
-		tr.osc = ts.Osc
-		tr.oscBase = ts.OscBase
-		tr.maxD = tr.maxD[:0]
-		for j := range ts.MaxIdx {
-			tr.maxD = append(tr.maxD, idxVal{idx: ts.MaxIdx[j], v: ts.MaxVal[j]})
-		}
-		tr.minD = tr.minD[:0]
-		for j := range ts.MinIdx {
-			tr.minD = append(tr.minD, idxVal{idx: ts.MinIdx[j], v: ts.MinVal[j]})
-		}
-	}
 	return m, nil
 }

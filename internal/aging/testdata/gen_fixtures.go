@@ -1,0 +1,146 @@
+//go:build ignore
+
+// gen_fixtures writes the committed pre-refactor (v0) monitor snapshot
+// fixtures used by the gob-compatibility golden tests. It was run ONCE
+// against the pre-internal/stream Monitor implementation (PR 4); the
+// committed .gob files are the contract and must NOT be regenerated —
+// rerunning this program against a newer implementation would silently
+// replace the legacy blobs the tests exist to protect.
+//
+// Usage (from the repository root, historical):
+//
+//	go run ./internal/aging/testdata/gen_fixtures.go
+//
+// The deterministic trace generator below is duplicated in
+// internal/aging/golden_test.go and internal/ingest/golden_test.go; the
+// three copies must stay identical.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"agingmf/internal/aging"
+	"agingmf/internal/ingest"
+)
+
+// fixtureTrace is a tiny self-contained PRNG trace: smooth ramp blocks
+// alternating with noisy blocks whose amplitude steps up at n/2, so the
+// Hölder volatility jumps mid-trace.
+func fixtureTrace(seed uint64, n int) []float64 {
+	x := seed
+	rnd := func() float64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return float64(x>>11) / (1 << 53)
+	}
+	out := make([]float64, n)
+	level := 0.0
+	for i := range out {
+		amp := 0.05
+		if i >= n/2 {
+			amp = 1.5
+		}
+		if (i/16)%2 == 0 {
+			level += 0.01
+			out[i] = level
+		} else {
+			out[i] = level + amp*(rnd()-0.5)
+		}
+	}
+	return out
+}
+
+// fixtureConfig mirrors the config constructors in the golden tests.
+func fixtureConfig(kind aging.DetectorKind, historyLimit int) aging.Config {
+	return aging.Config{
+		MinRadius:        2,
+		MaxRadius:        8,
+		VolatilityWindow: 32,
+		Detector:         kind,
+		ShewhartK:        3,
+		DetectorWarmup:   64,
+		CUSUMDrift:       0.5,
+		CUSUMThreshold:   20,
+		PHDelta:          0.5,
+		PHLambda:         50,
+		EWMALambda:       0.05,
+		EWMAK:            6,
+		Refractory:       32,
+		HistoryLimit:     historyLimit,
+	}
+}
+
+const (
+	fixtureLen   = 800
+	fixtureSplit = 500
+)
+
+func main() {
+	// Monitor fixtures: one per detector family that persists differently
+	// (Shewhart self-calibrates; CUSUM standardizes, exercising the Cal*
+	// fields; the CUSUM one also runs in bounded-history mode).
+	for _, fx := range []struct {
+		name    string
+		kind    aging.DetectorKind
+		history int
+		seed    uint64
+	}{
+		{"monitor_shewhart_v0.gob", aging.DetectShewhart, 0, 11},
+		{"monitor_cusum_v0.gob", aging.DetectCUSUM, 256, 12},
+	} {
+		mon, err := aging.NewMonitor(fixtureConfig(fx.kind, fx.history))
+		check(err)
+		jumps := 0
+		for _, v := range fixtureTrace(fx.seed, fixtureLen)[:fixtureSplit] {
+			if _, fired := mon.Add(v); fired {
+				jumps++
+			}
+		}
+		blob, err := mon.SaveState()
+		check(err)
+		check(os.WriteFile("internal/aging/testdata/"+fx.name, blob, 0o644))
+		fmt.Printf("%s: %d samples, %d jumps by split, phase %v, %d bytes\n",
+			fx.name, mon.SamplesSeen(), jumps, mon.Phase(), len(blob))
+	}
+
+	// Dual-monitor fixture (free + swap streams).
+	dual, err := aging.NewDualMonitor(fixtureConfig(aging.DetectShewhart, 0))
+	check(err)
+	free := fixtureTrace(21, fixtureLen)
+	swap := fixtureTrace(22, fixtureLen)
+	for i := 0; i < fixtureSplit; i++ {
+		dual.Add(free[i], swap[i])
+	}
+	blob, err := dual.SaveState()
+	check(err)
+	check(os.WriteFile("internal/aging/testdata/dual_v0.gob", blob, 0o644))
+	fmt.Printf("dual_v0.gob: %d samples, phase %v, %d bytes\n",
+		dual.SamplesSeen(), dual.Phase(), len(blob))
+
+	// Registry snapshot fixture: three sources fed through a real sharded
+	// registry, snapshotted exactly as agingd would on shutdown.
+	reg, err := ingest.NewRegistry(ingest.Config{
+		Shards:  2,
+		Monitor: fixtureConfig(aging.DetectShewhart, 256),
+	})
+	check(err)
+	for si := 0; si < 3; si++ {
+		id := fmt.Sprintf("golden-%02d", si)
+		f := fixtureTrace(uint64(31+si), fixtureLen)
+		s := fixtureTrace(uint64(41+si), fixtureLen)
+		for i := 0; i < fixtureSplit; i++ {
+			check(reg.Ingest(ingest.Sample{Source: id, Free: f[i], Swap: s[i]}))
+		}
+	}
+	check(reg.Close())
+	states, err := reg.SnapshotStates()
+	check(err)
+	check(ingest.WriteSnapshot("internal/ingest/testdata/snapshot_v0.gob", states))
+	fmt.Printf("snapshot_v0.gob: %d sources\n", len(states))
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"agingmf/internal/dsp"
 	"agingmf/internal/series"
 	"agingmf/internal/stats"
+	"agingmf/internal/stream"
 )
 
 // Errors returned by the estimators.
@@ -86,24 +87,20 @@ func (c Config) radii() []int {
 }
 
 // Oscillation estimates the Hölder trajectory of s with the oscillation
-// method. The output series is aligned with the input (same Start/Step,
-// shifted by MaxRadius at both ends) and holds one exponent per evaluated
-// point. Runs in O(n * #radii) using sliding min/max deques.
+// method, by streaming the series through the same
+// stream.OscillationEstimator kernel the online aging monitor runs, so
+// offline trajectories and online detection agree by construction. The
+// output series is aligned with the input (same Start/Step, shifted by
+// MaxRadius at both ends) and holds one exponent per evaluated point.
+// Runs in O(n * #radii) using sliding min/max deques.
 func Oscillation(s series.Series, cfg Config) (series.Series, error) {
 	n := s.Len()
 	if err := cfg.validate(n); err != nil {
 		return series.Series{}, fmt.Errorf("oscillation %q: %w", s.Name, err)
 	}
-	radii := cfg.radii()
-	// Precompute oscillation (max-min over centered window of radius r)
-	// for every point and every radius.
-	osc := make([][]float64, len(radii))
-	for ri, r := range radii {
-		osc[ri] = slidingOscillation(s.Values, r)
-	}
-	logR := make([]float64, len(radii))
-	for i, r := range radii {
-		logR[i] = math.Log(float64(r))
+	est, err := stream.NewOscillationEstimator(cfg.radii())
+	if err != nil {
+		return series.Series{}, fmt.Errorf("oscillation %q: %w", s.Name, err)
 	}
 	lo, hi := cfg.MaxRadius, n-cfg.MaxRadius
 	out := series.Series{
@@ -112,102 +109,22 @@ func Oscillation(s series.Series, cfg Config) (series.Series, error) {
 		Step:   s.Step * time.Duration(cfg.Stride),
 		Values: make([]float64, 0, (hi-lo+cfg.Stride-1)/cfg.Stride),
 	}
-	logO := make([]float64, len(radii))
-	for t := lo; t < hi; t += cfg.Stride {
-		alpha := pointAlpha(osc, logR, logO, t)
+	// The estimator emits the exponent for center t-Lag() when sample t is
+	// pushed; keep the interior centers the stride selects. (Lag can be
+	// below MaxRadius when the dyadic ladder does not land on MaxRadius
+	// exactly, hence the lower-bound check.)
+	for _, v := range s.Values {
+		alpha, ok := est.Push(v)
+		if !ok {
+			continue
+		}
+		c := est.Seen() - 1 - est.Lag()
+		if c < lo || c >= hi || (c-lo)%cfg.Stride != 0 {
+			continue
+		}
 		out.Values = append(out.Values, alpha)
 	}
 	return out, nil
-}
-
-// pointAlpha regresses log oscillation on log radius at index t.
-func pointAlpha(osc [][]float64, logR, logO []float64, t int) float64 {
-	usable := 0
-	for ri := range osc {
-		o := osc[ri][t]
-		if o > 0 {
-			logO[usable] = math.Log(o)
-			usable++
-		} else {
-			// Zero oscillation at some radius: locally constant. Treat the
-			// point as maximally smooth.
-			return 1
-		}
-	}
-	fit, err := stats.OLS(logR[:usable], logO[:usable])
-	if err != nil {
-		return 1
-	}
-	return clampAlpha(fit.Slope)
-}
-
-// clampAlpha restricts raw regression slopes to the meaningful Hölder
-// range [0, 2]; estimates outside it are artefacts of degenerate windows.
-func clampAlpha(a float64) float64 {
-	if math.IsNaN(a) {
-		return 1
-	}
-	if a < 0 {
-		return 0
-	}
-	if a > 2 {
-		return 2
-	}
-	return a
-}
-
-// slidingOscillation returns, for every index t, max-min of xs over the
-// centered window [t-r, t+r] clamped to the series bounds. O(n) via
-// monotonic deques.
-func slidingOscillation(xs []float64, r int) []float64 {
-	n := len(xs)
-	out := make([]float64, n)
-	w := 2*r + 1
-	if w > n {
-		w = n
-	}
-	maxs := slidingWindowExtreme(xs, w, true)
-	mins := slidingWindowExtreme(xs, w, false)
-	// maxs[i] covers window starting at i: [i, i+w-1]. For centered window
-	// at t the start is t-r clamped into range.
-	for t := 0; t < n; t++ {
-		start := t - r
-		if start < 0 {
-			start = 0
-		}
-		if start > n-w {
-			start = n - w
-		}
-		out[t] = maxs[start] - mins[start]
-	}
-	return out
-}
-
-// slidingWindowExtreme returns the max (or min) over every window of
-// length w, indexed by window start.
-func slidingWindowExtreme(xs []float64, w int, wantMax bool) []float64 {
-	n := len(xs)
-	out := make([]float64, n-w+1)
-	deque := make([]int, 0, w) // indices, extreme at front
-	better := func(a, b float64) bool {
-		if wantMax {
-			return a >= b
-		}
-		return a <= b
-	}
-	for i := 0; i < n; i++ {
-		for len(deque) > 0 && better(xs[i], xs[deque[len(deque)-1]]) {
-			deque = deque[:len(deque)-1]
-		}
-		deque = append(deque, i)
-		if deque[0] <= i-w {
-			deque = deque[1:]
-		}
-		if i >= w-1 {
-			out[i-w+1] = xs[deque[0]]
-		}
-	}
-	return out
 }
 
 // WaveletLeader estimates the Hölder trajectory using wavelet leaders of a
@@ -259,7 +176,7 @@ func WaveletLeader(s series.Series, levels int) (series.Series, error) {
 		}
 		// |d_{j}| ~ 2^{j(alpha+1/2)} for leaders of an alpha-Hölder point
 		// (L1-normalized DWT uses alpha+1/2 with our orthonormal filters).
-		out.Values[t] = clampAlpha(fit.Slope - 0.5)
+		out.Values[t] = stream.ClampAlpha(fit.Slope - 0.5)
 	}
 	return out, nil
 }

@@ -8,6 +8,7 @@ import (
 	"agingmf/internal/gen"
 	"agingmf/internal/series"
 	"agingmf/internal/stats"
+	"agingmf/internal/stream"
 )
 
 func fbmSeries(t *testing.T, n int, h float64, seed int64) series.Series {
@@ -61,41 +62,62 @@ func TestRadiiLadder(t *testing.T) {
 	}
 }
 
-func TestSlidingOscillationMatchesNaive(t *testing.T) {
+func TestOscillationMatchesNaiveScan(t *testing.T) {
+	// The streaming-kernel implementation must reproduce the textbook
+	// construction exactly: rescan every centered window at every radius
+	// and regress log oscillation on log radius.
 	rng := rand.New(rand.NewSource(3))
-	xs := make([]float64, 200)
+	xs := make([]float64, 300)
+	level := 0.0
 	for i := range xs {
-		xs[i] = rng.NormFloat64()
-	}
-	for _, r := range []int{1, 3, 10} {
-		fast := slidingOscillation(xs, r)
-		for tIdx := 0; tIdx < len(xs); tIdx++ {
-			// The implementation clamps the window to keep full width near
-			// the boundaries; replicate that here.
-			w := 2*r + 1
-			if w > len(xs) {
-				w = len(xs)
-			}
-			start := tIdx - r
-			if start < 0 {
-				start = 0
-			}
-			if start > len(xs)-w {
-				start = len(xs) - w
-			}
-			lo, hi := math.Inf(1), math.Inf(-1)
-			for i := start; i < start+w; i++ {
-				if xs[i] < lo {
-					lo = xs[i]
-				}
-				if xs[i] > hi {
-					hi = xs[i]
-				}
-			}
-			if math.Abs(fast[tIdx]-(hi-lo)) > 1e-12 {
-				t.Fatalf("r=%d t=%d: fast %v naive %v", r, tIdx, fast[tIdx], hi-lo)
-			}
+		if (i/50)%2 == 0 {
+			level += 0.01 // smooth blocks exercise the zero-oscillation branch
+		} else {
+			level += rng.NormFloat64()
 		}
+		xs[i] = level
+	}
+	cfg := Config{MinRadius: 2, MaxRadius: 16, Stride: 3}
+	traj, err := Oscillation(series.FromValues("scan", xs), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radii := cfg.radii()
+	idx := 0
+	for c := cfg.MaxRadius; c < len(xs)-cfg.MaxRadius; c += cfg.Stride {
+		logR := make([]float64, 0, len(radii))
+		logO := make([]float64, 0, len(radii))
+		want := 1.0
+		for _, r := range radii {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for k := c - r; k <= c+r; k++ {
+				if xs[k] < lo {
+					lo = xs[k]
+				}
+				if xs[k] > hi {
+					hi = xs[k]
+				}
+			}
+			if hi-lo <= 0 {
+				logO = nil
+				break
+			}
+			logR = append(logR, math.Log(float64(r)))
+			logO = append(logO, math.Log(hi-lo))
+		}
+		if logO != nil {
+			want = stream.FitAlpha(logR, logO)
+		}
+		if idx >= len(traj.Values) {
+			t.Fatalf("trajectory too short: %d values", len(traj.Values))
+		}
+		if got := traj.Values[idx]; got != want {
+			t.Fatalf("alpha at center %d = %v, naive %v", c, got, want)
+		}
+		idx++
+	}
+	if idx != len(traj.Values) {
+		t.Fatalf("trajectory has %d values, naive scan evaluated %d centers", len(traj.Values), idx)
 	}
 }
 
@@ -242,8 +264,8 @@ func TestClampAlpha(t *testing.T) {
 		{in: math.NaN(), want: 1},
 	}
 	for _, tt := range tests {
-		if got := clampAlpha(tt.in); got != tt.want {
-			t.Errorf("clampAlpha(%v) = %v, want %v", tt.in, got, tt.want)
+		if got := stream.ClampAlpha(tt.in); got != tt.want {
+			t.Errorf("ClampAlpha(%v) = %v, want %v", tt.in, got, tt.want)
 		}
 	}
 }

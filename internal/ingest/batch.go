@@ -1,0 +1,153 @@
+package ingest
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Batched wire form. A producer that samples faster than it wants to
+// talk to the daemon groups consecutive observations of one source into
+// a single line:
+//
+//	batch;source=ID;FREE SWAP;FREE SWAP;...
+//	batch;FREE SWAP;FREE SWAP;...           (transport supplies the source)
+//
+// Pairs are consumed oldest first, exactly as if each had been sent as
+// its own line, but the whole batch costs one line parse and one shard
+// channel send instead of one per sample. IngestLine recognizes the
+// "batch;" prefix, so both the TCP listener and HTTP POST /ingest accept
+// batches with no transport changes.
+
+// BatchPrefix marks a batched wire line.
+const BatchPrefix = "batch;"
+
+// Batch is a run of counter-sample pairs from one source, oldest first.
+type Batch struct {
+	// Source identifies the producing machine; empty means the transport
+	// supplies a default, as with Sample.
+	Source string
+	// Pairs holds the observations: pair[0] = free memory bytes,
+	// pair[1] = used swap bytes.
+	Pairs [][2]float64
+}
+
+// IsBatchLine reports whether a wire line (after trimming) uses the
+// batched form.
+func IsBatchLine(line string) bool {
+	return strings.HasPrefix(strings.TrimSpace(line), BatchPrefix)
+}
+
+// ParseBatch parses one batched wire line. The syntax is strict — every
+// ';'-separated segment after the prefix (and optional source=ID segment)
+// must hold exactly two finite fields, and at least one pair is required
+// — so a corrupted batch is rejected whole rather than half-ingested.
+func ParseBatch(line string) (Batch, error) {
+	var b Batch
+	rest := strings.TrimSpace(line)
+	if !strings.HasPrefix(rest, BatchPrefix) {
+		return b, fmt.Errorf("%w: not a batch line", ErrBadLine)
+	}
+	rest = rest[len(BatchPrefix):]
+	if strings.HasPrefix(rest, "source=") {
+		seg, tail, found := strings.Cut(rest[len("source="):], ";")
+		if !found {
+			return b, fmt.Errorf("%w: batch source without pairs", ErrBadLine)
+		}
+		if err := validSource(seg); err != nil {
+			return b, err
+		}
+		b.Source = seg
+		rest = tail
+	}
+	if rest == "" {
+		return b, fmt.Errorf("%w: empty batch", ErrBadLine)
+	}
+	b.Pairs = make([][2]float64, 0, strings.Count(rest, ";")+1)
+	for len(rest) > 0 {
+		seg, tail, _ := strings.Cut(rest, ";")
+		rest = tail
+		ff, sf, ok := twoFields(seg)
+		if !ok {
+			return Batch{}, fmt.Errorf(`%w: batch pair %d: want exactly "free swap" in %q`,
+				ErrBadLine, len(b.Pairs), seg)
+		}
+		free, err := parseFinite("free", ff)
+		if err != nil {
+			return Batch{}, err
+		}
+		swap, err := parseFinite("swap", sf)
+		if err != nil {
+			return Batch{}, err
+		}
+		b.Pairs = append(b.Pairs, [2]float64{free, swap})
+	}
+	return b, nil
+}
+
+// twoFields splits a segment into exactly two whitespace-separated
+// fields without allocating (the reason it exists: strings.Fields costs
+// one slice per segment, which dominated the batch parse). ok is false
+// for any other field count.
+func twoFields(seg string) (a, b string, ok bool) {
+	i := 0
+	for i < len(seg) && asciiSpace(seg[i]) {
+		i++
+	}
+	j := i
+	for j < len(seg) && !asciiSpace(seg[j]) {
+		j++
+	}
+	if j == i {
+		return "", "", false
+	}
+	a = seg[i:j]
+	i = j
+	for i < len(seg) && asciiSpace(seg[i]) {
+		i++
+	}
+	j = i
+	for j < len(seg) && !asciiSpace(seg[j]) {
+		j++
+	}
+	if j == i {
+		return "", "", false
+	}
+	b = seg[i:j]
+	for k := j; k < len(seg); k++ {
+		if !asciiSpace(seg[k]) {
+			return "", "", false
+		}
+	}
+	return a, b, true
+}
+
+func asciiSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' || c == '\r'
+}
+
+// FormatBatch renders a batch in the canonical wire form, the inverse of
+// ParseBatch. Batches with no pairs render to "" (nothing to say on the
+// wire).
+func FormatBatch(b Batch) string {
+	if len(b.Pairs) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteString(BatchPrefix)
+	if b.Source != "" {
+		sb.WriteString("source=")
+		sb.WriteString(b.Source)
+		sb.WriteByte(';')
+	}
+	var num [32]byte
+	for i, p := range b.Pairs {
+		if i > 0 {
+			sb.WriteByte(';')
+		}
+		sb.Write(strconv.AppendFloat(num[:0], p[0], 'g', -1, 64))
+		sb.WriteByte(' ')
+		sb.Write(strconv.AppendFloat(num[:0], p[1], 'g', -1, 64))
+	}
+	return sb.String()
+}

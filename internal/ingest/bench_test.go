@@ -65,6 +65,69 @@ func BenchmarkIngestLine(b *testing.B) {
 	}
 }
 
+// BenchmarkIngestBatch measures the batched hot path at several batch
+// sizes, normalized to ns/sample so it reads against BenchmarkShardRouter
+// and BenchmarkIngestLine (size=1 is the degenerate batch). The paper's
+// fleet scenario ships one batch per scrape interval per machine.
+func BenchmarkIngestBatch(b *testing.B) {
+	for _, size := range []int{1, 16, 256} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			r, err := NewRegistry(Config{Monitor: testMonitorConfig()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			pairs := make([][2]float64, size)
+			for i := range pairs {
+				pairs[i] = [2]float64{1e9 - float64(i), float64(i)}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.IngestBatch(Batch{Source: "bench-0000", Pairs: pairs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size), "ns/sample")
+			if err := r.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkIngestBatchLine measures the batched wire path: one parse +
+// one route for a whole scrape interval.
+func BenchmarkIngestBatchLine(b *testing.B) {
+	for _, size := range []int{16, 256} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			r, err := NewRegistry(Config{Monitor: testMonitorConfig()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			pairs := make([][2]float64, size)
+			for i := range pairs {
+				pairs[i] = [2]float64{1e9 - float64(i), float64(i)}
+			}
+			line := FormatBatch(Batch{Source: "bench-0000", Pairs: pairs})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.IngestLine("peer", line); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size), "ns/sample")
+			if err := r.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
 // BenchmarkParseLine isolates the parser from the routing.
 func BenchmarkParseLine(b *testing.B) {
 	const line = "source=web-0042 17.5 1e9 2048"

@@ -1,0 +1,132 @@
+package ingest
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"agingmf/internal/aging"
+)
+
+// Gob-compatibility golden test for registry snapshots: restore the
+// committed pre-refactor (v0) snapshot_v0.gob — written by a real
+// sharded registry built on the pre-internal/stream Monitor — and prove
+// a current registry resumes every source exactly where it stopped.
+//
+// fixtureTrace and fixtureConfig are duplicated from
+// internal/aging/testdata/gen_fixtures.go (and golden_test.go there);
+// the copies must stay identical or the replayed traces diverge from
+// the ones baked into the fixture.
+
+func fixtureTrace(seed uint64, n int) []float64 {
+	x := seed
+	rnd := func() float64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return float64(x>>11) / (1 << 53)
+	}
+	out := make([]float64, n)
+	level := 0.0
+	for i := range out {
+		amp := 0.05
+		if i >= n/2 {
+			amp = 1.5
+		}
+		if (i/16)%2 == 0 {
+			level += 0.01
+			out[i] = level
+		} else {
+			out[i] = level + amp*(rnd()-0.5)
+		}
+	}
+	return out
+}
+
+func fixtureConfig(kind aging.DetectorKind, historyLimit int) aging.Config {
+	return aging.Config{
+		MinRadius:        2,
+		MaxRadius:        8,
+		VolatilityWindow: 32,
+		Detector:         kind,
+		ShewhartK:        3,
+		DetectorWarmup:   64,
+		CUSUMDrift:       0.5,
+		CUSUMThreshold:   20,
+		PHDelta:          0.5,
+		PHLambda:         50,
+		EWMALambda:       0.05,
+		EWMAK:            6,
+		Refractory:       32,
+		HistoryLimit:     historyLimit,
+	}
+}
+
+const (
+	fixtureLen   = 800
+	fixtureSplit = 500
+)
+
+func TestGoldenSnapshotRestores(t *testing.T) {
+	states, err := ReadSnapshot(filepath.Join("testdata", "snapshot_v0.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(states) != 3 {
+		t.Fatalf("fixture holds %d sources, want 3", len(states))
+	}
+	cfg := fixtureConfig(aging.DetectShewhart, 256)
+	r, err := NewRegistry(Config{Shards: 2, Monitor: cfg, Restore: states})
+	if err != nil {
+		t.Fatalf("restore pre-refactor snapshot: %v", err)
+	}
+	defer r.Close()
+
+	// Continue each source's trace past the fixture split through the
+	// sharded path.
+	for si := 0; si < 3; si++ {
+		id := fmt.Sprintf("golden-%02d", si)
+		st, ok := r.Source(id)
+		if !ok {
+			t.Fatalf("source %s not restored", id)
+		}
+		if st.Samples != fixtureSplit {
+			t.Fatalf("source %s resumed at %d samples, want %d", id, st.Samples, fixtureSplit)
+		}
+		f := fixtureTrace(uint64(31+si), fixtureLen)
+		s := fixtureTrace(uint64(41+si), fixtureLen)
+		for i := fixtureSplit; i < fixtureLen; i++ {
+			if err := r.Ingest(Sample{Source: id, Free: f[i], Swap: s[i]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every continued monitor must land byte-for-byte on a fresh
+	// single-process monitor fed the full trace.
+	for si := 0; si < 3; si++ {
+		id := fmt.Sprintf("golden-%02d", si)
+		ref, err := aging.NewDualMonitor(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := fixtureTrace(uint64(31+si), fixtureLen)
+		s := fixtureTrace(uint64(41+si), fixtureLen)
+		for i := 0; i < fixtureLen; i++ {
+			ref.Add(f[i], s[i])
+		}
+		want, err := ref.SaveState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.MonitorState(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("source %s: continued v0 state diverges from full fresh run", id)
+		}
+	}
+}

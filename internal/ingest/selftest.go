@@ -26,6 +26,10 @@ type SelfTestConfig struct {
 	// over (0 selects min(Sources, 64)); the wire source= field keys the
 	// streams, exactly as a fleet relay would.
 	Conns int
+	// BatchSize groups each source's samples into batch; wire lines of
+	// this many pairs (0 or 1 sends plain per-sample lines). Sources are
+	// still interleaved on each connection, at batch granularity.
+	BatchSize int
 	// Seed makes every machine's trace deterministic (machine i derives
 	// from Seed+i).
 	Seed int64
@@ -246,20 +250,38 @@ func selfTestConn(ctx context.Context, addr net.Addr, cfg SelfTestConfig, traces
 			longest = len(traces[i])
 		}
 	}
-	for round := 0; round < longest; round++ {
+	bs := cfg.BatchSize
+	if bs < 1 {
+		bs = 1
+	}
+	// Advance in BatchSize strides so sources still interleave on the
+	// wire, just at batch granularity instead of sample granularity.
+	for round := 0; round < longest; round += bs {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
 		for _, i := range mine {
-			if round >= len(traces[i]) {
+			tr := traces[i]
+			if round >= len(tr) {
 				continue
 			}
-			s := traces[i][round]
-			line := FormatLine(Sample{
-				Source: selfTestSourceID(i),
-				Free:   s[0],
-				Swap:   s[1],
-			})
+			end := round + bs
+			if end > len(tr) {
+				end = len(tr)
+			}
+			var line string
+			if bs == 1 {
+				line = FormatLine(Sample{
+					Source: selfTestSourceID(i),
+					Free:   tr[round][0],
+					Swap:   tr[round][1],
+				})
+			} else {
+				line = FormatBatch(Batch{
+					Source: selfTestSourceID(i),
+					Pairs:  tr[round:end],
+				})
+			}
 			if _, err := w.WriteString(line + "\n"); err != nil {
 				return fmt.Errorf("ingest: self-test write: %w", err)
 			}

@@ -64,6 +64,26 @@ func TestSelfTestThousandSources(t *testing.T) {
 		rep.Sources, rep.SamplesSent, rep.Alerts, rep.Elapsed.Round(time.Millisecond))
 }
 
+// TestSelfTestBatched runs the same loop over batch; framed wire lines:
+// parity against per-sample reference monitors proves batching changes
+// the transport, not the verdicts.
+func TestSelfTestBatched(t *testing.T) {
+	srv := startTestServer(t, nil)
+	rep, err := RunSelfTest(context.Background(), srv, SelfTestConfig{
+		Sources:   8,
+		Samples:   64,
+		Conns:     3,
+		BatchSize: 9, // deliberately does not divide Samples: ragged tail batch
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("batched self-test failed: %+v", rep)
+	}
+}
+
 func TestSelfTestNeedsTCP(t *testing.T) {
 	srv, err := NewServer(ServerConfig{Registry: Config{Monitor: testMonitorConfig()}})
 	if err != nil {

@@ -1,0 +1,170 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+)
+
+// OscillationEstimator is the first pipeline stage: it consumes one raw
+// counter sample per Push and emits the pointwise Hölder exponent of the
+// stream, estimated by regressing log window oscillation on log radius
+// over a ladder of window radii. The estimate at center t needs samples
+// up to t+maxR, so output lags input by Lag() = max(radii) samples.
+//
+// The stage owns one sliding-extrema tracker per radius and a reusable
+// regression scratch; consumed oscillations are trimmed eagerly, so
+// steady-state Push allocates nothing and memory stays O(sum of radii)
+// regardless of stream length.
+type OscillationEstimator struct {
+	radii []int
+	logR  []float64
+	maxR  int
+	seen  int // total samples consumed (indices are absolute)
+	trk   []*slidingExtrema
+
+	// The regressor x-axis (log radii) is fixed for the life of the
+	// stage, so its mean and centered sum of squares are computed once;
+	// each Push then only accumulates the cross term. The per-iteration
+	// arithmetic matches stats.OLS exactly, so estimates are bit-identical
+	// to the full regression (persisted pre-refactor states depend on it).
+	logRMean, sxx float64
+	scratchO      []float64 // log-oscillation scratch, reused every Push
+}
+
+// NewOscillationEstimator creates an estimator over the given radius
+// ladder. At least two radii are required for the regression to be
+// defined; callers choose the ladder policy (the aging monitor insists
+// on >= 3 dyadic rungs, the offline trajectory code allows a degenerate
+// fallback ladder).
+func NewOscillationEstimator(radii []int) (*OscillationEstimator, error) {
+	if len(radii) < 2 {
+		return nil, fmt.Errorf("oscillation estimator: ladder %v too short: %w", radii, ErrBadConfig)
+	}
+	e := &OscillationEstimator{
+		scratchO: make([]float64, 0, len(radii)),
+	}
+	for _, r := range radii {
+		if r < 1 {
+			return nil, fmt.Errorf("oscillation estimator: radius %d: %w", r, ErrBadConfig)
+		}
+		if r > e.maxR {
+			e.maxR = r
+		}
+		e.radii = append(e.radii, r)
+		e.logR = append(e.logR, math.Log(float64(r)))
+		e.trk = append(e.trk, newSlidingExtrema(r))
+	}
+	sum := 0.0
+	for _, lr := range e.logR {
+		sum += lr
+	}
+	e.logRMean = sum / float64(len(e.logR))
+	for _, lr := range e.logR {
+		dx := lr - e.logRMean
+		e.sxx += dx * dx
+	}
+	return e, nil
+}
+
+// Lag returns the structural delay, in raw samples, between a sample
+// arriving and the Hölder estimate centered on it: the estimator needs
+// max(radii) samples of future context.
+func (e *OscillationEstimator) Lag() int { return e.maxR }
+
+// Seen returns how many raw samples have been consumed.
+func (e *OscillationEstimator) Seen() int { return e.seen }
+
+// Push consumes one raw sample. Once enough context has accumulated it
+// returns the Hölder estimate for center seen-1-Lag() and true; the
+// first estimate (center Lag()) is emitted by the 2*Lag()+1-th sample.
+func (e *OscillationEstimator) Push(x float64) (float64, bool) {
+	idx := e.seen
+	e.seen++
+	for _, tr := range e.trk {
+		tr.push(idx, x)
+	}
+	// The centered estimate at index t requires samples up to t+maxR, so
+	// when sample n-1 arrives we can evaluate t = n-1-maxR.
+	t := e.seen - 1 - e.maxR
+	if t < e.maxR {
+		return 0, false
+	}
+	alpha := e.alphaAt(t)
+	// Oscillations at centers <= t are never read again.
+	for _, tr := range e.trk {
+		tr.trim(t + 1)
+	}
+	return alpha, true
+}
+
+// alphaAt computes the oscillation Hölder exponent at raw index t from
+// the incrementally maintained window extrema. It is FitAlpha with the
+// x-axis statistics hoisted out: only the y mean and the cross term are
+// data-dependent, and the slope is all the caller needs.
+func (e *OscillationEstimator) alphaAt(t int) float64 {
+	logO := e.scratchO[:0]
+	for _, tr := range e.trk {
+		osc := tr.at(t)
+		if osc <= 0 {
+			return 1 // locally constant: maximally smooth
+		}
+		logO = append(logO, math.Log(osc))
+	}
+	if e.sxx == 0 {
+		return 1 // degenerate ladder of identical radii
+	}
+	sum := 0.0
+	for _, y := range logO {
+		sum += y
+	}
+	my := sum / float64(len(logO))
+	var sxy float64
+	for i, y := range logO {
+		sxy += (e.logR[i] - e.logRMean) * (y - my)
+	}
+	return ClampAlpha(sxy / e.sxx)
+}
+
+// OscillationEstimatorState is the persistable state of the stage.
+type OscillationEstimatorState struct {
+	Radii    []int
+	Seen     int
+	Trackers []ExtremaState
+}
+
+// State snapshots the stage.
+func (e *OscillationEstimator) State() OscillationEstimatorState {
+	st := OscillationEstimatorState{
+		Radii: append([]int(nil), e.radii...),
+		Seen:  e.seen,
+	}
+	for _, tr := range e.trk {
+		st.Trackers = append(st.Trackers, tr.state())
+	}
+	return st
+}
+
+// RestoreOscillationEstimator rebuilds an estimator from a snapshot.
+func RestoreOscillationEstimator(st OscillationEstimatorState) (*OscillationEstimator, error) {
+	e, err := NewOscillationEstimator(st.Radii)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Trackers) != len(e.trk) || st.Seen < 0 {
+		return nil, fmt.Errorf("oscillation estimator: %d tracker states for ladder %v: %w",
+			len(st.Trackers), st.Radii, ErrBadState)
+	}
+	for i, ts := range st.Trackers {
+		if ts.R != e.radii[i] {
+			return nil, fmt.Errorf("oscillation estimator: tracker %d radius %d != %d: %w",
+				i, ts.R, e.radii[i], ErrBadState)
+		}
+		tr, err := restoreExtrema(ts)
+		if err != nil {
+			return nil, fmt.Errorf("oscillation estimator: tracker %d: %w", i, err)
+		}
+		e.trk[i] = tr
+	}
+	e.seen = st.Seen
+	return e, nil
+}

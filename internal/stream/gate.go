@@ -1,0 +1,63 @@
+package stream
+
+import (
+	"fmt"
+
+	"agingmf/internal/changepoint"
+)
+
+// GatedDetector is the final pipeline stage: a changepoint detector with
+// a refractory period. After each alarm the detector is reset and further
+// alarms are suppressed for the next `refractory` pushes — one physical
+// regime change should not be double counted — while the underlying
+// detector keeps stepping so its baseline stays in sync with the stream.
+type GatedDetector struct {
+	det        changepoint.Detector
+	refractory int // configured suppression length
+	remaining  int // pushes left in the current refractory period
+}
+
+// NewGatedDetector wraps det with a refractory period of `refractory`
+// pushes (0 disables gating).
+func NewGatedDetector(det changepoint.Detector, refractory int) (*GatedDetector, error) {
+	if det == nil || refractory < 0 {
+		return nil, fmt.Errorf("gated detector (refractory %d): %w", refractory, ErrBadConfig)
+	}
+	return &GatedDetector{det: det, refractory: refractory}, nil
+}
+
+// Detector returns the wrapped detector (used for persistence; the
+// concrete detectors implement encoding.BinaryMarshaler).
+func (g *GatedDetector) Detector() changepoint.Detector { return g.det }
+
+// Remaining returns how many pushes of the current refractory period are
+// left.
+func (g *GatedDetector) Remaining() int { return g.remaining }
+
+// SetRemaining overrides the refractory countdown (used when restoring
+// persisted state).
+func (g *GatedDetector) SetRemaining(n int) error {
+	if n < 0 {
+		return ErrBadState
+	}
+	g.remaining = n
+	return nil
+}
+
+// Push consumes one value. It returns the alarm and true when the
+// detector fires outside a refractory period.
+func (g *GatedDetector) Push(x float64) (changepoint.Alarm, bool) {
+	if g.remaining > 0 {
+		g.remaining--
+		// Keep the detector's baseline in sync without alarming.
+		_, _ = g.det.Step(x)
+		return changepoint.Alarm{}, false
+	}
+	alarm, fired := g.det.Step(x)
+	if !fired {
+		return changepoint.Alarm{}, false
+	}
+	g.remaining = g.refractory
+	g.det.Reset()
+	return alarm, true
+}

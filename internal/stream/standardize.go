@@ -1,0 +1,117 @@
+package stream
+
+import (
+	"fmt"
+	"math"
+)
+
+// Standardizer is the third pipeline stage: it z-scores the volatility
+// stream against a baseline estimated from the first Warmup values, for
+// detectors whose thresholds are defined in baseline-sigma units (CUSUM,
+// Page–Hinkley). While the baseline is being estimated nothing is
+// emitted. After a detected jump the caller invokes Recalibrate so the
+// baseline is re-estimated for the post-jump regime.
+//
+// A disabled Standardizer (enabled=false) passes every value through
+// unchanged, which lets the monitor keep a single pipeline shape for
+// self-calibrating detectors (Shewhart, EWMA) too.
+type Standardizer struct {
+	enabled bool
+	warmup  int
+
+	n          int
+	sum, sqSum float64
+	mean, std  float64
+	calibrated bool
+}
+
+// NewStandardizer creates a Standardizer estimating its baseline over
+// warmup >= 2 values. When enabled is false, Push is the identity.
+func NewStandardizer(warmup int, enabled bool) (*Standardizer, error) {
+	if warmup < 2 {
+		return nil, fmt.Errorf("standardizer warmup %d: %w", warmup, ErrBadConfig)
+	}
+	return &Standardizer{enabled: enabled, warmup: warmup}, nil
+}
+
+// Enabled reports whether the stage transforms its input.
+func (s *Standardizer) Enabled() bool { return s.enabled }
+
+// Push consumes one value. It returns the standardized value and true,
+// or false while the baseline is still being estimated.
+func (s *Standardizer) Push(x float64) (float64, bool) {
+	if !s.enabled {
+		return x, true
+	}
+	if !s.calibrated {
+		s.n++
+		s.sum += x
+		s.sqSum += x * x
+		if s.n < s.warmup {
+			return 0, false
+		}
+		s.mean = s.sum / float64(s.n)
+		v := s.sqSum/float64(s.n) - s.mean*s.mean
+		if v < 0 {
+			v = 0
+		}
+		s.std = math.Sqrt(v)
+		if s.std == 0 {
+			s.std = 1e-12
+		}
+		s.calibrated = true
+		return 0, false
+	}
+	return (x - s.mean) / s.std, true
+}
+
+// Recalibrate discards the baseline so it is re-estimated from the next
+// Warmup values (used after a jump, when the in-control regime changed).
+// The previous mean/std are retained until then, mirroring the historical
+// monitor so persisted state round-trips bit for bit.
+func (s *Standardizer) Recalibrate() {
+	s.n, s.sum, s.sqSum = 0, 0, 0
+	s.calibrated = false
+}
+
+// StandardizerState is the persistable state of the stage.
+type StandardizerState struct {
+	Enabled    bool
+	Warmup     int
+	N          int
+	Sum, SqSum float64
+	Mean, Std  float64
+	Calibrated bool
+}
+
+// State snapshots the stage.
+func (s *Standardizer) State() StandardizerState {
+	return StandardizerState{
+		Enabled:    s.enabled,
+		Warmup:     s.warmup,
+		N:          s.n,
+		Sum:        s.sum,
+		SqSum:      s.sqSum,
+		Mean:       s.mean,
+		Std:        s.std,
+		Calibrated: s.calibrated,
+	}
+}
+
+// RestoreStandardizer rebuilds a Standardizer from a snapshot.
+func RestoreStandardizer(st StandardizerState) (*Standardizer, error) {
+	s, err := NewStandardizer(st.Warmup, st.Enabled)
+	if err != nil {
+		return nil, err
+	}
+	if st.N < 0 {
+		return nil, ErrBadState
+	}
+	s.n = st.N
+	s.sum = st.Sum
+	s.sqSum = st.SqSum
+	s.mean = st.Mean
+	s.std = st.Std
+	s.calibrated = st.Calibrated
+	return s, nil
+}
