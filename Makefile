@@ -15,8 +15,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Full internal coverage report, then the floor: the pipeline transport
+# and lifecycle kernel every command now runs on must stay >= 80%
+# covered (CI runs this).
 cover:
 	$(GO) test -cover ./internal/...
+	$(GO) test -cover ./internal/source/ ./internal/runtime/ | awk \
+		'/coverage:/ { for (i = 1; i < NF; i++) if ($$i == "coverage:") { \
+			v = $$(i + 1); gsub(/%/, "", v); \
+			if (v + 0 < 80) { print "coverage floor 80% violated: " $$0; fail = 1 } } } \
+		END { exit fail }'
 
 bench:
 	$(GO) test -bench=. -benchmem .
@@ -24,15 +32,17 @@ bench:
 # One iteration of every benchmark: proves the bench suite still builds
 # and runs without paying for stable numbers (CI runs this).
 bench-smoke:
-	$(GO) test -run XXX -bench . -benchtime=1x . ./internal/ingest/
+	$(GO) test -run XXX -bench . -benchtime=1x . ./internal/ingest/ ./internal/source/
 
 # Fast pre-commit gate: vet plus the race detector on the packages with
 # lock-free/concurrent code (telemetry, monitor, streaming kernel, fleet,
-# resilience, chaos, the ingest daemon).
+# resilience, chaos, the ingest daemon, the pipeline transport and the
+# lifecycle kernel).
 check: vet
 	$(GO) test -race ./internal/obs/... ./internal/stream/... ./internal/aging/... \
 		./internal/collector/... ./internal/resilience/... ./internal/chaos/... \
-		./internal/ingest/... ./cmd/agingd/...
+		./internal/ingest/... ./internal/source/... ./internal/runtime/... \
+		./cmd/agingd/...
 
 # Robustness regression suite: the fault-injection campaigns plus the
 # hardened agingmon/agingd paths, under the race detector. -short keeps

@@ -18,7 +18,9 @@ import (
 	"agingmf/internal/obs"
 	"agingmf/internal/rejuv"
 	"agingmf/internal/resilience"
+	apprt "agingmf/internal/runtime"
 	"agingmf/internal/series"
+	"agingmf/internal/source"
 	"agingmf/internal/stats"
 	"agingmf/internal/workload"
 )
@@ -562,6 +564,79 @@ var (
 	ExponentialBuckets = obs.ExponentialBuckets
 	// LinearBuckets builds arithmetic histogram bounds.
 	LinearBuckets = obs.LinearBuckets
+)
+
+// Pipeline transport (internal/source): Sources yield counter-sample
+// Items from line streams, simulated machines, CSV replays or memory;
+// Sinks consume them into monitors, trace dumps or the fleet registry.
+// Every command is a source→stages→sink composition over this layer.
+type (
+	// PipelineItem is one transported unit: a batch of counter pairs
+	// from one source, possibly carrying a crash marker.
+	PipelineItem = source.Item
+	// PipelineSource yields items until io.EOF.
+	PipelineSource = source.Source
+	// PipelineSink consumes items.
+	PipelineSink = source.Sink
+	// BadLineError reports a recoverable malformed input line.
+	BadLineError = source.BadLineError
+	// SimSource drives a simulated machine as a pipeline source.
+	SimSource = source.SimSource
+	// SimSourceConfig parameterizes NewSimSource.
+	SimSourceConfig = source.SimConfig
+	// TraceReplaySource replays recorded counter pairs (e.g. a
+	// stressgen CSV). Distinct from the workload ReplaySource, which
+	// replays load intensities.
+	TraceReplaySource = source.ReplaySource
+	// FaultSourceConfig parameterizes a fault-injection source wrapper.
+	FaultSourceConfig = source.FaultConfig
+	// MonitorSinkConfig parameterizes a sink feeding a DualMonitor.
+	MonitorSinkConfig = source.MonitorSinkConfig
+)
+
+// Pipeline transport constructors.
+var (
+	// NewSimSource builds a simulated-machine source from a config.
+	NewSimSource = source.NewSim
+	// NewMemorySource wraps in-memory items as a source.
+	NewMemorySource = source.NewMemory
+	// NewTraceReplay replays recorded counter pairs.
+	NewTraceReplay = source.NewReplay
+	// NewTraceReplayCSV replays a counter CSV (stressgen output).
+	NewTraceReplayCSV = source.NewReplayCSV
+	// NewFaultSource wraps a source with deterministic drop/corrupt faults.
+	NewFaultSource = source.NewFault
+	// NewMonitorSink feeds items into an online DualMonitor.
+	NewMonitorSink = source.NewMonitorSink
+	// NewTraceSink accumulates items into a collector Trace.
+	NewTraceSink = source.NewTraceSink
+	// PumpPipeline drives a source into a sink until EOF, cancel or crash.
+	PumpPipeline = source.Pump
+)
+
+// App lifecycle kernel (internal/runtime): signal-driven graceful drain
+// with a second-signal force-exit, atomic state snapshots with
+// restore-on-start, and one-call observability wiring.
+type (
+	// SnapshotManager periodically persists opaque state blobs atomically
+	// and restores them at start.
+	SnapshotManager = apprt.SnapshotManager
+	// SignalOptions parameterizes NotifyContext.
+	SignalOptions = apprt.SignalOptions
+)
+
+// App lifecycle helpers.
+var (
+	// NotifyContext cancels the returned context on SIGINT/SIGTERM and
+	// force-exits on a second signal.
+	NotifyContext = apprt.NotifyContext
+	// SignalFromContext reports the signal that cancelled a
+	// NotifyContext context, if any.
+	SignalFromContext = apprt.Signal
+	// OpenEvents opens a JSONL event sink path ("-" = stdout, "" = off).
+	OpenEvents = apprt.OpenEvents
+	// WriteFileAtomic writes a file via a same-directory rename.
+	WriteFileAtomic = apprt.WriteFileAtomic
 )
 
 // NewRand returns a deterministic random source for use with the

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+
+	"agingmf/internal/runtime"
+)
+
+// TestFlagSurface pins the daemon's flag names and defaults: they are
+// part of the CLI compatibility contract, and a rename or default change
+// here must be a conscious, test-visible decision.
+func TestFlagSurface(t *testing.T) {
+	var opt options
+	got := runtime.FlagDefaults(newFlagSet(&opt))
+	want := map[string]string{
+		"listen":           ":9178",
+		"http":             ":9179",
+		"shards":           "8",
+		"queue":            "1024",
+		"snapshot":         "",
+		"snapshot-every":   "1m0s",
+		"stall-timeout":    "0s",
+		"max-sources":      "65536",
+		"max-bad-lines":    "100",
+		"idle-timeout":     "0s",
+		"history-limit":    "4096",
+		"alerts":           "",
+		"events":           "",
+		"webhook":          "",
+		"pprof":            "false",
+		"selftest":         "false",
+		"selftest-sources": "64",
+		"selftest-samples": "256",
+		"selftest-conns":   "0",
+		"selftest-batch":   "8",
+		"seed":             "1",
+	}
+	for name, def := range want {
+		gotDef, ok := got[name]
+		if !ok {
+			t.Errorf("flag -%s is missing", name)
+			continue
+		}
+		if gotDef != def {
+			t.Errorf("flag -%s default %q, want %q", name, gotDef, def)
+		}
+	}
+	for name := range got {
+		if _, ok := want[name]; !ok {
+			t.Errorf("unexpected flag -%s (default %q): extend the surface table deliberately", name, got[name])
+		}
+	}
+}

@@ -27,6 +27,7 @@
 // restarted daemon resumes every source's monitor exactly where it
 // stopped. SIGINT/SIGTERM drain gracefully: intake stops, queued samples
 // reach their monitors, and the final snapshot is written before exit.
+// A second signal force-exits a stuck drain.
 //
 // With -selftest the daemon exercises itself end-to-end: it drives
 // -selftest-sources simulated machines (internal/memsim) through its own
@@ -51,12 +52,65 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"agingmf"
+	"agingmf/internal/runtime"
 )
+
+// options is the parsed flag surface of one agingd run.
+type options struct {
+	listen        string
+	httpAddr      string
+	shards        int
+	queue         int
+	snapshot      string
+	snapshotEvery time.Duration
+	stallTimeout  time.Duration
+	maxSources    int
+	maxBadLines   int
+	idleTimeout   time.Duration
+	historyLimit  int
+	alerts        string
+	events        string
+	webhook       string
+	pprof         bool
+	selftest      bool
+	stSources     int
+	stSamples     int
+	stConns       int
+	stBatch       int
+	seed          int64
+}
+
+// newFlagSet declares the agingd flag surface — names and defaults are
+// part of the daemon's compatibility contract (pinned by the
+// flag-surface test).
+func newFlagSet(opt *options) *flag.FlagSet {
+	fs := flag.NewFlagSet("agingd", flag.ContinueOnError)
+	fs.StringVar(&opt.listen, "listen", ":9178", "TCP line-protocol listener address (empty disables)")
+	fs.StringVar(&opt.httpAddr, "http", ":9179", "HTTP listener: POST /ingest, the /api endpoints, /metrics, /healthz (empty disables)")
+	fs.IntVar(&opt.shards, "shards", 8, "monitor shards (single-writer goroutines)")
+	fs.IntVar(&opt.queue, "queue", 1024, "per-shard sample queue bound")
+	fs.StringVar(&opt.snapshot, "snapshot", "", "state snapshot file: read at start, written every -snapshot-every and on shutdown (empty disables)")
+	fs.DurationVar(&opt.snapshotEvery, "snapshot-every", time.Minute, "periodic snapshot cadence")
+	fs.DurationVar(&opt.stallTimeout, "stall-timeout", 0, "raise a stall alert when a source is silent this long (0 disables)")
+	fs.IntVar(&opt.maxSources, "max-sources", 65536, "cap on tracked sources (negative = unlimited)")
+	fs.IntVar(&opt.maxBadLines, "max-bad-lines", 100, "per-connection malformed-line budget before the connection is closed (negative = unlimited)")
+	fs.DurationVar(&opt.idleTimeout, "idle-timeout", 0, "close a TCP connection idle this long (0 disables)")
+	fs.IntVar(&opt.historyLimit, "history-limit", 4096, "per-source monitor history bound (0 = unlimited; the registry holds one monitor per source)")
+	fs.StringVar(&opt.alerts, "alerts", "", `append alert JSONL to this file ("-" = stdout, empty disables)`)
+	fs.StringVar(&opt.events, "events", "", `append lifecycle JSONL events to this file ("-" = stdout, empty disables)`)
+	fs.StringVar(&opt.webhook, "webhook", "", "POST each alert to this URL with bounded retries (empty disables)")
+	fs.BoolVar(&opt.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/ on the HTTP listener")
+	fs.BoolVar(&opt.selftest, "selftest", false, "drive simulated machines through the real socket, verify zero loss and monitor parity, then exit")
+	fs.IntVar(&opt.stSources, "selftest-sources", 64, "self-test: simulated machines")
+	fs.IntVar(&opt.stSamples, "selftest-samples", 256, "self-test: samples per machine")
+	fs.IntVar(&opt.stConns, "selftest-conns", 0, "self-test: TCP connections to multiplex over (0 = min(sources, 64))")
+	fs.IntVar(&opt.stBatch, "selftest-batch", 8, "self-test: samples per batch; wire line (1 = plain per-sample lines)")
+	fs.Int64Var(&opt.seed, "seed", 1, "self-test: deterministic trace seed")
+	return fs
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -66,64 +120,41 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
-	fs := flag.NewFlagSet("agingd", flag.ContinueOnError)
-	var (
-		listen        = fs.String("listen", ":9178", "TCP line-protocol listener address (empty disables)")
-		httpAddr      = fs.String("http", ":9179", "HTTP listener: POST /ingest, the /api endpoints, /metrics, /healthz (empty disables)")
-		shards        = fs.Int("shards", 8, "monitor shards (single-writer goroutines)")
-		queue         = fs.Int("queue", 1024, "per-shard sample queue bound")
-		snapshot      = fs.String("snapshot", "", "state snapshot file: read at start, written every -snapshot-every and on shutdown (empty disables)")
-		snapshotEvery = fs.Duration("snapshot-every", time.Minute, "periodic snapshot cadence")
-		stallTimeout  = fs.Duration("stall-timeout", 0, "raise a stall alert when a source is silent this long (0 disables)")
-		maxSources    = fs.Int("max-sources", 65536, "cap on tracked sources (negative = unlimited)")
-		maxBadLines   = fs.Int("max-bad-lines", 100, "per-connection malformed-line budget before the connection is closed (negative = unlimited)")
-		idleTimeout   = fs.Duration("idle-timeout", 0, "close a TCP connection idle this long (0 disables)")
-		historyLimit  = fs.Int("history-limit", 4096, "per-source monitor history bound (0 = unlimited; the registry holds one monitor per source)")
-		alertsPath    = fs.String("alerts", "", `append alert JSONL to this file ("-" = stdout, empty disables)`)
-		eventsPath    = fs.String("events", "", `append lifecycle JSONL events to this file ("-" = stdout, empty disables)`)
-		webhook       = fs.String("webhook", "", "POST each alert to this URL with bounded retries (empty disables)")
-		pprofFlag     = fs.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the HTTP listener")
-		selftest      = fs.Bool("selftest", false, "drive simulated machines through the real socket, verify zero loss and monitor parity, then exit")
-		stSources     = fs.Int("selftest-sources", 64, "self-test: simulated machines")
-		stSamples     = fs.Int("selftest-samples", 256, "self-test: samples per machine")
-		stConns       = fs.Int("selftest-conns", 0, "self-test: TCP connections to multiplex over (0 = min(sources, 64))")
-		stBatch       = fs.Int("selftest-batch", 8, "self-test: samples per batch; wire line (1 = plain per-sample lines)")
-		seed          = fs.Int64("seed", 1, "self-test: deterministic trace seed")
-	)
-	if err := fs.Parse(args); err != nil {
+	var opt options
+	if err := newFlagSet(&opt).Parse(args); err != nil {
 		return err
 	}
 
-	events, closeEvents, err := openEvents(*eventsPath)
+	events, closeEvents, err := runtime.OpenEvents(opt.events)
 	if err != nil {
 		return err
 	}
 	defer closeEvents()
-	alertEvents, closeAlerts, err := openEvents(*alertsPath)
+	alertEvents, closeAlerts, err := runtime.OpenEvents(opt.alerts)
 	if err != nil {
 		return err
 	}
 	defer closeAlerts()
 
 	monCfg := agingmf.DefaultMonitorConfig()
-	monCfg.HistoryLimit = *historyLimit
+	monCfg.HistoryLimit = opt.historyLimit
 	srv, err := agingmf.NewIngestServer(agingmf.IngestServerConfig{
 		Registry: agingmf.IngestConfig{
-			Shards:       *shards,
-			QueueSize:    *queue,
+			Shards:       opt.shards,
+			QueueSize:    opt.queue,
 			Monitor:      monCfg,
-			MaxSources:   *maxSources,
-			StallTimeout: *stallTimeout,
+			MaxSources:   opt.maxSources,
+			StallTimeout: opt.stallTimeout,
 			Obs:          agingmf.NewRegistry(),
 			Events:       events,
 		},
-		TCPAddr:       *listen,
-		HTTPAddr:      *httpAddr,
-		MaxBadLines:   *maxBadLines,
-		IdleTimeout:   *idleTimeout,
-		SnapshotPath:  *snapshot,
-		SnapshotEvery: *snapshotEvery,
-		EnablePprof:   *pprofFlag,
+		TCPAddr:       opt.listen,
+		HTTPAddr:      opt.httpAddr,
+		MaxBadLines:   opt.maxBadLines,
+		IdleTimeout:   opt.idleTimeout,
+		SnapshotPath:  opt.snapshot,
+		SnapshotEvery: opt.snapshotEvery,
+		EnablePprof:   opt.pprof,
 	})
 	if err != nil {
 		return err
@@ -132,7 +163,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	if n := srv.Registry().NumSources(); n > 0 {
-		fmt.Fprintf(stdout, "restored %d sources from %s\n", n, *snapshot)
+		fmt.Fprintf(stdout, "restored %d sources from %s\n", n, opt.snapshot)
 	}
 	if a := srv.TCPAddr(); a != nil {
 		fmt.Fprintf(stdout, "ingest: tcp://%s\n", a)
@@ -143,26 +174,27 @@ func run(args []string, stdout io.Writer) error {
 
 	// Alert sinks drain their own bus subscriptions; a slow or dead sink
 	// drops alerts (counted), never backpressures ingestion.
-	ctx, cancelSinks := context.WithCancel(context.Background())
+	sinkCtx, cancelSinks := context.WithCancel(context.Background())
 	defer cancelSinks()
 	if alertEvents != nil {
 		go agingmf.IngestJSONLSink(srv.Registry().Alerts().Subscribe("jsonl", 256), alertEvents)
 	}
-	if *webhook != "" {
-		go agingmf.IngestWebhookSink(ctx, srv.Registry().Alerts().Subscribe("webhook", 256),
-			agingmf.IngestWebhookConfig{URL: *webhook}, events)
+	if opt.webhook != "" {
+		go agingmf.IngestWebhookSink(sinkCtx, srv.Registry().Alerts().Subscribe("webhook", 256),
+			agingmf.IngestWebhookConfig{URL: opt.webhook}, events)
 	}
 
-	if *selftest {
-		return runSelfTest(ctx, srv, stdout, *stSources, *stSamples, *stConns, *stBatch, *seed)
+	if opt.selftest {
+		return runSelfTest(sinkCtx, srv, stdout, opt)
 	}
 
 	// Serve until a termination signal, then drain: stop intake, feed
-	// every queued sample to its monitor, write the final snapshot.
-	sigc := make(chan os.Signal, 2)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(sigc)
-	sig := <-sigc
+	// every queued sample to its monitor, write the final snapshot. A
+	// second signal force-exits a stuck drain.
+	ctx, stop := runtime.NotifyContext(context.Background(), runtime.SignalOptions{})
+	defer stop()
+	<-ctx.Done()
+	sig, _ := runtime.Signal(ctx)
 	fmt.Fprintf(stdout, "received %v: draining and saving state\n", sig)
 	events.Warn("signal", agingmf.EventFields{"signal": sig.String()})
 
@@ -178,14 +210,15 @@ func run(args []string, stdout io.Writer) error {
 }
 
 // runSelfTest exercises the daemon end-to-end and shuts it down.
-func runSelfTest(ctx context.Context, srv *agingmf.IngestServer, stdout io.Writer, sources, samples, conns, batch int, seed int64) error {
-	fmt.Fprintf(stdout, "selftest: %d sources x %d samples, batch %d, seed %d\n", sources, samples, batch, seed)
+func runSelfTest(ctx context.Context, srv *agingmf.IngestServer, stdout io.Writer, opt options) error {
+	fmt.Fprintf(stdout, "selftest: %d sources x %d samples, batch %d, seed %d\n",
+		opt.stSources, opt.stSamples, opt.stBatch, opt.seed)
 	rep, err := agingmf.RunIngestSelfTest(ctx, srv, agingmf.IngestSelfTestConfig{
-		Sources:   sources,
-		Samples:   samples,
-		Conns:     conns,
-		BatchSize: batch,
-		Seed:      seed,
+		Sources:   opt.stSources,
+		Samples:   opt.stSamples,
+		Conns:     opt.stConns,
+		BatchSize: opt.stBatch,
+		Seed:      opt.seed,
 	})
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -202,22 +235,4 @@ func runSelfTest(ctx context.Context, srv *agingmf.IngestServer, stdout io.Write
 	}
 	fmt.Fprintln(stdout, "selftest: PASS")
 	return serr
-}
-
-// openEvents opens one JSONL sink ("-" = stdout, "" = disabled). The
-// returned Events is nil when disabled — every agingmf events API is
-// nil-safe.
-func openEvents(path string) (*agingmf.Events, func(), error) {
-	switch path {
-	case "":
-		return nil, func() {}, nil
-	case "-":
-		return agingmf.NewEvents(os.Stdout, agingmf.LevelInfo), func() {}, nil
-	default:
-		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return nil, nil, fmt.Errorf("open events file %s: %w", path, err)
-		}
-		return agingmf.NewEvents(f, agingmf.LevelInfo), func() { f.Close() }, nil
-	}
 }

@@ -1,60 +1,17 @@
-// Command agingmon attaches the multifractal aging monitor to memory
-// counters online and prints aging events (volatility jumps, phase
-// changes) as they happen.
-//
-// By default it monitors a simulated machine under the stress workload
-// (the live-demo counterpart of the batch experiments). With -stdin it
-// instead reads counter samples from standard input, one line per
-// sample, in any fleet wire form — "free_bytes,swap_bytes",
-// "free swap", "timestamp free swap", or a batched
-// "batch;free swap;free swap;..." line, each optionally prefixed
-// "source=ID " (source and timestamp are accepted and ignored here;
-// cmd/agingd is the multi-source daemon) — pipe a real system's
-// counters in:
-//
-//	while true; do
-//	  awk '/MemAvailable/{f=$2*1024} /SwapTotal/{t=$2*1024} /SwapFree/{s=$2*1024}
-//	       END{printf "%d,%d\n", f, t-s}' /proc/meminfo
-//	  sleep 1
-//	done | agingmon -stdin
-//
-// The monitor is built to survive degraded inputs — the same systems it
-// watches for aging also feed it: malformed stdin samples are skipped and
-// counted (fatal only past -max-bad-samples), SIGINT/SIGTERM drain
-// gracefully and save -state before exiting, and -stall-timeout arms a
-// watchdog that flips /healthz to 503 "stalled" when the sample stream
-// dries up.
-//
-// The monitor pipeline is itself observable: -metrics-addr serves a
-// Prometheus /metrics endpoint (plus /healthz and, with -pprof,
-// net/http/pprof) while the run is live, and -events appends structured
-// JSONL records (jump, phase_change, crash, bad_sample, stalled, ...) to
-// a file, "-" meaning stdout.
-//
-// Usage:
-//
-//	agingmon [-seed N] [-ram-mib N] [-swap-mib N] [-leak PAGES]
-//	         [-max-ticks N] [-history-limit N] [-sim | -stdin]
-//	         [-state FILE] [-metrics-addr HOST:PORT] [-pprof]
-//	         [-events FILE] [-tick-every DURATION]
-//	         [-max-bad-samples N] [-stall-timeout DURATION]
 package main
 
 import (
-	"bufio"
+	"context"
 	"errors"
-	"flag"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
 	"os"
-	"os/signal"
-	"strings"
-	"syscall"
 	"time"
 
 	"agingmf"
+	"agingmf/internal/ingest"
+	"agingmf/internal/runtime"
+	"agingmf/internal/source"
 )
 
 func main() {
@@ -64,227 +21,55 @@ func main() {
 	}
 }
 
-// telemetry bundles the optional observability wiring of one run.
-type telemetry struct {
-	reg    *agingmf.Registry
-	events *agingmf.Events
-
-	srv        *http.Server
-	eventsFile *os.File
-}
-
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
-	fs := flag.NewFlagSet("agingmon", flag.ContinueOnError)
-	var (
-		seed         = fs.Int64("seed", 1, "random seed")
-		ramMiB       = fs.Int("ram-mib", 64, "physical memory in MiB")
-		swapMiB      = fs.Int("swap-mib", 24, "swap space in MiB")
-		leak         = fs.Float64("leak", 3.5, "server leak rate in pages/tick")
-		maxTicks     = fs.Int("max-ticks", 60000, "simulation horizon in ticks")
-		limit        = fs.Int("history-limit", 4096, "monitor history bound (0 = unlimited)")
-		simMode      = fs.Bool("sim", true, "monitor the built-in simulated machine (the default; -stdin overrides)")
-		fromStdin    = fs.Bool("stdin", false, `read "free_bytes,swap_bytes" samples from stdin instead of simulating`)
-		stateFile    = fs.String("state", "", "restore monitor state from this file at start, save on exit")
-		metricsAddr  = fs.String("metrics-addr", "", "serve /metrics and /healthz on this address while running (e.g. :9177; empty disables)")
-		pprofFlag    = fs.Bool("pprof", false, "also serve net/http/pprof under /debug/pprof/ (needs -metrics-addr)")
-		eventsPath   = fs.String("events", "", `append structured JSONL events to this file ("-" = stdout, empty disables)`)
-		tickEvery    = fs.Duration("tick-every", 0, "pace simulation ticks in wall time (0 = as fast as possible)")
-		maxBad       = fs.Int("max-bad-samples", 100, "tolerate this many malformed stdin samples before aborting (0 = abort on the first, negative = unlimited)")
-		stallTimeout = fs.Duration("stall-timeout", 0, `declare the stream "stalled" (503 on /healthz, stalled event) when no sample arrives within this long (0 disables)`)
-	)
-	if err := fs.Parse(args); err != nil {
+	var opt options
+	if err := newFlagSet(&opt).Parse(args); err != nil {
 		return err
 	}
-	_ = *simMode // sim is the default mode; the flag exists to state it explicitly
+	_ = opt.sim // sim is the default mode; the flag exists to state it explicitly
 
-	tel := &telemetry{}
-	defer tel.shutdown()
-	if err := tel.openEvents(*eventsPath); err != nil {
+	tel, err := runtime.NewTelemetry(opt.metricsAddr, opt.pprof, opt.events)
+	if err != nil {
 		return err
 	}
-	if *metricsAddr != "" {
-		tel.reg = agingmf.NewRegistry()
-	}
+	defer tel.Close()
 	// The watchdog turns a dried-up sample stream into an observable
 	// condition instead of a silent hang: /healthz flips to 503 and a
 	// stalled event fires. A zero timeout yields the nil (disabled)
 	// watchdog, so the wiring below is unconditional.
-	wd := agingmf.NewWatchdog(*stallTimeout, agingmf.NewResilienceMetrics(tel.reg), func(gap time.Duration) {
-		tel.events.Warn("stalled", agingmf.EventFields{"gap_ms": gap.Milliseconds()})
+	wd := agingmf.NewWatchdog(opt.stallTimeout, agingmf.NewResilienceMetrics(tel.Reg), func(gap time.Duration) {
+		tel.Events.Warn("stalled", agingmf.EventFields{"gap_ms": gap.Milliseconds()})
 	})
 	defer wd.Stop()
-	if err := tel.serveMetrics(*metricsAddr, *pprofFlag, wd.Healthy, stdout); err != nil {
+	if err := tel.Serve(wd.Healthy, stdout); err != nil {
 		return err
 	}
 
-	mon, err := loadOrNewMonitor(*stateFile, *limit, stdout)
+	sm := &runtime.SnapshotManager{Path: opt.state}
+	mon, err := loadOrNewMonitor(sm, opt.limit, stdout)
 	if err != nil {
 		return err
 	}
-	mon.Instrument(tel.reg)
+	sm.State = mon.SaveState
+	mon.Instrument(tel.Reg)
 
-	// SIGINT/SIGTERM drain gracefully: the monitor loops observe the
-	// channel, stop feeding samples, and fall through to the state save
-	// below — an interrupted session keeps its warmup.
-	sigc := make(chan os.Signal, 2)
-	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	defer signal.Stop(sigc)
+	// SIGINT/SIGTERM drain gracefully: the monitor pipelines observe the
+	// context, stop feeding samples, and fall through to the state save
+	// below — an interrupted session keeps its warmup. A second signal
+	// force-exits a stuck drain.
+	ctx, stop := runtime.NotifyContext(context.Background(), runtime.SignalOptions{})
+	defer stop()
 
-	if *fromStdin {
-		err = monitorStream(stdin, stdout, mon, tel, wd, sigc, *maxBad)
+	if opt.stdin {
+		err = monitorStream(ctx, stdin, stdout, mon, tel, wd, opt.maxBad)
 	} else {
-		err = monitorSimulation(stdout, mon, tel, wd, sigc, *seed, *ramMiB, *swapMiB, *leak, *maxTicks, *tickEvery)
+		err = monitorSimulation(ctx, stdout, mon, tel, wd, opt)
 	}
 	// The monitor state is saved on every exit path — including the
 	// interrupt/error/signal ones — so a malformed sample, a failed run or
 	// a SIGTERM does not silently discard hours of warmup. All failures
 	// are reported; any alone makes the exit non-zero.
-	return errors.Join(err, saveMonitor(*stateFile, mon), tel.events.Err())
-}
-
-// openEvents opens the JSONL event sink.
-func (tel *telemetry) openEvents(eventsPath string) error {
-	switch eventsPath {
-	case "":
-	case "-":
-		tel.events = agingmf.NewEvents(os.Stdout, agingmf.LevelInfo)
-	default:
-		f, err := os.OpenFile(eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			return fmt.Errorf("open events file: %w", err)
-		}
-		tel.eventsFile = f
-		tel.events = agingmf.NewEvents(f, agingmf.LevelInfo)
-	}
-	return nil
-}
-
-// serveMetrics starts the metrics listener; health feeds /healthz.
-func (tel *telemetry) serveMetrics(metricsAddr string, enablePprof bool, health func() error, stdout io.Writer) error {
-	if metricsAddr == "" {
-		return nil
-	}
-	ln, err := net.Listen("tcp", metricsAddr)
-	if err != nil {
-		return fmt.Errorf("metrics listener: %w", err)
-	}
-	tel.srv = &http.Server{Handler: agingmf.NewObsHandler(tel.reg, agingmf.ObsHandlerConfig{
-		EnablePprof: enablePprof,
-		Health:      health,
-	})}
-	go func() { _ = tel.srv.Serve(ln) }()
-	fmt.Fprintf(stdout, "metrics: http://%s/metrics\n", ln.Addr())
-	return nil
-}
-
-// shutdown stops the metrics server and closes the event sink.
-func (tel *telemetry) shutdown() {
-	if tel.srv != nil {
-		_ = tel.srv.Close()
-		tel.srv = nil
-	}
-	if tel.eventsFile != nil {
-		_ = tel.eventsFile.Close()
-		tel.eventsFile = nil
-	}
-}
-
-// loadOrNewMonitor restores the monitor from stateFile if it exists, or
-// builds a fresh one.
-func loadOrNewMonitor(stateFile string, limit int, stdout io.Writer) (*agingmf.DualMonitor, error) {
-	if stateFile != "" {
-		if blob, err := os.ReadFile(stateFile); err == nil {
-			mon, err := agingmf.RestoreDualMonitor(blob)
-			if err != nil {
-				return nil, fmt.Errorf("restore %s: %w", stateFile, err)
-			}
-			fmt.Fprintf(stdout, "restored monitor state: %d samples seen, phase %v\n",
-				mon.SamplesSeen(), mon.Phase())
-			return mon, nil
-		}
-	}
-	monCfg := agingmf.DefaultMonitorConfig()
-	monCfg.HistoryLimit = limit
-	return agingmf.NewDualMonitor(monCfg)
-}
-
-// saveMonitor persists the monitor when a state file is configured.
-func saveMonitor(stateFile string, mon *agingmf.DualMonitor) error {
-	if stateFile == "" || mon == nil {
-		return nil
-	}
-	blob, err := mon.SaveState()
-	if err != nil {
-		return fmt.Errorf("save state: %w", err)
-	}
-	if err := os.WriteFile(stateFile, blob, 0o600); err != nil {
-		return fmt.Errorf("save state: %w", err)
-	}
-	return nil
-}
-
-// reportJump prints one jump and mirrors it into the event stream.
-func reportJump(stdout io.Writer, ev *agingmf.Events, clock string, at int, j agingmf.DualJump) {
-	fmt.Fprintf(stdout, "%s %6d  jump on %v (volatility %.4f, score %.2f)\n",
-		clock, at, j.Counter, j.Jump.Volatility, j.Jump.Score)
-	ev.Warn("jump", agingmf.EventFields{
-		"counter":    j.Counter.String(),
-		"sample":     j.Jump.SampleIndex,
-		"volatility": j.Jump.Volatility,
-		"score":      j.Jump.Score,
-	})
-}
-
-// reportPhase prints a phase transition and mirrors it into the event
-// stream. It returns the new phase.
-func reportPhase(stdout io.Writer, ev *agingmf.Events, clock string, at int, from, to agingmf.Phase, extra string) agingmf.Phase {
-	fmt.Fprintf(stdout, "%s %6d  phase: %v -> %v%s\n", clock, at, from, to, extra)
-	ev.Warn("phase_change", agingmf.EventFields{
-		"sample": at,
-		"from":   from.String(),
-		"to":     to.String(),
-	})
-	return to
-}
-
-// reportSignal notes a termination signal on both channels.
-func reportSignal(stdout io.Writer, ev *agingmf.Events, sig os.Signal, clock string, at int) {
-	fmt.Fprintf(stdout, "%s %6d  received %v: draining and saving state\n", clock, at, sig)
-	ev.Warn("signal", agingmf.EventFields{"signal": sig.String(), "sample": at})
-}
-
-// parseSamples parses one stdin line through the shared fleet wire
-// parsers (agingmf.ParseIngestLine / ParseIngestBatch): "free,swap",
-// "free swap", "timestamp free swap", or a "batch;..." run of pairs,
-// each optionally prefixed/tagged "source=ID". The source and timestamp
-// fields are accepted and ignored — agingmon monitors a single stream;
-// cmd/agingd is the multi-source daemon — so a producer script written
-// for one binary feeds the other unchanged. Non-finite values are
-// rejected: a NaN smuggled into the monitor would silently poison every
-// downstream statistic.
-func parseSamples(line string) ([][2]float64, error) {
-	if agingmf.IsIngestBatchLine(line) {
-		b, err := agingmf.ParseIngestBatch(line)
-		if err != nil {
-			return nil, err
-		}
-		return b.Pairs, nil
-	}
-	s, err := agingmf.ParseIngestLine(line)
-	if err != nil {
-		return nil, err
-	}
-	return [][2]float64{{s.Free, s.Swap}}, nil
-}
-
-// truncateForEvent bounds attacker- or corruption-controlled line content
-// before it lands in an event record.
-func truncateForEvent(line string) string {
-	const max = 64
-	if len(line) > max {
-		return line[:max] + "..."
-	}
-	return line
+	return errors.Join(err, saveMonitor(sm), tel.Events.Err())
 }
 
 // monitorStream feeds counter samples from a CSV-ish stream into the
@@ -293,134 +78,114 @@ func truncateForEvent(line string) string {
 // bad_sample, counter agingmf_monitor_bad_samples_total) — fatal only
 // once more than maxBad of them arrive (negative = unlimited). A signal
 // drains the stream gracefully.
-func monitorStream(stdin io.Reader, stdout io.Writer, mon *agingmf.DualMonitor, tel *telemetry, wd *agingmf.Watchdog, sigc <-chan os.Signal, maxBad int) error {
-	badSamples := tel.reg.Counter("agingmf_monitor_bad_samples_total",
+func monitorStream(ctx context.Context, stdin io.Reader, stdout io.Writer, mon *agingmf.DualMonitor, tel *runtime.Telemetry, wd *agingmf.Watchdog, maxBad int) error {
+	badSamples := tel.Reg.Counter("agingmf_monitor_bad_samples_total",
 		"Malformed stdin samples skipped by the monitor.")
-	// The scanner runs on its own goroutine so the select below can react
-	// to signals while a read blocks. The done channel unblocks the
-	// sender if the consumer leaves first; a scanner blocked inside an
-	// open-but-idle stdin read can only be collected at process exit.
-	lines := make(chan string)
-	scanErr := make(chan error, 1)
-	done := make(chan struct{})
-	defer close(done)
-	go func() {
-		defer close(lines)
-		scanner := bufio.NewScanner(stdin)
-		for scanner.Scan() {
-			select {
-			case lines <- scanner.Text():
-			case <-done:
-				return
-			}
-		}
-		scanErr <- scanner.Err()
-	}()
-
-	lastPhase := mon.Phase()
+	src := ingest.NewLineSource(stdin)
+	defer src.Close()
 	sample, bad := 0, 0
+	snk := source.NewMonitorSink(mon, source.MonitorSinkConfig{
+		Watchdog: wd,
+		OnResume: func(at int) {
+			tel.Events.Info("resumed", agingmf.EventFields{"sample": at})
+		},
+		OnJumps: func(_ int, jumps []agingmf.DualJump) {
+			for _, j := range jumps {
+				reportJump(stdout, tel.Events, "sample", j.Jump.SampleIndex, j)
+			}
+		},
+		OnPhase: func(last int, from, to agingmf.Phase, _ source.Item) {
+			reportPhase(stdout, tel.Events, "sample", last, from, to, "")
+		},
+	})
 	for {
-		select {
-		case sig := <-sigc:
-			reportSignal(stdout, tel.events, sig, "sample", sample)
+		it, err := src.Next(ctx)
+		var ble *source.BadLineError
+		switch {
+		case err == nil:
+			_ = snk.Write(it)
+			sample += len(it.Pairs)
+		case errors.As(err, &ble):
+			bad++
+			badSamples.Inc()
+			tel.Events.Warn("bad_sample", agingmf.EventFields{
+				"sample": sample,
+				"line":   truncateForEvent(ble.Line),
+				"error":  ble.Err.Error(),
+			})
+			if maxBad >= 0 && bad > maxBad {
+				return fmt.Errorf("sample %d: %q: %w (%d malformed samples exceed -max-bad-samples=%d)",
+					sample, truncateForEvent(ble.Line), ble.Err, bad, maxBad)
+			}
+		case err == io.EOF:
+			fmt.Fprintf(stdout, "final phase: %v after %d samples (%d jumps, %d bad skipped)\n",
+				mon.Phase(), sample, len(mon.Jumps()), bad)
 			return nil
-		case line, ok := <-lines:
-			if !ok {
-				select {
-				case err := <-scanErr:
-					if err != nil {
-						return fmt.Errorf("read stdin: %w", err)
-					}
-				default:
-				}
-				fmt.Fprintf(stdout, "final phase: %v after %d samples (%d jumps, %d bad skipped)\n",
-					lastPhase, sample, len(mon.Jumps()), bad)
+		default:
+			if sig, ok := runtime.Signal(ctx); ok {
+				reportSignal(stdout, tel.Events, sig, "sample", sample)
 				return nil
 			}
-			line = strings.TrimSpace(line)
-			if line == "" || strings.HasPrefix(line, "#") {
-				continue
-			}
-			pairs, err := parseSamples(line)
-			if err != nil {
-				bad++
-				badSamples.Inc()
-				tel.events.Warn("bad_sample", agingmf.EventFields{
-					"sample": sample,
-					"line":   truncateForEvent(line),
-					"error":  err.Error(),
-				})
-				if maxBad >= 0 && bad > maxBad {
-					return fmt.Errorf("sample %d: %q: %w (%d malformed samples exceed -max-bad-samples=%d)",
-						sample, truncateForEvent(line), err, bad, maxBad)
-				}
-				continue
-			}
-			if wd.Pet() {
-				tel.events.Info("resumed", agingmf.EventFields{"sample": sample})
-			}
-			for _, j := range mon.AddBatch(pairs) {
-				reportJump(stdout, tel.events, "sample", j.Jump.SampleIndex, j)
-			}
-			if phase := mon.Phase(); phase != lastPhase {
-				lastPhase = reportPhase(stdout, tel.events, "sample", sample+len(pairs)-1, lastPhase, phase, "")
-			}
-			sample += len(pairs)
+			return fmt.Errorf("read stdin: %w", err)
 		}
 	}
 }
 
 // monitorSimulation runs the built-in simulated machine under stress.
-func monitorSimulation(stdout io.Writer, mon *agingmf.DualMonitor, tel *telemetry, wd *agingmf.Watchdog, sigc <-chan os.Signal, seed int64, ramMiB, swapMiB int, leak float64, maxTicks int, tickEvery time.Duration) error {
+func monitorSimulation(ctx context.Context, stdout io.Writer, mon *agingmf.DualMonitor, tel *runtime.Telemetry, wd *agingmf.Watchdog, opt options) error {
 	mcfg := agingmf.DefaultMachineConfig()
-	mcfg.RAMPages = ramMiB << 20 / mcfg.PageSize
-	mcfg.SwapPages = swapMiB << 20 / mcfg.PageSize
-	machine, err := agingmf.NewMachine(mcfg, agingmf.NewRand(seed))
+	mcfg.RAMPages = opt.ramMiB << 20 / mcfg.PageSize
+	mcfg.SwapPages = opt.swapMiB << 20 / mcfg.PageSize
+	machine, err := agingmf.NewMachine(mcfg, agingmf.NewRand(opt.seed))
 	if err != nil {
 		return err
 	}
-	machine.Instrument(tel.reg, tel.events)
+	machine.Instrument(tel.Reg, tel.Events)
 	wcfg := agingmf.DefaultWorkload()
-	wcfg.Server.LeakPagesPerTick = leak
-	driver, err := agingmf.NewDriver(machine, wcfg, nil, agingmf.NewRand(seed+1))
+	wcfg.Server.LeakPagesPerTick = opt.leak
+	driver, err := agingmf.NewDriver(machine, wcfg, nil, agingmf.NewRand(opt.seed+1))
 	if err != nil {
 		return err
 	}
-
 	fmt.Fprintf(stdout, "machine: %d MiB RAM, %d MiB swap, leak %.2f pages/tick, seed %d\n",
-		ramMiB, swapMiB, leak, seed)
-	lastPhase := mon.Phase()
-loop:
-	for tick := 0; tick < maxTicks; tick++ {
-		select {
-		case sig := <-sigc:
-			reportSignal(stdout, tel.events, sig, "tick", tick)
-			break loop
-		default:
-		}
-		counters, err := driver.Step()
-		if kind, at := machine.Crashed(); kind != agingmf.CrashNone {
-			// The machine emits the structured crash event itself.
-			fmt.Fprintf(stdout, "tick %6d  CRASH (%v)\n", at, kind)
+		opt.ramMiB, opt.swapMiB, opt.leak, opt.seed)
+
+	src := source.NewSimFromParts(machine, driver, opt.maxTicks, 1)
+	snk := source.NewMonitorSink(mon, source.MonitorSinkConfig{
+		Watchdog: wd,
+		OnJumps: func(_ int, jumps []agingmf.DualJump) {
+			for _, j := range jumps {
+				reportJump(stdout, tel.Events, "tick", src.Ticks()-1, j)
+			}
+		},
+		OnPhase: func(_ int, from, to agingmf.Phase, it source.Item) {
+			extra := fmt.Sprintf(" (free %.1f MiB, swap %.1f MiB)",
+				it.Counters[0].FreeMemoryBytes/(1<<20), it.Counters[0].UsedSwapBytes/(1<<20))
+			reportPhase(stdout, tel.Events, "tick", src.Ticks()-1, from, to, extra)
+		},
+	})
+	for src != nil { // nil when maxTicks < 1: nothing to monitor
+		src.TickEvery = opt.tickEvery
+		it, err := src.Next(ctx)
+		if err == io.EOF {
 			break
 		}
 		if err != nil {
+			if sig, ok := runtime.Signal(ctx); ok {
+				reportSignal(stdout, tel.Events, sig, "tick", src.Ticks())
+				break
+			}
 			return err
 		}
-		wd.Pet()
-		for _, j := range mon.Add(counters.FreeMemoryBytes, counters.UsedSwapBytes) {
-			reportJump(stdout, tel.events, "tick", tick, j)
+		if it.Crash != agingmf.CrashNone {
+			// The machine emits the structured crash event itself; its
+			// terminal counters are not fed to the monitor.
+			fmt.Fprintf(stdout, "tick %6d  CRASH (%v)\n", it.CrashTick, it.Crash)
+			break
 		}
-		if phase := mon.Phase(); phase != lastPhase {
-			extra := fmt.Sprintf(" (free %.1f MiB, swap %.1f MiB)",
-				counters.FreeMemoryBytes/(1<<20), counters.UsedSwapBytes/(1<<20))
-			lastPhase = reportPhase(stdout, tel.events, "tick", tick, lastPhase, phase, extra)
-		}
-		if tickEvery > 0 {
-			time.Sleep(tickEvery)
-		}
+		_ = snk.Write(it)
 	}
 	fmt.Fprintf(stdout, "final phase: %v (%d jumps across both counters)\n",
-		lastPhase, len(mon.Jumps()))
+		mon.Phase(), len(mon.Jumps()))
 	return nil
 }

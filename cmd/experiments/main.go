@@ -20,34 +20,42 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"agingmf/internal/experiment"
 	"agingmf/internal/obs"
+	"agingmf/internal/runtime"
 )
 
-// openEvents builds the optional JSONL event sink; the returned closer
-// is always safe to call.
-func openEvents(path string) (*obs.Events, func(), error) {
-	switch path {
-	case "":
-		return nil, func() {}, nil
-	case "-":
-		return obs.NewEvents(os.Stdout, obs.LevelInfo), func() {}, nil
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, func() {}, fmt.Errorf("open events file: %w", err)
-	}
-	return obs.NewEvents(f, obs.LevelInfo), func() { f.Close() }, nil
+// options is the parsed flag surface of one experiments run.
+type options struct {
+	id     string
+	seed   int64
+	quick  bool
+	list   bool
+	format string
+	events string
+}
+
+// newFlagSet declares the experiments flag surface — names and defaults
+// are part of the command's compatibility contract (pinned by the
+// flag-surface test).
+func newFlagSet(opt *options) *flag.FlagSet {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.StringVar(&opt.id, "run", "", "run a single experiment (E1..E12)")
+	fs.Int64Var(&opt.seed, "seed", 1, "campaign seed")
+	fs.BoolVar(&opt.quick, "quick", false, "small campaigns for a fast pass")
+	fs.BoolVar(&opt.list, "list", false, "list experiments and exit")
+	fs.StringVar(&opt.format, "format", "text", "output format: text, markdown or csv")
+	fs.StringVar(&opt.events, "events", "", `append JSONL progress events to this file ("-" = stdout, empty disables)`)
+	return fs
 }
 
 func main() {
 	// SIGINT/SIGTERM end the regeneration between experiments: the one in
-	// flight finishes and renders, the rest are skipped and reported.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	// flight finishes and renders, the rest are skipped and reported. A
+	// second signal force-exits.
+	ctx, stop := runtime.NotifyContext(context.Background(), runtime.SignalOptions{})
 	defer stop()
 	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -59,40 +67,32 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	var (
-		id     = fs.String("run", "", "run a single experiment (E1..E12)")
-		seed   = fs.Int64("seed", 1, "campaign seed")
-		quick  = fs.Bool("quick", false, "small campaigns for a fast pass")
-		list   = fs.Bool("list", false, "list experiments and exit")
-		format = fs.String("format", "text", "output format: text, markdown or csv")
-		evPath = fs.String("events", "", `append JSONL progress events to this file ("-" = stdout, empty disables)`)
-	)
-	if err := fs.Parse(args); err != nil {
+	var opt options
+	if err := newFlagSet(&opt).Parse(args); err != nil {
 		return err
 	}
-	ev, closeEvents, err := openEvents(*evPath)
+	ev, closeEvents, err := runtime.OpenEvents(opt.events)
 	if err != nil {
 		return err
 	}
 	defer closeEvents()
-	if *list {
+	if opt.list {
 		for _, e := range experiment.All() {
 			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
 		}
 		return nil
 	}
-	cfg := experiment.RunConfig{Seed: *seed, Quick: *quick}
+	cfg := experiment.RunConfig{Seed: opt.seed, Quick: opt.quick}
 	todo := experiment.All()
-	if *id != "" {
-		e, err := experiment.ByID(*id)
+	if opt.id != "" {
+		e, err := experiment.ByID(opt.id)
 		if err != nil {
 			return err
 		}
 		todo = []experiment.Experiment{e}
 	}
 	render := func(rep experiment.Report) error {
-		switch *format {
+		switch opt.format {
 		case "text":
 			return rep.Render(stdout)
 		case "markdown":
@@ -100,7 +100,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		case "csv":
 			return rep.WriteTablesCSV(stdout)
 		default:
-			return fmt.Errorf("unknown format %q (want text, markdown or csv)", *format)
+			return fmt.Errorf("unknown format %q (want text, markdown or csv)", opt.format)
 		}
 	}
 	for n, e := range todo {
@@ -110,11 +110,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "\ninterrupted: %d experiment(s) skipped\n", skipped)
 			break
 		}
-		if *format == "text" {
+		if opt.format == "text" {
 			fmt.Fprintf(stdout, "\n######## %s — %s ########\n", e.ID, e.Title)
 		}
 		ev.Info("experiment_start", obs.Fields{
-			"id": e.ID, "title": e.Title, "seed": *seed, "quick": *quick,
+			"id": e.ID, "title": e.Title, "seed": opt.seed, "quick": opt.quick,
 		})
 		start := time.Now()
 		rep, err := e.Run(cfg)

@@ -6,12 +6,16 @@
 // report both run on the internal/stream kernel the online daemon uses,
 // so offline analysis and live detection agree sample for sample.
 //
+// SIGINT/SIGTERM interrupt the analysis gracefully between stages (the
+// results already printed stand); a second signal force-exits.
+//
 // Usage:
 //
 //	mfanalyze [-column NAME] [-file FILE]    (default: stdin, first column)
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -19,7 +23,24 @@ import (
 	"text/tabwriter"
 
 	"agingmf"
+	"agingmf/internal/runtime"
 )
+
+// options is the parsed flag surface of one mfanalyze run.
+type options struct {
+	file   string
+	column string
+}
+
+// newFlagSet declares the mfanalyze flag surface — names and defaults
+// are part of the command's compatibility contract (pinned by the
+// flag-surface test).
+func newFlagSet(opt *options) *flag.FlagSet {
+	fs := flag.NewFlagSet("mfanalyze", flag.ContinueOnError)
+	fs.StringVar(&opt.file, "file", "", "input CSV (default stdin)")
+	fs.StringVar(&opt.column, "column", "", "column to analyze (default: first)")
+	return fs
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
@@ -29,18 +50,27 @@ func main() {
 }
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
-	fs := flag.NewFlagSet("mfanalyze", flag.ContinueOnError)
-	var (
-		file   = fs.String("file", "", "input CSV (default stdin)")
-		column = fs.String("column", "", "column to analyze (default: first)")
-	)
-	if err := fs.Parse(args); err != nil {
+	var opt options
+	if err := newFlagSet(&opt).Parse(args); err != nil {
 		return err
 	}
 
-	in := stdin
-	if *file != "" {
-		f, err := os.Open(*file)
+	// A signal interrupts the analysis at the next stage boundary (and
+	// aborts a blocked stdin read); partial results already printed
+	// stand. A second signal force-exits.
+	ctx, stop := runtime.NotifyContext(context.Background(), runtime.SignalOptions{})
+	defer stop()
+	interrupted := func() bool {
+		if sig, ok := runtime.Signal(ctx); ok {
+			fmt.Fprintf(stdout, "interrupted: received %v, stopping analysis\n", sig)
+			return true
+		}
+		return false
+	}
+
+	var in io.Reader = runtime.ContextReader{Ctx: ctx, R: stdin}
+	if opt.file != "" {
+		f, err := os.Open(opt.file)
 		if err != nil {
 			return err
 		}
@@ -49,13 +79,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	}
 	columns, err := agingmf.ReadSeriesCSV(in)
 	if err != nil {
+		if interrupted() {
+			return nil
+		}
 		return err
 	}
 	s := columns[0]
-	if *column != "" {
+	if opt.column != "" {
 		found := false
 		for _, c := range columns {
-			if c.Name == *column {
+			if c.Name == opt.column {
 				s = c
 				found = true
 				break
@@ -66,7 +99,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			for i, c := range columns {
 				names[i] = c.Name
 			}
-			return fmt.Errorf("column %q not found; have %v", *column, names)
+			return fmt.Errorf("column %q not found; have %v", opt.column, names)
 		}
 	}
 	fmt.Fprintf(stdout, "series %q: %d samples, step %v\n", s.Name, s.Len(), s.Step)
@@ -95,6 +128,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
+	if interrupted() {
+		return nil
+	}
 
 	// Multifractal spectrum.
 	if res, err := agingmf.MFDFA(diff.Values, agingmf.DefaultMFDFAConfig()); err == nil {
@@ -109,6 +145,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		}
 	} else {
 		fmt.Fprintf(stdout, "MF-DFA skipped: %v\n", err)
+	}
+	if interrupted() {
+		return nil
 	}
 
 	// Aging monitor report.

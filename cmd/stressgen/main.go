@@ -3,6 +3,11 @@
 // workload and writes the sampled memory counters as CSV (the input
 // format of mfanalyze).
 //
+// SIGINT/SIGTERM end the collection gracefully: the partial trace is
+// still written, terminated by a "# truncated: ..." comment line (which
+// the CSV readers skip), so an interrupted run keeps its data. A second
+// signal force-exits a stuck drain.
+//
 // With -events the rig appends structured JSONL progress records
 // (run_start, crash, run_done, ...) to a file, "-" meaning stdout —
 // handy when a fleet of stressgen invocations runs under a supervisor.
@@ -14,28 +19,44 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"agingmf"
+	"agingmf/internal/runtime"
+	"agingmf/internal/source"
 )
 
-// openEvents builds the optional JSONL event sink; the returned closer
-// is always safe to call.
-func openEvents(path string) (*agingmf.Events, func(), error) {
-	switch path {
-	case "":
-		return nil, func() {}, nil
-	case "-":
-		return agingmf.NewEvents(os.Stdout, agingmf.LevelInfo), func() {}, nil
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, func() {}, fmt.Errorf("open events file: %w", err)
-	}
-	return agingmf.NewEvents(f, agingmf.LevelInfo), func() { f.Close() }, nil
+// options is the parsed flag surface of one stressgen run.
+type options struct {
+	seed     int64
+	ramMiB   int
+	swapMiB  int
+	leak     float64
+	maxTicks int
+	every    int
+	out      string
+	events   string
+}
+
+// newFlagSet declares the stressgen flag surface — names and defaults
+// are part of the command's compatibility contract (pinned by the
+// flag-surface test).
+func newFlagSet(opt *options) *flag.FlagSet {
+	fs := flag.NewFlagSet("stressgen", flag.ContinueOnError)
+	fs.Int64Var(&opt.seed, "seed", 1, "random seed")
+	fs.IntVar(&opt.ramMiB, "ram-mib", 64, "physical memory in MiB")
+	fs.IntVar(&opt.swapMiB, "swap-mib", 24, "swap space in MiB")
+	fs.Float64Var(&opt.leak, "leak", 3.5, "server leak rate in pages/tick")
+	fs.IntVar(&opt.maxTicks, "max-ticks", 60000, "simulation horizon in ticks")
+	fs.IntVar(&opt.every, "sample-every", 1, "sample the counters every N ticks")
+	fs.StringVar(&opt.out, "out", "", "output CSV file (default stdout)")
+	fs.StringVar(&opt.events, "events", "", `append JSONL progress events to this file ("-" = stdout, empty disables)`)
+	return fs
 }
 
 func main() {
@@ -46,73 +67,91 @@ func main() {
 }
 
 func run(args []string, stdout io.Writer) error {
-	fs := flag.NewFlagSet("stressgen", flag.ContinueOnError)
-	var (
-		seed     = fs.Int64("seed", 1, "random seed")
-		ramMiB   = fs.Int("ram-mib", 64, "physical memory in MiB")
-		swapMiB  = fs.Int("swap-mib", 24, "swap space in MiB")
-		leak     = fs.Float64("leak", 3.5, "server leak rate in pages/tick")
-		maxTicks = fs.Int("max-ticks", 60000, "simulation horizon in ticks")
-		every    = fs.Int("sample-every", 1, "sample the counters every N ticks")
-		out      = fs.String("out", "", "output CSV file (default stdout)")
-		evPath   = fs.String("events", "", `append JSONL progress events to this file ("-" = stdout, empty disables)`)
-	)
-	if err := fs.Parse(args); err != nil {
+	var opt options
+	if err := newFlagSet(&opt).Parse(args); err != nil {
 		return err
 	}
+	if opt.every < 1 {
+		return fmt.Errorf("sample every %d ticks: %w", opt.every, source.ErrBadConfig)
+	}
 
-	ev, closeEvents, err := openEvents(*evPath)
+	ev, closeEvents, err := runtime.OpenEvents(opt.events)
 	if err != nil {
 		return err
 	}
 	defer closeEvents()
 	ev.Info("run_start", agingmf.EventFields{
-		"seed": *seed, "ram_mib": *ramMiB, "swap_mib": *swapMiB,
-		"leak": *leak, "max_ticks": *maxTicks,
+		"seed": opt.seed, "ram_mib": opt.ramMiB, "swap_mib": opt.swapMiB,
+		"leak": opt.leak, "max_ticks": opt.maxTicks,
 	})
 
 	mcfg := agingmf.DefaultMachineConfig()
-	mcfg.RAMPages = *ramMiB << 20 / mcfg.PageSize
-	mcfg.SwapPages = *swapMiB << 20 / mcfg.PageSize
-	machine, err := agingmf.NewMachine(mcfg, agingmf.NewRand(*seed))
-	if err != nil {
-		return err
-	}
-	machine.Instrument(nil, ev)
+	mcfg.RAMPages = opt.ramMiB << 20 / mcfg.PageSize
+	mcfg.SwapPages = opt.swapMiB << 20 / mcfg.PageSize
 	wcfg := agingmf.DefaultWorkload()
-	wcfg.Server.LeakPagesPerTick = *leak
-	driver, err := agingmf.NewDriver(machine, wcfg, nil, agingmf.NewRand(*seed+1))
-	if err != nil {
-		return err
-	}
-	trace, err := agingmf.Collect(machine, driver, agingmf.CollectConfig{
-		TicksPerSample: *every,
-		MaxTicks:       *maxTicks,
-		StopOnCrash:    true,
+	wcfg.Server.LeakPagesPerTick = opt.leak
+	src, err := source.NewSim(source.SimConfig{
+		Seed: opt.seed, Machine: mcfg, Workload: wcfg,
+		MaxTicks: opt.maxTicks, SampleEvery: opt.every, Events: ev,
 	})
 	if err != nil {
 		return err
 	}
+	snk := source.NewTraceSink(mcfg.TickDuration*time.Duration(opt.every), opt.every)
+
+	// SIGINT/SIGTERM truncate the collection gracefully: the loop stops
+	// between samples and the partial trace is still written below, with
+	// a truncation marker so downstream tooling can tell it apart from a
+	// natural end. A second signal force-exits a stuck drain.
+	ctx, stop := runtime.NotifyContext(context.Background(), runtime.SignalOptions{})
+	defer stop()
+
+	var truncatedBy os.Signal
+	for {
+		it, err := src.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			if sig, ok := runtime.Signal(ctx); ok {
+				truncatedBy = sig
+				break
+			}
+			return err
+		}
+		if err := snk.Write(it); err != nil {
+			return err
+		}
+		if it.Crash != agingmf.CrashNone {
+			break // run-to-failure: the crash tick ends the collection
+		}
+	}
 
 	w := stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if opt.out != "" {
+		f, err := os.Create(opt.out)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
 		w = f
 	}
-	if err := agingmf.WriteTraceCSV(w, trace); err != nil {
+	if err := snk.WriteCSV(w); err != nil {
 		return err
 	}
+	if truncatedBy != nil {
+		fmt.Fprintf(w, "# truncated: received %v after %d samples\n", truncatedBy, snk.Len())
+		ev.Warn("run_truncated", agingmf.EventFields{
+			"signal": truncatedBy.String(), "samples": snk.Len(),
+		})
+	}
 	fmt.Fprintf(os.Stderr, "stressgen: %d samples, crash=%v at tick %d\n",
-		trace.Len(), trace.Crash, trace.CrashTick())
+		snk.Len(), snk.Crash(), snk.CrashTick())
 	ev.Info("run_done", agingmf.EventFields{
-		"seed":       *seed,
-		"samples":    trace.Len(),
-		"crash":      trace.Crash.String(),
-		"crash_tick": trace.CrashTick(),
+		"seed":       opt.seed,
+		"samples":    snk.Len(),
+		"crash":      snk.Crash().String(),
+		"crash_tick": snk.CrashTick(),
 	})
 	return ev.Err()
 }

@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math"
 	"math/rand"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"agingmf/internal/memsim"
 	"agingmf/internal/obs"
 	"agingmf/internal/resilience"
+	"agingmf/internal/source"
 	"agingmf/internal/workload"
 )
 
@@ -255,7 +257,6 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	defer cancel()
 
 	rep := Report{Seed: cfg.Seed}
-	faultRNG := rand.New(rand.NewSource(cfg.Seed + 2))
 	fault := func(kind string, fields obs.Fields) {
 		met.faults.With(kind).Inc()
 		fields["kind"] = kind
@@ -264,6 +265,54 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	}
 	f := cfg.Faults
 	lastStall := 0
+
+	// The simulation source steps the machine; machine-level faults (leak
+	// bursts, fragmentation) ride its per-tick hook, between the step and
+	// the sample like an asynchronous hardware fault.
+	src := source.NewSimFromParts(m, d, cfg.MaxTicks, 1)
+	src.OnStep = func(tick int, _ memsim.Counters) {
+		if f.LeakBurstEvery > 0 && tick > 0 && tick%f.LeakBurstEvery == 0 {
+			if pid := d.ServerPID(); pid != 0 {
+				if err := m.InjectLeakBurst(pid, f.LeakBurstPages); err == nil {
+					rep.LeakBursts++
+					fault("leak_burst", obs.Fields{"tick": tick, "pages": f.LeakBurstPages})
+				}
+				// A burst that crashes the machine is an organic ending,
+				// observed via the source's crash item below.
+			}
+		}
+		if f.FragEvery > 0 && tick > 0 && tick%f.FragEvery == 0 {
+			if n, err := m.InjectFragmentation(f.FragPages); err == nil && n > 0 {
+				rep.FragmentedPages += n
+				fault("fragmentation", obs.Fields{"tick": tick, "pages": n})
+			}
+		}
+	}
+
+	// Pipeline-level faults are injected at the transport boundary: the
+	// fault source draws drop before corrupt from the dedicated stream, so
+	// runs stay deterministic per seed.
+	faultRNG := rand.New(rand.NewSource(cfg.Seed + 2))
+	pipe := source.NewFault(src, source.FaultConfig{
+		RNG:         faultRNG,
+		DropRate:    f.DropRate,
+		CorruptRate: f.CorruptRate,
+		Corrupt: func(rng *rand.Rand, p [2]float64) [2]float64 {
+			p[0] = corrupt(rng, p[0])
+			if rng.Intn(2) == 0 {
+				p[1] = corrupt(rng, p[1])
+			}
+			return p
+		},
+		OnDrop: func() {
+			rep.Dropped++
+			fault("drop", obs.Fields{"tick": src.Ticks() - 1})
+		},
+		OnCorrupt: func() {
+			rep.Corrupted++
+			fault("corrupt", obs.Fields{"tick": src.Ticks() - 1})
+		},
+	})
 
 	// feed pushes one accepted sample through the detector inside a panic
 	// guard and pets the watchdog. A pipeline panic is recovered, counted,
@@ -289,57 +338,30 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		wd.Pet()
 	}
 
-loop:
-	for tick := 0; tick < cfg.MaxTicks; tick++ {
-		if tick&63 == 0 && ctx.Err() != nil {
-			rep.Cancelled = true
+	for {
+		it, err := pipe.Next(ctx)
+		if err == io.EOF {
 			break
 		}
-		counters, derr := d.Step()
-		rep.Ticks++
-
-		// Machine-level faults: leak bursts and fragmentation, injected
-		// between the step and the sample like an asynchronous fault.
-		if f.LeakBurstEvery > 0 && tick > 0 && tick%f.LeakBurstEvery == 0 {
-			if pid := d.ServerPID(); pid != 0 {
-				if err := m.InjectLeakBurst(pid, f.LeakBurstPages); err == nil {
-					rep.LeakBursts++
-					fault("leak_burst", obs.Fields{"tick": tick, "pages": f.LeakBurstPages})
-				}
-				// A burst that crashes the machine is an organic ending,
-				// observed via Crashed below.
+		if err != nil {
+			// Cancellation surfaces through the source (its check is
+			// amortized over 64-tick blocks, keeping the loop hot-path
+			// cheap); anything else ends the run with the partial report.
+			if ctx.Err() != nil {
+				rep.Cancelled = true
 			}
+			break
 		}
-		if f.FragEvery > 0 && tick > 0 && tick%f.FragEvery == 0 {
-			if n, err := m.InjectFragmentation(f.FragPages); err == nil && n > 0 {
-				rep.FragmentedPages += n
-				fault("fragmentation", obs.Fields{"tick": tick, "pages": n})
-			}
-		}
-
-		// Pipeline-level faults on the sample path.
-		free, swap := counters.FreeMemoryBytes, counters.UsedSwapBytes
-		switch {
-		case f.DropRate > 0 && faultRNG.Float64() < f.DropRate:
-			rep.Dropped++
-			fault("drop", obs.Fields{"tick": tick})
-		case f.CorruptRate > 0 && faultRNG.Float64() < f.CorruptRate:
-			rep.Corrupted++
-			fault("corrupt", obs.Fields{"tick": tick})
-			free = corrupt(faultRNG, free)
-			if faultRNG.Intn(2) == 0 {
-				swap = corrupt(faultRNG, swap)
-			}
-			if acceptable(free, swap) {
+		tick := src.Ticks() - 1
+		for _, p := range it.Pairs {
+			if acceptable(p[0], p[1]) {
 				// Sign flips on a zero counter can survive the guard;
 				// what matters is the detector never sees non-finite
 				// input, so feed it like any in-range sample.
-				feed(free, swap)
+				feed(p[0], p[1])
 			} else {
 				rep.SkippedBad++
 			}
-		default:
-			feed(free, swap)
 		}
 
 		if f.CancelAfterSamples > 0 && rep.Samples >= f.CancelAfterSamples {
@@ -361,12 +383,12 @@ loop:
 			wd.Pet()
 		}
 
-		kind, _ := m.Crashed()
-		if derr != nil || kind != memsim.CrashNone {
-			rep.Crash = kind
-			break loop
+		if it.Crash != memsim.CrashNone {
+			rep.Crash = it.Crash
+			break
 		}
 	}
+	rep.Ticks = src.Ticks()
 	if ctx.Err() != nil && !rep.Cancelled {
 		rep.Cancelled = true
 	}

@@ -14,6 +14,7 @@ import (
 
 	"agingmf/internal/memsim"
 	"agingmf/internal/series"
+	"agingmf/internal/source"
 	"agingmf/internal/workload"
 )
 
@@ -96,8 +97,9 @@ func Collect(m *memsim.Machine, d *workload.Driver, cfg Config) (Trace, error) {
 // CollectContext is Collect with cooperative cancellation: when ctx is
 // cancelled the session stops between ticks and the context's error is
 // returned (the partial trace is discarded — a truncated run is not a
-// valid run-to-failure observation). The cancellation check is amortized
-// over 64-tick blocks to keep the sampling loop hot-path cheap.
+// valid run-to-failure observation). The session is a source.SimSource
+// pipeline: the source decimates sampling and always delivers the crash
+// tick, so the recorder below sees exactly the paper's sample stream.
 func CollectContext(ctx context.Context, m *memsim.Machine, d *workload.Driver, cfg Config) (Trace, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -109,6 +111,7 @@ func CollectContext(ctx context.Context, m *memsim.Machine, d *workload.Driver, 
 		return Trace{}, fmt.Errorf("collect: %w", err)
 	}
 	step := m.Config().TickDuration * time.Duration(cfg.TicksPerSample)
+	src := source.NewSimFromParts(m, d, cfg.MaxTicks, cfg.TicksPerSample)
 	tr := Trace{
 		CrashIndex:     -1,
 		TicksPerSample: cfg.TicksPerSample,
@@ -120,28 +123,23 @@ func CollectContext(ctx context.Context, m *memsim.Machine, d *workload.Driver, 
 		traffic = append(traffic, float64(c.SwapTrafficPages))
 		procs = append(procs, float64(c.Processes))
 	}
-	for tick := 0; tick < cfg.MaxTicks; tick++ {
-		if tick&63 == 0 && ctx.Err() != nil {
-			return Trace{}, fmt.Errorf("collect: %w", context.Cause(ctx))
+	for {
+		it, err := src.Next(ctx)
+		if err == io.EOF {
+			break
 		}
-		counters, err := d.Step()
-		sample := tick%cfg.TicksPerSample == 0
-		if sample {
-			record(counters)
+		if err != nil {
+			return Trace{}, fmt.Errorf("collect: %w", err)
 		}
-		kind, _ := m.Crashed()
-		if err != nil || kind != memsim.CrashNone {
-			if !sample {
-				record(counters) // always capture the terminal state
-			}
-			tr.Crash = kind
+		record(it.Counters[0])
+		if it.Crash != memsim.CrashNone {
+			tr.Crash = it.Crash
 			tr.CrashIndex = len(free) - 1
 			if cfg.StopOnCrash {
 				break
 			}
-			m.Reboot()
-			if err := d.OnReboot(); err != nil {
-				return Trace{}, fmt.Errorf("collect: reboot: %w", err)
+			if err := src.Reboot(); err != nil {
+				return Trace{}, fmt.Errorf("collect: %w", err)
 			}
 		}
 	}

@@ -1,7 +1,10 @@
 package ingest
 
 import (
+	"bytes"
+	"context"
 	"fmt"
+	"io"
 	"testing"
 )
 
@@ -124,6 +127,40 @@ func BenchmarkIngestBatchLine(b *testing.B) {
 			if err := r.Close(); err != nil {
 				b.Fatal(err)
 			}
+		})
+	}
+}
+
+// BenchmarkSourceLines measures the transport stage the streaming
+// commands run on: LineSource (scanner goroutine + channel hand-off)
+// plus the wire-protocol ParseItem, per line.
+func BenchmarkSourceLines(b *testing.B) {
+	for name, line := range map[string]string{
+		"fields": "1e9 2048",
+		"source": "source=web-0042 1e9 2048",
+	} {
+		b.Run(name, func(b *testing.B) {
+			var buf bytes.Buffer
+			for i := 0; i < 4096; i++ {
+				buf.WriteString(line)
+				buf.WriteByte('\n')
+			}
+			blob := buf.Bytes()
+			ctx := context.Background()
+			src := NewLineSource(bytes.NewReader(blob))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, err := src.Next(ctx)
+				if err == io.EOF {
+					src.Close()
+					src = NewLineSource(bytes.NewReader(blob))
+				} else if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			src.Close()
 		})
 	}
 }

@@ -12,6 +12,7 @@ import (
 
 	"agingmf/internal/aging"
 	"agingmf/internal/memsim"
+	transport "agingmf/internal/source"
 	"agingmf/internal/workload"
 )
 
@@ -221,13 +222,17 @@ func selfTestTrace(cfg SelfTestConfig, i int) ([][2]float64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ingest: self-test driver %d: %w", i, err)
 	}
+	src := transport.NewSimFromParts(m, d, cfg.Samples, 1)
 	tr := make([][2]float64, 0, cfg.Samples)
 	for len(tr) < cfg.Samples {
-		c, err := d.Step()
+		it, err := src.Next(context.Background())
 		if err != nil {
 			break // crash is the machine's natural endpoint; partial trace is fine
 		}
-		tr = append(tr, [2]float64{c.FreeMemoryBytes, c.UsedSwapBytes})
+		tr = append(tr, it.Pairs...)
+		if it.Crash != memsim.CrashNone {
+			break // the crash tick is the trace's last sample
+		}
 	}
 	return tr, nil
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"agingmf/internal/obs"
+	"agingmf/internal/runtime"
 )
 
 // ServerConfig parameterizes a Server.
@@ -74,11 +75,12 @@ type Server struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
-	stopc    chan struct{}
-	wg       sync.WaitGroup
-	started  atomic.Bool
-	stopping atomic.Bool
-	stopOnce sync.Once
+	snap        *runtime.SnapshotManager
+	snapSources atomic.Int64
+	wg          sync.WaitGroup
+	started     atomic.Bool
+	stopping    atomic.Bool
+	stopOnce    sync.Once
 }
 
 // NewServer builds a server. When cfg.SnapshotPath names an existing
@@ -97,13 +99,33 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	s := &Server{
 		cfg:   cfg,
 		reg:   reg,
 		ev:    cfg.Registry.Events,
 		conns: make(map[net.Conn]struct{}),
-		stopc: make(chan struct{}),
-	}, nil
+	}
+	s.snap = &runtime.SnapshotManager{
+		Path:  cfg.SnapshotPath,
+		Every: cfg.SnapshotEvery,
+		State: func() ([]byte, error) {
+			states, err := s.reg.SnapshotStates()
+			if err != nil {
+				return nil, err
+			}
+			s.snapSources.Store(int64(len(states)))
+			return EncodeSnapshot(states)
+		},
+		OnSave: func() {
+			s.ev.Info("ingest_snapshot_saved", obs.Fields{
+				"path": cfg.SnapshotPath, "sources": int(s.snapSources.Load()),
+			})
+		},
+		OnError: func(err error) {
+			s.ev.Error("ingest_snapshot_failed", obs.Fields{"error": err.Error()})
+		},
+	}
+	return s, nil
 }
 
 // Registry exposes the underlying registry (statuses, alerts, states).
@@ -141,10 +163,7 @@ func (s *Server) Start() error {
 			_ = s.httpSrv.Serve(ln)
 		}()
 	}
-	if s.cfg.SnapshotPath != "" {
-		s.wg.Add(1)
-		go s.snapshotLoop()
-	}
+	s.snap.Start()
 	return nil
 }
 
@@ -389,41 +408,10 @@ func writeJSON(w http.ResponseWriter, v any) {
 	_ = json.NewEncoder(w).Encode(v)
 }
 
-// snapshotLoop persists the registry periodically until Shutdown (which
-// writes the final snapshot itself).
-func (s *Server) snapshotLoop() {
-	defer s.wg.Done()
-	t := time.NewTicker(s.cfg.SnapshotEvery)
-	defer t.Stop()
-	for {
-		select {
-		case <-s.stopc:
-			return
-		case <-t.C:
-			if err := s.SaveSnapshot(); err != nil {
-				s.ev.Error("ingest_snapshot_failed", obs.Fields{"error": err.Error()})
-			}
-		}
-	}
-}
-
 // SaveSnapshot persists every source's monitor state to
-// cfg.SnapshotPath.
+// cfg.SnapshotPath (periodic saves run through the same manager).
 func (s *Server) SaveSnapshot() error {
-	if s.cfg.SnapshotPath == "" {
-		return nil
-	}
-	states, err := s.reg.SnapshotStates()
-	if err != nil {
-		return err
-	}
-	if err := WriteSnapshot(s.cfg.SnapshotPath, states); err != nil {
-		return err
-	}
-	s.ev.Info("ingest_snapshot_saved", obs.Fields{
-		"path": s.cfg.SnapshotPath, "sources": len(states),
-	})
-	return nil
+	return s.snap.Flush()
 }
 
 // Shutdown drains gracefully: stop accepting, close the transports,
@@ -434,7 +422,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	s.stopOnce.Do(func() {
 		s.stopping.Store(true)
-		close(s.stopc)
+		s.snap.Stop()
 		if s.tcpLn != nil {
 			s.tcpLn.Close()
 		}

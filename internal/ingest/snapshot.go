@@ -5,7 +5,8 @@ import (
 	"encoding/gob"
 	"fmt"
 	"os"
-	"path/filepath"
+
+	"agingmf/internal/runtime"
 )
 
 // snapshotVersion guards the on-disk format.
@@ -18,31 +19,40 @@ type snapshotFile struct {
 	States  map[string][]byte
 }
 
-// WriteSnapshot atomically persists the given source states to path
-// (tmp + rename, so a crash mid-write never corrupts the previous
-// snapshot).
-func WriteSnapshot(path string, states map[string][]byte) error {
+// EncodeSnapshot serializes source states into the versioned snapshot
+// envelope — the runtime.SnapshotManager state function of the daemon.
+func EncodeSnapshot(states map[string][]byte) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(snapshotFile{
 		Version: snapshotVersion,
 		States:  states,
 	}); err != nil {
-		return fmt.Errorf("ingest: encode snapshot: %w", err)
+		return nil, fmt.Errorf("ingest: encode snapshot: %w", err)
 	}
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot parses a snapshot envelope back into source states.
+func DecodeSnapshot(blob []byte) (map[string][]byte, error) {
+	var sf snapshotFile
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&sf); err != nil {
+		return nil, fmt.Errorf("ingest: decode snapshot: %w", err)
+	}
+	if sf.Version != snapshotVersion {
+		return nil, fmt.Errorf("ingest: snapshot: unsupported version %d", sf.Version)
+	}
+	return sf.States, nil
+}
+
+// WriteSnapshot atomically persists the given source states to path
+// (tmp + rename, so a crash mid-write never corrupts the previous
+// snapshot).
+func WriteSnapshot(path string, states map[string][]byte) error {
+	blob, err := EncodeSnapshot(states)
 	if err != nil {
-		return fmt.Errorf("ingest: write snapshot: %w", err)
+		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.Write(buf.Bytes()); err != nil {
-		tmp.Close()
-		return fmt.Errorf("ingest: write snapshot: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("ingest: write snapshot: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := runtime.WriteFileAtomic(path, blob, 0o600); err != nil {
 		return fmt.Errorf("ingest: write snapshot: %w", err)
 	}
 	return nil
@@ -59,12 +69,9 @@ func ReadSnapshot(path string) (map[string][]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("ingest: read snapshot: %w", err)
 	}
-	var sf snapshotFile
-	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&sf); err != nil {
-		return nil, fmt.Errorf("ingest: decode snapshot %s: %w", path, err)
+	states, err := DecodeSnapshot(blob)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: snapshot %s: %w", path, err)
 	}
-	if sf.Version != snapshotVersion {
-		return nil, fmt.Errorf("ingest: snapshot %s: unsupported version %d", path, sf.Version)
-	}
-	return sf.States, nil
+	return states, nil
 }

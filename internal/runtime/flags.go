@@ -1,0 +1,32 @@
+package runtime
+
+import (
+	"context"
+	"flag"
+	"io"
+)
+
+// FlagDefaults returns every flag's name → default-value string — the
+// hook the per-command flag-surface tests use to pin names and defaults
+// against the documentation.
+func FlagDefaults(fs *flag.FlagSet) map[string]string {
+	m := make(map[string]string)
+	fs.VisitAll(func(f *flag.Flag) { m[f.Name] = f.DefValue })
+	return m
+}
+
+// ContextReader cancels a reader-driven pipeline between reads: each
+// Read first checks the context, so a parser pulling from it stops at
+// the next chunk boundary instead of consuming the whole input after a
+// signal.
+type ContextReader struct {
+	Ctx context.Context
+	R   io.Reader
+}
+
+func (r ContextReader) Read(p []byte) (int, error) {
+	if err := r.Ctx.Err(); err != nil {
+		return 0, context.Cause(r.Ctx)
+	}
+	return r.R.Read(p)
+}

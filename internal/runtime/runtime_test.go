@@ -1,0 +1,361 @@
+package runtime
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.bin")
+	if err := WriteFileAtomic(path, []byte("v1"), 0o600); err != nil {
+		t.Fatalf("WriteFileAtomic: %v", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatalf("Stat: %v", err)
+	}
+	if perm := fi.Mode().Perm(); perm != 0o600 {
+		t.Fatalf("perm = %o, want 600", perm)
+	}
+	// Overwrite replaces, never appends or truncates partially.
+	if err := WriteFileAtomic(path, []byte("second"), 0o600); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("after overwrite: %q", got)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want just the snapshot", len(entries))
+	}
+}
+
+func TestWriteFileAtomicBadDir(t *testing.T) {
+	if err := WriteFileAtomic(filepath.Join(t.TempDir(), "no", "such", "dir", "f"), []byte("x"), 0o600); err == nil {
+		t.Fatal("write into a missing directory should fail")
+	}
+}
+
+func TestSnapshotManagerDisabled(t *testing.T) {
+	var sm *SnapshotManager
+	if blob, err := sm.Restore(); blob != nil || err != nil {
+		t.Fatalf("nil manager Restore = %v, %v", blob, err)
+	}
+	if err := sm.Flush(); err != nil {
+		t.Fatalf("nil manager Flush: %v", err)
+	}
+	sm.Start()
+	sm.Stop()
+
+	empty := &SnapshotManager{} // no Path: every method is a no-op
+	if blob, err := empty.Restore(); blob != nil || err != nil {
+		t.Fatalf("pathless Restore = %v, %v", blob, err)
+	}
+	if err := empty.Flush(); err != nil {
+		t.Fatalf("pathless Flush: %v", err)
+	}
+}
+
+func TestSnapshotManagerRestoreFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	saves := 0
+	sm := &SnapshotManager{
+		Path:   path,
+		State:  func() ([]byte, error) { return []byte("payload"), nil },
+		OnSave: func() { saves++ },
+	}
+	// Cold start: missing file is not an error.
+	if blob, err := sm.Restore(); blob != nil || err != nil {
+		t.Fatalf("cold Restore = %v, %v", blob, err)
+	}
+	if err := sm.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if saves != 1 {
+		t.Fatalf("OnSave fired %d times, want 1", saves)
+	}
+	blob, err := sm.Restore()
+	if err != nil || string(blob) != "payload" {
+		t.Fatalf("Restore = %q, %v", blob, err)
+	}
+}
+
+func TestSnapshotManagerStateError(t *testing.T) {
+	boom := errors.New("state unavailable")
+	sm := &SnapshotManager{
+		Path:  filepath.Join(t.TempDir(), "snap"),
+		State: func() ([]byte, error) { return nil, boom },
+	}
+	if err := sm.Flush(); !errors.Is(err, boom) {
+		t.Fatalf("Flush err = %v, want %v", err, boom)
+	}
+}
+
+func TestSnapshotManagerPeriodicLoop(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	var saves atomic.Int64
+	sm := &SnapshotManager{
+		Path:   path,
+		Every:  time.Millisecond,
+		State:  func() ([]byte, error) { return []byte("tick"), nil },
+		OnSave: func() { saves.Add(1) },
+	}
+	sm.Start()
+	sm.Start() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for saves.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	sm.Stop()
+	sm.Stop() // idempotent
+	if saves.Load() < 2 {
+		t.Fatalf("periodic loop saved %d times in 5s, want >= 2", saves.Load())
+	}
+	after := saves.Load()
+	time.Sleep(5 * time.Millisecond)
+	if saves.Load() != after {
+		t.Fatal("loop kept saving after Stop")
+	}
+	if blob, err := os.ReadFile(path); err != nil || string(blob) != "tick" {
+		t.Fatalf("snapshot file %q, %v", blob, err)
+	}
+}
+
+func TestSnapshotManagerLoopSurvivesErrors(t *testing.T) {
+	var fails atomic.Int64
+	sm := &SnapshotManager{
+		Path:    filepath.Join(t.TempDir(), "no", "such", "dir", "snap"),
+		Every:   time.Millisecond,
+		State:   func() ([]byte, error) { return []byte("x"), nil },
+		OnError: func(error) { fails.Add(1) },
+	}
+	sm.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for fails.Load() < 2 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	sm.Stop()
+	if fails.Load() < 2 {
+		t.Fatalf("loop reported %d failures then stopped; it must keep trying", fails.Load())
+	}
+}
+
+// TestNotifyContextSecondSignalForceExits is the regression test for the
+// escape hatch: the first signal cancels the context with a
+// *SignalError cause; the second must invoke ForceExit instead of being
+// swallowed, so a stuck drain can always be interrupted.
+func TestNotifyContextSecondSignalForceExits(t *testing.T) {
+	forced := make(chan os.Signal, 1)
+	ctx, stop := NotifyContext(context.Background(), SignalOptions{
+		Signals:   []os.Signal{syscall.SIGUSR1},
+		ForceExit: func(sig os.Signal) { forced <- sig },
+	})
+	defer stop()
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatalf("kill 1: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first signal did not cancel the context")
+	}
+	sig, ok := Signal(ctx)
+	if !ok || sig != syscall.SIGUSR1 {
+		t.Fatalf("Signal(ctx) = %v, %v; want SIGUSR1, true", sig, ok)
+	}
+	select {
+	case s := <-forced:
+		t.Fatalf("ForceExit fired on the first signal: %v", s)
+	default:
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatalf("kill 2: %v", err)
+	}
+	select {
+	case s := <-forced:
+		if s != syscall.SIGUSR1 {
+			t.Fatalf("ForceExit saw %v, want SIGUSR1", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not invoke ForceExit")
+	}
+}
+
+// TestNotifyContextSecondSIGINTForceExits is the same regression against
+// the default signal set the commands use: two SIGINTs must reach drain
+// then force-exit (the hook stands in for os.Exit under test).
+func TestNotifyContextSecondSIGINTForceExits(t *testing.T) {
+	forced := make(chan os.Signal, 1)
+	ctx, stop := NotifyContext(context.Background(), SignalOptions{
+		ForceExit: func(sig os.Signal) { forced <- sig },
+	})
+	defer stop()
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("kill 1: %v", err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("first SIGINT did not cancel the context")
+	}
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("kill 2: %v", err)
+	}
+	select {
+	case s := <-forced:
+		if s != os.Interrupt {
+			t.Fatalf("ForceExit saw %v, want SIGINT", s)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second SIGINT did not invoke ForceExit")
+	}
+}
+
+func TestNotifyContextStopReleases(t *testing.T) {
+	ctx, stop := NotifyContext(context.Background(), SignalOptions{
+		Signals:   []os.Signal{syscall.SIGUSR2},
+		ForceExit: func(os.Signal) {},
+	})
+	stop()
+	stop() // idempotent
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("stop should cancel the context")
+	}
+	if _, ok := Signal(ctx); ok {
+		t.Fatal("a stop-cancelled context must not report a signal")
+	}
+}
+
+func TestSignalOnPlainContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok := Signal(ctx); ok {
+		t.Fatal("Signal should be false for a non-signal cancellation")
+	}
+}
+
+func TestSignalErrorMessage(t *testing.T) {
+	e := &SignalError{Sig: syscall.SIGTERM}
+	if !strings.Contains(e.Error(), "terminated") {
+		t.Fatalf("Error() = %q", e.Error())
+	}
+}
+
+func TestFlagDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	fs.Int("n", 42, "")
+	fs.String("s", "hello", "")
+	fs.Bool("b", false, "")
+	got := FlagDefaults(fs)
+	want := map[string]string{"n": "42", "s": "hello", "b": "false"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("flag %q default %q, want %q", k, got[k], v)
+		}
+	}
+}
+
+func TestContextReader(t *testing.T) {
+	r := ContextReader{Ctx: context.Background(), R: strings.NewReader("data")}
+	buf := make([]byte, 4)
+	n, err := r.Read(buf)
+	if err != nil || n != 4 || string(buf) != "data" {
+		t.Fatalf("Read = %d, %v, %q", n, err, buf)
+	}
+
+	cause := errors.New("interrupted")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	r = ContextReader{Ctx: ctx, R: strings.NewReader("more")}
+	if _, err := r.Read(buf); !errors.Is(err, cause) {
+		t.Fatalf("cancelled Read err = %v, want cause %v", err, cause)
+	}
+}
+
+func TestOpenEvents(t *testing.T) {
+	ev, closer, err := OpenEvents("")
+	if ev != nil || err != nil {
+		t.Fatalf(`OpenEvents("") = %v, %v`, ev, err)
+	}
+	closer()
+
+	ev, closer, err = OpenEvents("-")
+	if ev == nil || err != nil {
+		t.Fatalf(`OpenEvents("-") = %v, %v`, ev, err)
+	}
+	closer()
+
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	ev, closer, err = OpenEvents(path)
+	if err != nil {
+		t.Fatalf("OpenEvents(file): %v", err)
+	}
+	ev.Info("hello", map[string]any{"n": 1})
+	closer()
+	blob, err := os.ReadFile(path)
+	if err != nil || !strings.Contains(string(blob), `"hello"`) {
+		t.Fatalf("events file %q, %v", blob, err)
+	}
+
+	if _, _, err := OpenEvents(filepath.Join(t.TempDir(), "no", "dir", "e")); err == nil {
+		t.Fatal("unopenable events path should error")
+	}
+}
+
+func TestTelemetryNoMetricsAddr(t *testing.T) {
+	tel, err := NewTelemetry("", false, "")
+	if err != nil {
+		t.Fatalf("NewTelemetry: %v", err)
+	}
+	defer tel.Close()
+	if tel.Reg != nil {
+		t.Fatal("registry should be nil without a metrics address")
+	}
+	if err := tel.Serve(nil, io.Discard); err != nil {
+		t.Fatalf("Serve without address: %v", err)
+	}
+}
+
+func TestTelemetryServes(t *testing.T) {
+	tel, err := NewTelemetry("127.0.0.1:0", false, "")
+	if err != nil {
+		t.Fatalf("NewTelemetry: %v", err)
+	}
+	defer tel.Close()
+	if tel.Reg == nil {
+		t.Fatal("registry missing with a metrics address")
+	}
+	var out strings.Builder
+	if err := tel.Serve(nil, &out); err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+	if !strings.Contains(out.String(), "metrics: http://127.0.0.1:") {
+		t.Fatalf("Serve printed %q", out.String())
+	}
+	tel.Close()
+	tel.Close() // idempotent
+}

@@ -1,0 +1,101 @@
+// Package runtime is the application lifecycle kernel shared by every
+// command: signal-driven graceful drain (with a force-exit escape hatch
+// on the second signal), one-call observability wiring, atomic state
+// snapshots with restore-on-start, and flag-surface helpers. Commands
+// compose source→stages→sink pipelines (internal/source) over this
+// kernel instead of hand-rolling sigc channels, events files and
+// snapshot loops.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// SignalError is the cancellation cause NotifyContext installs: which
+// signal ended the run, recoverable via Signal(ctx).
+type SignalError struct {
+	Sig os.Signal
+}
+
+func (e *SignalError) Error() string { return "received " + e.Sig.String() }
+
+// SignalOptions parameterizes NotifyContext. The zero value watches
+// SIGINT and SIGTERM and force-exits the process on the second signal.
+type SignalOptions struct {
+	// Signals lists the signals to watch (default SIGINT, SIGTERM).
+	Signals []os.Signal
+	// ForceExit handles the second signal: a drain that hangs must not
+	// trap the operator, so the default exits the process immediately
+	// with the conventional 128+signum status. Tests inject their own.
+	ForceExit func(os.Signal)
+}
+
+// NotifyContext returns a context cancelled (with a *SignalError cause)
+// on the first watched signal, like signal.NotifyContext — but unlike
+// the standard version it keeps listening: the second signal invokes
+// ForceExit instead of being swallowed, so a stuck drain can always be
+// interrupted. The returned stop releases the watcher.
+func NotifyContext(parent context.Context, opts SignalOptions) (context.Context, context.CancelFunc) {
+	sigs := opts.Signals
+	if len(sigs) == 0 {
+		sigs = []os.Signal{os.Interrupt, syscall.SIGTERM}
+	}
+	force := opts.ForceExit
+	if force == nil {
+		force = defaultForceExit
+	}
+	ctx, cancel := context.WithCancelCause(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, sigs...)
+	done := make(chan struct{})
+	go func() {
+		fired := false
+		for {
+			select {
+			case sig := <-ch:
+				if fired {
+					force(sig)
+					continue
+				}
+				fired = true
+				cancel(&SignalError{Sig: sig})
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
+		cancel(nil)
+	}
+	return ctx, stop
+}
+
+// Signal returns the signal that cancelled ctx, if a NotifyContext
+// signal did.
+func Signal(ctx context.Context) (os.Signal, bool) {
+	var se *SignalError
+	if errors.As(context.Cause(ctx), &se) {
+		return se.Sig, true
+	}
+	return nil, false
+}
+
+// defaultForceExit ends the process with the conventional fatal-signal
+// exit status.
+func defaultForceExit(sig os.Signal) {
+	code := 1
+	if s, ok := sig.(syscall.Signal); ok {
+		code = 128 + int(s)
+	}
+	os.Exit(code)
+}

@@ -1,0 +1,135 @@
+package runtime
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// WriteFileAtomic writes data to path via a temp file in the same
+// directory plus a rename, so a crash mid-write never corrupts a
+// previous snapshot.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := tmp.Chmod(perm); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// SnapshotManager owns one command's state persistence: restore at
+// start, optional periodic saves, and an atomic flush on drain. An
+// empty Path disables everything (every method is a safe no-op), so
+// callers wire it unconditionally.
+type SnapshotManager struct {
+	// Path names the snapshot file ("" disables).
+	Path string
+	// Every is the periodic save cadence for Start (0 disables the
+	// loop; Flush still works).
+	Every time.Duration
+	// State produces the bytes to persist (required for Flush/Start).
+	State func() ([]byte, error)
+	// OnSave and OnError observe each periodic or final save (nil
+	// disables).
+	OnSave  func()
+	OnError func(error)
+
+	mu    sync.Mutex
+	stopc chan struct{}
+	done  chan struct{}
+}
+
+// Restore reads the snapshot back. A missing file (or no Path) is not
+// an error — it returns (nil, nil), the natural cold start.
+func (sm *SnapshotManager) Restore() ([]byte, error) {
+	if sm == nil || sm.Path == "" {
+		return nil, nil
+	}
+	blob, err := os.ReadFile(sm.Path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return blob, nil
+}
+
+// Flush saves the current state atomically, now.
+func (sm *SnapshotManager) Flush() error {
+	if sm == nil || sm.Path == "" {
+		return nil
+	}
+	blob, err := sm.State()
+	if err != nil {
+		return err
+	}
+	if err := WriteFileAtomic(sm.Path, blob, 0o600); err != nil {
+		return err
+	}
+	if sm.OnSave != nil {
+		sm.OnSave()
+	}
+	return nil
+}
+
+// Start begins the periodic save loop (a no-op without a Path or an
+// Every). Loop failures go to OnError and the loop keeps running — a
+// full disk now does not forfeit the save that succeeds later.
+func (sm *SnapshotManager) Start() {
+	if sm == nil || sm.Path == "" || sm.Every <= 0 {
+		return
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if sm.stopc != nil {
+		return
+	}
+	sm.stopc = make(chan struct{})
+	sm.done = make(chan struct{})
+	go func(stopc, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(sm.Every)
+		defer t.Stop()
+		for {
+			select {
+			case <-stopc:
+				return
+			case <-t.C:
+				if err := sm.Flush(); err != nil && sm.OnError != nil {
+					sm.OnError(err)
+				}
+			}
+		}
+	}(sm.stopc, sm.done)
+}
+
+// Stop halts the periodic loop (the on-drain save is an explicit Flush,
+// so drain paths control when — relative to their own draining — the
+// final state is captured).
+func (sm *SnapshotManager) Stop() {
+	if sm == nil {
+		return
+	}
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if sm.stopc != nil {
+		close(sm.stopc)
+		<-sm.done
+		sm.stopc, sm.done = nil, nil
+	}
+}

@@ -1,0 +1,92 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+
+	"agingmf/internal/obs"
+)
+
+// OpenEvents opens one JSONL event sink ("-" = stdout, "" = disabled;
+// anything else appends to the named file). The returned Events is nil
+// when disabled — every events API is nil-safe — and the closer is
+// always safe to call.
+func OpenEvents(path string) (*obs.Events, func(), error) {
+	switch path {
+	case "":
+		return nil, func() {}, nil
+	case "-":
+		return obs.NewEvents(os.Stdout, obs.LevelInfo), func() {}, nil
+	default:
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, func() {}, fmt.Errorf("open events file: %w", err)
+		}
+		return obs.NewEvents(f, obs.LevelInfo), func() { f.Close() }, nil
+	}
+}
+
+// Telemetry bundles one command run's observability: the metrics
+// registry (nil when no metrics address is configured — every
+// instrumentation hook is nil-safe), the JSONL event sink, and the
+// /metrics HTTP server.
+type Telemetry struct {
+	Reg    *obs.Registry
+	Events *obs.Events
+
+	addr        string
+	pprof       bool
+	srv         *http.Server
+	closeEvents func()
+}
+
+// NewTelemetry opens the event sink and, when metricsAddr is non-empty,
+// creates the registry. Call Serve to bind the listener and Close to
+// tear everything down.
+func NewTelemetry(metricsAddr string, enablePprof bool, eventsPath string) (*Telemetry, error) {
+	ev, closeEv, err := OpenEvents(eventsPath)
+	if err != nil {
+		return nil, err
+	}
+	t := &Telemetry{Events: ev, addr: metricsAddr, pprof: enablePprof, closeEvents: closeEv}
+	if metricsAddr != "" {
+		t.Reg = obs.NewRegistry()
+	}
+	return t, nil
+}
+
+// Serve binds the metrics listener (a no-op without a metrics address)
+// and prints the /metrics URL; health feeds /healthz.
+func (t *Telemetry) Serve(health func() error, stdout io.Writer) error {
+	if t.addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", t.addr)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: obs.NewHandler(t.Reg, obs.HandlerConfig{
+		EnablePprof: t.pprof,
+		Health:      health,
+	})}
+	t.srv = srv
+	go func() { _ = srv.Serve(ln) }()
+	fmt.Fprintf(stdout, "metrics: http://%s/metrics\n", ln.Addr())
+	return nil
+}
+
+// Close stops the metrics server and closes the event sink. Safe to
+// call more than once.
+func (t *Telemetry) Close() {
+	if t.srv != nil {
+		_ = t.srv.Close()
+		t.srv = nil
+	}
+	if t.closeEvents != nil {
+		t.closeEvents()
+		t.closeEvents = nil
+	}
+}

@@ -52,9 +52,11 @@ func WriteCSV(w io.Writer, ss ...Series) error {
 
 // ReadCSV parses a CSV table in the format produced by WriteCSV and returns
 // one series per value column. The sampling step is inferred from the first
-// two timestamps (1s is assumed for single-row files).
+// two timestamps (1s is assumed for single-row files). Lines starting with
+// '#' are comments — a signal-truncated stressgen trace ends with one.
 func ReadCSV(r io.Reader) ([]Series, error) {
 	cr := csv.NewReader(r)
+	cr.Comment = '#'
 	records, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("read csv: %w", err)

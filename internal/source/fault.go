@@ -1,0 +1,80 @@
+package source
+
+import (
+	"context"
+	"math"
+	"math/rand"
+)
+
+// FaultConfig parameterizes a FaultSource. Rates of zero inject nothing;
+// drop and corrupt draws are mutually exclusive per pair (a dropped
+// sample cannot also be corrupted), matching how real producers fail.
+type FaultConfig struct {
+	// RNG drives the fault draws (required when any rate is positive).
+	RNG *rand.Rand
+	// DropRate is the probability (0..1) that a pair is lost in flight.
+	DropRate float64
+	// CorruptRate is the probability (0..1) that a pair is garbled in
+	// flight (Corrupt decides how).
+	CorruptRate float64
+	// Corrupt garbles one pair; nil selects a NaN on the free counter.
+	Corrupt func(rng *rand.Rand, pair [2]float64) [2]float64
+	// OnDrop and OnCorrupt observe each injection (nil disables).
+	OnDrop    func()
+	OnCorrupt func()
+}
+
+// FaultSource injects transport faults — dropped and corrupted pairs —
+// between any inner source and its consumer: the chaos campaigns inject
+// at this boundary instead of hooking the drivers. Deterministic per
+// RNG seed.
+type FaultSource struct {
+	inner Source
+	cfg   FaultConfig
+}
+
+// NewFault wraps inner with fault injection. The pair filtering mutates
+// the inner source's item buffers in place (they are single-consumer by
+// contract).
+func NewFault(inner Source, cfg FaultConfig) *FaultSource {
+	if cfg.Corrupt == nil {
+		cfg.Corrupt = func(_ *rand.Rand, p [2]float64) [2]float64 {
+			p[0] = math.NaN()
+			return p
+		}
+	}
+	return &FaultSource{inner: inner, cfg: cfg}
+}
+
+func (s *FaultSource) Next(ctx context.Context) (Item, error) {
+	it, err := s.inner.Next(ctx)
+	if err != nil {
+		return it, err
+	}
+	f := &s.cfg
+	kept := it.Pairs[:0]
+	for _, p := range it.Pairs {
+		switch {
+		case f.DropRate > 0 && f.RNG.Float64() < f.DropRate:
+			if f.OnDrop != nil {
+				f.OnDrop()
+			}
+		case f.CorruptRate > 0 && f.RNG.Float64() < f.CorruptRate:
+			if f.OnCorrupt != nil {
+				f.OnCorrupt()
+			}
+			kept = append(kept, f.Corrupt(f.RNG, p))
+		default:
+			kept = append(kept, p)
+		}
+	}
+	it.Pairs = kept
+	// Counters no longer line up pair-for-pair once anything was dropped;
+	// a crash item keeps its terminal counters either way.
+	if len(kept) != len(it.Counters) {
+		it.Counters = nil
+	}
+	return it, nil
+}
+
+func (s *FaultSource) Close() error { return s.inner.Close() }

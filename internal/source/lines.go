@@ -1,0 +1,84 @@
+package source
+
+import (
+	"bufio"
+	"context"
+	"io"
+	"strings"
+	"sync"
+)
+
+// LineSource reads a line-per-item protocol from a reader. Blank lines
+// and '#' comment lines are skipped; every other line goes through the
+// ParseFunc, and a parse failure surfaces as a recoverable
+// *BadLineError. The reader runs on its own goroutine so Next honours
+// context cancellation even while a read blocks (an open-but-idle stdin,
+// a quiet socket).
+type LineSource struct {
+	parse ParseFunc
+	lines chan string
+	errc  chan error
+	done  chan struct{}
+	once  sync.Once
+}
+
+// NewLines builds a LineSource over r. A goroutine owns the scanner; a
+// scan blocked inside an open-but-idle read can only be collected at
+// process exit, exactly like the raw scanner it replaces.
+func NewLines(r io.Reader, parse ParseFunc) *LineSource {
+	s := &LineSource{
+		parse: parse,
+		lines: make(chan string),
+		errc:  make(chan error, 1),
+		done:  make(chan struct{}),
+	}
+	go func() {
+		defer close(s.lines)
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			select {
+			case s.lines <- sc.Text():
+			case <-s.done:
+				return
+			}
+		}
+		s.errc <- sc.Err()
+	}()
+	return s
+}
+
+func (s *LineSource) Next(ctx context.Context) (Item, error) {
+	for {
+		select {
+		case <-ctx.Done():
+			return Item{}, context.Cause(ctx)
+		case line, ok := <-s.lines:
+			if !ok {
+				select {
+				case err := <-s.errc:
+					if err != nil {
+						return Item{}, err
+					}
+				default:
+				}
+				return Item{}, io.EOF
+			}
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			it, err := s.parse(line)
+			if err != nil {
+				return Item{}, &BadLineError{Line: line, Err: err}
+			}
+			return it, nil
+		}
+	}
+}
+
+// Close releases the scanner goroutine (if it is not parked inside a
+// blocking read). It never errors.
+func (s *LineSource) Close() error {
+	s.once.Do(func() { close(s.done) })
+	return nil
+}

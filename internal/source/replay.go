@@ -1,0 +1,100 @@
+package source
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"agingmf/internal/series"
+)
+
+// ReplaySource replays a recorded counter trace — a stressgen CSV dump,
+// an external production trace — through the pipeline, so any offline
+// trace drives the *online* monitor, not just the offline analysis.
+// Items carry batchSize pairs each (the wire batch framing, minus the
+// wire).
+type ReplaySource struct {
+	src   string
+	pairs [][2]float64
+	pos   int
+	batch int
+}
+
+// NewReplay replays pre-extracted counter pairs. batchSize groups the
+// pairs per item (0 or 1 yields one pair per item).
+func NewReplay(sourceID string, pairs [][2]float64, batchSize int) *ReplaySource {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return &ReplaySource{src: sourceID, pairs: pairs, batch: batchSize}
+}
+
+// NewReplayCSV reads a CSV in the stressgen/collector format and replays
+// the named free-memory and used-swap columns (empty names select the
+// first and second value columns; a missing swap column replays zeros,
+// for single-counter traces).
+func NewReplayCSV(r io.Reader, freeCol, swapCol string, batchSize int) (*ReplaySource, error) {
+	cols, err := series.ReadCSV(r)
+	if err != nil {
+		return nil, err
+	}
+	pick := func(name string, def int) (series.Series, bool, error) {
+		if name == "" {
+			if def >= len(cols) {
+				return series.Series{}, false, nil
+			}
+			return cols[def], true, nil
+		}
+		for _, c := range cols {
+			if c.Name == name {
+				return c, true, nil
+			}
+		}
+		names := make([]string, len(cols))
+		for i, c := range cols {
+			names[i] = c.Name
+		}
+		return series.Series{}, false, fmt.Errorf("replay: column %q not found; have %v: %w",
+			name, names, ErrBadConfig)
+	}
+	free, ok, err := pick(freeCol, 0)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("replay: no value columns: %w", ErrBadConfig)
+	}
+	swap, haveSwap, err := pick(swapCol, 1)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([][2]float64, free.Len())
+	for i := range pairs {
+		pairs[i][0] = free.Values[i]
+		if haveSwap {
+			pairs[i][1] = swap.Values[i]
+		}
+	}
+	return NewReplay("", pairs, batchSize), nil
+}
+
+// Len returns the total number of pairs the replay will yield.
+func (s *ReplaySource) Len() int { return len(s.pairs) }
+
+func (s *ReplaySource) Next(ctx context.Context) (Item, error) {
+	if err := ctx.Err(); err != nil {
+		return Item{}, context.Cause(ctx)
+	}
+	if s.pos >= len(s.pairs) {
+		return Item{}, io.EOF
+	}
+	end := s.pos + s.batch
+	if end > len(s.pairs) {
+		end = len(s.pairs)
+	}
+	it := Item{Source: s.src, Pairs: s.pairs[s.pos:end]}
+	s.pos = end
+	return it, nil
+}
+
+func (s *ReplaySource) Close() error { return nil }

@@ -1,0 +1,186 @@
+package source
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"agingmf/internal/memsim"
+	"agingmf/internal/obs"
+	"agingmf/internal/workload"
+)
+
+// ErrBadConfig reports invalid source parameters.
+var ErrBadConfig = errors.New("source: bad configuration")
+
+// SimConfig parameterizes a self-contained simulation source: one
+// machine under one workload driver, both seeded deterministically
+// (machine from Seed, driver from Seed+1 — the convention every command
+// and experiment in this module uses).
+type SimConfig struct {
+	// Seed drives the machine and workload streams.
+	Seed int64
+	// Machine is the simulated hardware (zero value selects
+	// memsim.DefaultConfig).
+	Machine memsim.Config
+	// Workload is the load configuration (zero value selects
+	// workload.DefaultDriverConfig).
+	Workload workload.DriverConfig
+	// MaxTicks bounds the run length in machine ticks (>= 1).
+	MaxTicks int
+	// SampleEvery decimates sampling: one item every this many ticks
+	// (0 selects 1). The crash tick is always delivered, even off-stride.
+	SampleEvery int
+	// TickEvery paces ticks in wall time (0 = as fast as possible); the
+	// pacing sleep honours context cancellation.
+	TickEvery time.Duration
+	// Obs and Events instrument the machine (nil disables, as always).
+	Obs    *obs.Registry
+	Events *obs.Events
+}
+
+// SimSource steps a simulated machine and yields its counters, one item
+// per sample tick. The crash tick yields a final item with Crash set;
+// after it, Next returns *CrashError until Reboot is called.
+type SimSource struct {
+	m        *memsim.Machine
+	d        *workload.Driver
+	maxTicks int
+	every    int
+
+	// TickEvery paces ticks in wall time (0 = as fast as possible); the
+	// pacing sleep honours context cancellation.
+	TickEvery time.Duration
+
+	// OnStep, when set, observes every machine tick right after it is
+	// stepped — the hook chaos drivers use to inject machine-level
+	// faults (leak bursts, fragmentation) between the step and the
+	// sample, like asynchronous hardware faults.
+	OnStep func(tick int, c memsim.Counters)
+
+	tick     int
+	crashed  bool
+	pair     [1][2]float64
+	counters [1]memsim.Counters
+}
+
+// NewSim builds machine and driver from cfg and returns the source.
+func NewSim(cfg SimConfig) (*SimSource, error) {
+	if cfg.Machine == (memsim.Config{}) {
+		cfg.Machine = memsim.DefaultConfig()
+	}
+	if cfg.Workload.Server == nil && cfg.Workload.ClientRate == 0 {
+		cfg.Workload = workload.DefaultDriverConfig()
+	}
+	m, err := memsim.New(cfg.Machine, rand.New(rand.NewSource(cfg.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	m.Instrument(cfg.Obs, cfg.Events)
+	d, err := workload.NewDriver(m, cfg.Workload, nil, rand.New(rand.NewSource(cfg.Seed+1)))
+	if err != nil {
+		return nil, err
+	}
+	s := NewSimFromParts(m, d, cfg.MaxTicks, cfg.SampleEvery)
+	if s == nil {
+		return nil, fmt.Errorf("max ticks %d: %w", cfg.MaxTicks, ErrBadConfig)
+	}
+	s.TickEvery = cfg.TickEvery
+	return s, nil
+}
+
+// NewSimFromParts wraps an existing machine+driver pair (the driver must
+// be bound to the machine) — the form the collector, chaos and selftest
+// drivers use, where the caller owns construction and seeding. Returns
+// nil when maxTicks < 1.
+func NewSimFromParts(m *memsim.Machine, d *workload.Driver, maxTicks, sampleEvery int) *SimSource {
+	if m == nil || d == nil || maxTicks < 1 {
+		return nil
+	}
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return &SimSource{m: m, d: d, maxTicks: maxTicks, every: sampleEvery}
+}
+
+// Machine exposes the underlying machine (for fault injection hooks).
+func (s *SimSource) Machine() *memsim.Machine { return s.m }
+
+// Driver exposes the underlying workload driver.
+func (s *SimSource) Driver() *workload.Driver { return s.d }
+
+// Ticks returns the number of machine ticks stepped so far (across
+// reboots).
+func (s *SimSource) Ticks() int { return s.tick }
+
+func (s *SimSource) Next(ctx context.Context) (Item, error) {
+	if s.crashed {
+		kind, at := s.m.Crashed()
+		return Item{}, &CrashError{Kind: kind, Tick: at}
+	}
+	for s.tick < s.maxTicks {
+		// The cancellation check is amortized over 64-tick blocks to keep
+		// the stepping loop hot-path cheap; the pacing sleep below checks
+		// on every tick, so a paced run still cancels promptly.
+		if s.tick&63 == 0 && ctx.Err() != nil {
+			return Item{}, context.Cause(ctx)
+		}
+		counters, derr := s.d.Step()
+		tick := s.tick
+		s.tick++
+		if s.OnStep != nil {
+			s.OnStep(tick, counters)
+		}
+		kind, at := s.m.Crashed()
+		if kind != memsim.CrashNone {
+			s.crashed = true
+			s.pair[0] = [2]float64{counters.FreeMemoryBytes, counters.UsedSwapBytes}
+			s.counters[0] = counters
+			return Item{
+				Pairs:     s.pair[:],
+				Counters:  s.counters[:],
+				Crash:     kind,
+				CrashTick: at,
+			}, nil
+		}
+		if derr != nil {
+			// Step errors only on an already-crashed machine, which the
+			// crash latch above intercepts; surface anything else.
+			return Item{}, derr
+		}
+		if s.TickEvery > 0 {
+			t := time.NewTimer(s.TickEvery)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return Item{}, context.Cause(ctx)
+			case <-t.C:
+			}
+		}
+		if tick%s.every == 0 {
+			s.pair[0] = [2]float64{counters.FreeMemoryBytes, counters.UsedSwapBytes}
+			s.counters[0] = counters
+			return Item{Pairs: s.pair[:], Counters: s.counters[:]}, nil
+		}
+	}
+	return Item{}, io.EOF
+}
+
+// Reboot restarts a crashed machine (and its workload) so the source
+// can keep yielding; a no-op on a live machine.
+func (s *SimSource) Reboot() error {
+	if !s.crashed {
+		return nil
+	}
+	s.m.Reboot()
+	if err := s.d.OnReboot(); err != nil {
+		return fmt.Errorf("reboot: %w", err)
+	}
+	s.crashed = false
+	return nil
+}
+
+func (s *SimSource) Close() error { return nil }

@@ -1,0 +1,365 @@
+package source_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"agingmf/internal/aging"
+	"agingmf/internal/gen"
+	"agingmf/internal/memsim"
+	"agingmf/internal/series"
+	"agingmf/internal/source"
+)
+
+// collectTrace drives the fast-aging rig to its crash and returns the
+// recorded trace sink (the stressgen pipeline, in miniature).
+func collectTrace(t testing.TB, seed int64) *source.TraceSink {
+	return collectTraceLeak(t, seed, 6)
+}
+
+// collectTraceLeak is collectTrace with a chosen leak rate: slower leaks
+// yield longer traces (the offline analyzer needs ~1350 samples of
+// warmup before its detector arms).
+func collectTraceLeak(t testing.TB, seed int64, leak float64) *source.TraceSink {
+	t.Helper()
+	m, d := newRigLeak(t, seed, leak)
+	src := source.NewSimFromParts(m, d, 20000, 1)
+	snk := source.NewTraceSink(time.Second, 1)
+	ctx := context.Background()
+	for {
+		it, err := src.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if err := snk.Write(it); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+		if it.Crash != memsim.CrashNone {
+			break
+		}
+	}
+	if snk.Crash() == memsim.CrashNone {
+		t.Fatal("rig did not crash within 20000 ticks")
+	}
+	return snk
+}
+
+func TestTraceSinkRecordsRun(t *testing.T) {
+	snk := collectTrace(t, 1)
+	if snk.Len() < 100 {
+		t.Fatalf("only %d samples recorded", snk.Len())
+	}
+	if snk.CrashTick() != snk.Len()-1 {
+		t.Fatalf("crash tick %d, want last sample %d (decimation 1)", snk.CrashTick(), snk.Len()-1)
+	}
+	cols := snk.Series()
+	wantNames := []string{"free_memory_bytes", "used_swap_bytes", "swap_traffic_pages", "processes"}
+	if len(cols) != len(wantNames) {
+		t.Fatalf("got %d columns, want %d", len(cols), len(wantNames))
+	}
+	for i, c := range cols {
+		if c.Name != wantNames[i] {
+			t.Errorf("column %d named %q, want %q", i, c.Name, wantNames[i])
+		}
+		if c.Len() != snk.Len() {
+			t.Errorf("column %q has %d samples, want %d", c.Name, c.Len(), snk.Len())
+		}
+	}
+}
+
+func TestTraceSinkCrashTickDecimated(t *testing.T) {
+	snk := source.NewTraceSink(10*time.Second, 10)
+	for i := 0; i < 3; i++ {
+		it := source.Item{
+			Pairs:    [][2]float64{{1, 2}},
+			Counters: []memsim.Counters{{FreeMemoryBytes: 1, UsedSwapBytes: 2}},
+		}
+		if i == 2 {
+			it.Crash = memsim.CrashOOM
+			it.CrashTick = 25
+		}
+		if err := snk.Write(it); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	if snk.CrashTick() != 20 {
+		t.Fatalf("CrashTick() = %d, want sample index 2 x decimation 10 = 20", snk.CrashTick())
+	}
+}
+
+func TestTraceSinkRejectsWireItems(t *testing.T) {
+	snk := source.NewTraceSink(time.Second, 1)
+	err := snk.Write(source.Item{Pairs: [][2]float64{{1, 2}}})
+	if !errors.Is(err, source.ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig for an item without machine counters", err)
+	}
+	if snk.CrashTick() != -1 {
+		t.Fatalf("empty sink CrashTick() = %d, want -1", snk.CrashTick())
+	}
+}
+
+func TestTraceSinkCSVRoundTrip(t *testing.T) {
+	snk := collectTrace(t, 1)
+	var buf bytes.Buffer
+	if err := snk.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	cols, err := series.ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadCSV: %v", err)
+	}
+	if len(cols) != 4 || cols[0].Len() != snk.Len() {
+		t.Fatalf("round trip: %d columns x %d samples, want 4 x %d", len(cols), cols[0].Len(), snk.Len())
+	}
+	for i, v := range snk.Series()[0].Values {
+		if cols[0].Values[i] != v {
+			t.Fatalf("sample %d: %v != %v", i, cols[0].Values[i], v)
+		}
+	}
+}
+
+func TestReplayBatching(t *testing.T) {
+	pairs := [][2]float64{{1, 2}, {3, 4}, {5, 6}, {7, 8}, {9, 10}}
+	src := source.NewReplay("m1", pairs, 2)
+	if src.Len() != 5 {
+		t.Fatalf("Len() = %d, want 5", src.Len())
+	}
+	ctx := context.Background()
+	var sizes []int
+	total := 0
+	for {
+		it, err := src.Next(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		if it.Source != "m1" {
+			t.Fatalf("item source %q, want m1", it.Source)
+		}
+		sizes = append(sizes, len(it.Pairs))
+		total += len(it.Pairs)
+	}
+	if total != 5 || len(sizes) != 3 || sizes[0] != 2 || sizes[1] != 2 || sizes[2] != 1 {
+		t.Fatalf("batch sizes %v (total %d), want [2 2 1]", sizes, total)
+	}
+}
+
+func TestReplayCSVColumnSelection(t *testing.T) {
+	var buf bytes.Buffer
+	free := series.Series{Name: "free", Step: time.Second, Values: []float64{10, 20, 30}}
+	swap := series.Series{Name: "swap", Step: time.Second, Values: []float64{1, 2, 3}}
+	if err := series.WriteCSV(&buf, free, swap); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	csv := buf.String()
+
+	// Default: first column is free, second is swap.
+	src, err := source.NewReplayCSV(strings.NewReader(csv), "", "", 1)
+	if err != nil {
+		t.Fatalf("NewReplayCSV: %v", err)
+	}
+	it, _ := src.Next(context.Background())
+	if it.Pairs[0] != [2]float64{10, 1} {
+		t.Fatalf("default columns pair %v, want {10 1}", it.Pairs[0])
+	}
+
+	// Named columns, swapped on purpose.
+	src, err = source.NewReplayCSV(strings.NewReader(csv), "swap", "free", 1)
+	if err != nil {
+		t.Fatalf("NewReplayCSV named: %v", err)
+	}
+	it, _ = src.Next(context.Background())
+	if it.Pairs[0] != [2]float64{1, 10} {
+		t.Fatalf("named columns pair %v, want {1 10}", it.Pairs[0])
+	}
+
+	// Unknown column is a config error.
+	if _, err := source.NewReplayCSV(strings.NewReader(csv), "nope", "", 1); !errors.Is(err, source.ErrBadConfig) {
+		t.Fatalf("unknown column err = %v, want ErrBadConfig", err)
+	}
+}
+
+func TestReplayCSVSingleColumnZeroSwap(t *testing.T) {
+	var buf bytes.Buffer
+	free := series.Series{Name: "free", Step: time.Second, Values: []float64{10, 20}}
+	if err := series.WriteCSV(&buf, free); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	src, err := source.NewReplayCSV(&buf, "", "", 1)
+	if err != nil {
+		t.Fatalf("NewReplayCSV: %v", err)
+	}
+	it, _ := src.Next(context.Background())
+	if it.Pairs[0] != [2]float64{10, 0} {
+		t.Fatalf("pair %v, want zero swap for a single-counter trace", it.Pairs[0])
+	}
+}
+
+func TestReplayCSVSkipsTruncationMarker(t *testing.T) {
+	var buf bytes.Buffer
+	free := series.Series{Name: "free", Step: time.Second, Values: []float64{10, 20}}
+	if err := series.WriteCSV(&buf, free); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	buf.WriteString("# truncated: received interrupt after 2 samples\n")
+	src, err := source.NewReplayCSV(&buf, "", "", 1)
+	if err != nil {
+		t.Fatalf("NewReplayCSV on truncated trace: %v", err)
+	}
+	if src.Len() != 2 {
+		t.Fatalf("Len() = %d, want the 2 data rows (marker skipped)", src.Len())
+	}
+}
+
+func TestMonitorSinkCounts(t *testing.T) {
+	mon, err := aging.NewDualMonitor(aging.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewDualMonitor: %v", err)
+	}
+	snk := source.NewMonitorSink(mon, source.MonitorSinkConfig{})
+	if err := snk.Write(source.Item{}); err != nil {
+		t.Fatalf("empty item: %v", err)
+	}
+	if snk.Samples() != 0 {
+		t.Fatalf("empty item counted: %d", snk.Samples())
+	}
+	if err := snk.Write(source.Item{Pairs: [][2]float64{{1, 2}, {3, 4}}}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	if snk.Samples() != 2 || mon.SamplesSeen() != 2 {
+		t.Fatalf("sink %d / monitor %d samples, want 2 / 2", snk.Samples(), mon.SamplesSeen())
+	}
+}
+
+// regimeChangeSignal mirrors the aging package's detection fixture: a
+// smooth fBm prefix that turns into alternating smooth/rough blocks, so
+// the Hölder volatility shifts and the jump detector fires.
+func regimeChangeSignal(t *testing.T, n int, seed int64) []float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	half := n / 2
+	base, err := gen.FBM(half, 0.6, rng)
+	if err != nil {
+		t.Fatalf("FBM: %v", err)
+	}
+	out := make([]float64, 0, n)
+	out = append(out, base...)
+	level := base[len(base)-1]
+	scale := 0.0
+	for _, v := range base {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if scale == 0 {
+		scale = 1
+	}
+	block := 64
+	for len(out) < n {
+		if (len(out)/block)%2 == 0 {
+			for i := 0; i < block && len(out) < n; i++ {
+				level += 0.01 * scale / float64(block)
+				out = append(out, level)
+			}
+		} else {
+			for i := 0; i < block && len(out) < n; i++ {
+				out = append(out, level+0.5*scale*rng.NormFloat64())
+			}
+		}
+	}
+	return out
+}
+
+// TestReplayMonitorParity is the pipeline's core correctness claim: a
+// recorded trace replayed through CSV → ReplaySource → MonitorSink drives
+// the online monitor to exactly the state the offline aging.Analyze
+// computes from the same series — jumps, indices and final phase.
+func TestReplayMonitorParity(t *testing.T) {
+	free := series.Series{Name: "free_memory_bytes", Step: time.Second,
+		Values: regimeChangeSignal(t, 8192, 5)}
+	swap := series.Series{Name: "used_swap_bytes", Step: time.Second,
+		Values: regimeChangeSignal(t, 8192, 9)}
+	var buf bytes.Buffer
+	if err := series.WriteCSV(&buf, free, swap); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+
+	cfg := aging.DefaultConfig()
+	mon, err := aging.NewDualMonitor(cfg)
+	if err != nil {
+		t.Fatalf("NewDualMonitor: %v", err)
+	}
+	src, err := source.NewReplayCSV(bytes.NewReader(buf.Bytes()),
+		"free_memory_bytes", "used_swap_bytes", 64)
+	if err != nil {
+		t.Fatalf("NewReplayCSV: %v", err)
+	}
+	msink := source.NewMonitorSink(mon, source.MonitorSinkConfig{})
+	if _, err := source.Pump(context.Background(), src, msink, nil); err != nil {
+		t.Fatalf("Pump: %v", err)
+	}
+	if msink.Samples() != free.Len() {
+		t.Fatalf("replayed %d samples, wrote %d", msink.Samples(), free.Len())
+	}
+
+	for _, offline := range []struct {
+		name string
+		mon  *aging.Monitor
+		s    series.Series
+	}{
+		{"free", mon.FreeMonitor(), free},
+		{"swap", mon.SwapMonitor(), swap},
+	} {
+		res, err := aging.Analyze(offline.s, cfg)
+		if err != nil {
+			t.Fatalf("Analyze %s: %v", offline.name, err)
+		}
+		got := offline.mon.Jumps()
+		if len(got) != len(res.Jumps) {
+			t.Fatalf("%s: online %d jumps, offline %d", offline.name, len(got), len(res.Jumps))
+		}
+		for j := range got {
+			if got[j] != res.Jumps[j] {
+				t.Fatalf("%s jump %d: online %+v, offline %+v", offline.name, j, got[j], res.Jumps[j])
+			}
+		}
+		if offline.mon.Phase() != res.FinalPhase {
+			t.Fatalf("%s: online phase %v, offline %v", offline.name, offline.mon.Phase(), res.FinalPhase)
+		}
+	}
+	// The regime change must actually exercise the detector.
+	if len(mon.Jumps()) == 0 {
+		t.Fatal("regime-change trace produced no volatility jumps; parity vacuous")
+	}
+}
+
+func BenchmarkSourceReplay(b *testing.B) {
+	pairs := make([][2]float64, 4096)
+	for i := range pairs {
+		pairs[i] = [2]float64{float64(i), float64(i * 2)}
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	src := source.NewReplay("bench", pairs, 256)
+	for i := 0; i < b.N; i++ {
+		_, err := src.Next(ctx)
+		if err == io.EOF {
+			src = source.NewReplay("bench", pairs, 256)
+		} else if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
