@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench bench-smoke check chaos experiments experiments-quick fmt vet clean
+.PHONY: all build test race cover bench bench-smoke bench-json check chaos experiments experiments-quick fmt vet clean
 
 all: build test
 
@@ -15,12 +15,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full internal coverage report, then the floor: the pipeline transport
-# and lifecycle kernel every command now runs on must stay >= 80%
-# covered (CI runs this).
+# Full internal coverage report, then the floor: the pipeline transport,
+# the lifecycle kernel and the tracing/flight-recorder instrumentation
+# every command now runs on must stay >= 80% covered (CI runs this).
 cover:
 	$(GO) test -cover ./internal/...
-	$(GO) test -cover ./internal/source/ ./internal/runtime/ | awk \
+	$(GO) test -cover ./internal/source/ ./internal/runtime/ ./internal/trace/ | awk \
 		'/coverage:/ { for (i = 1; i < NF; i++) if ($$i == "coverage:") { \
 			v = $$(i + 1); gsub(/%/, "", v); \
 			if (v + 0 < 80) { print "coverage floor 80% violated: " $$0; fail = 1 } } } \
@@ -29,20 +29,32 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# One iteration of every benchmark: proves the bench suite still builds
-# and runs without paying for stable numbers (CI runs this).
+# One iteration of every benchmark, then the tracing-overhead budget:
+# proves the bench suite still builds and runs, and that 1/1024 sampling
+# stays within its documented throughput envelope (CI runs this).
 bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime=1x . ./internal/ingest/ ./internal/source/
+	AGINGMF_TRACE_BUDGET=1 $(GO) test -run TestTraceOverheadBudget -count=1 -v ./internal/ingest/
+
+# Machine-readable benchmark snapshot of the hot paths — detector add,
+# shard routing, batched ingestion, the replay source, and the tracing
+# overhead pair — written to BENCH_<date>.json at the repo root for
+# committing and diffing across changes.
+bench-json:
+	$(GO) test -run XXX -bench 'MonitorAdd$$|ShardRouter$$|IngestBatch$$|SourceReplay$$|IngestTraceOverhead' \
+		-benchmem . ./internal/ingest/ ./internal/source/ \
+		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%F).json
+	@echo wrote BENCH_$$(date +%F).json
 
 # Fast pre-commit gate: vet plus the race detector on the packages with
 # lock-free/concurrent code (telemetry, monitor, streaming kernel, fleet,
-# resilience, chaos, the ingest daemon, the pipeline transport and the
-# lifecycle kernel).
+# resilience, chaos, the ingest daemon, the pipeline transport, the
+# lifecycle kernel and the pipeline tracer).
 check: vet
 	$(GO) test -race ./internal/obs/... ./internal/stream/... ./internal/aging/... \
 		./internal/collector/... ./internal/resilience/... ./internal/chaos/... \
 		./internal/ingest/... ./internal/source/... ./internal/runtime/... \
-		./cmd/agingd/...
+		./internal/trace/... ./cmd/agingd/...
 
 # Robustness regression suite: the fault-injection campaigns plus the
 # hardened agingmon/agingd paths, under the race detector. -short keeps

@@ -22,6 +22,7 @@ import (
 	"agingmf/internal/series"
 	"agingmf/internal/source"
 	"agingmf/internal/stats"
+	"agingmf/internal/trace"
 	"agingmf/internal/workload"
 )
 
@@ -486,6 +487,35 @@ var (
 	IngestJSONLSink = ingest.JSONLSink
 	// IngestWebhookSink POSTs each alert to a webhook with retries.
 	IngestWebhookSink = ingest.WebhookSink
+)
+
+// Pipeline tracing and the flight recorder (internal/trace). "Pipeline"
+// distinguishes these from the collector's memory-usage Trace.
+type (
+	// PipelineTracer records sampled spans through the ingest hot path.
+	PipelineTracer = trace.Tracer
+	// PipelineTracerConfig parameterizes a PipelineTracer.
+	PipelineTracerConfig = trace.Config
+	// PipelineSpan is one recorded stage timing.
+	PipelineSpan = trace.Span
+	// PipelineStage identifies a pipeline stage (parse, queue, detect...).
+	PipelineStage = trace.Stage
+	// FlightRecorder retains the last N annotated samples of one source.
+	FlightRecorder = trace.FlightRecorder
+	// FlightRecord is one annotated sample: value, score, phase, verdict
+	// and stage timings.
+	FlightRecord = trace.Record
+)
+
+// Pipeline tracing functions.
+var (
+	// NewPipelineTracer builds a tracer (nil, a safe no-op, when
+	// SampleEvery is 0).
+	NewPipelineTracer = trace.New
+	// NewFlightRecorder builds a per-source recorder (nil when depth <= 0).
+	NewFlightRecorder = trace.NewFlightRecorder
+	// ParseTraceSampleRate parses "0", "N" or "1/N" -trace-sample values.
+	ParseTraceSampleRate = trace.ParseSampleRate
 )
 
 // Rejuvenation policies and evaluation.

@@ -22,6 +22,16 @@
 // recent ring, an optional JSONL sink (-alerts) and an optional webhook
 // (-webhook, delivered with bounded retries).
 //
+// Observability of the pipeline itself is opt-in: -trace-sample 1/N times
+// one ingested unit in N through every stage (parse, queue wait, the
+// detector's stream stages, alert fan-out), served as Chrome/Perfetto
+// JSON at GET /api/trace/export and as agingmf_pipeline_stage_seconds
+// histograms on /metrics. -flight-recorder-depth keeps the last N
+// annotated samples per source (value, score, phase, verdict, stage
+// timings) at GET /api/trace/{source} — the first thing to pull up when
+// one machine's monitor behaves strangely. When a shard stops draining
+// its queue for longer than -stall-timeout, /healthz flips to 503.
+//
 // State survives restarts: -snapshot names a file the daemon writes
 // every -snapshot-every and on shutdown, and reads back at start — a
 // restarted daemon resumes every source's monitor exactly where it
@@ -41,16 +51,19 @@
 //	       [-snapshot FILE] [-snapshot-every DURATION]
 //	       [-stall-timeout DURATION] [-max-sources N] [-max-bad-lines N]
 //	       [-history-limit N] [-alerts FILE] [-events FILE]
-//	       [-webhook URL] [-pprof]
+//	       [-webhook URL] [-trace-sample 1/N] [-flight-recorder-depth N]
+//	       [-pprof]
 //	       [-selftest] [-selftest-sources N] [-selftest-samples N]
 //	       [-selftest-conns N] [-selftest-batch N] [-seed N]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -74,6 +87,8 @@ type options struct {
 	alerts        string
 	events        string
 	webhook       string
+	traceSample   string
+	flightDepth   int
 	pprof         bool
 	selftest      bool
 	stSources     int
@@ -102,6 +117,8 @@ func newFlagSet(opt *options) *flag.FlagSet {
 	fs.StringVar(&opt.alerts, "alerts", "", `append alert JSONL to this file ("-" = stdout, empty disables)`)
 	fs.StringVar(&opt.events, "events", "", `append lifecycle JSONL events to this file ("-" = stdout, empty disables)`)
 	fs.StringVar(&opt.webhook, "webhook", "", "POST each alert to this URL with bounded retries (empty disables)")
+	fs.StringVar(&opt.traceSample, "trace-sample", "0", `pipeline trace sampling: "1/N" or "N" traces one ingested unit in N, "0" disables; spans feed /api/trace/export and the agingmf_pipeline_stage_seconds histograms`)
+	fs.IntVar(&opt.flightDepth, "flight-recorder-depth", 64, "per-source flight recorder: retain the last N annotated samples, served by /api/trace/{source} (0 disables)")
 	fs.BoolVar(&opt.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/ on the HTTP listener")
 	fs.BoolVar(&opt.selftest, "selftest", false, "drive simulated machines through the real socket, verify zero loss and monitor parity, then exit")
 	fs.IntVar(&opt.stSources, "selftest-sources", 64, "self-test: simulated machines")
@@ -136,17 +153,24 @@ func run(args []string, stdout io.Writer) error {
 	}
 	defer closeAlerts()
 
+	sampleEvery, err := agingmf.ParseTraceSampleRate(opt.traceSample)
+	if err != nil {
+		return fmt.Errorf("-trace-sample: %w", err)
+	}
+
 	monCfg := agingmf.DefaultMonitorConfig()
 	monCfg.HistoryLimit = opt.historyLimit
 	srv, err := agingmf.NewIngestServer(agingmf.IngestServerConfig{
 		Registry: agingmf.IngestConfig{
-			Shards:       opt.shards,
-			QueueSize:    opt.queue,
-			Monitor:      monCfg,
-			MaxSources:   opt.maxSources,
-			StallTimeout: opt.stallTimeout,
-			Obs:          agingmf.NewRegistry(),
-			Events:       events,
+			Shards:              opt.shards,
+			QueueSize:           opt.queue,
+			Monitor:             monCfg,
+			MaxSources:          opt.maxSources,
+			StallTimeout:        opt.stallTimeout,
+			Obs:                 agingmf.NewRegistry(),
+			Events:              events,
+			TraceSampleEvery:    sampleEvery,
+			FlightRecorderDepth: opt.flightDepth,
 		},
 		TCPAddr:       opt.listen,
 		HTTPAddr:      opt.httpAddr,
@@ -220,19 +244,63 @@ func runSelfTest(ctx context.Context, srv *agingmf.IngestServer, stdout io.Write
 		BatchSize: opt.stBatch,
 		Seed:      opt.seed,
 	})
+	// While the server is still up, verify the trace export over the real
+	// HTTP listener: when tracing is on, /api/trace/export must serve
+	// valid Chrome/Perfetto JSON.
+	var exportErr error
+	if err == nil && rep.TraceSpans > 0 {
+		exportErr = checkTraceExport(srv, stdout)
+	}
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	serr := srv.Shutdown(shutCtx)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "selftest: sent %d, accepted %d, dropped %d, %d jumps, %d alerts, %d parity mismatches in %v\n",
+	if exportErr != nil {
+		return exportErr
+	}
+	fmt.Fprintf(stdout, "selftest: sent %d, accepted %d, dropped %d, %d jumps, %d alerts, %d parity mismatches, %d recorder failures, %d trace spans in %v\n",
 		rep.SamplesSent, rep.Accepted, rep.Dropped, rep.Jumps, rep.Alerts,
-		len(rep.ParityMismatches), rep.Elapsed.Round(time.Millisecond))
+		len(rep.ParityMismatches), len(rep.RecorderFailures), rep.TraceSpans,
+		rep.Elapsed.Round(time.Millisecond))
 	if !rep.Ok() {
-		return fmt.Errorf("selftest failed: accepted %d/%d, dropped %d, parity mismatches %v",
-			rep.Accepted, rep.SamplesSent, rep.Dropped, rep.ParityMismatches)
+		return fmt.Errorf("selftest failed: accepted %d/%d, dropped %d, parity mismatches %v, recorder failures %v",
+			rep.Accepted, rep.SamplesSent, rep.Dropped, rep.ParityMismatches, rep.RecorderFailures)
 	}
 	fmt.Fprintln(stdout, "selftest: PASS")
 	return serr
+}
+
+// checkTraceExport fetches /api/trace/export from the live HTTP listener
+// and verifies it is valid JSON with at least one event.
+func checkTraceExport(srv *agingmf.IngestServer, stdout io.Writer) error {
+	addr := srv.HTTPAddr()
+	if addr == nil {
+		return nil // no API listener configured; nothing to verify
+	}
+	resp, err := http.Get("http://" + addr.String() + "/api/trace/export")
+	if err != nil {
+		return fmt.Errorf("selftest: trace export: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("selftest: trace export read: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("selftest: trace export status %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("selftest: trace export is not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("selftest: trace export has no events")
+	}
+	fmt.Fprintf(stdout, "selftest: trace export ok (%d events, %d bytes)\n",
+		len(doc.TraceEvents), len(body))
+	return nil
 }

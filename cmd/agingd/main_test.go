@@ -66,6 +66,33 @@ func TestSelfTestMode(t *testing.T) {
 	}
 }
 
+// TestSelfTestModeTraced runs the same verification with the pipeline
+// tracer and flight recorder on: parity must hold on the annotated path,
+// every source's recorder tail must match the wire trace, and the live
+// /api/trace/export endpoint must serve valid Perfetto JSON.
+func TestSelfTestModeTraced(t *testing.T) {
+	var buf syncBuf
+	err := run([]string{
+		"-listen", "127.0.0.1:0", "-http", "127.0.0.1:0",
+		"-trace-sample", "1/16", "-flight-recorder-depth", "32",
+		"-selftest", "-selftest-sources", "24", "-selftest-samples", "48",
+		"-selftest-conns", "5", "-seed", "11",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("traced selftest failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "selftest: PASS") {
+		t.Errorf("no PASS verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "trace export ok") {
+		t.Errorf("no trace export verification:\n%s", out)
+	}
+	if strings.Contains(out, " 0 trace spans") {
+		t.Errorf("tracer recorded nothing:\n%s", out)
+	}
+}
+
 // sourceStatus polls the daemon's HTTP API for one source's sample count.
 func sourceSamples(t *testing.T, api, id string) (int64, bool) {
 	t.Helper()

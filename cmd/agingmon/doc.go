@@ -29,7 +29,13 @@
 // Prometheus /metrics endpoint (plus /healthz and, with -pprof,
 // net/http/pprof) while the run is live, and -events appends structured
 // JSONL records (jump, phase_change, crash, bad_sample, stalled, ...) to
-// a file, "-" meaning stdout.
+// a file, "-" meaning stdout. -trace-sample 1/N additionally samples
+// pipeline stage spans (source.next, the stream stages, detect) onto
+// GET /api/trace/export in Chrome/Perfetto JSON and into the
+// agingmf_pipeline_stage_seconds histograms, and -flight-recorder-depth
+// keeps the last N annotated samples on GET /api/trace/{source} (the
+// source label is "sim" or "stream" to match the mode) — both endpoints
+// ride the -metrics-addr listener.
 //
 // Usage:
 //
@@ -38,4 +44,5 @@
 //	         [-state FILE] [-metrics-addr HOST:PORT] [-pprof]
 //	         [-events FILE] [-tick-every DURATION]
 //	         [-max-bad-samples N] [-stall-timeout DURATION]
+//	         [-trace-sample 1/N] [-flight-recorder-depth N]
 package main

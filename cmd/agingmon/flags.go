@@ -22,6 +22,8 @@ type options struct {
 	tickEvery    time.Duration
 	maxBad       int
 	stallTimeout time.Duration
+	traceSample  string
+	flightDepth  int
 }
 
 // newFlagSet declares the agingmon flag surface — names and defaults are
@@ -44,5 +46,7 @@ func newFlagSet(opt *options) *flag.FlagSet {
 	fs.DurationVar(&opt.tickEvery, "tick-every", 0, "pace simulation ticks in wall time (0 = as fast as possible)")
 	fs.IntVar(&opt.maxBad, "max-bad-samples", 100, "tolerate this many malformed stdin samples before aborting (0 = abort on the first, negative = unlimited)")
 	fs.DurationVar(&opt.stallTimeout, "stall-timeout", 0, `declare the stream "stalled" (503 on /healthz, stalled event) when no sample arrives within this long (0 disables)`)
+	fs.StringVar(&opt.traceSample, "trace-sample", "0", `pipeline trace sampling: "1/N" or "N" traces one item in N, "0" disables; spans feed /api/trace/export and the agingmf_pipeline_stage_seconds histograms (needs -metrics-addr to serve them)`)
+	fs.IntVar(&opt.flightDepth, "flight-recorder-depth", 64, "flight recorder: retain the last N annotated samples, served by /api/trace/{source} (0 disables)")
 	return fs
 }

@@ -13,21 +13,23 @@ func TestFlagSurface(t *testing.T) {
 	var opt options
 	got := runtime.FlagDefaults(newFlagSet(&opt))
 	want := map[string]string{
-		"seed":            "1",
-		"ram-mib":         "64",
-		"swap-mib":        "24",
-		"leak":            "3.5",
-		"max-ticks":       "60000",
-		"history-limit":   "4096",
-		"sim":             "true",
-		"stdin":           "false",
-		"state":           "",
-		"metrics-addr":    "",
-		"pprof":           "false",
-		"events":          "",
-		"tick-every":      "0s",
-		"max-bad-samples": "100",
-		"stall-timeout":   "0s",
+		"seed":                  "1",
+		"ram-mib":               "64",
+		"swap-mib":              "24",
+		"leak":                  "3.5",
+		"max-ticks":             "60000",
+		"history-limit":         "4096",
+		"sim":                   "true",
+		"stdin":                 "false",
+		"state":                 "",
+		"metrics-addr":          "",
+		"pprof":                 "false",
+		"events":                "",
+		"tick-every":            "0s",
+		"max-bad-samples":       "100",
+		"stall-timeout":         "0s",
+		"trace-sample":          "0",
+		"flight-recorder-depth": "64",
 	}
 	for name, def := range want {
 		gotDef, ok := got[name]

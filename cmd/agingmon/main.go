@@ -2,9 +2,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"time"
 
@@ -12,6 +14,7 @@ import (
 	"agingmf/internal/ingest"
 	"agingmf/internal/runtime"
 	"agingmf/internal/source"
+	"agingmf/internal/trace"
 )
 
 func main() {
@@ -41,6 +44,22 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		tel.Events.Warn("stalled", agingmf.EventFields{"gap_ms": gap.Milliseconds()})
 	})
 	defer wd.Stop()
+
+	// Pipeline tracing mirrors agingd's: sampled source.next/stream/detect
+	// spans on /api/trace/export, and a flight recorder of the last N
+	// annotated samples on /api/trace/{source}. agingmon monitors a single
+	// stream, so the one recorder lives under the mode's label.
+	every, err := agingmf.ParseTraceSampleRate(opt.traceSample)
+	if err != nil {
+		return fmt.Errorf("-trace-sample: %w", err)
+	}
+	tr := trace.New(trace.Config{SampleEvery: every, Obs: tel.Reg})
+	fr := trace.NewFlightRecorder(opt.flightDepth)
+	srcLabel := "sim"
+	if opt.stdin {
+		srcLabel = "stream"
+	}
+	mountTrace(tel, tr, fr, srcLabel)
 	if err := tel.Serve(wd.Healthy, stdout); err != nil {
 		return err
 	}
@@ -61,9 +80,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	defer stop()
 
 	if opt.stdin {
-		err = monitorStream(ctx, stdin, stdout, mon, tel, wd, opt.maxBad)
+		err = monitorStream(ctx, stdin, stdout, mon, tel, wd, tr, fr, opt.maxBad)
 	} else {
-		err = monitorSimulation(ctx, stdout, mon, tel, wd, opt)
+		err = monitorSimulation(ctx, stdout, mon, tel, wd, tr, fr, opt)
 	}
 	// The monitor state is saved on every exit path — including the
 	// interrupt/error/signal ones — so a malformed sample, a failed run or
@@ -72,13 +91,52 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	return errors.Join(err, saveMonitor(sm), tel.Events.Err())
 }
 
+// mountTrace registers the trace endpoints on the telemetry listener
+// (harmless no-ops without -metrics-addr). The export endpoint serves
+// even a nil tracer — WriteChromeTrace emits an empty event list — so
+// curl against a tracing-off daemon answers instead of 404ing.
+func mountTrace(tel *runtime.Telemetry, tr *trace.Tracer, fr *trace.FlightRecorder, srcLabel string) {
+	tel.Mount("GET /api/trace/export", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = tr.WriteChromeTrace(w)
+	}))
+	tel.Mount("GET /api/trace/{source}", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fr == nil || r.PathValue("source") != srcLabel {
+			http.Error(w, "unknown source", http.StatusNotFound)
+			return
+		}
+		recs := fr.Snapshot()
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(map[string]any{
+			"source":  srcLabel,
+			"depth":   len(recs),
+			"records": recs,
+		})
+	}))
+}
+
+// nextTraced draws the item's trace sequence, runs one Next call under a
+// sampled source.next span, and returns the sequence so the sink's
+// stream/detect spans ride the same sampled unit.
+func nextTraced(ctx context.Context, tr *trace.Tracer, label string, next func(context.Context) (source.Item, error)) (source.Item, uint64, error) {
+	seq := tr.Sample()
+	if seq == 0 {
+		it, err := next(ctx)
+		return it, 0, err
+	}
+	start := time.Now()
+	it, err := next(ctx)
+	tr.Record(trace.StageSourceNext, label, 0, seq, start, time.Since(start))
+	return it, seq, err
+}
+
 // monitorStream feeds counter samples from a CSV-ish stream into the
 // monitor, printing events as they fire. Blank lines and lines starting
 // with '#' are skipped. Malformed lines are counted and skipped (event
 // bad_sample, counter agingmf_monitor_bad_samples_total) — fatal only
 // once more than maxBad of them arrive (negative = unlimited). A signal
 // drains the stream gracefully.
-func monitorStream(ctx context.Context, stdin io.Reader, stdout io.Writer, mon *agingmf.DualMonitor, tel *runtime.Telemetry, wd *agingmf.Watchdog, maxBad int) error {
+func monitorStream(ctx context.Context, stdin io.Reader, stdout io.Writer, mon *agingmf.DualMonitor, tel *runtime.Telemetry, wd *agingmf.Watchdog, tr *trace.Tracer, fr *trace.FlightRecorder, maxBad int) error {
 	badSamples := tel.Reg.Counter("agingmf_monitor_bad_samples_total",
 		"Malformed stdin samples skipped by the monitor.")
 	src := ingest.NewLineSource(stdin)
@@ -86,6 +144,9 @@ func monitorStream(ctx context.Context, stdin io.Reader, stdout io.Writer, mon *
 	sample, bad := 0, 0
 	snk := source.NewMonitorSink(mon, source.MonitorSinkConfig{
 		Watchdog: wd,
+		Tracer:   tr,
+		Recorder: fr,
+		Source:   "stream",
 		OnResume: func(at int) {
 			tel.Events.Info("resumed", agingmf.EventFields{"sample": at})
 		},
@@ -99,11 +160,11 @@ func monitorStream(ctx context.Context, stdin io.Reader, stdout io.Writer, mon *
 		},
 	})
 	for {
-		it, err := src.Next(ctx)
+		it, seq, err := nextTraced(ctx, tr, "stream", src.Next)
 		var ble *source.BadLineError
 		switch {
 		case err == nil:
-			_ = snk.Write(it)
+			_ = snk.WriteSampled(it, seq)
 			sample += len(it.Pairs)
 		case errors.As(err, &ble):
 			bad++
@@ -132,7 +193,7 @@ func monitorStream(ctx context.Context, stdin io.Reader, stdout io.Writer, mon *
 }
 
 // monitorSimulation runs the built-in simulated machine under stress.
-func monitorSimulation(ctx context.Context, stdout io.Writer, mon *agingmf.DualMonitor, tel *runtime.Telemetry, wd *agingmf.Watchdog, opt options) error {
+func monitorSimulation(ctx context.Context, stdout io.Writer, mon *agingmf.DualMonitor, tel *runtime.Telemetry, wd *agingmf.Watchdog, tr *trace.Tracer, fr *trace.FlightRecorder, opt options) error {
 	mcfg := agingmf.DefaultMachineConfig()
 	mcfg.RAMPages = opt.ramMiB << 20 / mcfg.PageSize
 	mcfg.SwapPages = opt.swapMiB << 20 / mcfg.PageSize
@@ -153,6 +214,9 @@ func monitorSimulation(ctx context.Context, stdout io.Writer, mon *agingmf.DualM
 	src := source.NewSimFromParts(machine, driver, opt.maxTicks, 1)
 	snk := source.NewMonitorSink(mon, source.MonitorSinkConfig{
 		Watchdog: wd,
+		Tracer:   tr,
+		Recorder: fr,
+		Source:   "sim",
 		OnJumps: func(_ int, jumps []agingmf.DualJump) {
 			for _, j := range jumps {
 				reportJump(stdout, tel.Events, "tick", src.Ticks()-1, j)
@@ -166,7 +230,7 @@ func monitorSimulation(ctx context.Context, stdout io.Writer, mon *agingmf.DualM
 	})
 	for src != nil { // nil when maxTicks < 1: nothing to monitor
 		src.TickEvery = opt.tickEvery
-		it, err := src.Next(ctx)
+		it, seq, err := nextTraced(ctx, tr, "sim", src.Next)
 		if err == io.EOF {
 			break
 		}
@@ -183,7 +247,7 @@ func monitorSimulation(ctx context.Context, stdout io.Writer, mon *agingmf.DualM
 			fmt.Fprintf(stdout, "tick %6d  CRASH (%v)\n", it.CrashTick, it.Crash)
 			break
 		}
-		_ = snk.Write(it)
+		_ = snk.WriteSampled(it, seq)
 	}
 	fmt.Fprintf(stdout, "final phase: %v (%d jumps across both counters)\n",
 		mon.Phase(), len(mon.Jumps()))

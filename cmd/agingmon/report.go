@@ -29,9 +29,10 @@ func loadOrNewMonitor(sm *runtime.SnapshotManager, limit int, stdout io.Writer) 
 	return agingmf.NewDualMonitor(monCfg)
 }
 
-// saveMonitor persists the monitor when a state file is configured.
+// saveMonitor stops any periodic snapshot loop and persists the monitor
+// when a state file is configured.
 func saveMonitor(sm *runtime.SnapshotManager) error {
-	if err := sm.Flush(); err != nil {
+	if err := sm.StopAndFlush(); err != nil {
 		return fmt.Errorf("save state: %w", err)
 	}
 	return nil

@@ -183,3 +183,93 @@ func TestRunEventsOpenFailure(t *testing.T) {
 		t.Errorf("unopenable events path not reported, got: %v", err)
 	}
 }
+
+// TestRunServesTraceEndpoints drives a traced simulation run and checks
+// the observability surface that rides the metrics listener: the flight
+// recorder under the mode's source label, the Chrome/Perfetto export,
+// and the pipeline stage histograms.
+func TestRunServesTraceEndpoints(t *testing.T) {
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-sim", "-seed", "1", "-max-ticks", "4000",
+			"-tick-every", "1ms", "-metrics-addr", "127.0.0.1:0",
+			"-trace-sample", "1/8", "-flight-recorder-depth", "16",
+		}, nil, out)
+	}()
+	var base string
+	for i := 0; i < 500 && base == ""; i++ {
+		if m := metricsURLPattern.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if base == "" {
+		t.Fatalf("bound metrics address never printed:\n%s", out.String())
+	}
+
+	// Poll until the recorder has content: the run is live, so the first
+	// scrape can race the first item.
+	var rec struct {
+		Source  string           `json:"source"`
+		Depth   int              `json:"depth"`
+		Records []map[string]any `json:"records"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for rec.Depth == 0 && time.Now().Before(deadline) {
+		if err := json.Unmarshal([]byte(scrape(t, base+"/api/trace/sim")), &rec); err != nil {
+			t.Fatalf("recorder endpoint not JSON: %v", err)
+		}
+		if rec.Depth == 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if rec.Source != "sim" || rec.Depth == 0 || len(rec.Records) != rec.Depth {
+		t.Errorf("recorder = source %q depth %d (%d records), want sim with content",
+			rec.Source, rec.Depth, len(rec.Records))
+	}
+
+	var export struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	for len(export.TraceEvents) == 0 && time.Now().Before(deadline) {
+		if err := json.Unmarshal([]byte(scrape(t, base+"/api/trace/export")), &export); err != nil {
+			t.Fatalf("trace export not JSON: %v", err)
+		}
+		if len(export.TraceEvents) == 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	names := map[string]bool{}
+	for _, ev := range export.TraceEvents {
+		if n, ok := ev["name"].(string); ok {
+			names[n] = true
+		}
+	}
+	for _, want := range []string{"source.next", "detect"} {
+		if !names[want] {
+			t.Errorf("export has no %q span (saw %v)", want, names)
+		}
+	}
+
+	if got := scrape(t, base+"/api/trace/export"); !strings.Contains(got, "displayTimeUnit") {
+		t.Errorf("export missing Chrome trace envelope: %.120s", got)
+	}
+	resp, err := http.Get(base + "/api/trace/no-such-source")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown source label = status %d, want 404", resp.StatusCode)
+	}
+	if m := scrape(t, base+"/metrics"); !strings.Contains(m, "agingmf_pipeline_stage_seconds") {
+		t.Error("stage histograms absent from /metrics")
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

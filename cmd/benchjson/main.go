@@ -1,0 +1,135 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into a machine-readable JSON snapshot on stdout, so benchmark numbers
+// can be committed and diffed across changes instead of living in
+// scrollback. It understands the standard text format: `pkg:`,
+// `goos:`/`goarch:`/`cpu:` headers and `BenchmarkName-P  N  X ns/op ...`
+// result lines; everything else (PASS, ok, test log noise) is ignored.
+//
+// Usage:
+//
+//	go test -run XXX -bench . -benchmem ./... | benchjson > BENCH_$(date +%F).json
+//
+// The `make bench-json` target runs the curated hot-path subset.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -P GOMAXPROCS suffix stripped
+	// (sub-benchmark slashes preserved).
+	Name string `json:"name"`
+	// Package is the import path from the preceding pkg: header ("" when
+	// the input carried none, e.g. a single-package run).
+	Package string `json:"package"`
+	// Iterations is the measured b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit -> value for every "value unit" pair on the line
+	// (ns/op, B/op, allocs/op, plus any b.ReportMetric extras).
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Snapshot is the output document.
+type Snapshot struct {
+	Date       string      `json:"date"`
+	Go         string      `json:"go"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(stdin io.Reader, stdout io.Writer) error {
+	snap, err := parse(stdin)
+	if err != nil {
+		return err
+	}
+	if len(snap.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark result lines on stdin (pipe `go test -bench` output in)")
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// parse reads the text protocol. Parsing is strict only on lines that
+// claim to be benchmark results: a Benchmark... line that does not parse
+// is an error (silently dropping results would corrupt the snapshot),
+// while all surrounding chatter is skipped.
+func parse(r io.Reader) (Snapshot, error) {
+	snap := Snapshot{
+		Date:   time.Now().UTC().Format("2006-01-02"),
+		Go:     runtime.Version(),
+		GOOS:   runtime.GOOS,
+		GOARCH: runtime.GOARCH,
+	}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "goos: "):
+			snap.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			snap.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			snap.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			b, err := parseResult(line, pkg)
+			if err != nil {
+				return snap, err
+			}
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	return snap, sc.Err()
+}
+
+// parseResult decodes one result line:
+//
+//	BenchmarkShardRouter-8   754396   1592 ns/op   0 B/op   0 allocs/op
+func parseResult(line, pkg string) (Benchmark, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || len(fields)%2 != 0 {
+		return Benchmark{}, fmt.Errorf("malformed result line: %q", line)
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, fmt.Errorf("iteration count in %q: %w", line, err)
+	}
+	b := Benchmark{Name: name, Package: pkg, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, fmt.Errorf("metric value in %q: %w", line, err)
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, nil
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: agingmf
+cpu: AMD EPYC 7J13 64-Core Processor
+BenchmarkMonitorAdd-8   	  754396	      1592 ns/op	      12 B/op	       0 allocs/op
+PASS
+ok  	agingmf	1.374s
+goos: linux
+goarch: amd64
+pkg: agingmf/internal/ingest
+BenchmarkIngestTraceOverhead/off-8         	     100	     91042 ns/op	        355.6 ns/sample
+BenchmarkIngestTraceOverhead/sampled=1024-8	     100	     90100 ns/op	        352.0 ns/sample
+PASS
+ok  	agingmf/internal/ingest	0.412s
+`
+
+func TestRunConvertsBenchOutput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(out.String()), &snap); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, out.String())
+	}
+	if snap.Date == "" || snap.Go == "" || snap.GOOS != "linux" || snap.GOARCH != "amd64" {
+		t.Errorf("bad envelope: %+v", snap)
+	}
+	if snap.CPU != "AMD EPYC 7J13 64-Core Processor" {
+		t.Errorf("CPU = %q", snap.CPU)
+	}
+	if len(snap.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(snap.Benchmarks))
+	}
+	b := snap.Benchmarks[0]
+	if b.Name != "BenchmarkMonitorAdd" || b.Package != "agingmf" || b.Iterations != 754396 {
+		t.Errorf("first benchmark = %+v", b)
+	}
+	if b.Metrics["ns/op"] != 1592 || b.Metrics["B/op"] != 12 || b.Metrics["allocs/op"] != 0 {
+		t.Errorf("first metrics = %v", b.Metrics)
+	}
+	sub := snap.Benchmarks[1]
+	if sub.Name != "BenchmarkIngestTraceOverhead/off" || sub.Package != "agingmf/internal/ingest" {
+		t.Errorf("sub-benchmark = %+v", sub)
+	}
+	if sub.Metrics["ns/sample"] != 355.6 {
+		t.Errorf("custom metric = %v", sub.Metrics)
+	}
+}
+
+func TestRunRejectsEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("PASS\nok  \tagingmf\t0.1s\n"), &out); err == nil {
+		t.Error("no result lines accepted silently")
+	}
+}
+
+func TestParseResultMalformed(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkX-8",
+		"BenchmarkX-8 notanumber 12 ns/op",
+		"BenchmarkX-8 100 twelve ns/op",
+	} {
+		if _, err := parseResult(line, ""); err == nil {
+			t.Errorf("%q parsed without error", line)
+		}
+	}
+}
+
+func TestParseResultKeepsUnsuffixedName(t *testing.T) {
+	b, err := parseResult("BenchmarkSolo 100 5 ns/op", "p")
+	if err != nil {
+		t.Fatalf("parseResult: %v", err)
+	}
+	if b.Name != "BenchmarkSolo" {
+		t.Errorf("name = %q", b.Name)
+	}
+}

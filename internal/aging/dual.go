@@ -96,6 +96,28 @@ func (d *DualMonitor) AddBatch(pairs [][2]float64) []DualJump {
 	return fired
 }
 
+// AddTraced is Add with per-stage timing: a non-nil tm accumulates the
+// stream-stage push time of both counter streams. Detection state is
+// byte-for-byte identical to Add (timing only reads the clock), so the
+// fleet daemon's traced path preserves the parity the self-test asserts.
+func (d *DualMonitor) AddTraced(freeMemory, usedSwap float64, tm *StageNanos) []DualJump {
+	var fired []DualJump
+	if j, ok := d.free.AddTraced(freeMemory, tm); ok {
+		fired = append(fired, DualJump{Counter: CounterFreeMemory, Jump: j})
+	}
+	if j, ok := d.swap.AddTraced(usedSwap, tm); ok {
+		fired = append(fired, DualJump{Counter: CounterUsedSwap, Jump: j})
+	}
+	d.jumps = append(d.jumps, fired...)
+	return fired
+}
+
+// LastStats returns the latest detector-input statistics of the two
+// streams (see Monitor.LastStat) — the flight recorder's score columns.
+func (d *DualMonitor) LastStats() (freeStat, swapStat float64) {
+	return d.free.LastStat(), d.swap.LastStat()
+}
+
 // Phase returns the most advanced phase across the two counters.
 func (d *DualMonitor) Phase() Phase {
 	fp, sp := d.free.Phase(), d.swap.Phase()

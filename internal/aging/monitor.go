@@ -269,6 +269,7 @@ type Monitor struct {
 	raw        []float64 // counter samples (tail only in bounded mode)
 	alphas     []float64 // Hölder trajectory (lagging MaxRadius behind raw)
 	vols       []float64 // moving std of alphas
+	lastStat   float64   // latest detector-input statistic (not persisted)
 
 	jumps []Jump
 
@@ -356,30 +357,90 @@ func (m *Monitor) addBatch(xs []float64) []Jump {
 	return fired
 }
 
-// addSample is the un-instrumented Add pipeline: push the sample through
-// the stream stages in order, record emitted values in the retained
-// histories, and turn a detector alarm into a Jump.
-func (m *Monitor) addSample(x float64) (Jump, bool) {
+// StageNanos accumulates the per-stage push time of the monitor pipeline
+// for one traced unit — the stream-stage span points of the sampled
+// tracer (internal/trace maps the fields onto its Stage indices). A nil
+// *StageNanos disables timing, which is the hot path.
+type StageNanos struct {
+	Est, Vol, Std, Gate int64
+}
+
+// AddTraced is Add with per-stage timing: when tm is non-nil, the time
+// spent in each stream-stage push is accumulated into it. The detection
+// arithmetic is identical to Add — timing only reads the clock around
+// the stage calls — so monitor state stays byte-for-byte equal to the
+// untraced path (asserted by TestAddTracedParity).
+func (m *Monitor) AddTraced(x float64, tm *StageNanos) (Jump, bool) {
+	if m.met == nil {
+		return m.addSampleT(x, tm)
+	}
+	start := time.Now()
+	j, fired := m.addSampleT(x, tm)
+	m.observeAdd(start, fired)
+	return j, fired
+}
+
+// LastStat returns the latest detector-input statistic of the stream
+// (the value pushed into the gated detector: the moving volatility, or
+// its z-score for standardizing detectors). Zero until the detector
+// baseline has calibrated. It is diagnostic state for the flight
+// recorder and is deliberately not part of SaveState snapshots.
+func (m *Monitor) LastStat() float64 { return m.lastStat }
+
+// addSample is the un-instrumented Add pipeline.
+func (m *Monitor) addSample(x float64) (Jump, bool) { return m.addSampleT(x, nil) }
+
+// addSampleT pushes the sample through the stream stages in order,
+// records emitted values in the retained histories, and turns a detector
+// alarm into a Jump. A non-nil tm times each stage push; the nil form is
+// branch-only and is what every hot path compiles down to.
+func (m *Monitor) addSampleT(x float64, tm *StageNanos) (Jump, bool) {
 	m.raw = append(m.raw, x)
 	m.seen++
 	defer m.trimHistory()
+	var t0 time.Time
+	if tm != nil {
+		t0 = time.Now()
+	}
 	alpha, ok := m.est.Push(x)
+	if tm != nil {
+		tm.Est += time.Since(t0).Nanoseconds()
+	}
 	if !ok {
 		return Jump{}, false
 	}
 	m.alphas = append(m.alphas, alpha)
 	m.alphasSeen++
+	if tm != nil {
+		t0 = time.Now()
+	}
 	vol, ok := m.vol.Push(alpha)
+	if tm != nil {
+		tm.Vol += time.Since(t0).Nanoseconds()
+	}
 	if !ok {
 		return Jump{}, false
 	}
 	m.vols = append(m.vols, vol)
 	m.volsSeen++
+	if tm != nil {
+		t0 = time.Now()
+	}
 	stat, ok := m.std.Push(vol)
+	if tm != nil {
+		tm.Std += time.Since(t0).Nanoseconds()
+	}
 	if !ok {
 		return Jump{}, false // still calibrating the baseline
 	}
+	m.lastStat = stat
+	if tm != nil {
+		t0 = time.Now()
+	}
 	alarm, fired := m.gate.Push(stat)
+	if tm != nil {
+		tm.Gate += time.Since(t0).Nanoseconds()
+	}
 	if !fired {
 		return Jump{}, false
 	}

@@ -12,6 +12,7 @@ import (
 	"agingmf/internal/aging"
 	"agingmf/internal/ingest"
 	"agingmf/internal/obs"
+	"agingmf/internal/trace"
 )
 
 // IngestFaults selects the faults an ingest campaign injects into the
@@ -36,6 +37,18 @@ type IngestFaults struct {
 	// drains its queue). Its alerts must be dropped and counted without
 	// backpressuring ingestion.
 	AlertSinkOutage bool
+	// CorruptEvery spikes every CorruptEvery-th sample of each trace with
+	// a wild sensor value (0 disables). Corruption happens at trace
+	// generation — the parity reference replays the same values — so the
+	// campaign checks the pipeline carries wild inputs faithfully and the
+	// flight recorder shows them, not that the detector hides them.
+	CorruptEvery int
+	// StallEvery freezes every StallEvery-th producer for StallFor near
+	// the end of its trace (0 disables) — a wedged sensor loop. The wall
+	// gap must land in that source's flight-recorder tail.
+	StallEvery int
+	// StallFor is the injected stall duration (default 50ms).
+	StallFor time.Duration
 }
 
 // IngestConfig parameterizes one ingest chaos campaign.
@@ -56,6 +69,12 @@ type IngestConfig struct {
 	// Obs and Events receive the daemon's telemetry. Nil disables.
 	Obs    *obs.Registry
 	Events *obs.Events
+	// TraceSampleEvery turns on the daemon's pipeline tracer for the
+	// campaign (one unit in N; 0 disables).
+	TraceSampleEvery int
+	// FlightRecorderDepth keeps each source's last N annotated samples;
+	// the report captures every ring before shutdown (0 disables).
+	FlightRecorderDepth int
 }
 
 func (c IngestConfig) withDefaults() IngestConfig {
@@ -70,6 +89,9 @@ func (c IngestConfig) withDefaults() IngestConfig {
 	}
 	if c.Faults.SlowEvery > 0 && c.Faults.SlowDelay <= 0 {
 		c.Faults.SlowDelay = 200 * time.Microsecond
+	}
+	if c.Faults.StallEvery > 0 && c.Faults.StallFor <= 0 {
+		c.Faults.StallFor = 50 * time.Millisecond
 	}
 	return c
 }
@@ -95,10 +117,18 @@ type IngestReport struct {
 	// overflows are counted, ingestion never blocks.
 	AlertsPublished     uint64
 	AlertsDroppedBySink uint64
+	// Corrupted counts injected wild sensor values; Stalls counts
+	// injected producer freezes.
+	Corrupted int
+	Stalls    int
 	// ParityMismatches lists sources whose final monitor state differs
 	// from a single-process monitor fed the same trace — must be empty
 	// no matter what faults ran.
 	ParityMismatches []string
+	// FlightRecords is each source's flight-recorder tail captured before
+	// shutdown (nil unless FlightRecorderDepth > 0) — the campaign's
+	// forensic record that faults land in the affected source's ring.
+	FlightRecords map[string][]trace.Record
 }
 
 // Ok reports whether the daemon degraded gracefully: nothing lost,
@@ -159,15 +189,17 @@ func RunIngest(ctx context.Context, cfg IngestConfig) (IngestReport, error) {
 	if f.MalformedRate < 0 || f.MalformedRate > 1 {
 		return IngestReport{}, fmt.Errorf("malformed rate %v: %w", f.MalformedRate, ErrBadConfig)
 	}
-	if f.DisconnectEvery < 0 || f.SlowEvery < 0 {
+	if f.DisconnectEvery < 0 || f.SlowEvery < 0 || f.CorruptEvery < 0 || f.StallEvery < 0 {
 		return IngestReport{}, fmt.Errorf("negative fault interval: %w", ErrBadConfig)
 	}
 
 	srv, err := ingest.NewServer(ingest.ServerConfig{
 		Registry: ingest.Config{
-			Monitor: cfg.Monitor,
-			Obs:     cfg.Obs,
-			Events:  cfg.Events,
+			Monitor:             cfg.Monitor,
+			Obs:                 cfg.Obs,
+			Events:              cfg.Events,
+			TraceSampleEvery:    cfg.TraceSampleEvery,
+			FlightRecorderDepth: cfg.FlightRecorderDepth,
 		},
 		TCPAddr:     "127.0.0.1:0",
 		MaxBadLines: -1, // the flood is the experiment; don't evict producers
@@ -197,6 +229,7 @@ func RunIngest(ctx context.Context, cfg IngestConfig) (IngestReport, error) {
 		traces[i] = ingestTrace(cfg.Seed, i, cfg.Samples)
 		rep.SamplesSent += len(traces[i])
 	}
+	rep.Corrupted = corruptTraces(traces, f.CorruptEvery)
 
 	stats := make([]producerStats, cfg.Sources)
 	var wg sync.WaitGroup
@@ -215,6 +248,7 @@ func RunIngest(ctx context.Context, cfg IngestConfig) (IngestReport, error) {
 		}
 		rep.Malformed += st.malformed
 		rep.Disconnects += st.disconnects
+		rep.Stalls += st.stalls
 	}
 
 	// Drain everything queued into the monitors, then read the verdicts.
@@ -229,6 +263,15 @@ func RunIngest(ctx context.Context, cfg IngestConfig) (IngestReport, error) {
 	rep.AlertsPublished = reg.Alerts().Total()
 	if deadSink != nil {
 		rep.AlertsDroppedBySink = deadSink.Dropped()
+	}
+	if cfg.FlightRecorderDepth > 0 {
+		rep.FlightRecords = make(map[string][]trace.Record, cfg.Sources)
+		for i := 0; i < cfg.Sources; i++ {
+			id := ingestSourceID(i)
+			if recs, err := reg.FlightRecords(id); err == nil {
+				rep.FlightRecords[id] = recs
+			}
+		}
 	}
 
 	for i := range traces {
@@ -259,7 +302,8 @@ func RunIngest(ctx context.Context, cfg IngestConfig) (IngestReport, error) {
 	cfg.Events.Info("chaos_ingest_done", obs.Fields{
 		"seed": cfg.Seed, "sources": rep.Sources, "sent": rep.SamplesSent,
 		"accepted": rep.Accepted, "malformed": rep.Malformed,
-		"disconnects": rep.Disconnects, "parity_mismatches": len(rep.ParityMismatches),
+		"disconnects": rep.Disconnects, "corrupted": rep.Corrupted,
+		"stalls": rep.Stalls, "parity_mismatches": len(rep.ParityMismatches),
 	})
 	return rep, nil
 }
@@ -267,21 +311,47 @@ func RunIngest(ctx context.Context, cfg IngestConfig) (IngestReport, error) {
 // ingestSourceID names campaign producer i on the wire.
 func ingestSourceID(i int) string { return fmt.Sprintf("chaos-%04d", i) }
 
+// corruptTraces spikes every CorruptEvery-th sample of each trace (free
+// memory multiplied a thousandfold — a clearly wild outlier) and returns
+// how many values it touched. Both the daemon and the parity reference
+// replay the corrupted traces, so verdicts still agree exactly.
+func corruptTraces(traces [][][2]float64, every int) int {
+	if every <= 0 {
+		return 0
+	}
+	n := 0
+	for _, tr := range traces {
+		for k := every; k < len(tr); k += every {
+			tr[k][0] *= 1e3
+			n++
+		}
+	}
+	return n
+}
+
 // producerStats is what one producer injected (or the plumbing error
 // that stopped it).
 type producerStats struct {
-	malformed, disconnects int
-	err                    error
+	malformed, disconnects, stalls int
+	err                            error
 }
 
 // runIngestProducer writes one producer's trace with its faults: garbage
-// lines, mid-stream disconnects (redialing and resuming), and slow-client
-// pacing. It returns what it injected.
-func runIngestProducer(ctx context.Context, srv *ingest.Server, cfg IngestConfig, i int, trace [][2]float64) (st producerStats) {
+// lines, mid-stream disconnects (redialing and resuming), slow-client
+// pacing, and near-end stalls. It returns what it injected.
+func runIngestProducer(ctx context.Context, srv *ingest.Server, cfg IngestConfig, i int, pts [][2]float64) (st producerStats) {
 	f := cfg.Faults
 	addr := srv.TCPAddr()
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*104729 + 1))
 	slow := f.SlowEvery > 0 && i%f.SlowEvery == 0
+	// The stall lands 8 samples before the end so both sides of the wall
+	// gap sit inside even a small flight-recorder tail.
+	stallAt := -1
+	if f.StallEvery > 0 && i%f.StallEvery == 0 {
+		if stallAt = len(pts) - 8; stallAt < 1 {
+			stallAt = 1
+		}
+	}
 
 	var d net.Dialer
 	conn, err := d.DialContext(ctx, addr.Network(), addr.String())
@@ -292,10 +362,17 @@ func runIngestProducer(ctx context.Context, srv *ingest.Server, cfg IngestConfig
 	defer func() { conn.Close() }()
 
 	id := ingestSourceID(i)
-	for k, s := range trace {
+	for k, s := range pts {
 		if ctx.Err() != nil {
 			st.err = ctx.Err()
 			return st
+		}
+		if k == stallAt {
+			// A wedged sensor loop: the producer freezes mid-stream. The
+			// daemon must not care, and the wall-clock gap must be visible
+			// in this source's flight recorder.
+			time.Sleep(f.StallFor)
+			st.stalls++
 		}
 		if f.DisconnectEvery > 0 && k > 0 && k%f.DisconnectEvery == 0 {
 			conn.Close() // mid-stream hangup, then carry on where we stopped

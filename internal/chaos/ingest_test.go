@@ -91,3 +91,87 @@ func TestIngestChaosRejectsBadConfig(t *testing.T) {
 		}
 	}
 }
+
+// TestIngestChaosFaultForensics turns the flight recorder on during a
+// corrupt+stall campaign and checks the faults are visible exactly where
+// an operator would look: the corrupted value in the affected source's
+// ring, the producer stall as a wall-clock gap in its tail — with parity
+// still byte-exact, because wild inputs are data, not errors.
+func TestIngestChaosFaultForensics(t *testing.T) {
+	const (
+		sources = 4
+		samples = 64
+		depth   = 32
+	)
+	cfg := IngestConfig{
+		Seed:                7,
+		Sources:             sources,
+		Samples:             samples,
+		Monitor:             ingestTestMonitor(),
+		TraceSampleEvery:    8,
+		FlightRecorderDepth: depth,
+		Faults: IngestFaults{
+			CorruptEvery: 16,
+			StallEvery:   2,
+			StallFor:     80 * time.Millisecond,
+		},
+	}
+	rep, err := RunIngest(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("RunIngest: %v", err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("campaign degraded: %+v", rep)
+	}
+	if want := sources * 3; rep.Corrupted != want { // k = 16, 32, 48 per trace
+		t.Errorf("Corrupted = %d, want %d", rep.Corrupted, want)
+	}
+	if rep.Stalls != sources/2 { // producers 0 and 2
+		t.Errorf("Stalls = %d, want %d", rep.Stalls, sources/2)
+	}
+	if len(rep.FlightRecords) != sources {
+		t.Fatalf("captured %d flight rings, want %d", len(rep.FlightRecords), sources)
+	}
+
+	for i := 0; i < sources; i++ {
+		id := ingestSourceID(i)
+		recs := rep.FlightRecords[id]
+		if len(recs) != depth {
+			t.Fatalf("%s: ring holds %d records, want full depth %d", id, len(recs), depth)
+		}
+		// Rebuild this producer's trace the way the campaign did and check
+		// the corrupted sample at k=48 (Seq 49, inside the last 32) landed
+		// in the ring verbatim.
+		pts := ingestTrace(cfg.Seed, i, samples)
+		corruptTraces([][][2]float64{pts}, cfg.Faults.CorruptEvery)
+		const k = 48
+		found := false
+		for _, r := range recs {
+			if r.Seq == k+1 {
+				found = true
+				if r.Free != pts[k][0] || r.Swap != pts[k][1] {
+					t.Errorf("%s: ring Seq %d = (%g,%g), want corrupted (%g,%g)",
+						id, r.Seq, r.Free, r.Swap, pts[k][0], pts[k][1])
+				}
+			}
+		}
+		if !found {
+			t.Errorf("%s: corrupted sample Seq %d not in ring", id, k+1)
+		}
+		if i%cfg.Faults.StallEvery != 0 {
+			continue
+		}
+		// The stalled producers froze 8 samples before the end: their
+		// ring tail must show the wall-clock gap.
+		var maxGap time.Duration
+		for j := 1; j < len(recs); j++ {
+			if g := time.Duration(recs[j].Wall - recs[j-1].Wall); g > maxGap {
+				maxGap = g
+			}
+		}
+		if maxGap < cfg.Faults.StallFor/2 {
+			t.Errorf("%s: largest ring gap %v, want >= %v (stall invisible)",
+				id, maxGap, cfg.Faults.StallFor/2)
+		}
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package ingest
+
+// raceEnabled reports whether the race detector is compiled in; timing
+// assertions (overhead budgets) are meaningless under its ~10x slowdown.
+const raceEnabled = true

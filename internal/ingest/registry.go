@@ -36,6 +36,7 @@ import (
 	"agingmf/internal/aging"
 	"agingmf/internal/obs"
 	"agingmf/internal/resilience"
+	"agingmf/internal/trace"
 )
 
 // Ingest errors. ErrQueueFull is only returned in DropWhenFull mode; in
@@ -87,6 +88,19 @@ type Config struct {
 	// Events receives structured lifecycle events (source_created,
 	// snapshot_saved, ...). Nil disables.
 	Events *obs.Events
+	// TraceSampleEvery enables sampled pipeline tracing: one in every N
+	// ingested units (line, sample or batch) is timed through parse,
+	// queue wait, detection and alert fan-out, feeding the
+	// agingmf_pipeline_stage_seconds histograms and the span ring served
+	// by /api/trace/export. 0 disables — the hot path then pays one nil
+	// check and nothing else.
+	TraceSampleEvery int
+	// TraceSpanCapacity bounds the retained span ring (0 selects 4096).
+	TraceSpanCapacity int
+	// FlightRecorderDepth retains the last N annotated samples per source
+	// (value, score, phase, verdict, stage timings) for post-hoc
+	// inspection via /api/trace/{source}. 0 disables.
+	FlightRecorderDepth int
 }
 
 // withDefaults resolves the zero-value conveniences.
@@ -117,6 +131,12 @@ type shardMsg struct {
 	s     Sample
 	batch *Batch
 	ctl   *ctlMsg
+
+	// seq is the tracer sequence of a sampled unit (0 = untraced) and
+	// enq its enqueue time (UnixNano), so the shard can measure the
+	// queue wait explicitly. 16 bytes per message, set only when traced.
+	seq uint64
+	enq int64
 }
 
 // ctlMsg runs fn on the owning shard goroutine and closes done after.
@@ -139,6 +159,12 @@ type shard struct {
 
 	samplesCtr *obs.Counter
 	depthGauge *obs.Gauge
+
+	// Scratch reused by the annotated (traced / flight-recorded) path;
+	// owned by the shard goroutine.
+	pair1 [1][2]float64
+	recs  []trace.Record
+	tm    aging.StageNanos
 }
 
 // source is one monitored machine. The monitor and lastPhase are owned by
@@ -149,6 +175,7 @@ type source struct {
 	shardID   int
 	mon       *aging.DualMonitor
 	wd        *resilience.Watchdog
+	fr        *trace.FlightRecorder // nil unless FlightRecorderDepth > 0
 	lastPhase aging.Phase
 
 	samples  atomic.Int64
@@ -206,6 +233,7 @@ type Registry struct {
 	shards []*shard
 	met    metrics
 	bus    *AlertBus
+	tr     *trace.Tracer // nil unless TraceSampleEvery > 0
 
 	byID     sync.Map // source id → *source (read side of the status API)
 	nsources atomic.Int64
@@ -237,6 +265,11 @@ func NewRegistry(cfg Config) (*Registry, error) {
 		cfg:   cfg,
 		met:   newMetrics(cfg.Obs),
 		stopc: make(chan struct{}),
+		tr: trace.New(trace.Config{
+			SampleEvery:  cfg.TraceSampleEvery,
+			SpanCapacity: cfg.TraceSpanCapacity,
+			Obs:          cfg.Obs,
+		}),
 	}
 	r.bus = newAlertBus(cfg.AlertRing, r.met)
 	r.shards = make([]*shard, cfg.Shards)
@@ -287,6 +320,13 @@ func (r *Registry) shardIndex(id string) int {
 // full shard queue blocks (backpressure); with DropWhenFull it returns
 // ErrQueueFull and counts the drop. After Close it returns ErrClosed.
 func (r *Registry) Ingest(s Sample) error {
+	return r.ingest(s, r.tr.Sample())
+}
+
+// ingest is Ingest with the unit's tracer sequence already drawn (0 =
+// untraced) — IngestLine draws it earlier so the parse stage is covered by
+// the same sampled unit.
+func (r *Registry) ingest(s Sample, seq uint64) error {
 	if s.Source == "" {
 		return ErrNoSource
 	}
@@ -307,6 +347,9 @@ func (r *Registry) Ingest(s Sample) error {
 	}
 	sh := r.shards[r.shardIndex(s.Source)]
 	msg := shardMsg{s: s}
+	if seq != 0 {
+		msg.seq, msg.enq = seq, time.Now().UnixNano()
+	}
 	if r.cfg.DropWhenFull {
 		select {
 		case sh.ch <- msg:
@@ -333,6 +376,12 @@ func (r *Registry) Ingest(s Sample) error {
 // so verdicts are byte-for-byte identical to per-sample Ingest calls.
 // Queueing semantics match Ingest; an empty batch is a no-op.
 func (r *Registry) IngestBatch(b Batch) error {
+	return r.ingestBatch(b, r.tr.Sample())
+}
+
+// ingestBatch is IngestBatch with the batch's tracer sequence already
+// drawn (a batch is one traced unit, however many pairs it carries).
+func (r *Registry) ingestBatch(b Batch, seq uint64) error {
 	if b.Source == "" {
 		return ErrNoSource
 	}
@@ -353,6 +402,9 @@ func (r *Registry) IngestBatch(b Batch) error {
 	}
 	sh := r.shards[r.shardIndex(b.Source)]
 	msg := shardMsg{batch: &b}
+	if seq != 0 {
+		msg.seq, msg.enq = seq, time.Now().UnixNano()
+	}
 	if r.cfg.DropWhenFull {
 		select {
 		case sh.ch <- msg:
@@ -381,6 +433,13 @@ func (r *Registry) IngestLine(defaultSource, line string) error {
 	if trimmed == "" {
 		return nil
 	}
+	// One tracer draw covers the whole unit — parse, queue wait and the
+	// shard-side stages all share this sequence number.
+	seq := r.tr.Sample()
+	var parseStart time.Time
+	if seq != 0 {
+		parseStart = time.Now()
+	}
 	if strings.HasPrefix(trimmed, BatchPrefix) {
 		b, err := ParseBatch(trimmed)
 		if err != nil {
@@ -391,7 +450,10 @@ func (r *Registry) IngestLine(defaultSource, line string) error {
 		if b.Source == "" {
 			b.Source = defaultSource
 		}
-		return r.IngestBatch(b)
+		if seq != 0 {
+			r.tr.Record(trace.StageParse, b.Source, r.shardIndex(b.Source), seq, parseStart, time.Since(parseStart))
+		}
+		return r.ingestBatch(b, seq)
 	}
 	s, err := ParseLine(trimmed)
 	if err != nil {
@@ -402,7 +464,10 @@ func (r *Registry) IngestLine(defaultSource, line string) error {
 	if s.Source == "" {
 		s.Source = defaultSource
 	}
-	return r.Ingest(s)
+	if seq != 0 {
+		r.tr.Record(trace.StageParse, s.Source, r.shardIndex(s.Source), seq, parseStart, time.Since(parseStart))
+	}
+	return r.ingest(s, seq)
 }
 
 // trimLine strips whitespace and filters comment/blank lines.
@@ -485,6 +550,21 @@ func (sh *shard) sourceCount() int {
 		return true
 	})
 	return n
+}
+
+// Tracer returns the registry's pipeline tracer (nil when tracing is
+// disabled); callers use it for span export and overhead accounting.
+func (r *Registry) Tracer() *trace.Tracer { return r.tr }
+
+// FlightRecords returns one source's flight-recorder tail, oldest first.
+// It is nil (not an error) when the recorder is disabled. The recorder has
+// its own lock, so the snapshot never waits on the shard goroutine.
+func (r *Registry) FlightRecords(id string) ([]trace.Record, error) {
+	v, ok := r.byID.Load(id)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSource, id)
+	}
+	return v.(*source).fr.Snapshot(), nil
 }
 
 // MonitorState returns the SaveState blob of one source's monitor,
@@ -606,7 +686,13 @@ func (r *Registry) Close() error {
 // side (caller's duty) and the read-side index. Monitor must be fresh or
 // restored; phase mirrors are initialized from it.
 func (r *Registry) attachSource(sh *shard, id string, mon *aging.DualMonitor) *source {
-	src := &source{id: id, shardID: sh.id, mon: mon, lastPhase: mon.Phase()}
+	src := &source{
+		id:        id,
+		shardID:   sh.id,
+		mon:       mon,
+		fr:        trace.NewFlightRecorder(r.cfg.FlightRecorderDepth),
+		lastPhase: mon.Phase(),
+	}
 	src.phase.Store(int32(mon.Phase()))
 	if r.cfg.StallTimeout > 0 {
 		src.wd = resilience.NewWatchdog(r.cfg.StallTimeout, r.met.res, func(gap time.Duration) {
@@ -636,17 +722,32 @@ func (r *Registry) publishAlert(a Alert) {
 func (sh *shard) run() {
 	defer sh.reg.wg.Done()
 	for msg := range sh.ch {
-		sh.depthGauge.Set(float64(sh.depth.Add(-1)))
 		if msg.ctl != nil {
+			// Control messages are not counted on enqueue, so they must
+			// not be counted here either — decrementing would drive the
+			// depth negative and make an idle shard look permanently
+			// backlogged to the stall checker.
 			msg.ctl.fn(sh)
 			close(msg.ctl.done)
 			continue
 		}
+		sh.depthGauge.Set(float64(sh.depth.Add(-1)))
+		if msg.seq != 0 {
+			// The queue-wait span: enqueue time travels in the message so
+			// the wait is measured explicitly, not inferred from depth.
+			id := msg.s.Source
+			if msg.batch != nil {
+				id = msg.batch.Source
+			}
+			enq := time.Unix(0, msg.enq)
+			sh.reg.tr.Record(trace.StageQueue, id, sh.id, msg.seq, enq, time.Since(enq))
+			sh.reg.tr.QueueDepth(sh.id, sh.depth.Load())
+		}
 		if msg.batch != nil {
-			sh.handleBatch(msg.batch)
+			sh.handleBatch(msg.batch, msg.seq)
 			continue
 		}
-		sh.handle(msg.s)
+		sh.handle(msg.s, msg.seq)
 	}
 	for _, src := range sh.sources {
 		src.wd.Stop()
@@ -686,25 +787,32 @@ func (sh *shard) resolve(id string, n int) *source {
 
 // handle feeds one sample into its source's monitor — the single-writer
 // hot path. No locks are taken: the monitor is goroutine-owned and the
-// status mirror is atomics.
-func (sh *shard) handle(s Sample) {
+// status mirror is atomics. The untraced, unrecorded path is the original
+// direct Add; everything else goes through observe.
+func (sh *shard) handle(s Sample, seq uint64) {
 	r := sh.reg
 	src := sh.resolve(s.Source, 1)
 	if src == nil {
 		return
 	}
 	var start time.Time
-	if r.cfg.Obs != nil {
+	if r.cfg.Obs != nil || seq != 0 {
 		start = time.Now()
 	}
-	jumps := src.mon.Add(s.Free, s.Swap)
-	sh.commit(src, jumps, s.Free, s.Swap, 1, start)
+	var jumps []aging.DualJump
+	if seq == 0 && src.fr == nil {
+		jumps = src.mon.Add(s.Free, s.Swap)
+	} else {
+		sh.pair1[0] = [2]float64{s.Free, s.Swap}
+		jumps = sh.observe(src, sh.pair1[:], seq)
+	}
+	sh.commit(src, jumps, s.Free, s.Swap, 1, start, seq)
 }
 
 // handleBatch feeds a whole batch into its source's monitor with one map
 // lookup and one bookkeeping pass; verdicts are identical to feeding the
 // pairs through handle one at a time.
-func (sh *shard) handleBatch(b *Batch) {
+func (sh *shard) handleBatch(b *Batch, seq uint64) {
 	r := sh.reg
 	if len(b.Pairs) == 0 {
 		return
@@ -714,18 +822,87 @@ func (sh *shard) handleBatch(b *Batch) {
 		return
 	}
 	var start time.Time
-	if r.cfg.Obs != nil {
+	if r.cfg.Obs != nil || seq != 0 {
 		start = time.Now()
 	}
-	jumps := src.mon.AddBatch(b.Pairs)
+	var jumps []aging.DualJump
+	if seq == 0 && src.fr == nil {
+		jumps = src.mon.AddBatch(b.Pairs)
+	} else {
+		jumps = sh.observe(src, b.Pairs, seq)
+	}
 	last := b.Pairs[len(b.Pairs)-1]
-	sh.commit(src, jumps, last[0], last[1], len(b.Pairs), start)
+	sh.commit(src, jumps, last[0], last[1], len(b.Pairs), start, seq)
+}
+
+// observe is the annotated detection path, taken when the unit is traced
+// or the source has a flight recorder. It feeds the pairs one at a time —
+// verdict-identical to AddBatch — so each sample's value, score, phase and
+// jump verdict can be captured, accumulates per-stage stream timings for
+// traced units, and appends the annotated tail to the flight recorder in
+// one lock. Scratch lives on the shard, so the steady state allocates only
+// when a jump actually fires.
+func (sh *shard) observe(src *source, pairs [][2]float64, seq uint64) []aging.DualJump {
+	r := sh.reg
+	var tm *aging.StageNanos
+	if seq != 0 {
+		sh.tm = aging.StageNanos{}
+		tm = &sh.tm
+	}
+	var detectStart time.Time
+	if seq != 0 {
+		detectStart = time.Now()
+	}
+	recs := sh.recs[:0]
+	var all []aging.DualJump
+	wall := time.Now().UnixNano()
+	for _, p := range pairs {
+		js := src.mon.AddTraced(p[0], p[1], tm)
+		all = append(all, js...)
+		if src.fr != nil {
+			scoreFree, scoreSwap := src.mon.LastStats()
+			recs = append(recs, trace.Record{
+				Seq:       uint64(src.mon.SamplesSeen()),
+				Wall:      wall,
+				Free:      p[0],
+				Swap:      p[1],
+				ScoreFree: scoreFree,
+				ScoreSwap: scoreSwap,
+				Phase:     src.mon.Phase().String(),
+				Jumps:     len(js),
+			})
+		}
+	}
+	if seq != 0 {
+		end := time.Now()
+		r.tr.Record(trace.StageDetect, src.id, sh.id, seq, detectStart, end.Sub(detectStart))
+		// The stream stages ran interleaved inside detect; export each
+		// accumulated total as one span ending at the detect boundary.
+		stages := [...]int64{tm.Est, tm.Vol, tm.Std, tm.Gate}
+		for i, ns := range stages {
+			d := time.Duration(ns)
+			r.tr.Record(trace.StageEst+trace.Stage(i), src.id, sh.id, seq, end.Add(-d), d)
+		}
+		if n := len(recs); n > 0 {
+			recs[n-1].TraceSeq = seq
+			recs[n-1].StageNs[trace.StageEst] = tm.Est
+			recs[n-1].StageNs[trace.StageVol] = tm.Vol
+			recs[n-1].StageNs[trace.StageStd] = tm.Std
+			recs[n-1].StageNs[trace.StageGate] = tm.Gate
+			recs[n-1].StageNs[trace.StageDetect] = end.Sub(detectStart).Nanoseconds()
+		}
+	}
+	if len(recs) > 0 {
+		src.fr.Append(recs)
+	}
+	sh.recs = recs[:0] // keep grown capacity for the next batch
+	return all
 }
 
 // commit publishes the post-Add bookkeeping shared by the single-sample
 // and batch paths: status mirrors, counters, watchdog, and alerts for n
 // newly ingested samples whose most recent pair is (free, swap).
-func (sh *shard) commit(src *source, jumps []aging.DualJump, free, swap float64, n int, start time.Time) {
+func (sh *shard) commit(src *source, jumps []aging.DualJump, free, swap float64, n int, start time.Time, seq uint64) {
 	r := sh.reg
 	src.samples.Add(int64(n))
 	src.lastFree.Store(math.Float64bits(free))
@@ -734,6 +911,10 @@ func (sh *shard) commit(src *source, jumps []aging.DualJump, free, swap float64,
 	sh.accepted.Add(uint64(n))
 	sh.samplesCtr.Add(uint64(n))
 	r.accepted.Add(uint64(n))
+	var alertStart time.Time
+	if seq != 0 {
+		alertStart = time.Now()
+	}
 	if src.wd.Pet() {
 		src.stalled.Store(false)
 		r.publishAlert(Alert{Source: src.id, Kind: AlertResume})
@@ -760,6 +941,9 @@ func (sh *shard) commit(src *source, jumps []aging.DualJump, free, swap float64,
 		})
 		src.lastPhase = phase
 		src.phase.Store(int32(phase))
+	}
+	if seq != 0 {
+		r.tr.Record(trace.StageAlerts, src.id, sh.id, seq, alertStart, time.Since(alertStart))
 	}
 	if r.cfg.Obs != nil {
 		r.met.handleSec.Observe(time.Since(start).Seconds())

@@ -88,15 +88,25 @@ type SelfTestReport struct {
 	// Jumps and Alerts summarize what the fleet detected.
 	Jumps  int64
 	Alerts uint64
+	// RecorderFailures lists sources whose flight recorder disagrees with
+	// the wire trace (empty recorder, or a tail that does not match the
+	// last samples sent). Only populated when the registry runs with
+	// FlightRecorderDepth > 0.
+	RecorderFailures []string
+	// TraceSpans is the number of sampled pipeline spans retained by the
+	// tracer after the load (0 when tracing is disabled).
+	TraceSpans int
 	// Elapsed is the wall time of the load+verify phases.
 	Elapsed time.Duration
 }
 
 // Ok reports whether the self-test passed: every sample accepted, none
-// dropped, and every source's monitor byte-for-byte identical to its
-// single-process reference.
+// dropped, every source's monitor byte-for-byte identical to its
+// single-process reference, and — when the flight recorder is on — every
+// recorder tail consistent with the wire trace.
 func (r SelfTestReport) Ok() bool {
-	return r.Accepted == uint64(r.SamplesSent) && r.Dropped == 0 && len(r.ParityMismatches) == 0
+	return r.Accepted == uint64(r.SamplesSent) && r.Dropped == 0 &&
+		len(r.ParityMismatches) == 0 && len(r.RecorderFailures) == 0
 }
 
 // selfTestSourceID names simulated machine i on the wire.
@@ -202,7 +212,23 @@ func RunSelfTest(ctx context.Context, srv *Server, cfg SelfTestConfig) (SelfTest
 		if !bytes.Equal(got, want) {
 			rep.ParityMismatches = append(rep.ParityMismatches, id)
 		}
+		// Flight-recorder consistency: the recorder's newest record must
+		// be the trace's last sample, bit-for-bit (the wire format
+		// round-trips float64 exactly — the same property parity rests on).
+		if reg.Config().FlightRecorderDepth > 0 && len(tr) > 0 {
+			recs, err := reg.FlightRecords(id)
+			if err != nil || len(recs) == 0 {
+				rep.RecorderFailures = append(rep.RecorderFailures, id)
+				continue
+			}
+			tail, lastPair := recs[len(recs)-1], tr[len(tr)-1]
+			if tail.Free != lastPair[0] || tail.Swap != lastPair[1] ||
+				tail.Seq != uint64(len(tr)) {
+				rep.RecorderFailures = append(rep.RecorderFailures, id)
+			}
+		}
 	}
+	rep.TraceSpans = len(reg.Tracer().Spans())
 	rep.Elapsed = time.Since(start)
 	return rep, nil
 }

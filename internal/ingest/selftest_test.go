@@ -84,6 +84,36 @@ func TestSelfTestBatched(t *testing.T) {
 	}
 }
 
+// TestSelfTestTracedAndRecorded runs the self-test with both tracing and
+// the flight recorder on: parity must still hold (the annotated path is
+// verdict-neutral), the recorder tails must agree with the wire traces,
+// and the tracer must have retained spans.
+func TestSelfTestTracedAndRecorded(t *testing.T) {
+	srv := startTestServer(t, func(c *ServerConfig) {
+		c.Registry.TraceSampleEvery = 16
+		c.Registry.FlightRecorderDepth = 32
+	})
+	rep, err := RunSelfTest(context.Background(), srv, SelfTestConfig{
+		Sources:   8,
+		Samples:   64,
+		Conns:     3,
+		BatchSize: 9,
+		Seed:      7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("traced self-test failed: %+v", rep)
+	}
+	if len(rep.RecorderFailures) != 0 {
+		t.Errorf("recorder disagrees with wire traces: %v", rep.RecorderFailures)
+	}
+	if rep.TraceSpans == 0 {
+		t.Error("tracing was on but no spans were retained")
+	}
+}
+
 func TestSelfTestNeedsTCP(t *testing.T) {
 	srv, err := NewServer(ServerConfig{Registry: Config{Monitor: testMonitorConfig()}})
 	if err != nil {

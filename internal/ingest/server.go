@@ -81,6 +81,9 @@ type Server struct {
 	started     atomic.Bool
 	stopping    atomic.Bool
 	stopOnce    sync.Once
+
+	stallc        chan struct{} // closed by Shutdown; stops watchShards
+	stalledShards atomic.Int32  // shards holding queued work without progress
 }
 
 // NewServer builds a server. When cfg.SnapshotPath names an existing
@@ -164,7 +167,60 @@ func (s *Server) Start() error {
 		}()
 	}
 	s.snap.Start()
+	if s.cfg.Registry.StallTimeout > 0 {
+		s.stallc = make(chan struct{})
+		s.wg.Add(1)
+		go s.watchShards(s.cfg.Registry.StallTimeout)
+	}
 	return nil
+}
+
+// watchShards polls per-shard progress and flips /healthz to 503 when any
+// shard holds queued work without accepting a sample for at least timeout.
+// Progress is inferred from the accepted counter, not from watchdog pets:
+// an idle shard (empty queue, nothing to do) is healthy, only a shard that
+// has work and is not draining it is stalled — the failure mode where a
+// wedged monitor or a stuck control closure silently freezes one
+// partition of the fleet while the others keep serving.
+func (s *Server) watchShards(timeout time.Duration) {
+	defer s.wg.Done()
+	tick := timeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	type progress struct {
+		accepted uint64
+		since    time.Time
+	}
+	last := make([]progress, len(s.reg.shards))
+	now := time.Now()
+	for i, sh := range s.reg.shards {
+		last[i] = progress{accepted: sh.accepted.Load(), since: now}
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stallc:
+			return
+		case <-t.C:
+		}
+		now = time.Now()
+		stalled := int32(0)
+		for i, sh := range s.reg.shards {
+			acc := sh.accepted.Load()
+			if acc != last[i].accepted || sh.depth.Load() == 0 {
+				last[i] = progress{accepted: acc, since: now}
+				continue
+			}
+			if now.Sub(last[i].since) >= timeout {
+				stalled++
+			}
+		}
+		if prev := s.stalledShards.Swap(stalled); prev == 0 && stalled > 0 {
+			s.ev.Warn("ingest_shard_stalled", obs.Fields{"shards": int(stalled)})
+		}
+	}
 }
 
 // TCPAddr returns the bound TCP listener address (nil when disabled).
@@ -292,6 +348,8 @@ func truncate(s string, max int) string {
 //	GET  /api/sources/{id}/status   one source's status
 //	GET  /api/alerts[?n=N]          most recent alerts, oldest first
 //	GET  /api/shards                per-shard accounting
+//	GET  /api/trace/export          sampled spans, Chrome/Perfetto JSON
+//	GET  /api/trace/{source}        one source's flight-recorder tail
 //	GET  /metrics, /healthz         telemetry (plus /debug/pprof opt-in)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -325,6 +383,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /api/shards", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, map[string]any{"shards": s.reg.ShardStats()})
 	})
+	// The literal route wins over the {source} wildcard, so a source
+	// cannot shadow the export endpoint (ids can't contain '/').
+	mux.HandleFunc("GET /api/trace/export", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.reg.Tracer().WriteChromeTrace(w)
+	})
+	mux.HandleFunc("GET /api/trace/{source}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("source")
+		recs, err := s.reg.FlightRecords(id)
+		if err != nil {
+			http.Error(w, "unknown source", http.StatusNotFound)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"source":  id,
+			"depth":   len(recs),
+			"records": recs,
+		})
+	})
 	obsH := obs.NewHandler(s.cfg.Registry.Obs, obs.HandlerConfig{
 		EnablePprof: s.cfg.EnablePprof,
 		Health:      s.health,
@@ -337,10 +414,14 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// health feeds /healthz: draining is the only unhealthy state.
+// health feeds /healthz: draining and stalled shards are the unhealthy
+// states.
 func (s *Server) health() error {
 	if s.stopping.Load() {
 		return errors.New("draining")
+	}
+	if n := s.stalledShards.Load(); n > 0 {
+		return fmt.Errorf("stalled: %d shard(s) not draining", n)
 	}
 	return nil
 }
@@ -422,7 +503,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	var err error
 	s.stopOnce.Do(func() {
 		s.stopping.Store(true)
-		s.snap.Stop()
+		if s.stallc != nil {
+			close(s.stallc)
+		}
 		if s.tcpLn != nil {
 			s.tcpLn.Close()
 		}
@@ -443,7 +526,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		if cerr := s.reg.Close(); cerr != nil {
 			errs = append(errs, cerr)
 		}
-		if serr := s.SaveSnapshot(); serr != nil {
+		// Stop the periodic loop and capture the post-drain state in one
+		// step — Stop alone would discard everything consumed since the
+		// last periodic save.
+		if serr := s.snap.StopAndFlush(); serr != nil {
 			errs = append(errs, serr)
 		}
 		if s.httpSrv != nil {

@@ -1,0 +1,168 @@
+package ingest
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"agingmf/internal/trace"
+)
+
+// traceOverheadRun pushes iters batches of size pairs through a fresh
+// registry configured with the given tracing options and returns the
+// elapsed wall time. The registry is closed inside the timed window:
+// backpressure fills the queue almost immediately, so the measured time
+// is end-to-end shard consumption, and the close accounts for the
+// residual drain.
+func traceOverheadRun(tb testing.TB, iters, size, sampleEvery, recorderDepth int) time.Duration {
+	tb.Helper()
+	r, err := NewRegistry(Config{
+		Monitor:             testMonitorConfig(),
+		TraceSampleEvery:    sampleEvery,
+		FlightRecorderDepth: recorderDepth,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pairs := make([][2]float64, size)
+	for i := range pairs {
+		pairs[i] = [2]float64{1e9 - float64(i), float64(i)}
+	}
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := r.IngestBatch(Batch{Source: "bench-0000", Pairs: pairs}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		tb.Fatal(err)
+	}
+	return time.Since(start)
+}
+
+// BenchmarkIngestTraceOverhead is the paired overhead benchmark: the same
+// batched workload with tracing off, sampled at 1/1024, traced on every
+// unit, and with the flight recorder on. Compare ns/sample across the
+// sub-benchmarks to read the cost of each observability layer.
+func BenchmarkIngestTraceOverhead(b *testing.B) {
+	const size = 256
+	cases := []struct {
+		name          string
+		sampleEvery   int
+		recorderDepth int
+	}{
+		{"off", 0, 0},
+		{"sampled=1024", 1024, 0},
+		{"sampled=1", 1, 0},
+		{"recorder=64", 0, 64},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			r, err := NewRegistry(Config{
+				Monitor:             testMonitorConfig(),
+				TraceSampleEvery:    c.sampleEvery,
+				FlightRecorderDepth: c.recorderDepth,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			pairs := make([][2]float64, size)
+			for i := range pairs {
+				pairs[i] = [2]float64{1e9 - float64(i), float64(i)}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.IngestBatch(Batch{Source: "bench-0000", Pairs: pairs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size), "ns/sample")
+			if err := r.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTraceOverheadBudget enforces the tracing cost contract in CI: at the
+// recommended production rate (one traced unit in 1024) end-to-end batched
+// throughput must stay within the documented 5% of tracing-off — asserted
+// at 10% here to absorb shared-runner noise on top of the documented
+// budget. The flight recorder is off in both arms: its per-sample
+// annotation loop is a separately priced feature (see the recorder=64
+// sub-benchmark), not part of the sampling budget.
+func TestTraceOverheadBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing assertion is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("timing assertion skipped in -short mode")
+	}
+	// A wall-clock ratio is only meaningful on an otherwise-idle machine:
+	// inside `go test ./...` this package races a dozen others for cores
+	// and either arm can be descheduled mid-run. The bench-smoke target
+	// runs this test alone (and CI runs bench-smoke), so the assertion is
+	// opt-in via the environment rather than silently flaky in the suite.
+	if os.Getenv("AGINGMF_TRACE_BUDGET") == "" {
+		t.Skip("timing assertion runs in isolation via `make bench-smoke` (AGINGMF_TRACE_BUDGET=1)")
+	}
+	const (
+		iters = 2000
+		size  = 256
+	)
+	// Min-of-3 on each arm: the minimum is the least-noisy estimator of
+	// the true cost on a shared machine.
+	min := func(sampleEvery int) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			if d := traceOverheadRun(t, iters, size, sampleEvery, 0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+	min(0) // warm up code paths and the page cache once
+	off := min(0)
+	sampled := min(1024)
+	ratio := float64(sampled) / float64(off)
+	t.Logf("off=%v sampled(1/1024)=%v ratio=%.3f", off, sampled, ratio)
+	if ratio > 1.10 {
+		t.Fatalf("1/1024 sampling costs %.1f%% (off %v, sampled %v); budget is 5%% (+CI slack)",
+			(ratio-1)*100, off, sampled)
+	}
+}
+
+// TestTraceOverheadRunsAreExact sanity-checks the harness itself: every
+// batch must be accepted in both arms, or the timing comparison is
+// meaningless.
+func TestTraceOverheadRunsAreExact(t *testing.T) {
+	r, err := NewRegistry(Config{Monitor: testMonitorConfig(), TraceSampleEvery: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]float64{{1e9, 0}, {1e9 - 1, 1}}
+	const iters = 100
+	for i := 0; i < iters; i++ {
+		if err := r.IngestBatch(Batch{Source: "bench-0000", Pairs: pairs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Accepted(); got != iters*uint64(len(pairs)) {
+		t.Fatalf("accepted %d, want %d", got, iters*len(pairs))
+	}
+	detects := 0
+	for _, sp := range r.Tracer().Spans() {
+		if sp.Stage == trace.StageDetect {
+			detects++
+		}
+	}
+	if detects != iters/8 {
+		t.Fatalf("traced %d units (detect spans), want %d", detects, iters/8)
+	}
+}

@@ -138,6 +138,44 @@ func TestSnapshotManagerPeriodicLoop(t *testing.T) {
 	}
 }
 
+// TestSnapshotManagerStopAndFlush is the kill-mid-interval regression
+// test: state that changed after the last periodic save must still reach
+// disk on shutdown. A bare Stop loses it — that is the documented gotcha
+// StopAndFlush exists to close.
+func TestSnapshotManagerStopAndFlush(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "snap")
+	var state atomic.Value
+	state.Store("v1")
+	sm := &SnapshotManager{
+		Path:  path,
+		Every: time.Hour, // the periodic loop never fires during the test
+		State: func() ([]byte, error) { return []byte(state.Load().(string)), nil },
+	}
+	sm.Start()
+	// Mutate state mid-interval — exactly what a daemon consuming samples
+	// between periodic saves does — then shut down.
+	state.Store("v2-latest")
+	if err := sm.StopAndFlush(); err != nil {
+		t.Fatalf("StopAndFlush: %v", err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil || string(blob) != "v2-latest" {
+		t.Fatalf("snapshot after StopAndFlush = %q, %v; mid-interval state lost", blob, err)
+	}
+	// Idempotent-ish: a second call just flushes again, no deadlock.
+	if err := sm.StopAndFlush(); err != nil {
+		t.Fatalf("second StopAndFlush: %v", err)
+	}
+	// And the nil/pathless managers stay safe no-ops.
+	var nilSM *SnapshotManager
+	if err := nilSM.StopAndFlush(); err != nil {
+		t.Fatalf("nil StopAndFlush: %v", err)
+	}
+	if err := (&SnapshotManager{}).StopAndFlush(); err != nil {
+		t.Fatalf("pathless StopAndFlush: %v", err)
+	}
+}
+
 func TestSnapshotManagerLoopSurvivesErrors(t *testing.T) {
 	var fails atomic.Int64
 	sm := &SnapshotManager{

@@ -121,6 +121,10 @@ func (sm *SnapshotManager) Start() {
 // Stop halts the periodic loop (the on-drain save is an explicit Flush,
 // so drain paths control when — relative to their own draining — the
 // final state is captured).
+//
+// Stop alone does NOT write a final snapshot: state mutated since the
+// last periodic save is lost. Every drain path that wants the latest
+// state on disk should call StopAndFlush instead.
 func (sm *SnapshotManager) Stop() {
 	if sm == nil {
 		return
@@ -132,4 +136,13 @@ func (sm *SnapshotManager) Stop() {
 		<-sm.done
 		sm.stopc, sm.done = nil, nil
 	}
+}
+
+// StopAndFlush halts the periodic loop, then writes the final snapshot —
+// the shutdown sequence drain paths actually want. Without the flush, any
+// samples consumed since the last periodic save would vanish on restart
+// (and with Every unset nothing would ever have been written at all).
+func (sm *SnapshotManager) StopAndFlush() error {
+	sm.Stop()
+	return sm.Flush()
 }

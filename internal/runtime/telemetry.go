@@ -41,6 +41,13 @@ type Telemetry struct {
 	pprof       bool
 	srv         *http.Server
 	closeEvents func()
+	mounts      []mount
+}
+
+// mount is one extra handler registered via Mount.
+type mount struct {
+	pattern string
+	h       http.Handler
 }
 
 // NewTelemetry opens the event sink and, when metricsAddr is non-empty,
@@ -58,6 +65,14 @@ func NewTelemetry(metricsAddr string, enablePprof bool, eventsPath string) (*Tel
 	return t, nil
 }
 
+// Mount registers an extra handler on the telemetry listener under the
+// given http.ServeMux pattern (e.g. "GET /api/trace/export"). Call before
+// Serve; a Mount without a metrics address is a harmless no-op, so
+// commands wire their extras unconditionally.
+func (t *Telemetry) Mount(pattern string, h http.Handler) {
+	t.mounts = append(t.mounts, mount{pattern: pattern, h: h})
+}
+
 // Serve binds the metrics listener (a no-op without a metrics address)
 // and prints the /metrics URL; health feeds /healthz.
 func (t *Telemetry) Serve(health func() error, stdout io.Writer) error {
@@ -68,10 +83,19 @@ func (t *Telemetry) Serve(health func() error, stdout io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("metrics listener: %w", err)
 	}
-	srv := &http.Server{Handler: obs.NewHandler(t.Reg, obs.HandlerConfig{
+	var handler http.Handler = obs.NewHandler(t.Reg, obs.HandlerConfig{
 		EnablePprof: t.pprof,
 		Health:      health,
-	})}
+	})
+	if len(t.mounts) > 0 {
+		mux := http.NewServeMux()
+		for _, m := range t.mounts {
+			mux.Handle(m.pattern, m.h)
+		}
+		mux.Handle("/", handler)
+		handler = mux
+	}
+	srv := &http.Server{Handler: handler}
 	t.srv = srv
 	go func() { _ = srv.Serve(ln) }()
 	fmt.Fprintf(stdout, "metrics: http://%s/metrics\n", ln.Addr())

@@ -9,6 +9,7 @@ import (
 	"agingmf/internal/memsim"
 	"agingmf/internal/resilience"
 	"agingmf/internal/series"
+	"agingmf/internal/trace"
 )
 
 // MonitorSinkConfig wires the optional observers of a MonitorSink. All
@@ -27,6 +28,13 @@ type MonitorSinkConfig struct {
 	// OnPhase fires on a phase transition; last is the session index of
 	// the pair that crossed it, and it is the item that carried it.
 	OnPhase func(last int, from, to aging.Phase, it Item)
+	// Tracer samples items for pipeline stage spans (nil disables). Sinks
+	// are single-threaded, so spans carry shard 0.
+	Tracer *trace.Tracer
+	// Recorder keeps the annotated tail of recent samples (nil disables).
+	Recorder *trace.FlightRecorder
+	// Source labels trace spans and flight records ("monitor" if empty).
+	Source string
 }
 
 // MonitorSink feeds items into an online dual-counter aging monitor —
@@ -36,11 +44,19 @@ type MonitorSink struct {
 	cfg       MonitorSinkConfig
 	samples   int
 	lastPhase aging.Phase
+
+	// Scratch for the annotated (traced/recorded) Write path, reused
+	// across items so steady-state recording does not allocate.
+	tm   aging.StageNanos
+	recs []trace.Record
 }
 
 // NewMonitorSink attaches a sink to mon (which may carry restored
 // state; phase transitions are reported relative to its current phase).
 func NewMonitorSink(mon *aging.DualMonitor, cfg MonitorSinkConfig) *MonitorSink {
+	if cfg.Source == "" {
+		cfg.Source = "monitor"
+	}
 	return &MonitorSink{mon: mon, cfg: cfg, lastPhase: mon.Phase()}
 }
 
@@ -48,13 +64,26 @@ func NewMonitorSink(mon *aging.DualMonitor, cfg MonitorSinkConfig) *MonitorSink 
 func (s *MonitorSink) Samples() int { return s.samples }
 
 func (s *MonitorSink) Write(it Item) error {
+	return s.WriteSampled(it, s.cfg.Tracer.Sample())
+}
+
+// WriteSampled is Write with the item's tracer sequence already drawn
+// (0 = untraced). Callers that wrap Source.Next in a source.next span
+// draw the sequence before Next so one sampled unit covers the whole
+// item; everyone else uses Write.
+func (s *MonitorSink) WriteSampled(it Item, seq uint64) error {
 	if len(it.Pairs) == 0 {
 		return nil
 	}
 	if s.cfg.Watchdog.Pet() && s.cfg.OnResume != nil {
 		s.cfg.OnResume(s.samples)
 	}
-	jumps := s.mon.AddBatch(it.Pairs)
+	var jumps []aging.DualJump
+	if seq != 0 || s.cfg.Recorder != nil {
+		jumps = s.observe(it.Pairs, seq)
+	} else {
+		jumps = s.mon.AddBatch(it.Pairs)
+	}
 	if len(jumps) > 0 && s.cfg.OnJumps != nil {
 		s.cfg.OnJumps(s.samples, jumps)
 	}
@@ -69,6 +98,64 @@ func (s *MonitorSink) Write(it Item) error {
 }
 
 func (s *MonitorSink) Close() error { return nil }
+
+// observe is the annotated Write path: per-pair AddTraced (verdict-
+// identical to AddBatch), one flight record per pair, and — when this
+// item drew a tracer sequence — detect plus stream-stage spans. The
+// stream stages ran interleaved inside detect, so each accumulated total
+// is exported as one span ending at the detect boundary, matching the
+// ingest registry's convention.
+func (s *MonitorSink) observe(pairs [][2]float64, seq uint64) []aging.DualJump {
+	var tm *aging.StageNanos
+	var detectStart time.Time
+	if seq != 0 {
+		s.tm = aging.StageNanos{}
+		tm = &s.tm
+		detectStart = time.Now()
+	}
+	recs := s.recs[:0]
+	var all []aging.DualJump
+	wall := time.Now().UnixNano()
+	for _, p := range pairs {
+		js := s.mon.AddTraced(p[0], p[1], tm)
+		all = append(all, js...)
+		if s.cfg.Recorder != nil {
+			scoreFree, scoreSwap := s.mon.LastStats()
+			recs = append(recs, trace.Record{
+				Seq:       uint64(s.mon.SamplesSeen()),
+				Wall:      wall,
+				Free:      p[0],
+				Swap:      p[1],
+				ScoreFree: scoreFree,
+				ScoreSwap: scoreSwap,
+				Phase:     s.mon.Phase().String(),
+				Jumps:     len(js),
+			})
+		}
+	}
+	if seq != 0 {
+		end := time.Now()
+		s.cfg.Tracer.Record(trace.StageDetect, s.cfg.Source, 0, seq, detectStart, end.Sub(detectStart))
+		stages := [...]int64{s.tm.Est, s.tm.Vol, s.tm.Std, s.tm.Gate}
+		for i, ns := range stages {
+			d := time.Duration(ns)
+			s.cfg.Tracer.Record(trace.StageEst+trace.Stage(i), s.cfg.Source, 0, seq, end.Add(-d), d)
+		}
+		if n := len(recs); n > 0 {
+			recs[n-1].TraceSeq = seq
+			recs[n-1].StageNs[trace.StageEst] = s.tm.Est
+			recs[n-1].StageNs[trace.StageVol] = s.tm.Vol
+			recs[n-1].StageNs[trace.StageStd] = s.tm.Std
+			recs[n-1].StageNs[trace.StageGate] = s.tm.Gate
+			recs[n-1].StageNs[trace.StageDetect] = end.Sub(detectStart).Nanoseconds()
+		}
+	}
+	if len(recs) > 0 {
+		s.cfg.Recorder.Append(recs)
+	}
+	s.recs = recs[:0] // keep grown capacity for the next item
+	return all
+}
 
 // TraceSink accumulates items into the four collector counter columns
 // and dumps them as CSV — the recording stage of stressgen. Items must

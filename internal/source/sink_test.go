@@ -16,6 +16,7 @@ import (
 	"agingmf/internal/memsim"
 	"agingmf/internal/series"
 	"agingmf/internal/source"
+	"agingmf/internal/trace"
 )
 
 // collectTrace drives the fast-aging rig to its crash and returns the
@@ -360,6 +361,124 @@ func BenchmarkSourceReplay(b *testing.B) {
 			src = source.NewReplay("bench", pairs, 256)
 		} else if err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// TestMonitorSinkTracedParity feeds the same signal through a plain sink
+// and a traced+recorded one: the monitors must end in byte-identical
+// state (the annotated path may never change verdicts), the flight
+// recorder tail must mirror the last pairs fed, and the tracer must hold
+// detect-stage spans labelled with the configured source.
+func TestMonitorSinkTracedParity(t *testing.T) {
+	vals := regimeChangeSignal(t, 4096, 17)
+	cfg := aging.DefaultConfig()
+	plainMon, err := aging.NewDualMonitor(cfg)
+	if err != nil {
+		t.Fatalf("NewDualMonitor: %v", err)
+	}
+	tracedMon, err := aging.NewDualMonitor(cfg)
+	if err != nil {
+		t.Fatalf("NewDualMonitor: %v", err)
+	}
+
+	tr := trace.New(trace.Config{SampleEvery: 4})
+	fr := trace.NewFlightRecorder(16)
+	var plainJumps, tracedJumps int
+	plain := source.NewMonitorSink(plainMon, source.MonitorSinkConfig{
+		OnJumps: func(_ int, js []aging.DualJump) { plainJumps += len(js) },
+	})
+	traced := source.NewMonitorSink(tracedMon, source.MonitorSinkConfig{
+		Tracer:   tr,
+		Recorder: fr,
+		Source:   "rig",
+		OnJumps:  func(_ int, js []aging.DualJump) { tracedJumps += len(js) },
+	})
+
+	const batch = 8
+	var last [][2]float64
+	for i := 0; i+batch <= len(vals); i += batch {
+		pairs := make([][2]float64, batch)
+		for j := range pairs {
+			pairs[j] = [2]float64{vals[i+j], vals[i+j] * 0.5}
+		}
+		it := source.Item{Pairs: pairs}
+		if err := plain.Write(it); err != nil {
+			t.Fatalf("plain Write: %v", err)
+		}
+		if err := traced.Write(it); err != nil {
+			t.Fatalf("traced Write: %v", err)
+		}
+		last = pairs
+	}
+
+	if plainJumps == 0 {
+		t.Fatal("fixture fired no jumps; parity claim is vacuous")
+	}
+	if plainJumps != tracedJumps {
+		t.Errorf("jumps diverged: plain %d, traced %d", plainJumps, tracedJumps)
+	}
+	a, err := plainMon.SaveState()
+	if err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	b, err := tracedMon.SaveState()
+	if err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("traced sink diverged from plain sink (SaveState differs)")
+	}
+
+	recs := fr.Snapshot()
+	if len(recs) != 16 {
+		t.Fatalf("recorder holds %d records, want full depth 16", len(recs))
+	}
+	tail := recs[len(recs)-1]
+	wantPair := last[len(last)-1]
+	if tail.Free != wantPair[0] || tail.Swap != wantPair[1] {
+		t.Errorf("recorder tail (%g,%g), want last pair (%g,%g)",
+			tail.Free, tail.Swap, wantPair[0], wantPair[1])
+	}
+	if tail.Seq != uint64(tracedMon.SamplesSeen()) {
+		t.Errorf("recorder tail seq %d, want %d", tail.Seq, tracedMon.SamplesSeen())
+	}
+
+	var detect int
+	for _, sp := range tr.Spans() {
+		if sp.Stage == trace.StageDetect {
+			detect++
+			if sp.Source != "rig" {
+				t.Fatalf("span source %q, want rig", sp.Source)
+			}
+		}
+	}
+	if detect == 0 {
+		t.Error("no detect-stage spans recorded")
+	}
+}
+
+// TestMonitorSinkRecorderOnly keeps the recorder usable with tracing off:
+// records still accumulate, and none carry a trace sequence.
+func TestMonitorSinkRecorderOnly(t *testing.T) {
+	mon, err := aging.NewDualMonitor(aging.DefaultConfig())
+	if err != nil {
+		t.Fatalf("NewDualMonitor: %v", err)
+	}
+	fr := trace.NewFlightRecorder(8)
+	snk := source.NewMonitorSink(mon, source.MonitorSinkConfig{Recorder: fr})
+	for i := 0; i < 5; i++ {
+		if err := snk.Write(source.Item{Pairs: [][2]float64{{float64(i), 1}}}); err != nil {
+			t.Fatalf("Write: %v", err)
+		}
+	}
+	recs := fr.Snapshot()
+	if len(recs) != 5 {
+		t.Fatalf("recorder holds %d records, want 5", len(recs))
+	}
+	for _, r := range recs {
+		if r.TraceSeq != 0 {
+			t.Errorf("record %d carries trace seq %d with tracing off", r.Seq, r.TraceSeq)
 		}
 	}
 }

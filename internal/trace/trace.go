@@ -1,0 +1,317 @@
+// Package trace is the pipeline's low-overhead observability layer:
+// sampled span tracing through the ingest hot path plus per-source
+// flight recorders (flight.go) that retain the last N annotated samples.
+//
+// The design constraint is the same one internal/obs lives under: the
+// disabled form must cost the hot path one nil check and zero heap
+// allocations. A Tracer is created only when sampling is enabled
+// (trace.New returns nil otherwise) and every method is nil-receiver
+// safe, so callers wire it unconditionally. When enabled, the sampling
+// decision is one atomic increment per ingested unit; only the sampled
+// 1-in-N units pay for timestamps, the span ring and the stage-latency
+// histograms, which bounds the steady-state overhead (the
+// TestTraceOverheadBudget gate in internal/ingest keeps it under the
+// documented 5% at 1/1024 sampling).
+//
+// Sampled spans are exported in the Chrome trace-event format
+// (WriteChromeTrace), so `GET /api/trace/export` loads directly into
+// chrome://tracing or Perfetto.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"agingmf/internal/obs"
+)
+
+// Stage identifies one instrumented pipeline stage. The values index
+// fixed-size per-stage arrays (Record.StageNs), so they are contiguous.
+type Stage int
+
+// Pipeline stages, in data-flow order.
+const (
+	// StageSourceNext is one Source.Next call (transport read).
+	StageSourceNext Stage = iota
+	// StageParse is wire-line parsing (single sample or batch frame).
+	StageParse
+	// StageQueue is the shard-channel wait: enqueue to dequeue.
+	StageQueue
+	// StageEst..StageGate are the internal/stream stage pushes inside the
+	// monitor (Hölder estimator, volatility window, standardizer, gated
+	// detector), accumulated over the sampled unit.
+	StageEst
+	StageVol
+	StageStd
+	StageGate
+	// StageDetect is the whole detector verdict (the monitor Add loop).
+	StageDetect
+	// StageAlerts is the alert-bus fan-out after a unit is committed.
+	StageAlerts
+	// NumStages sizes per-stage arrays.
+	NumStages
+)
+
+// String implements fmt.Stringer; the names label the
+// agingmf_pipeline_stage_seconds histograms and the exported spans.
+func (s Stage) String() string {
+	switch s {
+	case StageSourceNext:
+		return "source.next"
+	case StageParse:
+		return "parse"
+	case StageQueue:
+		return "queue"
+	case StageEst:
+		return "stream.est"
+	case StageVol:
+		return "stream.vol"
+	case StageStd:
+		return "stream.std"
+	case StageGate:
+		return "stream.gate"
+	case StageDetect:
+		return "detect"
+	case StageAlerts:
+		return "alerts"
+	default:
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+}
+
+// Span is one sampled timing: a stage traversal by one traced unit.
+type Span struct {
+	// Stage is the pipeline stage the time was spent in.
+	Stage Stage `json:"stage"`
+	// Source is the source id the unit belonged to ("" when unknown,
+	// e.g. a parse error).
+	Source string `json:"source"`
+	// Shard is the owning shard (-1 outside the sharded registry).
+	Shard int `json:"shard"`
+	// Seq is the traced unit's sequence number: spans sharing a Seq
+	// describe the same line/batch on its way through the pipeline.
+	Seq uint64 `json:"seq"`
+	// Start is the span start (UnixNano) and Dur its length in
+	// nanoseconds.
+	Start int64 `json:"start_ns"`
+	Dur   int64 `json:"dur_ns"`
+}
+
+// Metric families of the tracing layer.
+const (
+	MetricStageSeconds = "agingmf_pipeline_stage_seconds"
+	MetricQueueDepth   = "agingmf_shard_queue_depth"
+	MetricSpansTotal   = "agingmf_trace_spans_total"
+)
+
+// stageBuckets span sub-microsecond stream pushes up to pathological
+// multi-millisecond queue waits.
+var stageBuckets = []float64{
+	100e-9, 250e-9, 500e-9, 1e-6, 2.5e-6, 5e-6, 10e-6, 25e-6, 100e-6,
+	1e-3, 10e-3, 100e-3,
+}
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// SampleEvery traces one in every SampleEvery ingested units; <= 0
+	// disables tracing entirely (New returns nil). 1 traces everything.
+	SampleEvery int
+	// SpanCapacity bounds the sampled-span ring kept for export
+	// (0 selects 4096).
+	SpanCapacity int
+	// Obs receives the agingmf_pipeline_stage_seconds histograms and the
+	// agingmf_shard_queue_depth gauges. Nil disables the metrics but not
+	// the span ring.
+	Obs *obs.Registry
+}
+
+// Tracer samples units through the pipeline. The zero-cost disabled form
+// is the nil *Tracer; all methods are nil-receiver safe.
+type Tracer struct {
+	every uint64
+	units atomic.Uint64 // units offered to Sample
+	total atomic.Uint64 // spans recorded
+
+	stageSec [NumStages]*obs.Histogram
+	depth    *obs.GaugeVec
+	spansCtr *obs.Counter
+
+	mu     sync.Mutex
+	ring   []Span
+	next   int
+	filled bool
+}
+
+// New builds a Tracer, or nil (the disabled form) when sampling is off.
+func New(cfg Config) *Tracer {
+	if cfg.SampleEvery <= 0 {
+		return nil
+	}
+	if cfg.SpanCapacity <= 0 {
+		cfg.SpanCapacity = 4096
+	}
+	t := &Tracer{
+		every: uint64(cfg.SampleEvery),
+		ring:  make([]Span, cfg.SpanCapacity),
+		depth: cfg.Obs.GaugeVec(MetricQueueDepth,
+			"Shard queue depth observed at sampled dequeues.", "shard"),
+		spansCtr: cfg.Obs.Counter(MetricSpansTotal,
+			"Spans recorded by the pipeline tracer."),
+	}
+	for s := Stage(0); s < NumStages; s++ {
+		t.stageSec[s] = cfg.Obs.HistogramVec(MetricStageSeconds,
+			"Sampled per-stage latency of the ingest pipeline.",
+			stageBuckets, "stage").With(s.String())
+	}
+	return t
+}
+
+// SampleEvery returns the sampling cadence (0 when disabled).
+func (t *Tracer) SampleEvery() int {
+	if t == nil {
+		return 0
+	}
+	return int(t.every)
+}
+
+// Sample decides whether the next unit is traced. It returns a non-zero
+// sequence number for a sampled unit (pass it to Record so the unit's
+// spans correlate) and 0 otherwise. One atomic add; no allocation.
+func (t *Tracer) Sample() uint64 {
+	if t == nil {
+		return 0
+	}
+	n := t.units.Add(1)
+	if n%t.every != 0 {
+		return 0
+	}
+	return n / t.every
+}
+
+// Record logs one span of a sampled unit: into the export ring and the
+// per-stage latency histogram. seq 0 (an unsampled unit) is ignored, so
+// callers may invoke it unconditionally on their traced branch.
+func (t *Tracer) Record(stage Stage, source string, shard int, seq uint64, start time.Time, d time.Duration) {
+	if t == nil || seq == 0 {
+		return
+	}
+	if stage >= 0 && stage < NumStages {
+		t.stageSec[stage].Observe(d.Seconds())
+	}
+	t.spansCtr.Inc()
+	t.total.Add(1)
+	t.mu.Lock()
+	t.ring[t.next] = Span{
+		Stage:  stage,
+		Source: source,
+		Shard:  shard,
+		Seq:    seq,
+		Start:  start.UnixNano(),
+		Dur:    int64(d),
+	}
+	t.next++
+	if t.next == len(t.ring) {
+		t.next, t.filled = 0, true
+	}
+	t.mu.Unlock()
+}
+
+// QueueDepth records a shard's queue depth at a sampled dequeue.
+func (t *Tracer) QueueDepth(shard int, depth int64) {
+	if t == nil {
+		return
+	}
+	t.depth.With(strconv.Itoa(shard)).Set(float64(depth))
+}
+
+// Total returns how many spans have been recorded since creation (the
+// ring retains only the most recent SpanCapacity of them).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total.Load()
+}
+
+// Spans returns the retained spans, oldest first (copy; nil tracer
+// returns nil).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.filled {
+		return append([]Span(nil), t.ring[:t.next]...)
+	}
+	out := make([]Span, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	return append(out, t.ring[:t.next]...)
+}
+
+// chromeEvent is one Chrome trace-event ("X" = complete event with a
+// duration); timestamps are microseconds per the format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the retained spans in the Chrome trace-event
+// JSON format understood by chrome://tracing and Perfetto. The span's
+// shard becomes the thread id (shard -1, e.g. parse spans, maps to tid
+// 0 alongside shard 0's lane bump). A nil tracer writes a valid, empty
+// trace so the export endpoint works regardless of configuration.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	spans := t.Spans()
+	events := make([]chromeEvent, 0, len(spans))
+	for _, sp := range spans {
+		events = append(events, chromeEvent{
+			Name: sp.Stage.String(),
+			Ph:   "X",
+			Ts:   float64(sp.Start) / 1e3,
+			Dur:  float64(sp.Dur) / 1e3,
+			Pid:  1,
+			Tid:  sp.Shard + 1,
+			Args: map[string]any{"source": sp.Source, "seq": sp.Seq},
+		})
+	}
+	return json.NewEncoder(w).Encode(map[string]any{
+		"traceEvents":     events,
+		"displayTimeUnit": "ms",
+	})
+}
+
+// ParseSampleRate parses the -trace-sample flag: "0" or "" disables,
+// "N" and "1/N" both mean one traced unit in every N.
+func ParseSampleRate(s string) (int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "0" {
+		return 0, nil
+	}
+	if num, den, ok := strings.Cut(s, "/"); ok {
+		if strings.TrimSpace(num) != "1" {
+			return 0, fmt.Errorf("trace: sample rate %q: numerator must be 1", s)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(den))
+		if err != nil || n < 1 {
+			return 0, fmt.Errorf("trace: sample rate %q: bad denominator", s)
+		}
+		return n, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("trace: sample rate %q: want N or 1/N", s)
+	}
+	return n, nil
+}
