@@ -16,11 +16,12 @@ race:
 	$(GO) test -race ./...
 
 # Full internal coverage report, then the floor: the pipeline transport,
-# the lifecycle kernel and the tracing/flight-recorder instrumentation
-# every command now runs on must stay >= 80% covered (CI runs this).
+# the lifecycle kernel, the tracing/flight-recorder instrumentation and
+# the cluster routing/migration layer must stay >= 80% covered (CI runs
+# this).
 cover:
 	$(GO) test -cover ./internal/...
-	$(GO) test -cover ./internal/source/ ./internal/runtime/ ./internal/trace/ | awk \
+	$(GO) test -cover ./internal/source/ ./internal/runtime/ ./internal/trace/ ./internal/cluster/ | awk \
 		'/coverage:/ { for (i = 1; i < NF; i++) if ($$i == "coverage:") { \
 			v = $$(i + 1); gsub(/%/, "", v); \
 			if (v + 0 < 80) { print "coverage floor 80% violated: " $$0; fail = 1 } } } \
@@ -54,15 +55,15 @@ check: vet
 	$(GO) test -race ./internal/obs/... ./internal/stream/... ./internal/aging/... \
 		./internal/collector/... ./internal/resilience/... ./internal/chaos/... \
 		./internal/ingest/... ./internal/source/... ./internal/runtime/... \
-		./internal/trace/... ./cmd/agingd/...
+		./internal/trace/... ./internal/cluster/... ./cmd/agingd/...
 
 # Robustness regression suite: the fault-injection campaigns plus the
 # hardened agingmon/agingd paths, under the race detector. -short keeps
 # the injected-fault budgets at their test sizes.
 chaos:
-	$(GO) test -race -short -v -run 'Chaos|Campaign|Resilience|Watchdog|Retry|Signal|BadSample|Stall|Ingest|SelfTest|Interrupt' \
+	$(GO) test -race -short -v -run 'Chaos|Campaign|Resilience|Watchdog|Retry|Signal|BadSample|Stall|Ingest|SelfTest|Interrupt|Migrate|Adoption|Heartbeat|Quarantine' \
 		./internal/chaos/... ./internal/resilience/... ./internal/collector/... \
-		./internal/ingest/... ./cmd/agingmon/... ./cmd/agingd/...
+		./internal/ingest/... ./internal/cluster/... ./cmd/agingmon/... ./cmd/agingd/...
 
 # Regenerate every reconstructed table/figure (writes to stdout; see
 # EXPERIMENTS.md for the archived reference run).

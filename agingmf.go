@@ -7,6 +7,7 @@ import (
 	"agingmf/internal/aging"
 	"agingmf/internal/changepoint"
 	"agingmf/internal/chaos"
+	"agingmf/internal/cluster"
 	"agingmf/internal/collector"
 	"agingmf/internal/dsp"
 	"agingmf/internal/fractal"
@@ -398,6 +399,14 @@ type (
 	ChaosIngestFaults = chaos.IngestFaults
 	// ChaosIngestReport is the outcome of an ingest campaign.
 	ChaosIngestReport = chaos.IngestReport
+	// ChaosClusterConfig parameterizes a cluster chaos campaign:
+	// crash-kills without store sync, partitions and live migrations
+	// thrown at an in-process multi-node cluster under streaming load.
+	ChaosClusterConfig = chaos.ClusterConfig
+	// ChaosClusterFaults selects the cluster faults.
+	ChaosClusterFaults = chaos.ClusterFaults
+	// ChaosClusterReport is the outcome of a cluster campaign.
+	ChaosClusterReport = chaos.ClusterReport
 )
 
 // Chaos functions.
@@ -409,6 +418,8 @@ var (
 	// RunChaosIngest executes one ingest chaos campaign against a live
 	// fleet daemon.
 	RunChaosIngest = chaos.RunIngest
+	// RunChaosCluster executes one cluster chaos campaign.
+	RunChaosCluster = chaos.RunCluster
 )
 
 // Fleet ingestion: the serving layer behind cmd/agingd. A sharded
@@ -487,6 +498,60 @@ var (
 	IngestJSONLSink = ingest.JSONLSink
 	// IngestWebhookSink POSTs each alert to a webhook with retries.
 	IngestWebhookSink = ingest.WebhookSink
+)
+
+// Clustered ingestion (internal/cluster): multiple agingd nodes share a
+// fleet by consistent-hash routing over a membership ring, hand sources
+// off live with byte-exact monitor state (acquire/ack/release), and
+// adopt a dead node's sources from its last snapshot in a shared store.
+type (
+	// ClusterConfig parameterizes a cluster node.
+	ClusterConfig = cluster.Config
+	// ClusterNode is one cluster member wrapping an IngestRegistry.
+	ClusterNode = cluster.Node
+	// ClusterRing is the consistent-hash routing ring.
+	ClusterRing = cluster.Ring
+	// ClusterEnvelope is one source's migration payload.
+	ClusterEnvelope = cluster.Envelope
+	// ClusterTransport moves cluster traffic between nodes.
+	ClusterTransport = cluster.Transport
+	// ClusterHTTPTransport speaks the /cluster/* HTTP protocol.
+	ClusterHTTPTransport = cluster.HTTPTransport
+	// ClusterMemTransport is the in-process transport (tests, selftest).
+	ClusterMemTransport = cluster.MemTransport
+	// ClusterStateStore is the shared last-snapshot shelf for adoption.
+	ClusterStateStore = cluster.StateStore
+	// ClusterMemStore is the in-memory StateStore.
+	ClusterMemStore = cluster.MemStore
+	// ClusterStatus is the /api/cluster document.
+	ClusterStatus = cluster.Status
+	// ClusterMemberStatus is one member's health in ClusterStatus.
+	ClusterMemberStatus = cluster.MemberStatus
+	// ClusterSelfTestConfig parameterizes the cluster self-test campaign.
+	ClusterSelfTestConfig = cluster.SelfTestConfig
+	// ClusterSelfTestResult is the campaign outcome.
+	ClusterSelfTestResult = cluster.SelfTestResult
+)
+
+// Clustering functions.
+var (
+	// NewClusterNode builds a cluster member (call Start; Stop/Leave/Halt
+	// to end it).
+	NewClusterNode = cluster.NewNode
+	// NewClusterRing builds a consistent-hash ring over members.
+	NewClusterRing = cluster.NewRing
+	// NewClusterMemTransport builds the in-process transport.
+	NewClusterMemTransport = cluster.NewMemTransport
+	// NewClusterMemStore builds the in-memory state store.
+	NewClusterMemStore = cluster.NewMemStore
+	// EncodeClusterEnvelope frames a migration envelope (CRC-checked).
+	EncodeClusterEnvelope = cluster.EncodeEnvelope
+	// DecodeClusterEnvelope verifies and decodes a migration envelope.
+	DecodeClusterEnvelope = cluster.DecodeEnvelope
+	// RunClusterSelfTest drives a multi-node in-process cluster through
+	// kill/restart/rebalance churn and verifies zero drops and zero
+	// detector-state parity mismatches against a single-process oracle.
+	RunClusterSelfTest = cluster.RunSelfTest
 )
 
 // Pipeline tracing and the flight recorder (internal/trace). "Pipeline"

@@ -13,29 +13,35 @@ func TestFlagSurface(t *testing.T) {
 	var opt options
 	got := runtime.FlagDefaults(newFlagSet(&opt))
 	want := map[string]string{
-		"listen":                ":9178",
-		"http":                  ":9179",
-		"shards":                "8",
-		"queue":                 "1024",
-		"snapshot":              "",
-		"snapshot-every":        "1m0s",
-		"stall-timeout":         "0s",
-		"max-sources":           "65536",
-		"max-bad-lines":         "100",
-		"idle-timeout":          "0s",
-		"history-limit":         "4096",
-		"alerts":                "",
-		"events":                "",
-		"webhook":               "",
-		"trace-sample":          "0",
-		"flight-recorder-depth": "64",
-		"pprof":                 "false",
-		"selftest":              "false",
-		"selftest-sources":      "64",
-		"selftest-samples":      "256",
-		"selftest-conns":        "0",
-		"selftest-batch":        "8",
-		"seed":                  "1",
+		"listen":                   ":9178",
+		"http":                     ":9179",
+		"shards":                   "8",
+		"queue":                    "1024",
+		"snapshot":                 "",
+		"snapshot-every":           "1m0s",
+		"stall-timeout":            "0s",
+		"max-sources":              "65536",
+		"max-bad-lines":            "100",
+		"idle-timeout":             "0s",
+		"history-limit":            "4096",
+		"alerts":                   "",
+		"events":                   "",
+		"webhook":                  "",
+		"trace-sample":             "0",
+		"flight-recorder-depth":    "64",
+		"pprof":                    "false",
+		"cluster-addr":             "",
+		"cluster-peers":            "",
+		"selftest":                 "false",
+		"selftest-sources":         "64",
+		"selftest-samples":         "256",
+		"selftest-conns":           "0",
+		"selftest-batch":           "8",
+		"selftest-cluster":         "false",
+		"selftest-cluster-nodes":   "3",
+		"selftest-cluster-sources": "100000",
+		"selftest-cluster-samples": "24",
+		"seed":                     "1",
 	}
 	for name, def := range want {
 		gotDef, ok := got[name]

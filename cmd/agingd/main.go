@@ -39,11 +39,27 @@
 // reach their monitors, and the final snapshot is written before exit.
 // A second signal force-exits a stuck drain.
 //
+// Several daemons can share one fleet: -cluster-addr names this node
+// (the host:port peers reach its HTTP listener at) and -cluster-peers
+// lists the other members. Sources are routed by consistent hashing over
+// the live membership — a line arriving at the wrong node is forwarded
+// to its owner — and ownership moves between nodes by live handoff that
+// carries the source's exact monitor state, so verdicts stay
+// byte-identical across a migration. Peer health rides heartbeats; a
+// dead node's sources are adopted by the survivors from its last
+// snapshot, and a graceful shutdown (SIGINT/SIGTERM) first hands every
+// held source to the remaining peers. GET /api/cluster serves the
+// membership and routing status.
+//
 // With -selftest the daemon exercises itself end-to-end: it drives
 // -selftest-sources simulated machines (internal/memsim) through its own
 // TCP socket and verifies that no sample was lost and that every
 // source's monitor state is byte-for-byte identical to a single-process
 // monitor fed the same trace, then exits non-zero on any discrepancy.
+// -selftest-cluster does the same for the clustered path: an in-process
+// cluster of -selftest-cluster-nodes nodes streams
+// -selftest-cluster-sources sources through kill/restart/rebalance churn
+// and verifies single ownership, zero loss and oracle parity.
 //
 // Usage:
 //
@@ -53,8 +69,11 @@
 //	       [-history-limit N] [-alerts FILE] [-events FILE]
 //	       [-webhook URL] [-trace-sample 1/N] [-flight-recorder-depth N]
 //	       [-pprof]
+//	       [-cluster-addr HOST:PORT] [-cluster-peers HOST:PORT,...]
 //	       [-selftest] [-selftest-sources N] [-selftest-samples N]
 //	       [-selftest-conns N] [-selftest-batch N] [-seed N]
+//	       [-selftest-cluster] [-selftest-cluster-nodes N]
+//	       [-selftest-cluster-sources N] [-selftest-cluster-samples N]
 package main
 
 import (
@@ -65,6 +84,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"agingmf"
@@ -90,11 +110,17 @@ type options struct {
 	traceSample   string
 	flightDepth   int
 	pprof         bool
+	clusterAddr   string
+	clusterPeers  string
 	selftest      bool
 	stSources     int
 	stSamples     int
 	stConns       int
 	stBatch       int
+	scSelftest    bool
+	scNodes       int
+	scSources     int
+	scSamples     int
 	seed          int64
 }
 
@@ -120,11 +146,17 @@ func newFlagSet(opt *options) *flag.FlagSet {
 	fs.StringVar(&opt.traceSample, "trace-sample", "0", `pipeline trace sampling: "1/N" or "N" traces one ingested unit in N, "0" disables; spans feed /api/trace/export and the agingmf_pipeline_stage_seconds histograms`)
 	fs.IntVar(&opt.flightDepth, "flight-recorder-depth", 64, "per-source flight recorder: retain the last N annotated samples, served by /api/trace/{source} (0 disables)")
 	fs.BoolVar(&opt.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/ on the HTTP listener")
+	fs.StringVar(&opt.clusterAddr, "cluster-addr", "", "this node's advertised host:port for cluster peers — enables clustered routing over the HTTP listener (empty disables)")
+	fs.StringVar(&opt.clusterPeers, "cluster-peers", "", "comma-separated peer host:port list for the cluster membership")
 	fs.BoolVar(&opt.selftest, "selftest", false, "drive simulated machines through the real socket, verify zero loss and monitor parity, then exit")
 	fs.IntVar(&opt.stSources, "selftest-sources", 64, "self-test: simulated machines")
 	fs.IntVar(&opt.stSamples, "selftest-samples", 256, "self-test: samples per machine")
 	fs.IntVar(&opt.stConns, "selftest-conns", 0, "self-test: TCP connections to multiplex over (0 = min(sources, 64))")
 	fs.IntVar(&opt.stBatch, "selftest-batch", 8, "self-test: samples per batch; wire line (1 = plain per-sample lines)")
+	fs.BoolVar(&opt.scSelftest, "selftest-cluster", false, "drive an in-process multi-node cluster through kill/restart/rebalance churn, verify zero loss and oracle parity, then exit")
+	fs.IntVar(&opt.scNodes, "selftest-cluster-nodes", 3, "cluster self-test: in-process nodes (minimum 3)")
+	fs.IntVar(&opt.scSources, "selftest-cluster-sources", 100000, "cluster self-test: simulated fleet size")
+	fs.IntVar(&opt.scSamples, "selftest-cluster-samples", 24, "cluster self-test: samples per source")
 	fs.Int64Var(&opt.seed, "seed", 1, "self-test: deterministic trace seed")
 	return fs
 }
@@ -140,6 +172,12 @@ func run(args []string, stdout io.Writer) error {
 	var opt options
 	if err := newFlagSet(&opt).Parse(args); err != nil {
 		return err
+	}
+
+	// The cluster self-test is fully in-process (MemTransport, shared
+	// MemStore): no listeners, no event sinks — run it and exit.
+	if opt.scSelftest {
+		return runClusterSelfTest(stdout, opt)
 	}
 
 	events, closeEvents, err := runtime.OpenEvents(opt.events)
@@ -160,6 +198,7 @@ func run(args []string, stdout io.Writer) error {
 
 	monCfg := agingmf.DefaultMonitorConfig()
 	monCfg.HistoryLimit = opt.historyLimit
+	met := agingmf.NewRegistry()
 	srv, err := agingmf.NewIngestServer(agingmf.IngestServerConfig{
 		Registry: agingmf.IngestConfig{
 			Shards:              opt.shards,
@@ -167,7 +206,7 @@ func run(args []string, stdout io.Writer) error {
 			Monitor:             monCfg,
 			MaxSources:          opt.maxSources,
 			StallTimeout:        opt.stallTimeout,
-			Obs:                 agingmf.NewRegistry(),
+			Obs:                 met,
 			Events:              events,
 			TraceSampleEvery:    sampleEvery,
 			FlightRecorderDepth: opt.flightDepth,
@@ -183,8 +222,36 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+
+	// Clustering: route every ingested line through the membership ring
+	// (lines whose ring owner is a peer are forwarded), and mount the
+	// node-to-node protocol plus /api/cluster on the HTTP listener.
+	var node *agingmf.ClusterNode
+	if opt.clusterAddr != "" {
+		node, err = agingmf.NewClusterNode(agingmf.ClusterConfig{
+			Self:           opt.clusterAddr,
+			Peers:          splitPeers(opt.clusterPeers),
+			Transport:      &agingmf.ClusterHTTPTransport{},
+			Registry:       srv.Registry(),
+			HeartbeatEvery: time.Second,
+			Obs:            met,
+			Events:         events,
+		})
+		if err != nil {
+			return fmt.Errorf("cluster: %w", err)
+		}
+		srv.SetLineRouter(node)
+		h := node.Handler()
+		srv.Mount("/cluster/", h)
+		srv.Mount("/api/cluster", h)
+	}
+
 	if err := srv.Start(); err != nil {
 		return err
+	}
+	if node != nil {
+		node.Start()
+		fmt.Fprintf(stdout, "cluster: node %s, peers [%s]\n", opt.clusterAddr, opt.clusterPeers)
 	}
 	if n := srv.Registry().NumSources(); n > 0 {
 		fmt.Fprintf(stdout, "restored %d sources from %s\n", n, opt.snapshot)
@@ -209,6 +276,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if opt.selftest {
+		if node != nil {
+			defer node.Stop()
+		}
 		return runSelfTest(sinkCtx, srv, stdout, opt)
 	}
 
@@ -224,12 +294,58 @@ func run(args []string, stdout io.Writer) error {
 
 	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
+	if node != nil {
+		// Leave drains every held source to the surviving peers (live
+		// handoff) before the server stops accepting; a peerless or
+		// partitioned node just stops, keeping its snapshot.
+		if err := node.Leave(shutCtx); err != nil {
+			fmt.Fprintf(stdout, "cluster leave: %v\n", err)
+			events.Warn("cluster_leave_failed", agingmf.EventFields{"error": err.Error()})
+		}
+	}
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return err
 	}
 	reg := srv.Registry()
 	fmt.Fprintf(stdout, "drained: %d sources, %d samples accepted, %d dropped, %d alerts\n",
 		reg.NumSources(), reg.Accepted(), reg.Dropped(), reg.Alerts().Total())
+	return nil
+}
+
+// splitPeers parses the comma-separated -cluster-peers list.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
+}
+
+// runClusterSelfTest drives an in-process multi-node cluster through the
+// kill/restart/rebalance churn campaign: routed streaming with full
+// membership, a crash-kill forcing dead-node adoption from the shared
+// snapshot store, and a rejoin forcing live migration under load. It
+// returns an error on any ownership violation, sample loss or
+// detector-state parity mismatch against the single-process oracle.
+func runClusterSelfTest(stdout io.Writer, opt options) error {
+	res, err := agingmf.RunClusterSelfTest(agingmf.ClusterSelfTestConfig{
+		Nodes:   opt.scNodes,
+		Sources: opt.scSources,
+		Samples: opt.scSamples,
+		Seed:    opt.seed,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(stdout, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("cluster selftest failed: %w", err)
+	}
+	fmt.Fprintf(stdout, "cluster selftest: %d lines, %d forwards, %d migrations, %d adoptions, loss %d, parity mismatches %d in %v\n",
+		res.LinesSent, res.Forwards, res.Migrations, res.AdoptionsRestore,
+		res.SampleLoss, res.ParityMismatches, res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintln(stdout, "cluster selftest: PASS")
 	return nil
 }
 

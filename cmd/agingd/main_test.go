@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"path/filepath"
@@ -200,6 +201,156 @@ func TestInterruptRestartResumes(t *testing.T) {
 	waitSamples(t, api2, "m", 80)
 	time.Sleep(20 * time.Millisecond)
 	interrupt(buf2, errc2)
+}
+
+// TestClusterSelfTestSmoke runs the daemon's in-process cluster
+// verification small: 3 nodes, kill/restart/rebalance churn, zero loss
+// and oracle parity.
+func TestClusterSelfTestSmoke(t *testing.T) {
+	var buf syncBuf
+	err := run([]string{
+		"-selftest-cluster",
+		"-selftest-cluster-sources", "300",
+		"-selftest-cluster-samples", "9",
+		"-seed", "5",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("cluster selftest failed: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "cluster selftest: PASS") {
+		t.Errorf("no PASS verdict:\n%s", buf.String())
+	}
+}
+
+// freeAddr reserves a loopback address a daemon can be told to advertise
+// before its listener exists.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// TestClusterDaemonsRouteOverHTTP stands up two real daemons joined via
+// -cluster-addr/-cluster-peers and verifies the wired path end to end:
+// lines fed to one daemon's TCP socket land on each source's ring owner
+// (forwarded over the /cluster/* HTTP protocol), every source is held by
+// exactly one node, and /api/cluster reports a healthy membership.
+func TestClusterDaemonsRouteOverHTTP(t *testing.T) {
+	addrA, addrB := freeAddr(t), freeAddr(t)
+
+	daemon := func(self, peer string) (*syncBuf, chan error, string) {
+		var buf syncBuf
+		errc := make(chan error, 1)
+		go func() {
+			errc <- run([]string{
+				"-listen", "127.0.0.1:0", "-http", self,
+				"-cluster-addr", self, "-cluster-peers", peer,
+			}, &buf)
+		}()
+		tcp := waitPrefix(t, &buf, "ingest: tcp://")
+		waitPrefix(t, &buf, "cluster: node")
+		return &buf, errc, tcp
+	}
+	bufA, errcA, tcpA := daemon(addrA, addrB)
+	bufB, errcB, _ := daemon(addrB, addrA)
+
+	// Feed every line through daemon A: sources owned by B must be
+	// forwarded, not double-counted.
+	const sources, perSource = 16, 5
+	conn, err := net.Dial("tcp", tcpA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := bufio.NewWriter(conn)
+	for k := 0; k < perSource; k++ {
+		for i := 0; i < sources; i++ {
+			fmt.Fprintf(w, "source=cl-%02d %d %d\n", i, 5_000_000-i*1000-k, k)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	onB := 0
+	for i := 0; i < sources; i++ {
+		id := fmt.Sprintf("cl-%02d", i)
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			na, oka := sourceSamples(t, addrA, id)
+			nb, okb := sourceSamples(t, addrB, id)
+			if oka && na == perSource && !okb {
+				break
+			}
+			if okb && nb == perSource && !oka {
+				onB++
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("source %s never settled on one owner: A(%d,%v) B(%d,%v)\nA:\n%s\nB:\n%s",
+					id, na, oka, nb, okb, bufA.String(), bufB.String())
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if onB == 0 || onB == sources {
+		dump := func(addr string) string {
+			resp, err := http.Get("http://" + addr + "/api/cluster")
+			if err != nil {
+				return err.Error()
+			}
+			defer resp.Body.Close()
+			b := new(strings.Builder)
+			_, _ = fmt.Fprintf(b, "%d: ", resp.StatusCode)
+			_, _ = io.Copy(b, resp.Body)
+			return b.String()
+		}
+		t.Errorf("ownership never split across the ring: %d/%d on B\nA status: %s\nB status: %s",
+			onB, sources, dump(addrA), dump(addrB))
+	}
+
+	// The status document must show both members and count the forwards.
+	resp, err := http.Get("http://" + addrA + "/api/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Members  []struct{ Name string } `json:"members"`
+		Forwards uint64                  `json:"forwards"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(st.Members) != 2 {
+		t.Errorf("/api/cluster reports %d members, want 2", len(st.Members))
+	}
+	if st.Forwards == 0 {
+		t.Error("/api/cluster reports zero forwards after cross-owner ingest")
+	}
+
+	time.Sleep(20 * time.Millisecond) // let both daemons reach their signal wait
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range []struct {
+		buf  *syncBuf
+		errc chan error
+	}{{bufA, errcA}, {bufB, errcB}} {
+		select {
+		case err := <-d.errc:
+			if err != nil {
+				t.Fatalf("daemon exit: %v\n%s", err, d.buf.String())
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatalf("daemon did not drain on SIGINT:\n%s", d.buf.String())
+		}
+	}
 }
 
 // TestBadFlags keeps flag parsing honest.

@@ -13,16 +13,24 @@ import (
 // loadOrNewMonitor restores the monitor from the snapshot manager's path
 // if a readable snapshot exists there, or builds a fresh one (an
 // unreadable path falls back to fresh, exactly like a cold start — the
-// save at exit reports any real persistence problem).
+// save at exit reports any real persistence problem). A snapshot that
+// reads but does not decode is quarantined to <path>.corrupt rather than
+// wedging the monitor in a crash loop, and the run starts fresh.
 func loadOrNewMonitor(sm *runtime.SnapshotManager, limit int, stdout io.Writer) (*agingmf.DualMonitor, error) {
 	if blob, err := sm.Restore(); err == nil && blob != nil {
 		mon, err := agingmf.RestoreDualMonitor(blob)
-		if err != nil {
-			return nil, fmt.Errorf("restore %s: %w", sm.Path, err)
+		if err == nil {
+			fmt.Fprintf(stdout, "restored monitor state: %d samples seen, phase %v\n",
+				mon.SamplesSeen(), mon.Phase())
+			return mon, nil
 		}
-		fmt.Fprintf(stdout, "restored monitor state: %d samples seen, phase %v\n",
-			mon.SamplesSeen(), mon.Phase())
-		return mon, nil
+		if qpath, qerr := runtime.Quarantine(sm.Path); qerr == nil {
+			fmt.Fprintf(stdout, "corrupt snapshot %s quarantined to %s (%v); starting fresh\n",
+				sm.Path, qpath, err)
+		} else {
+			fmt.Fprintf(stdout, "corrupt snapshot %s (%v; quarantine failed: %v); starting fresh\n",
+				sm.Path, err, qerr)
+		}
 	}
 	monCfg := agingmf.DefaultMonitorConfig()
 	monCfg.HistoryLimit = limit

@@ -197,3 +197,30 @@ func TestBadSampleCounterOnMetrics(t *testing.T) {
 		t.Fatalf("run: %v", err)
 	}
 }
+
+func TestCorruptStateQuarantinedOnRestore(t *testing.T) {
+	state := t.TempDir() + "/mon.state"
+	if err := os.WriteFile(state, []byte("garbage, not a monitor snapshot"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	// A corrupt state file must not wedge startup in a crash loop: the
+	// run quarantines it, starts fresh, and persists a clean state.
+	if err := run([]string{"-stdin", "-state", state}, strings.NewReader("1e9,0\n2e9,0\n"), &out); err != nil {
+		t.Fatalf("run with corrupt state: %v", err)
+	}
+	if !strings.Contains(out.String(), "quarantined") {
+		t.Errorf("quarantine not reported:\n%s", out.String())
+	}
+	if _, err := os.Stat(state + ".corrupt"); err != nil {
+		t.Errorf("corrupt state not moved aside: %v", err)
+	}
+	// The fresh session saved a restorable snapshot at exit.
+	var out2 bytes.Buffer
+	if err := run([]string{"-stdin", "-state", state}, strings.NewReader("1e9,0\n"), &out2); err != nil {
+		t.Fatalf("follow-up run: %v", err)
+	}
+	if !strings.Contains(out2.String(), "restored monitor state:") {
+		t.Errorf("fresh state not persisted after quarantine:\n%s", out2.String())
+	}
+}

@@ -1,0 +1,79 @@
+package chaos
+
+import (
+	"context"
+	"testing"
+)
+
+// TestClusterChaosPlainLoad: routed load with no faults — zero loss and
+// exact parity are unconditional.
+func TestClusterChaosPlainLoad(t *testing.T) {
+	rep, err := RunCluster(context.Background(), ClusterConfig{Seed: 11})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("plain load degraded: %+v", rep)
+	}
+	if rep.SampleLoss != 0 || len(rep.ParityMismatches) != 0 {
+		t.Fatalf("plain load lost data: %+v", rep)
+	}
+	if rep.Forwards == 0 {
+		t.Fatalf("routing never forwarded — the cluster was not exercised: %+v", rep)
+	}
+}
+
+// TestClusterChaosMigrateUnderLoadAndPartition: live migrations and a
+// short partition while streaming — still zero loss, still exact parity
+// (the cut is shorter than the down-mark tolerance, so routing blocks
+// and retries instead of split-braining).
+func TestClusterChaosMigrateUnderLoadAndPartition(t *testing.T) {
+	rep, err := RunCluster(context.Background(), ClusterConfig{
+		Seed: 12,
+		Faults: ClusterFaults{
+			Partition:        true,
+			MigrateUnderLoad: true,
+		},
+	})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("migrate+partition degraded: %+v", rep)
+	}
+	if rep.SampleLoss != 0 || len(rep.ParityMismatches) != 0 {
+		t.Fatalf("zero-loss invariant broken: %+v", rep)
+	}
+	if rep.Migrations == 0 {
+		t.Fatalf("no migration completed under load: %+v", rep)
+	}
+}
+
+// TestClusterChaosKillMidIngest: a crash-kill without the final store
+// sync. Loss is allowed — but only the victim's post-snapshot window:
+// every source must end singly owned with state matching a legal replay
+// of the batches that survived.
+func TestClusterChaosKillMidIngest(t *testing.T) {
+	rep, err := RunCluster(context.Background(), ClusterConfig{
+		Seed: 13,
+		Faults: ClusterFaults{
+			KillMidIngest:    true,
+			MigrateUnderLoad: true,
+		},
+	})
+	if err != nil {
+		t.Fatalf("campaign: %v", err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("kill recovery degraded: %+v", rep)
+	}
+	if rep.Killed == "" || rep.VictimSources == 0 {
+		t.Fatalf("the kill fault did not fire: %+v", rep)
+	}
+	if rep.Adoptions == 0 {
+		t.Fatalf("no stale-snapshot adoption happened: %+v", rep)
+	}
+	if len(rep.ParityMismatches) != 0 {
+		t.Fatalf("recovered states match no legal replay: %v", rep.ParityMismatches)
+	}
+}

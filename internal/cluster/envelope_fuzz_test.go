@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"agingmf/internal/trace"
+)
+
+// FuzzEnvelope throws arbitrary bytes at the migration-envelope decoder.
+// The contract under fuzz: DecodeEnvelope never panics, and anything it
+// does accept re-encodes to a frame that decodes to the same envelope (a
+// decoded envelope is always internally consistent).
+func FuzzEnvelope(f *testing.F) {
+	valid, err := EncodeEnvelope(Envelope{
+		Source:  "fuzz-src",
+		Origin:  "a",
+		Target:  "b",
+		State:   []byte{1, 2, 3, 4, 5, 6, 7, 8},
+		Records: []trace.Record{{Seq: 7, Free: 1e9, Phase: "baseline"}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("AGMV"))
+	f.Add(valid[:len(valid)/2])
+	mut := append([]byte(nil), valid...)
+	mut[13] ^= 0x40
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := DecodeEnvelope(data) // must never panic
+		if err != nil {
+			return
+		}
+		re, err := EncodeEnvelope(e)
+		if err != nil {
+			t.Fatalf("accepted envelope failed to re-encode: %v", err)
+		}
+		e2, err := DecodeEnvelope(re)
+		if err != nil {
+			t.Fatalf("re-encoded envelope failed to decode: %v", err)
+		}
+		if e2.Source != e.Source || !bytes.Equal(e2.State, e.State) || len(e2.Records) != len(e.Records) {
+			t.Fatalf("round-trip drifted: %+v vs %+v", e, e2)
+		}
+	})
+}

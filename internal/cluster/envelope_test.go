@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"agingmf/internal/trace"
+)
+
+func testEnvelope() Envelope {
+	return Envelope{
+		Source: "web-01",
+		Origin: "node-0",
+		Target: "node-1",
+		State:  []byte{0x01, 0x02, 0x03, 0xfe, 0x00, 0x7f},
+		Records: []trace.Record{
+			{Seq: 41, Free: 1e9, Swap: 2e8, Phase: "baseline"},
+			{Seq: 42, Free: 9e8, Swap: 3e8, Phase: "aging", Jumps: 1},
+		},
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	in := testEnvelope()
+	frame, err := EncodeEnvelope(in)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	out, err := DecodeEnvelope(frame)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Version != EnvelopeVersion {
+		t.Fatalf("version %d, want %d", out.Version, EnvelopeVersion)
+	}
+	if out.Source != in.Source || out.Origin != in.Origin || out.Target != in.Target {
+		t.Fatalf("identity fields mangled: %+v", out)
+	}
+	if !bytes.Equal(out.State, in.State) {
+		t.Fatalf("state not byte-identical: %x vs %x", out.State, in.State)
+	}
+	if len(out.Records) != len(in.Records) || out.Records[1] != in.Records[1] {
+		t.Fatalf("records mangled: %+v", out.Records)
+	}
+}
+
+func TestEnvelopeRejectsEmptySource(t *testing.T) {
+	if _, err := EncodeEnvelope(Envelope{}); !errors.Is(err, ErrBadEnvelope) {
+		t.Fatalf("encode of empty source: %v, want ErrBadEnvelope", err)
+	}
+}
+
+// TestEnvelopeCorruption holds the decoder to its contract: any
+// truncation or bit flip yields an error wrapping ErrBadEnvelope — never
+// a panic, never a silently wrong envelope.
+func TestEnvelopeCorruption(t *testing.T) {
+	frame, err := EncodeEnvelope(testEnvelope())
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+
+	t.Run("truncated", func(t *testing.T) {
+		for cut := 0; cut < len(frame); cut++ {
+			if _, err := DecodeEnvelope(frame[:cut]); !errors.Is(err, ErrBadEnvelope) {
+				t.Fatalf("truncation at %d: %v, want ErrBadEnvelope", cut, err)
+			}
+		}
+	})
+	t.Run("bit-flipped", func(t *testing.T) {
+		for i := range frame {
+			for bit := 0; bit < 8; bit++ {
+				mut := append([]byte(nil), frame...)
+				mut[i] ^= 1 << bit
+				e, err := DecodeEnvelope(mut)
+				if err == nil {
+					t.Fatalf("flip of byte %d bit %d decoded cleanly: %+v", i, bit, e)
+				}
+				if !errors.Is(err, ErrBadEnvelope) {
+					t.Fatalf("flip of byte %d bit %d: %v, want ErrBadEnvelope", i, bit, err)
+				}
+			}
+		}
+	})
+	t.Run("oversized-length", func(t *testing.T) {
+		mut := append([]byte(nil), frame...)
+		mut[4], mut[5], mut[6], mut[7] = 0xff, 0xff, 0xff, 0xff
+		if _, err := DecodeEnvelope(mut); !errors.Is(err, ErrBadEnvelope) {
+			t.Fatalf("oversized length: %v, want ErrBadEnvelope", err)
+		}
+	})
+	t.Run("trailing-garbage", func(t *testing.T) {
+		mut := append(append([]byte(nil), frame...), 0xaa, 0xbb)
+		if _, err := DecodeEnvelope(mut); !errors.Is(err, ErrBadEnvelope) {
+			t.Fatalf("trailing garbage: %v, want ErrBadEnvelope", err)
+		}
+	})
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+
+	"agingmf/internal/ingest"
+)
+
+// maxForwardLine bounds a forwarded wire line (1 MiB covers the largest
+// legal batch frame many times over).
+const maxForwardLine = 1 << 20
+
+// Handler returns the receiving side of the HTTP cluster protocol — the
+// /cluster/* endpoints HTTPTransport speaks — plus the /api/cluster
+// status document, ready to mount on the agingd HTTP mux.
+func (n *Node) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/cluster/ping", func(w http.ResponseWriter, r *http.Request) {
+		if n.closed.Load() {
+			http.Error(w, "node closed", http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/cluster/forward", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxForwardLine))
+		if err != nil {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		hops, _ := strconv.Atoi(r.Header.Get(hopHeader))
+		err = n.HandleForward(r.Context(), r.URL.Query().Get("source"), string(body), hops)
+		switch {
+		case err == nil:
+			w.WriteHeader(http.StatusOK)
+		case errors.Is(err, ingest.ErrBadLine), errors.Is(err, ingest.ErrBadSample), errors.Is(err, ingest.ErrNoSource):
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		default:
+			// Routing/transport trouble: 503 so the sender's retry
+			// classifier treats it as transient.
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		}
+	})
+	mux.HandleFunc("/cluster/handoff", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxEnvelopeBytes+16))
+		if err != nil {
+			http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		switch err := n.HandleHandoff(body); {
+		case err == nil:
+			w.WriteHeader(http.StatusOK) // the ack
+		case errors.Is(err, ErrBadEnvelope):
+			http.Error(w, err.Error(), http.StatusBadRequest)
+		default:
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		}
+	})
+	mux.HandleFunc("/cluster/locate", func(w http.ResponseWriter, r *http.Request) {
+		if n.Holds(r.URL.Query().Get("source")) {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusNotFound)
+	})
+	mux.HandleFunc("/cluster/announce", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		q := r.URL.Query()
+		n.HandleAnnounce(q.Get("from"), q.Get("kind"))
+		w.WriteHeader(http.StatusOK)
+	})
+	mux.HandleFunc("/api/cluster", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(n.Status())
+	})
+	return mux
+}

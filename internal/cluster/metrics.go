@@ -1,0 +1,50 @@
+package cluster
+
+import "agingmf/internal/obs"
+
+// Metric families of the cluster layer. Registered lazily through the
+// nil-safe obs API: an un-instrumented node pays only nil checks.
+const (
+	metricMigrations      = "agingmf_cluster_migrations_total"
+	metricOwnerChanges    = "agingmf_cluster_owner_changes_total"
+	metricForwards        = "agingmf_cluster_forwards_total"
+	metricAdoptions       = "agingmf_cluster_adoptions_total"
+	metricHandoffFailures = "agingmf_cluster_handoff_failures_total"
+	metricHeartbeats      = "agingmf_cluster_heartbeats_total"
+	metricPeersUp         = "agingmf_cluster_peers_up"
+	metricMembers         = "agingmf_cluster_ring_members"
+)
+
+// metrics holds the cluster instruments; the zero value is a no-op set.
+type metrics struct {
+	migrations      *obs.Counter
+	ownerChanges    *obs.Counter
+	forwards        *obs.Counter
+	adoptions       *obs.CounterVec // by outcome: restore | fresh
+	handoffFailures *obs.Counter
+	heartbeats      *obs.CounterVec // by result: ok | miss
+	peersUp         *obs.Gauge
+	members         *obs.Gauge
+}
+
+// newMetrics registers the cluster families on reg; nil yields no-ops.
+func newMetrics(reg *obs.Registry) metrics {
+	return metrics{
+		migrations: reg.Counter(metricMigrations,
+			"Completed source migrations initiated by this node."),
+		ownerChanges: reg.Counter(metricOwnerChanges,
+			"Sources whose ownership this node acquired (handoffs in plus adoptions)."),
+		forwards: reg.Counter(metricForwards,
+			"Ingest lines forwarded to the owning peer."),
+		adoptions: reg.CounterVec(metricAdoptions,
+			"Dead-node sources adopted by this node.", "outcome"),
+		handoffFailures: reg.Counter(metricHandoffFailures,
+			"Migrations rolled back after an unreachable or refusing target."),
+		heartbeats: reg.CounterVec(metricHeartbeats,
+			"Peer heartbeat probes.", "result"),
+		peersUp: reg.Gauge(metricPeersUp,
+			"Peers currently considered alive (self excluded)."),
+		members: reg.Gauge(metricMembers,
+			"Members on this node's routing ring (self included)."),
+	}
+}

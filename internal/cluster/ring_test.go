@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(0, []string{"n0", "n1", "n2"})
+	b := NewRing(0, []string{"n2", "n0", "n1"}) // order must not matter
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("src-%d", i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("owner of %s differs between member orderings: %s vs %s", key, a.Owner(key), b.Owner(key))
+		}
+	}
+}
+
+func TestRingCoversAllMembers(t *testing.T) {
+	members := []string{"n0", "n1", "n2", "n3"}
+	r := NewRing(0, members)
+	seen := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		seen[r.Owner(fmt.Sprintf("src-%d", i))]++
+	}
+	for _, m := range members {
+		n := seen[m]
+		if n == 0 {
+			t.Fatalf("member %s owns no keys", m)
+		}
+		// With 64 virtual nodes the split should be within a loose band of
+		// the fair share (2500).
+		if n < 1000 || n > 5000 {
+			t.Errorf("member %s owns %d of 10000 keys — virtual-node spread is off", m, n)
+		}
+	}
+}
+
+func TestRingRemovalMovesOnlyVictimKeys(t *testing.T) {
+	before := NewRing(0, []string{"n0", "n1", "n2"})
+	after := NewRing(0, []string{"n0", "n2"})
+	moved := 0
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("src-%d", i)
+		was, now := before.Owner(key), after.Owner(key)
+		if was != "n1" && was != now {
+			t.Fatalf("key %s moved %s -> %s though its owner survived", key, was, now)
+		}
+		if was == "n1" {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("removed member owned nothing")
+	}
+}
+
+func TestRingEmptyAndMissing(t *testing.T) {
+	if owner := NewRing(0, nil).Owner("x"); owner != "" {
+		t.Fatalf("empty ring produced owner %q", owner)
+	}
+	var nilRing *Ring
+	if owner := nilRing.Owner("x"); owner != "" {
+		t.Fatalf("nil ring produced owner %q", owner)
+	}
+	r := NewRing(0, []string{"solo"})
+	if !r.Has("solo") || r.Has("ghost") {
+		t.Fatal("Has misreports membership")
+	}
+	if r.Owner("anything") != "solo" {
+		t.Fatal("single-member ring must own everything")
+	}
+}
+
+// TestRingBalanceWithAddressNames guards the vnode hash against
+// FNV-1a's clustering failure: member names that differ only in a few
+// digits (host:port addresses) and sequential fleet ids ("web-001",
+// "web-002", ...) hash to near-consecutive raw FNV values, which —
+// without a finalizing mix — collapses each member's vnodes into one
+// contiguous arc and routes entire fleets to a single node. Every
+// member must own a healthy share of realistic keys.
+func TestRingBalanceWithAddressNames(t *testing.T) {
+	members := []string{"127.0.0.1:38047", "127.0.0.1:41675", "127.0.0.1:41676"}
+	r := NewRing(0, members)
+	const keys = 3000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("web-%03d", i))]++
+	}
+	for _, m := range members {
+		// A fair share is keys/3; demand at least a third of that so the
+		// test tolerates ordinary consistent-hash variance but fails hard
+		// on arc collapse (where a member gets ~0).
+		if counts[m] < keys/len(members)/3 {
+			t.Errorf("member %s owns only %d/%d keys — vnodes collapsed into one arc: %v",
+				m, counts[m], keys, counts)
+		}
+	}
+}

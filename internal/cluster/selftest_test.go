@@ -1,0 +1,35 @@
+package cluster
+
+import "testing"
+
+// TestRunSelfTestSmall runs the full kill/restart/rebalance campaign at
+// a size CI can afford; cmd/agingd -selftest-cluster runs the 100k-source
+// version of exactly this code path.
+func TestRunSelfTestSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster campaign is seconds-long; skipped in -short")
+	}
+	res, err := RunSelfTest(SelfTestConfig{
+		Nodes:     3,
+		Sources:   300,
+		Samples:   9,
+		Shards:    2,
+		Producers: 4,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("campaign failed: %v (%+v)", err, res)
+	}
+	if res.AdoptionsRestore == 0 {
+		t.Fatal("kill phase produced no adoptions")
+	}
+	if res.Migrations == 0 {
+		t.Fatal("rejoin phase produced no migrations")
+	}
+	if res.Forwards == 0 {
+		t.Fatal("routing produced no forwards")
+	}
+	if res.LinesSent != 3*300 {
+		t.Fatalf("lines sent %d, want %d", res.LinesSent, 3*300)
+	}
+}

@@ -1,0 +1,62 @@
+package cluster
+
+import "sync"
+
+// StateStore is the cluster's shared last-snapshot shelf: nodes stash
+// their sources' SaveState blobs here (on snapshot and on graceful
+// stop), and the new ring owner of a dead node's source restores from it
+// instead of starting a fresh monitor — the "restore-from-last-snapshot"
+// leg of failure handling. A production deployment backs this with
+// shared storage; the in-process cluster uses MemStore.
+//
+// Nil is a valid StateStore everywhere in this package: adoption then
+// always starts fresh (counted as adoptions{outcome="fresh"}).
+type StateStore interface {
+	// Put stashes one source's SaveState blob (overwriting any previous).
+	Put(source string, state []byte)
+	// Get returns the stashed blob for source, or ok=false.
+	Get(source string) (state []byte, ok bool)
+	// Delete drops a stashed blob (the owner has superseded it).
+	Delete(source string)
+}
+
+// MemStore is the in-memory StateStore shared by the in-process cluster
+// (selftest, chaos campaigns). Safe for concurrent use.
+type MemStore struct {
+	mu     sync.RWMutex
+	states map[string][]byte
+}
+
+// NewMemStore builds an empty MemStore.
+func NewMemStore() *MemStore {
+	return &MemStore{states: make(map[string][]byte)}
+}
+
+// Put implements StateStore.
+func (s *MemStore) Put(source string, state []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.states[source] = state
+}
+
+// Get implements StateStore.
+func (s *MemStore) Get(source string) ([]byte, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	b, ok := s.states[source]
+	return b, ok
+}
+
+// Delete implements StateStore.
+func (s *MemStore) Delete(source string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.states, source)
+}
+
+// Len returns how many states are stashed.
+func (s *MemStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.states)
+}

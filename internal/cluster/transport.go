@@ -1,0 +1,313 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"agingmf/internal/resilience"
+)
+
+// Announce kinds: a node joining the cluster (peers add it to their
+// rings and push its share of sources over) or leaving gracefully
+// (peers drop it; it has already drained).
+const (
+	AnnounceJoin  = "join"
+	AnnounceLeave = "leave"
+)
+
+// ErrPeerUnreachable reports a transport-level delivery failure. It is
+// marked transient for the resilience retry classifier by both built-in
+// transports.
+var ErrPeerUnreachable = errors.New("cluster: peer unreachable")
+
+// Transport moves cluster traffic between nodes. Implementations must be
+// safe for concurrent use. The built-ins are MemTransport (in-process,
+// the selftest and chaos harness) and HTTPTransport (production, riding
+// the agingd HTTP listener under /cluster/).
+type Transport interface {
+	// Ping probes peer liveness (the heartbeat primitive).
+	Ping(ctx context.Context, peer string) error
+	// Forward delivers one wire line to peer for ingestion, carrying the
+	// hop count so forwarding loops stay bounded.
+	Forward(ctx context.Context, peer, defaultSource, line string, hops int) error
+	// Handoff delivers one encoded migration envelope (the acquire step);
+	// a nil return is the target's ack that it now owns the source.
+	Handoff(ctx context.Context, peer string, envelope []byte) error
+	// Locate asks peer whether it currently holds source (including a
+	// source it is migrating out — the rollback state still lives there).
+	Locate(ctx context.Context, peer, source string) (bool, error)
+	// Announce notifies peer of a membership change at node `from`.
+	Announce(ctx context.Context, peer, from, kind string) error
+}
+
+// MemTransport is the in-process transport: nodes register under their
+// names and calls are direct method invocations. Partition simulates a
+// network split between two nodes for the chaos campaign — both sides
+// see ErrPeerUnreachable until Heal.
+type MemTransport struct {
+	mu    sync.RWMutex
+	nodes map[string]*Node
+	cut   map[[2]string]bool
+}
+
+// NewMemTransport builds an empty in-process transport.
+func NewMemTransport() *MemTransport {
+	return &MemTransport{
+		nodes: make(map[string]*Node),
+		cut:   make(map[[2]string]bool),
+	}
+}
+
+// Register makes n reachable under its configured name.
+func (t *MemTransport) Register(n *Node) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nodes[n.Name()] = n
+}
+
+// Unregister removes name from the transport — the "node process died"
+// primitive: every subsequent call to it fails as unreachable.
+func (t *MemTransport) Unregister(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.nodes, name)
+}
+
+// Partition cuts the link between a and b (both directions) until Heal.
+func (t *MemTransport) Partition(a, b string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cut[link(a, b)] = true
+}
+
+// Heal restores the link between a and b.
+func (t *MemTransport) Heal(a, b string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.cut, link(a, b))
+}
+
+// link canonicalizes an unordered node pair.
+func link(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// lookup resolves peer for a call originating at from, honouring
+// partitions.
+func (t *MemTransport) lookup(from, peer string) (*Node, error) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.cut[link(from, peer)] {
+		return nil, resilience.Transient(fmt.Errorf("%w: %s (partitioned from %s)", ErrPeerUnreachable, peer, from))
+	}
+	n, ok := t.nodes[peer]
+	if !ok {
+		return nil, resilience.Transient(fmt.Errorf("%w: %s", ErrPeerUnreachable, peer))
+	}
+	return n, nil
+}
+
+// caller extracts the originating node name for partition checks; calls
+// made outside any node (tests) originate from "".
+type callerKey struct{}
+
+// withCaller tags ctx with the calling node's name.
+func withCaller(ctx context.Context, name string) context.Context {
+	return context.WithValue(ctx, callerKey{}, name)
+}
+
+// callerOf recovers the calling node's name from ctx.
+func callerOf(ctx context.Context) string {
+	name, _ := ctx.Value(callerKey{}).(string)
+	return name
+}
+
+// Ping implements Transport.
+func (t *MemTransport) Ping(ctx context.Context, peer string) error {
+	_, err := t.lookup(callerOf(ctx), peer)
+	return err
+}
+
+// Forward implements Transport.
+func (t *MemTransport) Forward(ctx context.Context, peer, defaultSource, line string, hops int) error {
+	n, err := t.lookup(callerOf(ctx), peer)
+	if err != nil {
+		return err
+	}
+	return n.HandleForward(ctx, defaultSource, line, hops)
+}
+
+// Handoff implements Transport.
+func (t *MemTransport) Handoff(ctx context.Context, peer string, envelope []byte) error {
+	n, err := t.lookup(callerOf(ctx), peer)
+	if err != nil {
+		return err
+	}
+	return n.HandleHandoff(envelope)
+}
+
+// Locate implements Transport.
+func (t *MemTransport) Locate(ctx context.Context, peer, source string) (bool, error) {
+	n, err := t.lookup(callerOf(ctx), peer)
+	if err != nil {
+		return false, err
+	}
+	return n.Holds(source), nil
+}
+
+// Announce implements Transport.
+func (t *MemTransport) Announce(ctx context.Context, peer, from, kind string) error {
+	n, err := t.lookup(callerOf(ctx), peer)
+	if err != nil {
+		return err
+	}
+	n.HandleAnnounce(from, kind)
+	return nil
+}
+
+// HTTPTransport speaks the cluster protocol over the peers' agingd HTTP
+// listeners (Node.Handler mounts the receiving side under /cluster/).
+// Peer names are host:port addresses.
+type HTTPTransport struct {
+	// Client issues the requests (nil selects a 10-second-timeout
+	// client; per-call contexts bound individual operations tighter).
+	Client *http.Client
+	// Scheme is the URL scheme ("" selects http).
+	Scheme string
+}
+
+// hopHeader carries the forwarding hop count across HTTP.
+const hopHeader = "X-Agingmf-Hops"
+
+// client resolves the effective HTTP client.
+func (t *HTTPTransport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+// peerURL builds a cluster endpoint URL on peer.
+func (t *HTTPTransport) peerURL(peer, path string) string {
+	scheme := t.Scheme
+	if scheme == "" {
+		scheme = "http"
+	}
+	return scheme + "://" + peer + path
+}
+
+// do runs one request, classifying transport failures and 5xx as
+// transient (retryable) and anything else 4xx+ as permanent.
+func (t *HTTPTransport) do(req *http.Request) (*http.Response, error) {
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return nil, resilience.Transient(fmt.Errorf("%w: %v", ErrPeerUnreachable, err))
+	}
+	if resp.StatusCode >= 500 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		resp.Body.Close()
+		return nil, resilience.Transient(fmt.Errorf("cluster: peer %s: %s", req.URL.Host, strings.TrimSpace(string(body))))
+	}
+	if resp.StatusCode >= 400 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		resp.Body.Close()
+		return nil, fmt.Errorf("cluster: peer %s: %s: %s", req.URL.Host, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return resp, nil
+}
+
+// Ping implements Transport (GET /cluster/ping).
+func (t *HTTPTransport) Ping(ctx context.Context, peer string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, t.peerURL(peer, "/cluster/ping"), nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Forward implements Transport (POST /cluster/forward).
+func (t *HTTPTransport) Forward(ctx context.Context, peer, defaultSource, line string, hops int) error {
+	u := t.peerURL(peer, "/cluster/forward?source="+url.QueryEscape(defaultSource))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, strings.NewReader(line))
+	if err != nil {
+		return err
+	}
+	req.Header.Set(hopHeader, strconv.Itoa(hops))
+	resp, err := t.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Handoff implements Transport (POST /cluster/handoff).
+func (t *HTTPTransport) Handoff(ctx context.Context, peer string, envelope []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, t.peerURL(peer, "/cluster/handoff"), bytes.NewReader(envelope))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := t.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Locate implements Transport (GET /cluster/locate; 200 holds, 404 not).
+func (t *HTTPTransport) Locate(ctx context.Context, peer, source string) (bool, error) {
+	u := t.peerURL(peer, "/cluster/locate?source="+url.QueryEscape(source))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return false, err
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return false, resilience.Transient(fmt.Errorf("%w: %v", ErrPeerUnreachable, err))
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusOK:
+		return true, nil
+	case resp.StatusCode == http.StatusNotFound:
+		return false, nil
+	case resp.StatusCode >= 500:
+		return false, resilience.Transient(fmt.Errorf("cluster: peer %s: %s", peer, resp.Status))
+	default:
+		return false, fmt.Errorf("cluster: peer %s: %s", peer, resp.Status)
+	}
+}
+
+// Announce implements Transport (POST /cluster/announce).
+func (t *HTTPTransport) Announce(ctx context.Context, peer, from, kind string) error {
+	u := t.peerURL(peer, "/cluster/announce?from="+url.QueryEscape(from)+"&kind="+url.QueryEscape(kind))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := t.do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"agingmf/internal/ingest"
+	"agingmf/internal/resilience"
+)
+
+func TestMemTransportPartitionAndHeal(t *testing.T) {
+	nodes, tr, _ := testCluster(t, 2, 0)
+	a, b := nodes[0], nodes[1]
+	tr.Partition(a.Name(), b.Name())
+	err := tr.Ping(withCaller(context.Background(), a.Name()), b.Name())
+	if !errors.Is(err, ErrPeerUnreachable) {
+		t.Fatalf("partitioned ping: %v, want ErrPeerUnreachable", err)
+	}
+	if !resilience.IsTransient(err) {
+		t.Fatal("partition errors must classify as transient")
+	}
+	// The cut is symmetric.
+	if err := tr.Ping(withCaller(context.Background(), b.Name()), a.Name()); err == nil {
+		t.Fatal("reverse direction not cut")
+	}
+	tr.Heal(a.Name(), b.Name())
+	if err := tr.Ping(withCaller(context.Background(), a.Name()), b.Name()); err != nil {
+		t.Fatalf("healed ping: %v", err)
+	}
+}
+
+func TestMemTransportUnregister(t *testing.T) {
+	nodes, tr, _ := testCluster(t, 2, 0)
+	tr.Unregister(nodes[1].Name())
+	err := tr.Forward(context.Background(), nodes[1].Name(), "d", "1 2", 0)
+	if !errors.Is(err, ErrPeerUnreachable) || !resilience.IsTransient(err) {
+		t.Fatalf("forward to unregistered peer: %v, want transient ErrPeerUnreachable", err)
+	}
+}
+
+// TestHTTPTransport drives the full HTTP protocol — ping, locate,
+// forward, handoff, announce — against a real Node handler.
+func TestHTTPTransport(t *testing.T) {
+	reg, err := ingest.NewRegistry(ingest.Config{Shards: 2, QueueSize: 64, Monitor: selfTestMonitorConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht := &HTTPTransport{}
+	node, err := NewNode(Config{Self: "http-node", Transport: ht, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Stop(); _ = reg.Close() })
+	ts := httptest.NewServer(node.Handler())
+	t.Cleanup(ts.Close)
+	peer := strings.TrimPrefix(ts.URL, "http://")
+	ctx := context.Background()
+
+	if err := ht.Ping(ctx, peer); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+	if holds, err := ht.Locate(ctx, peer, "src-1"); err != nil || holds {
+		t.Fatalf("locate before ingest: holds=%v err=%v", holds, err)
+	}
+	if err := ht.Forward(ctx, peer, "deflt", "source=src-1 1e9 2e8", 1); err != nil {
+		t.Fatalf("forward: %v", err)
+	}
+	if err := reg.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if holds, err := ht.Locate(ctx, peer, "src-1"); err != nil || !holds {
+		t.Fatalf("locate after ingest: holds=%v err=%v", holds, err)
+	}
+	// A malformed line is the sender's fault: permanent 400, not transient.
+	if err := ht.Forward(ctx, peer, "deflt", "source=src-1 not numbers", 1); err == nil || resilience.IsTransient(err) {
+		t.Fatalf("bad line forward: %v, want permanent error", err)
+	}
+
+	blob, err := node.Registry().MonitorState("src-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := EncodeEnvelope(Envelope{Source: "src-2", Origin: "x", Target: "http-node", State: blob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ht.Handoff(ctx, peer, env); err != nil {
+		t.Fatalf("handoff: %v", err)
+	}
+	if !node.Holds("src-2") {
+		t.Fatal("handoff over HTTP did not attach the source")
+	}
+	if err := ht.Handoff(ctx, peer, []byte("garbage")); err == nil || resilience.IsTransient(err) {
+		t.Fatalf("corrupt handoff: %v, want permanent error", err)
+	}
+	if err := ht.Announce(ctx, peer, "node-z", AnnounceJoin); err != nil {
+		t.Fatalf("announce: %v", err)
+	}
+	// Unreachable peers are transient for the retry machinery.
+	if err := ht.Ping(ctx, "127.0.0.1:1"); err == nil || !resilience.IsTransient(err) {
+		t.Fatalf("unreachable ping: %v, want transient", err)
+	}
+}
+
+func TestHTTPStatusEndpoint(t *testing.T) {
+	reg, err := ingest.NewRegistry(ingest.Config{Shards: 2, QueueSize: 64, Monitor: selfTestMonitorConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, err := NewNode(Config{Self: "solo", Transport: &HTTPTransport{}, Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { node.Stop(); _ = reg.Close() })
+	ts := httptest.NewServer(node.Handler())
+	t.Cleanup(ts.Close)
+	resp, err := ts.Client().Get(ts.URL + "/api/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status endpoint: %s", resp.Status)
+	}
+	var buf [512]byte
+	n, _ := resp.Body.Read(buf[:])
+	body := string(buf[:n])
+	if !strings.Contains(body, `"self":"solo"`) {
+		t.Fatalf("status document missing self: %s", body)
+	}
+}
+
+func TestStatusMembersSorted(t *testing.T) {
+	nodes, _, _ := testCluster(t, 3, 0)
+	st := nodes[2].Status()
+	if len(st.Members) != 3 {
+		t.Fatalf("members %d, want 3", len(st.Members))
+	}
+	for i := 1; i < len(st.Members); i++ {
+		if st.Members[i].Name < st.Members[i-1].Name {
+			t.Fatalf("members not sorted: %v", st.Members)
+		}
+	}
+	self := 0
+	for _, m := range st.Members {
+		if m.Self {
+			self++
+			if m.Name != nodes[2].Name() {
+				t.Fatalf("wrong self marker on %s", m.Name)
+			}
+		}
+		if !m.Alive {
+			t.Fatalf("member %s should be alive", m.Name)
+		}
+	}
+	if self != 1 {
+		t.Fatalf("self markers %d, want 1", self)
+	}
+}
+
+func TestRingHTTPNamePick(t *testing.T) {
+	// Guard against a footgun: ring members are transport names, so the
+	// ring must treat "host:port" strings as opaque keys.
+	r := NewRing(0, []string{"10.0.0.1:9178", "10.0.0.2:9178"})
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		seen[r.Owner(fmt.Sprintf("s%d", i))] = true
+	}
+	if len(seen) != 2 {
+		t.Fatalf("host:port members not both used: %v", seen)
+	}
+}

@@ -238,6 +238,11 @@ type WebhookConfig struct {
 	// resilience defaults (3 attempts, 10ms base backoff). Network errors
 	// and 5xx responses are retried; other HTTP errors are not.
 	Retry resilience.RetryConfig
+	// Timeout bounds each individual delivery attempt (0 selects 5s). It
+	// caps the attempt even when Client carries no timeout of its own, so
+	// a black-holed endpoint costs a bounded wait per attempt instead of
+	// wedging the sink.
+	Timeout time.Duration
 }
 
 // WebhookSink drains sub, POSTing each alert to cfg.URL with bounded
@@ -257,6 +262,10 @@ func WebhookSink(ctx context.Context, sub *Subscription, cfg WebhookConfig, ev *
 	if retry.Classify == nil {
 		retry.Classify = resilience.IsTransient
 	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
 	for {
 		select {
 		case <-ctx.Done():
@@ -270,7 +279,9 @@ func WebhookSink(ctx context.Context, sub *Subscription, cfg WebhookConfig, ev *
 				continue // an Alert always marshals; defensive only
 			}
 			err = resilience.Retry(ctx, retry, func(int) error {
-				return postAlert(ctx, client, cfg.URL, body)
+				actx, cancel := context.WithTimeout(ctx, timeout)
+				defer cancel()
+				return postAlert(actx, client, cfg.URL, body)
 			})
 			if err != nil {
 				ev.Error("alert_webhook_failed", obs.Fields{

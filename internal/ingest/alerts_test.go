@@ -202,3 +202,50 @@ func TestWebhookSinkPermanentFailureIsNotRetried(t *testing.T) {
 		t.Errorf("delivery failure not evented: %q", out)
 	}
 }
+
+func TestWebhookSinkTimeoutBoundsAttempt(t *testing.T) {
+	// A black-holed endpoint: accepts the connection, never responds.
+	block := make(chan struct{})
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		<-block
+	}))
+	defer func() { close(block); ts.Close() }()
+
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	ev := obs.NewEvents(syncWriter{&mu, &buf}, obs.LevelInfo)
+	b := newAlertBus(4, metrics{})
+	sub := b.Subscribe("webhook", 4)
+	done := make(chan struct{})
+	start := time.Now()
+	go func() {
+		defer close(done)
+		WebhookSink(context.Background(), sub, WebhookConfig{
+			URL:     ts.URL,
+			Timeout: 25 * time.Millisecond,
+			Retry:   resilience.RetryConfig{MaxAttempts: 2, BaseDelay: time.Millisecond},
+		}, ev)
+	}()
+	b.Publish(testAlert(7))
+	b.Close()
+
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("webhook sink wedged on a never-responding endpoint")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("delivery took %v; the per-attempt timeout did not bound it", elapsed)
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("webhook attempted %d times, want 2 (timeout is per attempt)", n)
+	}
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if !strings.Contains(out, "alert_webhook_failed") {
+		t.Errorf("timed-out delivery not evented: %q", out)
+	}
+}

@@ -20,6 +20,10 @@ const (
 	metricConns      = "agingmf_ingest_connections_total"
 	metricConnsOpen  = "agingmf_ingest_open_connections"
 	metricSnapshots  = "agingmf_ingest_snapshots_total"
+	// metricSnapshotCorrupt is registered on demand by the quarantine
+	// path (server startup), not in newMetrics — the healthy case never
+	// creates the family.
+	metricSnapshotCorrupt = "agingmf_snapshot_corrupt_total"
 )
 
 // handleBuckets spans the per-sample shard work (route + DualMonitor.Add

@@ -133,6 +133,39 @@ func FormatLine(s Sample) string {
 	return b.String()
 }
 
+// PeekSource returns the source id a wire line will be attributed to —
+// the line's own source= field when present and valid, defaultSource
+// otherwise — without parsing the numeric payload. "" means the line is
+// blank or a '#' comment keep-alive and carries no sample. The cluster
+// router keys ownership off this before paying for a full parse; lines
+// whose payload later fails to parse are still counted as bad by the
+// registry they land on.
+func PeekSource(defaultSource, line string) string {
+	t := trimLine(line)
+	if t == "" {
+		return ""
+	}
+	if strings.HasPrefix(t, BatchPrefix) {
+		rest := t[len(BatchPrefix):]
+		if strings.HasPrefix(rest, "source=") {
+			if id, _, found := strings.Cut(rest[len("source="):], ";"); found && validSource(id) == nil {
+				return id
+			}
+		}
+		return defaultSource
+	}
+	if strings.HasPrefix(t, "source=") {
+		id := t[len("source="):]
+		if sp := strings.IndexAny(id, " \t"); sp >= 0 {
+			id = id[:sp]
+		}
+		if validSource(id) == nil {
+			return id
+		}
+	}
+	return defaultSource
+}
+
 // parseFinite parses one numeric field, rejecting non-finite values.
 func parseFinite(name, field string) (float64, error) {
 	v, err := strconv.ParseFloat(strings.TrimSpace(field), 64)

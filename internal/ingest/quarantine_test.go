@@ -1,0 +1,155 @@
+package ingest
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"agingmf/internal/aging"
+	"agingmf/internal/obs"
+)
+
+// writeTestSnapshot persists a snapshot holding real monitor states so
+// corruption tests mutate the same bytes production restarts read.
+func writeTestSnapshot(t *testing.T, path string, sources int) {
+	t.Helper()
+	states := make(map[string][]byte, sources)
+	for i := 0; i < sources; i++ {
+		mon, err := aging.NewDualMonitor(testMonitorConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < 6; k++ {
+			mon.Add(1e9+float64(i*100+k)*1e6, 2e8)
+		}
+		blob, err := mon.SaveState()
+		if err != nil {
+			t.Fatal(err)
+		}
+		states[string(rune('a'+i))+"-src"] = blob
+	}
+	if err := WriteSnapshot(path, states); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServerQuarantinesTruncatedSnapshot: a snapshot cut short (torn
+// write, disk full) must not brick the restart — the server quarantines
+// it to <path>.corrupt, emits the event and counter, and starts fresh.
+func TestServerQuarantinesTruncatedSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.gob")
+	writeTestSnapshot(t, path, 2)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	var evBuf bytes.Buffer
+	met := obs.NewRegistry()
+	srv, err := NewServer(ServerConfig{
+		Registry: Config{
+			Shards:  2,
+			Monitor: testMonitorConfig(),
+			Events:  obs.NewEvents(&evBuf, obs.LevelInfo),
+			Obs:     met,
+		},
+		SnapshotPath: path,
+	})
+	if err != nil {
+		t.Fatalf("truncated snapshot bricked the restart: %v", err)
+	}
+	defer srv.Registry().Close()
+
+	if srv.Registry().NumSources() != 0 {
+		t.Fatalf("fresh start expected, got %d sources", srv.Registry().NumSources())
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt snapshot not quarantined: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("original snapshot still in place: %v", err)
+	}
+	if !strings.Contains(evBuf.String(), "ingest_snapshot_corrupt") {
+		t.Fatalf("no ingest_snapshot_corrupt event emitted: %s", evBuf.String())
+	}
+	var metBuf bytes.Buffer
+	if err := met.WriteText(&metBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metBuf.String(), metricSnapshotCorrupt+" 1") {
+		t.Fatalf("corrupt counter not exported:\n%s", metBuf.String())
+	}
+}
+
+// TestServerQuarantinesUnrestorableSnapshot: the snapshot file decodes
+// but a monitor blob inside it does not restore — the NewRegistry retry
+// leg. The server must quarantine and come up fresh.
+func TestServerQuarantinesUnrestorableSnapshot(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.gob")
+	if err := WriteSnapshot(path, map[string][]byte{
+		"poisoned": []byte("this is not a monitor state blob"),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(ServerConfig{
+		Registry:     Config{Shards: 2, Monitor: testMonitorConfig()},
+		SnapshotPath: path,
+	})
+	if err != nil {
+		t.Fatalf("unrestorable snapshot bricked the restart: %v", err)
+	}
+	defer srv.Registry().Close()
+	if srv.Registry().NumSources() != 0 {
+		t.Fatalf("fresh start expected, got %d sources", srv.Registry().NumSources())
+	}
+	if _, err := os.Stat(path + ".corrupt"); err != nil {
+		t.Fatalf("corrupt snapshot not quarantined: %v", err)
+	}
+}
+
+// TestServerSurvivesEveryBitFlip flips one byte at every offset of a
+// real snapshot: whatever the flip hits — frame, map key, monitor blob —
+// NewServer must either restore intact sources or quarantine and start
+// fresh. It must never fail, and never come up with a partially-restored
+// registry presenting corrupt monitors as healthy.
+func TestServerSurvivesEveryBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	pristine := filepath.Join(dir, "pristine.gob")
+	writeTestSnapshot(t, pristine, 1)
+	raw, err := os.ReadFile(pristine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarantined := 0
+	for off := 0; off < len(raw); off++ {
+		mut := append([]byte(nil), raw...)
+		mut[off] ^= 0xFF
+		path := filepath.Join(dir, "flip.gob")
+		if err := os.WriteFile(path, mut, 0o600); err != nil {
+			t.Fatal(err)
+		}
+		os.Remove(path + ".corrupt")
+		srv, err := NewServer(ServerConfig{
+			Registry:     Config{Shards: 1, Monitor: testMonitorConfig()},
+			SnapshotPath: path,
+		})
+		if err != nil {
+			t.Fatalf("flip at offset %d bricked the restart: %v", off, err)
+		}
+		if _, qerr := os.Stat(path + ".corrupt"); qerr == nil {
+			quarantined++
+			if n := srv.Registry().NumSources(); n != 0 {
+				t.Fatalf("flip at offset %d: quarantined but %d sources restored", off, n)
+			}
+		}
+		srv.Registry().Close()
+	}
+	if quarantined == 0 {
+		t.Fatal("no flip triggered a quarantine — the corruption path never ran")
+	}
+}

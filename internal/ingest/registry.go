@@ -617,6 +617,19 @@ func (r *Registry) SnapshotStates() (map[string][]byte, error) {
 	return out, errors.Join(errs...)
 }
 
+// Drain blocks until every sample already queued at the shards has been
+// folded into its monitor — a read barrier for callers (tests, the
+// cluster settle loop) that need SnapshotStates/Source to reflect all
+// prior Ingest calls. It does not stop new ingestion.
+func (r *Registry) Drain() error {
+	for _, sh := range r.shards {
+		if err := r.withShard(sh, func(*shard) {}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // withShard runs fn in the shard's goroutine context: via a control
 // message on a live registry, directly (under a mutex) once drained.
 func (r *Registry) withShard(sh *shard, fn func(*shard)) error {

@@ -75,6 +75,9 @@ type Server struct {
 	connMu sync.Mutex
 	conns  map[net.Conn]struct{}
 
+	router LineRouter // nil: lines go straight to the registry
+	mounts []mount    // extra HTTP handlers (the cluster endpoints)
+
 	snap        *runtime.SnapshotManager
 	snapSources atomic.Int64
 	wg          sync.WaitGroup
@@ -86,19 +89,45 @@ type Server struct {
 	stalledShards atomic.Int32  // shards holding queued work without progress
 }
 
+// LineRouter interposes on every transport wire line; the cluster node
+// implements it to route lines to their owning peer instead of the
+// local registry.
+type LineRouter interface {
+	IngestLine(defaultSource, line string) error
+}
+
+// mount is one extra HTTP route registered via Mount.
+type mount struct {
+	pattern string
+	handler http.Handler
+}
+
 // NewServer builds a server. When cfg.SnapshotPath names an existing
 // snapshot, every source in it is restored before the first sample
-// arrives. Call Start to bind the listeners.
+// arrives; a snapshot that fails to decode or restore is quarantined to
+// <path>.corrupt (event "ingest_snapshot_corrupt", counter
+// agingmf_snapshot_corrupt_total) and the server starts fresh — corrupt
+// state must never brick a restart. Call Start to bind the listeners.
 func NewServer(cfg ServerConfig) (*Server, error) {
 	cfg = cfg.withDefaults()
+	fromSnapshot := false
 	if cfg.SnapshotPath != "" && cfg.Registry.Restore == nil {
 		restore, err := ReadSnapshot(cfg.SnapshotPath)
 		if err != nil {
-			return nil, err
+			quarantineSnapshot(cfg, err)
+		} else {
+			cfg.Registry.Restore = restore
+			fromSnapshot = restore != nil
 		}
-		cfg.Registry.Restore = restore
 	}
 	reg, err := NewRegistry(cfg.Registry)
+	if err != nil && fromSnapshot {
+		// The file decoded but a monitor blob inside it would not restore
+		// (a bit flip keeps the gob frame parseable surprisingly often).
+		quarantineSnapshot(cfg, err)
+		cfg.Registry.Restore = nil
+		reg, err = NewRegistry(cfg.Registry)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -131,8 +160,42 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	return s, nil
 }
 
+// quarantineSnapshot moves a corrupt snapshot aside and reports it.
+func quarantineSnapshot(cfg ServerConfig, cause error) {
+	dst, qerr := runtime.Quarantine(cfg.SnapshotPath)
+	fields := obs.Fields{"path": cfg.SnapshotPath, "error": cause.Error()}
+	if qerr != nil {
+		fields["quarantine_error"] = qerr.Error()
+	} else {
+		fields["quarantined_to"] = dst
+	}
+	cfg.Registry.Events.Error("ingest_snapshot_corrupt", fields)
+	cfg.Registry.Obs.Counter(metricSnapshotCorrupt,
+		"Snapshots quarantined as undecodable or unrestorable at startup.").Inc()
+}
+
 // Registry exposes the underlying registry (statuses, alerts, states).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// SetLineRouter interposes r on every transport wire line (TCP and POST
+// /ingest) — the cluster routing hook. Call before Start; nil restores
+// direct registry ingestion.
+func (s *Server) SetLineRouter(r LineRouter) { s.router = r }
+
+// Mount registers an extra HTTP handler on the API mux (the cluster
+// endpoints ride the same listener). Call before Start or Handler.
+func (s *Server) Mount(pattern string, handler http.Handler) {
+	s.mounts = append(s.mounts, mount{pattern: pattern, handler: handler})
+}
+
+// ingestLine feeds one wire line through the router when one is set,
+// straight to the registry otherwise.
+func (s *Server) ingestLine(defaultSource, line string) error {
+	if s.router != nil {
+		return s.router.IngestLine(defaultSource, line)
+	}
+	return s.reg.IngestLine(defaultSource, line)
+}
 
 // Start binds the configured listeners and begins serving. It returns
 // once the listeners are bound (serving continues on background
@@ -297,7 +360,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 			return
 		}
-		err := s.reg.IngestLine(defaultSource, sc.Text())
+		err := s.ingestLine(defaultSource, sc.Text())
 		switch {
 		case err == nil:
 		case errors.Is(err, ErrClosed):
@@ -402,6 +465,9 @@ func (s *Server) Handler() http.Handler {
 			"records": recs,
 		})
 	})
+	for _, m := range s.mounts {
+		mux.Handle(m.pattern, m.handler)
+	}
 	obsH := obs.NewHandler(s.cfg.Registry.Obs, obs.HandlerConfig{
 		EnablePprof: s.cfg.EnablePprof,
 		Health:      s.health,
@@ -444,7 +510,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		if trimLine(sc.Text()) == "" {
 			continue
 		}
-		switch err := s.reg.IngestLine(defaultSource, sc.Text()); {
+		switch err := s.ingestLine(defaultSource, sc.Text()); {
 		case err == nil:
 			accepted++
 		case errors.Is(err, ErrClosed):

@@ -31,6 +31,18 @@ func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
 	return os.Rename(tmp.Name(), path)
 }
 
+// Quarantine moves a corrupt state file aside to <path>.corrupt
+// (replacing any previous quarantine) and returns the destination. The
+// original is preserved for forensics while the owner starts fresh — a
+// truncated or bit-flipped snapshot must never brick a restart.
+func Quarantine(path string) (string, error) {
+	dst := path + ".corrupt"
+	if err := os.Rename(path, dst); err != nil {
+		return "", err
+	}
+	return dst, nil
+}
+
 // SnapshotManager owns one command's state persistence: restore at
 // start, optional periodic saves, and an atomic flush on drain. An
 // empty Path disables everything (every method is a safe no-op), so

@@ -54,6 +54,9 @@ const (
 	StageDetect
 	// StageAlerts is the alert-bus fan-out after a unit is committed.
 	StageAlerts
+	// StageMigrate is one cluster source handoff: detach through target
+	// ack (internal/cluster).
+	StageMigrate
 	// NumStages sizes per-stage arrays.
 	NumStages
 )
@@ -80,6 +83,8 @@ func (s Stage) String() string {
 		return "detect"
 	case StageAlerts:
 		return "alerts"
+	case StageMigrate:
+		return "migrate"
 	default:
 		return fmt.Sprintf("stage(%d)", int(s))
 	}

@@ -14,7 +14,7 @@ import (
 func TestStageStrings(t *testing.T) {
 	want := []string{
 		"source.next", "parse", "queue", "stream.est", "stream.vol",
-		"stream.std", "stream.gate", "detect", "alerts",
+		"stream.std", "stream.gate", "detect", "alerts", "migrate",
 	}
 	for s := Stage(0); s < NumStages; s++ {
 		if got := s.String(); got != want[s] {
