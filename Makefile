@@ -16,12 +16,12 @@ race:
 	$(GO) test -race ./...
 
 # Full internal coverage report, then the floor: the pipeline transport,
-# the lifecycle kernel, the tracing/flight-recorder instrumentation and
-# the cluster routing/migration layer must stay >= 80% covered (CI runs
-# this).
+# the lifecycle kernel, the tracing/flight-recorder instrumentation, the
+# cluster routing/migration layer and the pluggable detector suite must
+# stay >= 80% covered (CI runs this).
 cover:
 	$(GO) test -cover ./internal/...
-	$(GO) test -cover ./internal/source/ ./internal/runtime/ ./internal/trace/ ./internal/cluster/ | awk \
+	$(GO) test -cover ./internal/source/ ./internal/runtime/ ./internal/trace/ ./internal/cluster/ ./internal/detect/ | awk \
 		'/coverage:/ { for (i = 1; i < NF; i++) if ($$i == "coverage:") { \
 			v = $$(i + 1); gsub(/%/, "", v); \
 			if (v + 0 < 80) { print "coverage floor 80% violated: " $$0; fail = 1 } } } \
@@ -30,12 +30,15 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# One iteration of every benchmark, then the tracing-overhead budget:
-# proves the bench suite still builds and runs, and that 1/1024 sampling
-# stays within its documented throughput envelope (CI runs this).
+# One iteration of every benchmark, then the overhead budgets: proves
+# the bench suite still builds and runs, that 1/1024 sampling stays
+# within its documented throughput envelope, and that a two-detector
+# MonitorSet stays within 2.5x a single detector with no steady-state
+# allocations (CI runs this).
 bench-smoke:
-	$(GO) test -run XXX -bench . -benchtime=1x . ./internal/ingest/ ./internal/source/
+	$(GO) test -run XXX -bench . -benchtime=1x . ./internal/ingest/ ./internal/source/ ./internal/detect/
 	AGINGMF_TRACE_BUDGET=1 $(GO) test -run TestTraceOverheadBudget -count=1 -v ./internal/ingest/
+	AGINGMF_DETECT_BUDGET=1 $(GO) test -run TestMonitorSetOverheadBudget -count=1 -v ./internal/detect/
 
 # Machine-readable benchmark snapshot of the hot paths — detector add,
 # shard routing, batched ingestion, the replay source, and the tracing
@@ -55,7 +58,7 @@ check: vet
 	$(GO) test -race ./internal/obs/... ./internal/stream/... ./internal/aging/... \
 		./internal/collector/... ./internal/resilience/... ./internal/chaos/... \
 		./internal/ingest/... ./internal/source/... ./internal/runtime/... \
-		./internal/trace/... ./internal/cluster/... ./cmd/agingd/...
+		./internal/trace/... ./internal/cluster/... ./internal/detect/... ./cmd/agingd/...
 
 # Robustness regression suite: the fault-injection campaigns plus the
 # hardened agingmon/agingd paths, under the race detector. -short keeps

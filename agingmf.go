@@ -9,6 +9,7 @@ import (
 	"agingmf/internal/chaos"
 	"agingmf/internal/cluster"
 	"agingmf/internal/collector"
+	"agingmf/internal/detect"
 	"agingmf/internal/dsp"
 	"agingmf/internal/fractal"
 	"agingmf/internal/gen"
@@ -422,6 +423,51 @@ var (
 	RunChaosCluster = chaos.RunCluster
 )
 
+// Pluggable detector suite (internal/detect): the per-source MonitorSet
+// the registry runs — N detectors side by side over one sample stream,
+// each with its own verdicts, alert labels and gob state.
+type (
+	// Detector is one pluggable aging detector (holder, entropy, adaptive).
+	Detector = detect.Detector
+	// DetectorSample is one (free, swap) observation fed to a detector.
+	DetectorSample = detect.Sample
+	// DetectorEvent is one detector verdict event (jump or recalibration).
+	DetectorEvent = detect.Event
+	// DetectorVerdict is the outcome of feeding one sample.
+	DetectorVerdict = detect.Verdict
+	// DetectorSuiteConfig parameterizes every detector in a MonitorSet.
+	DetectorSuiteConfig = detect.Config
+	// EntropyDetectorConfig parameterizes the sample-entropy detector.
+	EntropyDetectorConfig = detect.EntropyConfig
+	// AdaptiveDetectorConfig parameterizes the workload-adaptive detector.
+	AdaptiveDetectorConfig = detect.AdaptiveConfig
+	// MonitorSet runs N detectors per source over one sample stream.
+	MonitorSet = detect.MonitorSet
+	// MonitorSetDetectorStatus is one detector's externally visible state.
+	MonitorSetDetectorStatus = detect.DetectorStatus
+)
+
+// Detector kinds accepted by -detectors and NewMonitorSet.
+const (
+	DetectorHolder   = detect.KindHolder
+	DetectorEntropy  = detect.KindEntropy
+	DetectorAdaptive = detect.KindAdaptive
+)
+
+// Detector-suite functions.
+var (
+	// NewMonitorSet builds a detector suite from kind names.
+	NewMonitorSet = detect.New
+	// RestoreMonitorSet rebuilds a suite from a MonitorSet.SaveState blob
+	// (legacy DualMonitor blobs restore as a holder-only suite).
+	RestoreMonitorSet = detect.RestoreMonitorSet
+	// ParseDetectorKinds parses a comma-separated detector list ("" means
+	// holder only), rejecting unknown and duplicate names.
+	ParseDetectorKinds = detect.ParseKinds
+	// DefaultDetectorSuiteConfig returns the standard suite settings.
+	DefaultDetectorSuiteConfig = detect.DefaultConfig
+)
+
 // Fleet ingestion: the serving layer behind cmd/agingd. A sharded
 // registry routes "timestamp free swap" wire samples from many machines
 // into per-source DualMonitors (single-writer shards, no per-sample
@@ -465,6 +511,7 @@ const IngestBatchPrefix = ingest.BatchPrefix
 // Alert kinds published on the ingest alert bus.
 const (
 	IngestAlertJump        = ingest.AlertJump
+	IngestAlertRecalibrate = ingest.AlertRecalibrate
 	IngestAlertPhaseChange = ingest.AlertPhaseChange
 	IngestAlertStall       = ingest.AlertStall
 	IngestAlertResume      = ingest.AlertResume

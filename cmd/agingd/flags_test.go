@@ -24,6 +24,7 @@ func TestFlagSurface(t *testing.T) {
 		"max-bad-lines":            "100",
 		"idle-timeout":             "0s",
 		"history-limit":            "4096",
+		"detectors":                "holder",
 		"alerts":                   "",
 		"events":                   "",
 		"webhook":                  "",

@@ -16,6 +16,14 @@
 //	  sleep 1
 //	done | nc agingd-host 9178
 //
+// Each source runs the detector suite named by -detectors (default
+// "holder"): the paper's Hölder-volatility monitor, optionally joined by
+// "entropy" (a multiscale sample-entropy collapse detector) and
+// "adaptive" (a Hölder detector that recalibrates after confirmed
+// workload shifts instead of alarming on them). Every detector keeps its
+// own verdicts; alerts and the per-source status report them under a
+// detector label.
+//
 // The HTTP listener also serves the fleet API (GET /api/sources,
 // /api/sources/{id}/status, /api/alerts, /api/shards) and telemetry
 // (/metrics, /healthz, opt-in /debug/pprof). Alerts fan out to the API's
@@ -66,7 +74,7 @@
 //	agingd [-listen HOST:PORT] [-http HOST:PORT] [-shards N] [-queue N]
 //	       [-snapshot FILE] [-snapshot-every DURATION]
 //	       [-stall-timeout DURATION] [-max-sources N] [-max-bad-lines N]
-//	       [-history-limit N] [-alerts FILE] [-events FILE]
+//	       [-history-limit N] [-detectors LIST] [-alerts FILE] [-events FILE]
 //	       [-webhook URL] [-trace-sample 1/N] [-flight-recorder-depth N]
 //	       [-pprof]
 //	       [-cluster-addr HOST:PORT] [-cluster-peers HOST:PORT,...]
@@ -102,6 +110,7 @@ type options struct {
 	stallTimeout  time.Duration
 	maxSources    int
 	maxBadLines   int
+	detectors     string
 	idleTimeout   time.Duration
 	historyLimit  int
 	alerts        string
@@ -140,6 +149,7 @@ func newFlagSet(opt *options) *flag.FlagSet {
 	fs.IntVar(&opt.maxBadLines, "max-bad-lines", 100, "per-connection malformed-line budget before the connection is closed (negative = unlimited)")
 	fs.DurationVar(&opt.idleTimeout, "idle-timeout", 0, "close a TCP connection idle this long (0 disables)")
 	fs.IntVar(&opt.historyLimit, "history-limit", 4096, "per-source monitor history bound (0 = unlimited; the registry holds one monitor per source)")
+	fs.StringVar(&opt.detectors, "detectors", "holder", `comma-separated detector suite run per source: "holder" (Hölder volatility), "entropy" (multiscale sample entropy), "adaptive" (workload-shift-aware holder)`)
 	fs.StringVar(&opt.alerts, "alerts", "", `append alert JSONL to this file ("-" = stdout, empty disables)`)
 	fs.StringVar(&opt.events, "events", "", `append lifecycle JSONL events to this file ("-" = stdout, empty disables)`)
 	fs.StringVar(&opt.webhook, "webhook", "", "POST each alert to this URL with bounded retries (empty disables)")
@@ -196,6 +206,11 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-trace-sample: %w", err)
 	}
 
+	detectors, err := agingmf.ParseDetectorKinds(opt.detectors)
+	if err != nil {
+		return fmt.Errorf("-detectors: %w", err)
+	}
+
 	monCfg := agingmf.DefaultMonitorConfig()
 	monCfg.HistoryLimit = opt.historyLimit
 	met := agingmf.NewRegistry()
@@ -204,6 +219,7 @@ func run(args []string, stdout io.Writer) error {
 			Shards:              opt.shards,
 			QueueSize:           opt.queue,
 			Monitor:             monCfg,
+			Detectors:           detectors,
 			MaxSources:          opt.maxSources,
 			StallTimeout:        opt.stallTimeout,
 			Obs:                 met,
@@ -330,11 +346,16 @@ func splitPeers(s string) []string {
 // returns an error on any ownership violation, sample loss or
 // detector-state parity mismatch against the single-process oracle.
 func runClusterSelfTest(stdout io.Writer, opt options) error {
+	detectors, err := agingmf.ParseDetectorKinds(opt.detectors)
+	if err != nil {
+		return fmt.Errorf("-detectors: %w", err)
+	}
 	res, err := agingmf.RunClusterSelfTest(agingmf.ClusterSelfTestConfig{
-		Nodes:   opt.scNodes,
-		Sources: opt.scSources,
-		Samples: opt.scSamples,
-		Seed:    opt.seed,
+		Nodes:     opt.scNodes,
+		Sources:   opt.scSources,
+		Samples:   opt.scSamples,
+		Seed:      opt.seed,
+		Detectors: detectors,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(stdout, format+"\n", args...)
 		},

@@ -13,12 +13,13 @@ func TestFlagSurface(t *testing.T) {
 	var opt options
 	got := runtime.FlagDefaults(newFlagSet(&opt))
 	want := map[string]string{
-		"run":    "",
-		"seed":   "1",
-		"quick":  "false",
-		"list":   "false",
-		"format": "text",
-		"events": "",
+		"run":      "",
+		"seed":     "1",
+		"quick":    "false",
+		"shootout": "false",
+		"list":     "false",
+		"format":   "text",
+		"events":   "",
 	}
 	for name, def := range want {
 		gotDef, ok := got[name]

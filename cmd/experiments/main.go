@@ -1,8 +1,12 @@
 // Command experiments regenerates the reconstructed tables and figures of
 // the DSN 2003 evaluation plus the extension experiments (see
-// EXPERIMENTS.md). Without flags it runs all twelve at full scale; -run
+// EXPERIMENTS.md). Without flags it runs all of them at full scale; -run
 // selects one, -quick shrinks the campaigns for a fast pass, -format
-// switches between text, markdown and csv output.
+// switches between text, markdown and csv output. -shootout is shorthand
+// for -run E13, the detector shootout: every detector of the pluggable
+// suite (holder, entropy, adaptive) replays the same run-to-crash and
+// healthy-control campaigns and is scored on warning lead time versus
+// false alarms (committed example: SHOOTOUT.md).
 //
 // With -events each experiment's start and completion is appended as a
 // JSONL record to a file ("-" = stdout) — campaign progress tracking for
@@ -10,8 +14,8 @@
 //
 // Usage:
 //
-//	experiments [-run E5] [-seed N] [-quick] [-list] [-events FILE]
-//	            [-format text|markdown|csv]
+//	experiments [-run E5] [-seed N] [-quick] [-shootout] [-list]
+//	            [-events FILE] [-format text|markdown|csv]
 package main
 
 import (
@@ -29,12 +33,13 @@ import (
 
 // options is the parsed flag surface of one experiments run.
 type options struct {
-	id     string
-	seed   int64
-	quick  bool
-	list   bool
-	format string
-	events string
+	id       string
+	seed     int64
+	quick    bool
+	shootout bool
+	list     bool
+	format   string
+	events   string
 }
 
 // newFlagSet declares the experiments flag surface — names and defaults
@@ -42,9 +47,10 @@ type options struct {
 // flag-surface test).
 func newFlagSet(opt *options) *flag.FlagSet {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	fs.StringVar(&opt.id, "run", "", "run a single experiment (E1..E12)")
+	fs.StringVar(&opt.id, "run", "", "run a single experiment (E1..E13)")
 	fs.Int64Var(&opt.seed, "seed", 1, "campaign seed")
 	fs.BoolVar(&opt.quick, "quick", false, "small campaigns for a fast pass")
+	fs.BoolVar(&opt.shootout, "shootout", false, "run the detector shootout (shorthand for -run E13)")
 	fs.BoolVar(&opt.list, "list", false, "list experiments and exit")
 	fs.StringVar(&opt.format, "format", "text", "output format: text, markdown or csv")
 	fs.StringVar(&opt.events, "events", "", `append JSONL progress events to this file ("-" = stdout, empty disables)`)
@@ -83,6 +89,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		return nil
 	}
 	cfg := experiment.RunConfig{Seed: opt.seed, Quick: opt.quick}
+	if opt.shootout {
+		if opt.id != "" && opt.id != "E13" {
+			return fmt.Errorf("-shootout conflicts with -run %s", opt.id)
+		}
+		opt.id = "E13"
+	}
 	todo := experiment.All()
 	if opt.id != "" {
 		e, err := experiment.ByID(opt.id)

@@ -37,6 +37,16 @@ func TestRunSingleExperimentQuick(t *testing.T) {
 	}
 }
 
+func TestRunShootoutConflictsWithRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-shootout", "-run", "E1"}, &out); err == nil {
+		t.Error("-shootout with a different -run should fail")
+	}
+	// -shootout with an explicit -run E13 is redundant but not a
+	// conflict; the flag itself is exercised end-to-end by the CI smoke
+	// step (a full quick campaign is too heavy for the unit suite).
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(context.Background(), []string{"-run", "E99"}, &out); err == nil {

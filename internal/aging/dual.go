@@ -132,6 +132,10 @@ func (d *DualMonitor) Jumps() []DualJump {
 	return append([]DualJump(nil), d.jumps...)
 }
 
+// JumpCount returns how many jumps have been observed, without copying
+// the history (hot-path bookkeeping).
+func (d *DualMonitor) JumpCount() int { return len(d.jumps) }
+
 // SamplesSeen returns the number of counter-sample pairs consumed.
 func (d *DualMonitor) SamplesSeen() int { return d.free.SamplesSeen() }
 

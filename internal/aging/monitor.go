@@ -456,6 +456,19 @@ func (m *Monitor) addSampleT(x float64, tm *StageNanos) (Jump, bool) {
 	return j, true
 }
 
+// RecalibrateBaseline re-anchors the detection baseline on the current
+// regime: the standardizer discards its baseline and re-estimates it from
+// the next warmup window, and the jump detector restarts its own
+// calibration. Callers invoke it after an external regime-change signal
+// (e.g. a confirmed workload shift) so the monitor adapts to the new
+// normal instead of alarming forever against a stale baseline. Detection
+// state is otherwise untouched — histories, counters and past jumps are
+// preserved, and persisted snapshots round-trip the recalibrated state.
+func (m *Monitor) RecalibrateBaseline() {
+	m.std.Recalibrate()
+	m.gate.Detector().Reset()
+}
+
 // Phase returns the monitor's current aging assessment.
 func (m *Monitor) Phase() Phase {
 	switch {

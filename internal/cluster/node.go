@@ -18,6 +18,9 @@ import (
 var (
 	// ErrClosed reports a node that has been halted or left the cluster.
 	ErrClosed = errors.New("cluster: node closed")
+	// ErrLeaving reports a handoff refused because the receiving node has
+	// begun leaving the cluster and will not take on new sources.
+	ErrLeaving = errors.New("cluster: node leaving")
 	// ErrNoOwner reports a line that could not be routed: the ring is
 	// empty or every candidate owner was unreachable within the hop and
 	// retry budgets.
@@ -106,6 +109,7 @@ type Node struct {
 	stopc     chan struct{}
 	stopOnce  sync.Once
 	closed    atomic.Bool
+	leaving   atomic.Bool
 	hbWg      sync.WaitGroup
 	rebalMu   sync.Mutex // serializes rebalance passes
 	rebalWant atomic.Bool
@@ -501,6 +505,15 @@ func (n *Node) HandleHandoff(envelope []byte) error {
 	if n.closed.Load() {
 		return resilience.Transient(ErrClosed)
 	}
+	if n.leaving.Load() {
+		// A departing node must not accept new sources: a peer whose ring
+		// still contains this node may try to push a just-migrated source
+		// straight back during the leave window, and anything accepted now
+		// would strand on a stopped node. The error is permanent (not
+		// transient), so the sender rolls back immediately and keeps the
+		// source until the leave announce rebalances it on the new ring.
+		return fmt.Errorf("cluster: %s: %w", n.cfg.Self, ErrLeaving)
+	}
 	e, err := DecodeEnvelope(envelope)
 	if err != nil {
 		return err
@@ -663,6 +676,9 @@ func (n *Node) migrateMisplaced(ctx context.Context, ring *Ring) error {
 // told to drop it, and the heartbeat loop stops. The registry is left
 // open (the caller shuts it down).
 func (n *Node) Leave(ctx context.Context) error {
+	// Refuse inbound handoffs for the rest of this node's life before the
+	// drain starts: see HandleHandoff for the bounce-back hazard.
+	n.leaving.Store(true)
 	n.rebalMu.Lock()
 	n.mu.RLock()
 	members := make([]string, 0, len(n.peers))

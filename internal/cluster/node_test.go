@@ -384,6 +384,32 @@ func TestLeaveDrainsSources(t *testing.T) {
 	}
 }
 
+// TestHandoffRefusedWhileLeaving: a node that has begun leaving must
+// reject inbound handoffs permanently, and the sender must roll the
+// source back. Guards the leave-window race where a peer with a stale
+// ring bounces a just-migrated source straight back to the departing
+// node, stranding it there after Stop.
+func TestHandoffRefusedWhileLeaving(t *testing.T) {
+	nodes, _, _ := testCluster(t, 2, 0)
+	a, b := nodes[0], nodes[1]
+	id := pickOwnedBy(t, a.Ring(), a.Name())
+	if err := a.IngestLine("test", fmt.Sprintf("source=%s 1e9 2e8", id)); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, a)
+	b.leaving.Store(true)
+	err := a.Migrate(context.Background(), id, b.Name())
+	if !errors.Is(err, ErrLeaving) {
+		t.Fatalf("migrate to a leaving node: %v, want ErrLeaving", err)
+	}
+	if !a.Holds(id) {
+		t.Fatalf("source %s not rolled back to the sender", id)
+	}
+	if b.Holds(id) {
+		t.Fatalf("source %s accepted by the leaving node", id)
+	}
+}
+
 // TestMigrateRecordsTraceSpan: a completed handoff must leave one
 // StageMigrate span on the configured tracer, attributed to the source.
 func TestMigrateRecordsTraceSpan(t *testing.T) {

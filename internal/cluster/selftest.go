@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"agingmf/internal/aging"
+	"agingmf/internal/detect"
 	"agingmf/internal/ingest"
 )
 
@@ -30,6 +31,10 @@ type SelfTestConfig struct {
 	Shards int
 	// Producers is the concurrent producer goroutine count (0 selects 4).
 	Producers int
+	// Detectors selects each node's per-source detector suite (see
+	// internal/detect); empty selects holder only. The parity oracle runs
+	// the same suite.
+	Detectors []string
 	// Logf receives progress lines (nil: silent).
 	Logf func(format string, args ...any)
 }
@@ -143,6 +148,7 @@ func RunSelfTest(cfg SelfTestConfig) (SelfTestResult, error) {
 			Shards:     cfg.Shards,
 			QueueSize:  256,
 			Monitor:    selfTestMonitorConfig(),
+			Detectors:  cfg.Detectors,
 			MaxSources: -1,
 		})
 		if err != nil {
@@ -319,7 +325,7 @@ func RunSelfTest(cfg SelfTestConfig) (SelfTestResult, error) {
 	res.SendRetries = retries.Load()
 
 	logf("verifying: single ownership, zero loss, oracle parity")
-	oracleCfg := selfTestMonitorConfig()
+	oracleCfg := ingest.Config{Monitor: selfTestMonitorConfig(), Detectors: cfg.Detectors}
 	for i, id := range ids {
 		var owner *Node
 		owners := 0
@@ -344,7 +350,7 @@ func RunSelfTest(cfg SelfTestConfig) (SelfTestResult, error) {
 		if err != nil {
 			return res, fmt.Errorf("cluster selftest: state of %s: %w", id, err)
 		}
-		oracle, err := aging.NewDualMonitor(oracleCfg)
+		oracle, err := detect.New(oracleCfg.Detectors, oracleCfg.DetectorConfig())
 		if err != nil {
 			return res, err
 		}

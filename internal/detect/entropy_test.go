@@ -1,0 +1,225 @@
+package detect
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSampEn sanity-checks the statistic: white noise is maximally
+// irregular, a periodic series is more regular, and degenerate inputs
+// stay finite.
+func TestSampEn(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	noise := make([]float64, 64)
+	sine := make([]float64, 64)
+	for i := range noise {
+		noise[i] = rng.Float64()
+		sine[i] = math.Sin(2 * math.Pi * float64(i) / 8)
+	}
+	en := sampEn(noise, 2, 0.2)
+	es := sampEn(sine, 2, 0.2)
+	if math.IsNaN(en) || math.IsInf(en, 0) || math.IsNaN(es) || math.IsInf(es, 0) {
+		t.Fatalf("non-finite entropy: noise %v, sine %v", en, es)
+	}
+	if en <= es {
+		t.Errorf("SampEn(noise)=%v <= SampEn(sine)=%v; irregularity ordering violated", en, es)
+	}
+	if got := sampEn([]float64{1, 2}, 2, 0.2); got != 0 {
+		t.Errorf("too-short series: got %v, want 0", got)
+	}
+}
+
+// TestSampEnPrunedMatchesNaive: the sort-pruned hot path must agree with
+// the quadratic reference on every input shape — random noise, trends,
+// constant runs, repeated values (sort ties), and non-finite
+// contamination (which takes the reference fallback).
+func TestSampEnPrunedMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sc := newSampEnScratch(0)
+	check := func(name string, x []float64, m int, r float64) {
+		t.Helper()
+		want := sampEnNaive(x, m, r)
+		got := sampEnPruned(x, m, r, &sc)
+		if got != want {
+			t.Errorf("%s (m=%d r=%v): pruned %v != naive %v", name, m, r, got, want)
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 8 + rng.Intn(120)
+		x := make([]float64, n)
+		for i := range x {
+			switch trial % 4 {
+			case 0: // white noise
+				x[i] = rng.Float64()
+			case 1: // trend + noise
+				x[i] = float64(i)*0.05 + 0.3*rng.Float64()
+			case 2: // quantized (many exact sort ties)
+				x[i] = float64(rng.Intn(5))
+			default: // near-constant
+				x[i] = 7 + 1e-9*rng.Float64()
+			}
+		}
+		m := 1 + rng.Intn(3)
+		r := []float64{0.01, 0.1, 0.5, 2}[rng.Intn(4)]
+		check("random", x, m, r)
+	}
+	nan := []float64{1, 2, math.NaN(), 4, 5, 6, 7, 8, 9, 10}
+	check("nan", nan, 2, 0.5)
+	inf := []float64{1, 2, math.Inf(1), 4, 5, 6, math.Inf(1), 8, 9, 10}
+	check("inf", inf, 2, 0.5)
+	check("inf-r", []float64{1, 2, 3, 4, 5, 6, 7, 8}, 2, math.Inf(1))
+}
+
+// TestEntropyQuietOnStationary: a stationary noisy stream must not alarm.
+func TestEntropyQuietOnStationary(t *testing.T) {
+	e, err := NewEntropy(testEntropyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range noisePairs(7, 4000, 100, 5, 1) {
+		v := e.Push(Sample{Free: p[0], Swap: p[1]}, nil)
+		for _, ev := range v.Events {
+			t.Fatalf("stationary stream alarmed: %+v", ev)
+		}
+	}
+	if e.Jumps() != 0 {
+		t.Fatalf("stationary stream produced %d jumps", e.Jumps())
+	}
+}
+
+// TestEntropyDetectsRegimeChange: when the free stream's character
+// changes from noise to a smooth exhaustion ramp, the window entropy
+// collapses away from the frozen baseline and the detector alarms on the
+// free counter.
+func TestEntropyDetectsRegimeChange(t *testing.T) {
+	e, err := NewEntropy(testEntropyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	const n, change = 2000, 1000
+	firstAlarm := -1
+	for i := 0; i < n; i++ {
+		var free float64
+		if i < change {
+			free = 100 + (rng.Float64() - 0.5)
+		} else {
+			// Leak-driven exhaustion: smooth decline, vanishing noise.
+			free = 100 - 0.05*float64(i-change) + 0.001*(rng.Float64()-0.5)
+		}
+		swap := 5 + 0.5*(rng.Float64()-0.5)
+		v := e.Push(Sample{Free: free, Swap: swap}, nil)
+		for _, ev := range v.Events {
+			if ev.Counter.String() != "free-memory" {
+				t.Fatalf("alarm on wrong counter: %+v", ev)
+			}
+			if i < change {
+				t.Fatalf("false alarm at sample %d: %+v", i, ev)
+			}
+			if firstAlarm < 0 {
+				firstAlarm = i
+			}
+		}
+	}
+	if firstAlarm < 0 {
+		t.Fatal("entropy detector never alarmed on the regime change")
+	}
+	if e.Phase() == 0 {
+		t.Fatal("phase unset after alarms")
+	}
+}
+
+// TestEntropyRefractory: consecutive alarms are separated by at least
+// Refractory entropy evaluations (in raw samples: Refractory * Stride).
+func TestEntropyRefractory(t *testing.T) {
+	cfg := testEntropyConfig()
+	e, err := NewEntropy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var alarmSamples []int
+	for i := 0; i < 4000; i++ {
+		var free float64
+		if i < 1000 {
+			free = 100 + (rng.Float64() - 0.5)
+		} else {
+			free = 100 - 0.05*float64(i-1000) + 0.001*(rng.Float64()-0.5)
+		}
+		v := e.Push(Sample{Free: free, Swap: 5}, nil)
+		for _, ev := range v.Events {
+			alarmSamples = append(alarmSamples, ev.Sample)
+		}
+	}
+	if len(alarmSamples) < 2 {
+		t.Skipf("only %d alarms; refractory spacing not exercised", len(alarmSamples))
+	}
+	minGap := (cfg.Refractory + 1) * cfg.Stride
+	for i := 1; i < len(alarmSamples); i++ {
+		if gap := alarmSamples[i] - alarmSamples[i-1]; gap < minGap {
+			t.Errorf("alarms %d and %d only %d samples apart, refractory demands >= %d",
+				alarmSamples[i-1], alarmSamples[i], gap, minGap)
+		}
+	}
+}
+
+// TestEntropyRoundTrip: mid-stream save/restore continues byte-for-byte.
+func TestEntropyRoundTrip(t *testing.T) {
+	e, err := NewEntropy(testEntropyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := noisePairs(13, 600, 100, 5, 1)
+	for _, p := range trace[:300] {
+		e.Push(Sample{Free: p[0], Swap: p[1]}, nil)
+	}
+	blob, err := e.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreEntropy(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SamplesSeen() != 300 {
+		t.Fatalf("restored SamplesSeen %d, want 300", r.SamplesSeen())
+	}
+	for _, p := range trace[300:] {
+		s := Sample{Free: p[0], Swap: p[1]}
+		e.Push(s, nil)
+		r.Push(s, nil)
+	}
+	b1, err := e.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := r.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Fatal("entropy states diverged after identical continuation")
+	}
+}
+
+func TestEntropyConfigValidation(t *testing.T) {
+	bad := []func(*EntropyConfig){
+		func(c *EntropyConfig) { c.Window = 4 },
+		func(c *EntropyConfig) { c.Stride = 0 },
+		func(c *EntropyConfig) { c.MaxScale = 0 },
+		func(c *EntropyConfig) { c.MaxScale = 32 }, // window too short at that scale
+		func(c *EntropyConfig) { c.M = 0 },
+		func(c *EntropyConfig) { c.RFraction = 0 },
+		func(c *EntropyConfig) { c.BaselineEvals = 1 },
+		func(c *EntropyConfig) { c.K = 0 },
+		func(c *EntropyConfig) { c.Refractory = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultEntropyConfig()
+		mutate(&cfg)
+		if _, err := NewEntropy(cfg); err == nil {
+			t.Errorf("bad config %d accepted: %+v", i, cfg)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package detect
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRestoreEntropy pins the corruption contract of the entropy
+// detector's gob state: arbitrary bytes — including truncated and
+// bit-flipped real snapshots — either restore into a working detector
+// that round-trips, or are rejected with an error. Never a panic.
+func FuzzRestoreEntropy(f *testing.F) {
+	// Seed with real snapshots at several lifecycle points.
+	e, err := NewEntropy(testEntropyConfig())
+	if err != nil {
+		f.Fatal(err)
+	}
+	seedAt := map[int]bool{0: true, 50: true, 300: true}
+	for i, p := range noisePairs(41, 600, 100, 5, 1) {
+		if seedAt[i] {
+			blob, err := e.SaveState()
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(blob)
+			f.Add(blob[:len(blob)/2])            // truncated
+			f.Add(append([]byte{0xff}, blob...)) // corrupt header
+		}
+		e.Push(Sample{Free: p[0], Swap: p[1]}, nil)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("not a gob"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := RestoreEntropy(data)
+		if err != nil {
+			return // rejected: that's a valid outcome for arbitrary bytes
+		}
+		// Accepted states must be fully operational: push samples and
+		// round-trip without panicking.
+		for i := 0; i < 64; i++ {
+			r.Push(Sample{Free: float64(i), Swap: float64(-i)}, nil)
+		}
+		blob, err := r.SaveState()
+		if err != nil {
+			t.Fatalf("restored detector cannot save: %v", err)
+		}
+		r2, err := RestoreEntropy(blob)
+		if err != nil {
+			t.Fatalf("re-restore of a freshly saved state failed: %v", err)
+		}
+		blob2, err := r2.SaveState()
+		if err != nil {
+			t.Fatalf("second save failed: %v", err)
+		}
+		if !bytes.Equal(blob, blob2) {
+			t.Fatal("save/restore/save is not a fixed point")
+		}
+	})
+}

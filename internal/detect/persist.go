@@ -1,0 +1,260 @@
+package detect
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+
+	"agingmf/internal/aging"
+	"agingmf/internal/changepoint"
+)
+
+// Detector state persistence. Every blob is a versioned, self-describing
+// gob envelope (it embeds the configuration), and restore validates the
+// decoded state instead of trusting it: corrupt or truncated blobs are
+// rejected with an error, never a panic (pinned by FuzzRestoreEntropy).
+// The holder detector's blob is a plain aging.DualMonitor snapshot, whose
+// versioning lives in the aging package.
+
+// entropyStateVersion is the current entropy snapshot schema version.
+const entropyStateVersion = 1
+
+// entropyStreamState is the exported gob mirror of entropyStream.
+type entropyStreamState struct {
+	Ring                   []float64
+	N, Evals               int
+	BaseN                  int
+	BaseSum, BaseSqSum     float64
+	Mean, Std              float64
+	Calibrated             bool
+	Refractory             int
+	LastEntropy, LastScore float64
+	Jumps                  int
+}
+
+// entropyState is the exported gob mirror of Entropy.
+type entropyState struct {
+	Version int
+	Config  EntropyConfig
+	Free    entropyStreamState
+	Swap    entropyStreamState
+}
+
+// gobEncode serializes any exported-field value.
+func gobEncode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("detect: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// gobDecode is the inverse of gobEncode.
+func gobDecode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("detect: decode: %w", err)
+	}
+	return nil
+}
+
+func (st *entropyStream) state() entropyStreamState {
+	return entropyStreamState{
+		Ring:        st.ring,
+		N:           st.n,
+		Evals:       st.evals,
+		BaseN:       st.baseN,
+		BaseSum:     st.baseSum,
+		BaseSqSum:   st.baseSqSum,
+		Mean:        st.mean,
+		Std:         st.std,
+		Calibrated:  st.calibrated,
+		Refractory:  st.refractory,
+		LastEntropy: st.lastEntropy,
+		LastScore:   st.lastScore,
+		Jumps:       st.jumps,
+	}
+}
+
+// restoreInto validates one stream snapshot and installs it.
+func (st *entropyStream) restoreInto(s entropyStreamState, cfg EntropyConfig) error {
+	switch {
+	case s.N < 0 || s.Evals < 0 || s.BaseN < 0 || s.Refractory < 0 || s.Jumps < 0:
+		return fmt.Errorf("%w: negative entropy counters", ErrBadState)
+	case len(s.Ring) > cfg.Window:
+		return fmt.Errorf("%w: entropy ring %d exceeds window %d", ErrBadState, len(s.Ring), cfg.Window)
+	case s.N < len(s.Ring):
+		return fmt.Errorf("%w: entropy ring %d longer than %d samples seen", ErrBadState, len(s.Ring), s.N)
+	case s.N >= cfg.Window && len(s.Ring) != cfg.Window:
+		return fmt.Errorf("%w: entropy ring %d not full after %d samples", ErrBadState, len(s.Ring), s.N)
+	case s.N < cfg.Window && len(s.Ring) != s.N:
+		return fmt.Errorf("%w: entropy ring %d disagrees with %d samples seen", ErrBadState, len(s.Ring), s.N)
+	case s.Calibrated && (s.Std < 0 || math.IsNaN(s.Std)):
+		return fmt.Errorf("%w: entropy baseline std %v", ErrBadState, s.Std)
+	}
+	// Re-anchor the snapshot's ring into the preallocated backing array so
+	// restored streams keep the zero-steady-state-alloc property.
+	st.ring = append(st.ring[:0], s.Ring...)
+	st.n = s.N
+	st.evals = s.Evals
+	st.baseN = s.BaseN
+	st.baseSum, st.baseSqSum = s.BaseSum, s.BaseSqSum
+	st.mean, st.std = s.Mean, s.Std
+	st.calibrated = s.Calibrated
+	st.refractory = s.Refractory
+	st.lastEntropy, st.lastScore = s.LastEntropy, s.LastScore
+	st.jumps = s.Jumps
+	// Rebuild the derived push cursors (see entropyStream): head is the
+	// ring slot the next sample overwrites, sinceEval the pushes left
+	// until the next evaluation fires.
+	st.head = s.N % cfg.Window
+	if s.N >= cfg.Window {
+		st.sinceEval = cfg.Stride - (s.N-cfg.Window)%cfg.Stride
+	}
+	return nil
+}
+
+// SaveState implements Detector.
+func (e *Entropy) SaveState() ([]byte, error) {
+	return gobEncode(entropyState{
+		Version: entropyStateVersion,
+		Config:  e.cfg,
+		Free:    e.free.state(),
+		Swap:    e.swap.state(),
+	})
+}
+
+// RestoreEntropy reconstructs an entropy detector from a SaveState
+// snapshot. Corrupt, truncated or future-versioned blobs are rejected.
+func RestoreEntropy(data []byte) (*Entropy, error) {
+	var st entropyState
+	if err := gobDecode(data, &st); err != nil {
+		return nil, fmt.Errorf("detect: restore entropy: %w", err)
+	}
+	if st.Version < 1 || st.Version > entropyStateVersion {
+		return nil, fmt.Errorf("detect: restore entropy: %w: snapshot version %d (supported 1..%d)",
+			ErrBadState, st.Version, entropyStateVersion)
+	}
+	e, err := NewEntropy(st.Config)
+	if err != nil {
+		return nil, fmt.Errorf("detect: restore entropy: %w", err)
+	}
+	if err := e.free.restoreInto(st.Free, st.Config); err != nil {
+		return nil, fmt.Errorf("detect: restore entropy: free: %w", err)
+	}
+	if err := e.swap.restoreInto(st.Swap, st.Config); err != nil {
+		return nil, fmt.Errorf("detect: restore entropy: swap: %w", err)
+	}
+	return e, nil
+}
+
+// adaptiveStateVersion is the current adaptive snapshot schema version.
+const adaptiveStateVersion = 1
+
+// adaptiveStreamState is the exported gob mirror of adaptiveStream.
+type adaptiveStreamState struct {
+	Monitor    []byte
+	Shift      []byte
+	Refractory int
+	Recals     int
+	Jumps      int
+	Suppressed int
+}
+
+// adaptiveState is the exported gob mirror of Adaptive.
+type adaptiveState struct {
+	Version int
+	Config  AdaptiveConfig
+	Free    adaptiveStreamState
+	Swap    adaptiveStreamState
+}
+
+func (st *adaptiveStream) state() (adaptiveStreamState, error) {
+	monBlob, err := st.mon.SaveState()
+	if err != nil {
+		return adaptiveStreamState{}, err
+	}
+	shiftBlob, err := st.shift.MarshalBinary()
+	if err != nil {
+		return adaptiveStreamState{}, err
+	}
+	return adaptiveStreamState{
+		Monitor:    monBlob,
+		Shift:      shiftBlob,
+		Refractory: st.refractory,
+		Recals:     st.recals,
+		Jumps:      st.jumps,
+		Suppressed: st.suppressed,
+	}, nil
+}
+
+// restoreAdaptiveStream rebuilds one counter stream from its snapshot.
+func restoreAdaptiveStream(counter aging.CounterKind, s adaptiveStreamState, cfg AdaptiveConfig) (*adaptiveStream, error) {
+	if s.Refractory < 0 || s.Recals < 0 || s.Jumps < 0 || s.Suppressed < 0 {
+		return nil, fmt.Errorf("%w: negative adaptive counters", ErrBadState)
+	}
+	mon, err := aging.RestoreMonitor(s.Monitor)
+	if err != nil {
+		return nil, err
+	}
+	shift := &changepoint.EWMAChart{}
+	if err := shift.UnmarshalBinary(s.Shift); err != nil {
+		return nil, err
+	}
+	if shift.Lambda <= 0 || shift.Lambda > 1 || shift.K <= 0 || shift.Warmup < 2 {
+		return nil, fmt.Errorf("%w: adaptive shift chart parameters %v/%v/%d",
+			ErrBadState, shift.Lambda, shift.K, shift.Warmup)
+	}
+	return &adaptiveStream{
+		counter:    counter,
+		mon:        mon,
+		shift:      shift,
+		refractory: s.Refractory,
+		recals:     s.Recals,
+		jumps:      s.Jumps,
+		suppressed: s.Suppressed,
+	}, nil
+}
+
+// SaveState implements Detector.
+func (a *Adaptive) SaveState() ([]byte, error) {
+	free, err := a.free.state()
+	if err != nil {
+		return nil, fmt.Errorf("detect: save adaptive: %w", err)
+	}
+	swap, err := a.swap.state()
+	if err != nil {
+		return nil, fmt.Errorf("detect: save adaptive: %w", err)
+	}
+	return gobEncode(adaptiveState{
+		Version: adaptiveStateVersion,
+		Config:  a.cfg,
+		Free:    free,
+		Swap:    swap,
+	})
+}
+
+// RestoreAdaptive reconstructs an adaptive detector from a SaveState
+// snapshot.
+func RestoreAdaptive(data []byte) (*Adaptive, error) {
+	var st adaptiveState
+	if err := gobDecode(data, &st); err != nil {
+		return nil, fmt.Errorf("detect: restore adaptive: %w", err)
+	}
+	if st.Version < 1 || st.Version > adaptiveStateVersion {
+		return nil, fmt.Errorf("detect: restore adaptive: %w: snapshot version %d (supported 1..%d)",
+			ErrBadState, st.Version, adaptiveStateVersion)
+	}
+	if err := st.Config.validate(); err != nil {
+		return nil, fmt.Errorf("detect: restore adaptive: %w", err)
+	}
+	free, err := restoreAdaptiveStream(aging.CounterFreeMemory, st.Free, st.Config)
+	if err != nil {
+		return nil, fmt.Errorf("detect: restore adaptive: free: %w", err)
+	}
+	swap, err := restoreAdaptiveStream(aging.CounterUsedSwap, st.Swap, st.Config)
+	if err != nil {
+		return nil, fmt.Errorf("detect: restore adaptive: swap: %w", err)
+	}
+	return &Adaptive{cfg: st.Config, free: free, swap: swap}, nil
+}

@@ -1,0 +1,100 @@
+//go:build ignore
+
+// gen_fixtures writes the committed dual-monitor snapshot fixture used by
+// the MonitorSet gob-compatibility golden tests. It was run ONCE against
+// the aging.DualMonitor implementation current when internal/detect was
+// introduced (the "v1" era); the committed .gob file is the contract and
+// must NOT be regenerated — rerunning this program against a newer
+// implementation would silently replace the blob the tests exist to
+// protect. (The older pre-MonitorSet blob, internal/aging/testdata/
+// dual_v0.gob, is covered by the same golden tests and is likewise
+// frozen.)
+//
+// Usage (from the repository root, historical):
+//
+//	go run ./internal/detect/testdata/gen_fixtures.go
+//
+// The deterministic trace generator below is duplicated in
+// internal/aging/testdata/gen_fixtures.go, internal/aging/golden_test.go,
+// internal/ingest/golden_test.go and internal/detect/golden_test.go; the
+// copies must stay identical.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"agingmf/internal/aging"
+)
+
+// fixtureTrace is a tiny self-contained PRNG trace: smooth ramp blocks
+// alternating with noisy blocks whose amplitude steps up at n/2, so the
+// Hölder volatility jumps mid-trace.
+func fixtureTrace(seed uint64, n int) []float64 {
+	x := seed
+	rnd := func() float64 {
+		x = x*6364136223846793005 + 1442695040888963407
+		return float64(x>>11) / (1 << 53)
+	}
+	out := make([]float64, n)
+	level := 0.0
+	for i := range out {
+		amp := 0.05
+		if i >= n/2 {
+			amp = 1.5
+		}
+		if (i/16)%2 == 0 {
+			level += 0.01
+			out[i] = level
+		} else {
+			out[i] = level + amp*(rnd()-0.5)
+		}
+	}
+	return out
+}
+
+// fixtureConfig mirrors the config constructors in the golden tests.
+func fixtureConfig(kind aging.DetectorKind, historyLimit int) aging.Config {
+	return aging.Config{
+		MinRadius:        2,
+		MaxRadius:        8,
+		VolatilityWindow: 32,
+		Detector:         kind,
+		ShewhartK:        3,
+		DetectorWarmup:   64,
+		CUSUMDrift:       0.5,
+		CUSUMThreshold:   20,
+		PHDelta:          0.5,
+		PHLambda:         50,
+		EWMALambda:       0.05,
+		EWMAK:            6,
+		Refractory:       32,
+		HistoryLimit:     historyLimit,
+	}
+}
+
+const (
+	fixtureLen   = 800
+	fixtureSplit = 500
+)
+
+func main() {
+	dual, err := aging.NewDualMonitor(fixtureConfig(aging.DetectShewhart, 0))
+	check(err)
+	free := fixtureTrace(51, fixtureLen)
+	swap := fixtureTrace(52, fixtureLen)
+	for i := 0; i < fixtureSplit; i++ {
+		dual.Add(free[i], swap[i])
+	}
+	blob, err := dual.SaveState()
+	check(err)
+	check(os.WriteFile("internal/detect/testdata/dual_v1.gob", blob, 0o644))
+	fmt.Printf("dual_v1.gob: %d samples, phase %v, %d bytes\n",
+		dual.SamplesSeen(), dual.Phase(), len(blob))
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -122,6 +122,7 @@ func All() []Experiment {
 		{ID: "E10", Title: "Sensitivity ablation: detector and window choices (extension)", Run: RunE10},
 		{ID: "E11", Title: "Fault-injection detection latency (extension)", Run: RunE11},
 		{ID: "E12", Title: "Workload self-similarity validation (extension)", Run: RunE12},
+		{ID: "E13", Title: "Detector shootout: holder vs entropy vs adaptive (extension)", Run: RunShootout},
 	}
 }
 

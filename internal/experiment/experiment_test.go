@@ -21,8 +21,8 @@ func mustMetric(t *testing.T, rep Report, name string) float64 {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 12 {
-		t.Fatalf("registered experiments = %d, want 12", len(all))
+	if len(all) != 13 {
+		t.Fatalf("registered experiments = %d, want 13", len(all))
 	}
 	for i, e := range all {
 		if e.ID == "" || e.Title == "" || e.Run == nil {
@@ -280,6 +280,47 @@ func TestE12WorkloadSelfSimilarity(t *testing.T) {
 	// The composite load must be more multifractal than its shuffle.
 	if mustMetric(t, rep, "load_hq_spread") <= mustMetric(t, rep, "surrogate_hq_spread") {
 		t.Error("composite load spread not above surrogate")
+	}
+}
+
+func TestE13ShootoutEdges(t *testing.T) {
+	rep, err := RunShootout(quickCfg)
+	if err != nil {
+		t.Fatalf("E13: %v", err)
+	}
+	// The extension detectors must each earn their seat: entropy with a
+	// strictly longer warning lead on the crash campaigns, adaptive with
+	// a strictly lower false-alarm rate on the paging-churn control.
+	holderLead := mustMetric(t, rep, "leak-crash_holder_median_lead_ticks")
+	entropyLead := mustMetric(t, rep, "leak-crash_entropy_median_lead_ticks")
+	if entropyLead <= holderLead {
+		t.Errorf("leak-crash entropy lead %v not above holder lead %v", entropyLead, holderLead)
+	}
+	if h, e := mustMetric(t, rep, "thrash-crash_holder_detected"), mustMetric(t, rep, "thrash-crash_entropy_detected"); e < h {
+		t.Errorf("thrash-crash entropy detected %v < holder %v", e, h)
+	}
+	hFar := mustMetric(t, rep, "churn-healthy_holder_false_alarms_per_run")
+	aFar := mustMetric(t, rep, "churn-healthy_adaptive_false_alarms_per_run")
+	if aFar >= hFar {
+		t.Errorf("churn-healthy adaptive false alarms %v not below holder %v", aFar, hFar)
+	}
+	// The quiet control must stay quiet for the entropy detector — its
+	// two-sided threshold is tuned to clear the healthy no-match tail.
+	if got := mustMetric(t, rep, "steady-healthy_entropy_false_alarms_per_run"); got != 0 {
+		t.Errorf("steady-healthy entropy false alarms = %v, want 0", got)
+	}
+	// Both headline edges must be spelled out in the notes.
+	notes := strings.Join(rep.Notes, "\n")
+	for _, want := range []string{"entropy edge over holder", "adaptive edge over holder"} {
+		if !strings.Contains(notes, want) {
+			t.Errorf("notes missing %q:\n%s", want, notes)
+		}
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("tables = %d, want summary + per-run", len(rep.Tables))
+	}
+	if rows := len(rep.Tables[0].Rows); rows != 15 { // 5 scenarios x 3 detectors
+		t.Errorf("summary rows = %d, want 15", rows)
 	}
 }
 

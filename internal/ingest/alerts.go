@@ -16,8 +16,12 @@ import (
 
 // Alert kinds published on the bus.
 const (
-	// AlertJump is a Hölder-volatility jump on one counter.
+	// AlertJump is a detection alarm on one counter (a Hölder-volatility
+	// jump, an entropy collapse, ... — the Detector field says which).
 	AlertJump = "jump"
+	// AlertRecalibrate records a detector re-anchoring its baseline after
+	// a confirmed workload shift (adaptive detector); informational.
+	AlertRecalibrate = "recalibrate"
 	// AlertPhaseChange is an aging-phase transition.
 	AlertPhaseChange = "phase_change"
 	// AlertStall means a source went silent past the stall timeout.
@@ -36,6 +40,10 @@ type Alert struct {
 	Source string `json:"source"`
 	// Kind is one of the Alert* constants.
 	Kind string `json:"kind"`
+	// Detector labels jump/recalibrate alerts with the emitting detector
+	// ("holder", "entropy", "adaptive"); empty for source-level alerts
+	// (stall, resume, phase_change).
+	Detector string `json:"detector,omitempty"`
 	// Counter attributes jump alerts to free-memory or used-swap.
 	Counter string `json:"counter,omitempty"`
 	// Sample is the per-source sample index the alert fired at.
@@ -221,8 +229,9 @@ func (b *AlertBus) Close() {
 func JSONLSink(sub *Subscription, ev *obs.Events) {
 	for a := range sub.C() {
 		ev.Warn("alert", obs.Fields{
-			"source": a.Source, "alert": a.Kind, "counter": a.Counter,
-			"sample": a.Sample, "volatility": a.Volatility, "score": a.Score,
+			"source": a.Source, "alert": a.Kind, "detector": a.Detector,
+			"counter": a.Counter, "sample": a.Sample,
+			"volatility": a.Volatility, "score": a.Score,
 			"from": a.From, "to": a.To, "gap_ms": a.GapMillis,
 		})
 	}

@@ -101,18 +101,29 @@ func TestJSONLSink(t *testing.T) {
 		JSONLSink(sub, ev)
 	}()
 	b.Publish(Alert{Source: "web-01", Kind: AlertPhaseChange, From: "healthy", To: "aging-onset"})
+	b.Publish(Alert{Source: "web-01", Kind: AlertJump, Detector: "entropy", Counter: "free-memory", Sample: 97})
 	b.Close()
 	<-done
 
 	mu.Lock()
 	out := buf.String()
 	mu.Unlock()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("sink wrote %d lines, want 2:\n%s", len(lines), out)
+	}
 	var rec map[string]any
-	if err := json.Unmarshal([]byte(strings.TrimSpace(out)), &rec); err != nil {
-		t.Fatalf("sink output %q is not JSONL: %v", out, err)
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("sink output %q is not JSONL: %v", lines[0], err)
 	}
 	if rec["event"] != "alert" || rec["source"] != "web-01" || rec["alert"] != AlertPhaseChange {
 		t.Errorf("sink record = %v", rec)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatalf("sink output %q is not JSONL: %v", lines[1], err)
+	}
+	if rec["alert"] != AlertJump || rec["detector"] != "entropy" {
+		t.Errorf("jump record missing detector label: %v", rec)
 	}
 }
 
@@ -154,7 +165,7 @@ func TestWebhookSinkRetriesTransient(t *testing.T) {
 			Retry: resilience.RetryConfig{MaxAttempts: 3, BaseDelay: time.Millisecond},
 		}, nil)
 	}()
-	want := Alert{Source: "db-7", Kind: AlertJump, Counter: "free-memory", Sample: 41}
+	want := Alert{Source: "db-7", Kind: AlertJump, Detector: "holder", Counter: "free-memory", Sample: 41}
 	b.Publish(want)
 	b.Close()
 	<-done

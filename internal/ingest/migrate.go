@@ -4,7 +4,7 @@ import (
 	"errors"
 	"fmt"
 
-	"agingmf/internal/aging"
+	"agingmf/internal/detect"
 	"agingmf/internal/obs"
 	"agingmf/internal/trace"
 )
@@ -59,10 +59,11 @@ func (r *Registry) DetachSource(id string) ([]byte, []trace.Record, error) {
 
 // AttachSource installs a source from a SaveState blob (or fresh, when
 // state is empty) — the receiving side of a migration and the
-// restore-from-last-snapshot leg of dead-node adoption. The monitor
-// resumes exactly where the blob stopped, so verdicts after the attach
-// are byte-for-byte what the origin would have produced. recs seeds the
-// source's flight recorder with the tail that travelled in the
+// restore-from-last-snapshot leg of dead-node adoption. The detector set
+// resumes exactly where the blob stopped — every detector's state
+// travels byte-identically in the envelope — so verdicts after the
+// attach are byte-for-byte what the origin would have produced. recs
+// seeds the source's flight recorder with the tail that travelled in the
 // envelope. Fails with ErrSourceExists when the source is already live
 // here (the caller lost a benign creation race) and respects
 // Config.MaxSources.
@@ -71,13 +72,13 @@ func (r *Registry) AttachSource(id string, state []byte, recs []trace.Record) er
 		return err
 	}
 	var (
-		mon *aging.DualMonitor
+		mon *detect.MonitorSet
 		err error
 	)
 	if len(state) == 0 {
-		mon, err = aging.NewDualMonitor(r.cfg.Monitor)
+		mon, err = detect.New(r.cfg.Detectors, r.cfg.DetectorConfig())
 	} else {
-		mon, err = aging.RestoreDualMonitor(state)
+		mon, err = detect.RestoreMonitorSet(state)
 	}
 	if err != nil {
 		return fmt.Errorf("ingest: attach %q: %w", id, err)
@@ -101,7 +102,7 @@ func (r *Registry) AttachSource(id string, state []byte, recs []trace.Record) er
 		src := r.attachSource(sh, id, mon)
 		attached = int64(mon.SamplesSeen())
 		src.samples.Store(attached)
-		src.jumps.Store(int64(len(mon.Jumps())))
+		src.jumps.Store(int64(mon.Jumps()))
 		if src.fr != nil && len(recs) > 0 {
 			src.fr.Append(recs)
 		}

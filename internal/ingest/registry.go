@@ -7,9 +7,11 @@
 // The hot path is hash-sharded: a source id is FNV-hashed onto one of N
 // shards, each owned by a single goroutine fed by a bounded channel.
 // Because every sample of a source is handled by the same goroutine, the
-// per-source aging.DualMonitor needs no locks and its verdicts are
-// byte-for-byte identical to a single-process run over the same samples —
-// the property the agingd self-test asserts. Producers experience
+// per-source detector set (a detect.MonitorSet — the Hölder pipeline by
+// default, optionally entropy and workload-adaptive detectors beside it)
+// needs no locks and its verdicts are byte-for-byte identical to a
+// single-process run over the same samples — the property the agingd
+// self-test asserts. Producers experience
 // explicit backpressure (the default: a full shard queue blocks the
 // producing connection, and only it) or explicit drops
 // (Config.DropWhenFull), never silent loss; every drop is counted by
@@ -34,6 +36,7 @@ import (
 	"time"
 
 	"agingmf/internal/aging"
+	"agingmf/internal/detect"
 	"agingmf/internal/obs"
 	"agingmf/internal/resilience"
 	"agingmf/internal/trace"
@@ -62,10 +65,19 @@ type Config struct {
 	// TCP transport turns into flow control on exactly the offending
 	// connection.
 	DropWhenFull bool
-	// Monitor configures every per-source DualMonitor (zero value selects
+	// Monitor configures the Hölder pipeline of every per-source holder
+	// (and, by default, adaptive) detector (zero value selects
 	// aging.DefaultConfig). Bound the history (HistoryLimit) in production:
-	// the registry holds one monitor per source.
+	// the registry holds one detector set per source.
 	Monitor aging.Config
+	// Detectors selects each source's detector suite by kind ("holder",
+	// "entropy", "adaptive"; see internal/detect). Empty selects holder
+	// only — the original single-pipeline daemon.
+	Detectors []string
+	// Detect tunes the non-holder detectors (zero sub-configurations
+	// select detect defaults). Detect.Monitor is overridden by Monitor
+	// above so there is exactly one pipeline configuration.
+	Detect detect.Config
 	// MaxSources caps the registry's source population so a malformed or
 	// hostile flood cannot allocate monitors without bound (0 selects
 	// 65536; negative means unlimited). Samples for new sources beyond the
@@ -79,8 +91,9 @@ type Config struct {
 	// (0 selects 256).
 	AlertRing int
 	// Restore pre-populates sources from SaveState blobs (source id →
-	// aging.DualMonitor.SaveState), as read by ReadSnapshot. A restarted
-	// daemon resumes every source exactly where its monitor stopped.
+	// detect.MonitorSet.SaveState; legacy aging.DualMonitor blobs resume
+	// as holder-only sets), as read by ReadSnapshot. A restarted daemon
+	// resumes every source exactly where its detectors stopped.
 	Restore map[string][]byte
 	// Obs receives the ingest metric families. Nil disables (hot paths
 	// then pay only nil checks).
@@ -114,6 +127,9 @@ func (c Config) withDefaults() Config {
 	if c.Monitor == (aging.Config{}) {
 		c.Monitor = aging.DefaultConfig()
 	}
+	if len(c.Detectors) == 0 {
+		c.Detectors = []string{detect.KindHolder}
+	}
 	if c.MaxSources == 0 {
 		c.MaxSources = 65536
 	}
@@ -121,6 +137,15 @@ func (c Config) withDefaults() Config {
 		c.AlertRing = 256
 	}
 	return c
+}
+
+// DetectorConfig resolves the detect.Config every per-source detector
+// set is built from: Detect with Monitor as the single pipeline
+// configuration. The self-test oracles rebuild reference sets from it.
+func (c Config) DetectorConfig() detect.Config {
+	dc := c.Detect
+	dc.Monitor = c.Monitor
+	return dc
 }
 
 // shardMsg is one unit of shard work: a sample, a batch of samples for
@@ -167,13 +192,13 @@ type shard struct {
 	tm    aging.StageNanos
 }
 
-// source is one monitored machine. The monitor and lastPhase are owned by
-// the shard goroutine; the atomic mirror fields are the read side of the
-// status API.
+// source is one monitored machine. The detector set and lastPhase are
+// owned by the shard goroutine; the atomic mirror fields are the read
+// side of the status API.
 type source struct {
 	id        string
 	shardID   int
-	mon       *aging.DualMonitor
+	mon       *detect.MonitorSet
 	wd        *resilience.Watchdog
 	fr        *trace.FlightRecorder // nil unless FlightRecorderDepth > 0
 	lastPhase aging.Phase
@@ -185,19 +210,54 @@ type source struct {
 	lastSwap atomic.Uint64 // Float64bits
 	lastSeen atomic.Int64  // UnixNano; 0 = restored, not yet seen live
 	stalled  atomic.Bool
+
+	// dets mirrors each detector's verdict counters for the status API.
+	// The slice is fixed at attach; its entries are atomics.
+	dets []*detectorMirror
 }
 
-// SourceStatus is the externally visible state of one source.
+// detectorMirror is the lock-free read side of one detector's state.
+type detectorMirror struct {
+	kind   string
+	jumps  atomic.Int64
+	recals atomic.Int64
+	phase  atomic.Int32
+}
+
+// det finds the mirror for a detector kind (the sets are tiny; a linear
+// scan beats any map on this path).
+func (src *source) det(kind string) *detectorMirror {
+	for _, m := range src.dets {
+		if m.kind == kind {
+			return m
+		}
+	}
+	return nil
+}
+
+// DetectorStatus is one detector's section of a source's status: its
+// verdict counters and phase, labeled by detector kind.
+type DetectorStatus struct {
+	Kind           string `json:"kind"`
+	Phase          string `json:"phase"`
+	Jumps          int64  `json:"jumps"`
+	Recalibrations int64  `json:"recalibrations,omitempty"`
+}
+
+// SourceStatus is the externally visible state of one source. Jumps and
+// Phase aggregate across the source's detectors; Detectors carries the
+// per-detector breakdown.
 type SourceStatus struct {
-	ID       string    `json:"id"`
-	Shard    int       `json:"shard"`
-	Samples  int64     `json:"samples"`
-	Jumps    int64     `json:"jumps"`
-	Phase    string    `json:"phase"`
-	LastFree float64   `json:"last_free"`
-	LastSwap float64   `json:"last_swap"`
-	Stalled  bool      `json:"stalled"`
-	LastSeen time.Time `json:"last_seen"`
+	ID        string           `json:"id"`
+	Shard     int              `json:"shard"`
+	Samples   int64            `json:"samples"`
+	Jumps     int64            `json:"jumps"`
+	Phase     string           `json:"phase"`
+	LastFree  float64          `json:"last_free"`
+	LastSwap  float64          `json:"last_swap"`
+	Stalled   bool             `json:"stalled"`
+	LastSeen  time.Time        `json:"last_seen"`
+	Detectors []DetectorStatus `json:"detectors,omitempty"`
 }
 
 // status assembles the atomic mirror into a SourceStatus.
@@ -214,6 +274,15 @@ func (src *source) status() SourceStatus {
 	}
 	if ns := src.lastSeen.Load(); ns != 0 {
 		st.LastSeen = time.Unix(0, ns)
+	}
+	st.Detectors = make([]DetectorStatus, len(src.dets))
+	for i, m := range src.dets {
+		st.Detectors[i] = DetectorStatus{
+			Kind:           m.kind,
+			Phase:          aging.Phase(m.phase.Load()).String(),
+			Jumps:          m.jumps.Load(),
+			Recalibrations: m.recals.Load(),
+		}
 	}
 	return st
 }
@@ -256,9 +325,9 @@ type Registry struct {
 // and sources from cfg.Restore are resumed when it returns.
 func NewRegistry(cfg Config) (*Registry, error) {
 	cfg = cfg.withDefaults()
-	// Validate the monitor configuration once, up front — per-source
-	// construction must not be the first place a bad config surfaces.
-	if _, err := aging.NewDualMonitor(cfg.Monitor); err != nil {
+	// Validate the detector suite once, up front — per-source construction
+	// must not be the first place a bad config or kind list surfaces.
+	if _, err := detect.New(cfg.Detectors, cfg.DetectorConfig()); err != nil {
 		return nil, fmt.Errorf("ingest: %w", err)
 	}
 	r := &Registry{
@@ -287,14 +356,18 @@ func NewRegistry(cfg Config) (*Registry, error) {
 		if err := validSource(id); err != nil {
 			return nil, fmt.Errorf("ingest: restore %q: %w", id, err)
 		}
-		mon, err := aging.RestoreDualMonitor(blob)
+		// A snapshot's detector suite travels with the blob: legacy
+		// DualMonitor blobs resume as holder-only sets, set envelopes
+		// resume whatever suite wrote them, regardless of cfg.Detectors
+		// (which governs sources created after the restore).
+		set, err := detect.RestoreMonitorSet(blob)
 		if err != nil {
 			return nil, fmt.Errorf("ingest: restore %q: %w", id, err)
 		}
 		sh := r.shards[r.shardIndex(id)]
-		src := r.attachSource(sh, id, mon)
-		src.samples.Store(int64(mon.SamplesSeen()))
-		src.jumps.Store(int64(len(mon.Jumps())))
+		src := r.attachSource(sh, id, set)
+		src.samples.Store(int64(set.SamplesSeen()))
+		src.jumps.Store(int64(set.Jumps()))
 	}
 	for _, sh := range r.shards {
 		r.wg.Add(1)
@@ -696,17 +769,26 @@ func (r *Registry) Close() error {
 }
 
 // attachSource registers a new source object on both the shard-owned map
-// side (caller's duty) and the read-side index. Monitor must be fresh or
-// restored; phase mirrors are initialized from it.
-func (r *Registry) attachSource(sh *shard, id string, mon *aging.DualMonitor) *source {
+// side (caller's duty) and the read-side index. The detector set must be
+// fresh or restored; phase and per-detector mirrors are initialized from
+// it.
+func (r *Registry) attachSource(sh *shard, id string, set *detect.MonitorSet) *source {
 	src := &source{
 		id:        id,
 		shardID:   sh.id,
-		mon:       mon,
+		mon:       set,
 		fr:        trace.NewFlightRecorder(r.cfg.FlightRecorderDepth),
-		lastPhase: mon.Phase(),
+		lastPhase: set.Phase(),
 	}
-	src.phase.Store(int32(mon.Phase()))
+	src.phase.Store(int32(set.Phase()))
+	src.dets = make([]*detectorMirror, len(set.Kinds()))
+	for i, ds := range set.Status() {
+		m := &detectorMirror{kind: ds.Kind}
+		m.jumps.Store(int64(ds.Jumps))
+		m.recals.Store(int64(ds.Recalibrations))
+		m.phase.Store(int32(set.Detector(i).Phase()))
+		src.dets[i] = m
+	}
 	if r.cfg.StallTimeout > 0 {
 		src.wd = resilience.NewWatchdog(r.cfg.StallTimeout, r.met.res, func(gap time.Duration) {
 			src.stalled.Store(true)
@@ -784,24 +866,24 @@ func (sh *shard) resolve(id string, n int) *source {
 		}
 		return nil
 	}
-	mon, err := aging.NewDualMonitor(r.cfg.Monitor)
+	set, err := detect.New(r.cfg.Detectors, r.cfg.DetectorConfig())
 	if err != nil {
 		// The config was validated at construction; this cannot
 		// happen short of a defect. Count, don't crash the shard.
 		r.dropN("monitor_error", n)
 		return nil
 	}
-	src := r.attachSource(sh, id, mon)
+	src := r.attachSource(sh, id, set)
 	r.cfg.Events.Info("ingest_source_created", obs.Fields{
 		"source": id, "shard": sh.id,
 	})
 	return src
 }
 
-// handle feeds one sample into its source's monitor — the single-writer
-// hot path. No locks are taken: the monitor is goroutine-owned and the
-// status mirror is atomics. The untraced, unrecorded path is the original
-// direct Add; everything else goes through observe.
+// handle feeds one sample into its source's detector set — the
+// single-writer hot path. No locks are taken: the set is goroutine-owned
+// and the status mirror is atomics. The untraced, unrecorded path is the
+// original direct Add; everything else goes through observe.
 func (sh *shard) handle(s Sample, seq uint64) {
 	r := sh.reg
 	src := sh.resolve(s.Source, 1)
@@ -812,19 +894,19 @@ func (sh *shard) handle(s Sample, seq uint64) {
 	if r.cfg.Obs != nil || seq != 0 {
 		start = time.Now()
 	}
-	var jumps []aging.DualJump
+	var events []detect.Event
 	if seq == 0 && src.fr == nil {
-		jumps = src.mon.Add(s.Free, s.Swap)
+		events = src.mon.Add(s.Free, s.Swap)
 	} else {
 		sh.pair1[0] = [2]float64{s.Free, s.Swap}
-		jumps = sh.observe(src, sh.pair1[:], seq)
+		events = sh.observe(src, sh.pair1[:], seq)
 	}
-	sh.commit(src, jumps, s.Free, s.Swap, 1, start, seq)
+	sh.commit(src, events, s.Free, s.Swap, 1, start, seq)
 }
 
-// handleBatch feeds a whole batch into its source's monitor with one map
-// lookup and one bookkeeping pass; verdicts are identical to feeding the
-// pairs through handle one at a time.
+// handleBatch feeds a whole batch into its source's detector set with one
+// map lookup and one bookkeeping pass; verdicts are identical to feeding
+// the pairs through handle one at a time.
 func (sh *shard) handleBatch(b *Batch, seq uint64) {
 	r := sh.reg
 	if len(b.Pairs) == 0 {
@@ -838,14 +920,14 @@ func (sh *shard) handleBatch(b *Batch, seq uint64) {
 	if r.cfg.Obs != nil || seq != 0 {
 		start = time.Now()
 	}
-	var jumps []aging.DualJump
+	var events []detect.Event
 	if seq == 0 && src.fr == nil {
-		jumps = src.mon.AddBatch(b.Pairs)
+		events = src.mon.AddBatch(b.Pairs)
 	} else {
-		jumps = sh.observe(src, b.Pairs, seq)
+		events = sh.observe(src, b.Pairs, seq)
 	}
 	last := b.Pairs[len(b.Pairs)-1]
-	sh.commit(src, jumps, last[0], last[1], len(b.Pairs), start, seq)
+	sh.commit(src, events, last[0], last[1], len(b.Pairs), start, seq)
 }
 
 // observe is the annotated detection path, taken when the unit is traced
@@ -855,7 +937,7 @@ func (sh *shard) handleBatch(b *Batch, seq uint64) {
 // traced units, and appends the annotated tail to the flight recorder in
 // one lock. Scratch lives on the shard, so the steady state allocates only
 // when a jump actually fires.
-func (sh *shard) observe(src *source, pairs [][2]float64, seq uint64) []aging.DualJump {
+func (sh *shard) observe(src *source, pairs [][2]float64, seq uint64) []detect.Event {
 	r := sh.reg
 	var tm *aging.StageNanos
 	if seq != 0 {
@@ -867,13 +949,19 @@ func (sh *shard) observe(src *source, pairs [][2]float64, seq uint64) []aging.Du
 		detectStart = time.Now()
 	}
 	recs := sh.recs[:0]
-	var all []aging.DualJump
+	var all []detect.Event
 	wall := time.Now().UnixNano()
 	for _, p := range pairs {
 		js := src.mon.AddTraced(p[0], p[1], tm)
 		all = append(all, js...)
 		if src.fr != nil {
 			scoreFree, scoreSwap := src.mon.LastStats()
+			njumps := 0
+			for _, ev := range js {
+				if ev.Kind == detect.EventJump {
+					njumps++
+				}
+			}
 			recs = append(recs, trace.Record{
 				Seq:       uint64(src.mon.SamplesSeen()),
 				Wall:      wall,
@@ -882,7 +970,7 @@ func (sh *shard) observe(src *source, pairs [][2]float64, seq uint64) []aging.Du
 				ScoreFree: scoreFree,
 				ScoreSwap: scoreSwap,
 				Phase:     src.mon.Phase().String(),
-				Jumps:     len(js),
+				Jumps:     njumps,
 			})
 		}
 	}
@@ -914,8 +1002,10 @@ func (sh *shard) observe(src *source, pairs [][2]float64, seq uint64) []aging.Du
 
 // commit publishes the post-Add bookkeeping shared by the single-sample
 // and batch paths: status mirrors, counters, watchdog, and alerts for n
-// newly ingested samples whose most recent pair is (free, swap).
-func (sh *shard) commit(src *source, jumps []aging.DualJump, free, swap float64, n int, start time.Time, seq uint64) {
+// newly ingested samples whose most recent pair is (free, swap). Every
+// event carries its emitting detector's label into the alert stream, so
+// two detectors firing on one tick yield two distinguishable alerts.
+func (sh *shard) commit(src *source, events []detect.Event, free, swap float64, n int, start time.Time, seq uint64) {
 	r := sh.reg
 	src.samples.Add(int64(n))
 	src.lastFree.Store(math.Float64bits(free))
@@ -933,16 +1023,43 @@ func (sh *shard) commit(src *source, jumps []aging.DualJump, free, swap float64,
 		r.publishAlert(Alert{Source: src.id, Kind: AlertResume})
 	}
 
-	for _, j := range jumps {
-		src.jumps.Add(1)
-		r.publishAlert(Alert{
-			Source:     src.id,
-			Kind:       AlertJump,
-			Counter:    j.Counter.String(),
-			Sample:     j.Jump.SampleIndex,
-			Volatility: j.Jump.Volatility,
-			Score:      j.Jump.Score,
-		})
+	for _, ev := range events {
+		m := src.det(ev.Detector)
+		switch ev.Kind {
+		case detect.EventRecalibrate:
+			if m != nil {
+				m.recals.Add(1)
+			}
+			r.publishAlert(Alert{
+				Source:   src.id,
+				Kind:     AlertRecalibrate,
+				Detector: ev.Detector,
+				Counter:  ev.Counter.String(),
+				Sample:   ev.Sample,
+				Score:    ev.Score,
+			})
+		default: // detect.EventJump
+			src.jumps.Add(1)
+			if m != nil {
+				m.jumps.Add(1)
+			}
+			r.publishAlert(Alert{
+				Source:     src.id,
+				Kind:       AlertJump,
+				Detector:   ev.Detector,
+				Counter:    ev.Counter.String(),
+				Sample:     ev.Sample,
+				Volatility: ev.Value,
+				Score:      ev.Score,
+			})
+		}
+	}
+	if len(events) > 0 {
+		// Detector phases only move when events fire; refresh the
+		// per-detector mirrors off the hot steady-state path.
+		for i, m := range src.dets {
+			m.phase.Store(int32(src.mon.Detector(i).Phase()))
+		}
 	}
 	if phase := src.mon.Phase(); phase != src.lastPhase {
 		r.publishAlert(Alert{

@@ -10,7 +10,7 @@ import (
 	"sync"
 	"time"
 
-	"agingmf/internal/aging"
+	"agingmf/internal/detect"
 	"agingmf/internal/memsim"
 	transport "agingmf/internal/source"
 	"agingmf/internal/workload"
@@ -81,9 +81,11 @@ type SelfTestReport struct {
 	// a passing self-test has Accepted == SamplesSent and Dropped == 0.
 	Accepted uint64
 	Dropped  uint64
-	// ParityMismatches lists sources whose daemon-side monitor state
-	// differs from a single-process monitor fed the same trace — always
-	// empty unless the sharding is broken.
+	// ParityMismatches lists sources whose daemon-side detector state
+	// differs from a single-process detector set fed the same trace —
+	// always empty unless the sharding is broken. Entries are "id" when
+	// the whole snapshot diverged and "id/detector" when a specific
+	// detector's state did.
 	ParityMismatches []string
 	// Jumps and Alerts summarize what the fleet detected.
 	Jumps  int64
@@ -118,8 +120,9 @@ func selfTestSourceID(i int) string { return fmt.Sprintf("selftest-%04d", i) }
 // daemon end-to-end:
 //
 //   - every sample was accepted, none dropped (backpressure, not loss);
-//   - each source's monitor state is byte-for-byte identical to a
-//     single-process aging.DualMonitor fed the same trace.
+//   - each source's detector-set state is byte-for-byte identical to a
+//     single-process detect.MonitorSet (same suite) fed the same trace,
+//     detector by detector.
 //
 // The server must be started with a TCP listener and must not be shut
 // down underneath the test. RunSelfTest returns an error only for
@@ -186,8 +189,9 @@ func RunSelfTest(ctx context.Context, srv *Server, cfg SelfTestConfig) (SelfTest
 	rep.Dropped = reg.Dropped()
 	rep.Alerts = reg.Alerts().Total()
 
-	// Parity: replay each trace into a fresh single-process monitor and
-	// compare gob states byte-for-byte.
+	// Parity: replay each trace into a fresh single-process detector set
+	// (the same suite the registry runs) and compare gob states
+	// byte-for-byte, reporting per-detector when they diverge.
 	for i, tr := range traces {
 		id := selfTestSourceID(i)
 		if st, ok := reg.Source(id); ok {
@@ -198,9 +202,9 @@ func RunSelfTest(ctx context.Context, srv *Server, cfg SelfTestConfig) (SelfTest
 			rep.ParityMismatches = append(rep.ParityMismatches, id)
 			continue
 		}
-		ref, err := aging.NewDualMonitor(reg.Config().Monitor)
+		ref, err := detect.New(reg.Config().Detectors, reg.Config().DetectorConfig())
 		if err != nil {
-			return rep, fmt.Errorf("ingest: self-test reference monitor: %w", err)
+			return rep, fmt.Errorf("ingest: self-test reference detectors: %w", err)
 		}
 		for _, s := range tr {
 			ref.Add(s[0], s[1])
@@ -210,7 +214,7 @@ func RunSelfTest(ctx context.Context, srv *Server, cfg SelfTestConfig) (SelfTest
 			return rep, fmt.Errorf("ingest: self-test reference state: %w", err)
 		}
 		if !bytes.Equal(got, want) {
-			rep.ParityMismatches = append(rep.ParityMismatches, id)
+			rep.ParityMismatches = append(rep.ParityMismatches, detectorMismatches(id, got, want)...)
 		}
 		// Flight-recorder consistency: the recorder's newest record must
 		// be the trace's last sample, bit-for-bit (the wire format
@@ -231,6 +235,30 @@ func RunSelfTest(ctx context.Context, srv *Server, cfg SelfTestConfig) (SelfTest
 	rep.TraceSpans = len(reg.Tracer().Spans())
 	rep.Elapsed = time.Since(start)
 	return rep, nil
+}
+
+// detectorMismatches attributes a set-snapshot divergence to the
+// detectors whose states differ ("id/kind"), falling back to the bare id
+// when the snapshots cannot be split or disagree structurally.
+func detectorMismatches(id string, got, want []byte) []string {
+	gk, gs, gerr := detect.DecodeStates(got)
+	wk, ws, werr := detect.DecodeStates(want)
+	if gerr != nil || werr != nil || len(gk) != len(wk) {
+		return []string{id}
+	}
+	var out []string
+	for i := range gk {
+		if gk[i] != wk[i] {
+			return []string{id}
+		}
+		if !bytes.Equal(gs[i], ws[i]) {
+			out = append(out, id+"/"+gk[i])
+		}
+	}
+	if len(out) == 0 {
+		return []string{id} // envelope differs but contents match: still a defect
+	}
+	return out
 }
 
 // selfTestTrace simulates machine i and returns its (free, swap) trace.

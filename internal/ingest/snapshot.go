@@ -9,11 +9,17 @@ import (
 	"agingmf/internal/runtime"
 )
 
-// snapshotVersion guards the on-disk format.
-const snapshotVersion = 1
+// snapshotVersion guards the on-disk format. Version 1 carried
+// aging.DualMonitor blobs; version 2 carries detect.MonitorSet blobs
+// (whose holder-only form is the v1 blob, so both versions decode with
+// the same restore path and v1 files keep working).
+const (
+	snapshotVersion       = 2
+	snapshotVersionLegacy = 1
+)
 
 // snapshotFile is the gob envelope of one registry snapshot: each
-// source's aging.DualMonitor.SaveState blob, keyed by source id.
+// source's detector-set SaveState blob, keyed by source id.
 type snapshotFile struct {
 	Version int
 	States  map[string][]byte
@@ -38,7 +44,7 @@ func DecodeSnapshot(blob []byte) (map[string][]byte, error) {
 	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&sf); err != nil {
 		return nil, fmt.Errorf("ingest: decode snapshot: %w", err)
 	}
-	if sf.Version != snapshotVersion {
+	if sf.Version != snapshotVersion && sf.Version != snapshotVersionLegacy {
 		return nil, fmt.Errorf("ingest: snapshot: unsupported version %d", sf.Version)
 	}
 	return sf.States, nil
