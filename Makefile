@@ -30,22 +30,27 @@ cover:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# One iteration of every benchmark, then the overhead budgets: proves
-# the bench suite still builds and runs, that 1/1024 sampling stays
-# within its documented throughput envelope, and that a two-detector
-# MonitorSet stays within 2.5x a single detector with no steady-state
-# allocations (CI runs this).
+# One iteration of every benchmark (BenchmarkIngestBinary and
+# BenchmarkMonitorAddColumns ride the wildcard), then the overhead
+# budgets: proves the bench suite still builds and runs, that 1/1024
+# sampling stays within its documented throughput envelope, that a
+# two-detector MonitorSet stays within 2.5x a single detector with no
+# steady-state allocations, and that the binary columnar wire path stays
+# at least 4x faster per sample than the batched text lines (CI runs
+# this).
 bench-smoke:
 	$(GO) test -run XXX -bench . -benchtime=1x . ./internal/ingest/ ./internal/source/ ./internal/detect/
 	AGINGMF_TRACE_BUDGET=1 $(GO) test -run TestTraceOverheadBudget -count=1 -v ./internal/ingest/
 	AGINGMF_DETECT_BUDGET=1 $(GO) test -run TestMonitorSetOverheadBudget -count=1 -v ./internal/detect/
+	AGINGMF_BINARY_BUDGET=1 $(GO) test -run TestBinaryOverTextBudget -count=1 -v ./internal/ingest/
 
-# Machine-readable benchmark snapshot of the hot paths — detector add,
-# shard routing, batched ingestion, the replay source, and the tracing
-# overhead pair — written to BENCH_<date>.json at the repo root for
-# committing and diffing across changes.
+# Machine-readable benchmark snapshot of the hot paths — detector add
+# (per-sample and columnar), shard routing, batched ingestion over both
+# wire protocols, the replay source, and the tracing overhead pair —
+# written to BENCH_<date>.json at the repo root for committing and
+# diffing across changes.
 bench-json:
-	$(GO) test -run XXX -bench 'MonitorAdd$$|ShardRouter$$|IngestBatch$$|SourceReplay$$|IngestTraceOverhead' \
+	$(GO) test -run XXX -bench 'MonitorAdd$$|MonitorAddColumns$$|ShardRouter$$|IngestBatch$$|IngestBinary$$|SourceReplay$$|IngestTraceOverhead' \
 		-benchmem . ./internal/ingest/ ./internal/source/ \
 		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%F).json
 	@echo wrote BENCH_$$(date +%F).json

@@ -500,6 +500,10 @@ type (
 	IngestSelfTestConfig = ingest.SelfTestConfig
 	// IngestSelfTestReport is the self-test outcome.
 	IngestSelfTestReport = ingest.SelfTestReport
+	// BinaryIngestSelfTestConfig parameterizes the binary-wire self-test.
+	BinaryIngestSelfTestConfig = ingest.BinarySelfTestConfig
+	// BinaryIngestSelfTestReport is the binary-wire self-test outcome.
+	BinaryIngestSelfTestReport = ingest.BinarySelfTestReport
 	// IngestBatch is a run of samples from one source, sent as one
 	// "batch;" wire line and one shard handoff.
 	IngestBatch = ingest.Batch
@@ -537,6 +541,10 @@ var (
 	// RunIngestSelfTest drives simulated machines through a live server
 	// over real sockets and verifies zero loss and monitor parity.
 	RunIngestSelfTest = ingest.RunSelfTest
+	// RunBinaryIngestSelfTest streams binary columnar frames through a
+	// live server at full rate and verifies zero loss, zero rejects and
+	// row-path parity, reporting sustained throughput.
+	RunBinaryIngestSelfTest = ingest.RunBinarySelfTest
 	// ReadIngestSnapshot loads a state snapshot into IngestConfig.Restore.
 	ReadIngestSnapshot = ingest.ReadSnapshot
 	// WriteIngestSnapshot atomically persists registry monitor states.

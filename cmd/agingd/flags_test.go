@@ -38,6 +38,10 @@ func TestFlagSurface(t *testing.T) {
 		"selftest-samples":         "256",
 		"selftest-conns":           "0",
 		"selftest-batch":           "8",
+		"selftest-binary":          "false",
+		"selftest-binary-sources":  "4",
+		"selftest-binary-samples":  "2097152",
+		"selftest-binary-frame":    "4096",
 		"selftest-cluster":         "false",
 		"selftest-cluster-nodes":   "3",
 		"selftest-cluster-sources": "100000",

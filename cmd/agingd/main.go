@@ -64,6 +64,11 @@
 // TCP socket and verifies that no sample was lost and that every
 // source's monitor state is byte-for-byte identical to a single-process
 // monitor fed the same trace, then exits non-zero on any discrepancy.
+// -selftest-binary does the same over the binary columnar wire at full
+// rate: deterministic quantized leak traces are streamed as pre-encoded
+// frames, and the run passes only with zero loss, zero frame rejects and
+// byte-for-byte parity against per-sample reference monitors, reporting
+// the sustained samples/second.
 // -selftest-cluster does the same for the clustered path: an in-process
 // cluster of -selftest-cluster-nodes nodes streams
 // -selftest-cluster-sources sources through kill/restart/rebalance churn
@@ -80,6 +85,8 @@
 //	       [-cluster-addr HOST:PORT] [-cluster-peers HOST:PORT,...]
 //	       [-selftest] [-selftest-sources N] [-selftest-samples N]
 //	       [-selftest-conns N] [-selftest-batch N] [-seed N]
+//	       [-selftest-binary] [-selftest-binary-sources N]
+//	       [-selftest-binary-samples N] [-selftest-binary-frame N]
 //	       [-selftest-cluster] [-selftest-cluster-nodes N]
 //	       [-selftest-cluster-sources N] [-selftest-cluster-samples N]
 package main
@@ -126,6 +133,10 @@ type options struct {
 	stSamples     int
 	stConns       int
 	stBatch       int
+	sbSelftest    bool
+	sbSources     int
+	sbSamples     int
+	sbFrame       int
 	scSelftest    bool
 	scNodes       int
 	scSources     int
@@ -163,6 +174,10 @@ func newFlagSet(opt *options) *flag.FlagSet {
 	fs.IntVar(&opt.stSamples, "selftest-samples", 256, "self-test: samples per machine")
 	fs.IntVar(&opt.stConns, "selftest-conns", 0, "self-test: TCP connections to multiplex over (0 = min(sources, 64))")
 	fs.IntVar(&opt.stBatch, "selftest-batch", 8, "self-test: samples per batch; wire line (1 = plain per-sample lines)")
+	fs.BoolVar(&opt.sbSelftest, "selftest-binary", false, "stream deterministic leak traces as binary columnar frames through the real socket, verify zero loss, zero rejects and row-path parity, report throughput, then exit")
+	fs.IntVar(&opt.sbSources, "selftest-binary-sources", 4, "binary self-test: simulated machines")
+	fs.IntVar(&opt.sbSamples, "selftest-binary-samples", 1<<21, "binary self-test: samples per machine")
+	fs.IntVar(&opt.sbFrame, "selftest-binary-frame", 4096, "binary self-test: samples per wire frame")
 	fs.BoolVar(&opt.scSelftest, "selftest-cluster", false, "drive an in-process multi-node cluster through kill/restart/rebalance churn, verify zero loss and oracle parity, then exit")
 	fs.IntVar(&opt.scNodes, "selftest-cluster-nodes", 3, "cluster self-test: in-process nodes (minimum 3)")
 	fs.IntVar(&opt.scSources, "selftest-cluster-sources", 100000, "cluster self-test: simulated fleet size")
@@ -209,6 +224,14 @@ func run(args []string, stdout io.Writer) error {
 	detectors, err := agingmf.ParseDetectorKinds(opt.detectors)
 	if err != nil {
 		return fmt.Errorf("-detectors: %w", err)
+	}
+
+	// The binary self-test measures peak columnar throughput; per-sample
+	// observability (tracing, flight recorders) would force every frame
+	// onto the row-bridge path and measure that instead.
+	if opt.sbSelftest {
+		sampleEvery = 0
+		opt.flightDepth = 0
 	}
 
 	monCfg := agingmf.DefaultMonitorConfig()
@@ -291,6 +314,12 @@ func run(args []string, stdout io.Writer) error {
 			agingmf.IngestWebhookConfig{URL: opt.webhook}, events)
 	}
 
+	if opt.sbSelftest {
+		if node != nil {
+			defer node.Stop()
+		}
+		return runBinarySelfTest(sinkCtx, srv, stdout, opt)
+	}
 	if opt.selftest {
 		if node != nil {
 			defer node.Stop()
@@ -406,6 +435,37 @@ func runSelfTest(ctx context.Context, srv *agingmf.IngestServer, stdout io.Write
 			rep.Accepted, rep.SamplesSent, rep.Dropped, rep.ParityMismatches, rep.RecorderFailures)
 	}
 	fmt.Fprintln(stdout, "selftest: PASS")
+	return serr
+}
+
+// runBinarySelfTest streams deterministic leak traces through the real
+// socket as binary columnar frames, verifies zero loss / zero rejects /
+// byte-for-byte row-path parity, reports ingest throughput, and shuts
+// the daemon down.
+func runBinarySelfTest(ctx context.Context, srv *agingmf.IngestServer, stdout io.Writer, opt options) error {
+	fmt.Fprintf(stdout, "selftest-binary: %d sources x %d samples, %d samples/frame, seed %d (tracing and flight recorder off)\n",
+		opt.sbSources, opt.sbSamples, opt.sbFrame, opt.seed)
+	rep, err := agingmf.RunBinaryIngestSelfTest(ctx, srv, agingmf.BinaryIngestSelfTestConfig{
+		Sources:      opt.sbSources,
+		Samples:      opt.sbSamples,
+		FrameSamples: opt.sbFrame,
+		Seed:         opt.seed,
+	})
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	serr := srv.Shutdown(shutCtx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "selftest-binary: sent %d samples in %d frames, accepted %d, dropped %d, bad frames %d, %d alerts, %d parity mismatches; %.2fM samples/s over %v wire time (%v total)\n",
+		rep.SamplesSent, rep.FramesSent, rep.Accepted, rep.Dropped, rep.BadFrames,
+		rep.Alerts, len(rep.ParityMismatches), rep.SamplesPerSec/1e6,
+		rep.LoadElapsed.Round(time.Millisecond), rep.Elapsed.Round(time.Millisecond))
+	if !rep.Ok() {
+		return fmt.Errorf("selftest-binary failed: accepted %d/%d, dropped %d, bad frames %d, parity mismatches %v",
+			rep.Accepted, rep.SamplesSent, rep.Dropped, rep.BadFrames, rep.ParityMismatches)
+	}
+	fmt.Fprintln(stdout, "selftest-binary: PASS")
 	return serr
 }
 

@@ -9,8 +9,11 @@
 // "free swap", "timestamp free swap", or a batched
 // "batch;free swap;free swap;..." line, each optionally prefixed
 // "source=ID " (source and timestamp are accepted and ignored here;
-// cmd/agingd is the multi-source daemon) — pipe a real system's
-// counters in:
+// cmd/agingd is the multi-source daemon). A stream of binary columnar
+// frames (`stressgen -wire binary`, or anything else speaking the frame
+// protocol in internal/source) is detected automatically from its first
+// byte — the frame magic can never open a text line — and decoded the
+// same way. Pipe a real system's counters in:
 //
 //	while true; do
 //	  awk '/MemAvailable/{f=$2*1024} /SwapTotal/{t=$2*1024} /SwapFree/{s=$2*1024}

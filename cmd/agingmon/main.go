@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -130,16 +131,39 @@ func nextTraced(ctx context.Context, tr *trace.Tracer, label string, next func(c
 	return it, seq, err
 }
 
-// monitorStream feeds counter samples from a CSV-ish stream into the
-// monitor, printing events as they fire. Blank lines and lines starting
-// with '#' are skipped. Malformed lines are counted and skipped (event
-// bad_sample, counter agingmf_monitor_bad_samples_total) — fatal only
-// once more than maxBad of them arrive (negative = unlimited). A signal
-// drains the stream gracefully.
+// stdinSource is the common shape of the two stdin decoders (text lines
+// and binary frames).
+type stdinSource interface {
+	Next(context.Context) (source.Item, error)
+	Close() error
+}
+
+// newStdinSource sniffs the wire protocol on r and returns the matching
+// decoder. The columnar frame magic 0xA9 is > 0x7f, so it can never open
+// a text sample line (ASCII) — one peeked byte decides: binary frames
+// when it is the magic, CSV-ish text lines otherwise (including the
+// cannot-peek case, which the line reader reports in its own terms).
+// Frames are bounded like the TCP listener's default line bound.
+func newStdinSource(r io.Reader) stdinSource {
+	br := bufio.NewReader(r)
+	if b, err := br.Peek(1); err == nil && b[0] == source.FrameMagic0 {
+		return source.NewFrames(br, 64<<10)
+	}
+	return ingest.NewLineSource(br)
+}
+
+// monitorStream feeds counter samples from stdin into the monitor,
+// printing events as they fire. The wire protocol is auto-detected per
+// newStdinSource: binary columnar frames or CSV-ish text lines (blank
+// lines and lines starting with '#' are skipped). Malformed samples are
+// counted and skipped (event bad_sample, counter
+// agingmf_monitor_bad_samples_total) — fatal only once more than maxBad
+// of them arrive (negative = unlimited). A signal drains the stream
+// gracefully.
 func monitorStream(ctx context.Context, stdin io.Reader, stdout io.Writer, mon *agingmf.DualMonitor, tel *runtime.Telemetry, wd *agingmf.Watchdog, tr *trace.Tracer, fr *trace.FlightRecorder, maxBad int) error {
 	badSamples := tel.Reg.Counter("agingmf_monitor_bad_samples_total",
 		"Malformed stdin samples skipped by the monitor.")
-	src := ingest.NewLineSource(stdin)
+	src := newStdinSource(stdin)
 	defer src.Close()
 	sample, bad := 0, 0
 	snk := source.NewMonitorSink(mon, source.MonitorSinkConfig{

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"agingmf/internal/source"
 )
 
 func TestRunToCrashPrintsEvents(t *testing.T) {
@@ -188,5 +190,78 @@ func TestRunStatePersistsAcrossInvocations(t *testing.T) {
 	}
 	if !strings.Contains(out2.String(), "restored monitor state: 2500 samples") {
 		t.Errorf("state not restored:\n%s", out2.String())
+	}
+}
+
+// TestRunStdinBinaryFrames pipes binary columnar frames into -stdin: the
+// one peeked magic byte must flip the decoder to the frame protocol, and
+// every framed sample must reach the monitor (same count a text stream
+// of the same trace would report).
+func TestRunStdinBinaryFrames(t *testing.T) {
+	var wire bytes.Buffer
+	level := 1e9
+	var frame []byte
+	for f := 0; f < 40; f++ { // 40 frames x 50 samples
+		cb := source.ColumnarBatch{Source: "rig"}
+		for k := 0; k < 50; k++ {
+			level -= 1e4
+			cb.Free = append(cb.Free, level)
+			cb.Swap = append(cb.Swap, float64(k*1000))
+		}
+		var err error
+		frame, err = source.AppendFrame(frame[:0], &cb)
+		if err != nil {
+			t.Fatalf("encode frame %d: %v", f, err)
+		}
+		wire.Write(frame)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-stdin"}, bytes.NewReader(wire.Bytes()), &out); err != nil {
+		t.Fatalf("run -stdin on frames: %v", err)
+	}
+	if !strings.Contains(out.String(), "2000 samples") {
+		t.Errorf("framed samples lost:\n%s", lastLine(out.String()))
+	}
+	if !strings.Contains(out.String(), "0 bad skipped") {
+		t.Errorf("frames misparsed:\n%s", lastLine(out.String()))
+	}
+}
+
+// TestRunStdinBinaryCorruptFrame flips payload bytes in one mid-stream
+// frame: the CRC must reject that frame whole as one bad sample unit
+// while every surrounding frame still lands.
+func TestRunStdinBinaryCorruptFrame(t *testing.T) {
+	var wire bytes.Buffer
+	level := 1e9
+	var frame []byte
+	corruptAt := -1
+	for f := 0; f < 10; f++ {
+		cb := source.ColumnarBatch{Source: "rig"}
+		for k := 0; k < 20; k++ {
+			level -= 1e4
+			cb.Free = append(cb.Free, level)
+			cb.Swap = append(cb.Swap, 0)
+		}
+		var err error
+		frame, err = source.AppendFrame(frame[:0], &cb)
+		if err != nil {
+			t.Fatalf("encode frame %d: %v", f, err)
+		}
+		if f == 5 {
+			corruptAt = wire.Len() + len(frame) - 6 // inside the last column
+		}
+		wire.Write(frame)
+	}
+	raw := wire.Bytes()
+	raw[corruptAt] ^= 0xFF
+	var out bytes.Buffer
+	if err := run([]string{"-stdin"}, bytes.NewReader(raw), &out); err != nil {
+		t.Fatalf("run -stdin on corrupted frames: %v", err)
+	}
+	if !strings.Contains(out.String(), "180 samples") {
+		t.Errorf("surviving frames lost:\n%s", lastLine(out.String()))
+	}
+	if !strings.Contains(out.String(), "1 bad skipped") {
+		t.Errorf("corrupt frame not counted:\n%s", lastLine(out.String()))
 	}
 }

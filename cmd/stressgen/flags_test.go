@@ -21,6 +21,9 @@ func TestFlagSurface(t *testing.T) {
 		"sample-every": "1",
 		"out":          "",
 		"events":       "",
+		"wire":         "csv",
+		"wire-source":  "stressgen",
+		"wire-batch":   "256",
 	}
 	for name, def := range want {
 		gotDef, ok := got[name]

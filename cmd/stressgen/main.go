@@ -16,9 +16,11 @@
 //
 //	stressgen [-seed N] [-ram-mib N] [-swap-mib N] [-leak PAGES]
 //	          [-max-ticks N] [-sample-every N] [-out FILE] [-events FILE]
+//	          [-wire csv|text|binary] [-wire-source ID] [-wire-batch N]
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
@@ -27,20 +29,24 @@ import (
 	"time"
 
 	"agingmf"
+	"agingmf/internal/ingest"
 	"agingmf/internal/runtime"
 	"agingmf/internal/source"
 )
 
 // options is the parsed flag surface of one stressgen run.
 type options struct {
-	seed     int64
-	ramMiB   int
-	swapMiB  int
-	leak     float64
-	maxTicks int
-	every    int
-	out      string
-	events   string
+	seed       int64
+	ramMiB     int
+	swapMiB    int
+	leak       float64
+	maxTicks   int
+	every      int
+	out        string
+	events     string
+	wire       string
+	wireSource string
+	wireBatch  int
 }
 
 // newFlagSet declares the stressgen flag surface — names and defaults
@@ -56,7 +62,50 @@ func newFlagSet(opt *options) *flag.FlagSet {
 	fs.IntVar(&opt.every, "sample-every", 1, "sample the counters every N ticks")
 	fs.StringVar(&opt.out, "out", "", "output CSV file (default stdout)")
 	fs.StringVar(&opt.events, "events", "", `append JSONL progress events to this file ("-" = stdout, empty disables)`)
+	fs.StringVar(&opt.wire, "wire", "csv", `output format: "csv" (mfanalyze input), "text" (fleet batch lines) or "binary" (columnar frames), the latter two ready to pipe into agingd/agingmon`)
+	fs.StringVar(&opt.wireSource, "wire-source", "stressgen", "source id stamped on -wire text/binary output")
+	fs.IntVar(&opt.wireBatch, "wire-batch", 256, "samples per -wire text line / binary frame")
 	return fs
+}
+
+// writeWire emits the recorded trace in one of the fleet wire protocols
+// instead of CSV: batched text lines (ingest.FormatBatch) or binary
+// columnar frames (source.AppendFrame), opt.wireBatch samples per unit,
+// stamped with opt.wireSource. Either output pipes straight into
+// agingmon -stdin or an agingd listener.
+func writeWire(w io.Writer, snk *source.TraceSink, opt options) error {
+	free, swap := snk.Columns()
+	bw := bufio.NewWriter(w)
+	var (
+		pairs [][2]float64
+		frame []byte
+	)
+	for off := 0; off < len(free); off += opt.wireBatch {
+		end := min(off+opt.wireBatch, len(free))
+		if opt.wire == "text" {
+			pairs = pairs[:0]
+			for i := off; i < end; i++ {
+				pairs = append(pairs, [2]float64{free[i], swap[i]})
+			}
+			if _, err := bw.WriteString(ingest.FormatBatch(ingest.Batch{Source: opt.wireSource, Pairs: pairs})); err != nil {
+				return err
+			}
+			if err := bw.WriteByte('\n'); err != nil {
+				return err
+			}
+			continue
+		}
+		cb := source.ColumnarBatch{Source: opt.wireSource, Free: free[off:end], Swap: swap[off:end]}
+		var err error
+		frame, err = source.AppendFrame(frame[:0], &cb)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(frame); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
 }
 
 func main() {
@@ -73,6 +122,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if opt.every < 1 {
 		return fmt.Errorf("sample every %d ticks: %w", opt.every, source.ErrBadConfig)
+	}
+	switch opt.wire {
+	case "csv", "text", "binary":
+	default:
+		return fmt.Errorf("wire format %q (want csv, text or binary): %w", opt.wire, source.ErrBadConfig)
+	}
+	if opt.wireBatch < 1 {
+		return fmt.Errorf("wire batch %d: %w", opt.wireBatch, source.ErrBadConfig)
 	}
 
 	ev, closeEvents, err := runtime.OpenEvents(opt.events)
@@ -136,11 +193,23 @@ func run(args []string, stdout io.Writer) error {
 		defer f.Close()
 		w = f
 	}
-	if err := snk.WriteCSV(w); err != nil {
-		return err
+	switch opt.wire {
+	case "csv":
+		if err := snk.WriteCSV(w); err != nil {
+			return err
+		}
+	default:
+		if err := writeWire(w, snk, opt); err != nil {
+			return err
+		}
 	}
 	if truncatedBy != nil {
-		fmt.Fprintf(w, "# truncated: received %v after %d samples\n", truncatedBy, snk.Len())
+		// The CSV readers and the text wire parser both skip '#' comment
+		// lines; a binary frame stream has no comment form, so the marker
+		// survives only as the structured event.
+		if opt.wire != "binary" {
+			fmt.Fprintf(w, "# truncated: received %v after %d samples\n", truncatedBy, snk.Len())
+		}
 		ev.Warn("run_truncated", agingmf.EventFields{
 			"signal": truncatedBy.String(), "samples": snk.Len(),
 		})

@@ -2,13 +2,17 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"agingmf"
+	"agingmf/internal/ingest"
+	"agingmf/internal/source"
 )
 
 func TestRunWritesParsableCSV(t *testing.T) {
@@ -110,5 +114,62 @@ func TestRunEventsOpenFailure(t *testing.T) {
 	err := run([]string{"-events", t.TempDir() + "/no/such/e.jsonl", "-max-ticks", "10"}, &buf)
 	if err == nil || !strings.Contains(err.Error(), "open events file") {
 		t.Errorf("unopenable events path not reported, got: %v", err)
+	}
+}
+
+// TestRunWireFormats runs the same collection in both wire formats and
+// cross-checks them sample for sample: the text lines parse with the
+// fleet batch parser, the binary frames decode with the frame decoder,
+// and the two decoded streams are bit-identical (both protocols are
+// lossless). This is the generator-side differential counterpart of the
+// ingest-side frame fuzzing.
+func TestRunWireFormats(t *testing.T) {
+	var text, bin bytes.Buffer
+	if err := run([]string{"-seed", "5", "-max-ticks", "700", "-wire", "text", "-wire-batch", "64", "-wire-source", "rig-1"}, &text); err != nil {
+		t.Fatalf("run -wire text: %v", err)
+	}
+	if err := run([]string{"-seed", "5", "-max-ticks", "700", "-wire", "binary", "-wire-batch", "64", "-wire-source", "rig-1"}, &bin); err != nil {
+		t.Fatalf("run -wire binary: %v", err)
+	}
+
+	var fromText [][2]float64
+	for _, line := range strings.Split(strings.TrimSpace(text.String()), "\n") {
+		b, err := ingest.ParseBatch(line)
+		if err != nil {
+			t.Fatalf("text line does not parse: %v\n%.80s", err, line)
+		}
+		if b.Source != "rig-1" {
+			t.Fatalf("text batch source = %q", b.Source)
+		}
+		if len(b.Pairs) > 64 {
+			t.Fatalf("text batch of %d samples exceeds -wire-batch", len(b.Pairs))
+		}
+		fromText = append(fromText, b.Pairs...)
+	}
+
+	var fromBin [][2]float64
+	src := source.NewFrames(bytes.NewReader(bin.Bytes()), 0)
+	defer src.Close()
+	for {
+		it, err := src.Next(context.Background())
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("binary frame does not decode: %v", err)
+		}
+		if it.Source != "rig-1" {
+			t.Fatalf("frame source = %q", it.Source)
+		}
+		fromBin = append(fromBin, it.Pairs...)
+	}
+
+	if len(fromText) == 0 || len(fromText) != len(fromBin) {
+		t.Fatalf("decoded %d text vs %d binary samples", len(fromText), len(fromBin))
+	}
+	for i := range fromText {
+		if fromText[i] != fromBin[i] {
+			t.Fatalf("sample %d: text %v != binary %v", i, fromText[i], fromBin[i])
+		}
 	}
 }

@@ -96,6 +96,34 @@ func (d *DualMonitor) AddBatch(pairs [][2]float64) []DualJump {
 	return fired
 }
 
+// AddColumns consumes one column per counter (free[i] and swap[i] are
+// sample pair i) through the batch-first Monitor.AddColumns kernel.
+// State and returned jumps are identical to AddBatch over the same
+// pairs: each per-counter monitor evolves independently, and the two
+// fired lists are merged back into the per-pair free-then-swap arrival
+// order by sample index (jump indices are strictly increasing within
+// each counter, and a pair's free alarm precedes its swap alarm).
+func (d *DualMonitor) AddColumns(freeMemory, usedSwap []float64) []DualJump {
+	ff := d.free.AddColumns(freeMemory)
+	sf := d.swap.AddColumns(usedSwap)
+	if len(ff) == 0 && len(sf) == 0 {
+		return nil
+	}
+	fired := make([]DualJump, 0, len(ff)+len(sf))
+	i, j := 0, 0
+	for i < len(ff) || j < len(sf) {
+		if j >= len(sf) || (i < len(ff) && ff[i].SampleIndex <= sf[j].SampleIndex) {
+			fired = append(fired, DualJump{Counter: CounterFreeMemory, Jump: ff[i]})
+			i++
+		} else {
+			fired = append(fired, DualJump{Counter: CounterUsedSwap, Jump: sf[j]})
+			j++
+		}
+	}
+	d.jumps = append(d.jumps, fired...)
+	return fired
+}
+
 // AddTraced is Add with per-stage timing: a non-nil tm accumulates the
 // stream-stage push time of both counter streams. Detection state is
 // byte-for-byte identical to Add (timing only reads the clock), so the

@@ -273,6 +273,8 @@ type Monitor struct {
 
 	jumps []Jump
 
+	colAlphas []float64 // AddColumns scratch: the batch's emitted alphas
+
 	met *monitorMetrics // telemetry; nil (zero overhead) unless Instrument-ed
 }
 
@@ -353,6 +355,124 @@ func (m *Monitor) addBatch(xs []float64) []Jump {
 		if j, ok := m.addSample(x); ok {
 			fired = append(fired, j)
 		}
+	}
+	return fired
+}
+
+// AddColumns consumes a whole column of counter samples through the
+// batch-first kernel: the estimator runs rung-major over the column
+// (stream.OscillationEstimator.PushColumns) and the volatility →
+// standardizer → detector chain then consumes the emitted alphas in one
+// tight loop. Monitor state after AddColumns(xs) — histories, stage
+// states, jumps and SaveState bytes — is identical to len(xs) calls of
+// Add; the columnar parity tests assert it. The restructuring is what
+// makes the binary wire path fast: one call per frame instead of one
+// call chain per sample.
+func (m *Monitor) AddColumns(xs []float64) []Jump {
+	if m.met == nil {
+		return m.addColumns(xs)
+	}
+	start := time.Now()
+	fired := m.addColumns(xs)
+	m.observeAddBatch(start, len(xs), len(fired))
+	return fired
+}
+
+// addColumns is the un-instrumented AddColumns kernel. Stage-at-a-time
+// processing is state-equivalent to the per-sample pipeline because the
+// stages only communicate through their emitted values, and each
+// history's trim decision depends only on that history's own length —
+// so checking the bound after every append of a history reproduces
+// addSampleT's per-sample trimHistory exactly.
+// appendTrimmed appends xs to history h under the per-element trim rule
+// — after each append, when len exceeds 2*keep, cut to the last keep —
+// computed in closed form: the trim points are a pure function of the
+// starting length, so the surviving tail and the trim count can be
+// produced directly instead of replaying n bounds checks and the
+// intermediate copy-downs. The resulting slice contents and trim count
+// are exactly those of the element-by-element loop (asserted by the
+// columnar parity tests, which diff full persisted states).
+func appendTrimmed(h, xs []float64, keep, trims int) ([]float64, int) {
+	n := len(xs)
+	l0 := len(h)
+	if l0+n <= 2*keep {
+		return append(h, xs...), trims
+	}
+	// First trim fires on append number a1; later ones every keep+1.
+	a1 := 2*keep + 1 - l0
+	if a1 < 1 {
+		a1 = 1
+	}
+	r := n - a1
+	trims += 1 + r/(keep+1)
+	f := keep + r%(keep+1) // final length
+	if f <= n {
+		return append(h[:0], xs[n-f:]...), trims
+	}
+	h = append(h[:0], h[l0-(f-n):l0]...)
+	return append(h, xs...), trims
+}
+
+func (m *Monitor) addColumns(xs []float64) []Jump {
+	if len(xs) == 0 {
+		return nil
+	}
+	limit := m.cfg.HistoryLimit
+	trims := 0
+	// Raw history column.
+	if limit == 0 {
+		m.raw = append(m.raw, xs...)
+	} else {
+		m.raw, trims = appendTrimmed(m.raw, xs, max(limit, 2*m.cfg.MaxRadius+1), trims)
+	}
+	m.seen += len(xs)
+	// Hölder estimates for the whole column. The scratch keeps the
+	// batch's alphas alive independently of m.alphas, whose tail may be
+	// trimmed below before the chain has consumed them.
+	m.colAlphas = m.est.PushColumns(xs, m.colAlphas[:0])
+	var fired []Jump
+	if limit == 0 {
+		m.alphas = append(m.alphas, m.colAlphas...)
+	} else {
+		m.alphas, trims = appendTrimmed(m.alphas, m.colAlphas, max(limit, m.cfg.VolatilityWindow+1), trims)
+	}
+	alphasBase := m.alphasSeen // count before this batch, for jump indexing
+	m.alphasSeen += len(m.colAlphas)
+	for ai, alpha := range m.colAlphas {
+		vol, ok := m.vol.Push(alpha)
+		if !ok {
+			continue
+		}
+		m.vols = append(m.vols, vol)
+		m.volsSeen++
+		if limit > 0 && len(m.vols) > 2*limit {
+			m.vols = append(m.vols[:0], m.vols[len(m.vols)-limit:]...)
+			trims++
+		}
+		stat, ok := m.std.Push(vol)
+		if !ok {
+			continue // still calibrating the baseline
+		}
+		m.lastStat = stat
+		alarm, ok := m.gate.Push(stat)
+		if !ok {
+			continue
+		}
+		// The sample that emitted alpha number a (zero-based) was raw
+		// sample a + 2*Lag(), which is what addSampleT's m.seen-1 held at
+		// this point of the per-sample pipeline.
+		j := Jump{
+			SampleIndex: alphasBase + ai + 2*m.est.Lag(),
+			VolIndex:    m.volsSeen - 1,
+			Volatility:  vol,
+			Score:       alarm.Score,
+		}
+		m.jumps = append(m.jumps, j)
+		m.std.Recalibrate()
+		fired = append(fired, j)
+	}
+	if trims > 0 && m.met != nil {
+		m.met.trims.Add(uint64(trims))
 	}
 	return fired
 }

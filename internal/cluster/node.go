@@ -11,6 +11,7 @@ import (
 	"agingmf/internal/ingest"
 	"agingmf/internal/obs"
 	"agingmf/internal/resilience"
+	transport "agingmf/internal/source"
 	"agingmf/internal/trace"
 )
 
@@ -343,6 +344,52 @@ func (n *Node) HandleForward(_ context.Context, defaultSource, line string, hops
 // ownership after every wait or redirect invalidation; the iteration
 // bound only trips under pathological continuous churn.
 func (n *Node) route(id, defaultSource, line string, hops int) error {
+	return n.routeDeliver(id, defaultSource, hops,
+		func() error { return n.reg.IngestLine(defaultSource, line) },
+		func() string { return line })
+}
+
+// IngestColumns routes one columnar batch (a decoded binary wire
+// frame): locally — straight down the registry's batch-first kernel
+// path — when this node holds the source, otherwise re-rendered as a
+// canonical text batch line (lossless: the text wire round-trips
+// float64 exactly) and forwarded to the owner, since peers negotiate
+// the forward transport in text. Routing semantics are exactly
+// IngestLine's: a source mid-outbound-migration blocks the producer
+// until the release — never buffers, so the columnar stream cannot
+// reorder around the handoff. Ownership of cb transfers here: it is
+// consumed by local delivery or released on every other path.
+func (n *Node) IngestColumns(cb *transport.ColumnarBatch) error {
+	id := cb.Source
+	if id == "" {
+		cb.Release()
+		return ingest.ErrNoSource
+	}
+	delivered := false
+	var line string
+	err := n.routeDeliver(id, id, 0,
+		func() error {
+			delivered = true
+			return n.reg.IngestColumns(cb)
+		},
+		func() string {
+			if line == "" {
+				line = ingest.FormatBatch(ingest.Batch{Source: id, Pairs: cb.AppendPairs(nil)})
+			}
+			return line
+		})
+	if !delivered {
+		cb.Release()
+	}
+	return err
+}
+
+// routeDeliver is the routing loop shared by the line and columnar
+// entry points: deliver() lands the unit on the local registry (called
+// at most once, under the membership read lock), wireLine() renders the
+// unit for peer forwarding (called only when forwarding, possibly
+// repeatedly across retries).
+func (n *Node) routeDeliver(id, defaultSource string, hops int, deliver func() error, wireLine func() string) error {
 	for tries := 0; tries < 64; tries++ {
 		if n.closed.Load() {
 			return ErrClosed
@@ -367,7 +414,7 @@ func (n *Node) route(id, defaultSource, line string, hops int) error {
 			// Owned-wins: deliver locally whatever the ring says. The read
 			// lock is held across the send so a migration (write lock)
 			// cannot detach the monitor between the check and the enqueue.
-			err := n.reg.IngestLine(defaultSource, line)
+			err := deliver()
 			n.mu.RUnlock()
 			return err
 		}
@@ -399,7 +446,7 @@ func (n *Node) route(id, defaultSource, line string, hops int) error {
 				n.mu.RUnlock()
 				continue
 			}
-			err := n.reg.IngestLine(defaultSource, line)
+			err := deliver()
 			n.mu.RUnlock()
 			return err
 		}
@@ -408,7 +455,7 @@ func (n *Node) route(id, defaultSource, line string, hops int) error {
 		}
 		ctx, cancel := context.WithTimeout(n.ctx(), n.cfg.BlockTimeout)
 		err := resilience.Retry(ctx, n.cfg.Retry, func(int) error {
-			return n.cfg.Transport.Forward(ctx, target, defaultSource, line, hops+1)
+			return n.cfg.Transport.Forward(ctx, target, defaultSource, wireLine(), hops+1)
 		})
 		cancel()
 		if err != nil {

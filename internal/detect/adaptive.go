@@ -187,6 +187,23 @@ func (st *adaptiveStream) push(x float64, cfg AdaptiveConfig, tm *aging.StageNan
 	}, true
 }
 
+// PushColumns implements ColumnPusher. The regime chart's confirmation
+// interleaves with the inner pipeline per sample (a confirmed shift
+// recalibrates the very next sample's baseline), so the columnar form is
+// a faithful per-pair loop over the same push kernel.
+func (a *Adaptive) PushColumns(free, swap []float64) Verdict {
+	var events []Event
+	for i := range free {
+		if ev, ok := a.free.push(free[i], a.cfg, nil); ok {
+			events = append(events, ev)
+		}
+		if ev, ok := a.swap.push(swap[i], a.cfg, nil); ok {
+			events = append(events, ev)
+		}
+	}
+	return Verdict{Events: events, Phase: a.Phase()}
+}
+
 // Phase implements Detector: only emitted jumps advance the phase —
 // shift-suppressed alarms are workload fallout, not aging evidence.
 func (a *Adaptive) Phase() aging.Phase {
@@ -217,4 +234,7 @@ func (a *Adaptive) LastStats() (freeStat, swapStat float64) {
 // aging package's metric families; set-level counters cover the rest.
 func (a *Adaptive) Instrument(reg *obs.Registry) {}
 
-var _ Detector = (*Adaptive)(nil)
+var (
+	_ Detector     = (*Adaptive)(nil)
+	_ ColumnPusher = (*Adaptive)(nil)
+)

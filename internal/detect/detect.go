@@ -133,6 +133,21 @@ type Detector interface {
 	Instrument(reg *obs.Registry)
 }
 
+// ColumnPusher is the batch-first capability of a Detector: consume one
+// whole column per counter (free[i] and swap[i] are sample pair i) in a
+// single call, without per-sample interface dispatch. Implementations
+// must be state- and event-equivalent to pushing the pairs one at a
+// time with a nil *aging.StageNanos — the columnar parity tests assert
+// byte-identical SaveState blobs — and events must be reported in
+// per-sample arrival order. The traced (non-nil tm) path deliberately
+// stays per-sample: stage timing is a per-sample annotation.
+type ColumnPusher interface {
+	// PushColumns consumes len(free) == len(swap) sample pairs and
+	// returns the verdict after the last pair, with every event fired
+	// along the way.
+	PushColumns(free, swap []float64) Verdict
+}
+
 // Config carries the per-kind detector configurations of a MonitorSet.
 type Config struct {
 	// Monitor configures the holder detector's Hölder pipeline (and, via

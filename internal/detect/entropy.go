@@ -179,6 +179,23 @@ func (e *Entropy) Push(s Sample, _ *aging.StageNanos) Verdict {
 	return v
 }
 
+// PushColumns implements ColumnPusher. Entropy evaluation is cadenced on
+// the per-stream sample counter, so the kernel is inherently sequential:
+// the columnar form is a faithful per-pair loop that only removes the
+// per-sample Sample construction and interface dispatch of the set path.
+func (e *Entropy) PushColumns(free, swap []float64) Verdict {
+	var events []Event
+	for i := range free {
+		if ev, ok := e.free.push(free[i], e.cfg); ok {
+			events = append(events, ev)
+		}
+		if ev, ok := e.swap.push(swap[i], e.cfg); ok {
+			events = append(events, ev)
+		}
+	}
+	return Verdict{Events: events, Phase: e.Phase()}
+}
+
 // push consumes one sample; it returns a jump event when this sample's
 // entropy evaluation crosses the baseline threshold.
 func (st *entropyStream) push(x float64, cfg EntropyConfig) (Event, bool) {
@@ -684,4 +701,7 @@ func (e *Entropy) LastStats() (freeStat, swapStat float64) {
 // no dedicated metric families; set-level counters cover it.
 func (e *Entropy) Instrument(reg *obs.Registry) {}
 
-var _ Detector = (*Entropy)(nil)
+var (
+	_ Detector     = (*Entropy)(nil)
+	_ ColumnPusher = (*Entropy)(nil)
+)

@@ -61,6 +61,29 @@ func (h *Holder) Push(s Sample, tm *aging.StageNanos) Verdict {
 	return v
 }
 
+// PushColumns implements ColumnPusher: both counter columns run through
+// the dual monitor's batch-first AddColumns kernel, which preserves the
+// per-pair free-then-swap alarm ordering and per-sample state bytes.
+func (h *Holder) PushColumns(free, swap []float64) Verdict {
+	fired := h.dm.AddColumns(free, swap)
+	v := Verdict{Phase: h.dm.Phase()}
+	if len(fired) == 0 {
+		return v
+	}
+	v.Events = make([]Event, len(fired))
+	for i, dj := range fired {
+		v.Events[i] = Event{
+			Detector: KindHolder,
+			Kind:     EventJump,
+			Counter:  dj.Counter,
+			Sample:   dj.Jump.SampleIndex,
+			Value:    dj.Jump.Volatility,
+			Score:    dj.Jump.Score,
+		}
+	}
+	return v
+}
+
 // Phase implements Detector.
 func (h *Holder) Phase() aging.Phase { return h.dm.Phase() }
 
@@ -95,4 +118,7 @@ func (h *Holder) Instrument(reg *obs.Registry) {
 // tests).
 func (h *Holder) DualMonitor() *aging.DualMonitor { return h.dm }
 
-var _ Detector = (*Holder)(nil)
+var (
+	_ Detector     = (*Holder)(nil)
+	_ ColumnPusher = (*Holder)(nil)
+)

@@ -96,6 +96,60 @@ func (s *MonitorSet) AddBatch(pairs [][2]float64) []Event {
 	return events
 }
 
+// AddColumns consumes one column per counter (free[i] and swap[i] are
+// sample pair i) through each detector's batch-first kernel, falling
+// back to the per-sample loop for detectors without one. It is the
+// binary wire path's entry point: one call per frame, no per-sample
+// Sample construction or interface dispatch. State and returned events
+// are identical to AddBatch over the same pairs — each detector's
+// events arrive in per-sample order, and the per-detector lists are
+// merged back into the per-sample, detector-configuration order the
+// row path emits (asserted by the columnar parity tests).
+func (s *MonitorSet) AddColumns(free, swap []float64) []Event {
+	if len(s.dets) == 1 {
+		if cp, ok := s.dets[0].(ColumnPusher); ok {
+			return cp.PushColumns(free, swap).Events
+		}
+	}
+	var lists [][]Event
+	total := 0
+	for _, d := range s.dets {
+		var evs []Event
+		if cp, ok := d.(ColumnPusher); ok {
+			evs = cp.PushColumns(free, swap).Events
+		} else {
+			for i := range free {
+				v := d.Push(Sample{Free: free[i], Swap: swap[i]}, nil)
+				evs = append(evs, v.Events...)
+			}
+		}
+		lists = append(lists, evs)
+		total += len(evs)
+	}
+	if total == 0 {
+		return nil
+	}
+	// Merge on (sample index, detector rank): every detector's list is
+	// non-decreasing in Event.Sample, and within one sample the row path
+	// emits detectors in configured order.
+	events := make([]Event, 0, total)
+	heads := make([]int, len(lists))
+	for len(events) < total {
+		best := -1
+		for i, evs := range lists {
+			if heads[i] >= len(evs) {
+				continue
+			}
+			if best < 0 || evs[heads[i]].Sample < lists[best][heads[best]].Sample {
+				best = i
+			}
+		}
+		events = append(events, lists[best][heads[best]])
+		heads[best]++
+	}
+	return events
+}
+
 // Phase returns the most advanced phase across the detectors.
 func (s *MonitorSet) Phase() aging.Phase {
 	phase := aging.PhaseHealthy

@@ -5,7 +5,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
 	"testing"
+	"time"
+
+	transport "agingmf/internal/source"
 )
 
 // BenchmarkShardRouter measures the registry hot path end-to-end:
@@ -173,5 +177,148 @@ func BenchmarkParseLine(b *testing.B) {
 		if _, err := ParseLine(line); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkIngestBinary measures the binary columnar hot path,
+// normalized to ns/sample so it reads directly against
+// BenchmarkIngestBatch (the text batch path over the same values): frame
+// decode into a pooled ColumnarBatch, validate, route, and the shard
+// goroutine's batch-kernel fold.
+func BenchmarkIngestBinary(b *testing.B) {
+	for _, size := range []int{16, 256, 4096} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			r, err := NewRegistry(Config{Monitor: testMonitorConfig()})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer r.Close()
+			cb := transport.AcquireColumnarBatch()
+			cb.Source = "bench-0000"
+			for i := 0; i < size; i++ {
+				cb.Free = append(cb.Free, 1e9-float64(i))
+				cb.Swap = append(cb.Swap, float64(i))
+			}
+			frame, err := transport.AppendFrame(nil, cb)
+			cb.Release()
+			if err != nil {
+				b.Fatal(err)
+			}
+			intern := func(raw []byte) string { return "bench-0000" }
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dec := transport.AcquireColumnarBatch()
+				if err := transport.DecodeFrame(frame, dec, intern); err != nil {
+					b.Fatal(err)
+				}
+				if err := r.IngestColumns(dec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*size), "ns/sample")
+			if err := r.Close(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestBinaryOverTextBudget enforces the binary wire path's performance
+// contract in CI: decoding and folding columnar frames must stay at
+// least 4x faster per sample than parsing and routing the equivalent
+// batched text lines. Both arms run the full wire path (decode/parse →
+// route → shard kernel, registry closed inside the timed window so the
+// drain is accounted). Timing assertions are noisy under parallel test
+// load, so the check runs in isolation via `make bench-smoke`
+// (AGINGMF_BINARY_BUDGET=1).
+func TestBinaryOverTextBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("timing assertion is meaningless under the race detector")
+	}
+	if testing.Short() {
+		t.Skip("timing assertion skipped in -short mode")
+	}
+	if os.Getenv("AGINGMF_BINARY_BUDGET") == "" {
+		t.Skip("timing assertion runs in isolation via `make bench-smoke` (AGINGMF_BINARY_BUDGET=1)")
+	}
+	const (
+		iters = 2000
+		size  = 256
+	)
+	pairs := make([][2]float64, size)
+	for i := range pairs {
+		pairs[i] = [2]float64{1e9 - float64(i), float64(i)}
+	}
+	newReg := func() *Registry {
+		r, err := NewRegistry(Config{Monitor: testMonitorConfig()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	line := FormatBatch(Batch{Source: "bench-0000", Pairs: pairs})
+	textRun := func() time.Duration {
+		r := newReg()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := r.IngestLine("peer", line); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	cb := transport.AcquireColumnarBatch()
+	cb.Source = "bench-0000"
+	for _, p := range pairs {
+		cb.Free = append(cb.Free, p[0])
+		cb.Swap = append(cb.Swap, p[1])
+	}
+	frame, err := transport.AppendFrame(nil, cb)
+	cb.Release()
+	if err != nil {
+		t.Fatal(err)
+	}
+	intern := func(raw []byte) string { return "bench-0000" }
+	binaryRun := func() time.Duration {
+		r := newReg()
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			dec := transport.AcquireColumnarBatch()
+			if err := transport.DecodeFrame(frame, dec, intern); err != nil {
+				t.Fatal(err)
+			}
+			if err := r.IngestColumns(dec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := r.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	// Interleave five rounds and keep the fastest of each arm — the
+	// minimum is the least-noisy estimator on a shared machine; the first
+	// round doubles as a warmup for code paths and pools.
+	text, binary := time.Duration(1<<62), time.Duration(1<<62)
+	for round := 0; round < 5; round++ {
+		if d := textRun(); d < text {
+			text = d
+		}
+		if d := binaryRun(); d < binary {
+			binary = d
+		}
+	}
+	speedup := float64(text) / float64(binary)
+	perSample := float64(binary.Nanoseconds()) / float64(iters*size)
+	t.Logf("text: %v for %d samples; binary: %v (%.1f ns/sample); speedup %.2fx",
+		text, iters*size, binary, perSample, speedup)
+	if speedup < 4 {
+		t.Fatalf("binary frames are only %.2fx faster than text batch lines (text %v, binary %v); budget is 4x",
+			speedup, text, binary)
 	}
 }

@@ -12,6 +12,7 @@ const (
 	metricSamples    = "agingmf_ingest_samples_total"
 	metricDropped    = "agingmf_ingest_dropped_total"
 	metricBadLines   = "agingmf_ingest_bad_lines_total"
+	metricBadFrames  = "agingmf_ingest_bad_frames_total"
 	metricSources    = "agingmf_ingest_sources"
 	metricQueueDepth = "agingmf_ingest_queue_depth"
 	metricHandleSec  = "agingmf_ingest_handle_seconds"
@@ -38,6 +39,7 @@ type metrics struct {
 	samples    *obs.CounterVec // by shard
 	dropped    *obs.CounterVec // by reason
 	badLines   *obs.Counter
+	badFrames  *obs.CounterVec // by reason
 	sources    *obs.Gauge
 	queueDepth *obs.GaugeVec // by shard
 	handleSec  *obs.Histogram
@@ -59,6 +61,8 @@ func newMetrics(reg *obs.Registry) metrics {
 			"Samples dropped before reaching a monitor.", "reason"),
 		badLines: reg.Counter(metricBadLines,
 			"Malformed wire lines rejected by the parser."),
+		badFrames: reg.CounterVec(metricBadFrames,
+			"Binary wire frames rejected whole, by reason.", "reason"),
 		sources: reg.Gauge(metricSources,
 			"Sources currently tracked by the registry."),
 		queueDepth: reg.GaugeVec(metricQueueDepth,

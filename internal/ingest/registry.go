@@ -39,6 +39,7 @@ import (
 	"agingmf/internal/detect"
 	"agingmf/internal/obs"
 	"agingmf/internal/resilience"
+	transport "agingmf/internal/source"
 	"agingmf/internal/trace"
 )
 
@@ -149,12 +150,13 @@ func (c Config) DetectorConfig() detect.Config {
 }
 
 // shardMsg is one unit of shard work: a sample, a batch of samples for
-// one source, or a control closure to run on the shard goroutine (state
-// snapshots use this to serialize with the sample stream instead of
-// locking the monitors).
+// one source, a columnar batch from the binary wire, or a control
+// closure to run on the shard goroutine (state snapshots use this to
+// serialize with the sample stream instead of locking the monitors).
 type shardMsg struct {
 	s     Sample
 	batch *Batch
+	cols  *transport.ColumnarBatch
 	ctl   *ctlMsg
 
 	// seq is the tracer sequence of a sampled unit (0 = untraced) and
@@ -186,8 +188,10 @@ type shard struct {
 	depthGauge *obs.Gauge
 
 	// Scratch reused by the annotated (traced / flight-recorded) path;
-	// owned by the shard goroutine.
+	// owned by the shard goroutine. pairs bridges columnar batches onto
+	// the row-oriented observe path.
 	pair1 [1][2]float64
+	pairs [][2]float64
 	recs  []trace.Record
 	tm    aging.StageNanos
 }
@@ -304,11 +308,12 @@ type Registry struct {
 	bus    *AlertBus
 	tr     *trace.Tracer // nil unless TraceSampleEvery > 0
 
-	byID     sync.Map // source id → *source (read side of the status API)
-	nsources atomic.Int64
-	accepted atomic.Uint64
-	dropped  atomic.Uint64
-	badLines atomic.Uint64
+	byID      sync.Map // source id → *source (read side of the status API)
+	nsources  atomic.Int64
+	accepted  atomic.Uint64
+	dropped   atomic.Uint64
+	badLines  atomic.Uint64
+	badFrames atomic.Uint64
 
 	stopc    chan struct{}
 	senders  atomic.Int64 // in-flight Ingest/withShard channel users
@@ -574,6 +579,16 @@ func (r *Registry) Dropped() uint64 { return r.dropped.Load() }
 // BadLines returns the number of malformed wire lines rejected.
 func (r *Registry) BadLines() uint64 { return r.badLines.Load() }
 
+// BadFrames returns the number of binary wire frames rejected whole
+// (CRC mismatch, malformed payload, over-long, desync).
+func (r *Registry) BadFrames() uint64 { return r.badFrames.Load() }
+
+// rejectFrame counts one rejected binary frame by reason.
+func (r *Registry) rejectFrame(reason string) {
+	r.badFrames.Add(1)
+	r.met.badFrames.With(reason).Inc()
+}
+
 // NumSources returns the current source population.
 func (r *Registry) NumSources() int { return int(r.nsources.Load()) }
 
@@ -831,8 +846,11 @@ func (sh *shard) run() {
 			// The queue-wait span: enqueue time travels in the message so
 			// the wait is measured explicitly, not inferred from depth.
 			id := msg.s.Source
-			if msg.batch != nil {
+			switch {
+			case msg.batch != nil:
 				id = msg.batch.Source
+			case msg.cols != nil:
+				id = msg.cols.Source
 			}
 			enq := time.Unix(0, msg.enq)
 			sh.reg.tr.Record(trace.StageQueue, id, sh.id, msg.seq, enq, time.Since(enq))
@@ -840,6 +858,10 @@ func (sh *shard) run() {
 		}
 		if msg.batch != nil {
 			sh.handleBatch(msg.batch, msg.seq)
+			continue
+		}
+		if msg.cols != nil {
+			sh.handleColumns(msg.cols, msg.seq)
 			continue
 		}
 		sh.handle(msg.s, msg.seq)

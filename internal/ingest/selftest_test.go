@@ -124,3 +124,39 @@ func TestSelfTestNeedsTCP(t *testing.T) {
 		t.Error("self-test without a TCP listener succeeded")
 	}
 }
+
+// TestBinarySelfTestSmall exercises the binary-wire loop quickly: framed
+// columnar load over real sockets, zero rejects, per-sample parity.
+func TestBinarySelfTestSmall(t *testing.T) {
+	srv := startTestServer(t, nil)
+	rep, err := RunBinarySelfTest(context.Background(), srv, BinarySelfTestConfig{
+		Sources:      3,
+		Samples:      500,
+		FrameSamples: 64, // ragged tail frame
+		Conns:        2,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Ok() {
+		t.Fatalf("binary self-test failed: %+v", rep)
+	}
+	if rep.SamplesSent != 1500 || rep.Accepted != 1500 || rep.FramesSent != 24 {
+		t.Errorf("accounting: %+v", rep)
+	}
+	if rep.SamplesPerSec <= 0 {
+		t.Errorf("throughput not measured: %+v", rep)
+	}
+}
+
+func TestBinarySelfTestNeedsTCP(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Registry: Config{Monitor: testMonitorConfig()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Registry().Close()
+	if _, err := RunBinarySelfTest(context.Background(), srv, BinarySelfTestConfig{}); err == nil {
+		t.Error("binary self-test without a TCP listener succeeded")
+	}
+}

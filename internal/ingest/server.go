@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 
 	"agingmf/internal/obs"
 	"agingmf/internal/runtime"
+	transport "agingmf/internal/source"
 )
 
 // ServerConfig parameterizes a Server.
@@ -94,6 +96,14 @@ type Server struct {
 // local registry.
 type LineRouter interface {
 	IngestLine(defaultSource, line string) error
+}
+
+// ColumnRouter is the columnar extension of LineRouter: a router that
+// also implements it receives binary-wire batches in decoded form (and
+// takes ownership of them — route, forward or Release). Routers
+// without it get each frame re-rendered as a text batch line.
+type ColumnRouter interface {
+	IngestColumns(cb *transport.ColumnarBatch) error
 }
 
 // mount is one extra HTTP route registered via Mount.
@@ -332,17 +342,38 @@ func (s *Server) dropConn(conn net.Conn) {
 	}
 }
 
-// handleConn consumes one line-protocol connection. Lines without a
-// source= field are attributed to the peer's host. Malformed lines are
-// counted against the connection's budget; exceeding it (or the line
-// length bound, or the idle timeout) closes the connection. A closed or
-// mid-stream-reset connection is normal fleet behaviour, not an error.
+// handleConn consumes one ingest connection. The first byte negotiates
+// the protocol: a columnar frame's magic (0xA9, never the first byte of
+// a text line) selects the binary frame loop, anything else the text
+// line loop — producers pick a wire by just writing it, no handshake.
 func (s *Server) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer s.dropConn(conn)
 
 	defaultSource := hostOf(conn.RemoteAddr())
-	sc := bufio.NewScanner(conn)
+	if s.cfg.IdleTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+	}
+	br := bufio.NewReaderSize(conn, 4096)
+	first, err := br.Peek(1)
+	if err != nil {
+		return // closed before the first byte: nothing to serve
+	}
+	if first[0] == transport.FrameMagic0 {
+		s.serveFrames(conn, br, defaultSource)
+		return
+	}
+	s.serveLines(conn, br, defaultSource)
+}
+
+// serveLines consumes one text line-protocol connection. Lines without
+// a source= field are attributed to the peer's host. Malformed lines
+// are counted against the connection's budget; exceeding it (or the
+// line length bound, or the idle timeout) closes the connection. A
+// closed or mid-stream-reset connection is normal fleet behaviour, not
+// an error.
+func (s *Server) serveLines(conn net.Conn, br *bufio.Reader, defaultSource string) {
+	sc := bufio.NewScanner(br)
 	sc.Buffer(make([]byte, 0, 4096), s.cfg.MaxLineBytes)
 	bad := 0
 	for {
@@ -381,6 +412,121 @@ func (s *Server) handleConn(conn net.Conn) {
 			}
 		}
 	}
+}
+
+// serveFrames consumes one binary frame-protocol connection. Each frame
+// is read whole (bounded by MaxLineBytes, like a text line), decoded
+// zero-copy into a pooled ColumnarBatch and handed to the registry as
+// one unit. A frame that fails its CRC or its syntax is rejected whole
+// and counted by reason against the malformed budget — the length
+// framing already consumed it, so the stream continues at the next
+// frame boundary. Losing the magic (desync) or an over-long frame
+// poisons the connection: with length-prefixed framing there is nothing
+// to resync on.
+func (s *Server) serveFrames(conn net.Conn, br *bufio.Reader, defaultSource string) {
+	var buf []byte
+	bad := 0
+	// Per-connection source-id intern: producers repeat one id frame
+	// after frame; re-use the last string instead of re-allocating it.
+	var lastSrc string
+	intern := func(raw []byte) string {
+		if string(raw) != lastSrc { // alloc-free comparison
+			lastSrc = string(raw)
+		}
+		return lastSrc
+	}
+	for {
+		if s.cfg.IdleTimeout > 0 {
+			_ = conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		}
+		frame, err := transport.ReadFrame(br, buf, s.cfg.MaxLineBytes)
+		if err != nil {
+			switch {
+			case errors.Is(err, io.EOF):
+			case errors.Is(err, transport.ErrFrameTooLarge):
+				s.reg.rejectFrame("too_large")
+				s.connEvent(conn, err)
+			case errors.Is(err, transport.ErrNotFrame), errors.Is(err, transport.ErrBadFrame):
+				s.reg.rejectFrame("desync")
+				s.connEvent(conn, err)
+			default:
+				// Read error, reset, eviction by deadline — expected
+				// producer behaviour, surfaced for the curious.
+				s.connEvent(conn, err)
+			}
+			return
+		}
+		buf = frame
+		cb := transport.AcquireColumnarBatch()
+		if derr := transport.DecodeFrame(frame, cb, intern); derr != nil {
+			cb.Release()
+			reason := "malformed"
+			if errors.Is(derr, transport.ErrFrameCRC) {
+				reason = "crc"
+			}
+			s.reg.rejectFrame(reason)
+			bad++
+			s.ev.Warn("ingest_bad_frame", obs.Fields{
+				"peer": conn.RemoteAddr().String(), "reason": reason, "error": derr.Error(),
+			})
+			if s.cfg.MaxBadLines >= 0 && bad > s.cfg.MaxBadLines {
+				return
+			}
+			continue
+		}
+		switch err := s.ingestFrame(defaultSource, cb); {
+		case err == nil:
+		case errors.Is(err, ErrClosed):
+			return
+		case errors.Is(err, ErrQueueFull):
+			// Drop already counted; in drop mode the producer is not
+			// throttled, so keep reading.
+		default:
+			// Bad source id or non-finite sample smuggled through a
+			// float64 column: the frame was well-formed on the wire but
+			// unacceptable as data.
+			s.reg.rejectFrame("bad_sample")
+			bad++
+			s.ev.Warn("ingest_bad_frame", obs.Fields{
+				"peer": conn.RemoteAddr().String(), "reason": "bad_sample", "error": err.Error(),
+			})
+			if s.cfg.MaxBadLines >= 0 && bad > s.cfg.MaxBadLines {
+				return
+			}
+		}
+	}
+}
+
+// connEvent reports one connection-terminating condition (unless the
+// server is draining, when closed connections are the plan).
+func (s *Server) connEvent(conn net.Conn, err error) {
+	if s.stopping.Load() {
+		return
+	}
+	s.ev.Info("ingest_conn_error", obs.Fields{
+		"peer": conn.RemoteAddr().String(), "error": err.Error(),
+	})
+}
+
+// ingestFrame feeds one decoded columnar batch through the column-aware
+// router when one is set, straight to the registry otherwise. A router
+// that only understands lines (LineRouter without ColumnRouter) gets
+// the batch re-rendered as a canonical text batch line — lossless, the
+// float64 round-trip the text wire guarantees. Ownership of cb passes
+// here: every path releases or forwards it.
+func (s *Server) ingestFrame(defaultSource string, cb *transport.ColumnarBatch) error {
+	if cb.Source == "" {
+		cb.Source = defaultSource
+	}
+	if s.router != nil {
+		if cr, ok := s.router.(ColumnRouter); ok {
+			return cr.IngestColumns(cb)
+		}
+		line := FormatBatch(Batch{Source: cb.Source, Pairs: cb.AppendPairs(nil)})
+		cb.Release()
+		return s.router.IngestLine(defaultSource, line)
+	}
+	return s.reg.IngestColumns(cb)
 }
 
 // hostOf extracts the host part of a peer address — the stable identity

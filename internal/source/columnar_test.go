@@ -1,0 +1,223 @@
+package source
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// frameBatches is a spread of batches covering every column encoding:
+// exact byte counters (uint64), float32-representable values, full
+// float64 values, with and without timestamps and source ids.
+func frameBatches() []*ColumnarBatch {
+	rng := rand.New(rand.NewSource(7))
+	integers := &ColumnarBatch{Source: "host-17", Free: nil, Swap: nil}
+	for i := 0; i < 300; i++ {
+		integers.Free = append(integers.Free, float64(1<<30-i*4096))
+		integers.Swap = append(integers.Swap, float64(i*512))
+	}
+	narrow := &ColumnarBatch{Source: "host-f32"}
+	for i := 0; i < 64; i++ {
+		narrow.Free = append(narrow.Free, float64(float32(rng.NormFloat64())))
+		narrow.Swap = append(narrow.Swap, float64(float32(i)/4))
+	}
+	wide := &ColumnarBatch{} // transport-default source
+	for i := 0; i < 17; i++ {
+		wide.Free = append(wide.Free, rng.NormFloat64()*1e9)
+		wide.Swap = append(wide.Swap, -rng.Float64())
+	}
+	timed := &ColumnarBatch{Source: "timed"}
+	t := int64(1_700_000_000_000_000_000)
+	for i := 0; i < 40; i++ {
+		t += int64(rng.Intn(2_000_000_000) - 500_000_000)
+		timed.Times = append(timed.Times, t)
+		timed.Free = append(timed.Free, float64(uint64(rng.Int63())))
+		timed.Swap = append(timed.Swap, 0)
+	}
+	single := &ColumnarBatch{Source: "s", Free: []float64{math.MaxUint64 / 2}, Swap: []float64{1.5}}
+	return []*ColumnarBatch{integers, narrow, wide, timed, single}
+}
+
+// TestFrameRoundTrip pins the codec's core contract: encode → decode
+// reproduces every column bit-for-bit, for every encoding the chooser
+// can select.
+func TestFrameRoundTrip(t *testing.T) {
+	for i, b := range frameBatches() {
+		frame, err := AppendFrame(nil, b)
+		if err != nil {
+			t.Fatalf("batch %d: encode: %v", i, err)
+		}
+		got := AcquireColumnarBatch()
+		if err := DecodeFrame(frame, got, nil); err != nil {
+			t.Fatalf("batch %d: decode: %v", i, err)
+		}
+		if got.Source != b.Source {
+			t.Fatalf("batch %d: source %q != %q", i, got.Source, b.Source)
+		}
+		for j := range b.Free {
+			if math.Float64bits(got.Free[j]) != math.Float64bits(b.Free[j]) ||
+				math.Float64bits(got.Swap[j]) != math.Float64bits(b.Swap[j]) {
+				t.Fatalf("batch %d sample %d: (%v,%v) != (%v,%v)",
+					i, j, got.Free[j], got.Swap[j], b.Free[j], b.Swap[j])
+			}
+		}
+		if len(b.Times) > 0 && !reflect.DeepEqual(got.Times, b.Times) {
+			t.Fatalf("batch %d: timestamps diverged", i)
+		}
+		// Re-encode: a decoded batch must produce the identical frame.
+		again, err := AppendFrame(nil, got)
+		if err != nil {
+			t.Fatalf("batch %d: re-encode: %v", i, err)
+		}
+		if !bytes.Equal(frame, again) {
+			t.Fatalf("batch %d: re-encoded frame differs", i)
+		}
+		got.Release()
+	}
+}
+
+// TestFrameEncodingChoice pins the narrowest-lossless rule per column.
+func TestFrameEncodingChoice(t *testing.T) {
+	cases := []struct {
+		col  []float64
+		want byte
+	}{
+		{[]float64{0, 1, 4096, 1 << 40}, colEncFloat32}, // f32 beats u64 when both fit
+		{[]float64{1<<53 + 2, 12345}, colEncUint64},     // exact int, not f32
+		{[]float64{1.5, -2.25}, colEncFloat32},
+		{[]float64{0.1, 3}, colEncFloat64},
+		{[]float64{-1, 2.5}, colEncFloat32},
+		{[]float64{math.Pi}, colEncFloat64},
+		{[]float64{math.NaN()}, colEncFloat64},
+	}
+	for i, c := range cases {
+		if got := chooseColEnc(c.col); got != c.want {
+			t.Errorf("case %d (%v): encoding %d, want %d", i, c.col, got, c.want)
+		}
+	}
+}
+
+// TestFrameCRCReject flips every byte of a frame in turn: any
+// corruption must reject the whole frame — never decode to different
+// samples — and corruption under the checksum must say CRC.
+func TestFrameCRCReject(t *testing.T) {
+	b := &ColumnarBatch{Source: "crc", Free: []float64{1, 2, 3}, Swap: []float64{4, 5, 6}}
+	frame, err := AppendFrame(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range frame {
+		mut := append([]byte(nil), frame...)
+		mut[i] ^= 0x40
+		got := AcquireColumnarBatch()
+		if err := DecodeFrame(mut, got, nil); err == nil {
+			t.Fatalf("byte %d: corrupted frame decoded", i)
+		}
+		got.Release()
+	}
+	// Corrupting only the trailer is unambiguously a CRC mismatch.
+	mut := append([]byte(nil), frame...)
+	mut[len(mut)-1] ^= 0xff
+	if err := DecodeFrame(mut, &ColumnarBatch{}, nil); !errors.Is(err, ErrFrameCRC) {
+		t.Fatalf("trailer corruption: %v, want ErrFrameCRC", err)
+	}
+}
+
+// TestFrameDecodeRejects covers the non-CRC reject paths.
+func TestFrameDecodeRejects(t *testing.T) {
+	if _, err := AppendFrame(nil, &ColumnarBatch{}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("empty batch encode: %v", err)
+	}
+	if _, err := AppendFrame(nil, &ColumnarBatch{Free: []float64{1}, Swap: nil}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("ragged columns encode: %v", err)
+	}
+	if err := DecodeFrame([]byte("batch;1 2"), &ColumnarBatch{}, nil); !errors.Is(err, ErrNotFrame) {
+		t.Fatalf("text line: %v, want ErrNotFrame", err)
+	}
+	frame, _ := AppendFrame(nil, &ColumnarBatch{Free: []float64{1}, Swap: []float64{2}})
+	vers := append([]byte(nil), frame...)
+	vers[2] = FrameVersion + 1
+	if err := DecodeFrame(vers, &ColumnarBatch{}, nil); !errors.Is(err, ErrNotFrame) {
+		t.Fatalf("future version: %v, want ErrNotFrame", err)
+	}
+	if err := DecodeFrame(frame[:len(frame)-2], &ColumnarBatch{}, nil); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("truncated frame: %v, want ErrBadFrame", err)
+	}
+}
+
+// TestReadFrame streams several frames through a bufio.Reader,
+// asserting framing, the size bound, and text rejection.
+func TestReadFrame(t *testing.T) {
+	var wire []byte
+	batches := frameBatches()
+	for _, b := range batches {
+		var err error
+		if wire, err = AppendFrame(wire, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	br := bufio.NewReader(bytes.NewReader(wire))
+	var buf []byte
+	for i, want := range batches {
+		frame, err := ReadFrame(br, buf, 1<<20)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		got := AcquireColumnarBatch()
+		if err := DecodeFrame(frame, got, nil); err != nil {
+			t.Fatalf("frame %d: decode: %v", i, err)
+		}
+		if got.Len() != want.Len() || got.Source != want.Source {
+			t.Fatalf("frame %d: got %d samples from %q", i, got.Len(), got.Source)
+		}
+		got.Release()
+		buf = frame
+	}
+	if _, err := ReadFrame(br, buf, 1<<20); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+
+	big, _ := AppendFrame(nil, batches[0])
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(big)), nil, 16); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("tiny bound: %v, want ErrFrameTooLarge", err)
+	}
+	if _, err := ReadFrame(bufio.NewReader(bytes.NewReader([]byte("source=x 1 2\n"))), nil, 0); !errors.Is(err, ErrNotFrame) {
+		t.Fatalf("text stream: %v, want ErrNotFrame", err)
+	}
+}
+
+// TestFrameSource drives the Source adapter end-to-end, including the
+// recoverable CRC reject and interning-free decode.
+func TestFrameSource(t *testing.T) {
+	good1, _ := AppendFrame(nil, &ColumnarBatch{Source: "a", Free: []float64{1, 2}, Swap: []float64{3, 4}})
+	bad, _ := AppendFrame(nil, &ColumnarBatch{Source: "b", Free: []float64{9}, Swap: []float64{9}})
+	bad[len(bad)-1] ^= 0xff // CRC breaks; framing stays intact
+	good2, _ := AppendFrame(nil, &ColumnarBatch{Source: "c", Free: []float64{5}, Swap: []float64{6}})
+	wire := append(append(append([]byte(nil), good1...), bad...), good2...)
+
+	src := NewFrames(bytes.NewReader(wire), 1<<20)
+	defer src.Close()
+	ctx := context.Background()
+
+	it, err := src.Next(ctx)
+	if err != nil || it.Source != "a" || len(it.Pairs) != 2 {
+		t.Fatalf("first item: %+v, %v", it, err)
+	}
+	var bl *BadLineError
+	if _, err := src.Next(ctx); !errors.As(err, &bl) || !errors.Is(err, ErrFrameCRC) {
+		t.Fatalf("corrupt frame: %v, want *BadLineError wrapping ErrFrameCRC", err)
+	}
+	it, err = src.Next(ctx)
+	if err != nil || it.Source != "c" || it.Pairs[0] != [2]float64{5, 6} {
+		t.Fatalf("third item: %+v, %v", it, err)
+	}
+	if _, err := src.Next(ctx); err != io.EOF {
+		t.Fatalf("exhausted source: %v, want io.EOF", err)
+	}
+}

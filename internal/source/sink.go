@@ -224,6 +224,11 @@ func (s *TraceSink) Series() []series.Series {
 	}
 }
 
+// Columns returns the recorded free-memory and used-swap columns — the
+// two counters the fleet wire protocols carry. The slices alias the
+// sink's storage; callers must not mutate them.
+func (s *TraceSink) Columns() (free, swap []float64) { return s.free, s.swap }
+
 // WriteCSV exports the recorded columns in the collector CSV format.
 func (s *TraceSink) WriteCSV(w io.Writer) error {
 	cols := s.Series()

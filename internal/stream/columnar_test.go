@@ -1,0 +1,147 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// columnarTraces are the waveforms the columnar-kernel parity tests run:
+// each stresses a different branch of the batch estimator (memo hits on
+// plateaus, memo misses on noise, the osc<=0 locally-constant path, and
+// denormal-scale values).
+func columnarTraces() map[string][]float64 {
+	rng := rand.New(rand.NewSource(7))
+	noisy := make([]float64, 800)
+	for i := range noisy {
+		noisy[i] = 1e9 - 1000*float64(i) + 50*rng.NormFloat64()
+	}
+	ramp := make([]float64, 800)
+	for i := range ramp {
+		ramp[i] = float64(i) * 4096
+	}
+	steps := make([]float64, 800)
+	for i := range steps {
+		steps[i] = float64((i / 37) * 1 << 20)
+	}
+	flat := make([]float64, 800)
+	for i := range flat {
+		flat[i] = 42
+	}
+	tiny := make([]float64, 800)
+	for i := range tiny {
+		tiny[i] = 1e-300 * (1 + rng.Float64())
+	}
+	return map[string][]float64{
+		"noisy": noisy, "ramp": ramp, "steps": steps, "flat": flat, "tiny": tiny,
+	}
+}
+
+// TestPushRangeParity drives one tracker through push and pushRange in
+// every batch-split pattern and requires identical state.
+func TestPushRangeParity(t *testing.T) {
+	for name, xs := range columnarTraces() {
+		for _, r := range []int{1, 2, 8} {
+			ref := newSlidingExtrema(r)
+			for i, x := range xs {
+				ref.push(i, x)
+			}
+			for _, chunk := range []int{1, 3, 64, len(xs)} {
+				got := newSlidingExtrema(r)
+				for off := 0; off < len(xs); off += chunk {
+					end := off + chunk
+					if end > len(xs) {
+						end = len(xs)
+					}
+					got.pushRange(off, xs[off:end])
+				}
+				if !reflect.DeepEqual(got.state(), ref.state()) {
+					t.Fatalf("%s r=%d chunk=%d: pushRange state diverged from push", name, r, chunk)
+				}
+			}
+		}
+	}
+}
+
+// TestPushColumnsParity requires PushColumns to emit bit-identical
+// estimates and leave bit-identical estimator state versus per-sample
+// Push, across chunkings that split batches mid-warmup and mid-stream.
+func TestPushColumnsParity(t *testing.T) {
+	radii := []int{2, 4, 8}
+	for name, xs := range columnarTraces() {
+		ref, err := NewOscillationEstimator(radii)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []float64
+		for _, x := range xs {
+			if a, ok := ref.Push(x); ok {
+				want = append(want, a)
+			}
+		}
+		for _, chunk := range []int{1, 5, 17, 256, len(xs)} {
+			got, err := NewOscillationEstimator(radii)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var have []float64
+			for off := 0; off < len(xs); off += chunk {
+				end := off + chunk
+				if end > len(xs) {
+					end = len(xs)
+				}
+				have = got.PushColumns(xs[off:end], have)
+			}
+			if len(have) != len(want) {
+				t.Fatalf("%s chunk=%d: %d alphas, want %d", name, chunk, len(have), len(want))
+			}
+			for i := range have {
+				if math.Float64bits(have[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("%s chunk=%d: alpha[%d] = %v, want %v", name, chunk, i, have[i], want[i])
+				}
+			}
+			if !reflect.DeepEqual(got.State(), ref.State()) {
+				t.Fatalf("%s chunk=%d: estimator state diverged", name, chunk)
+			}
+		}
+	}
+}
+
+// TestPushColumnsInterleaved mixes Push and PushColumns on one estimator:
+// the memo must never go stale when per-sample pushes run between
+// batches.
+func TestPushColumnsInterleaved(t *testing.T) {
+	radii := []int{2, 4, 8}
+	xs := columnarTraces()["noisy"]
+	ref, _ := NewOscillationEstimator(radii)
+	var want []float64
+	for _, x := range xs {
+		if a, ok := ref.Push(x); ok {
+			want = append(want, a)
+		}
+	}
+	got, _ := NewOscillationEstimator(radii)
+	var have []float64
+	for off := 0; off < len(xs); {
+		if (off/10)%2 == 0 && off < len(xs) {
+			if a, ok := got.Push(xs[off]); ok {
+				have = append(have, a)
+			}
+			off++
+			continue
+		}
+		end := off + 23
+		if end > len(xs) {
+			end = len(xs)
+		}
+		have = got.PushColumns(xs[off:end], have)
+		off = end
+	}
+	if !reflect.DeepEqual(have, want) {
+		t.Fatalf("interleaved Push/PushColumns diverged: %d vs %d alphas", len(have), len(want))
+	}
+	if !reflect.DeepEqual(got.State(), ref.State()) {
+		t.Fatal("interleaved estimator state diverged")
+	}
+}

@@ -20,6 +20,15 @@ type VolatilityWindow struct {
 	ring       []float64 // last w pushes; slot count%w
 	count      int       // total values pushed
 	sum, sumSq float64
+	// slot == count % w, maintained incrementally so the hot path has no
+	// integer division. Derived state, reconstructed on restore.
+	slot int
+	// The standard deviation is a pure function of (sum, sumSq); caching
+	// the last result skips the sqrt on runs of unchanged moments — the
+	// steady case for memoized Hölder trajectories. Identical inputs
+	// replay identical bits, so the memo never alters what Push returns.
+	memoSum, memoSumSq, memoVol float64
+	memoOK                      bool
 }
 
 // NewVolatilityWindow creates a window over w >= 2 values.
@@ -39,9 +48,14 @@ func (v *VolatilityWindow) Count() int { return v.count }
 // Push consumes one value. It returns the moving standard deviation and
 // true once the window is full (from the w-th push onward).
 func (v *VolatilityWindow) Push(x float64) (float64, bool) {
-	slot := v.count % v.w
+	slot := v.slot
 	old := v.ring[slot] // the value leaving the window, w pushes ago
 	v.ring[slot] = x
+	slot++
+	if slot == v.w {
+		slot = 0
+	}
+	v.slot = slot
 	v.count++
 	v.sum += x
 	v.sumSq += x * x
@@ -52,13 +66,18 @@ func (v *VolatilityWindow) Push(x float64) (float64, bool) {
 	if v.count < v.w {
 		return 0, false
 	}
+	if v.memoOK && v.sum == v.memoSum && v.sumSq == v.memoSumSq {
+		return v.memoVol, true
+	}
 	fw := float64(v.w)
 	mean := v.sum / fw
 	va := v.sumSq/fw - mean*mean
 	if va < 0 {
 		va = 0
 	}
-	return math.Sqrt(va), true
+	vol := math.Sqrt(va)
+	v.memoSum, v.memoSumSq, v.memoVol, v.memoOK = v.sum, v.sumSq, vol, true
+	return vol, true
 }
 
 // VolatilityWindowState is the persistable state of the stage.
@@ -95,6 +114,7 @@ func RestoreVolatilityWindow(st VolatilityWindowState) (*VolatilityWindow, error
 	v.count = st.Count
 	v.sum = st.Sum
 	v.sumSq = st.SumSq
+	v.slot = st.Count % st.W
 	return v, nil
 }
 

@@ -236,12 +236,26 @@ func (t *Tracer) QueueDepth(shard int, depth int64) {
 }
 
 // Total returns how many spans have been recorded since creation (the
-// ring retains only the most recent SpanCapacity of them).
+// ring retains only the most recent SpanCapacity of them). Spans and
+// units are different counts: one sampled unit records one span per
+// pipeline stage it traverses, and unsampled units record none — use
+// Units for the number of units offered to the sampling decision.
 func (t *Tracer) Total() uint64 {
 	if t == nil {
 		return 0
 	}
 	return t.total.Load()
+}
+
+// Units returns how many units have been offered to Sample since
+// creation, sampled or not — the denominator of the effective sampling
+// rate (Total spans spread over Units ingested units). A nil tracer has
+// seen none.
+func (t *Tracer) Units() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.units.Load()
 }
 
 // Spans returns the retained spans, oldest first (copy; nil tracer

@@ -89,7 +89,7 @@ func TestNilTracerIsFreeAndSafe(t *testing.T) {
 	if tr != New(Config{}) {
 		t.Fatal("New with SampleEvery 0 must return nil")
 	}
-	if tr.Sample() != 0 || tr.SampleEvery() != 0 || tr.Total() != 0 {
+	if tr.Sample() != 0 || tr.SampleEvery() != 0 || tr.Total() != 0 || tr.Units() != 0 {
 		t.Fatal("nil tracer must report disabled")
 	}
 	tr.Record(StageDetect, "s", 0, 1, time.Now(), time.Second)
@@ -191,6 +191,11 @@ func TestTracerConcurrency(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+	// 2000 units offered, 1 in 2 sampled: Units counts every offer,
+	// Total only the recorded spans — the two must not be conflated.
+	if tr.Units() != 2000 {
+		t.Fatalf("Units() = %d, want 2000", tr.Units())
+	}
 	if tr.Total() != 1000 {
 		t.Fatalf("Total() = %d, want 1000", tr.Total())
 	}
