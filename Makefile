@@ -17,11 +17,12 @@ race:
 
 # Full internal coverage report, then the floor: the pipeline transport,
 # the lifecycle kernel, the tracing/flight-recorder instrumentation, the
-# cluster routing/migration layer and the pluggable detector suite must
-# stay >= 80% covered (CI runs this).
+# cluster routing/migration layer, the pluggable detector suite, the
+# rejuvenation models and the control plane must stay >= 80% covered
+# (CI runs this).
 cover:
 	$(GO) test -cover ./internal/...
-	$(GO) test -cover ./internal/source/ ./internal/runtime/ ./internal/trace/ ./internal/cluster/ ./internal/detect/ | awk \
+	$(GO) test -cover ./internal/source/ ./internal/runtime/ ./internal/trace/ ./internal/cluster/ ./internal/detect/ ./internal/rejuv/ ./internal/control/ | awk \
 		'/coverage:/ { for (i = 1; i < NF; i++) if ($$i == "coverage:") { \
 			v = $$(i + 1); gsub(/%/, "", v); \
 			if (v + 0 < 80) { print "coverage floor 80% violated: " $$0; fail = 1 } } } \
@@ -46,32 +47,37 @@ bench-smoke:
 
 # Machine-readable benchmark snapshot of the hot paths — detector add
 # (per-sample and columnar), shard routing, batched ingestion over both
-# wire protocols, the replay source, and the tracing overhead pair —
-# written to BENCH_<date>.json at the repo root for committing and
-# diffing across changes.
+# wire protocols, the replay source, the alert-bus publish path, and the
+# tracing overhead pair — written to BENCH_<date>.json at the repo root
+# for committing and diffing across changes.
 bench-json:
-	$(GO) test -run XXX -bench 'MonitorAdd$$|MonitorAddColumns$$|ShardRouter$$|IngestBatch$$|IngestBinary$$|SourceReplay$$|IngestTraceOverhead' \
-		-benchmem . ./internal/ingest/ ./internal/source/ \
+	$(GO) test -run XXX -bench 'MonitorAdd$$|MonitorAddColumns$$|ShardRouter$$|IngestBatch$$|IngestBinary$$|SourceReplay$$|IngestTraceOverhead|AlertBusPublish$$' \
+		-benchmem . ./internal/ingest/ ./internal/source/ ./internal/control/ \
 		| $(GO) run ./cmd/benchjson > BENCH_$$(date +%F).json
 	@echo wrote BENCH_$$(date +%F).json
 
 # Fast pre-commit gate: vet plus the race detector on the packages with
 # lock-free/concurrent code (telemetry, monitor, streaming kernel, fleet,
 # resilience, chaos, the ingest daemon, the pipeline transport, the
-# lifecycle kernel and the pipeline tracer).
+# lifecycle kernel, the pipeline tracer and the control plane), and a
+# build of every example against the public facade.
 check: vet
 	$(GO) test -race ./internal/obs/... ./internal/stream/... ./internal/aging/... \
 		./internal/collector/... ./internal/resilience/... ./internal/chaos/... \
 		./internal/ingest/... ./internal/source/... ./internal/runtime/... \
-		./internal/trace/... ./internal/cluster/... ./internal/detect/... ./cmd/agingd/...
+		./internal/trace/... ./internal/cluster/... ./internal/detect/... \
+		./internal/control/... ./cmd/agingd/...
+	$(GO) build ./examples/...
 
 # Robustness regression suite: the fault-injection campaigns plus the
-# hardened agingmon/agingd paths, under the race detector. -short keeps
-# the injected-fault budgets at their test sizes.
+# hardened agingmon/agingd paths and the closed-loop rejuvenation
+# controller, under the race detector. -short keeps the injected-fault
+# budgets at their test sizes.
 chaos:
-	$(GO) test -race -short -v -run 'Chaos|Campaign|Resilience|Watchdog|Retry|Signal|BadSample|Stall|Ingest|SelfTest|Interrupt|Migrate|Adoption|Heartbeat|Quarantine' \
+	$(GO) test -race -short -v -run 'Chaos|Campaign|Resilience|Watchdog|Retry|Signal|BadSample|Stall|Ingest|SelfTest|Interrupt|Migrate|Adoption|Heartbeat|Quarantine|Rejuvenat' \
 		./internal/chaos/... ./internal/resilience/... ./internal/collector/... \
-		./internal/ingest/... ./internal/cluster/... ./cmd/agingmon/... ./cmd/agingd/...
+		./internal/ingest/... ./internal/cluster/... ./internal/control/... \
+		./internal/experiment/ ./cmd/agingmon/... ./cmd/agingd/...
 
 # Regenerate every reconstructed table/figure (writes to stdout; see
 # EXPERIMENTS.md for the archived reference run).

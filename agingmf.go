@@ -9,6 +9,7 @@ import (
 	"agingmf/internal/chaos"
 	"agingmf/internal/cluster"
 	"agingmf/internal/collector"
+	"agingmf/internal/control"
 	"agingmf/internal/detect"
 	"agingmf/internal/dsp"
 	"agingmf/internal/fractal"
@@ -553,6 +554,78 @@ var (
 	IngestJSONLSink = ingest.JSONLSink
 	// IngestWebhookSink POSTs each alert to a webhook with retries.
 	IngestWebhookSink = ingest.WebhookSink
+)
+
+// Unified control plane (internal/control): the canonical fleet Alert,
+// the typed subscription bus every layer publishes verdicts on (ingest
+// detectors, cluster topology changes, the rejuvenation controller),
+// and the closed-loop Rejuvenator that turns those alerts into
+// policy-gated restarts. The ingest aliases above (IngestAlert,
+// IngestAlertBus, ...) are the same types — ingest re-exports control.
+type (
+	// Alert is the canonical control-plane event.
+	Alert = control.Alert
+	// AlertBus fans alerts out to bounded subscriber queues.
+	AlertBus = control.Bus
+	// AlertSubscription is one consumer's bounded alert queue.
+	AlertSubscription = control.Subscription
+	// AlertWebhookConfig parameterizes the webhook alert sink.
+	AlertWebhookConfig = control.WebhookConfig
+	// Rejuvenator is the fleet rejuvenation controller: it consumes
+	// alerts, drives one policy per source, and actuates restarts under
+	// anti-affinity staggering and a rolling cost budget.
+	Rejuvenator = control.Rejuvenator
+	// RejuvenatorConfig parameterizes a Rejuvenator.
+	RejuvenatorConfig = control.RejuvenatorConfig
+	// RejuvenatorStatus is the /api/rejuv document.
+	RejuvenatorStatus = control.RejuvStatus
+	// RejuvenatorSourceStatus is one source's controller state.
+	RejuvenatorSourceStatus = control.RejuvSourceStatus
+	// Actuator executes a rejuvenation (restart) of one source.
+	Actuator = control.Actuator
+	// ActuatorFunc adapts a function to the Actuator interface.
+	ActuatorFunc = control.ActuatorFunc
+	// DryRunActuator logs each rejuvenation instead of executing it.
+	DryRunActuator = control.DryRunActuator
+	// PhasePolicy rejuvenates when the detector-reported phase crosses
+	// a trigger (fed from phase-change alerts, not raw counters).
+	PhasePolicy = control.PhasePolicy
+	// RejuvenationPolicyFactory builds one source's policy instance.
+	RejuvenationPolicyFactory = control.PolicyFactory
+)
+
+// Alert kinds published on the control bus.
+const (
+	AlertKindJump        = control.KindJump
+	AlertKindRecalibrate = control.KindRecalibrate
+	AlertKindPhaseChange = control.KindPhaseChange
+	AlertKindStall       = control.KindStall
+	AlertKindResume      = control.KindResume
+	AlertKindNodeUp      = control.KindNodeUp
+	AlertKindNodeDown    = control.KindNodeDown
+	AlertKindMigrated    = control.KindMigrated
+	AlertKindAdopted     = control.KindAdopted
+	AlertKindRejuvenate  = control.KindRejuvenate
+)
+
+// Control-plane functions.
+var (
+	// NewAlertBus builds a standalone control bus (the ingest registry
+	// owns one already; see IngestRegistry.Alerts).
+	NewAlertBus = control.NewBus
+	// AlertJSONLSink drains a subscription into JSONL alert events.
+	AlertJSONLSink = control.JSONLSink
+	// AlertWebhookSink POSTs each alert to a webhook with retries.
+	AlertWebhookSink = control.WebhookSink
+	// NewRejuvenator builds the fleet rejuvenation controller.
+	NewRejuvenator = control.NewRejuvenator
+	// ParseRejuvenationPolicy parses a -rejuv-policy spec:
+	// "none", "periodic:<samples>" or "phase:<phase>[:<min-uptime>]".
+	ParseRejuvenationPolicy = control.ParsePolicy
+	// AlertFromDetectorEvent converts a detector verdict to an Alert.
+	AlertFromDetectorEvent = control.FromDetectEvent
+	// PhaseChangeAlert builds a phase-transition Alert.
+	PhaseChangeAlert = control.PhaseChange
 )
 
 // Clustered ingestion (internal/cluster): multiple agingd nodes share a

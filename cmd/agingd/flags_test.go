@@ -31,6 +31,7 @@ func TestFlagSurface(t *testing.T) {
 		"trace-sample":             "0",
 		"flight-recorder-depth":    "64",
 		"pprof":                    "false",
+		"rejuv-policy":             "",
 		"cluster-addr":             "",
 		"cluster-peers":            "",
 		"selftest":                 "false",

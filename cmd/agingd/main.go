@@ -30,6 +30,14 @@
 // recent ring, an optional JSONL sink (-alerts) and an optional webhook
 // (-webhook, delivered with bounded retries).
 //
+// With -rejuv-policy the daemon closes the loop: a rejuvenation
+// controller subscribed to the alert bus runs one policy per source
+// ("periodic:<samples>" or "phase:<phase>[:<min-uptime>]") under
+// anti-affinity staggering and a rolling cost budget, logging each
+// would-be restart as a dry-run "rejuvenate" event and serving its
+// decision state at GET /api/rejuv. Controller state persists beside
+// -snapshot and survives restarts.
+//
 // Observability of the pipeline itself is opt-in: -trace-sample 1/N times
 // one ingested unit in N through every stage (parse, queue wait, the
 // detector's stream stages, alert fan-out), served as Chrome/Perfetto
@@ -81,7 +89,7 @@
 //	       [-stall-timeout DURATION] [-max-sources N] [-max-bad-lines N]
 //	       [-history-limit N] [-detectors LIST] [-alerts FILE] [-events FILE]
 //	       [-webhook URL] [-trace-sample 1/N] [-flight-recorder-depth N]
-//	       [-pprof]
+//	       [-pprof] [-rejuv-policy SPEC]
 //	       [-cluster-addr HOST:PORT] [-cluster-peers HOST:PORT,...]
 //	       [-selftest] [-selftest-sources N] [-selftest-samples N]
 //	       [-selftest-conns N] [-selftest-batch N] [-seed N]
@@ -126,6 +134,7 @@ type options struct {
 	traceSample   string
 	flightDepth   int
 	pprof         bool
+	rejuvPolicy   string
 	clusterAddr   string
 	clusterPeers  string
 	selftest      bool
@@ -167,6 +176,7 @@ func newFlagSet(opt *options) *flag.FlagSet {
 	fs.StringVar(&opt.traceSample, "trace-sample", "0", `pipeline trace sampling: "1/N" or "N" traces one ingested unit in N, "0" disables; spans feed /api/trace/export and the agingmf_pipeline_stage_seconds histograms`)
 	fs.IntVar(&opt.flightDepth, "flight-recorder-depth", 64, "per-source flight recorder: retain the last N annotated samples, served by /api/trace/{source} (0 disables)")
 	fs.BoolVar(&opt.pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/ on the HTTP listener")
+	fs.StringVar(&opt.rejuvPolicy, "rejuv-policy", "", `closed-loop rejuvenation policy driven by the alert bus: "periodic:<samples>" or "phase:<phase>[:<min-uptime>]" (empty disables); decisions are logged dry-run and served at GET /api/rejuv`)
 	fs.StringVar(&opt.clusterAddr, "cluster-addr", "", "this node's advertised host:port for cluster peers — enables clustered routing over the HTTP listener (empty disables)")
 	fs.StringVar(&opt.clusterPeers, "cluster-peers", "", "comma-separated peer host:port list for the cluster membership")
 	fs.BoolVar(&opt.selftest, "selftest", false, "drive simulated machines through the real socket, verify zero loss and monitor parity, then exit")
@@ -285,8 +295,55 @@ func run(args []string, stdout io.Writer) error {
 		srv.Mount("/api/cluster", h)
 	}
 
+	// Closed-loop rejuvenation: a controller subscribed to the alert bus
+	// runs one policy per source. agingd cannot restart remote machines,
+	// so decisions actuate through the dry-run actuator — each would-be
+	// restart is a logged "rejuvenate" event plus a bus alert that an
+	// operator (or an automation tailing -events) executes. When
+	// clustered, sources sharing a ring owner form one anti-affinity
+	// group and never rejuvenate inside the same stagger window.
+	var rej *agingmf.Rejuvenator
+	if opt.rejuvPolicy != "" {
+		factory, err := agingmf.ParseRejuvenationPolicy(opt.rejuvPolicy)
+		if err != nil {
+			return fmt.Errorf("-rejuv-policy: %w", err)
+		}
+		if factory != nil {
+			var group func(string) string
+			if node != nil {
+				group = func(id string) string { return node.Ring().Owner(id) }
+			}
+			rej, err = agingmf.NewRejuvenator(agingmf.RejuvenatorConfig{
+				Bus:      srv.Registry().Alerts(),
+				Actuator: &agingmf.DryRunActuator{Events: events},
+				Policy:   factory,
+				Group:    group,
+				Events:   events,
+				Obs:      met,
+			})
+			if err != nil {
+				return fmt.Errorf("-rejuv-policy: %w", err)
+			}
+			if opt.snapshot != "" {
+				if blob, rerr := os.ReadFile(rejuvStatePath(opt.snapshot)); rerr == nil {
+					if rerr = rej.RestoreState(blob); rerr != nil {
+						events.Warn("rejuv_restore_failed", agingmf.EventFields{"error": rerr.Error()})
+					}
+				}
+			}
+			srv.Mount("/api/rejuv", rejuvHandler(rej))
+		}
+	}
+
 	if err := srv.Start(); err != nil {
 		return err
+	}
+	if rej != nil {
+		if err := rej.Start(); err != nil {
+			return err
+		}
+		defer rej.Stop()
+		fmt.Fprintf(stdout, "rejuvenation: policy %s (dry-run), status at /api/rejuv\n", opt.rejuvPolicy)
 	}
 	if node != nil {
 		node.Start()
@@ -351,10 +408,39 @@ func run(args []string, stdout io.Writer) error {
 	if err := srv.Shutdown(shutCtx); err != nil {
 		return err
 	}
+	if rej != nil {
+		rej.Stop()
+		if opt.snapshot != "" {
+			if blob, serr := rej.SaveState(); serr == nil {
+				if serr = runtime.WriteFileAtomic(rejuvStatePath(opt.snapshot), blob, 0o644); serr != nil {
+					events.Warn("rejuv_snapshot_failed", agingmf.EventFields{"error": serr.Error()})
+				}
+			}
+		}
+	}
 	reg := srv.Registry()
 	fmt.Fprintf(stdout, "drained: %d sources, %d samples accepted, %d dropped, %d alerts\n",
 		reg.NumSources(), reg.Accepted(), reg.Dropped(), reg.Alerts().Total())
 	return nil
+}
+
+// rejuvStatePath names the rejuvenation controller's state blob. It
+// lives beside the ingest snapshot but in its own file: the ingest gob
+// envelope is a pinned compatibility surface and must not grow fields.
+func rejuvStatePath(snapshot string) string { return snapshot + ".rejuv" }
+
+// rejuvHandler serves the controller status as GET /api/rejuv.
+func rejuvHandler(rej *agingmf.Rejuvenator) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(rej.Status())
+	})
 }
 
 // splitPeers parses the comma-separated -cluster-peers list.

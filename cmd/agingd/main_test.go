@@ -94,6 +94,29 @@ func TestSelfTestModeTraced(t *testing.T) {
 	}
 }
 
+// TestSelfTestWithRejuvenation runs the end-to-end verification with the
+// rejuvenation controller live on the alert bus: the controller (dry-run
+// actuation) must not perturb ingestion, parity or the PASS verdict.
+func TestSelfTestWithRejuvenation(t *testing.T) {
+	var buf syncBuf
+	err := run([]string{
+		"-listen", "127.0.0.1:0", "-http", "",
+		"-rejuv-policy", "phase:aging-onset:8",
+		"-selftest", "-selftest-sources", "24", "-selftest-samples", "48",
+		"-selftest-conns", "5", "-seed", "3",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("selftest with rejuvenation failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "selftest: PASS") {
+		t.Errorf("no PASS verdict:\n%s", out)
+	}
+	if !strings.Contains(out, "rejuvenation: policy phase:aging-onset:8") {
+		t.Errorf("controller banner missing:\n%s", out)
+	}
+}
+
 // sourceStatus polls the daemon's HTTP API for one source's sample count.
 func sourceSamples(t *testing.T, api, id string) (int64, bool) {
 	t.Helper()

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The closed loop end-to-end: a run long enough to age past onset, with
+// a phase-triggered policy, must reboot the simulated machine at least
+// once and say so — and must never reach a crash it would have hit
+// policy-off (TestRunToCrashPrintsEvents crashes these exact settings).
+func TestRunSimClosedLoopRejuvenation(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-seed", "1", "-max-ticks", "20000",
+		"-rejuv-policy", "phase:aging-onset:800"}, nil, &buf)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "REJUVENATE") {
+		t.Errorf("no policy restart in output:\n%s", out)
+	}
+	if !strings.Contains(out, "rejuvenations:") {
+		t.Errorf("no rejuvenation summary in output:\n%s", out)
+	}
+	if strings.Contains(out, "CRASH") {
+		t.Errorf("machine crashed despite proactive rejuvenation:\n%s", out)
+	}
+}
+
+func TestRunBadRejuvPolicy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-max-ticks", "10", "-rejuv-policy", "phase:bogus"}, nil, &buf); err == nil {
+		t.Error("bad -rejuv-policy should fail")
+	}
+}

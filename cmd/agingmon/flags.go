@@ -24,6 +24,7 @@ type options struct {
 	stallTimeout time.Duration
 	traceSample  string
 	flightDepth  int
+	rejuvPolicy  string
 }
 
 // newFlagSet declares the agingmon flag surface — names and defaults are
@@ -48,5 +49,6 @@ func newFlagSet(opt *options) *flag.FlagSet {
 	fs.DurationVar(&opt.stallTimeout, "stall-timeout", 0, `declare the stream "stalled" (503 on /healthz, stalled event) when no sample arrives within this long (0 disables)`)
 	fs.StringVar(&opt.traceSample, "trace-sample", "0", `pipeline trace sampling: "1/N" or "N" traces one item in N, "0" disables; spans feed /api/trace/export and the agingmf_pipeline_stage_seconds histograms (needs -metrics-addr to serve them)`)
 	fs.IntVar(&opt.flightDepth, "flight-recorder-depth", 64, "flight recorder: retain the last N annotated samples, served by /api/trace/{source} (0 disables)")
+	fs.StringVar(&opt.rejuvPolicy, "rejuv-policy", "", `closed-loop rejuvenation policy: "periodic:<samples>" or "phase:<phase>[:<min-uptime>]" (empty disables); in sim mode decisions reboot the simulated machine, on a stream they are logged dry-run, status at GET /api/rejuv`)
 	return fs
 }

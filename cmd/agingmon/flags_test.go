@@ -30,6 +30,7 @@ func TestFlagSurface(t *testing.T) {
 		"stall-timeout":         "0s",
 		"trace-sample":          "0",
 		"flight-recorder-depth": "64",
+		"rejuv-policy":          "",
 	}
 	for name, def := range want {
 		gotDef, ok := got[name]

@@ -61,6 +61,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		srcLabel = "stream"
 	}
 	mountTrace(tel, tr, fr, srcLabel)
+	// The control plane publishes every verdict as a canonical alert
+	// (GET /api/alerts) and, with -rejuv-policy, closes the loop: in sim
+	// mode decisions reboot the simulated machine, on a stream they are
+	// logged dry-run. Endpoints mount before Serve.
+	cp, err := newControlPlane(opt, tel, srcLabel)
+	if err != nil {
+		return err
+	}
 	if err := tel.Serve(wd.Healthy, stdout); err != nil {
 		return err
 	}
@@ -81,9 +89,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	defer stop()
 
 	if opt.stdin {
-		err = monitorStream(ctx, stdin, stdout, mon, tel, wd, tr, fr, opt.maxBad)
+		err = monitorStream(ctx, stdin, stdout, mon, tel, wd, tr, fr, cp, opt.maxBad)
 	} else {
-		err = monitorSimulation(ctx, stdout, mon, tel, wd, tr, fr, opt)
+		err = monitorSimulation(ctx, stdout, mon, tel, wd, tr, fr, cp, opt)
 	}
 	// The monitor state is saved on every exit path — including the
 	// interrupt/error/signal ones — so a malformed sample, a failed run or
@@ -160,7 +168,7 @@ func newStdinSource(r io.Reader) stdinSource {
 // agingmf_monitor_bad_samples_total) — fatal only once more than maxBad
 // of them arrive (negative = unlimited). A signal drains the stream
 // gracefully.
-func monitorStream(ctx context.Context, stdin io.Reader, stdout io.Writer, mon *agingmf.DualMonitor, tel *runtime.Telemetry, wd *agingmf.Watchdog, tr *trace.Tracer, fr *trace.FlightRecorder, maxBad int) error {
+func monitorStream(ctx context.Context, stdin io.Reader, stdout io.Writer, mon *agingmf.DualMonitor, tel *runtime.Telemetry, wd *agingmf.Watchdog, tr *trace.Tracer, fr *trace.FlightRecorder, cp *controlPlane, maxBad int) error {
 	badSamples := tel.Reg.Counter("agingmf_monitor_bad_samples_total",
 		"Malformed stdin samples skipped by the monitor.")
 	src := newStdinSource(stdin)
@@ -177,10 +185,12 @@ func monitorStream(ctx context.Context, stdin io.Reader, stdout io.Writer, mon *
 		OnJumps: func(_ int, jumps []agingmf.DualJump) {
 			for _, j := range jumps {
 				reportJump(stdout, tel.Events, "sample", j.Jump.SampleIndex, j)
+				cp.jump(j)
 			}
 		},
 		OnPhase: func(last int, from, to agingmf.Phase, _ source.Item) {
 			reportPhase(stdout, tel.Events, "sample", last, from, to, "")
+			cp.phase(last, from, to)
 		},
 	})
 	for {
@@ -217,7 +227,7 @@ func monitorStream(ctx context.Context, stdin io.Reader, stdout io.Writer, mon *
 }
 
 // monitorSimulation runs the built-in simulated machine under stress.
-func monitorSimulation(ctx context.Context, stdout io.Writer, mon *agingmf.DualMonitor, tel *runtime.Telemetry, wd *agingmf.Watchdog, tr *trace.Tracer, fr *trace.FlightRecorder, opt options) error {
+func monitorSimulation(ctx context.Context, stdout io.Writer, mon *agingmf.DualMonitor, tel *runtime.Telemetry, wd *agingmf.Watchdog, tr *trace.Tracer, fr *trace.FlightRecorder, cp *controlPlane, opt options) error {
 	mcfg := agingmf.DefaultMachineConfig()
 	mcfg.RAMPages = opt.ramMiB << 20 / mcfg.PageSize
 	mcfg.SwapPages = opt.swapMiB << 20 / mcfg.PageSize
@@ -236,6 +246,15 @@ func monitorSimulation(ctx context.Context, stdout io.Writer, mon *agingmf.DualM
 		opt.ramMiB, opt.swapMiB, opt.leak, opt.seed)
 
 	src := source.NewSimFromParts(machine, driver, opt.maxTicks, 1)
+	// Close the loop: a rejuvenation decision reboots the simulated
+	// machine. The actuation happens inside cp.publish, i.e. on this
+	// goroutine — the machine is not safe for concurrent use.
+	cp.setActuator(agingmf.ActuatorFunc(func(string) error {
+		machine.Rejuvenate("")
+		fmt.Fprintf(stdout, "tick %6d  REJUVENATE (policy restart #%d)\n",
+			src.Ticks(), machine.Reboots())
+		return nil
+	}))
 	snk := source.NewMonitorSink(mon, source.MonitorSinkConfig{
 		Watchdog: wd,
 		Tracer:   tr,
@@ -244,12 +263,14 @@ func monitorSimulation(ctx context.Context, stdout io.Writer, mon *agingmf.DualM
 		OnJumps: func(_ int, jumps []agingmf.DualJump) {
 			for _, j := range jumps {
 				reportJump(stdout, tel.Events, "tick", src.Ticks()-1, j)
+				cp.jump(j)
 			}
 		},
-		OnPhase: func(_ int, from, to agingmf.Phase, it source.Item) {
+		OnPhase: func(last int, from, to agingmf.Phase, it source.Item) {
 			extra := fmt.Sprintf(" (free %.1f MiB, swap %.1f MiB)",
 				it.Counters[0].FreeMemoryBytes/(1<<20), it.Counters[0].UsedSwapBytes/(1<<20))
 			reportPhase(stdout, tel.Events, "tick", src.Ticks()-1, from, to, extra)
+			cp.phase(last, from, to)
 		},
 	})
 	for src != nil { // nil when maxTicks < 1: nothing to monitor
@@ -272,6 +293,9 @@ func monitorSimulation(ctx context.Context, stdout io.Writer, mon *agingmf.DualM
 			break
 		}
 		_ = snk.WriteSampled(it, seq)
+	}
+	if n := cp.rejuvenations(); n > 0 {
+		fmt.Fprintf(stdout, "rejuvenations: %d policy restarts\n", n)
 	}
 	fmt.Fprintf(stdout, "final phase: %v (%d jumps across both counters)\n",
 		mon.Phase(), len(mon.Jumps()))

@@ -17,6 +17,7 @@ func TestFlagSurface(t *testing.T) {
 		"seed":     "1",
 		"quick":    "false",
 		"shootout": "false",
+		"rejuv":    "false",
 		"list":     "false",
 		"format":   "text",
 		"events":   "",

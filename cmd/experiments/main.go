@@ -6,7 +6,11 @@
 // for -run E13, the detector shootout: every detector of the pluggable
 // suite (holder, entropy, adaptive) replays the same run-to-crash and
 // healthy-control campaigns and is scored on warning lead time versus
-// false alarms (committed example: SHOOTOUT.md).
+// false alarms (committed example: SHOOTOUT.md). -rejuv is shorthand for
+// -run E14, the closed-loop rejuvenation campaign: fleets aging through
+// leak, fragmentation and churn channels under no intervention, the
+// control-plane Rejuvenator and a clairvoyant oracle, scored on
+// availability (committed example: REJUVENATION.md).
 //
 // With -events each experiment's start and completion is appended as a
 // JSONL record to a file ("-" = stdout) — campaign progress tracking for
@@ -14,7 +18,7 @@
 //
 // Usage:
 //
-//	experiments [-run E5] [-seed N] [-quick] [-shootout] [-list]
+//	experiments [-run E5] [-seed N] [-quick] [-shootout] [-rejuv] [-list]
 //	            [-events FILE] [-format text|markdown|csv]
 package main
 
@@ -37,6 +41,7 @@ type options struct {
 	seed     int64
 	quick    bool
 	shootout bool
+	rejuv    bool
 	list     bool
 	format   string
 	events   string
@@ -47,10 +52,11 @@ type options struct {
 // flag-surface test).
 func newFlagSet(opt *options) *flag.FlagSet {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	fs.StringVar(&opt.id, "run", "", "run a single experiment (E1..E13)")
+	fs.StringVar(&opt.id, "run", "", "run a single experiment (E1..E14)")
 	fs.Int64Var(&opt.seed, "seed", 1, "campaign seed")
 	fs.BoolVar(&opt.quick, "quick", false, "small campaigns for a fast pass")
 	fs.BoolVar(&opt.shootout, "shootout", false, "run the detector shootout (shorthand for -run E13)")
+	fs.BoolVar(&opt.rejuv, "rejuv", false, "run the closed-loop rejuvenation campaign (shorthand for -run E14)")
 	fs.BoolVar(&opt.list, "list", false, "list experiments and exit")
 	fs.StringVar(&opt.format, "format", "text", "output format: text, markdown or csv")
 	fs.StringVar(&opt.events, "events", "", `append JSONL progress events to this file ("-" = stdout, empty disables)`)
@@ -94,6 +100,12 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 			return fmt.Errorf("-shootout conflicts with -run %s", opt.id)
 		}
 		opt.id = "E13"
+	}
+	if opt.rejuv {
+		if opt.id != "" && opt.id != "E14" {
+			return fmt.Errorf("-rejuv conflicts with -run %s", opt.id)
+		}
+		opt.id = "E14"
 	}
 	todo := experiment.All()
 	if opt.id != "" {

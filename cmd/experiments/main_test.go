@@ -47,6 +47,14 @@ func TestRunShootoutConflictsWithRun(t *testing.T) {
 	// step (a full quick campaign is too heavy for the unit suite).
 }
 
+func TestRunRejuvConflictsWithRun(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-rejuv", "-run", "E1"}, &out); err == nil {
+		t.Error("-rejuv with a different -run should fail")
+	}
+	// As with -shootout, the happy path is the CI rejuvenation smoke step.
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(context.Background(), []string{"-run", "E99"}, &out); err == nil {

@@ -1,6 +1,9 @@
-// Rejuvenation example: compare reactive operation, time-based
-// rejuvenation and monitor-triggered rejuvenation of the same leaky
-// machine, and cross-check the shape against the Huang et al. (FTCS 1995)
+// Rejuvenation example: close the control loop on one leaky machine.
+// Three arms run the same fleet member — no intervention, a time-based
+// policy, and a monitor-triggered policy — but the policy arms are
+// driven by the control-plane Rejuvenator, the same component the
+// agingd daemon mounts: alerts go in, actuated restarts come out. The
+// shape is then cross-checked against the Huang et al. (FTCS 1995)
 // analytic availability model.
 package main
 
@@ -9,40 +12,115 @@ import (
 	"log"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"agingmf"
 )
 
-func main() {
-	evalCfg := agingmf.RejuvenationEvalConfig{
-		Horizon:       60000,
-		CrashDowntime: 1800, // unplanned repair: 30 simulated minutes
-		RejuvDowntime: 90,   // planned restart: 1.5 minutes
-	}
+const (
+	horizon       = 60000
+	crashDowntime = 1800 // unplanned repair: 30 simulated minutes
+	rejuvDowntime = 90   // planned restart: 1.5 minutes
+)
 
+// arm runs one policy spec through the closed loop and reports the
+// availability it bought.
+type armResult struct {
+	policy        string
+	crashes       int
+	rejuvenations int
+	upTicks       int
+}
+
+func (a armResult) availability() float64 { return float64(a.upTicks) / horizon }
+
+// runArm drives one machine for the horizon under a -rejuv-policy spec
+// (empty = reactive operation), feeding the Rejuvenator the same alert
+// stream a daemon would: phase transitions plus per-sample heartbeats.
+func runArm(spec string, seed int64) (armResult, error) {
+	machine, driver := rig(seed)
 	monCfg := agingmf.DefaultMonitorConfig()
-	policies := []func() (agingmf.RejuvenationPolicy, error){
-		func() (agingmf.RejuvenationPolicy, error) { return agingmf.NoPolicy{}, nil },
-		func() (agingmf.RejuvenationPolicy, error) { return agingmf.NewPeriodicPolicy(1400) },
-		func() (agingmf.RejuvenationPolicy, error) {
-			return agingmf.NewMonitorPolicy(monCfg, agingmf.PhaseAgingOnset, 800)
-		},
+	mon, err := agingmf.NewDualMonitor(monCfg)
+	if err != nil {
+		return armResult{}, err
+	}
+	phase := agingmf.PhaseHealthy
+	res := armResult{policy: "none"}
+	tick := 0
+
+	reboot := func(downtime int) error {
+		machine.Reboot()
+		if err := driver.OnReboot(); err != nil {
+			return err
+		}
+		if mon, err = agingmf.NewDualMonitor(monCfg); err != nil {
+			return err
+		}
+		phase = agingmf.PhaseHealthy
+		tick += downtime
+		return nil
 	}
 
+	// The controller is the production component: a policy factory from
+	// the daemon's -rejuv-policy grammar, an actuator that reboots the
+	// machine, and a deterministic clock derived from the simulation tick
+	// (so the anti-affinity stagger measures simulated time, not how fast
+	// this loop happens to run).
+	var rej *agingmf.Rejuvenator
+	if spec != "" {
+		factory, err := agingmf.ParseRejuvenationPolicy(spec)
+		if err != nil {
+			return armResult{}, err
+		}
+		epoch := time.Unix(0, 0)
+		rej, err = agingmf.NewRejuvenator(agingmf.RejuvenatorConfig{
+			Policy: factory,
+			Actuator: agingmf.ActuatorFunc(func(string) error {
+				res.rejuvenations++
+				return reboot(rejuvDowntime)
+			}),
+			Now: func() time.Time { return epoch.Add(time.Duration(tick) * time.Second) },
+		})
+		if err != nil {
+			return armResult{}, err
+		}
+		res.policy = spec
+	}
+
+	for ; tick < horizon; tick++ {
+		counters, err := driver.Step()
+		if err != nil { // crashed: unplanned repair
+			res.crashes++
+			if err := reboot(crashDowntime); err != nil {
+				return armResult{}, err
+			}
+			continue
+		}
+		res.upTicks++
+		mon.Add(counters.FreeMemoryBytes, counters.UsedSwapBytes)
+		if rej == nil {
+			continue
+		}
+		if p := mon.Phase(); p != phase {
+			rej.Handle(agingmf.PhaseChangeAlert("machine", tick, phase, p))
+			phase = p
+		} else {
+			rej.Handle(agingmf.Alert{Source: "machine", Kind: agingmf.AlertKindResume, Sample: tick})
+		}
+	}
+	return res, nil
+}
+
+func main() {
 	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "policy\tcrashes\trejuvenations\tavailability")
-	for i, mk := range policies {
-		machine, driver := rig(int64(100 * (i + 1)))
-		pol, err := mk()
-		if err != nil {
-			log.Fatal(err)
-		}
-		out, err := agingmf.EvaluatePolicy(machine, driver, pol, evalCfg)
+	for i, spec := range []string{"", "periodic:1400", "phase:aging-onset:800"} {
+		out, err := runArm(spec, int64(100*(i+1)))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%.4f\n",
-			out.Policy, out.Crashes, out.Rejuvenations, out.Availability())
+			out.policy, out.crashes, out.rejuvenations, out.availability())
 	}
 	if err := tw.Flush(); err != nil {
 		log.Fatal(err)
@@ -53,9 +131,9 @@ func main() {
 	model := agingmf.HuangModel{
 		RateDegrade: 1.0 / 1500,
 		RateFail:    1.0 / 1200,
-		RateRepair:  1.0 / float64(evalCfg.CrashDowntime),
+		RateRepair:  1.0 / crashDowntime,
 		RateRejuv:   1.0 / 600,
-		RateRestart: 1.0 / float64(evalCfg.RejuvDowntime),
+		RateRestart: 1.0 / rejuvDowntime,
 	}
 	ss, err := model.Solve()
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"agingmf/internal/control"
 	"agingmf/internal/ingest"
 	"agingmf/internal/obs"
 	"agingmf/internal/resilience"
@@ -236,6 +237,13 @@ func (n *Node) heartbeatLoop() {
 	}
 }
 
+// publish posts a membership alert on the registry's control bus, so
+// fleet subscribers (the JSONL/webhook sinks, the Rejuvenator) see
+// topology changes on the same stream as detector verdicts.
+func (n *Node) publish(a control.Alert) {
+	n.reg.Alerts().Publish(a)
+}
+
 // markUp adds peer to the ring (idempotent) and triggers a rebalance.
 func (n *Node) markUp(peer string) {
 	n.mu.Lock()
@@ -248,6 +256,7 @@ func (n *Node) markUp(peer string) {
 	n.rebuildRingLocked()
 	n.mu.Unlock()
 	n.cfg.Events.Info("cluster_peer_up", obs.Fields{"node": n.cfg.Self, "peer": peer})
+	n.publish(control.Alert{Source: peer, Kind: control.KindNodeUp, Node: n.cfg.Self})
 	n.triggerRebalance()
 }
 
@@ -264,6 +273,7 @@ func (n *Node) markDown(peer string) {
 	n.rebuildRingLocked()
 	n.mu.Unlock()
 	n.cfg.Events.Warn("cluster_peer_down", obs.Fields{"node": n.cfg.Self, "peer": peer})
+	n.publish(control.Alert{Source: peer, Kind: control.KindNodeDown, Node: n.cfg.Self})
 	n.triggerRebalance()
 }
 
@@ -541,6 +551,7 @@ func (n *Node) adopt(id string) bool {
 	n.cfg.Events.Info("cluster_source_adopted", obs.Fields{
 		"node": n.cfg.Self, "source": id,
 	})
+	n.publish(control.Alert{Source: id, Kind: control.KindAdopted, To: n.cfg.Self, Node: n.cfg.Self})
 	return true
 }
 
@@ -666,6 +677,7 @@ func (n *Node) Migrate(ctx context.Context, id, target string) error {
 		"node": n.cfg.Self, "source": id, "target": target,
 		"bytes": len(env), "ms": time.Since(start).Milliseconds(),
 	})
+	n.publish(control.Alert{Source: id, Kind: control.KindMigrated, From: n.cfg.Self, To: target, Node: n.cfg.Self})
 	return nil
 }
 

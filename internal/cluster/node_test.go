@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"agingmf/internal/aging"
+	"agingmf/internal/control"
 	"agingmf/internal/ingest"
 	"agingmf/internal/trace"
 )
@@ -468,5 +469,48 @@ func TestMigrateRecordsTraceSpan(t *testing.T) {
 	}
 	if found != 1 {
 		t.Fatalf("recorded %d migrate spans, want 1", found)
+	}
+}
+
+// TestClusterEventsOnControlBus asserts that topology changes ride the
+// same alert bus as detector verdicts: a migration publishes a
+// "migrated" alert on the origin's bus and a peer departure publishes
+// "node_down", each carrying the node names in From/To/Node.
+func TestClusterEventsOnControlBus(t *testing.T) {
+	nodes, _, _ := testCluster(t, 2, 0)
+	a, b := nodes[0], nodes[1]
+	sub := a.Registry().Alerts().Subscribe("test", 32)
+	defer sub.Cancel()
+
+	id := pickOwnedBy(t, a.Ring(), a.Name())
+	if err := a.IngestLine("test", fmt.Sprintf("source=%s 1e9 2e8", id)); err != nil {
+		t.Fatal(err)
+	}
+	drain(t, a)
+	if err := a.Migrate(context.Background(), id, b.Name()); err != nil {
+		t.Fatalf("migrate: %v", err)
+	}
+	a.HandleAnnounce(b.Name(), AnnounceLeave)
+
+	var migrated, nodeDown *control.Alert
+	deadline := time.After(3 * time.Second)
+	for migrated == nil || nodeDown == nil {
+		select {
+		case al := <-sub.C():
+			switch al.Kind {
+			case control.KindMigrated:
+				migrated = &al
+			case control.KindNodeDown:
+				nodeDown = &al
+			}
+		case <-deadline:
+			t.Fatalf("bus alerts missing: migrated=%v node_down=%v", migrated, nodeDown)
+		}
+	}
+	if migrated.Source != id || migrated.From != a.Name() || migrated.To != b.Name() {
+		t.Errorf("migrated alert = %+v, want source=%s from=%s to=%s", migrated, id, a.Name(), b.Name())
+	}
+	if nodeDown.Source != b.Name() || nodeDown.Node != a.Name() {
+		t.Errorf("node_down alert = %+v, want source=%s node=%s", nodeDown, b.Name(), a.Name())
 	}
 }

@@ -1,0 +1,92 @@
+package control
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"agingmf/internal/obs"
+)
+
+// The control-plane refactor must not move a single byte of wire
+// output: the webhook payload is json.Marshal(Alert) and the JSONL sink
+// line is the event envelope plus a fixed field set, both of which
+// external consumers parse. These goldens pin the exact bytes for every
+// pre-existing alert kind; a mismatch means the Alert struct's field
+// order or tags changed, which is a compatibility break.
+
+func TestAlertPayloadGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		a    Alert
+		want string
+	}{
+		{
+			name: "jump",
+			a: Alert{Source: "m1", Kind: KindJump, Detector: "holder",
+				Counter: "free_memory", Sample: 128, Volatility: 0.42, Score: 3.5},
+			want: `{"source":"m1","kind":"jump","detector":"holder","counter":"free_memory","sample":128,"volatility":0.42,"score":3.5}`,
+		},
+		{
+			name: "recalibrate",
+			a: Alert{Source: "m1", Kind: KindRecalibrate, Detector: "adaptive",
+				Counter: "used_swap", Sample: 64, Score: 1.25},
+			want: `{"source":"m1","kind":"recalibrate","detector":"adaptive","counter":"used_swap","sample":64,"score":1.25}`,
+		},
+		{
+			name: "phase_change",
+			a:    Alert{Source: "m2", Kind: KindPhaseChange, Sample: 200, From: "healthy", To: "aging-onset"},
+			want: `{"source":"m2","kind":"phase_change","sample":200,"from":"healthy","to":"aging-onset"}`,
+		},
+		{
+			name: "stall",
+			a:    Alert{Source: "m3", Kind: KindStall, GapMillis: 1500},
+			want: `{"source":"m3","kind":"stall","gap_ms":1500}`,
+		},
+		{
+			name: "resume",
+			a:    Alert{Source: "m3", Kind: KindResume},
+			want: `{"source":"m3","kind":"resume"}`,
+		},
+		{
+			// New control-plane fields append strictly after the legacy
+			// ones, so a legacy consumer's prefix parse still works.
+			name: "migrated_with_node",
+			a:    Alert{Source: "m4", Kind: KindMigrated, From: "node-a", To: "node-b", Node: "node-b"},
+			want: `{"source":"m4","kind":"migrated","from":"node-a","to":"node-b","node":"node-b"}`,
+		},
+	}
+	for _, tc := range cases {
+		got, err := json.Marshal(tc.a)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if string(got) != tc.want {
+			t.Errorf("%s payload changed:\n got  %s\n want %s", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestJSONLSinkGolden(t *testing.T) {
+	var buf bytes.Buffer
+	clock := func() time.Time {
+		return time.Date(2026, 1, 2, 3, 4, 5, 6, time.UTC)
+	}
+	ev := obs.NewEvents(&buf, obs.LevelInfo).WithClock(clock)
+
+	b := NewBus(4)
+	sub := b.Subscribe("jsonl", 4)
+	b.Publish(Alert{Source: "m1", Kind: KindJump, Detector: "holder",
+		Counter: "free_memory", Sample: 128, Volatility: 0.42, Score: 3.5})
+	b.Publish(Alert{Source: "m2", Kind: KindPhaseChange, Sample: 200, From: "healthy", To: "aging-onset"})
+	b.Close()
+	JSONLSink(sub, ev) // runs to completion: the bus is closed
+
+	want := `{"ts":"2026-01-02T03:04:05.000000006Z","level":"warn","event":"alert","alert":"jump","counter":"free_memory","detector":"holder","from":"","gap_ms":0,"sample":128,"score":3.5,"source":"m1","to":"","volatility":0.42}
+{"ts":"2026-01-02T03:04:05.000000006Z","level":"warn","event":"alert","alert":"phase_change","counter":"","detector":"","from":"healthy","gap_ms":0,"sample":200,"score":0,"source":"m2","to":"aging-onset","volatility":0}
+`
+	if got := buf.String(); got != want {
+		t.Errorf("JSONL sink bytes changed:\n got  %q\n want %q", got, want)
+	}
+}

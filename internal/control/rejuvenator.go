@@ -1,0 +1,592 @@
+package control
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"agingmf/internal/aging"
+	"agingmf/internal/memsim"
+	"agingmf/internal/obs"
+	"agingmf/internal/rejuv"
+)
+
+// ErrBadPolicy reports an unparsable -rejuv-policy specification.
+var ErrBadPolicy = errors.New("control: bad rejuvenation policy")
+
+// Actuator performs the proactive restart the Rejuvenator decides on.
+// memsim.Machine implements it (a rejuvenation is a Reboot); production
+// deployments plug in whatever restarts the real machine; DryRunActuator
+// only records the decision.
+type Actuator interface {
+	Rejuvenate(source string) error
+}
+
+// ActuatorFunc adapts a function to the Actuator interface — the fleet
+// experiments use it to route each source to its own machine.
+type ActuatorFunc func(source string) error
+
+// Rejuvenate implements Actuator.
+func (f ActuatorFunc) Rejuvenate(source string) error { return f(source) }
+
+// DryRunActuator records rejuvenation decisions as events without
+// touching anything — the default actuator of a daemon whose sources
+// are real machines it cannot reboot. The decision stream is the
+// product: operators watch the "rejuvenate_dry_run" events (or the
+// /api/rejuv counters) to see what the policy would have done.
+type DryRunActuator struct {
+	// Events receives one "rejuvenate_dry_run" event per decision
+	// (nil disables).
+	Events *obs.Events
+
+	mu sync.Mutex
+	n  uint64
+}
+
+// Rejuvenate implements Actuator.
+func (d *DryRunActuator) Rejuvenate(source string) error {
+	d.mu.Lock()
+	d.n++
+	n := d.n
+	d.mu.Unlock()
+	d.Events.Info("rejuvenate_dry_run", obs.Fields{"source": source, "total": n})
+	return nil
+}
+
+// Count returns how many decisions have been recorded.
+func (d *DryRunActuator) Count() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.n
+}
+
+// ParsePhase inverts aging.Phase.String (the form alerts carry).
+func ParsePhase(s string) (aging.Phase, bool) {
+	switch s {
+	case "healthy":
+		return aging.PhaseHealthy, true
+	case "aging-onset":
+		return aging.PhaseAgingOnset, true
+	case "crash-imminent":
+		return aging.PhaseCrashImminent, true
+	}
+	return 0, false
+}
+
+// PhasePolicy is a rejuv.Policy driven by the fleet's own detector
+// verdicts instead of a private monitor: the Rejuvenator feeds it the
+// phase carried by phase-change alerts, and it requests rejuvenation
+// once the observed phase reaches Trigger and uptime passes MinUptime.
+// This realizes the paper's prediction-based trigger without running a
+// second detection pipeline inside the controller.
+type PhasePolicy struct {
+	// Trigger is the aging phase that requests rejuvenation.
+	Trigger aging.Phase
+	// MinUptime suppresses triggers right after a restart, in samples.
+	MinUptime int
+
+	phase aging.Phase
+}
+
+// Name implements rejuv.Policy.
+func (p *PhasePolicy) Name() string { return fmt.Sprintf("phase(%v)", p.Trigger) }
+
+// Observe implements rejuv.Policy; verdicts arrive via ObservePhase.
+func (p *PhasePolicy) Observe(memsim.Counters) {}
+
+// ObservePhase records the source's detector-reported aging phase.
+func (p *PhasePolicy) ObservePhase(ph aging.Phase) { p.phase = ph }
+
+// ShouldRejuvenate implements rejuv.Policy.
+func (p *PhasePolicy) ShouldRejuvenate(upTicks int) bool {
+	return upTicks >= p.MinUptime && p.phase >= p.Trigger
+}
+
+// Reset implements rejuv.Policy.
+func (p *PhasePolicy) Reset() error {
+	p.phase = aging.PhaseHealthy
+	return nil
+}
+
+// phaseObserver is the optional policy capability the Rejuvenator feeds
+// phase-change alerts through.
+type phaseObserver interface {
+	ObservePhase(aging.Phase)
+}
+
+// PolicyFactory builds one source's policy instance. The Rejuvenator
+// creates a policy per source the first time it sees an alert for it.
+type PolicyFactory func(source string) rejuv.Policy
+
+// ParsePolicy parses a -rejuv-policy specification into a factory:
+//
+//	none                          no controller
+//	periodic:<samples>            time-based (Huang et al.): rejuvenate
+//	                              every N samples of uptime
+//	phase:<phase>[:<min-uptime>]  prediction-based: rejuvenate when the
+//	                              detector suite reports <phase>
+//	                              ("aging-onset" or "crash-imminent"),
+//	                              at least <min-uptime> samples after
+//	                              the previous restart (default 256)
+//
+// The returned factory is nil (with no error) for "none"/"".
+func ParsePolicy(spec string) (PolicyFactory, error) {
+	kind, arg := spec, ""
+	if i := indexByte(spec, ':'); i >= 0 {
+		kind, arg = spec[:i], spec[i+1:]
+	}
+	switch kind {
+	case "", "none":
+		return nil, nil
+	case "periodic":
+		var n int
+		if _, err := fmt.Sscanf(arg, "%d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("%w: periodic interval %q (want periodic:<samples>)", ErrBadPolicy, arg)
+		}
+		return func(string) rejuv.Policy { return &rejuv.PeriodicPolicy{Interval: n} }, nil
+	case "phase":
+		min := 256
+		phaseStr := arg
+		if i := indexByte(arg, ':'); i >= 0 {
+			phaseStr = arg[:i]
+			if _, err := fmt.Sscanf(arg[i+1:], "%d", &min); err != nil || min < 0 {
+				return nil, fmt.Errorf("%w: phase min-uptime %q", ErrBadPolicy, arg[i+1:])
+			}
+		}
+		trigger, ok := ParsePhase(phaseStr)
+		if !ok || trigger == aging.PhaseHealthy {
+			return nil, fmt.Errorf("%w: trigger phase %q (want aging-onset or crash-imminent)", ErrBadPolicy, phaseStr)
+		}
+		return func(string) rejuv.Policy {
+			p := &PhasePolicy{Trigger: trigger, MinUptime: min}
+			_ = p.Reset()
+			return p
+		}, nil
+	}
+	return nil, fmt.Errorf("%w: %q (want none, periodic:<samples> or phase:<phase>)", ErrBadPolicy, spec)
+}
+
+// indexByte avoids importing strings for one call site.
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// RejuvenatorConfig parameterizes a Rejuvenator.
+type RejuvenatorConfig struct {
+	// Bus is the alert stream the controller subscribes to (required for
+	// Start; Handle can be driven directly without it).
+	Bus *Bus
+	// Actuator performs the restarts. Required.
+	Actuator Actuator
+	// Policy builds each source's decision policy. Required.
+	Policy PolicyFactory
+	// Cost prices decisions for the status report and the budget gate
+	// (zero value selects rejuv.DefaultCostModel).
+	Cost rejuv.CostModel
+	// Budget caps the planned cost (PerRejuvenation each) the controller
+	// may spend per BudgetWindow; further decisions are deferred until
+	// the window rolls. 0 = unlimited.
+	Budget float64
+	// BudgetWindow is the rolling budget horizon (0 selects one hour).
+	BudgetWindow time.Duration
+	// Group maps a source to its anti-affinity arc — sources sharing an
+	// arc never rejuvenate within StaggerGap of each other, so one
+	// detector storm cannot take a whole cluster arc down at once. Wire
+	// it to the cluster ring's Owner to group by co-location. Nil puts
+	// every source in its own arc (no staggering).
+	Group func(source string) string
+	// StaggerGap is the minimum spacing between rejuvenations inside one
+	// arc (0 selects one minute).
+	StaggerGap time.Duration
+	// QueueSize bounds the bus subscription (0 selects 256).
+	QueueSize int
+	// Events receives decision/defer events. Nil disables.
+	Events *obs.Events
+	// Obs receives the controller metric families. Nil disables.
+	Obs *obs.Registry
+	// Now is the staggering/budget clock (tests and deterministic
+	// experiments inject their own; nil selects time.Now).
+	Now func() time.Time
+}
+
+// rejuvMetrics is the controller's instrument set (nil-safe zero value).
+type rejuvMetrics struct {
+	rejuvenations *obs.Counter
+	deferred      *obs.CounterVec // by reason
+	failures      *obs.Counter
+}
+
+func newRejuvMetrics(reg *obs.Registry) rejuvMetrics {
+	return rejuvMetrics{
+		rejuvenations: reg.Counter("agingmf_rejuvenations_total",
+			"Proactive restarts actuated by the rejuvenation controller."),
+		deferred: reg.CounterVec("agingmf_rejuvenations_deferred_total",
+			"Rejuvenation decisions deferred, by reason (stagger, budget).", "reason"),
+		failures: reg.Counter("agingmf_rejuvenation_failures_total",
+			"Actuator errors during proactive restarts."),
+	}
+}
+
+// rejuvSource is one source's controller state.
+type rejuvSource struct {
+	policy rejuv.Policy
+	// lastSample is the newest per-source sample index seen on any alert.
+	lastSample int
+	// rebased is lastSample at the previous rejuvenation: uptime in
+	// samples is lastSample - rebased.
+	rebased  int
+	count    int
+	deferred int
+	phase    aging.Phase
+}
+
+// rejuvGroup is one anti-affinity arc's state.
+type rejuvGroup struct {
+	last    time.Time
+	haveRun bool
+}
+
+// Rejuvenator closes the loop from detector verdicts to proactive
+// restarts: it consumes the alert bus, drives one rejuv.Policy per
+// source, and actuates restarts through an Actuator under a fleet cost
+// budget with per-arc anti-affinity staggering. Decisions are
+// deterministic given the alert stream and the injected clock, which is
+// what lets the chaos campaign (experiment E14) and the snapshot tests
+// replay them exactly.
+type Rejuvenator struct {
+	cfg  RejuvenatorConfig
+	met  rejuvMetrics
+	cost rejuv.CostModel
+
+	mu      sync.Mutex
+	sources map[string]*rejuvSource
+	groups  map[string]*rejuvGroup
+	spent   []time.Time // budget window: one entry per actuation
+	total   int
+	fails   int
+
+	sub  *Subscription
+	done chan struct{}
+}
+
+// NewRejuvenator validates the configuration. Call Start to drive it
+// from the bus, or Handle directly for synchronous (deterministic) use.
+func NewRejuvenator(cfg RejuvenatorConfig) (*Rejuvenator, error) {
+	if cfg.Actuator == nil {
+		return nil, errors.New("control: RejuvenatorConfig.Actuator required")
+	}
+	if cfg.Policy == nil {
+		return nil, errors.New("control: RejuvenatorConfig.Policy required")
+	}
+	if cfg.Cost == (rejuv.CostModel{}) {
+		cfg.Cost = rejuv.DefaultCostModel()
+	}
+	if cfg.BudgetWindow <= 0 {
+		cfg.BudgetWindow = time.Hour
+	}
+	if cfg.StaggerGap <= 0 {
+		cfg.StaggerGap = time.Minute
+	}
+	if cfg.QueueSize <= 0 {
+		cfg.QueueSize = 256
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Rejuvenator{
+		cfg:     cfg,
+		met:     newRejuvMetrics(cfg.Obs),
+		cost:    cfg.Cost,
+		sources: make(map[string]*rejuvSource),
+		groups:  make(map[string]*rejuvGroup),
+	}, nil
+}
+
+// Start subscribes to the bus and drains it on a goroutine until the
+// bus closes or Stop is called.
+func (r *Rejuvenator) Start() error {
+	if r.cfg.Bus == nil {
+		return errors.New("control: Rejuvenator.Start without a Bus")
+	}
+	r.sub = r.cfg.Bus.Subscribe("rejuvenator", r.cfg.QueueSize)
+	r.done = make(chan struct{})
+	go func() {
+		defer close(r.done)
+		for a := range r.sub.C() {
+			r.Handle(a)
+		}
+	}()
+	return nil
+}
+
+// Stop cancels the bus subscription and waits for the drain goroutine.
+func (r *Rejuvenator) Stop() {
+	if r.sub == nil {
+		return
+	}
+	r.sub.Cancel()
+	<-r.done
+}
+
+// Handle feeds one alert through the decision pipeline. Safe for
+// concurrent use; the fleet experiments call it synchronously so that
+// actuations happen on the goroutine driving the machines.
+func (r *Rejuvenator) Handle(a Alert) {
+	switch a.Kind {
+	case KindNodeUp, KindNodeDown, KindRejuvenate, KindMigrated, KindAdopted:
+		// Topology alerts carry no per-source aging signal. (Migrations
+		// preserve monitor state, so the decision state stays valid too.)
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st, ok := r.sources[a.Source]
+	if !ok {
+		st = &rejuvSource{policy: r.cfg.Policy(a.Source), phase: aging.PhaseHealthy}
+		r.sources[a.Source] = st
+	}
+	if a.Sample > st.lastSample {
+		st.lastSample = a.Sample
+	}
+	if a.Kind == KindPhaseChange {
+		if ph, ok := ParsePhase(a.To); ok {
+			st.phase = ph
+			if po, ok := st.policy.(phaseObserver); ok {
+				po.ObservePhase(ph)
+			}
+		}
+	}
+	up := st.lastSample - st.rebased
+	if !st.policy.ShouldRejuvenate(up) {
+		return
+	}
+
+	now := r.cfg.Now()
+	group := a.Source
+	if r.cfg.Group != nil {
+		group = r.cfg.Group(a.Source)
+	}
+	g, ok := r.groups[group]
+	if !ok {
+		g = &rejuvGroup{}
+		r.groups[group] = g
+	}
+	// Anti-affinity: one restart per arc per StaggerGap. The deferred
+	// source retries on its next alert; the policy keeps requesting.
+	if g.haveRun && now.Sub(g.last) < r.cfg.StaggerGap {
+		st.deferred++
+		r.met.deferred.With("stagger").Inc()
+		r.cfg.Events.Info("rejuvenate_deferred", obs.Fields{
+			"source": a.Source, "group": group, "reason": "stagger",
+		})
+		return
+	}
+	// Fleet budget: planned spend (the fixed per-restart cost) within
+	// the rolling window must stay under Budget.
+	if r.cfg.Budget > 0 {
+		r.rollBudgetLocked(now)
+		if float64(len(r.spent)+1)*r.cost.PerRejuvenation > r.cfg.Budget {
+			st.deferred++
+			r.met.deferred.With("budget").Inc()
+			r.cfg.Events.Info("rejuvenate_deferred", obs.Fields{
+				"source": a.Source, "group": group, "reason": "budget",
+			})
+			return
+		}
+	}
+
+	if err := r.cfg.Actuator.Rejuvenate(a.Source); err != nil {
+		r.fails++
+		r.met.failures.Inc()
+		r.cfg.Events.Error("rejuvenate_failed", obs.Fields{
+			"source": a.Source, "error": err.Error(),
+		})
+		return
+	}
+	st.count++
+	st.rebased = st.lastSample
+	st.phase = aging.PhaseHealthy
+	_ = st.policy.Reset()
+	g.last, g.haveRun = now, true
+	r.spent = append(r.spent, now)
+	r.total++
+	r.met.rejuvenations.Inc()
+	r.cfg.Events.Warn("rejuvenate", obs.Fields{
+		"source": a.Source, "group": group, "policy": st.policy.Name(),
+		"sample": st.lastSample, "uptime_samples": up, "total": r.total,
+	})
+	// Close the loop on the bus itself: the actuation is a fleet event
+	// other subscribers (sinks, dashboards) should see.
+	if r.cfg.Bus != nil {
+		r.cfg.Bus.Publish(Alert{
+			Source:   a.Source,
+			Kind:     KindRejuvenate,
+			Detector: st.policy.Name(),
+			Sample:   st.lastSample,
+			Node:     group,
+		})
+	}
+}
+
+// rollBudgetLocked drops spend entries older than the budget window.
+func (r *Rejuvenator) rollBudgetLocked(now time.Time) {
+	cut := now.Add(-r.cfg.BudgetWindow)
+	i := 0
+	for i < len(r.spent) && !r.spent[i].After(cut) {
+		i++
+	}
+	r.spent = r.spent[i:]
+}
+
+// RejuvSourceStatus is one source's controller state for the API.
+type RejuvSourceStatus struct {
+	Source        string `json:"source"`
+	Policy        string `json:"policy"`
+	Phase         string `json:"phase"`
+	Rejuvenations int    `json:"rejuvenations"`
+	Deferred      int    `json:"deferred"`
+	UptimeSamples int    `json:"uptime_samples"`
+}
+
+// RejuvStatus is the controller's /api/rejuv document.
+type RejuvStatus struct {
+	Rejuvenations int                 `json:"rejuvenations"`
+	Failures      int                 `json:"failures"`
+	BudgetSpent   float64             `json:"budget_spent"`
+	Budget        float64             `json:"budget,omitempty"`
+	Sources       []RejuvSourceStatus `json:"sources"`
+}
+
+// Status reports the controller state, sources sorted by id.
+func (r *Rejuvenator) Status() RejuvStatus {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rollBudgetLocked(r.cfg.Now())
+	st := RejuvStatus{
+		Rejuvenations: r.total,
+		Failures:      r.fails,
+		BudgetSpent:   float64(len(r.spent)) * r.cost.PerRejuvenation,
+		Budget:        r.cfg.Budget,
+	}
+	for id, s := range r.sources {
+		st.Sources = append(st.Sources, RejuvSourceStatus{
+			Source:        id,
+			Policy:        s.policy.Name(),
+			Phase:         s.phase.String(),
+			Rejuvenations: s.count,
+			Deferred:      s.deferred,
+			UptimeSamples: s.lastSample - s.rebased,
+		})
+	}
+	sort.Slice(st.Sources, func(i, j int) bool { return st.Sources[i].Source < st.Sources[j].Source })
+	return st
+}
+
+// Total returns how many restarts have been actuated.
+func (r *Rejuvenator) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// rejuvStateVersion versions the controller's snapshot blob.
+const rejuvStateVersion = 1
+
+// rejuvSourceState is one source's persisted decision state.
+type rejuvSourceState struct {
+	LastSample int
+	Rebased    int
+	Count      int
+	Deferred   int
+	Phase      int
+}
+
+// rejuvState is the gob snapshot envelope. It deliberately lives in its
+// own file beside the ingest snapshot, never inside it: the ingest gob
+// envelope is pinned by golden fixtures and must not change shape.
+type rejuvState struct {
+	Version int
+	Total   int
+	Fails   int
+	Sources map[string]rejuvSourceState
+	Groups  map[string]time.Time
+	Spent   []time.Time
+}
+
+// SaveState serializes the controller's decision state (counters,
+// per-source uptime bases and observed phases, arc stagger clocks,
+// budget window) for restart-restore.
+func (r *Rejuvenator) SaveState() ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := rejuvState{
+		Version: rejuvStateVersion,
+		Total:   r.total,
+		Fails:   r.fails,
+		Sources: make(map[string]rejuvSourceState, len(r.sources)),
+		Groups:  make(map[string]time.Time, len(r.groups)),
+		Spent:   append([]time.Time(nil), r.spent...),
+	}
+	for id, s := range r.sources {
+		st.Sources[id] = rejuvSourceState{
+			LastSample: s.lastSample, Rebased: s.rebased,
+			Count: s.count, Deferred: s.deferred, Phase: int(s.phase),
+		}
+	}
+	for id, g := range r.groups {
+		if g.haveRun {
+			st.Groups[id] = g.last
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("control: save rejuvenator state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState resumes a SaveState blob: policies are rebuilt from the
+// factory and re-observe their persisted phase, so a restarted daemon's
+// controller picks up exactly where it left off.
+func (r *Rejuvenator) RestoreState(blob []byte) error {
+	var st rejuvState
+	if err := gob.NewDecoder(bytes.NewReader(blob)).Decode(&st); err != nil {
+		return fmt.Errorf("control: restore rejuvenator state: %w", err)
+	}
+	if st.Version != rejuvStateVersion {
+		return fmt.Errorf("control: restore rejuvenator state: unknown version %d", st.Version)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.total, r.fails = st.Total, st.Fails
+	r.sources = make(map[string]*rejuvSource, len(st.Sources))
+	for id, s := range st.Sources {
+		src := &rejuvSource{
+			policy:     r.cfg.Policy(id),
+			lastSample: s.LastSample,
+			rebased:    s.Rebased,
+			count:      s.Count,
+			deferred:   s.Deferred,
+			phase:      aging.Phase(s.Phase),
+		}
+		if po, ok := src.policy.(phaseObserver); ok {
+			po.ObservePhase(src.phase)
+		}
+		r.sources[id] = src
+	}
+	r.groups = make(map[string]*rejuvGroup, len(st.Groups))
+	for id, last := range st.Groups {
+		r.groups[id] = &rejuvGroup{last: last, haveRun: true}
+	}
+	r.spent = append(r.spent[:0], st.Spent...)
+	return nil
+}

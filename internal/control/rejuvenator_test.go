@@ -1,0 +1,321 @@
+package control
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"agingmf/internal/aging"
+	"agingmf/internal/memsim"
+	"agingmf/internal/rejuv"
+)
+
+// recorder is a test actuator capturing each restart with its clock time.
+type recorder struct {
+	calls []string
+	times []time.Time
+	now   *time.Time
+	err   error
+}
+
+func (rec *recorder) Rejuvenate(source string) error {
+	if rec.err != nil {
+		return rec.err
+	}
+	rec.calls = append(rec.calls, source)
+	if rec.now != nil {
+		rec.times = append(rec.times, *rec.now)
+	}
+	return nil
+}
+
+// tickClock returns a controllable clock and its current-time cell.
+func tickClock() (func() time.Time, *time.Time) {
+	t := time.Unix(1000, 0)
+	return func() time.Time { return t }, &t
+}
+
+func phaseFactory(trigger aging.Phase, minUp int) PolicyFactory {
+	return func(string) rejuv.Policy {
+		p := &PhasePolicy{Trigger: trigger, MinUptime: minUp}
+		_ = p.Reset()
+		return p
+	}
+}
+
+func TestRejuvenatorPhaseTriggeredRestart(t *testing.T) {
+	now, cell := tickClock()
+	rec := &recorder{}
+	r, err := NewRejuvenator(RejuvenatorConfig{
+		Actuator: rec,
+		Policy:   phaseFactory(aging.PhaseAgingOnset, 10),
+		Now:      now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Healthy phase: no trigger however many samples pass.
+	r.Handle(Alert{Source: "m1", Kind: KindJump, Sample: 50})
+	if len(rec.calls) != 0 {
+		t.Fatalf("rejuvenated while healthy: %v", rec.calls)
+	}
+	// Phase crosses the trigger but below MinUptime: suppressed.
+	r.Handle(Alert{Source: "m2", Kind: KindPhaseChange, Sample: 5, From: "healthy", To: "aging-onset"})
+	if len(rec.calls) != 0 {
+		t.Fatalf("rejuvenated below MinUptime: %v", rec.calls)
+	}
+	// m1 crosses with plenty of uptime: one restart, then re-arms.
+	r.Handle(Alert{Source: "m1", Kind: KindPhaseChange, Sample: 60, From: "healthy", To: "aging-onset"})
+	if len(rec.calls) != 1 || rec.calls[0] != "m1" {
+		t.Fatalf("calls = %v, want [m1]", rec.calls)
+	}
+	// After the restart the policy re-armed: further alerts without a new
+	// phase transition do not retrigger.
+	r.Handle(Alert{Source: "m1", Kind: KindJump, Sample: 80})
+	if len(rec.calls) != 1 {
+		t.Fatalf("retriggered without a new phase transition: %v", rec.calls)
+	}
+	// A fresh transition after enough post-restart uptime (and past the
+	// per-group stagger cooldown) does.
+	*cell = cell.Add(2 * time.Minute)
+	r.Handle(Alert{Source: "m1", Kind: KindPhaseChange, Sample: 75, From: "healthy", To: "crash-imminent"})
+	if len(rec.calls) != 2 {
+		t.Fatalf("calls = %v, want a second m1 restart", rec.calls)
+	}
+	st := r.Status()
+	if st.Rejuvenations != 2 || len(st.Sources) != 2 {
+		t.Fatalf("status = %+v, want 2 rejuvenations over 2 sources", st)
+	}
+}
+
+func TestRejuvenatorAntiAffinityStagger(t *testing.T) {
+	now, cell := tickClock()
+	rec := &recorder{now: cell}
+	arc := func(source string) string { return "arc-0" } // all co-located
+	r, err := NewRejuvenator(RejuvenatorConfig{
+		Actuator:   rec,
+		Policy:     phaseFactory(aging.PhaseAgingOnset, 0),
+		Group:      arc,
+		StaggerGap: 10 * time.Second,
+		Now:        now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Handle(Alert{Source: "m1", Kind: KindPhaseChange, Sample: 20, To: "aging-onset"})
+	r.Handle(Alert{Source: "m2", Kind: KindPhaseChange, Sample: 20, To: "aging-onset"})
+	if len(rec.calls) != 1 {
+		t.Fatalf("calls = %v, want only m1 (m2 staggered)", rec.calls)
+	}
+	// m2 retries inside the gap: still deferred.
+	*cell = cell.Add(5 * time.Second)
+	r.Handle(Alert{Source: "m2", Kind: KindJump, Sample: 25})
+	if len(rec.calls) != 1 {
+		t.Fatalf("m2 ran inside the stagger gap: %v", rec.calls)
+	}
+	// Past the gap it runs.
+	*cell = cell.Add(6 * time.Second)
+	r.Handle(Alert{Source: "m2", Kind: KindJump, Sample: 30})
+	if len(rec.calls) != 2 || rec.calls[1] != "m2" {
+		t.Fatalf("calls = %v, want [m1 m2]", rec.calls)
+	}
+	if gap := rec.times[1].Sub(rec.times[0]); gap < 10*time.Second {
+		t.Fatalf("arc restarts %v apart, want >= stagger gap", gap)
+	}
+	st := r.Status()
+	var m2 RejuvSourceStatus
+	for _, s := range st.Sources {
+		if s.Source == "m2" {
+			m2 = s
+		}
+	}
+	if m2.Deferred != 2 {
+		t.Fatalf("m2 deferred %d times, want 2", m2.Deferred)
+	}
+}
+
+func TestRejuvenatorBudgetGate(t *testing.T) {
+	now, cell := tickClock()
+	rec := &recorder{}
+	r, err := NewRejuvenator(RejuvenatorConfig{
+		Actuator:     rec,
+		Policy:       phaseFactory(aging.PhaseAgingOnset, 0),
+		Cost:         rejuv.CostModel{PerRejuvenation: 30},
+		Budget:       60, // two restarts per window
+		BudgetWindow: time.Minute,
+		StaggerGap:   time.Nanosecond,
+		Now:          now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, src := range []string{"a", "b", "c"} {
+		*cell = cell.Add(time.Second)
+		r.Handle(Alert{Source: src, Kind: KindPhaseChange, Sample: 10 + i, To: "aging-onset"})
+	}
+	if len(rec.calls) != 2 {
+		t.Fatalf("calls = %v, want 2 (third over budget)", rec.calls)
+	}
+	st := r.Status()
+	if st.BudgetSpent != 60 {
+		t.Fatalf("budget spent %v, want 60", st.BudgetSpent)
+	}
+	// The window rolls: c's next alert fits again.
+	*cell = cell.Add(2 * time.Minute)
+	r.Handle(Alert{Source: "c", Kind: KindJump, Sample: 20})
+	if len(rec.calls) != 3 || rec.calls[2] != "c" {
+		t.Fatalf("calls = %v, want c after the budget window rolled", rec.calls)
+	}
+}
+
+func TestRejuvenatorActuatorFailureCounted(t *testing.T) {
+	r, err := NewRejuvenator(RejuvenatorConfig{
+		Actuator: &recorder{err: errors.New("ssh unreachable")},
+		Policy:   phaseFactory(aging.PhaseAgingOnset, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Handle(Alert{Source: "m1", Kind: KindPhaseChange, Sample: 10, To: "aging-onset"})
+	if st := r.Status(); st.Failures != 1 || st.Rejuvenations != 0 {
+		t.Fatalf("status = %+v, want 1 failure, 0 rejuvenations", st)
+	}
+}
+
+func TestRejuvenatorBusLoop(t *testing.T) {
+	bus := NewBus(16)
+	rec := make(chan string, 4)
+	r, err := NewRejuvenator(RejuvenatorConfig{
+		Bus:      bus,
+		Actuator: ActuatorFunc(func(s string) error { rec <- s; return nil }),
+		Policy:   phaseFactory(aging.PhaseAgingOnset, 0),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sink := bus.Subscribe("witness", 16)
+	bus.Publish(Alert{Source: "m1", Kind: KindPhaseChange, Sample: 40, To: "aging-onset"})
+	select {
+	case got := <-rec:
+		if got != "m1" {
+			t.Fatalf("actuated %q, want m1", got)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no actuation from the bus loop")
+	}
+	// The actuation itself is published back on the bus.
+	deadline := time.After(3 * time.Second)
+	for {
+		select {
+		case a := <-sink.C():
+			if a.Kind == KindRejuvenate && a.Source == "m1" {
+				r.Stop()
+				bus.Close()
+				return
+			}
+		case <-deadline:
+			t.Fatal("no rejuvenate alert published back on the bus")
+		}
+	}
+}
+
+func TestRejuvenatorSaveRestoreState(t *testing.T) {
+	now, cell := tickClock()
+	factory := phaseFactory(aging.PhaseAgingOnset, 0)
+	mk := func() *Rejuvenator {
+		r, err := NewRejuvenator(RejuvenatorConfig{
+			Actuator:   &recorder{},
+			Policy:     factory,
+			Group:      func(string) string { return "arc" },
+			StaggerGap: 10 * time.Second,
+			Now:        now,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1 := mk()
+	r1.Handle(Alert{Source: "m1", Kind: KindPhaseChange, Sample: 30, To: "aging-onset"})
+	r1.Handle(Alert{Source: "m2", Kind: KindPhaseChange, Sample: 31, To: "aging-onset"}) // staggered
+	blob, err := r1.SaveState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r2 := mk()
+	if err := r2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := r2.Status(), r1.Status(); len(got.Sources) != len(want.Sources) ||
+		got.Rejuvenations != want.Rejuvenations {
+		t.Fatalf("restored status %+v != saved %+v", got, want)
+	}
+	// The arc stagger clock survived: m2 stays deferred inside the gap...
+	rec2 := &recorder{}
+	r2.cfg.Actuator = rec2
+	r2.Handle(Alert{Source: "m2", Kind: KindJump, Sample: 35})
+	if len(rec2.calls) != 0 {
+		t.Fatalf("restored controller forgot the stagger clock: %v", rec2.calls)
+	}
+	// ...and runs after it.
+	*cell = cell.Add(11 * time.Second)
+	r2.Handle(Alert{Source: "m2", Kind: KindJump, Sample: 36})
+	if len(rec2.calls) != 1 || rec2.calls[0] != "m2" {
+		t.Fatalf("restored controller did not resume: %v", rec2.calls)
+	}
+
+	if err := r2.RestoreState([]byte("not a gob")); err == nil {
+		t.Fatal("restore of garbage succeeded")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	if f, err := ParsePolicy("none"); err != nil || f != nil {
+		t.Fatalf("none: f=%v err=%v", f, err)
+	}
+	if f, err := ParsePolicy(""); err != nil || f != nil {
+		t.Fatalf("empty: f=%v err=%v", f, err)
+	}
+	f, err := ParsePolicy("periodic:1400")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f("x").Name(); got != "periodic(1400)" {
+		t.Fatalf("periodic name %q", got)
+	}
+	f, err = ParsePolicy("phase:aging-onset:100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := f("x").(*PhasePolicy)
+	if p.Trigger != aging.PhaseAgingOnset || p.MinUptime != 100 {
+		t.Fatalf("phase policy = %+v", p)
+	}
+	if _, err := ParsePolicy("phase:crash-imminent"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"periodic:0", "periodic:x", "phase:healthy", "phase:bogus", "wat"} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMachineImplementsActuator(t *testing.T) {
+	m, err := memsim.New(memsim.DefaultConfig(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a Actuator = m
+	if err := a.Rejuvenate("self"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Reboots() != 1 {
+		t.Fatalf("reboots = %d, want 1", m.Reboots())
+	}
+}

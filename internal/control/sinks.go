@@ -1,0 +1,125 @@
+package control
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"agingmf/internal/obs"
+	"agingmf/internal/resilience"
+)
+
+// JSONLSink drains sub into ev as "alert" events (one JSON line each,
+// timestamped by the event envelope) until the subscription closes. Run
+// it on its own goroutine:
+//
+//	go control.JSONLSink(bus.Subscribe("jsonl", 256), events)
+//
+// The emitted field set (and therefore the line bytes, given the event
+// envelope's sorted-key order) is pinned by a golden test: alerts
+// predating the control plane serialize exactly as they always have.
+// The "node" field rides along only on alerts that set it.
+func JSONLSink(sub *Subscription, ev *obs.Events) {
+	for a := range sub.C() {
+		f := obs.Fields{
+			"source": a.Source, "alert": a.Kind, "detector": a.Detector,
+			"counter": a.Counter, "sample": a.Sample,
+			"volatility": a.Volatility, "score": a.Score,
+			"from": a.From, "to": a.To, "gap_ms": a.GapMillis,
+		}
+		if a.Node != "" {
+			f["node"] = a.Node
+		}
+		ev.Warn("alert", f)
+	}
+}
+
+// WebhookConfig parameterizes WebhookSink.
+type WebhookConfig struct {
+	// URL receives one POST per alert with a JSON Alert body.
+	URL string
+	// Client is the HTTP client (nil selects a 10-second-timeout client).
+	Client *http.Client
+	// Retry bounds delivery attempts per alert; the zero value selects
+	// resilience defaults (3 attempts, 10ms base backoff). Network errors
+	// and 5xx responses are retried; other HTTP errors are not.
+	Retry resilience.RetryConfig
+	// Timeout bounds each individual delivery attempt (0 selects 5s). It
+	// caps the attempt even when Client carries no timeout of its own, so
+	// a black-holed endpoint costs a bounded wait per attempt instead of
+	// wedging the sink.
+	Timeout time.Duration
+}
+
+// WebhookSink drains sub, POSTing each alert to cfg.URL with bounded
+// retries (resilience.Retry). Delivery failures are events, never
+// fatal — an unreachable webhook must not affect ingestion. Run it on its
+// own goroutine; it returns when the subscription closes or ctx is
+// cancelled.
+func WebhookSink(ctx context.Context, sub *Subscription, cfg WebhookConfig, ev *obs.Events) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 10 * time.Second}
+	}
+	retry := cfg.Retry
+	if retry.Classify == nil {
+		retry.Classify = resilience.IsTransient
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case a, ok := <-sub.C():
+			if !ok {
+				return
+			}
+			body, err := json.Marshal(a)
+			if err != nil {
+				continue // an Alert always marshals; defensive only
+			}
+			err = resilience.Retry(ctx, retry, func(int) error {
+				actx, cancel := context.WithTimeout(ctx, timeout)
+				defer cancel()
+				return postAlert(actx, client, cfg.URL, body)
+			})
+			if err != nil {
+				ev.Error("alert_webhook_failed", obs.Fields{
+					"url": cfg.URL, "source": a.Source, "alert": a.Kind,
+					"error": err.Error(),
+				})
+			}
+		}
+	}
+}
+
+// postAlert performs one webhook delivery attempt. Transport errors and
+// 5xx responses are marked transient for the retry classifier.
+func postAlert(ctx context.Context, client *http.Client, url string, body []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("webhook: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return resilience.Transient(fmt.Errorf("webhook: %w", err))
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 500 {
+		return resilience.Transient(fmt.Errorf("webhook: %s", resp.Status))
+	}
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("webhook: %s", resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,60 @@
+package control
+
+import (
+	"agingmf/internal/aging"
+	"agingmf/internal/detect"
+)
+
+// This file is the verdict boundary: every translation from a detector's
+// internal event shape into the canonical Alert lives here, so the
+// detect layer keeps its own vocabulary and the rest of the system —
+// ingest, sinks, the Rejuvenator — sees exactly one.
+
+// FromDetectEvent translates one detector verdict event for source into
+// the canonical Alert. detect.EventRecalibrate maps to KindRecalibrate
+// (Value is the raw counter there, not a volatility, so it is dropped —
+// matching the original ingest emission byte-for-byte); every other
+// event kind is a detection alarm and maps to KindJump.
+func FromDetectEvent(source string, ev detect.Event) Alert {
+	if ev.Kind == detect.EventRecalibrate {
+		return Alert{
+			Source:   source,
+			Kind:     KindRecalibrate,
+			Detector: ev.Detector,
+			Counter:  ev.Counter.String(),
+			Sample:   ev.Sample,
+			Score:    ev.Score,
+		}
+	}
+	return Alert{
+		Source:     source,
+		Kind:       KindJump,
+		Detector:   ev.Detector,
+		Counter:    ev.Counter.String(),
+		Sample:     ev.Sample,
+		Volatility: ev.Value,
+		Score:      ev.Score,
+	}
+}
+
+// PhaseChange builds the alert for a source's aggregate aging-phase
+// transition at the given sample index.
+func PhaseChange(source string, sample int, from, to aging.Phase) Alert {
+	return Alert{
+		Source: source,
+		Kind:   KindPhaseChange,
+		Sample: sample,
+		From:   from.String(),
+		To:     to.String(),
+	}
+}
+
+// Stall builds the alert for a source gone silent for gapMillis.
+func Stall(source string, gapMillis int64) Alert {
+	return Alert{Source: source, Kind: KindStall, GapMillis: gapMillis}
+}
+
+// Resume builds the alert for a stalled source producing samples again.
+func Resume(source string) Alert {
+	return Alert{Source: source, Kind: KindResume}
+}

@@ -1,0 +1,172 @@
+package control
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"agingmf/internal/aging"
+	"agingmf/internal/detect"
+	"agingmf/internal/obs"
+	"agingmf/internal/rejuv"
+	"agingmf/internal/resilience"
+)
+
+func TestFromDetectEventShapes(t *testing.T) {
+	jump := FromDetectEvent("m1", detect.Event{
+		Detector: "holder", Kind: detect.EventJump,
+		Counter: aging.CounterFreeMemory, Sample: 42, Value: 1.5, Score: 6.1,
+	})
+	want := Alert{
+		Source: "m1", Kind: KindJump, Detector: "holder",
+		Counter: "free-memory", Sample: 42, Volatility: 1.5, Score: 6.1,
+	}
+	if jump != want {
+		t.Errorf("jump alert = %+v, want %+v", jump, want)
+	}
+
+	// Recalibrations drop Value (a raw counter, not a volatility) — the
+	// byte-compatibility contract with the original ingest emission.
+	recal := FromDetectEvent("m1", detect.Event{
+		Detector: "adaptive", Kind: detect.EventRecalibrate,
+		Counter: aging.CounterUsedSwap, Sample: 99, Value: 123456, Score: 12.5,
+	})
+	if recal.Kind != KindRecalibrate || recal.Volatility != 0 || recal.Score != 12.5 {
+		t.Errorf("recalibrate alert = %+v", recal)
+	}
+}
+
+func TestVerdictHelpers(t *testing.T) {
+	pc := PhaseChange("m2", 7, aging.PhaseHealthy, aging.PhaseAgingOnset)
+	if pc.Kind != KindPhaseChange || pc.From != "healthy" || pc.To != "aging-onset" || pc.Sample != 7 {
+		t.Errorf("phase change alert = %+v", pc)
+	}
+	if st := Stall("m3", 1500); st.Kind != KindStall || st.GapMillis != 1500 {
+		t.Errorf("stall alert = %+v", st)
+	}
+	if rs := Resume("m3"); rs.Kind != KindResume || rs.Source != "m3" {
+		t.Errorf("resume alert = %+v", rs)
+	}
+}
+
+func TestDryRunActuatorCountsAndEmits(t *testing.T) {
+	var buf bytes.Buffer
+	act := &DryRunActuator{Events: obs.NewEvents(&buf, obs.LevelInfo)}
+	for i := 0; i < 3; i++ {
+		if err := act.Rejuvenate("m1"); err != nil {
+			t.Fatalf("Rejuvenate: %v", err)
+		}
+	}
+	if act.Count() != 3 {
+		t.Errorf("count = %d, want 3", act.Count())
+	}
+	if got := strings.Count(buf.String(), "rejuvenate_dry_run"); got != 3 {
+		t.Errorf("%d dry-run events, want 3:\n%s", got, buf.String())
+	}
+}
+
+func TestActuatorFuncAndSubscriptionName(t *testing.T) {
+	var got string
+	var act Actuator = ActuatorFunc(func(s string) error { got = s; return nil })
+	if err := act.Rejuvenate("m9"); err != nil || got != "m9" {
+		t.Errorf("ActuatorFunc: err=%v source=%q", err, got)
+	}
+	bus := NewBus(4)
+	defer bus.Close()
+	sub := bus.Subscribe("webhook", 1)
+	defer sub.Cancel()
+	if sub.Name() != "webhook" {
+		t.Errorf("Name() = %q", sub.Name())
+	}
+}
+
+// The webhook sink end-to-end: delivery of the JSON alert body, a
+// retried 5xx that eventually lands, and a non-retryable 4xx surfacing
+// as a failure event.
+func TestWebhookSinkDelivery(t *testing.T) {
+	var calls atomic.Int64
+	bodies := make(chan Alert, 4)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 2 { // second delivery: fail once, then succeed
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		var a Alert
+		if err := json.NewDecoder(r.Body).Decode(&a); err != nil {
+			t.Errorf("bad webhook body: %v", err)
+		}
+		bodies <- a
+	}))
+	defer srv.Close()
+
+	bus := NewBus(8)
+	sub := bus.Subscribe("webhook", 8)
+	var evBuf bytes.Buffer
+	ev := obs.NewEvents(&evBuf, obs.LevelInfo)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		WebhookSink(context.Background(), sub, WebhookConfig{URL: srv.URL}, ev)
+	}()
+
+	bus.Publish(Alert{Source: "m1", Kind: KindJump, Detector: "holder", Sample: 5})
+	bus.Publish(Alert{Source: "m2", Kind: KindStall, GapMillis: 900})
+	first, second := <-bodies, <-bodies
+	if first.Source != "m1" || second.Source != "m2" {
+		t.Errorf("delivered %+v then %+v", first, second)
+	}
+	if calls.Load() != 3 { // 1 + (1 failed + 1 retried)
+		t.Errorf("server saw %d deliveries, want 3", calls.Load())
+	}
+	bus.Close()
+	<-done
+}
+
+func TestWebhookSinkReportsTerminalFailure(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "nope", http.StatusForbidden)
+	}))
+	defer srv.Close()
+
+	bus := NewBus(8)
+	sub := bus.Subscribe("webhook", 8)
+	var evBuf bytes.Buffer
+	ev := obs.NewEvents(&evBuf, obs.LevelInfo)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		WebhookSink(context.Background(), sub, WebhookConfig{
+			URL:   srv.URL,
+			Retry: resilience.RetryConfig{MaxAttempts: 2},
+		}, ev)
+	}()
+	bus.Publish(Alert{Source: "m1", Kind: KindJump})
+	bus.Close()
+	<-done
+	if !strings.Contains(evBuf.String(), "alert_webhook_failed") {
+		t.Errorf("4xx delivery did not surface a failure event:\n%s", evBuf.String())
+	}
+}
+
+func TestRejuvenatorTotalAndIdleStop(t *testing.T) {
+	rej, err := NewRejuvenator(RejuvenatorConfig{
+		Actuator: ActuatorFunc(func(string) error { return errors.New("unused") }),
+		Policy:   func(string) rejuv.Policy { return &PhasePolicy{Trigger: aging.PhaseAgingOnset} },
+	})
+	if err != nil {
+		t.Fatalf("NewRejuvenator: %v", err)
+	}
+	if rej.Total() != 0 {
+		t.Errorf("fresh Total = %d", rej.Total())
+	}
+	rej.Stop() // never started: must be a no-op
+	if err := rej.Start(); err == nil {
+		t.Error("Start without a Bus should fail")
+	}
+}

@@ -123,6 +123,7 @@ func All() []Experiment {
 		{ID: "E11", Title: "Fault-injection detection latency (extension)", Run: RunE11},
 		{ID: "E12", Title: "Workload self-similarity validation (extension)", Run: RunE12},
 		{ID: "E13", Title: "Detector shootout: holder vs entropy vs adaptive (extension)", Run: RunShootout},
+		{ID: "E14", Title: "Closed-loop fleet rejuvenation under chaos (extension)", Run: RunRejuvenation},
 	}
 }
 

@@ -21,8 +21,8 @@ func mustMetric(t *testing.T, rep Report, name string) float64 {
 
 func TestRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 13 {
-		t.Fatalf("registered experiments = %d, want 13", len(all))
+	if len(all) != 14 {
+		t.Fatalf("registered experiments = %d, want 14", len(all))
 	}
 	for i, e := range all {
 		if e.ID == "" || e.Title == "" || e.Run == nil {

@@ -1,0 +1,64 @@
+package experiment
+
+import "testing"
+
+// The headline claim of E14: closing the loop must buy availability on
+// the crash channels — strictly above policy-off, at or below the
+// clairvoyant oracle — while the anti-affinity audit shows zero
+// simultaneous restarts inside any ring arc.
+func TestRejuvenationCampaignQuick(t *testing.T) {
+	rep, err := RunRejuvenation(quickCfg)
+	if err != nil {
+		t.Fatalf("RunRejuvenation: %v", err)
+	}
+	if rep.ID != "E14" {
+		t.Errorf("report id %q, want E14", rep.ID)
+	}
+	for _, sc := range rejuvScenarios() {
+		off := mustMetric(t, rep, sc.Name+"_availability_off")
+		on := mustMetric(t, rep, sc.Name+"_availability_on")
+		oracle := mustMetric(t, rep, sc.Name+"_availability_oracle")
+		if sc.Crash {
+			if on <= off {
+				t.Errorf("%s: policy-on availability %.4f not above policy-off %.4f", sc.Name, on, off)
+			}
+			if oracle < on {
+				t.Errorf("%s: oracle availability %.4f below policy-on %.4f — the ceiling leaked", sc.Name, oracle, on)
+			}
+		} else {
+			// The healthy control can only lose availability to false
+			// positives; it must never crash under any arm.
+			for _, arm := range rejuvArms() {
+				if c := mustMetric(t, rep, sc.Name+"_crashes_"+arm); c != 0 {
+					t.Errorf("%s/%s: %v crashes in a healthy scenario", sc.Name, arm, c)
+				}
+			}
+		}
+		if simul := mustMetric(t, rep, sc.Name+"_same_arc_simultaneous"); simul != 0 {
+			t.Errorf("%s: %v simultaneous same-arc rejuvenations", sc.Name, simul)
+		}
+		if gap := mustMetric(t, rep, sc.Name+"_min_same_arc_gap_ticks"); gap < rejuvStaggerTicks {
+			t.Errorf("%s: min same-arc gap %v below the %d-tick stagger", sc.Name, gap, rejuvStaggerTicks)
+		}
+	}
+}
+
+// The stagger audit itself, on hand-built actuation logs.
+func TestRejuvenationStaggerAudit(t *testing.T) {
+	acts := []rejuvActuation{
+		{arc: "a", tick: 100}, {arc: "a", tick: 100}, // simultaneous pair
+		{arc: "a", tick: 400},
+		{arc: "b", tick: 105}, // different arc: never counted
+	}
+	minGap, simul := staggerAudit(acts, 1000)
+	if minGap != 0 || simul != 1 {
+		t.Errorf("audit = (%d, %d), want (0, 1)", minGap, simul)
+	}
+	minGap, simul = staggerAudit([]rejuvActuation{{arc: "a", tick: 7}}, 1000)
+	if minGap != 1000 || simul != 0 {
+		t.Errorf("single-restart audit = (%d, %d), want (1000, 0)", minGap, simul)
+	}
+	if minGap, simul = staggerAudit(nil, 500); minGap != 500 || simul != 0 {
+		t.Errorf("empty audit = (%d, %d), want (500, 0)", minGap, simul)
+	}
+}

@@ -1,325 +1,66 @@
 package ingest
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
-	"fmt"
-	"net/http"
-	"sync"
-	"sync/atomic"
-	"time"
 
+	"agingmf/internal/control"
 	"agingmf/internal/obs"
-	"agingmf/internal/resilience"
 )
 
-// Alert kinds published on the bus.
+// The alert plumbing moved to internal/control — the canonical Alert,
+// the subscription Bus and the delivery sinks are control-plane types
+// now shared by the detect verdict boundary, the cluster membership
+// layer and the Rejuvenator. This file keeps the ingest names alive as
+// aliases so every existing producer, consumer and test compiles
+// unchanged, and pins the wire contract (JSON payload bytes, JSONL
+// field set) through the control golden tests.
+
+// Alert kinds published on the bus (canonical names in control).
 const (
 	// AlertJump is a detection alarm on one counter (a Hölder-volatility
 	// jump, an entropy collapse, ... — the Detector field says which).
-	AlertJump = "jump"
+	AlertJump = control.KindJump
 	// AlertRecalibrate records a detector re-anchoring its baseline after
 	// a confirmed workload shift (adaptive detector); informational.
-	AlertRecalibrate = "recalibrate"
+	AlertRecalibrate = control.KindRecalibrate
 	// AlertPhaseChange is an aging-phase transition.
-	AlertPhaseChange = "phase_change"
+	AlertPhaseChange = control.KindPhaseChange
 	// AlertStall means a source went silent past the stall timeout.
-	AlertStall = "stall"
+	AlertStall = control.KindStall
 	// AlertResume means a stalled source produced a sample again.
-	AlertResume = "resume"
+	AlertResume = control.KindResume
 )
 
-// Alert is one fleet event. It carries no wall-clock timestamp of its
-// own — alerts derive deterministically from the sample stream, which is
-// what makes the daemon's verdicts comparable byte-for-byte with a
-// single-process run; sinks that need a timestamp add their own (the
-// JSONL sink's event envelope has one).
-type Alert struct {
-	// Source is the machine the alert concerns.
-	Source string `json:"source"`
-	// Kind is one of the Alert* constants.
-	Kind string `json:"kind"`
-	// Detector labels jump/recalibrate alerts with the emitting detector
-	// ("holder", "entropy", "adaptive"); empty for source-level alerts
-	// (stall, resume, phase_change).
-	Detector string `json:"detector,omitempty"`
-	// Counter attributes jump alerts to free-memory or used-swap.
-	Counter string `json:"counter,omitempty"`
-	// Sample is the per-source sample index the alert fired at.
-	Sample int `json:"sample,omitempty"`
-	// Volatility and Score describe a jump alarm.
-	Volatility float64 `json:"volatility,omitempty"`
-	Score      float64 `json:"score,omitempty"`
-	// From and To describe a phase change.
-	From string `json:"from,omitempty"`
-	To   string `json:"to,omitempty"`
-	// GapMillis is the observed silence of a stall alert.
-	GapMillis int64 `json:"gap_ms,omitempty"`
-}
+// Alert is one fleet event; see control.Alert.
+type Alert = control.Alert
 
-// Subscription is one consumer's bounded alert queue. Alerts are
-// delivered on C until Cancel (or the bus closing) closes it. A consumer
-// that falls behind loses alerts — counted by Dropped and the
-// agingmf_ingest_alert_drops_total{sink} metric — rather than ever
-// backpressuring the ingest hot path.
-type Subscription struct {
-	name    string
-	ch      chan Alert
-	bus     *AlertBus
-	dropped atomic.Uint64
-	drops   *obs.Counter
-	once    sync.Once
-}
+// Subscription is one consumer's bounded alert queue; see
+// control.Subscription.
+type Subscription = control.Subscription
 
-// C returns the delivery channel.
-func (s *Subscription) C() <-chan Alert { return s.ch }
+// AlertBus fans alerts out to subscribers; see control.Bus.
+type AlertBus = control.Bus
 
-// Name returns the sink name given at Subscribe.
-func (s *Subscription) Name() string { return s.name }
+// WebhookConfig parameterizes WebhookSink; see control.WebhookConfig.
+type WebhookConfig = control.WebhookConfig
 
-// Dropped returns how many alerts this subscriber lost to a full queue.
-func (s *Subscription) Dropped() uint64 { return s.dropped.Load() }
-
-// Cancel unsubscribes and closes the delivery channel. Idempotent; safe
-// to race the bus closing.
-func (s *Subscription) Cancel() {
-	s.bus.unsubscribe(s)
-}
-
-// AlertBus fans alerts out to subscribers and keeps a bounded ring of the
-// most recent alerts for the HTTP API. Publishing never blocks.
-type AlertBus struct {
-	met *metrics
-
-	mu     sync.Mutex
-	subs   map[*Subscription]struct{}
-	ring   []Alert
-	next   int
-	filled bool
-	total  uint64
-	closed bool
-}
-
-// newAlertBus builds a bus with the given ring capacity.
+// newAlertBus builds the registry's bus with the given ring capacity.
+// Slow-subscriber drops are counted on both the control-plane family
+// (agingmf_alert_drops_total{sink}) and the legacy ingest-scoped name,
+// so existing dashboards keep working while new ones use the canonical
+// metric.
 func newAlertBus(ringSize int, met metrics) *AlertBus {
-	return &AlertBus{
-		met:  &met,
-		subs: make(map[*Subscription]struct{}),
-		ring: make([]Alert, ringSize),
-	}
+	return control.NewBus(ringSize, met.alertDropsFleet, met.alertDrops)
 }
 
-// Subscribe registers a consumer with a queue of buf alerts (minimum 1).
-// The name labels this sink's drop metric.
-func (b *AlertBus) Subscribe(name string, buf int) *Subscription {
-	if buf < 1 {
-		buf = 1
-	}
-	s := &Subscription{
-		name:  name,
-		ch:    make(chan Alert, buf),
-		bus:   b,
-		drops: b.met.alertDrops.With(name),
-	}
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		close(s.ch)
-		return s
-	}
-	b.subs[s] = struct{}{}
-	return s
-}
-
-// unsubscribe removes s and closes its channel (once).
-func (b *AlertBus) unsubscribe(s *Subscription) {
-	b.mu.Lock()
-	_, live := b.subs[s]
-	delete(b.subs, s)
-	b.mu.Unlock()
-	if live {
-		s.once.Do(func() { close(s.ch) })
-	}
-}
-
-// Publish records a in the ring and offers it to every subscriber,
-// dropping (and counting) on full queues.
-func (b *AlertBus) Publish(a Alert) {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	if b.closed {
-		return
-	}
-	b.total++
-	if len(b.ring) > 0 {
-		b.ring[b.next] = a
-		b.next++
-		if b.next == len(b.ring) {
-			b.next = 0
-			b.filled = true
-		}
-	}
-	for s := range b.subs {
-		select {
-		case s.ch <- a:
-		default:
-			s.dropped.Add(1)
-			s.drops.Inc()
-		}
-	}
-}
-
-// Total returns how many alerts have been published.
-func (b *AlertBus) Total() uint64 {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.total
-}
-
-// Recent returns up to n of the most recent alerts, oldest first. n <= 0
-// returns the whole retained ring.
-func (b *AlertBus) Recent(n int) []Alert {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	size := b.next
-	if b.filled {
-		size = len(b.ring)
-	}
-	if n <= 0 || n > size {
-		n = size
-	}
-	out := make([]Alert, 0, n)
-	// Walk the ring from oldest to newest, keeping the last n.
-	start := 0
-	if b.filled {
-		start = b.next
-	}
-	for i := 0; i < size; i++ {
-		out = append(out, b.ring[(start+i)%len(b.ring)])
-	}
-	return out[len(out)-n:]
-}
-
-// Close drops every subscriber (closing their channels) and stops
-// accepting publishes. Idempotent.
-func (b *AlertBus) Close() {
-	b.mu.Lock()
-	if b.closed {
-		b.mu.Unlock()
-		return
-	}
-	b.closed = true
-	subs := make([]*Subscription, 0, len(b.subs))
-	for s := range b.subs {
-		subs = append(subs, s)
-	}
-	b.subs = make(map[*Subscription]struct{})
-	b.mu.Unlock()
-	for _, s := range subs {
-		s.once.Do(func() { close(s.ch) })
-	}
-}
-
-// JSONLSink drains sub into ev as "alert" events (one JSON line each,
-// timestamped by the event envelope) until the subscription closes. Run
-// it on its own goroutine:
+// JSONLSink drains sub into ev as "alert" events until the subscription
+// closes; see control.JSONLSink. Run it on its own goroutine:
 //
 //	go ingest.JSONLSink(bus.Subscribe("jsonl", 256), events)
-func JSONLSink(sub *Subscription, ev *obs.Events) {
-	for a := range sub.C() {
-		ev.Warn("alert", obs.Fields{
-			"source": a.Source, "alert": a.Kind, "detector": a.Detector,
-			"counter": a.Counter, "sample": a.Sample,
-			"volatility": a.Volatility, "score": a.Score,
-			"from": a.From, "to": a.To, "gap_ms": a.GapMillis,
-		})
-	}
-}
-
-// WebhookConfig parameterizes WebhookSink.
-type WebhookConfig struct {
-	// URL receives one POST per alert with a JSON Alert body.
-	URL string
-	// Client is the HTTP client (nil selects a 10-second-timeout client).
-	Client *http.Client
-	// Retry bounds delivery attempts per alert; the zero value selects
-	// resilience defaults (3 attempts, 10ms base backoff). Network errors
-	// and 5xx responses are retried; other HTTP errors are not.
-	Retry resilience.RetryConfig
-	// Timeout bounds each individual delivery attempt (0 selects 5s). It
-	// caps the attempt even when Client carries no timeout of its own, so
-	// a black-holed endpoint costs a bounded wait per attempt instead of
-	// wedging the sink.
-	Timeout time.Duration
-}
+func JSONLSink(sub *Subscription, ev *obs.Events) { control.JSONLSink(sub, ev) }
 
 // WebhookSink drains sub, POSTing each alert to cfg.URL with bounded
-// retries (resilience.Retry). Delivery failures are events, never
-// fatal — an unreachable webhook must not affect ingestion. Run it on its
-// own goroutine; it returns when the subscription closes or ctx is
-// cancelled.
+// retries; see control.WebhookSink.
 func WebhookSink(ctx context.Context, sub *Subscription, cfg WebhookConfig, ev *obs.Events) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	client := cfg.Client
-	if client == nil {
-		client = &http.Client{Timeout: 10 * time.Second}
-	}
-	retry := cfg.Retry
-	if retry.Classify == nil {
-		retry.Classify = resilience.IsTransient
-	}
-	timeout := cfg.Timeout
-	if timeout <= 0 {
-		timeout = 5 * time.Second
-	}
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case a, ok := <-sub.C():
-			if !ok {
-				return
-			}
-			body, err := json.Marshal(a)
-			if err != nil {
-				continue // an Alert always marshals; defensive only
-			}
-			err = resilience.Retry(ctx, retry, func(int) error {
-				actx, cancel := context.WithTimeout(ctx, timeout)
-				defer cancel()
-				return postAlert(actx, client, cfg.URL, body)
-			})
-			if err != nil {
-				ev.Error("alert_webhook_failed", obs.Fields{
-					"url": cfg.URL, "source": a.Source, "alert": a.Kind,
-					"error": err.Error(),
-				})
-			}
-		}
-	}
-}
-
-// postAlert performs one webhook delivery attempt. Transport errors and
-// 5xx responses are marked transient for the retry classifier.
-func postAlert(ctx context.Context, client *http.Client, url string, body []byte) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
-	if err != nil {
-		return fmt.Errorf("webhook: %w", err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := client.Do(req)
-	if err != nil {
-		return resilience.Transient(fmt.Errorf("webhook: %w", err))
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 500 {
-		return resilience.Transient(fmt.Errorf("webhook: %s", resp.Status))
-	}
-	if resp.StatusCode >= 400 {
-		return fmt.Errorf("webhook: %s", resp.Status)
-	}
-	return nil
+	control.WebhookSink(ctx, sub, cfg, ev)
 }

@@ -18,6 +18,10 @@ const (
 	metricHandleSec  = "agingmf_ingest_handle_seconds"
 	metricAlerts     = "agingmf_ingest_alerts_total"
 	metricAlertDrops = "agingmf_ingest_alert_drops_total"
+	// metricAlertDropsFleet is the control-plane name for the same drops;
+	// both families are incremented so dashboards keyed on the legacy
+	// ingest-scoped name keep working.
+	metricAlertDropsFleet = "agingmf_alert_drops_total"
 	metricConns      = "agingmf_ingest_connections_total"
 	metricConnsOpen  = "agingmf_ingest_open_connections"
 	metricSnapshots  = "agingmf_ingest_snapshots_total"
@@ -43,8 +47,9 @@ type metrics struct {
 	sources    *obs.Gauge
 	queueDepth *obs.GaugeVec // by shard
 	handleSec  *obs.Histogram
-	alerts     *obs.CounterVec // by kind
-	alertDrops *obs.CounterVec // by sink
+	alerts          *obs.CounterVec // by kind
+	alertDrops      *obs.CounterVec // by sink (legacy name)
+	alertDropsFleet *obs.CounterVec // by sink (control-plane name)
 	conns      *obs.CounterVec // by proto
 	connsOpen  *obs.Gauge
 	snapshots  *obs.Counter
@@ -74,6 +79,8 @@ func newMetrics(reg *obs.Registry) metrics {
 			"Alerts published on the alert bus.", "kind"),
 		alertDrops: reg.CounterVec(metricAlertDrops,
 			"Alerts dropped by a saturated subscriber queue.", "sink"),
+		alertDropsFleet: reg.CounterVec(metricAlertDropsFleet,
+			"Alerts dropped by a saturated subscriber queue, by sink.", "sink"),
 		conns: reg.CounterVec(metricConns,
 			"Ingest connections accepted.", "proto"),
 		connsOpen: reg.Gauge(metricConnsOpen,

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"agingmf/internal/aging"
+	"agingmf/internal/control"
 	"agingmf/internal/detect"
 	"agingmf/internal/obs"
 	"agingmf/internal/resilience"
@@ -807,11 +808,7 @@ func (r *Registry) attachSource(sh *shard, id string, set *detect.MonitorSet) *s
 	if r.cfg.StallTimeout > 0 {
 		src.wd = resilience.NewWatchdog(r.cfg.StallTimeout, r.met.res, func(gap time.Duration) {
 			src.stalled.Store(true)
-			r.publishAlert(Alert{
-				Source:    id,
-				Kind:      AlertStall,
-				GapMillis: gap.Milliseconds(),
-			})
+			r.publishAlert(control.Stall(id, gap.Milliseconds()))
 		})
 	}
 	sh.sources[id] = src
@@ -1042,39 +1039,24 @@ func (sh *shard) commit(src *source, events []detect.Event, free, swap float64, 
 	}
 	if src.wd.Pet() {
 		src.stalled.Store(false)
-		r.publishAlert(Alert{Source: src.id, Kind: AlertResume})
+		r.publishAlert(control.Resume(src.id))
 	}
 
+	// The verdict boundary: each detect event crosses into the control
+	// plane exactly once, via the canonical translation.
 	for _, ev := range events {
 		m := src.det(ev.Detector)
-		switch ev.Kind {
-		case detect.EventRecalibrate:
+		if ev.Kind == detect.EventRecalibrate {
 			if m != nil {
 				m.recals.Add(1)
 			}
-			r.publishAlert(Alert{
-				Source:   src.id,
-				Kind:     AlertRecalibrate,
-				Detector: ev.Detector,
-				Counter:  ev.Counter.String(),
-				Sample:   ev.Sample,
-				Score:    ev.Score,
-			})
-		default: // detect.EventJump
+		} else { // detect.EventJump
 			src.jumps.Add(1)
 			if m != nil {
 				m.jumps.Add(1)
 			}
-			r.publishAlert(Alert{
-				Source:     src.id,
-				Kind:       AlertJump,
-				Detector:   ev.Detector,
-				Counter:    ev.Counter.String(),
-				Sample:     ev.Sample,
-				Volatility: ev.Value,
-				Score:      ev.Score,
-			})
 		}
+		r.publishAlert(control.FromDetectEvent(src.id, ev))
 	}
 	if len(events) > 0 {
 		// Detector phases only move when events fire; refresh the
@@ -1084,13 +1066,7 @@ func (sh *shard) commit(src *source, events []detect.Event, free, swap float64, 
 		}
 	}
 	if phase := src.mon.Phase(); phase != src.lastPhase {
-		r.publishAlert(Alert{
-			Source: src.id,
-			Kind:   AlertPhaseChange,
-			Sample: src.mon.SamplesSeen(),
-			From:   src.lastPhase.String(),
-			To:     phase.String(),
-		})
+		r.publishAlert(control.PhaseChange(src.id, src.mon.SamplesSeen(), src.lastPhase, phase))
 		src.lastPhase = phase
 		src.phase.Store(int32(phase))
 	}

@@ -248,6 +248,18 @@ func (m *Machine) Reboot() {
 	m.ev.Info("reboot", obs.Fields{"tick": m.tick, "reboots": m.reboots})
 }
 
+// Rejuvenate implements the control plane's Actuator over this machine:
+// a proactive restart is exactly a Reboot. The source argument names the
+// fleet member in multi-machine setups; a single machine ignores it.
+// Like every other Machine method it must be called from the goroutine
+// driving the machine — the control.Rejuvenator's synchronous Handle
+// path satisfies that; the async bus-drain path needs a dry-run or
+// externally synchronized actuator instead.
+func (m *Machine) Rejuvenate(string) error {
+	m.Reboot()
+	return nil
+}
+
 // Spawn adds a process to the machine and returns its pid. The base
 // working set is allocated immediately; failure to fit it crashes the
 // machine just like any other allocation failure.

@@ -64,6 +64,9 @@ func TestOptimalPeriodicIntervalErrors(t *testing.T) {
 	if _, _, err := OptimalPeriodicInterval(good, 10, 5, 5); err == nil {
 		t.Error("hi<lo should fail")
 	}
+	if _, _, err := OptimalPeriodicInterval(good, 7, 7, 5); err == nil {
+		t.Error("degenerate lo==hi range should fail")
+	}
 	if _, _, err := OptimalPeriodicInterval(good, 1, 10, 1); err == nil {
 		t.Error("points<2 should fail")
 	}
@@ -71,6 +74,46 @@ func TestOptimalPeriodicIntervalErrors(t *testing.T) {
 	bad.RateFail = 0
 	if _, _, err := OptimalPeriodicInterval(bad, 1, 10, 5); err == nil {
 		t.Error("invalid model should fail")
+	}
+}
+
+func TestOptimalPeriodicIntervalNonBracketingRange(t *testing.T) {
+	// A search window that does not bracket the bang-bang optimum must
+	// still answer: availability is monotone in the trigger rate, so the
+	// best interval lands on the window boundary nearest the true
+	// optimum, never in the interior.
+	m := HuangModel{
+		RateDegrade: 1.0 / 240,
+		RateFail:    1.0 / 48,
+		RateRepair:  1.0 / 8,
+		RateRejuv:   1,
+		RateRestart: 30, // restart far faster than repair: true optimum at tiny intervals
+	}
+	best, avail, err := OptimalPeriodicInterval(m, 50, 100, 30)
+	if err != nil {
+		t.Fatalf("OptimalPeriodicInterval: %v", err)
+	}
+	if best != 50 {
+		t.Errorf("best interval = %v, want the lo boundary 50", best)
+	}
+	// Widening the window toward the true optimum can only improve.
+	_, wider, err := OptimalPeriodicInterval(m, 0.1, 100, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wider < avail {
+		t.Errorf("wider window availability %v < clipped window %v", wider, avail)
+	}
+}
+
+func TestCostModelUnattributedDowntime(t *testing.T) {
+	// Downtime ticks with no recorded crash/rejuvenation events (e.g. an
+	// outage still pending when events were lost) have no per-tick price
+	// and must not divide by zero.
+	c := DefaultCostModel()
+	cfg := EvalConfig{Horizon: 1000, CrashDowntime: 100, RejuvDowntime: 10}
+	if got := c.Cost(Outcome{DownTicks: 300, UpTicks: 700}, cfg); got != 0 {
+		t.Errorf("unattributed downtime cost = %v, want 0", got)
 	}
 }
 
